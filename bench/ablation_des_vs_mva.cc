@@ -1,0 +1,50 @@
+// Ablation — how trustworthy is the paper's analytic model?
+//
+// The paper solves its closed network with exact MVA (product-form:
+// exponential service).  Real packet service on a fixed-bandwidth line is
+// near-deterministic.  This bench runs a discrete-event simulation of the
+// same topology under both service distributions and prints all three
+// response-time curves for the traditional-replication service time at
+// 8 KB over T1 — quantifying the modelling error the paper accepts.
+#include <cstdio>
+#include <vector>
+
+#include "queueing/des.h"
+#include "queueing/mva.h"
+#include "queueing/wan.h"
+
+int main() {
+  using namespace prins;
+  const double service = router_service_time_sec(8192 + 47, kT1);
+  const double think = 0.1;
+  const std::vector<double> routers{service, service};
+
+  std::printf("=== Ablation: MVA vs discrete-event simulation ===\n");
+  std::printf("2 routers, S=%.4f s each (traditional 8 KB over T1), "
+              "think 0.1 s\n\n",
+              service);
+  std::printf("%-12s %14s %18s %18s\n", "population", "MVA RespT",
+              "DES RespT (exp)", "DES RespT (det)");
+
+  const auto mva = solve_mva_curve(routers, think, 100);
+  for (unsigned n : {1u, 10u, 20u, 40u, 60u, 80u, 100u}) {
+    DesConfig config;
+    config.population = n;
+    config.think_time_mean_sec = think;
+    config.service_times_sec = routers;
+    config.requests = 120000;
+    config.seed = 1000 + n;
+    const auto exp_result = simulate_closed_network(config);
+    config.exponential_service = false;
+    const auto det_result = simulate_closed_network(config);
+    std::printf("%-12u %14.4f %18.4f %18.4f\n", n,
+                mva[n - 1].response_time_sec,
+                exp_result.mean_response_time_sec,
+                det_result.mean_response_time_sec);
+  }
+  std::printf("\ntakeaway: with exponential service the DES matches exact "
+              "MVA within noise;\nnear-deterministic packet service "
+              "queues *less*, so the paper's analytic\ncurves are a "
+              "conservative upper bound on response time.\n\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation — the replication pipeline window on a high-latency link.
+//
+// The paper's closed-network model assumes one outstanding replication per
+// node (stop-and-wait), which makes every write pay a full WAN round trip.
+// The engine's pipeline_depth streams a window of messages before waiting
+// for ACKs; on a propagation-dominated link the round trip amortizes over
+// the window.  This bench measures wall-clock replication throughput for
+// several window depths over an emulated 5 ms-RTT link.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "net/latent.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+
+int main() {
+  using namespace prins;
+  constexpr std::uint32_t kBlockSize = 8192;
+  constexpr std::uint64_t kBlocks = 256;
+  constexpr int kWrites = 200;
+  constexpr auto kOneWay = std::chrono::microseconds(2500);  // 5 ms RTT
+
+  std::printf("=== Ablation: pipeline window vs replication throughput "
+              "(5 ms RTT link) ===\n");
+  std::printf("%d PRINS writes, 8 KB blocks, ~10%% dirty\n\n", kWrites);
+  std::printf("%-8s %14s %16s %14s\n", "window", "total (s)", "writes/sec",
+              "speedup");
+
+  double baseline = 0;
+  for (std::size_t depth : {1ul, 4ul, 16ul, 64ul}) {
+    auto primary = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+    EngineConfig config;
+    config.policy = ReplicationPolicy::kPrins;
+    config.pipeline_depth = depth;
+    auto engine = std::make_unique<PrinsEngine>(primary, config);
+
+    auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+    auto replica = std::make_shared<ReplicaEngine>(replica_disk);
+    auto [primary_end, replica_end] = make_latent_pair(kOneWay);
+    engine->add_replica(std::move(primary_end));
+    std::thread server(
+        [replica, t = std::shared_ptr<Transport>(std::move(replica_end))] {
+          (void)replica->serve(*t);
+        });
+
+    Rng rng(7);
+    Bytes block(kBlockSize);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kWrites; ++i) {
+      const Lba lba = rng.next_below(kBlocks);
+      (void)engine->read(lba, block);
+      rng.fill(MutByteSpan(block).subspan(rng.next_below(kBlockSize - 800),
+                                          800));
+      if (!engine->write(lba, block).is_ok()) return 1;
+    }
+    if (!engine->drain().is_ok()) return 1;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (depth == 1) baseline = elapsed;
+    std::printf("%-8zu %14.2f %16.1f %13.1fx\n", depth, elapsed,
+                kWrites / elapsed, baseline / elapsed);
+
+    engine.reset();
+    server.join();
+  }
+  std::printf("\nstop-and-wait pays one RTT per write; a window of W "
+              "amortizes it W-fold\n(until the queue, not the link, is the "
+              "bottleneck).  Replicas apply in order\nat every depth — the "
+              "consistency tests cover windows up to 16.\n\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation — cluster-wide fabric traffic as the replication degree grows.
+//
+// The queueing figures define population = nodes × replicas; this bench
+// grounds that product in measured bytes: a symmetric N-node ring where
+// every node replicates to R successors, swept over R, per policy.  The
+// fabric total scales linearly with R for every policy — but the slope is
+// the per-write payload, which is where PRINS wins.
+#include <cstdio>
+
+#include "sim/cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace prins;
+  std::uint64_t writes_per_node = 150;
+  if (argc > 1) {
+    const auto v = std::strtoull(argv[1], nullptr, 10);
+    if (v > 0) writes_per_node = v;
+  }
+
+  constexpr unsigned kNodes = 6;
+  std::printf("=== Cluster fabric traffic: %u nodes, R replicas each, "
+              "8 KB blocks, ~10%% dirty writes ===\n\n",
+              kNodes);
+  std::printf("%-4s %-10s %16s %16s %14s %8s\n", "R", "population",
+              "traditional KB", "PRINS KB", "ratio", "ok");
+
+  for (unsigned r = 1; r <= 3; ++r) {
+    double kb[2] = {0, 0};
+    bool ok = true;
+    int i = 0;
+    for (ReplicationPolicy policy :
+         {ReplicationPolicy::kTraditional, ReplicationPolicy::kPrins}) {
+      ClusterConfig config;
+      config.nodes = kNodes;
+      config.replicas_per_node = r;
+      config.policy = policy;
+      config.block_size = 8192;
+      config.blocks_per_node = 256;
+      config.dirty_bytes_per_write = 800;
+      config.seed = 42;
+      SymmetricCluster cluster(config);
+      auto report = cluster.run(writes_per_node);
+      if (!report.is_ok()) {
+        std::fprintf(stderr, "cluster run failed: %s\n",
+                     report.status().to_string().c_str());
+        return 1;
+      }
+      ok = ok && report->all_replicas_consistent;
+      kb[i++] = static_cast<double>(report->fabric.payload_bytes) / 1024.0;
+    }
+    std::printf("%-4u %-10u %16.1f %16.1f %13.1fx %8s\n", r, kNodes * r,
+                kb[0], kb[1], kb[0] / kb[1], ok ? "yes" : "NO");
+  }
+  std::printf("\nfabric bytes grow linearly with R under both policies; "
+              "PRINS shrinks the slope ~an order of magnitude.\n\n");
+  return 0;
+}

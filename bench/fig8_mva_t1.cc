@@ -1,0 +1,15 @@
+// Figure 8 — response time vs population, T1 lines, 2 routers, 8 KB.
+//
+// Paper result: traditional replication's response time rises rapidly
+// with population (saturating the T1 line), compressed also climbs, PRINS
+// stays nearly flat (~hundreds of bytes per write cannot saturate a T1
+// at 10 writes/s/node).
+#include "bench/mva_common.h"
+
+int main(int argc, char** argv) {
+  const std::uint64_t transactions =
+      prins::bench::transactions_from_argv(argc, argv, 300);
+  return prins::bench::run_mva_figure(
+      "Figure 8: response time vs population over T1", prins::kT1,
+      transactions);
+}

@@ -1,0 +1,14 @@
+// Figure 9 — response time vs population, T3 lines, 2 routers, 8 KB.
+//
+// Paper result: absolute times drop on the faster line, but the two
+// traditional techniques still climb with population while PRINS stays
+// constant and lowest.
+#include "bench/mva_common.h"
+
+int main(int argc, char** argv) {
+  const std::uint64_t transactions =
+      prins::bench::transactions_from_argv(argc, argv, 300);
+  return prins::bench::run_mva_figure(
+      "Figure 9: response time vs population over T3", prins::kT3,
+      transactions);
+}

@@ -1,0 +1,86 @@
+// Shared scaffolding for the Figure 4-7 traffic benches.
+//
+// Each figure binary declares a workload factory and calls run_figure(),
+// which sweeps the paper's five block sizes across the three replication
+// techniques and prints the figure's bars (KB transferred), the savings
+// ratios the paper quotes, and the per-policy mean payload size that
+// feeds the queueing figures.
+//
+// argv[1] overrides the transaction count (larger = closer to the paper's
+// one-hour runs; the ratios stabilise quickly).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace prins::bench {
+
+inline std::uint64_t transactions_from_argv(int argc, char** argv,
+                                            std::uint64_t default_count) {
+  if (argc > 1) {
+    const auto v = std::strtoull(argv[1], nullptr, 10);
+    if (v > 0) return v;
+  }
+  return default_count;
+}
+
+struct FigureSpec {
+  std::string title;
+  std::string paper_expectation;  // the shape the paper reports
+  std::uint64_t transactions;
+};
+
+inline int run_figure(const FigureSpec& spec, const WorkloadFactory& factory) {
+  std::printf("=== %s ===\n", spec.title.c_str());
+  std::printf("paper: %s\n", spec.paper_expectation.c_str());
+  std::printf("transactions per cell: %llu\n\n",
+              static_cast<unsigned long long>(spec.transactions));
+
+  SweepConfig config;
+  config.transactions = spec.transactions;
+  auto results = run_sweep(factory, config);
+  if (!results.is_ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 results.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %16s %16s %16s %12s %12s\n", "block", "traditional KB",
+              "compressed KB", "PRINS KB", "trad/PRINS", "comp/PRINS");
+  double trad = 0, comp = 0, prins = 0;
+  for (const auto& r : *results) {
+    const double kb = static_cast<double>(r.sent.payload_bytes) / 1024.0;
+    switch (r.policy) {
+      case ReplicationPolicy::kTraditional: trad = kb; break;
+      case ReplicationPolicy::kTraditionalCompressed: comp = kb; break;
+      case ReplicationPolicy::kPrins: prins = kb; break;
+      default: break;
+    }
+    if (!r.replicas_consistent) {
+      std::fprintf(stderr, "REPLICA DIVERGED at block=%u policy=%s\n",
+                   r.block_size, std::string(policy_name(r.policy)).c_str());
+      return 1;
+    }
+    if (r.policy == ReplicationPolicy::kPrins) {
+      std::printf("%-10u %16.1f %16.1f %16.1f %11.1fx %11.1fx\n",
+                  r.block_size, trad, comp, prins, trad / prins, comp / prins);
+    }
+  }
+
+  std::printf("\nper-write mean payload bytes at 8 KB blocks "
+              "(feeds Figures 8-10):\n");
+  for (const auto& r : *results) {
+    if (r.block_size != 8192) continue;
+    std::printf("  %-15s %10.1f bytes/write  (%llu writes)\n",
+                std::string(policy_name(r.policy)).c_str(),
+                r.mean_payload_bytes,
+                static_cast<unsigned long long>(r.engine.writes));
+  }
+  std::printf("\nall replicas verified byte-identical to the primary.\n\n");
+  return 0;
+}
+
+}  // namespace prins::bench

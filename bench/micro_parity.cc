@@ -1,0 +1,119 @@
+// google-benchmark micro benches for the hot kernels: XOR parity, CRC,
+// and the payload codecs at representative block sizes.
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.h"
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "parity/xor.h"
+#include "workload/text.h"
+
+namespace {
+
+using namespace prins;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  rng.fill(b);
+  return b;
+}
+
+Bytes sparse_parity(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n, 0);
+  const std::size_t len = n / 10;
+  rng.fill(MutByteSpan(b).subspan(rng.next_below(n - len + 1), len));
+  return b;
+}
+
+void BM_XorInto(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Bytes dst = random_bytes(n, 1);
+  const Bytes src = random_bytes(n, 2);
+  for (auto _ : state) {
+    xor_into(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_XorInto)->Arg(4096)->Arg(8192)->Arg(65536);
+
+void BM_ParityDelta(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Bytes a = random_bytes(n, 3);
+  const Bytes b = random_bytes(n, 4);
+  for (auto _ : state) {
+    Bytes delta = parity_delta(a, b);
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParityDelta)->Arg(8192)->Arg(65536);
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Bytes data = random_bytes(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_ZeroRleEncodeSparse(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Bytes parity = sparse_parity(n, 6);
+  const Codec& codec = codec_for(CodecId::kZeroRle);
+  for (auto _ : state) {
+    Bytes out = codec.encode(parity);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ZeroRleEncodeSparse)->Arg(8192)->Arg(65536);
+
+void BM_ZeroRleLzEncodeSparse(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Bytes parity = sparse_parity(n, 7);
+  const Codec& codec = codec_for(CodecId::kZeroRleLz);
+  for (auto _ : state) {
+    Bytes out = codec.encode(parity);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ZeroRleLzEncodeSparse)->Arg(8192)->Arg(65536);
+
+void BM_LzEncodeText(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(8);
+  Bytes text(n);
+  fill_words(rng, text);
+  const Codec& codec = codec_for(CodecId::kLz);
+  for (auto _ : state) {
+    Bytes out = codec.encode(text);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LzEncodeText)->Arg(8192)->Arg(65536);
+
+void BM_LzDecodeText(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(9);
+  Bytes text(n);
+  fill_words(rng, text);
+  const Codec& codec = codec_for(CodecId::kLz);
+  const Bytes body = codec.encode(text);
+  for (auto _ : state) {
+    auto out = codec.decode(body, n);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LzDecodeText)->Arg(8192)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Shared scaffolding for the Figures 8-9 MVA benches.
+//
+// Measures the per-write replication message size of each policy with a
+// short TPC-C run at 8 KB blocks (the paper's configuration), derives the
+// per-router service time from the paper's WAN model, and solves the
+// closed queueing network of Figure 3 for populations 1..100 with two
+// routers and a 0.1 s think time (the paper's measured TPC-C write
+// inter-arrival of ~10.22 writes/s per node).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/fig_common.h"
+#include "queueing/mva.h"
+#include "queueing/wan.h"
+#include "sim/experiment.h"
+#include "workload/tpcc.h"
+
+namespace prins::bench {
+
+constexpr double kThinkTimeSec = 0.1;  // ~10.22 writes/s measured (§3.3)
+constexpr int kRouters = 2;            // "going through 2 routers"
+
+/// Mean replication *message* bytes per block write per policy, measured
+/// at 8 KB blocks on the Oracle-profile TPC-C.
+inline std::map<ReplicationPolicy, double> measure_message_sizes(
+    std::uint64_t transactions) {
+  WorkloadFactory factory = [] {
+    TpccConfig config;
+    config.profile = oracle_profile();
+    config.warehouses = 5;
+    config.customers_per_district = 150;
+    config.items = 1000;
+    config.order_capacity = 30000;
+    config.seed = 20060108;
+    return std::make_unique<Tpcc>(config);
+  };
+  std::map<ReplicationPolicy, double> sizes;
+  for (ReplicationPolicy policy : {ReplicationPolicy::kTraditional,
+                                   ReplicationPolicy::kTraditionalCompressed,
+                                   ReplicationPolicy::kPrins}) {
+    PolicyRunConfig config;
+    config.policy = policy;
+    config.block_size = 8192;
+    config.transactions = transactions;
+    auto result = run_policy(factory, config);
+    if (!result.is_ok() || result->sent.messages == 0) {
+      std::fprintf(stderr, "measurement failed for %s: %s\n",
+                   std::string(policy_name(policy)).c_str(),
+                   result.status().to_string().c_str());
+      continue;
+    }
+    sizes[policy] = static_cast<double>(result->sent.payload_bytes) /
+                    static_cast<double>(result->sent.messages);
+  }
+  return sizes;
+}
+
+/// Print the response-time-vs-population curves of Figure 8/9.
+inline int run_mva_figure(const char* title, const WanLine& line,
+                          std::uint64_t transactions) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "model: closed network, %d routers in series, think time %.1f s, "
+      "block size 8 KB, %s line\n",
+      kRouters, kThinkTimeSec, std::string(line.name).c_str());
+  std::printf("paper: traditional (and compressed) response time climbs "
+              "steeply with population; PRINS stays flat\n\n");
+
+  const auto sizes = measure_message_sizes(transactions);
+  if (sizes.size() != 3) return 1;
+  std::printf("measured mean message bytes per replicated write:\n");
+  for (const auto& [policy, bytes] : sizes) {
+    std::printf("  %-15s %10.1f  (router service time %.4f s)\n",
+                std::string(policy_name(policy)).c_str(), bytes,
+                router_service_time_sec(static_cast<std::uint64_t>(bytes),
+                                        line));
+  }
+
+  std::map<ReplicationPolicy, std::vector<MvaResult>> curves;
+  for (const auto& [policy, bytes] : sizes) {
+    const double s = router_service_time_sec(
+        static_cast<std::uint64_t>(bytes), line);
+    curves[policy] =
+        solve_mva_curve(std::vector<double>(kRouters, s), kThinkTimeSec, 100);
+  }
+
+  std::printf("\n%-12s %18s %18s %18s\n", "population", "RespT traditional",
+              "RespT compressed", "RespT PRINS");
+  for (unsigned n : {1u, 10u, 20u, 30u, 40u, 50u, 60u, 70u, 80u, 90u, 100u}) {
+    std::printf("%-12u %18.4f %18.4f %18.4f\n", n,
+                curves[ReplicationPolicy::kTraditional][n - 1]
+                    .response_time_sec,
+                curves[ReplicationPolicy::kTraditionalCompressed][n - 1]
+                    .response_time_sec,
+                curves[ReplicationPolicy::kPrins][n - 1].response_time_sec);
+  }
+
+  const double trad100 =
+      curves[ReplicationPolicy::kTraditional].back().response_time_sec;
+  const double prins100 =
+      curves[ReplicationPolicy::kPrins].back().response_time_sec;
+  std::printf("\nat population 100: PRINS response time is %.1fx lower than "
+              "traditional\n\n",
+              trad100 / prins100);
+  return 0;
+}
+
+}  // namespace prins::bench

@@ -1,0 +1,185 @@
+// §4 overhead claim — "for all the experiments performed, the overhead
+// [of PRINS's extra parity computation and I/O] is less than 10% of
+// traditional replications.  ...  PRINS can leverage the parity
+// computation of RAID.  In this case, the overhead is completely
+// negligible."
+//
+// The paper's 10% is PRINS's *extra work* relative to the total cost of a
+// traditional replicated write on their testbed (which includes pushing
+// the whole block through the iSCSI/GigE stack).  This bench measures the
+// primary-side CPU of each variant on writes that dirty ~10% of an 8 KB
+// block, then adds the modelled wire time of each policy's payload on a
+// gigabit link to reproduce that comparison:
+//   traditional        — local write + copy-out of the block
+//   PRINS (read-old)   — local write + extra read-old + XOR + encode
+//   PRINS (RAID tap)   — RAID small write (P' computed anyway) + encode
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "block/mem_disk.h"
+#include "codec/codec.h"
+#include "common/rng.h"
+#include "net/packet_model.h"
+#include "parity/xor.h"
+#include "raid/raid_array.h"
+
+namespace {
+
+using namespace prins;
+
+constexpr std::uint32_t kBlockSize = 8192;
+constexpr std::uint64_t kBlocks = 1024;
+constexpr int kWrites = 20000;
+constexpr double kGigabitBytesPerSec = 125e6;
+
+/// Per-LBA current images; each write mutates ~10% of the block relative
+/// to what is on disk at that LBA, like a real page update.
+struct ImageSet {
+  std::vector<Bytes> images;
+  Rng rng{2};
+
+  explicit ImageSet(std::uint64_t blocks) : images(blocks) {
+    Rng init(1);
+    for (auto& b : images) {
+      b.resize(kBlockSize);
+      init.fill(b);
+    }
+  }
+
+  /// Mutate and return the next content of `lba`.
+  const Bytes& next(Lba lba) {
+    Bytes& block = images[lba];
+    const std::size_t len = block.size() / 10;
+    const std::size_t at = rng.next_below(block.size() - len + 1);
+    rng.fill(MutByteSpan(block).subspan(at, len));
+    return block;
+  }
+};
+
+struct Measurement {
+  double cpu_sec;
+  std::uint64_t payload_bytes;  // total replication payload produced
+};
+
+Measurement time_loop(const char* name,
+                      const std::function<std::size_t(int)>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t payload = 0;
+  for (int i = 0; i < kWrites; ++i) payload += body(i);
+  const auto stop = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(stop - start).count();
+  std::printf("  %-22s %8.3f s CPU  (%5.1f us/write, %6.1f payload B/write)\n",
+              name, sec, 1e6 * sec / kWrites,
+              static_cast<double>(payload) / kWrites);
+  return {sec, payload};
+}
+
+double wire_sec(std::uint64_t payload_bytes) {
+  return static_cast<double>(wire_bytes_for(payload_bytes)) /
+         kGigabitBytesPerSec;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== PRINS primary-side overhead (paper: <10%% of a "
+              "traditional replicated write; ~0 with RAID) ===\n");
+  std::printf("%d writes, 8 KB blocks, ~10%% of each block dirtied per "
+              "write, GigE wire model\n\n",
+              kWrites);
+
+  // Traditional: write locally, copy the block out as the payload.
+  auto disk_traditional = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+  ImageSet images_t(kBlocks);
+  const Measurement traditional =
+      time_loop("traditional", [&](int i) -> std::size_t {
+        const Lba lba = static_cast<Lba>(i) % kBlocks;
+        const Bytes& block = images_t.next(lba);
+        (void)disk_traditional->write(lba, block);
+        return encode_frame(codec_for(CodecId::kNull), block).size();
+      });
+
+  // PRINS without RAID: extra read of the old block + XOR + encode.
+  auto disk_prins = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+  ImageSet images_p(kBlocks);
+  Bytes old_block(kBlockSize);
+  const Measurement prins =
+      time_loop("PRINS (read-old)", [&](int i) -> std::size_t {
+        const Lba lba = static_cast<Lba>(i) % kBlocks;
+        const Bytes& block = images_p.next(lba);
+        (void)disk_prins->read(lba, old_block);
+        (void)disk_prins->write(lba, block);
+        const Bytes delta = parity_delta(block, old_block);
+        return encode_frame(codec_for(CodecId::kZeroRleLz), delta).size();
+      });
+
+  // PRINS over RAID-5: the small-write path computes P' anyway.
+  auto make_array = [] {
+    std::vector<std::shared_ptr<BlockDevice>> members;
+    for (int i = 0; i < 4; ++i) {
+      members.push_back(std::make_shared<MemDisk>(kBlocks, kBlockSize));
+    }
+    auto array = RaidArray::create(RaidLevel::kRaid5, std::move(members));
+    return std::shared_ptr<RaidArray>(std::move(*array));
+  };
+  auto array = make_array();
+  Bytes tapped;
+  array->set_parity_observer(
+      [&tapped](Lba, ByteSpan delta) { tapped.assign(delta.begin(), delta.end()); });
+  ImageSet images_r(kBlocks);
+  const Measurement raid_prins =
+      time_loop("PRINS (RAID tap)", [&](int i) -> std::size_t {
+        const Lba lba = static_cast<Lba>(i) % kBlocks;
+        (void)array->write(lba, images_r.next(lba));
+        return encode_frame(codec_for(CodecId::kZeroRleLz), tapped).size();
+      });
+
+  // RAID writes without any PRINS work, to isolate the tap's cost.
+  auto array_base = make_array();
+  ImageSet images_b(kBlocks);
+  const Measurement raid_base =
+      time_loop("RAID write (baseline)", [&](int i) -> std::size_t {
+        const Lba lba = static_cast<Lba>(i) % kBlocks;
+        (void)array_base->write(lba, images_b.next(lba));
+        return 0;
+      });
+
+  const double trad_total =
+      traditional.cpu_sec + kWrites * wire_sec(traditional.payload_bytes /
+                                               kWrites);
+  const double prins_extra_cpu = prins.cpu_sec - traditional.cpu_sec;
+  const double tap_extra_cpu = raid_prins.cpu_sec - raid_base.cpu_sec;
+  const double raid_total =
+      raid_base.cpu_sec + kWrites * wire_sec(traditional.payload_bytes /
+                                             kWrites);
+
+  std::printf("\nend-to-end cost of a traditional replicated write "
+              "(CPU + GigE wire): %.1f us\n",
+              1e6 * trad_total / kWrites);
+  std::printf("PRINS extra computation (read-old path): %.1f us/write = "
+              "%.1f%% of traditional (paper: <10%%)\n",
+              1e6 * prins_extra_cpu / kWrites,
+              100.0 * prins_extra_cpu / trad_total);
+  // The tap removes PRINS's extra read (the dominant cost on real disks);
+  // what remains is the encode, a few microseconds.  The paper calls this
+  // negligible against its testbed's millisecond-scale disk writes — at
+  // a (conservative) 1 ms RAID write, the tap's share is well under 2%.
+  std::printf("PRINS extra computation (RAID tap):      %.1f us/write = "
+              "%.1f%% of an in-memory RAID write pipeline,\n"
+              "                                         %.2f%% of a 1 ms "
+              "disk-backed RAID write (paper: negligible)\n",
+              1e6 * tap_extra_cpu / kWrites,
+              100.0 * tap_extra_cpu / raid_total,
+              100.0 * (tap_extra_cpu / kWrites) / 1e-3);
+  std::printf("net effect incl. wire time: PRINS write costs %.1f us vs "
+              "traditional %.1f us (%.1fx cheaper end-to-end)\n\n",
+              1e6 * (prins.cpu_sec / kWrites + wire_sec(prins.payload_bytes /
+                                                        kWrites)),
+              1e6 * trad_total / kWrites,
+              trad_total / (prins.cpu_sec +
+                            kWrites * wire_sec(prins.payload_bytes / kWrites)));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Database replication comparison — drive a TPC-C-shaped OLTP workload
+// through all three replication techniques (the paper's Figure 4/5 setup
+// at example scale) and print the traffic each one generates.
+//
+// Usage: database_replication [transactions]   (default 400)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "sim/experiment.h"
+#include "workload/tpcc.h"
+
+using namespace prins;
+
+int main(int argc, char** argv) {
+  std::uint64_t transactions = 400;
+  if (argc > 1) {
+    const auto v = std::strtoull(argv[1], nullptr, 10);
+    if (v > 0) transactions = v;
+  }
+
+  WorkloadFactory factory = [] {
+    TpccConfig config;
+    config.profile = oracle_profile();
+    config.warehouses = 2;
+    config.customers_per_district = 100;
+    config.items = 500;
+    config.order_capacity = 20000;
+    config.seed = 1234;
+    return std::make_unique<Tpcc>(config);
+  };
+
+  std::printf("TPC-C (%llu transactions) replicated to one remote node, "
+              "8 KB blocks\n\n",
+              static_cast<unsigned long long>(transactions));
+  std::printf("%-15s %14s %14s %12s %10s\n", "policy", "payload KB",
+              "wire KB", "bytes/write", "consistent");
+
+  double traditional_kb = 0;
+  for (ReplicationPolicy policy : {ReplicationPolicy::kTraditional,
+                                   ReplicationPolicy::kTraditionalCompressed,
+                                   ReplicationPolicy::kPrins,
+                                   ReplicationPolicy::kPrinsRle}) {
+    PolicyRunConfig config;
+    config.policy = policy;
+    config.block_size = 8192;
+    config.transactions = transactions;
+    auto result = run_policy(factory, config);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    const double kb = result->sent.payload_bytes / 1024.0;
+    if (policy == ReplicationPolicy::kTraditional) traditional_kb = kb;
+    std::printf("%-15s %14.1f %14.1f %12.1f %10s\n",
+                std::string(policy_name(policy)).c_str(), kb,
+                result->sent.wire_bytes / 1024.0, result->mean_payload_bytes,
+                result->replicas_consistent ? "yes" : "NO");
+    if (policy == ReplicationPolicy::kPrins) {
+      std::printf("%15s -> %.1fx less traffic than traditional replication\n",
+                  "", traditional_kb / kb);
+    }
+  }
+  std::printf("\nEvery row above ends with the replica byte-identical to "
+              "the primary —\nthe savings come from *what* is shipped, "
+              "not from skipping updates.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Point-in-time recovery (the TRAP/CDP extension from the paper's §6):
+// a replica that keeps the parity deltas PRINS already ships can rewind
+// its copy to the state after ANY historical write — continuous data
+// protection at a fraction of the cost of before-image logging.
+//
+// Scenario: a "document store" updates records; at some point a bug
+// corrupts a record.  We rewind the replica to just before the corruption
+// and recover the clean contents.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+
+using namespace prins;
+
+namespace {
+
+constexpr std::uint32_t kBlockSize = 4096;
+constexpr std::uint64_t kBlocks = 64;
+constexpr Lba kRecord = 7;  // the block holding "the document"
+
+Bytes make_document(const char* text) {
+  Bytes block(kBlockSize, 0);
+  std::memcpy(block.data(), text, std::strlen(text));
+  return block;
+}
+
+std::string document_text(const Bytes& block) {
+  return std::string(reinterpret_cast<const char*>(block.data()));
+}
+
+Status run() {
+  // Primary + replica with the TRAP log enabled on the replica side.
+  auto primary_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+  ReplicaConfig replica_config;
+  replica_config.keep_trap_log = true;
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, replica_config);
+
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  auto engine = std::make_unique<PrinsEngine>(primary_disk, config);
+  auto [primary_end, replica_end] = make_inproc_pair();
+  engine->add_replica(std::move(primary_end));
+  std::thread server(
+      [replica, link = std::shared_ptr<Transport>(std::move(replica_end))] {
+        (void)replica->serve(*link);
+      });
+
+  // A history of document versions (each write gets logical timestamp
+  // 1, 2, 3, ... on the engine's clock).
+  const char* versions[] = {
+      "v1: draft outline",
+      "v2: added the results section",
+      "v3: reviewer comments addressed",
+      "v4: XXXXXX CORRUPTED BY BUG XXXXXX",
+      "v5: more corruption on top",
+  };
+  for (const char* text : versions) {
+    PRINS_RETURN_IF_ERROR(engine->write(kRecord, make_document(text)));
+  }
+  // Unrelated traffic on other blocks, interleaved in history.
+  Rng rng(1);
+  Bytes noise(kBlockSize);
+  for (int i = 0; i < 20; ++i) {
+    rng.fill(noise);
+    PRINS_RETURN_IF_ERROR(engine->write(rng.next_in(10, kBlocks - 1), noise));
+  }
+  PRINS_RETURN_IF_ERROR(engine->drain());
+
+  Bytes current(kBlockSize);
+  PRINS_RETURN_IF_ERROR(replica_disk->read(kRecord, current));
+  std::printf("replica's current contents:  \"%s\"\n",
+              document_text(current).c_str());
+
+  // Rewind: timestamps for the record are 1..5; t=3 is the last good one.
+  const TrapLog& log = replica->trap_log();
+  const auto stamps = log.timestamps(kRecord);
+  std::printf("logged versions of the record: %zu\n", stamps.size());
+  for (std::uint64_t t : stamps) {
+    PRINS_ASSIGN_OR_RETURN(Bytes at_t, log.recover_block(kRecord, t, current));
+    std::printf("  t=%llu: \"%s\"\n", static_cast<unsigned long long>(t),
+                document_text(at_t).c_str());
+  }
+
+  PRINS_ASSIGN_OR_RETURN(Bytes recovered,
+                         log.recover_block(kRecord, stamps[2], current));
+  std::printf("\nrecovered to t=%llu:          \"%s\"\n",
+              static_cast<unsigned long long>(stamps[2]),
+              document_text(recovered).c_str());
+
+  // Cost accounting: the parity log vs full before-image CDP.
+  std::printf("\nTRAP log: %llu entries, %llu bytes stored "
+              "(before-image CDP would store %llu bytes)\n",
+              static_cast<unsigned long long>(log.total_entries()),
+              static_cast<unsigned long long>(log.stored_bytes()),
+              static_cast<unsigned long long>(log.raw_bytes_logged()));
+
+  const bool ok =
+      document_text(recovered) == "v3: reviewer comments addressed";
+  engine.reset();
+  server.join();
+  return ok ? Status::ok() : internal_error("recovered wrong version");
+}
+
+}  // namespace
+
+int main() {
+  Status s = run();
+  if (!s.is_ok()) {
+    std::fprintf(stderr, "point_in_time_recovery failed: %s\n",
+                 s.to_string().c_str());
+    return 1;
+  }
+  std::printf("\npoint-in-time recovery succeeded.\n");
+  return 0;
+}

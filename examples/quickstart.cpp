@@ -1,0 +1,89 @@
+// Quickstart: replicate block writes with PRINS in ~60 lines.
+//
+// Sets up a primary device wrapped in a PrinsEngine and one replica node
+// joined by an in-process link, performs some partial-block updates, and
+// shows how little data crossed the "network" compared to the blocks
+// written — then proves the replica is byte-identical.
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "net/traffic_meter.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+
+using namespace prins;
+
+int main() {
+  constexpr std::uint32_t kBlockSize = 8192;
+  constexpr std::uint64_t kBlocks = 256;
+
+  // 1. Primary node: a local device decorated with the PRINS engine.
+  auto primary_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  auto engine_ptr = std::make_unique<PrinsEngine>(primary_disk, config);
+  PrinsEngine& engine = *engine_ptr;
+
+  // 2. Replica node: its own device, served by a ReplicaEngine.
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk);
+  auto [primary_end, replica_end] = make_inproc_pair();
+  auto meter = std::make_unique<TrafficMeter>(std::move(primary_end));
+  TrafficMeter* traffic = meter.get();
+  engine.add_replica(std::move(meter));
+  std::thread server(
+      [replica, link = std::shared_ptr<Transport>(std::move(replica_end))] {
+        (void)replica->serve(*link);
+      });
+
+  // 3. Write through the engine like any block device.  Each write here
+  //    changes ~5% of an 8 KB block — the pattern real applications show.
+  Rng rng(42);
+  Bytes block(kBlockSize);
+  std::uint64_t bytes_written = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Lba lba = rng.next_below(kBlocks);
+    // Read-modify-write: update 400 bytes of the block's current contents.
+    if (Status s = engine.read(lba, block); !s.is_ok()) {
+      std::fprintf(stderr, "read failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    rng.fill(MutByteSpan(block).subspan(rng.next_below(kBlockSize - 400), 400));
+    if (Status s = engine.write(lba, block); !s.is_ok()) {
+      std::fprintf(stderr, "write failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    bytes_written += kBlockSize;
+  }
+  if (Status s = engine.drain(); !s.is_ok()) {
+    std::fprintf(stderr, "replication failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  // 4. Report: application bytes vs bytes on the wire.
+  const TrafficStats sent = traffic->sent();
+  std::printf("application wrote:   %8.1f KB in %d block writes\n",
+              bytes_written / 1024.0, 500);
+  std::printf("PRINS replicated:    %8.1f KB over the wire (%.1fx less)\n",
+              sent.payload_bytes / 1024.0,
+              static_cast<double>(bytes_written) / sent.payload_bytes);
+
+  // 5. Verify the replica converged to exactly the primary's contents.
+  auto repaired = engine.verify_and_repair(0, kBlocks);
+  if (!repaired.is_ok()) {
+    std::fprintf(stderr, "verify failed: %s\n",
+                 repaired.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("verify/repair found %llu divergent blocks (expected 0)\n",
+              static_cast<unsigned long long>(*repaired));
+
+  const bool clean = *repaired == 0;
+  engine_ptr.reset();  // closes the replica link...
+  server.join();       // ...which ends the replica's serve() loop
+  return clean ? 0 : 1;
+}

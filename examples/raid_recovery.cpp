@@ -1,0 +1,127 @@
+// RAID-6 failure and recovery underneath PRINS replication.
+//
+// The paper's premise is that the primary already runs a parity-protected
+// array; this example shows the whole reliability stack working together:
+//
+//   1. a RAID-6 array (dual parity, survives any two member failures)
+//      serves as the primary device; the PRINS engine taps its
+//      small-write parity for free;
+//   2. two member disks die; the array keeps serving every block
+//      (degraded reads reconstruct via P and Q) and replication continues;
+//   3. the members are replaced and rebuilt from the survivors;
+//   4. a scrub proves the stripes are consistent again, and the remote
+//      replica was byte-identical throughout.
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "block/faulty_disk.h"
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+#include "raid/raid6_array.h"
+
+using namespace prins;
+
+namespace {
+
+Status run() {
+  constexpr std::uint32_t kBlockSize = 4096;
+  constexpr std::uint64_t kMemberBlocks = 128;
+  constexpr unsigned kMembers = 6;
+
+  // RAID-6 over six members, each wrapped for failure injection.
+  std::vector<std::shared_ptr<MemDisk>> disks;
+  std::vector<std::shared_ptr<FaultyDisk>> faulty;
+  std::vector<std::shared_ptr<BlockDevice>> members;
+  for (unsigned i = 0; i < kMembers; ++i) {
+    disks.push_back(std::make_shared<MemDisk>(kMemberBlocks, kBlockSize));
+    faulty.push_back(
+        std::make_shared<FaultyDisk>(disks.back(), FaultyDisk::Config{}));
+    members.push_back(faulty.back());
+  }
+  PRINS_ASSIGN_OR_RETURN(auto array_owned, Raid6Array::create(members));
+  auto array = std::shared_ptr<Raid6Array>(std::move(array_owned));
+  std::printf("primary: %s\n", array->describe().c_str());
+
+  // PRINS engine on top, tapping the array's small-write parity directly
+  // (the paper's zero-overhead case), replicating to one remote node.
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  auto engine = std::make_unique<PrinsEngine>(array, config);
+  auto replica_disk =
+      std::make_shared<MemDisk>(array->num_blocks(), kBlockSize);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk);
+  auto [primary_end, replica_end] = make_inproc_pair();
+  engine->add_replica(std::move(primary_end));
+  std::thread server(
+      [replica, link = std::shared_ptr<Transport>(std::move(replica_end))] {
+        (void)replica->serve(*link);
+      });
+
+  // Load data through the engine.
+  Rng rng(2006);
+  std::vector<Bytes> expected(array->num_blocks());
+  for (Lba lba = 0; lba < array->num_blocks(); ++lba) {
+    expected[lba] = Bytes(kBlockSize);
+    rng.fill(expected[lba]);
+    PRINS_RETURN_IF_ERROR(engine->write(lba, expected[lba]));
+  }
+  PRINS_RETURN_IF_ERROR(engine->drain());
+  std::printf("wrote %llu blocks through the PRINS engine\n",
+              static_cast<unsigned long long>(array->num_blocks()));
+
+  // Catastrophe: two members die.
+  faulty[1]->set_dead(true);
+  faulty[4]->set_dead(true);
+  std::printf("\nmembers 1 and 4 have FAILED — array running degraded\n");
+
+  Bytes out(kBlockSize);
+  for (Lba lba = 0; lba < array->num_blocks(); ++lba) {
+    PRINS_RETURN_IF_ERROR(engine->read(lba, out));
+    if (out != expected[lba]) {
+      return internal_error("degraded read returned wrong data at block " +
+                            std::to_string(lba));
+    }
+  }
+  std::printf("every block reads back correctly via P/Q reconstruction\n");
+
+  // Replace the dead members with blank disks and rebuild.
+  faulty[1]->set_dead(false);
+  faulty[4]->set_dead(false);
+  Bytes zeros(kMemberBlocks * kBlockSize, 0);
+  PRINS_RETURN_IF_ERROR(disks[1]->write(0, zeros));
+  PRINS_RETURN_IF_ERROR(disks[4]->write(0, zeros));
+  PRINS_RETURN_IF_ERROR(array->rebuild_members({1, 4}));
+  std::printf("\nmembers replaced and rebuilt from survivors\n");
+
+  PRINS_ASSIGN_OR_RETURN(std::uint64_t bad, array->scrub());
+  std::printf("scrub: %llu inconsistent stripes (expected 0)\n",
+              static_cast<unsigned long long>(bad));
+
+  // The replica never noticed any of this.
+  auto repaired = engine->verify_and_repair(0, array->num_blocks());
+  PRINS_RETURN_IF_ERROR(repaired.status());
+  std::printf("replica audit: %llu divergent blocks (expected 0)\n",
+              static_cast<unsigned long long>(*repaired));
+
+  engine.reset();
+  server.join();
+  return (bad == 0 && *repaired == 0)
+             ? Status::ok()
+             : internal_error("recovery left inconsistencies");
+}
+
+}  // namespace
+
+int main() {
+  Status s = run();
+  if (!s.is_ok()) {
+    std::fprintf(stderr, "raid_recovery failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("\nRAID-6 + PRINS recovery completed successfully.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// WAN capacity planner — using the paper's models as an operator tool.
+//
+// Question an operator actually asks: "how many database nodes can share
+// one T1 (or T3) line for replication before response time blows past an
+// SLO?"  This example measures the per-write replication message size of
+// each policy on a short TPC-C run, then walks the closed-network model
+// up in population until the SLO breaks, reporting the supportable node
+// count for every (policy, line) pair.
+//
+// Usage: wan_planner [slo_milliseconds]   (default 500 ms)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "queueing/mva.h"
+#include "queueing/wan.h"
+#include "sim/experiment.h"
+#include "workload/tpcc.h"
+
+using namespace prins;
+
+namespace {
+
+constexpr unsigned kRouters = 2;
+constexpr double kThinkTime = 0.1;  // ~10 writes/s per node, as measured
+constexpr unsigned kReplicasPerNode = 1;
+
+std::map<ReplicationPolicy, double> measure_message_sizes() {
+  WorkloadFactory factory = [] {
+    TpccConfig config;
+    config.warehouses = 2;
+    config.customers_per_district = 100;
+    config.items = 500;
+    config.order_capacity = 20000;
+    config.seed = 99;
+    return std::make_unique<Tpcc>(config);
+  };
+  std::map<ReplicationPolicy, double> sizes;
+  for (ReplicationPolicy policy : {ReplicationPolicy::kTraditional,
+                                   ReplicationPolicy::kTraditionalCompressed,
+                                   ReplicationPolicy::kPrins}) {
+    PolicyRunConfig config;
+    config.policy = policy;
+    config.block_size = 8192;
+    config.transactions = 300;
+    auto result = run_policy(factory, config);
+    if (result.is_ok() && result->sent.messages > 0) {
+      sizes[policy] = static_cast<double>(result->sent.payload_bytes) /
+                      static_cast<double>(result->sent.messages);
+    }
+  }
+  return sizes;
+}
+
+/// Largest population whose response time stays under the SLO.
+unsigned max_population(double message_bytes, const WanLine& line,
+                        double slo_sec) {
+  const double service = router_service_time_sec(
+      static_cast<std::uint64_t>(message_bytes), line);
+  const auto curve =
+      solve_mva_curve(std::vector<double>(kRouters, service), kThinkTime, 2000);
+  unsigned best = 0;
+  for (const auto& point : curve) {
+    if (point.response_time_sec <= slo_sec) best = point.population;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double slo_ms = 500;
+  if (argc > 1) {
+    const double v = std::strtod(argv[1], nullptr);
+    if (v > 0) slo_ms = v;
+  }
+
+  std::printf("WAN replication capacity planner\n");
+  std::printf("SLO: replication response time <= %.0f ms; %u routers; "
+              "%u replica(s) per node; 8 KB blocks; TPC-C write mix\n\n",
+              slo_ms, kRouters, kReplicasPerNode);
+
+  const auto sizes = measure_message_sizes();
+  if (sizes.size() != 3) {
+    std::fprintf(stderr, "measurement failed\n");
+    return 1;
+  }
+  std::printf("measured replication message sizes (bytes/write):\n");
+  for (const auto& [policy, bytes] : sizes) {
+    std::printf("  %-15s %8.0f\n", std::string(policy_name(policy)).c_str(),
+                bytes);
+  }
+
+  std::printf("\nmax nodes a line supports within the SLO "
+              "(population / replicas-per-node):\n");
+  std::printf("%-15s %12s %12s\n", "policy", "T1", "T3");
+  for (const auto& [policy, bytes] : sizes) {
+    const unsigned t1 = max_population(bytes, kT1, slo_ms / 1000.0) /
+                        kReplicasPerNode;
+    const unsigned t3 = max_population(bytes, kT3, slo_ms / 1000.0) /
+                        kReplicasPerNode;
+    std::printf("%-15s %12u %12u\n", std::string(policy_name(policy)).c_str(),
+                t1, t3);
+  }
+  std::printf("\nreading: with PRINS the same line carries an order of "
+              "magnitude more nodes —\nthe operational meaning of the "
+              "paper's bandwidth savings.\n");
+  return 0;
+}

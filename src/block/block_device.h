@@ -1,0 +1,71 @@
+// BlockDevice: the storage interface everything in PRINS sits on.
+//
+// The paper's engine lives "below the file system or database system as a
+// block device"; this interface is that seam.  Databases/workloads write
+// through it, RAID arrays implement it over member devices, the iSCSI
+// initiator exposes a remote target as one, and the PRINS engine decorates
+// one with replication.
+//
+// Addressing is in whole blocks (LBA = logical block address); all I/O spans
+// must be exact multiples of block_size().  Implementations must be safe for
+// concurrent calls unless documented otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace prins {
+
+using Lba = std::uint64_t;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Size of one block in bytes.  Constant for the device's lifetime.
+  virtual std::uint32_t block_size() const = 0;
+
+  /// Total number of blocks.
+  virtual std::uint64_t num_blocks() const = 0;
+
+  /// Read `out.size() / block_size()` blocks starting at `lba`.
+  /// `out.size()` must be a positive multiple of block_size().
+  virtual Status read(Lba lba, MutByteSpan out) = 0;
+
+  /// Write `data.size() / block_size()` blocks starting at `lba`.
+  virtual Status write(Lba lba, ByteSpan data) = 0;
+
+  /// Persist all completed writes (no-op for volatile devices).
+  virtual Status flush() { return Status::ok(); }
+
+  /// Short human-readable description ("memdisk(1024x4096)").
+  virtual std::string describe() const = 0;
+
+  /// Capacity in bytes.
+  std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(block_size()) * num_blocks();
+  }
+
+ protected:
+  /// Validate an I/O against the device geometry; shared by implementations.
+  Status check_io(Lba lba, std::size_t len) const {
+    const std::uint32_t bs = block_size();
+    if (len == 0 || len % bs != 0) {
+      return invalid_argument("I/O size " + std::to_string(len) +
+                              " is not a positive multiple of block size " +
+                              std::to_string(bs));
+    }
+    const std::uint64_t blocks = len / bs;
+    if (lba >= num_blocks() || blocks > num_blocks() - lba) {
+      return out_of_range("I/O [" + std::to_string(lba) + ", " +
+                          std::to_string(lba + blocks) + ") exceeds device of " +
+                          std::to_string(num_blocks()) + " blocks");
+    }
+    return Status::ok();
+  }
+};
+
+}  // namespace prins

@@ -1,0 +1,150 @@
+#include "block/cached_disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace prins {
+
+CachedDisk::CachedDisk(std::shared_ptr<BlockDevice> inner, CacheConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  assert(config_.capacity_blocks > 0);
+}
+
+CachedDisk::~CachedDisk() {
+  // Best effort: losing dirty data silently on teardown would be a trap.
+  Status s = flush();
+  if (!s.is_ok()) {
+    PRINS_LOG(kError) << "CachedDisk: flush on destruction failed: "
+                      << s.to_string();
+  }
+}
+
+Status CachedDisk::read(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  const std::uint32_t bs = block_size();
+  const std::uint64_t blocks = out.size() / bs;
+  std::lock_guard lock(mutex_);
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    PRINS_RETURN_IF_ERROR(read_one(lba + i, out.subspan(i * bs, bs)));
+  }
+  return Status::ok();
+}
+
+Status CachedDisk::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  const std::uint32_t bs = block_size();
+  const std::uint64_t blocks = data.size() / bs;
+  std::lock_guard lock(mutex_);
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    PRINS_RETURN_IF_ERROR(write_one(lba + i, data.subspan(i * bs, bs)));
+  }
+  return Status::ok();
+}
+
+Status CachedDisk::read_one(Lba lba, MutByteSpan out) {
+  if (auto it = index_.find(lba); it != index_.end()) {
+    ++stats_.hits;
+    std::memcpy(out.data(), it->second->data.data(), out.size());
+    touch(it->second);
+    return Status::ok();
+  }
+  ++stats_.misses;
+  PRINS_RETURN_IF_ERROR(inner_->read(lba, out));
+  return insert(lba, to_bytes(out), /*dirty=*/false);
+}
+
+Status CachedDisk::write_one(Lba lba, ByteSpan data) {
+  if (!config_.write_back) {
+    PRINS_RETURN_IF_ERROR(inner_->write(lba, data));
+  }
+  if (auto it = index_.find(lba); it != index_.end()) {
+    std::memcpy(it->second->data.data(), data.data(), data.size());
+    it->second->dirty = config_.write_back;
+    touch(it->second);
+    return Status::ok();
+  }
+  return insert(lba, data, /*dirty=*/config_.write_back);
+}
+
+void CachedDisk::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+Status CachedDisk::insert(Lba lba, ByteSpan data, bool dirty) {
+  if (lru_.size() >= config_.capacity_blocks) {
+    PRINS_RETURN_IF_ERROR(evict_lru());
+  }
+  lru_.push_front(Entry{lba, to_bytes(data), dirty});
+  index_[lba] = lru_.begin();
+  return Status::ok();
+}
+
+Status CachedDisk::evict_lru() {
+  assert(!lru_.empty());
+  Entry& victim = lru_.back();
+  if (victim.dirty) {
+    PRINS_RETURN_IF_ERROR(inner_->write(victim.lba, victim.data));
+    ++stats_.writebacks;
+  }
+  ++stats_.evictions;
+  index_.erase(victim.lba);
+  lru_.pop_back();
+  return Status::ok();
+}
+
+Status CachedDisk::flush_locked() {
+  // Ascending-LBA writeback gives the inner device a sequential pattern.
+  std::vector<Entry*> dirty;
+  for (Entry& e : lru_) {
+    if (e.dirty) dirty.push_back(&e);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Entry* a, const Entry* b) { return a->lba < b->lba; });
+  for (Entry* e : dirty) {
+    PRINS_RETURN_IF_ERROR(inner_->write(e->lba, e->data));
+    e->dirty = false;
+    ++stats_.writebacks;
+  }
+  return inner_->flush();
+}
+
+Status CachedDisk::flush() {
+  std::lock_guard lock(mutex_);
+  return flush_locked();
+}
+
+Status CachedDisk::invalidate() {
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(flush_locked());
+  lru_.clear();
+  index_.clear();
+  return Status::ok();
+}
+
+CacheStats CachedDisk::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t CachedDisk::cached_blocks() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t CachedDisk::dirty_blocks() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const Entry& e : lru_) n += e.dirty;
+  return n;
+}
+
+std::string CachedDisk::describe() const {
+  return std::string(config_.write_back ? "wb-cache(" : "wt-cache(") +
+         inner_->describe() + ")";
+}
+
+}  // namespace prins

@@ -1,0 +1,88 @@
+// CachedDisk: an LRU block cache decorator.
+//
+// The PRINS authors' earlier work ("A Caching Strategy to Improve iSCSI
+// Performance", LCN'02 — reference [20] of the paper) motivates caching
+// in the same storage stack this repo models.  CachedDisk serves reads
+// from an in-memory LRU and supports two write policies:
+//   write-through — writes go to the inner device immediately (cache is a
+//                   read accelerator only);
+//   write-back    — writes dirty the cache and reach the inner device on
+//                   eviction or flush(), coalescing repeated writes to hot
+//                   blocks (which also coalesces replication traffic when
+//                   the inner device is a PrinsEngine).
+// Thread-safe.  Only whole single blocks are cached; multi-block I/O is
+// split internally.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "block/block_device.h"
+
+namespace prins {
+
+struct CacheConfig {
+  std::size_t capacity_blocks = 1024;
+  bool write_back = false;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  // dirty blocks written to the inner device
+};
+
+class CachedDisk final : public BlockDevice {
+ public:
+  CachedDisk(std::shared_ptr<BlockDevice> inner, CacheConfig config);
+  ~CachedDisk() override;
+
+  std::uint32_t block_size() const override { return inner_->block_size(); }
+  std::uint64_t num_blocks() const override { return inner_->num_blocks(); }
+
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+
+  /// Write back every dirty block (ascending LBA), then flush the inner
+  /// device.
+  Status flush() override;
+
+  std::string describe() const override;
+
+  CacheStats stats() const;
+  std::size_t cached_blocks() const;
+  std::size_t dirty_blocks() const;
+
+  /// Drop every clean entry (dirty entries are written back first).
+  Status invalidate();
+
+ private:
+  struct Entry {
+    Lba lba;
+    Bytes data;
+    bool dirty = false;
+  };
+  using LruList = std::list<Entry>;
+
+  // All private helpers require mutex_ held.
+  Status read_one(Lba lba, MutByteSpan out);
+  Status write_one(Lba lba, ByteSpan data);
+  /// Move an existing entry to the front (most recent).
+  void touch(LruList::iterator it);
+  /// Insert a new entry, evicting if at capacity.
+  Status insert(Lba lba, ByteSpan data, bool dirty);
+  Status evict_lru();
+  Status flush_locked();
+
+  std::shared_ptr<BlockDevice> inner_;
+  CacheConfig config_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Lba, LruList::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace prins

@@ -1,0 +1,70 @@
+#include "block/faulty_disk.h"
+
+namespace prins {
+
+FaultyDisk::FaultyDisk(std::shared_ptr<BlockDevice> inner, Config config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {}
+
+Status FaultyDisk::maybe_fault(bool is_read) {
+  ++ops_;
+  if (ops_ >= fail_at_) dead_ = true;
+  if (dead_) return io_error("disk is dead");
+  const double p = is_read ? config_.read_error_p : config_.write_error_p;
+  if (p > 0 && rng_.next_bool(p)) {
+    return io_error(is_read ? "injected read error" : "injected write error");
+  }
+  if (is_read && config_.corrupt_p > 0 && rng_.next_bool(config_.corrupt_p)) {
+    corrupt_next_read_ = true;
+  }
+  return Status::ok();
+}
+
+Status FaultyDisk::read(Lba lba, MutByteSpan out) {
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(maybe_fault(/*is_read=*/true));
+  PRINS_RETURN_IF_ERROR(inner_->read(lba, out));
+  if (corrupt_next_read_ && !out.empty()) {
+    corrupt_next_read_ = false;
+    out[rng_.next_below(out.size())] ^= 0xFF;  // silent single-byte flip
+  }
+  return Status::ok();
+}
+
+Status FaultyDisk::write(Lba lba, ByteSpan data) {
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(maybe_fault(/*is_read=*/false));
+  return inner_->write(lba, data);
+}
+
+Status FaultyDisk::flush() {
+  std::lock_guard lock(mutex_);
+  if (dead_) return io_error("disk is dead");
+  return inner_->flush();
+}
+
+std::string FaultyDisk::describe() const {
+  return "faulty(" + inner_->describe() + ")";
+}
+
+void FaultyDisk::fail_after(std::uint64_t ops) {
+  std::lock_guard lock(mutex_);
+  fail_at_ = ops_ + ops;
+}
+
+void FaultyDisk::set_dead(bool dead) {
+  std::lock_guard lock(mutex_);
+  dead_ = dead;
+  if (!dead) fail_at_ = ~0ull;
+}
+
+bool FaultyDisk::is_dead() const {
+  std::lock_guard lock(mutex_);
+  return dead_;
+}
+
+std::uint64_t FaultyDisk::ops_seen() const {
+  std::lock_guard lock(mutex_);
+  return ops_;
+}
+
+}  // namespace prins

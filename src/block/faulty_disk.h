@@ -1,0 +1,58 @@
+// FaultyDisk: failure-injection decorator for tests.
+//
+// Wraps another BlockDevice and injects I/O errors, silent corruption, or a
+// hard "disk died" state.  Deterministic: probabilistic faults are driven by
+// a seeded Rng, and exact fault points can be scheduled by op count.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "block/block_device.h"
+#include "common/rng.h"
+
+namespace prins {
+
+class FaultyDisk final : public BlockDevice {
+ public:
+  struct Config {
+    double read_error_p = 0.0;   // probability a read fails with IO_ERROR
+    double write_error_p = 0.0;  // probability a write fails with IO_ERROR
+    double corrupt_p = 0.0;      // probability a read flips one byte
+    std::uint64_t seed = 1;
+  };
+
+  FaultyDisk(std::shared_ptr<BlockDevice> inner, Config config);
+
+  std::uint32_t block_size() const override { return inner_->block_size(); }
+  std::uint64_t num_blocks() const override { return inner_->num_blocks(); }
+
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+  Status flush() override;
+  std::string describe() const override;
+
+  /// After `ops` more I/Os (reads+writes), every subsequent I/O fails —
+  /// models a dead member disk for RAID degraded-mode tests.
+  void fail_after(std::uint64_t ops);
+
+  /// Immediately mark the disk dead (or revive it).
+  void set_dead(bool dead);
+  bool is_dead() const;
+
+  std::uint64_t ops_seen() const;
+
+ private:
+  Status maybe_fault(bool is_read);
+
+  std::shared_ptr<BlockDevice> inner_;
+  Config config_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  bool dead_ = false;
+  std::uint64_t ops_ = 0;
+  std::uint64_t fail_at_ = ~0ull;
+  bool corrupt_next_read_ = false;
+};
+
+}  // namespace prins

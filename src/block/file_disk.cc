@@ -1,0 +1,88 @@
+#include "block/file_disk.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace prins {
+
+Result<std::unique_ptr<FileDisk>> FileDisk::open(const std::string& path,
+                                                 std::uint64_t num_blocks,
+                                                 std::uint32_t block_size) {
+  if (block_size == 0 || num_blocks == 0) {
+    return invalid_argument("FileDisk geometry must be non-zero");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return io_error("open(" + path + "): " + std::strerror(errno));
+  }
+  const auto cap = static_cast<off_t>(num_blocks * block_size);
+  if (::ftruncate(fd, cap) != 0) {
+    Status s = io_error("ftruncate(" + path + "): " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<FileDisk>(
+      new FileDisk(fd, path, num_blocks, block_size));
+}
+
+FileDisk::FileDisk(int fd, std::string path, std::uint64_t num_blocks,
+                   std::uint32_t block_size)
+    : fd_(fd),
+      path_(std::move(path)),
+      num_blocks_(num_blocks),
+      block_size_(block_size) {}
+
+FileDisk::~FileDisk() { ::close(fd_); }
+
+Status FileDisk::read(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  std::size_t done = 0;
+  const auto base = static_cast<off_t>(lba * block_size_);
+  while (done < out.size()) {
+    ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                        base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("pread(" + path_ + "): " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return io_error("pread(" + path_ + "): unexpected EOF");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status FileDisk::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  std::size_t done = 0;
+  const auto base = static_cast<off_t>(lba * block_size_);
+  while (done < data.size()) {
+    ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("pwrite(" + path_ + "): " + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status FileDisk::flush() {
+  if (::fsync(fd_) != 0) {
+    return io_error("fsync(" + path_ + "): " + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+std::string FileDisk::describe() const {
+  return "filedisk(" + path_ + "," + std::to_string(num_blocks_) + "x" +
+         std::to_string(block_size_) + ")";
+}
+
+}  // namespace prins

@@ -1,0 +1,46 @@
+// FileDisk: block device backed by a regular file.
+//
+// Used when an experiment needs persistence across process restarts (e.g.
+// the recovery example) or a dataset larger than RAM.  The backing file is
+// created sparse and truncated to capacity on open.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "block/block_device.h"
+
+namespace prins {
+
+class FileDisk final : public BlockDevice {
+ public:
+  /// Open (creating if needed) `path` as a device of the given geometry.
+  static Result<std::unique_ptr<FileDisk>> open(const std::string& path,
+                                                std::uint64_t num_blocks,
+                                                std::uint32_t block_size);
+  ~FileDisk() override;
+
+  FileDisk(const FileDisk&) = delete;
+  FileDisk& operator=(const FileDisk&) = delete;
+
+  std::uint32_t block_size() const override { return block_size_; }
+  std::uint64_t num_blocks() const override { return num_blocks_; }
+
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+  Status flush() override;
+  std::string describe() const override;
+
+ private:
+  FileDisk(int fd, std::string path, std::uint64_t num_blocks,
+           std::uint32_t block_size);
+
+  const int fd_;
+  const std::string path_;
+  const std::uint64_t num_blocks_;
+  const std::uint32_t block_size_;
+  std::mutex mutex_;
+};
+
+}  // namespace prins

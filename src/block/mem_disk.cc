@@ -1,0 +1,31 @@
+#include "block/mem_disk.h"
+
+#include <cstring>
+
+namespace prins {
+
+MemDisk::MemDisk(std::uint64_t num_blocks, std::uint32_t block_size)
+    : num_blocks_(num_blocks),
+      block_size_(block_size),
+      data_(num_blocks * block_size, 0) {}
+
+Status MemDisk::read(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  std::lock_guard lock(mutex_);
+  std::memcpy(out.data(), data_.data() + lba * block_size_, out.size());
+  return Status::ok();
+}
+
+Status MemDisk::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  std::lock_guard lock(mutex_);
+  std::memcpy(data_.data() + lba * block_size_, data.data(), data.size());
+  return Status::ok();
+}
+
+std::string MemDisk::describe() const {
+  return "memdisk(" + std::to_string(num_blocks_) + "x" +
+         std::to_string(block_size_) + ")";
+}
+
+}  // namespace prins

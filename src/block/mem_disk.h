@@ -1,0 +1,32 @@
+// MemDisk: RAM-backed block device.
+//
+// The workhorse device for experiments: the paper's measured quantity is
+// bytes replicated over the network, which does not depend on the physical
+// medium, so experiments run against memory for speed and determinism.
+#pragma once
+
+#include <mutex>
+
+#include "block/block_device.h"
+
+namespace prins {
+
+class MemDisk final : public BlockDevice {
+ public:
+  MemDisk(std::uint64_t num_blocks, std::uint32_t block_size);
+
+  std::uint32_t block_size() const override { return block_size_; }
+  std::uint64_t num_blocks() const override { return num_blocks_; }
+
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+  std::string describe() const override;
+
+ private:
+  const std::uint64_t num_blocks_;
+  const std::uint32_t block_size_;
+  mutable std::mutex mutex_;
+  Bytes data_;
+};
+
+}  // namespace prins

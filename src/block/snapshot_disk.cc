@@ -1,0 +1,62 @@
+#include "block/snapshot_disk.h"
+
+#include <cstring>
+
+namespace prins {
+
+Status SnapshotDisk::read(Lba lba, MutByteSpan out) {
+  return inner_->read(lba, out);
+}
+
+Status SnapshotDisk::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  const std::uint32_t bs = block_size();
+  const std::uint64_t blocks = data.size() / bs;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      const Lba b = lba + i;
+      if (undo_.contains(b)) continue;
+      Bytes original(bs);
+      PRINS_RETURN_IF_ERROR(inner_->read(b, original));
+      undo_.emplace(b, std::move(original));
+    }
+  }
+  return inner_->write(lba, data);
+}
+
+std::string SnapshotDisk::describe() const {
+  return "snapshot(" + inner_->describe() + ")";
+}
+
+Status SnapshotDisk::read_original(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  if (out.size() != block_size()) {
+    return invalid_argument("read_original reads exactly one block");
+  }
+  {
+    std::lock_guard lock(mutex_);
+    auto it = undo_.find(lba);
+    if (it != undo_.end()) {
+      std::memcpy(out.data(), it->second.data(), out.size());
+      return Status::ok();
+    }
+  }
+  return inner_->read(lba, out);
+}
+
+Status SnapshotDisk::rollback() {
+  std::lock_guard lock(mutex_);
+  for (const auto& [lba, original] : undo_) {
+    PRINS_RETURN_IF_ERROR(inner_->write(lba, original));
+  }
+  undo_.clear();
+  return Status::ok();
+}
+
+std::size_t SnapshotDisk::dirty_blocks() const {
+  std::lock_guard lock(mutex_);
+  return undo_.size();
+}
+
+}  // namespace prins

@@ -1,0 +1,2 @@
+// StatsDisk is header-only; this TU anchors the target.
+#include "block/stats_disk.h"

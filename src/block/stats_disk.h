@@ -1,0 +1,74 @@
+// StatsDisk: decorator that counts operations and bytes.
+//
+// Used by the overhead benchmark and by tests asserting I/O amplification
+// (e.g. the RAID small-write path must do exactly 2 reads + 2 writes).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "block/block_device.h"
+
+namespace prins {
+
+class StatsDisk final : public BlockDevice {
+ public:
+  struct Counters {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t flushes = 0;
+  };
+
+  explicit StatsDisk(std::shared_ptr<BlockDevice> inner)
+      : inner_(std::move(inner)) {}
+
+  std::uint32_t block_size() const override { return inner_->block_size(); }
+  std::uint64_t num_blocks() const override { return inner_->num_blocks(); }
+
+  Status read(Lba lba, MutByteSpan out) override {
+    Status s = inner_->read(lba, out);
+    if (s.is_ok()) {
+      reads_.fetch_add(1, std::memory_order_relaxed);
+      bytes_read_.fetch_add(out.size(), std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  Status write(Lba lba, ByteSpan data) override {
+    Status s = inner_->write(lba, data);
+    if (s.is_ok()) {
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  Status flush() override {
+    Status s = inner_->flush();
+    if (s.is_ok()) flushes_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  std::string describe() const override {
+    return "stats(" + inner_->describe() + ")";
+  }
+
+  Counters counters() const {
+    return Counters{reads_.load(), writes_.load(), bytes_read_.load(),
+                    bytes_written_.load(), flushes_.load()};
+  }
+
+  void reset() {
+    reads_ = writes_ = bytes_read_ = bytes_written_ = flushes_ = 0;
+  }
+
+ private:
+  std::shared_ptr<BlockDevice> inner_;
+  std::atomic<std::uint64_t> reads_{0}, writes_{0};
+  std::atomic<std::uint64_t> bytes_read_{0}, bytes_written_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+};
+
+}  // namespace prins

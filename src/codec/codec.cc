@@ -1,0 +1,64 @@
+#include "codec/codec.h"
+
+#include "codec/lz.h"
+#include "codec/zero_rle.h"
+#include "common/crc32c.h"
+#include "common/endian.h"
+#include "common/varint.h"
+
+namespace prins {
+
+const Codec& codec_for(CodecId id) {
+  static const NullCodec null_codec;
+  static const ZeroRleCodec zero_rle_codec;
+  static const LzCodec lz_codec;
+  static const ZeroRleLzCodec zero_rle_lz_codec;
+  switch (id) {
+    case CodecId::kNull: return null_codec;
+    case CodecId::kZeroRle: return zero_rle_codec;
+    case CodecId::kLz: return lz_codec;
+    case CodecId::kZeroRleLz: return zero_rle_lz_codec;
+  }
+  return null_codec;
+}
+
+Result<CodecId> parse_codec_id(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(CodecId::kZeroRleLz)) {
+    return corruption("unknown codec id " + std::to_string(raw));
+  }
+  return static_cast<CodecId>(raw);
+}
+
+Bytes encode_frame(const Codec& codec, ByteSpan raw) {
+  const Bytes body = codec.encode(raw);
+  Bytes frame;
+  frame.reserve(body.size() + 12);
+  frame.push_back(static_cast<Byte>(codec.id()));
+  put_varint(frame, raw.size());
+  append_le32(frame, crc32c(body));
+  append(frame, body);
+  return frame;
+}
+
+Result<Bytes> decode_frame(ByteSpan frame) {
+  if (frame.empty()) return corruption("empty codec frame");
+  std::size_t pos = 0;
+  PRINS_ASSIGN_OR_RETURN(CodecId id, parse_codec_id(frame[pos]));
+  ++pos;
+  auto raw_size = get_varint(frame, pos);
+  if (!raw_size) return corruption("codec frame: truncated raw size");
+  if (frame.size() - pos < 4) return corruption("codec frame: truncated crc");
+  const std::uint32_t want_crc = load_le32(frame.subspan(pos, 4));
+  pos += 4;
+  const ByteSpan body = frame.subspan(pos);
+  if (crc32c(body) != want_crc) {
+    return corruption("codec frame: crc mismatch");
+  }
+  return codec_for(id).decode(body, *raw_size);
+}
+
+std::size_t framed_size(const Codec& codec, ByteSpan raw) {
+  return 1 + varint_size(raw.size()) + 4 + codec.encode(raw).size();
+}
+
+}  // namespace prins

@@ -1,0 +1,163 @@
+#include "codec/lz.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "codec/zero_rle.h"
+#include "common/varint.h"
+
+namespace prins {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 1 << 16;
+constexpr std::size_t kWindow = 1 << 16;   // max match distance
+constexpr int kMaxChain = 32;              // match-finder effort bound
+
+// Hash-table size scales with the input so that encoding a small parity
+// payload doesn't pay for (and memset) a full 32K-entry table.
+inline int hash_bits_for(std::size_t n) {
+  int bits = 8;
+  while (bits < 15 && (std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+inline std::uint32_t hash4(const Byte* p, int hash_bits) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - hash_bits);
+}
+
+inline std::size_t match_len(const Byte* a, const Byte* b, std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+void flush_literals(Bytes& out, ByteSpan raw, std::size_t lit_start,
+                    std::size_t lit_end) {
+  if (lit_end <= lit_start) return;
+  const std::size_t len = lit_end - lit_start;
+  put_varint(out, static_cast<std::uint64_t>(len) << 1);
+  append(out, raw.subspan(lit_start, len));
+}
+
+}  // namespace
+
+Bytes LzCodec::encode(ByteSpan raw) const {
+  Bytes out;
+  out.reserve(raw.size() / 2 + 16);
+  const std::size_t n = raw.size();
+  if (n < kMinMatch + 1) {
+    flush_literals(out, raw, 0, n);
+    return out;
+  }
+
+  const int hash_bits = hash_bits_for(n);
+  std::vector<std::int32_t> head(std::size_t{1} << hash_bits, -1);
+  std::vector<std::int32_t> prev(n, -1);
+
+  std::size_t lit_start = 0;
+  std::size_t pos = 0;
+  const Byte* base = raw.data();
+  while (pos + kMinMatch <= n) {
+    // Find the longest match at `pos` by walking the hash chain.
+    const std::uint32_t h = hash4(base + pos, hash_bits);
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    std::int32_t cand = head[h];
+    const std::size_t limit = std::min(n - pos, kMaxMatch);
+    for (int depth = 0; cand >= 0 && depth < kMaxChain; ++depth) {
+      const auto c = static_cast<std::size_t>(cand);
+      if (pos - c > kWindow) break;
+      const std::size_t len = match_len(base + c, base + pos, limit);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - c;
+        if (len >= limit) break;
+      }
+      cand = prev[c];
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_literals(out, raw, lit_start, pos);
+      put_varint(out, (static_cast<std::uint64_t>(best_len) << 1) | 1);
+      put_varint(out, best_dist);
+      // Insert hash entries for the matched region (sparsely, for speed).
+      const std::size_t end = pos + best_len;
+      const std::size_t step = best_len > 64 ? 4 : 1;
+      for (std::size_t i = pos; i + kMinMatch <= n && i < end; i += step) {
+        const std::uint32_t hh = hash4(base + i, hash_bits);
+        prev[i] = head[hh];
+        head[hh] = static_cast<std::int32_t>(i);
+      }
+      pos = end;
+      lit_start = pos;
+    } else {
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int32_t>(pos);
+      ++pos;
+    }
+  }
+  flush_literals(out, raw, lit_start, n);
+  return out;
+}
+
+Result<Bytes> LzCodec::decode(ByteSpan body, std::size_t raw_size) const {
+  Bytes out;
+  out.reserve(raw_size);
+  std::size_t in = 0;
+  while (in < body.size()) {
+    auto token = get_varint(body, in);
+    if (!token) return corruption("lz: truncated token");
+    const std::uint64_t len = *token >> 1;
+    if ((*token & 1) == 0) {
+      // literal run
+      if (len > body.size() - in || out.size() + len > raw_size) {
+        return corruption("lz: literal run overflows");
+      }
+      append(out, body.subspan(in, len));
+      in += len;
+    } else {
+      auto dist = get_varint(body, in);
+      if (!dist) return corruption("lz: truncated distance");
+      if (*dist == 0 || *dist > out.size()) {
+        return corruption("lz: bad match distance");
+      }
+      if (len < kMinMatch || out.size() + len > raw_size) {
+        return corruption("lz: bad match length");
+      }
+      // Overlapping copy byte-by-byte (distance may be < length).
+      std::size_t src = out.size() - *dist;
+      for (std::uint64_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != raw_size) {
+    return corruption("lz: decoded " + std::to_string(out.size()) +
+                      " bytes, expected " + std::to_string(raw_size));
+  }
+  return out;
+}
+
+Bytes ZeroRleLzCodec::encode(ByteSpan raw) const {
+  const Bytes rle = ZeroRleCodec{}.encode(raw);
+  Bytes out;
+  // Prefix the intermediate RLE size so decode knows the inner raw_size.
+  put_varint(out, rle.size());
+  const Bytes lz = LzCodec{}.encode(rle);
+  append(out, lz);
+  return out;
+}
+
+Result<Bytes> ZeroRleLzCodec::decode(ByteSpan body,
+                                     std::size_t raw_size) const {
+  std::size_t in = 0;
+  auto rle_size = get_varint(body, in);
+  if (!rle_size) return corruption("zero-rle+lz: truncated inner size");
+  PRINS_ASSIGN_OR_RETURN(
+      Bytes rle, LzCodec{}.decode(body.subspan(in), *rle_size));
+  return ZeroRleCodec{}.decode(rle, raw_size);
+}
+
+}  // namespace prins

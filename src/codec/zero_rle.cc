@@ -1,0 +1,83 @@
+#include "codec/zero_rle.h"
+
+#include <cstring>
+
+#include "common/varint.h"
+
+namespace prins {
+
+namespace {
+
+/// Advance past a zero run starting at `pos`, eight bytes at a time.
+std::size_t skip_zeros(ByteSpan raw, std::size_t pos) {
+  const std::size_t n = raw.size();
+  while (pos + 8 <= n) {
+    std::uint64_t word;
+    std::memcpy(&word, raw.data() + pos, 8);
+    if (word != 0) break;
+    pos += 8;
+  }
+  while (pos < n && raw[pos] == 0) ++pos;
+  return pos;
+}
+
+}  // namespace
+
+Bytes ZeroRleCodec::encode(ByteSpan raw) const {
+  Bytes out;
+  out.reserve(64);
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::size_t zero_start = pos;
+    pos = skip_zeros(raw, pos);
+    const std::size_t zeros = pos - zero_start;
+    // Literal run: extend until we hit a stretch of zeros long enough that
+    // switching back to a zero run pays for the two length varints.
+    std::size_t lit_start = pos;
+    std::size_t scan = pos;
+    while (scan < raw.size()) {
+      if (raw[scan] != 0) {
+        ++scan;
+        continue;
+      }
+      const std::size_t z = skip_zeros(raw, scan);
+      if (z - scan >= 4 || z == raw.size()) break;  // worth a new zero run
+      scan = z;  // absorb the short zero gap into the literal
+    }
+    pos = scan;
+    const std::size_t lits = pos - lit_start;
+    put_varint(out, zeros);
+    put_varint(out, lits);
+    append(out, raw.subspan(lit_start, lits));
+  }
+  return out;
+}
+
+Result<Bytes> ZeroRleCodec::decode(ByteSpan body, std::size_t raw_size) const {
+  Bytes out(raw_size, 0);
+  std::size_t in = 0;
+  std::size_t at = 0;
+  while (in < body.size()) {
+    auto zeros = get_varint(body, in);
+    if (!zeros) return corruption("zero-rle: truncated zero-run length");
+    auto lits = get_varint(body, in);
+    if (!lits) return corruption("zero-rle: truncated literal length");
+    if (*zeros > raw_size - at) {
+      return corruption("zero-rle: zero run overflows output");
+    }
+    at += *zeros;
+    if (*lits > raw_size - at || *lits > body.size() - in) {
+      return corruption("zero-rle: literal run overflows");
+    }
+    std::memcpy(out.data() + at, body.data() + in, *lits);
+    at += *lits;
+    in += *lits;
+  }
+  if (at != raw_size) {
+    return corruption("zero-rle: decoded " + std::to_string(at) +
+                      " bytes, expected " + std::to_string(raw_size));
+  }
+  return out;
+}
+
+}  // namespace prins

@@ -1,0 +1,22 @@
+// ZeroRleCodec: zero-run-length encoding for sparse parity blocks.
+//
+// A write parity P' is zero everywhere the write did not change the block,
+// so a typical 8 KB parity carries a few hundred nonzero bytes in a handful
+// of runs.  The body is a sequence of
+//   [zero run length: varint][literal length: varint][literal bytes]
+// covering the buffer exactly.  All-zero input encodes to ~2 bytes.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace prins {
+
+class ZeroRleCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kZeroRle; }
+  std::string_view name() const override { return "zero-rle"; }
+  Bytes encode(ByteSpan raw) const override;
+  Result<Bytes> decode(ByteSpan body, std::size_t raw_size) const override;
+};
+
+}  // namespace prins

@@ -1,0 +1,42 @@
+// Byte-buffer vocabulary types shared by every PRINS module.
+//
+// All wire formats, block contents and parity buffers in this codebase are
+// expressed in terms of these aliases so that interfaces carry their length
+// (span) instead of decaying to (pointer, count) pairs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace prins {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteSpan = std::span<const Byte>;
+using MutByteSpan = std::span<Byte>;
+
+/// View a string's storage as bytes (no copy).
+inline ByteSpan as_bytes(std::string_view s) {
+  return {reinterpret_cast<const Byte*>(s.data()), s.size()};
+}
+
+/// Copy a span into an owned buffer.
+inline Bytes to_bytes(ByteSpan s) { return Bytes(s.begin(), s.end()); }
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// True iff every byte in `s` is zero.
+inline bool all_zero(ByteSpan s) {
+  for (Byte b : s) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace prins

@@ -1,0 +1,51 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace prins {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  const auto& t = kTables.t;
+  // slice-by-4 main loop
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= static_cast<std::uint32_t>(data[i]) |
+           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^ t[1][(crc >> 16) & 0xFF] ^
+          t[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    crc = (crc >> 8) ^ t[0][(crc ^ data[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace prins

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Used to protect replication frames and block checksums during
+// verify/repair.  Table-driven (slice-by-4); no hardware dependency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+/// CRC-32C of `data`, seeded by `seed` (pass a previous crc to chain).
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+}  // namespace prins

@@ -1,0 +1,94 @@
+// Explicit-endian loads and stores.
+//
+// iSCSI PDUs are big-endian on the wire; PRINS replication frames are
+// little-endian.  These helpers make the byte order visible at every call
+// site and avoid unaligned-access UB by going through memcpy.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+// ---- little endian -------------------------------------------------------
+
+inline void store_le16(MutByteSpan dst, std::uint16_t v) {
+  dst[0] = static_cast<Byte>(v);
+  dst[1] = static_cast<Byte>(v >> 8);
+}
+inline void store_le32(MutByteSpan dst, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<Byte>(v >> (8 * i));
+}
+inline void store_le64(MutByteSpan dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<Byte>(v >> (8 * i));
+}
+
+inline std::uint16_t load_le16(ByteSpan src) {
+  return static_cast<std::uint16_t>(src[0] | (src[1] << 8));
+}
+inline std::uint32_t load_le32(ByteSpan src) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | src[i];
+  return v;
+}
+inline std::uint64_t load_le64(ByteSpan src) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | src[i];
+  return v;
+}
+
+inline void append_le16(Bytes& out, std::uint16_t v) {
+  Byte b[2];
+  store_le16(b, v);
+  append(out, b);
+}
+inline void append_le32(Bytes& out, std::uint32_t v) {
+  Byte b[4];
+  store_le32(b, v);
+  append(out, b);
+}
+inline void append_le64(Bytes& out, std::uint64_t v) {
+  Byte b[8];
+  store_le64(b, v);
+  append(out, b);
+}
+
+// ---- big endian (network order) ------------------------------------------
+
+inline void store_be16(MutByteSpan dst, std::uint16_t v) {
+  dst[0] = static_cast<Byte>(v >> 8);
+  dst[1] = static_cast<Byte>(v);
+}
+inline void store_be24(MutByteSpan dst, std::uint32_t v) {
+  dst[0] = static_cast<Byte>(v >> 16);
+  dst[1] = static_cast<Byte>(v >> 8);
+  dst[2] = static_cast<Byte>(v);
+}
+inline void store_be32(MutByteSpan dst, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<Byte>(v >> (8 * (3 - i)));
+}
+inline void store_be64(MutByteSpan dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<Byte>(v >> (8 * (7 - i)));
+}
+
+inline std::uint16_t load_be16(ByteSpan src) {
+  return static_cast<std::uint16_t>((src[0] << 8) | src[1]);
+}
+inline std::uint32_t load_be24(ByteSpan src) {
+  return (static_cast<std::uint32_t>(src[0]) << 16) |
+         (static_cast<std::uint32_t>(src[1]) << 8) | src[2];
+}
+inline std::uint32_t load_be32(ByteSpan src) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | src[i];
+  return v;
+}
+inline std::uint64_t load_be64(ByteSpan src) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | src[i];
+  return v;
+}
+
+}  // namespace prins

@@ -1,0 +1,14 @@
+#include "common/hash.h"
+
+namespace prins {
+
+std::uint64_t fnv1a64(ByteSpan data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (Byte b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace prins

@@ -1,0 +1,26 @@
+// Fast non-cryptographic 64-bit hashing (FNV-1a and a mixing finalizer).
+//
+// Used for block fingerprints in verify/repair and as the hash of the LZ
+// match finder.  Not suitable for adversarial inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+/// 64-bit FNV-1a over `data`.
+std::uint64_t fnv1a64(ByteSpan data, std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Strong avalanche finalizer (splitmix64 mix); good for hashing integers.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace prins

@@ -1,0 +1,39 @@
+#include "common/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace prins {
+
+std::string hexdump(ByteSpan data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char line[128];
+  for (std::size_t off = 0; off < n; off += 16) {
+    int pos = std::snprintf(line, sizeof line, "%08zx  ", off);
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < n) {
+        pos += std::snprintf(line + pos, sizeof line - pos, "%02x ",
+                             data[off + i]);
+      } else {
+        pos += std::snprintf(line + pos, sizeof line - pos, "   ");
+      }
+      if (i == 7) line[pos - 1] = ' ', line[pos] = ' ', line[++pos] = '\0';
+    }
+    pos += std::snprintf(line + pos, sizeof line - pos, " |");
+    for (std::size_t i = 0; i < 16 && off + i < n; ++i) {
+      Byte b = data[off + i];
+      line[pos++] = std::isprint(b) ? static_cast<char>(b) : '.';
+    }
+    line[pos++] = '|';
+    line[pos] = '\0';
+    out += line;
+    out += '\n';
+  }
+  if (n < data.size()) {
+    out += "... (" + std::to_string(data.size() - n) + " more bytes)\n";
+  }
+  return out;
+}
+
+}  // namespace prins

@@ -1,0 +1,13 @@
+// Debug helper: classic offset/hex/ascii dump of a byte span.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+/// Multi-line hexdump (16 bytes per row).  `max_bytes` truncates long spans.
+std::string hexdump(ByteSpan data, std::size_t max_bytes = 256);
+
+}  // namespace prins

@@ -1,0 +1,94 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace prins {
+
+namespace {
+constexpr int kSubBits = 4;
+constexpr std::uint64_t kSub = 1u << kSubBits;
+// 64 powers-of-two, kSub sub-buckets each; plenty for u64 values.
+constexpr std::size_t kNumBuckets = 64 * kSub;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSub) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = (value >> shift) & (kSub - 1);
+  return static_cast<std::size_t>((msb - kSubBits + 1) * kSub + sub);
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t index) {
+  if (index < kSub) return index;
+  const std::size_t exp = index / kSub - 1;
+  const std::uint64_t sub = index % kSub;
+  return ((kSub + sub) << (exp + 1)) >> 1;
+}
+
+void Histogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  buckets_[idx] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += count;
+  sum_ += value * count;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(bucket_floor(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu mean=%.2f p50=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(quantile(0.5)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace prins

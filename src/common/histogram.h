@@ -1,0 +1,49 @@
+// Log-bucketed histogram for latency / size distributions in metrics.
+//
+// Buckets are powers-of-two style sub-decades (HdrHistogram-lite): values up
+// to 2^62 with ~9% relative error per bucket.  Thread-compatible, not
+// thread-safe; wrap in a mutex or shard per thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prins {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::uint64_t value);
+  void record_n(std::uint64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Value at quantile q in [0,1] (e.g. 0.5, 0.99).  0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  void reset();
+
+  /// "count=12 mean=3.4 p50=3 p99=9 max=12"
+  std::string summary() const;
+
+ private:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per power of two
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_floor(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace prins

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// Storage engines log rarely on the fast path; this logger is for lifecycle
+// events (sessions opening, replication errors, rebuild progress).  Output
+// goes to stderr; the level is a process-wide atomic so tests can silence it.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace prins {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+
+void log_line(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PRINS_LOG(level)                                    \
+  if (static_cast<int>(::prins::LogLevel::level) <          \
+      static_cast<int>(::prins::log_level())) {             \
+  } else                                                    \
+    ::prins::internal::LogMessage(::prins::LogLevel::level).stream()
+
+}  // namespace prins

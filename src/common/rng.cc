@@ -1,0 +1,131 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace prins {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 stream to spread one seed across the 256-bit state
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ull;
+    s = mix64(x);
+  }
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method for unbiased bounded values.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) {
+  assert(mean > 0);
+  double u = next_double();
+  // avoid log(0)
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+void Rng::fill(MutByteSpan out) {
+  std::size_t i = 0;
+  for (; i + 8 <= out.size(); i += 8) {
+    std::uint64_t v = next_u64();
+    for (int k = 0; k < 8; ++k) out[i + k] = static_cast<Byte>(v >> (8 * k));
+  }
+  if (i < out.size()) {
+    std::uint64_t v = next_u64();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<Byte>(v);
+      v >>= 8;
+    }
+  }
+}
+
+void Rng::fill_text(MutByteSpan out) {
+  for (auto& b : out) {
+    b = static_cast<Byte>(' ' + next_below('~' - ' ' + 1));
+  }
+}
+
+Zipf::Zipf(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta > 0 && theta < 1);
+  alpha_ = 1.0 / (1.0 - theta);
+  zetan_ = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) zetan_ += 1.0 / std::pow(i, theta);
+  double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t Zipf::sample(Rng& rng) const {
+  double u = rng.next_double();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  auto v = static_cast<std::uint64_t>(
+      1 + static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v < 1) v = 1;
+  if (v > n_) v = n_;
+  return v;
+}
+
+std::uint64_t nurand(Rng& rng, std::uint64_t a, std::uint64_t x,
+                     std::uint64_t y, std::uint64_t c) {
+  assert(x <= y);
+  std::uint64_t r1 = rng.next_in(0, a);
+  std::uint64_t r2 = rng.next_in(x, y);
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+}  // namespace prins

@@ -1,0 +1,70 @@
+// Deterministic pseudo-randomness for workloads and property tests.
+//
+// Every experiment in this repo is seeded, so runs are reproducible
+// bit-for-bit.  Rng is xoshiro256** seeded via splitmix64; Zipf implements
+// the skewed-access sampler used by the TPC-C/TPC-W workload generators
+// (hot warehouses / hot items).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+/// xoshiro256** PRNG.  Not thread-safe; give each thread its own instance.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.  Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fill `out` with random bytes.
+  void fill(MutByteSpan out);
+
+  /// Fill `out` with printable ASCII (space..~), resembling text data.
+  void fill_text(MutByteSpan out);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(1..n, theta) sampler via the Gray et al. transform; theta in (0,1).
+/// theta -> 0 approaches uniform; TPC-style skew uses ~0.75-0.99.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta);
+
+  /// A sample in [1, n].
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// TPC-C NURand(A, x, y): non-uniform random in [x, y].
+std::uint64_t nurand(Rng& rng, std::uint64_t a, std::uint64_t x,
+                     std::uint64_t y, std::uint64_t c = 42);
+
+}  // namespace prins

@@ -1,0 +1,153 @@
+// Status / Result<T>: the error-handling vocabulary of the PRINS codebase.
+//
+// Storage and network code fails in expected, recoverable ways (short reads,
+// torn frames, peers going away); we represent those as values rather than
+// exceptions so that every fallible call site is visibly checked.  Programmer
+// errors (out-of-range LBA arithmetic inside the library itself) use
+// assertions instead.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace prins {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller broke a documented precondition
+  kOutOfRange,        // LBA / offset outside the device or buffer
+  kCorruption,        // checksum mismatch, malformed frame, bad magic
+  kIoError,           // underlying device or socket failed
+  kNotFound,          // requested entity does not exist
+  kAlreadyExists,     // create of an existing entity
+  kUnavailable,       // peer gone, connection closed, retryable
+  kResourceExhausted, // queue full, out of space
+  kFailedPrecondition,// operation not valid in current state
+  kUnimplemented,     // feature intentionally absent
+  kInternal,          // invariant violation that was caught at run time
+};
+
+/// Human-readable name of an error code ("OK", "CORRUPTION", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// A success-or-error value.  Cheap to copy on success (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::ok() for success");
+  }
+
+  static Status ok() { return Status{}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "CORRUPTION: bad frame magic" or "OK".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status corruption(std::string msg) {
+  return {ErrorCode::kCorruption, std::move(msg)};
+}
+inline Status io_error(std::string msg) {
+  return {ErrorCode::kIoError, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Either a T or an error Status.  Like absl::StatusOr / std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {    // NOLINT
+    assert(!std::get<Status>(rep_).is_ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Error status; OK when the result holds a value.
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagate an error status out of the current function.
+#define PRINS_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::prins::Status prins_status_ = (expr);          \
+    if (!prins_status_.is_ok()) return prins_status_; \
+  } while (false)
+
+/// Unwrap a Result into `lhs`, or propagate its error.
+#define PRINS_ASSIGN_OR_RETURN(lhs, expr)             \
+  PRINS_ASSIGN_OR_RETURN_IMPL_(                       \
+      PRINS_CONCAT_(prins_result_, __LINE__), lhs, expr)
+#define PRINS_CONCAT_INNER_(a, b) a##b
+#define PRINS_CONCAT_(a, b) PRINS_CONCAT_INNER_(a, b)
+#define PRINS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.is_ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace prins

@@ -1,0 +1,38 @@
+#include "common/varint.h"
+
+namespace prins {
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<Byte>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<Byte>(v));
+}
+
+std::optional<std::uint64_t> get_varint(ByteSpan in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  std::size_t p = pos;
+  while (p < in.size() && shift < 64) {
+    Byte b = in[p++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      pos = p;
+      return v;
+    }
+    shift += 7;
+  }
+  return std::nullopt;  // truncated or over-long
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace prins

@@ -1,0 +1,22 @@
+// LEB128 variable-length integers for compact frame headers and the
+// zero-run-length parity codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+/// Append `v` to `out` as unsigned LEB128 (1..10 bytes).
+void put_varint(Bytes& out, std::uint64_t v);
+
+/// Decode a varint starting at `in[pos]`; advances `pos` past it.
+/// Returns nullopt on truncated or over-long (>10 byte) input.
+std::optional<std::uint64_t> get_varint(ByteSpan in, std::size_t& pos);
+
+/// Number of bytes put_varint would emit for `v`.
+std::size_t varint_size(std::uint64_t v);
+
+}  // namespace prins

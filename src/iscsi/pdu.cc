@@ -1,0 +1,148 @@
+#include "iscsi/pdu.h"
+
+#include "common/crc32c.h"
+#include "common/endian.h"
+
+namespace prins::iscsi {
+
+Bytes Pdu::encode(bool header_digest) const {
+  Bytes out(kBhsSize, 0);
+  out[0] = static_cast<Byte>(static_cast<std::uint8_t>(opcode) |
+                             (immediate ? 0x40 : 0x00));
+  out[1] = flags;
+  out[2] = byte2;
+  out[3] = byte3;
+  // byte 4: TotalAHSLength = 0 (no additional header segments)
+  store_be24(MutByteSpan(out).subspan(5, 3),
+             static_cast<std::uint32_t>(data.size()));
+  store_be64(MutByteSpan(out).subspan(8, 8), lun);
+  store_be32(MutByteSpan(out).subspan(16, 4), itt);
+  store_be32(MutByteSpan(out).subspan(20, 4), word5);
+  store_be32(MutByteSpan(out).subspan(24, 4), word6);
+  store_be32(MutByteSpan(out).subspan(28, 4), word7);
+  store_be32(MutByteSpan(out).subspan(32, 4), word8);
+  store_be32(MutByteSpan(out).subspan(36, 4), word9);
+  store_be32(MutByteSpan(out).subspan(40, 4), word10);
+  store_be32(MutByteSpan(out).subspan(44, 4), word11);
+  if (header_digest) {
+    Byte digest[4];
+    store_le32(digest, crc32c(ByteSpan(out).first(kBhsSize)));
+    append(out, digest);
+  }
+  append(out, data);
+  // Pad the data segment to a 4-byte boundary (RFC 3720 §10.2.3).
+  while (out.size() % 4 != 0) out.push_back(0);
+  return out;
+}
+
+Result<Pdu> Pdu::decode(ByteSpan message, bool header_digest) {
+  const std::size_t header_bytes = kBhsSize + (header_digest ? 4 : 0);
+  if (message.size() < header_bytes) {
+    return corruption("PDU shorter than BHS: " +
+                      std::to_string(message.size()) + " bytes");
+  }
+  Pdu pdu;
+  const std::uint8_t op_byte = message[0];
+  pdu.immediate = (op_byte & 0x40) != 0;
+  const auto op = static_cast<Opcode>(op_byte & 0x3F);
+  switch (op) {
+    case Opcode::kNopOut:
+    case Opcode::kScsiCommand:
+    case Opcode::kLoginRequest:
+    case Opcode::kTextRequest:
+    case Opcode::kDataOut:
+    case Opcode::kLogoutRequest:
+    case Opcode::kNopIn:
+    case Opcode::kScsiResponse:
+    case Opcode::kLoginResponse:
+    case Opcode::kTextResponse:
+    case Opcode::kDataIn:
+    case Opcode::kLogoutResponse:
+    case Opcode::kR2t:
+    case Opcode::kReject:
+      pdu.opcode = op;
+      break;
+    default:
+      return corruption("unknown iSCSI opcode 0x" + std::to_string(op_byte));
+  }
+  pdu.flags = message[1];
+  pdu.byte2 = message[2];
+  pdu.byte3 = message[3];
+  if (message[4] != 0) {
+    return unimplemented("AHS segments are not supported");
+  }
+  const std::uint32_t data_len = load_be24(message.subspan(5, 3));
+  pdu.lun = load_be64(message.subspan(8, 8));
+  pdu.itt = load_be32(message.subspan(16, 4));
+  pdu.word5 = load_be32(message.subspan(20, 4));
+  pdu.word6 = load_be32(message.subspan(24, 4));
+  pdu.word7 = load_be32(message.subspan(28, 4));
+  pdu.word8 = load_be32(message.subspan(32, 4));
+  pdu.word9 = load_be32(message.subspan(36, 4));
+  pdu.word10 = load_be32(message.subspan(40, 4));
+  pdu.word11 = load_be32(message.subspan(44, 4));
+  if (header_digest) {
+    const std::uint32_t want = load_le32(message.subspan(kBhsSize, 4));
+    if (crc32c(message.first(kBhsSize)) != want) {
+      return corruption("iSCSI header digest mismatch");
+    }
+  }
+  const std::size_t padded = (static_cast<std::size_t>(data_len) + 3) & ~3ull;
+  if (message.size() < header_bytes + padded) {
+    return corruption("PDU data segment truncated");
+  }
+  pdu.data = to_bytes(message.subspan(header_bytes, data_len));
+  return pdu;
+}
+
+Bytes encode_login_kv(const std::map<std::string, std::string>& kv) {
+  Bytes out;
+  for (const auto& [key, value] : kv) {
+    append(out, as_bytes(key));
+    out.push_back('=');
+    append(out, as_bytes(value));
+    out.push_back(0);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> decode_login_kv(ByteSpan data) {
+  std::map<std::string, std::string> kv;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= data.size(); ++i) {
+    if (i == data.size() || data[i] == 0) {
+      if (i > start) {
+        std::string pair(reinterpret_cast<const char*>(data.data() + start),
+                         i - start);
+        auto eq = pair.find('=');
+        if (eq != std::string::npos) {
+          kv.emplace(pair.substr(0, eq), pair.substr(eq + 1));
+        }
+      }
+      start = i + 1;
+    }
+  }
+  return kv;
+}
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNopOut: return "NOP-Out";
+    case Opcode::kScsiCommand: return "SCSI-Command";
+    case Opcode::kLoginRequest: return "Login-Request";
+    case Opcode::kTextRequest: return "Text-Request";
+    case Opcode::kDataOut: return "Data-Out";
+    case Opcode::kLogoutRequest: return "Logout-Request";
+    case Opcode::kNopIn: return "NOP-In";
+    case Opcode::kScsiResponse: return "SCSI-Response";
+    case Opcode::kLoginResponse: return "Login-Response";
+    case Opcode::kTextResponse: return "Text-Response";
+    case Opcode::kDataIn: return "Data-In";
+    case Opcode::kLogoutResponse: return "Logout-Response";
+    case Opcode::kR2t: return "R2T";
+    case Opcode::kReject: return "Reject";
+  }
+  return "?";
+}
+
+}  // namespace prins::iscsi

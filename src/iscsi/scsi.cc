@@ -1,0 +1,199 @@
+#include "iscsi/scsi.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace prins::iscsi {
+
+void Cdb::encode(MutByteSpan out) const {
+  assert(out.size() >= kCdbSize);
+  std::memset(out.data(), 0, kCdbSize);
+  out[0] = static_cast<Byte>(op);
+  switch (op) {
+    case ScsiOp::kRead10:
+    case ScsiOp::kWrite10:
+      store_be32(out.subspan(2, 4), static_cast<std::uint32_t>(lba));
+      store_be16(out.subspan(7, 2), static_cast<std::uint16_t>(blocks));
+      break;
+    case ScsiOp::kRead16:
+    case ScsiOp::kWrite16:
+      store_be64(out.subspan(2, 8), lba);
+      store_be32(out.subspan(10, 4), blocks);
+      break;
+    case ScsiOp::kInquiry:
+      store_be16(out.subspan(3, 2), static_cast<std::uint16_t>(alloc_len));
+      break;
+    case ScsiOp::kReportLuns:
+      store_be32(out.subspan(6, 4), alloc_len);
+      break;
+    case ScsiOp::kTestUnitReady:
+    case ScsiOp::kReadCapacity10:
+    case ScsiOp::kSynchronizeCache10:
+      break;
+  }
+}
+
+Result<Cdb> Cdb::decode(ByteSpan cdb) {
+  if (cdb.size() < kCdbSize) {
+    return corruption("CDB shorter than 16 bytes");
+  }
+  Cdb out;
+  switch (cdb[0]) {
+    case static_cast<std::uint8_t>(ScsiOp::kTestUnitReady):
+      out.op = ScsiOp::kTestUnitReady;
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kInquiry):
+      out.op = ScsiOp::kInquiry;
+      out.alloc_len = load_be16(cdb.subspan(3, 2));
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kReadCapacity10):
+      out.op = ScsiOp::kReadCapacity10;
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kRead10):
+      out.op = ScsiOp::kRead10;
+      out.lba = load_be32(cdb.subspan(2, 4));
+      out.blocks = load_be16(cdb.subspan(7, 2));
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kWrite10):
+      out.op = ScsiOp::kWrite10;
+      out.lba = load_be32(cdb.subspan(2, 4));
+      out.blocks = load_be16(cdb.subspan(7, 2));
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kSynchronizeCache10):
+      out.op = ScsiOp::kSynchronizeCache10;
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kRead16):
+      out.op = ScsiOp::kRead16;
+      out.lba = load_be64(cdb.subspan(2, 8));
+      out.blocks = load_be32(cdb.subspan(10, 4));
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kWrite16):
+      out.op = ScsiOp::kWrite16;
+      out.lba = load_be64(cdb.subspan(2, 8));
+      out.blocks = load_be32(cdb.subspan(10, 4));
+      break;
+    case static_cast<std::uint8_t>(ScsiOp::kReportLuns):
+      out.op = ScsiOp::kReportLuns;
+      out.alloc_len = load_be32(cdb.subspan(6, 4));
+      break;
+    default:
+      return unimplemented("unsupported SCSI opcode 0x" +
+                           std::to_string(cdb[0]));
+  }
+  return out;
+}
+
+Cdb make_test_unit_ready() { return Cdb{}; }
+
+Cdb make_inquiry(std::uint16_t alloc_len) {
+  Cdb c;
+  c.op = ScsiOp::kInquiry;
+  c.alloc_len = alloc_len;
+  return c;
+}
+
+Cdb make_read_capacity10() {
+  Cdb c;
+  c.op = ScsiOp::kReadCapacity10;
+  return c;
+}
+
+Cdb make_read10(std::uint32_t lba, std::uint16_t blocks) {
+  Cdb c;
+  c.op = ScsiOp::kRead10;
+  c.lba = lba;
+  c.blocks = blocks;
+  return c;
+}
+
+Cdb make_write10(std::uint32_t lba, std::uint16_t blocks) {
+  Cdb c;
+  c.op = ScsiOp::kWrite10;
+  c.lba = lba;
+  c.blocks = blocks;
+  return c;
+}
+
+Cdb make_synchronize_cache10() {
+  Cdb c;
+  c.op = ScsiOp::kSynchronizeCache10;
+  return c;
+}
+
+Cdb make_read16(std::uint64_t lba, std::uint32_t blocks) {
+  Cdb c;
+  c.op = ScsiOp::kRead16;
+  c.lba = lba;
+  c.blocks = blocks;
+  return c;
+}
+
+Cdb make_write16(std::uint64_t lba, std::uint32_t blocks) {
+  Cdb c;
+  c.op = ScsiOp::kWrite16;
+  c.lba = lba;
+  c.blocks = blocks;
+  return c;
+}
+
+Cdb make_report_luns(std::uint32_t alloc_len) {
+  Cdb c;
+  c.op = ScsiOp::kReportLuns;
+  c.alloc_len = alloc_len;
+  return c;
+}
+
+Bytes make_inquiry_data() {
+  Bytes d(36, 0);
+  d[0] = 0x00;  // peripheral: direct-access block device
+  d[2] = 0x05;  // SPC-3
+  d[3] = 0x02;  // response data format
+  d[4] = 31;    // additional length
+  auto put = [&](std::size_t at, std::string_view s, std::size_t width) {
+    for (std::size_t i = 0; i < width; ++i) {
+      d[at + i] = i < s.size() ? static_cast<Byte>(s[i]) : ' ';
+    }
+  };
+  put(8, "PRINS", 8);          // vendor id
+  put(16, "PARITY-REPL", 16);  // product id
+  put(32, "1.0", 4);           // revision
+  return d;
+}
+
+Bytes make_read_capacity10_data(std::uint64_t num_blocks,
+                                std::uint32_t block_size) {
+  Bytes d(8, 0);
+  // READ CAPACITY(10) reports the *last* LBA, saturated at 2^32-1.
+  const std::uint64_t last = num_blocks == 0 ? 0 : num_blocks - 1;
+  const std::uint32_t max_lba =
+      last > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<std::uint32_t>(last);
+  store_be32(MutByteSpan(d).subspan(0, 4), max_lba);
+  store_be32(MutByteSpan(d).subspan(4, 4), block_size);
+  return d;
+}
+
+Bytes make_report_luns_data(const std::vector<std::uint64_t>& luns) {
+  Bytes d(8 + 8 * luns.size(), 0);
+  store_be32(MutByteSpan(d).subspan(0, 4),
+             static_cast<std::uint32_t>(8 * luns.size()));
+  for (std::size_t i = 0; i < luns.size(); ++i) {
+    store_be64(MutByteSpan(d).subspan(8 + 8 * i, 8), luns[i]);
+  }
+  return d;
+}
+
+Bytes make_sense(std::uint8_t sense_key, std::uint8_t asc, std::uint8_t ascq) {
+  // iSCSI carries sense data prefixed by a 2-byte length (RFC 3720 §10.4.7).
+  Bytes d(2 + 18, 0);
+  store_be16(MutByteSpan(d).subspan(0, 2), 18);
+  d[2] = 0x70;  // fixed format, current error
+  d[2 + 2] = sense_key & 0x0F;
+  d[2 + 7] = 10;  // additional sense length
+  d[2 + 12] = asc;
+  d[2 + 13] = ascq;
+  return d;
+}
+
+}  // namespace prins::iscsi

@@ -1,0 +1,80 @@
+// IscsiTarget: serves a BlockDevice to iSCSI initiators.
+//
+// This is the home of the PRINS engine in the paper's architecture: the
+// engine is "a software module inside the iSCSI target".  The target is
+// storage-agnostic — hand it a MemDisk, a RaidArray, or a PRINS-decorated
+// device and it serves READ/WRITE over any Transport.
+//
+// Supported flow per connection: login negotiation (operational ->
+// full-feature), SCSI commands with immediate write data, R2T + Data-Out
+// for writes larger than the negotiated immediate limit, chunked Data-In
+// for reads, NOP ping, logout.  One connection at a time per serve() call;
+// run several serve()s on threads for multiple initiators.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "block/block_device.h"
+#include "iscsi/pdu.h"
+#include "net/transport.h"
+
+namespace prins::iscsi {
+
+struct TargetConfig {
+  std::string target_name = "iqn.2006-04.edu.uri.hpcl:storage.prins";
+  /// Largest data segment we send in one Data-In PDU and accept in one
+  /// SCSI Command / Data-Out PDU.
+  std::uint32_t max_data_segment = 64 * 1024;
+  /// Writes with at most this much immediate data skip the R2T round trip.
+  std::uint32_t max_immediate_data = 64 * 1024;
+  /// Accept HeaderDigest=CRC32C when the initiator offers it.
+  bool allow_header_digest = true;
+};
+
+class IscsiTarget {
+ public:
+  IscsiTarget(std::shared_ptr<BlockDevice> device, TargetConfig config = {});
+
+  /// Serve one initiator connection until logout or disconnect.
+  /// Returns OK on clean logout/disconnect, an error on protocol violations.
+  Status serve(Transport& transport);
+
+  std::uint64_t commands_served() const { return commands_.load(); }
+
+ private:
+  struct Session {
+    bool logged_in = false;
+    bool header_digest = false;  // negotiated at login
+    std::uint32_t stat_sn = 1;
+    std::uint32_t exp_cmd_sn = 1;
+    std::uint32_t next_ttt = 1;
+  };
+
+  Status handle_login(Transport& transport, Session& session,
+                      const Pdu& request);
+  Status handle_scsi(Transport& transport, Session& session,
+                     const Pdu& command);
+  Status do_read(Transport& transport, Session& session, const Pdu& cmd,
+                 std::uint64_t lba, std::uint32_t blocks);
+  Status do_write(Transport& transport, Session& session,
+                  const Pdu& cmd, std::uint64_t lba,
+                  std::uint32_t blocks);
+  Status send_response(Transport& transport, Session& session,
+                       std::uint32_t itt, std::uint8_t scsi_status,
+                       ByteSpan sense = {});
+
+  std::shared_ptr<BlockDevice> device_;
+  TargetConfig config_;
+  std::atomic<std::uint64_t> commands_{0};
+};
+
+/// Convenience: accept connections from `listener` on a background thread,
+/// serving each sequentially, until the listener closes.  Returns the thread;
+/// join it after closing the listener.
+std::thread serve_in_background(std::shared_ptr<IscsiTarget> target,
+                                std::shared_ptr<Listener> listener);
+
+}  // namespace prins::iscsi

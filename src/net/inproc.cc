@@ -1,0 +1,157 @@
+#include "net/inproc.h"
+
+#include <condition_variable>
+#include <deque>
+
+namespace prins {
+namespace {
+
+/// One direction of a connected pair: a bounded MPSC byte-message queue.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable can_send;
+  std::condition_variable can_recv;
+  std::deque<Bytes> queue;
+  std::size_t capacity;
+  bool closed = false;
+
+  explicit Pipe(std::size_t cap) : capacity(cap) {}
+
+  Status push(ByteSpan message) {
+    std::unique_lock lock(mutex);
+    can_send.wait(lock, [&] { return closed || queue.size() < capacity; });
+    if (closed) return unavailable("inproc peer closed");
+    queue.emplace_back(message.begin(), message.end());
+    can_recv.notify_one();
+    return Status::ok();
+  }
+
+  Result<Bytes> pop() {
+    std::unique_lock lock(mutex);
+    can_recv.wait(lock, [&] { return closed || !queue.empty(); });
+    if (queue.empty()) return unavailable("inproc channel closed");
+    Bytes msg = std::move(queue.front());
+    queue.pop_front();
+    can_send.notify_one();
+    return msg;
+  }
+
+  void close() {
+    std::lock_guard lock(mutex);
+    closed = true;
+    can_send.notify_all();
+    can_recv.notify_all();
+  }
+};
+
+class InprocTransport final : public Transport {
+ public:
+  InprocTransport(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+  ~InprocTransport() override { close(); }
+
+  Status send(ByteSpan message) override { return out_->push(message); }
+  Result<Bytes> recv() override { return in_->pop(); }
+
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+
+  std::string describe() const override { return "inproc"; }
+
+ private:
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_inproc_pair(std::size_t capacity) {
+  auto a_to_b = std::make_shared<Pipe>(capacity);
+  auto b_to_a = std::make_shared<Pipe>(capacity);
+  return {std::make_unique<InprocTransport>(a_to_b, b_to_a),
+          std::make_unique<InprocTransport>(b_to_a, a_to_b)};
+}
+
+// ---- named rendezvous ------------------------------------------------------
+
+struct InprocNetwork::ListenerState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<Transport>> pending;  // server ends
+  bool closed = false;
+};
+
+namespace {
+
+class InprocListener final : public Listener {
+ public:
+  explicit InprocListener(std::shared_ptr<InprocNetwork::ListenerState> state)
+      : state_(std::move(state)) {}
+  ~InprocListener() override { close(); }
+
+  Result<std::unique_ptr<Transport>> accept() override {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock,
+                    [&] { return state_->closed || !state_->pending.empty(); });
+    if (state_->pending.empty()) {
+      return unavailable("inproc listener closed");
+    }
+    auto t = std::move(state_->pending.front());
+    state_->pending.pop_front();
+    return t;
+  }
+
+  void close() override {
+    std::lock_guard lock(state_->mutex);
+    state_->closed = true;
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<InprocNetwork::ListenerState> state_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> InprocNetwork::listen(
+    const std::string& address) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] =
+      listeners_.try_emplace(address, std::make_shared<ListenerState>());
+  if (!inserted && !it->second->closed) {
+    return already_exists("inproc address in use: " + address);
+  }
+  if (!inserted) {
+    it->second = std::make_shared<ListenerState>();  // replace a closed one
+  }
+  return std::unique_ptr<Listener>(
+      std::make_unique<InprocListener>(it->second));
+}
+
+Result<std::unique_ptr<Transport>> InprocNetwork::connect(
+    const std::string& address) {
+  std::shared_ptr<ListenerState> state;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = listeners_.find(address);
+    if (it == listeners_.end()) {
+      return not_found("no inproc listener at: " + address);
+    }
+    state = it->second;
+  }
+  auto [client_end, server_end] = make_inproc_pair();
+  {
+    std::lock_guard lock(state->mutex);
+    if (state->closed) {
+      return unavailable("inproc listener closed: " + address);
+    }
+    state->pending.push_back(std::move(server_end));
+    state->cv.notify_one();
+  }
+  return client_end;
+}
+
+}  // namespace prins

@@ -1,0 +1,101 @@
+#include "net/latent.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/bytes.h"
+
+namespace prins {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One direction: a bounded queue whose entries become visible to the
+/// receiver only at their delivery time.
+struct LatentPipe {
+  struct InFlight {
+    Clock::time_point ready;
+    Bytes data;
+  };
+
+  std::mutex mutex;
+  std::condition_variable can_send;
+  std::condition_variable can_recv;
+  std::deque<InFlight> queue;
+  std::chrono::microseconds delay;
+  std::size_t capacity;
+  bool closed = false;
+
+  LatentPipe(std::chrono::microseconds d, std::size_t cap)
+      : delay(d), capacity(cap) {}
+
+  Status push(ByteSpan message) {
+    std::unique_lock lock(mutex);
+    can_send.wait(lock, [&] { return closed || queue.size() < capacity; });
+    if (closed) return unavailable("latent peer closed");
+    queue.push_back(InFlight{Clock::now() + delay,
+                             Bytes(message.begin(), message.end())});
+    can_recv.notify_one();
+    return Status::ok();
+  }
+
+  Result<Bytes> pop() {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      if (!queue.empty()) {
+        const Clock::time_point ready = queue.front().ready;
+        if (Clock::now() >= ready) break;
+        // Wait until the head is deliverable (or something changes).
+        can_recv.wait_until(lock, ready);
+        continue;
+      }
+      if (closed) return unavailable("latent channel closed");
+      can_recv.wait(lock);
+    }
+    Bytes message = std::move(queue.front().data);
+    queue.pop_front();
+    can_send.notify_one();
+    return message;
+  }
+
+  void close() {
+    std::lock_guard lock(mutex);
+    closed = true;
+    can_send.notify_all();
+    can_recv.notify_all();
+  }
+};
+
+class LatentTransport final : public Transport {
+ public:
+  LatentTransport(std::shared_ptr<LatentPipe> out,
+                  std::shared_ptr<LatentPipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+  ~LatentTransport() override { close(); }
+
+  Status send(ByteSpan message) override { return out_->push(message); }
+  Result<Bytes> recv() override { return in_->pop(); }
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+  std::string describe() const override { return "latent-inproc"; }
+
+ private:
+  std::shared_ptr<LatentPipe> out_;
+  std::shared_ptr<LatentPipe> in_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_latent_pair(std::chrono::microseconds one_way_delay,
+                 std::size_t capacity) {
+  auto a_to_b = std::make_shared<LatentPipe>(one_way_delay, capacity);
+  auto b_to_a = std::make_shared<LatentPipe>(one_way_delay, capacity);
+  return {std::make_unique<LatentTransport>(a_to_b, b_to_a),
+          std::make_unique<LatentTransport>(b_to_a, a_to_b)};
+}
+
+}  // namespace prins

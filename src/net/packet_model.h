@@ -1,0 +1,28 @@
+// The paper's packetization model (§3.3).
+//
+// Every replicated payload is fragmented into Ethernet packets of 1500-byte
+// payload (the paper's "1.5 Kbytes"), each carrying 112 bytes of
+// Ethernet+IP+TCP headers.  Wire bytes = payload + packets * 112.  This is
+// the cost model behind both the measured traffic figures and the queueing
+// model's transmission delay Dtrans = (Sd + Sd/1.5 * 0.112) / Net_BW.
+#pragma once
+
+#include <cstdint>
+
+namespace prins {
+
+constexpr std::uint64_t kPacketPayloadBytes = 1500;
+constexpr std::uint64_t kPacketHeaderBytes = 112;
+
+/// Number of packets needed for a payload of `payload_bytes`.
+constexpr std::uint64_t packets_for(std::uint64_t payload_bytes) {
+  if (payload_bytes == 0) return 0;
+  return (payload_bytes + kPacketPayloadBytes - 1) / kPacketPayloadBytes;
+}
+
+/// Total bytes on the wire including per-packet headers.
+constexpr std::uint64_t wire_bytes_for(std::uint64_t payload_bytes) {
+  return payload_bytes + packets_for(payload_bytes) * kPacketHeaderBytes;
+}
+
+}  // namespace prins

@@ -1,0 +1,56 @@
+// ShapedTransport: a WAN emulator for a message transport.
+//
+// Delays each send() by the paper's link model — transmission time of the
+// packetized payload at the line rate, plus per-hop propagation — so the
+// response-time predictions of the queueing figures can be checked
+// empirically against the real engine stack (see bench/fig8_empirical).
+//
+// `bandwidth_scale` speeds up the emulated line (delays divide by it) so
+// experiments finish quickly while preserving the traditional/PRINS
+// delay *ratios* exactly.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "net/packet_model.h"
+#include "net/transport.h"
+#include "queueing/wan.h"
+
+namespace prins {
+
+struct ShapingConfig {
+  WanLine line = kT1;
+  unsigned hops = 2;               // routers in the path (propagation each)
+  double bandwidth_scale = 1.0;    // >1: emulate a proportionally faster line
+};
+
+class ShapedTransport final : public Transport {
+ public:
+  ShapedTransport(std::unique_ptr<Transport> inner, ShapingConfig config)
+      : inner_(std::move(inner)), config_(config) {}
+
+  Status send(ByteSpan message) override {
+    // Serialization + per-hop propagation, scaled.
+    const double seconds =
+        (transmission_delay_sec(message.size(), config_.line) +
+         config_.hops * kPropagationDelaySec) /
+        config_.bandwidth_scale;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return inner_->send(message);
+  }
+
+  Result<Bytes> recv() override { return inner_->recv(); }
+  void close() override { inner_->close(); }
+  std::string describe() const override {
+    return "shaped[" + std::string(config_.line.name) + "](" +
+           inner_->describe() + ")";
+  }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  ShapingConfig config_;
+};
+
+}  // namespace prins

@@ -1,0 +1,169 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace prins {
+namespace {
+
+Status errno_status(const std::string& what) {
+  return io_error(what + ": " + std::strerror(errno));
+}
+
+Status write_all(int fd, const Byte* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+// Returns kUnavailable on clean EOF at a message boundary.
+Status read_all(int fd, Byte* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::recv(fd, data + done, len - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("recv");
+    }
+    if (n == 0) {
+      return done == 0 ? unavailable("peer closed connection")
+                       : corruption("peer closed mid-message");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+Result<std::unique_ptr<Transport>> TcpTransport::connect(
+    const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return invalid_argument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status s = errno_status("connect " + ip + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+}
+
+Status TcpTransport::send(ByteSpan message) {
+  if (fd_ < 0) return unavailable("transport closed");
+  if (message.size() > kMaxTcpMessageBytes) {
+    return invalid_argument("message exceeds frame limit");
+  }
+  Byte header[4];
+  store_le32(header, static_cast<std::uint32_t>(message.size()));
+  PRINS_RETURN_IF_ERROR(write_all(fd_, header, sizeof header));
+  return write_all(fd_, message.data(), message.size());
+}
+
+Result<Bytes> TcpTransport::recv() {
+  if (fd_ < 0) return unavailable("transport closed");
+  Byte header[4];
+  PRINS_RETURN_IF_ERROR(read_all(fd_, header, sizeof header));
+  const std::uint32_t len = load_le32(header);
+  if (len > kMaxTcpMessageBytes) {
+    return corruption("frame length " + std::to_string(len) +
+                      " exceeds limit");
+  }
+  Bytes payload(len);
+  if (len > 0) {
+    PRINS_RETURN_IF_ERROR(read_all(fd_, payload.data(), len));
+  }
+  return payload;
+}
+
+void TcpTransport::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string TcpTransport::describe() const { return "tcp"; }
+
+Result<std::unique_ptr<TcpListener>> TcpListener::listen(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status s = errno_status("bind port " + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status s = errno_status("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = errno_status("getsockname");
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+Result<std::unique_ptr<Transport>> TcpListener::accept() {
+  if (fd_ < 0) return unavailable("listener closed");
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINVAL || errno == EBADF) {
+      return unavailable("listener closed");
+    }
+    return errno_status("accept");
+  }
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(client));
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace prins

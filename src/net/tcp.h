@@ -1,0 +1,62 @@
+// TcpTransport / TcpListener: real sockets for cross-process deployments.
+//
+// Wire format: each message is a 4-byte little-endian length prefix followed
+// by the payload.  Used by the remote-mirroring example to run an iSCSI
+// target and a PRINS replica pair over localhost exactly as the paper's
+// testbed ran over its GigE switch.
+#pragma once
+
+#include <cstdint>
+
+#include "net/transport.h"
+
+namespace prins {
+
+/// Hard cap on a single framed message (64 MiB) — guards against a corrupt
+/// or hostile length prefix allocating unbounded memory.
+constexpr std::uint32_t kMaxTcpMessageBytes = 64u << 20;
+
+class TcpTransport final : public Transport {
+ public:
+  /// Connect to host:port (numeric IPv4 dotted quad or "localhost").
+  static Result<std::unique_ptr<Transport>> connect(const std::string& host,
+                                                    std::uint16_t port);
+
+  /// Adopt an already-connected socket (used by the listener).
+  explicit TcpTransport(int fd);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Status send(ByteSpan message) override;
+  Result<Bytes> recv() override;
+  void close() override;
+  std::string describe() const override;
+
+ private:
+  int fd_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  /// Bind and listen on 127.0.0.1:port; port 0 picks a free port.
+  static Result<std::unique_ptr<TcpListener>> listen(std::uint16_t port);
+  ~TcpListener() override;
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  Result<std::unique_ptr<Transport>> accept() override;
+  void close() override;
+
+  /// The actual bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  int fd_;
+  std::uint16_t port_;
+};
+
+}  // namespace prins

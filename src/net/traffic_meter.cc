@@ -1,0 +1,2 @@
+// TrafficMeter is header-only; this TU anchors the target.
+#include "net/traffic_meter.h"

@@ -1,0 +1,46 @@
+// Transport: reliable, ordered, message-framed duplex channel.
+//
+// The PRINS engine and the iSCSI layer exchange whole messages (PDUs,
+// replication frames); the transport owns framing and blocking delivery.
+// Two implementations: InprocTransport (deterministic, for tests and
+// single-process experiments) and TcpTransport (real sockets, for the
+// remote-mirroring example).  recv() blocks until a message arrives or the
+// peer closes (kUnavailable).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace prins {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Deliver one message to the peer.  Blocks only on flow control.
+  virtual Status send(ByteSpan message) = 0;
+
+  /// Receive the next message; blocks.  kUnavailable once the peer has
+  /// closed and all queued messages are drained.
+  virtual Result<Bytes> recv() = 0;
+
+  /// Close this end; wakes any blocked recv() on both sides.
+  virtual void close() = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block until a peer connects; kUnavailable when the listener is closed.
+  virtual Result<std::unique_ptr<Transport>> accept() = 0;
+
+  virtual void close() = 0;
+};
+
+}  // namespace prins

@@ -1,0 +1,32 @@
+#include "parity/gf256.h"
+
+#include <cassert>
+
+namespace prins {
+
+void gf_mul_xor_into(MutByteSpan dst, std::uint8_t coeff, ByteSpan src) {
+  assert(dst.size() == src.size());
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  // Per-coefficient 256-entry product table amortizes the log/exp lookups
+  // over the whole block.
+  std::uint8_t table[256];
+  for (int v = 0; v < 256; ++v) {
+    table[v] = gf_mul(coeff, static_cast<std::uint8_t>(v));
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= table[src[i]];
+}
+
+void gf_scale(MutByteSpan dst, std::uint8_t coeff) {
+  if (coeff == 1) return;
+  std::uint8_t table[256];
+  for (int v = 0; v < 256; ++v) {
+    table[v] = gf_mul(coeff, static_cast<std::uint8_t>(v));
+  }
+  for (auto& b : dst) b = table[b];
+}
+
+}  // namespace prins

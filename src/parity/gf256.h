@@ -1,0 +1,69 @@
+// GF(2^8) arithmetic over the AES/RAID-6 polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), the field behind Reed-Solomon-style dual parity.
+//
+// RAID-6 stores two syndromes per stripe of data blocks D_0..D_{n-1}:
+//   P = ⊕ D_i                      (plain XOR parity)
+//   Q = ⊕ g^i · D_i                (g = 0x02, the field generator)
+// which allows reconstruction from any two lost members.  Multiplication
+// is table-driven via log/exp tables built at compile time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+namespace gf256_internal {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};  // doubled to skip a mod in mul
+  constexpr Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // log(0) is undefined; callers must guard
+  }
+};
+
+inline constexpr Tables kTables{};
+
+}  // namespace gf256_internal
+
+/// a · b in GF(2^8).
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = gf256_internal::kTables;
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+/// a / b in GF(2^8).  Precondition: b != 0.
+constexpr std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  const auto& t = gf256_internal::kTables;
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+/// Multiplicative inverse.  Precondition: a != 0.
+constexpr std::uint8_t gf_inv(std::uint8_t a) { return gf_div(1, a); }
+
+/// g^n for the generator g = 2.
+constexpr std::uint8_t gf_pow2(unsigned n) {
+  return gf256_internal::kTables.exp[n % 255];
+}
+
+/// dst ^= coeff · src, element-wise (the Q-syndrome accumulate).
+/// Requires dst.size() == src.size().
+void gf_mul_xor_into(MutByteSpan dst, std::uint8_t coeff, ByteSpan src);
+
+/// dst = coeff · dst, element-wise.
+void gf_scale(MutByteSpan dst, std::uint8_t coeff);
+
+}  // namespace prins

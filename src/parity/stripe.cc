@@ -1,0 +1,68 @@
+#include "parity/stripe.h"
+
+#include <cassert>
+
+namespace prins {
+
+StripeGeometry::StripeGeometry(RaidLevel level, unsigned num_disks)
+    : level_(level), num_disks_(num_disks) {
+  if (level == RaidLevel::kRaid0) {
+    assert(num_disks >= 2);
+  } else {
+    assert(num_disks >= 3);
+  }
+}
+
+unsigned StripeGeometry::data_disks() const {
+  return level_ == RaidLevel::kRaid0 ? num_disks_ : num_disks_ - 1;
+}
+
+unsigned StripeGeometry::parity_disk_of(std::uint64_t stripe) const {
+  switch (level_) {
+    case RaidLevel::kRaid0:
+      return num_disks_;  // sentinel: no parity member
+    case RaidLevel::kRaid4:
+      return num_disks_ - 1;  // fixed dedicated parity disk
+    case RaidLevel::kRaid5:
+      // Left-symmetric: parity walks right-to-left as stripes advance.
+      return static_cast<unsigned>((num_disks_ - 1) - (stripe % num_disks_));
+  }
+  return num_disks_;
+}
+
+StripeLocation StripeGeometry::locate(std::uint64_t lba) const {
+  const unsigned dd = data_disks();
+  StripeLocation loc{};
+  loc.stripe = lba / dd;
+  const auto slot = static_cast<unsigned>(lba % dd);
+  loc.parity_disk = parity_disk_of(loc.stripe);
+  loc.data_disk = disk_of_slot(loc.stripe, slot);
+  loc.member_block = loc.stripe;
+  return loc;
+}
+
+std::uint64_t StripeGeometry::logical_of(std::uint64_t stripe,
+                                         unsigned slot) const {
+  assert(slot < data_disks());
+  return stripe * data_disks() + slot;
+}
+
+unsigned StripeGeometry::slot_of(std::uint64_t stripe, unsigned disk) const {
+  assert(disk < num_disks_);
+  const unsigned p = parity_disk_of(stripe);
+  assert(disk != p);
+  if (level_ == RaidLevel::kRaid0) return disk;
+  // Left-symmetric data layout: slots start just after the parity disk and
+  // wrap around the array.
+  return (disk + num_disks_ - (p + 1) % num_disks_) % num_disks_;
+}
+
+unsigned StripeGeometry::disk_of_slot(std::uint64_t stripe,
+                                      unsigned slot) const {
+  assert(slot < data_disks());
+  if (level_ == RaidLevel::kRaid0) return slot;
+  const unsigned p = parity_disk_of(stripe);
+  return ((p + 1) % num_disks_ + slot) % num_disks_;
+}
+
+}  // namespace prins

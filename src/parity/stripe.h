@@ -1,0 +1,58 @@
+// Stripe geometry for RAID-4 and RAID-5 arrays.
+//
+// Maps an array-logical block number to (stripe, member disk, member block)
+// and back.  RAID-4 keeps parity on a fixed disk; RAID-5 rotates it
+// left-symmetric, the layout used by Linux md by default.
+#pragma once
+
+#include <cstdint>
+
+namespace prins {
+
+enum class RaidLevel { kRaid0, kRaid4, kRaid5 };
+
+/// Where one logical block lives inside the array.
+struct StripeLocation {
+  std::uint64_t stripe;       // stripe row index
+  unsigned data_disk;         // member index holding the data block
+  unsigned parity_disk;       // member index holding this stripe's parity
+  std::uint64_t member_block; // block index on the member device
+};
+
+/// Geometry of an n-disk array with one parity disk per stripe
+/// (RAID-4/5) or none (RAID-0).
+class StripeGeometry {
+ public:
+  /// `num_disks` total members; RAID-4/5 require >= 3, RAID-0 >= 2.
+  StripeGeometry(RaidLevel level, unsigned num_disks);
+
+  RaidLevel level() const { return level_; }
+  unsigned num_disks() const { return num_disks_; }
+
+  /// Data blocks per stripe (num_disks for RAID-0, num_disks-1 otherwise).
+  unsigned data_disks() const;
+
+  /// Member index holding the parity of `stripe`.  RAID-0: no parity —
+  /// returns num_disks() (an invalid member) by convention.
+  unsigned parity_disk_of(std::uint64_t stripe) const;
+
+  /// Locate logical block `lba` (in array-block units).
+  StripeLocation locate(std::uint64_t lba) const;
+
+  /// Inverse of locate(): logical block of (stripe, data slot index).
+  /// `slot` counts data blocks 0..data_disks()-1 within the stripe.
+  std::uint64_t logical_of(std::uint64_t stripe, unsigned slot) const;
+
+  /// Which data slot (0-based among data disks) a member disk serves in a
+  /// given stripe.  Precondition: disk != parity_disk_of(stripe).
+  unsigned slot_of(std::uint64_t stripe, unsigned disk) const;
+
+  /// Member disk serving data slot `slot` of `stripe`.
+  unsigned disk_of_slot(std::uint64_t stripe, unsigned slot) const;
+
+ private:
+  RaidLevel level_;
+  unsigned num_disks_;
+};
+
+}  // namespace prins

@@ -1,0 +1,59 @@
+#include "parity/xor.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace prins {
+
+void xor_into(MutByteSpan dst, ByteSpan src) {
+  assert(dst.size() == src.size());
+  std::size_t n = dst.size();
+  Byte* d = dst.data();
+  const Byte* s = src.data();
+  // Word-wise main loop via memcpy to stay alignment-safe.
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, d + i, 8);
+    std::memcpy(&b, s + i, 8);
+    a ^= b;
+    std::memcpy(d + i, &a, 8);
+  }
+  for (; i < n; ++i) d[i] ^= s[i];
+}
+
+void xor_to(MutByteSpan out, ByteSpan a, ByteSpan b) {
+  assert(out.size() == a.size() && a.size() == b.size());
+  std::size_t n = out.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a.data() + i, 8);
+    std::memcpy(&y, b.data() + i, 8);
+    x ^= y;
+    std::memcpy(out.data() + i, &x, 8);
+  }
+  for (; i < n; ++i) out[i] = a[i] ^ b[i];
+}
+
+Bytes parity_delta(ByteSpan new_data, ByteSpan old_data) {
+  assert(new_data.size() == old_data.size());
+  Bytes out(new_data.size());
+  xor_to(out, new_data, old_data);
+  return out;
+}
+
+std::size_t count_nonzero(ByteSpan s) {
+  std::size_t n = 0;
+  for (Byte b : s) n += (b != 0);
+  return n;
+}
+
+double dirty_fraction(ByteSpan s) {
+  if (s.empty()) return 0.0;
+  return static_cast<double>(count_nonzero(s)) /
+         static_cast<double>(s.size());
+}
+
+}  // namespace prins

@@ -1,0 +1,37 @@
+// XOR parity kernels — the arithmetic core of PRINS.
+//
+// The whole scheme is the algebra of XOR over fixed-size blocks:
+//
+//   forward (primary):  P' = A_new ⊕ A_old        (parity_delta)
+//   backward (replica): A_new = P' ⊕ A_old        (xor_into / apply)
+//   RAID small write:   P_new = P' ⊕ P_old
+//
+// Deltas compose: applying P'1 then P'2 equals applying P'1 ⊕ P'2, and every
+// delta is its own inverse — the properties the TRAP/CDP log exploits.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+/// dst ^= src, element-wise.  Requires dst.size() == src.size().
+/// Word-accelerated on the aligned middle; byte loops on the edges.
+void xor_into(MutByteSpan dst, ByteSpan src);
+
+/// out = a ^ b.  Requires equal sizes.
+void xor_to(MutByteSpan out, ByteSpan a, ByteSpan b);
+
+/// Returns a ^ b as a new buffer.  This is the forward parity computation:
+/// parity_delta(new_data, old_data) == P'.
+Bytes parity_delta(ByteSpan new_data, ByteSpan old_data);
+
+/// Count of non-zero bytes in `s` — a direct measure of how much of a block
+/// a write actually changed (the paper's 5-20% observation).
+std::size_t count_nonzero(ByteSpan s);
+
+/// Fraction of non-zero bytes in [0,1]; 0 for an empty span.
+double dirty_fraction(ByteSpan s);
+
+}  // namespace prins

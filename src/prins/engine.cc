@@ -1,0 +1,526 @@
+#include "prins/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "parity/xor.h"
+#include "prins/verify.h"
+
+namespace prins {
+
+PrinsEngine::PrinsEngine(std::shared_ptr<BlockDevice> local,
+                         EngineConfig config)
+    : local_(std::move(local)), config_(config) {
+  assert(local_ != nullptr);
+  assert(!config_.use_raid_tap &&
+         "use the RaidArray constructor for tap mode");
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+PrinsEngine::PrinsEngine(std::shared_ptr<RaidArray> local_raid,
+                         EngineConfig config)
+    : local_(local_raid), raid_(local_raid.get()), config_(config) {
+  assert(local_ != nullptr);
+  config_.use_raid_tap = true;
+  raid_->set_parity_observer([this](Lba lba, ByteSpan delta) {
+    std::lock_guard lock(tap_mutex_);
+    tap_deltas_[lba] = to_bytes(delta);
+  });
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+PrinsEngine::PrinsEngine(std::shared_ptr<Raid6Array> local_raid6,
+                         EngineConfig config)
+    : local_(local_raid6), raid6_(local_raid6.get()), config_(config) {
+  assert(local_ != nullptr);
+  config_.use_raid_tap = true;
+  raid6_->set_parity_observer([this](Lba lba, ByteSpan delta) {
+    std::lock_guard lock(tap_mutex_);
+    tap_deltas_[lba] = to_bytes(delta);
+  });
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+PrinsEngine::~PrinsEngine() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+  if (raid_ != nullptr) raid_->set_parity_observer(nullptr);
+  if (raid6_ != nullptr) raid6_->set_parity_observer(nullptr);
+  for (auto& link : replicas_) link->transport->close();
+}
+
+void PrinsEngine::add_replica(std::unique_ptr<Transport> link) {
+  assert(link != nullptr);
+  auto replica = std::make_unique<ReplicaLink>();
+  replica->transport = std::move(link);
+  std::lock_guard lock(mutex_);
+  replicas_.push_back(std::move(replica));
+}
+
+std::size_t PrinsEngine::replica_count() const {
+  std::lock_guard lock(mutex_);
+  return replicas_.size();
+}
+
+Status PrinsEngine::reattach_replica(std::size_t index,
+                                     std::unique_ptr<Transport> link) {
+  if (link == nullptr) return invalid_argument("null transport");
+  ReplicaLink* replica = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (index >= replicas_.size()) {
+      return invalid_argument("no replica at index " + std::to_string(index));
+    }
+    replica = replicas_[index].get();
+  }
+  {
+    // Take the link mutex so the worker is not mid-exchange on the old
+    // transport while we swap it.
+    std::lock_guard link_lock(replica->mutex);
+    replica->transport->close();
+    replica->transport = std::move(link);
+  }
+  std::lock_guard lock(mutex_);
+  worker_error_ = Status::ok();
+  return Status::ok();
+}
+
+Status PrinsEngine::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  const std::uint32_t bs = block_size();
+  const std::uint64_t blocks = data.size() / bs;
+
+  std::lock_guard write_lock(write_mutex_);
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    const Lba b = lba + i;
+    const ByteSpan new_block = data.subspan(i * bs, bs);
+    Bytes delta;
+    const bool need_delta = ships_parity(config_.policy) ||
+                            config_.keep_trap_log || raid_ != nullptr ||
+                            raid6_ != nullptr;
+
+    if (raid_ != nullptr || raid6_ != nullptr) {
+      // Tap mode: the array computes P' during its small-write path.
+      PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
+      std::lock_guard lock(tap_mutex_);
+      auto it = tap_deltas_.find(b);
+      if (it == tap_deltas_.end()) {
+        return internal_error("RAID tap produced no delta for block " +
+                              std::to_string(b));
+      }
+      delta = std::move(it->second);
+      tap_deltas_.erase(it);
+    } else {
+      if (need_delta) {
+        Bytes old_block(bs);
+        PRINS_RETURN_IF_ERROR(local_->read(b, old_block));
+        PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
+        delta = parity_delta(new_block, old_block);
+      } else {
+        PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
+      }
+    }
+    PRINS_RETURN_IF_ERROR(replicate_block(b, new_block, delta));
+  }
+  return Status::ok();
+}
+
+Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block,
+                                    ByteSpan delta) {
+  const Codec& codec = payload_codec(config_.policy);
+  const ByteSpan raw = ships_parity(config_.policy) ? delta : new_block;
+
+  ReplicationMessage msg;
+  msg.kind = MessageKind::kWrite;
+  msg.policy = config_.policy;
+  msg.block_size = block_size();
+  msg.lba = lba;
+  msg.payload = encode_frame(codec, raw);
+
+  {
+    std::lock_guard lock(mutex_);
+    msg.sequence = next_sequence_++;
+    msg.timestamp_us = ++logical_clock_us_;
+    metrics_.writes += 1;
+    metrics_.raw_bytes += new_block.size();
+    metrics_.payload_bytes += msg.payload.size();
+    metrics_.payload_sizes.record(msg.payload.size());
+    if (ships_parity(config_.policy)) {
+      metrics_.dirty_bytes.record(count_nonzero(delta));
+    }
+  }
+  if (config_.keep_trap_log) {
+    PRINS_RETURN_IF_ERROR(trap_log_.append(lba, msg.timestamp_us, delta));
+  }
+  return enqueue(std::move(msg));
+}
+
+Status PrinsEngine::enqueue(ReplicationMessage message) {
+  if (config_.journal != nullptr) {
+    // Durable before queued: a crash between these two steps re-sends the
+    // message (at-least-once), never loses it.
+    PRINS_RETURN_IF_ERROR(config_.journal->append(message));
+  }
+  std::unique_lock lock(mutex_);
+  queue_cv_.wait(lock, [this] {
+    return stopping_ || queue_.size() < config_.queue_capacity;
+  });
+  if (stopping_) return unavailable("engine is shutting down");
+  if (!worker_error_.is_ok()) return worker_error_;
+  queue_.push_back(std::move(message));
+  queue_cv_.notify_all();
+  return Status::ok();
+}
+
+Status PrinsEngine::send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
+                                        MessageKind /*expect_ack_of*/) {
+  PRINS_RETURN_IF_ERROR(link.transport->send(wire));
+  PRINS_ASSIGN_OR_RETURN(Bytes reply, link.transport->recv());
+  PRINS_ASSIGN_OR_RETURN(ReplicationMessage ack,
+                         ReplicationMessage::decode(reply));
+  if (ack.kind != MessageKind::kAck) {
+    return failed_precondition("replica sent non-ACK reply");
+  }
+  return Status::ok();
+}
+
+void PrinsEngine::worker_main() {
+  const std::size_t window = std::max<std::size_t>(1, config_.pipeline_depth);
+  struct BatchItem {
+    Bytes wire;
+    std::uint64_t timestamp;
+    std::uint64_t sequence;
+  };
+  std::vector<BatchItem> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with nothing left
+      // Pop up to one pipeline window's worth of messages.
+      while (!queue_.empty() && batch.size() < window) {
+        batch.push_back(BatchItem{queue_.front().encode(),
+                                  queue_.front().timestamp_us,
+                                  queue_.front().sequence});
+        queue_.pop_front();
+        ++in_flight_;
+      }
+      queue_cv_.notify_all();  // wake producers blocked on capacity
+    }
+
+    // Per replica: stream the whole window, then collect its ACKs.  The
+    // replica applies in order, so the window preserves write ordering.
+    Status result = Status::ok();
+    std::uint64_t acks = 0;
+    for (auto& link : replicas_) {
+      std::lock_guard link_lock(link->mutex);
+      std::size_t sent = 0;
+      Status s = Status::ok();
+      for (const BatchItem& item : batch) {
+        s = link->transport->send(item.wire);
+        if (!s.is_ok()) break;
+        ++sent;
+      }
+      for (std::size_t i = 0; i < sent; ++i) {
+        auto reply = link->transport->recv();
+        if (!reply.is_ok()) {
+          s = reply.status();
+          break;
+        }
+        auto ack = ReplicationMessage::decode(*reply);
+        if (!ack.is_ok()) {
+          s = ack.status();
+          break;
+        }
+        if (ack->kind != MessageKind::kAck) {
+          s = failed_precondition("replica sent non-ACK reply");
+          break;
+        }
+        link->acked_timestamp.store(batch[i].timestamp,
+                                    std::memory_order_relaxed);
+        ++acks;
+      }
+      if (!s.is_ok() && result.is_ok()) result = s;
+    }
+
+    if (result.is_ok() && config_.journal != nullptr && !batch.empty()) {
+      std::uint64_t max_seq = 0;
+      for (const BatchItem& item : batch) {
+        max_seq = std::max(max_seq, item.sequence);
+      }
+      Status journal_status = config_.journal->mark_acked(max_seq);
+      if (!journal_status.is_ok()) result = journal_status;
+    }
+
+    {
+      std::lock_guard lock(mutex_);
+      in_flight_ -= batch.size();
+      metrics_.acks += acks;
+      if (result.is_ok()) {
+        for (const BatchItem& item : batch) {
+          metrics_.message_bytes += item.wire.size();
+        }
+      } else if (worker_error_.is_ok()) {
+        worker_error_ = result;
+        PRINS_LOG(kError) << "replication failed: " << result.to_string();
+      }
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+Status PrinsEngine::drain() {
+  std::unique_lock lock(mutex_);
+  drain_cv_.wait(lock, [this] {
+    return (queue_.empty() && in_flight_ == 0) || stopping_;
+  });
+  return worker_error_;
+}
+
+Status PrinsEngine::flush() {
+  PRINS_RETURN_IF_ERROR(drain());
+  return local_->flush();
+}
+
+Status PrinsEngine::full_sync() {
+  const std::uint32_t bs = block_size();
+  Bytes block(bs);
+  const Codec& codec = codec_for(CodecId::kLz);
+  for (Lba lba = 0; lba < num_blocks(); ++lba) {
+    PRINS_RETURN_IF_ERROR(local_->read(lba, block));
+    ReplicationMessage msg;
+    msg.kind = MessageKind::kSyncBlock;
+    msg.policy = config_.policy;
+    msg.block_size = bs;
+    msg.lba = lba;
+    msg.payload = encode_frame(codec, block);
+    {
+      std::lock_guard lock(mutex_);
+      msg.sequence = next_sequence_++;
+      msg.timestamp_us = logical_clock_us_;  // sync is not a logical write
+    }
+    PRINS_RETURN_IF_ERROR(enqueue(std::move(msg)));
+  }
+  return drain();
+}
+
+Status PrinsEngine::flat_verify_locked(ReplicaLink& link, Lba start,
+                                       std::uint64_t count,
+                                       std::uint64_t& repaired) {
+  const std::uint32_t bs = block_size();
+  constexpr std::uint64_t kBatch = 1024;  // checksums per request message
+  Bytes block(bs);
+  for (std::uint64_t off = 0; off < count; off += kBatch) {
+    const std::uint64_t n = std::min(kBatch, count - off);
+    std::vector<BlockChecksum> sums;
+    sums.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Lba lba = start + off + i;
+      PRINS_RETURN_IF_ERROR(local_->read(lba, block));
+      sums.push_back(BlockChecksum{lba, crc32c(block)});
+    }
+    ReplicationMessage req;
+    req.kind = MessageKind::kVerifyRequest;
+    req.block_size = bs;
+    req.payload = pack_checksums(sums);
+    PRINS_RETURN_IF_ERROR(link.transport->send(req.encode()));
+
+    PRINS_ASSIGN_OR_RETURN(Bytes reply_wire, link.transport->recv());
+    PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply,
+                           ReplicationMessage::decode(reply_wire));
+    if (reply.kind != MessageKind::kVerifyReply) {
+      return failed_precondition("replica sent non-verify reply");
+    }
+    PRINS_ASSIGN_OR_RETURN(std::vector<std::uint64_t> bad,
+                           unpack_lbas(reply.payload));
+    for (std::uint64_t lba : bad) {
+      PRINS_RETURN_IF_ERROR(local_->read(lba, block));
+      ReplicationMessage repair;
+      repair.kind = MessageKind::kRepairBlock;
+      repair.block_size = bs;
+      repair.lba = lba;
+      repair.payload = encode_frame(codec_for(CodecId::kLz), block);
+      PRINS_RETURN_IF_ERROR(send_and_ack_locked(link, repair.encode(),
+                                                MessageKind::kRepairBlock));
+      ++repaired;
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> PrinsEngine::verify_and_repair(Lba start,
+                                                     std::uint64_t count) {
+  if (start >= num_blocks() || count > num_blocks() - start) {
+    return out_of_range("verify range exceeds device");
+  }
+  PRINS_RETURN_IF_ERROR(drain());
+
+  std::uint64_t repaired = 0;
+  for (auto& link : replicas_) {
+    std::lock_guard link_lock(link->mutex);
+    PRINS_RETURN_IF_ERROR(flat_verify_locked(*link, start, count, repaired));
+  }
+  return repaired;
+}
+
+Result<std::uint64_t> PrinsEngine::verify_and_repair_hierarchical(
+    Lba start, std::uint64_t count) {
+  if (start >= num_blocks() || count > num_blocks() - start) {
+    return out_of_range("verify range exceeds device");
+  }
+  PRINS_RETURN_IF_ERROR(drain());
+
+  constexpr unsigned kFanout = 16;       // subranges per split
+  constexpr std::uint64_t kLeaf = 64;    // blocks: below this, go flat
+
+  std::uint64_t repaired = 0;
+  for (auto& link : replicas_) {
+    std::lock_guard link_lock(link->mutex);
+    std::vector<BlockRange> frontier{BlockRange{start, count}};
+    std::vector<BlockRange> leaves;
+
+    while (!frontier.empty()) {
+      // Ask the replica to fingerprint the whole frontier in one message.
+      ReplicationMessage req;
+      req.kind = MessageKind::kHashRequest;
+      req.block_size = block_size();
+      req.payload = pack_ranges(frontier);
+      PRINS_RETURN_IF_ERROR(link->transport->send(req.encode()));
+      PRINS_ASSIGN_OR_RETURN(Bytes reply_wire, link->transport->recv());
+      PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply,
+                             ReplicationMessage::decode(reply_wire));
+      if (reply.kind != MessageKind::kHashReply) {
+        return failed_precondition("replica sent non-hash reply");
+      }
+      PRINS_ASSIGN_OR_RETURN(std::vector<std::uint64_t> remote,
+                             unpack_hashes(reply.payload));
+      if (remote.size() != frontier.size()) {
+        return corruption("hash reply count mismatch");
+      }
+
+      std::vector<BlockRange> next;
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const BlockRange& range = frontier[i];
+        PRINS_ASSIGN_OR_RETURN(std::uint64_t local,
+                               hash_block_range(*local_, range));
+        if (local == remote[i]) continue;  // range agrees; skip entirely
+        if (range.count <= kLeaf) {
+          leaves.push_back(range);
+          continue;
+        }
+        // Split the disagreeing range into kFanout children.
+        const std::uint64_t step =
+            (range.count + kFanout - 1) / kFanout;
+        for (std::uint64_t off = 0; off < range.count; off += step) {
+          next.push_back(BlockRange{
+              range.lba + off, std::min(step, range.count - off)});
+        }
+      }
+      frontier = std::move(next);
+    }
+
+    for (const BlockRange& leaf : leaves) {
+      PRINS_RETURN_IF_ERROR(
+          flat_verify_locked(*link, leaf.lba, leaf.count, repaired));
+    }
+  }
+  return repaired;
+}
+
+Status PrinsEngine::replay_journal() {
+  if (config_.journal == nullptr) {
+    return failed_precondition("engine has no journal configured");
+  }
+  PRINS_ASSIGN_OR_RETURN(std::vector<ReplicationMessage> pending,
+                         config_.journal->pending());
+  {
+    // Fast-forward counters past everything ever journaled so new writes
+    // do not collide with replayed sequences.
+    std::lock_guard lock(mutex_);
+    const std::uint64_t max_seq = config_.journal->max_sequence();
+    next_sequence_ = std::max(next_sequence_, max_seq + 1);
+    for (const auto& msg : pending) {
+      logical_clock_us_ = std::max(logical_clock_us_, msg.timestamp_us);
+    }
+  }
+  for (auto& msg : pending) {
+    // Re-append suppressed: the message is already in the journal.
+    std::unique_lock lock(mutex_);
+    queue_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+    if (stopping_) return unavailable("engine is shutting down");
+    queue_.push_back(std::move(msg));
+    queue_cv_.notify_all();
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
+  if (!config_.keep_trap_log) {
+    return failed_precondition(
+        "resync_replica requires EngineConfig::keep_trap_log");
+  }
+  ReplicaLink* link = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (index >= replicas_.size()) {
+      return invalid_argument("no replica at index " + std::to_string(index));
+    }
+    link = replicas_[index].get();
+  }
+  PRINS_RETURN_IF_ERROR(drain());  // quiesce the worker
+
+  const std::uint64_t since =
+      link->acked_timestamp.load(std::memory_order_relaxed);
+  const std::uint32_t bs = block_size();
+  const Bytes zeros(bs, 0);
+  std::uint64_t resynced = 0;
+
+  std::lock_guard link_lock(link->mutex);
+  std::uint64_t newest = since;
+  for (Lba lba : trap_log_.blocks_changed_since(since)) {
+    // Fold every delta the replica missed: XOR of entries newer than
+    // `since` == A_now ⊕ A_since (recover_block on a zero buffer).
+    PRINS_ASSIGN_OR_RETURN(Bytes fold,
+                           trap_log_.recover_block(lba, since, zeros));
+    if (all_zero(fold)) continue;  // missed writes cancelled out
+
+    ReplicationMessage msg;
+    msg.kind = MessageKind::kWrite;
+    msg.policy = ReplicationPolicy::kPrinsRle;
+    msg.block_size = bs;
+    msg.lba = lba;
+    msg.payload = encode_frame(codec_for(CodecId::kZeroRle), fold);
+    {
+      std::lock_guard lock(mutex_);
+      msg.sequence = next_sequence_++;
+      msg.timestamp_us = logical_clock_us_;
+      newest = logical_clock_us_;
+    }
+    PRINS_RETURN_IF_ERROR(
+        send_and_ack_locked(*link, msg.encode(), msg.kind));
+    ++resynced;
+  }
+  link->acked_timestamp.store(newest, std::memory_order_relaxed);
+  return resynced;
+}
+
+EngineMetrics PrinsEngine::metrics() const {
+  std::lock_guard lock(mutex_);
+  return metrics_;
+}
+
+std::string PrinsEngine::describe() const {
+  return "prins-engine[" + std::string(policy_name(config_.policy)) + "](" +
+         local_->describe() + ")";
+}
+
+}  // namespace prins

@@ -1,0 +1,204 @@
+#include "prins/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace prins {
+namespace {
+
+constexpr Byte kMagic[4] = {'P', 'R', 'j', 'l'};
+constexpr std::uint8_t kRecordMessage = 0x01;
+constexpr std::uint8_t kRecordAck = 0x02;
+
+Status write_all(int fd, ByteSpan data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("journal write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ReplicationJournal>> ReplicationJournal::open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return io_error("open(" + path + "): " + std::strerror(errno));
+  }
+  std::unique_ptr<ReplicationJournal> journal(
+      new ReplicationJournal(fd, path));
+
+  // Scan existing contents.
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) return io_error("lseek: " + std::string(std::strerror(errno)));
+  if (size == 0) {
+    // Fresh journal: write the magic.
+    PRINS_RETURN_IF_ERROR(write_all(fd, kMagic));
+    return journal;
+  }
+
+  Bytes contents(static_cast<std::size_t>(size));
+  if (::pread(fd, contents.data(), contents.size(), 0) !=
+      static_cast<ssize_t>(contents.size())) {
+    return io_error("journal read failed: " + path);
+  }
+  if (contents.size() < 4 ||
+      !std::equal(std::begin(kMagic), std::end(kMagic), contents.begin())) {
+    return corruption("bad journal magic: " + path);
+  }
+
+  std::size_t pos = 4;
+  while (pos < contents.size()) {
+    const std::uint8_t type = contents[pos];
+    if (type == kRecordMessage) {
+      if (contents.size() - pos < 5) break;  // torn tail
+      const std::uint32_t len = load_le32(ByteSpan(contents).subspan(pos + 1, 4));
+      if (contents.size() - pos - 5 < len) break;  // torn tail
+      const ByteSpan wire = ByteSpan(contents).subspan(pos + 5, len);
+      auto message = ReplicationMessage::decode(wire);
+      if (!message.is_ok()) break;  // corrupt tail; everything before is good
+      journal->max_sequence_ =
+          std::max(journal->max_sequence_, message->sequence);
+      journal->pending_.emplace_back(message->sequence, to_bytes(wire));
+      pos += 5 + len;
+    } else if (type == kRecordAck) {
+      if (contents.size() - pos < 9) break;
+      journal->acked_ = std::max(
+          journal->acked_, load_le64(ByteSpan(contents).subspan(pos + 1, 8)));
+      pos += 9;
+    } else {
+      break;  // unknown/garbage tail
+    }
+  }
+
+  // Drop entries at or below the watermark; keep the rest sorted.
+  auto& pending = journal->pending_;
+  std::erase_if(pending, [&](const auto& entry) {
+    return entry.first <= journal->acked_;
+  });
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return journal;
+}
+
+ReplicationJournal::ReplicationJournal(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+ReplicationJournal::~ReplicationJournal() { ::close(fd_); }
+
+Status ReplicationJournal::append_record_locked(std::uint8_t type,
+                                                ByteSpan payload) {
+  Bytes record;
+  record.reserve(5 + payload.size());
+  record.push_back(type);
+  if (type == kRecordMessage) {
+    append_le32(record, static_cast<std::uint32_t>(payload.size()));
+  }
+  prins::append(record, payload);
+  PRINS_RETURN_IF_ERROR(write_all(fd_, record));
+  if (::fdatasync(fd_) != 0) {
+    return io_error("journal fdatasync: " + std::string(std::strerror(errno)));
+  }
+  return Status::ok();
+}
+
+Status ReplicationJournal::append(const ReplicationMessage& message) {
+  const Bytes wire = message.encode();
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(append_record_locked(kRecordMessage, wire));
+  max_sequence_ = std::max(max_sequence_, message.sequence);
+  pending_.emplace_back(message.sequence, wire);
+  return Status::ok();
+}
+
+Status ReplicationJournal::mark_acked(std::uint64_t sequence) {
+  Byte seq[8];
+  store_le64(seq, sequence);
+  std::lock_guard lock(mutex_);
+  if (sequence <= acked_) return Status::ok();
+  PRINS_RETURN_IF_ERROR(append_record_locked(kRecordAck, seq));
+  acked_ = sequence;
+  std::erase_if(pending_,
+                [&](const auto& entry) { return entry.first <= acked_; });
+  return Status::ok();
+}
+
+Result<std::vector<ReplicationMessage>> ReplicationJournal::pending() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ReplicationMessage> out;
+  out.reserve(pending_.size());
+  for (const auto& [sequence, wire] : pending_) {
+    PRINS_ASSIGN_OR_RETURN(ReplicationMessage message,
+                           ReplicationMessage::decode(wire));
+    out.push_back(std::move(message));
+  }
+  return out;
+}
+
+Status ReplicationJournal::checkpoint() {
+  std::lock_guard lock(mutex_);
+  const std::string tmp = path_ + ".tmp";
+  int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return io_error("open(" + tmp + "): " + std::strerror(errno));
+  }
+  Bytes out;
+  prins::append(out, kMagic);
+  out.push_back(kRecordAck);
+  append_le64(out, acked_);
+  for (const auto& [sequence, wire] : pending_) {
+    out.push_back(kRecordMessage);
+    append_le32(out, static_cast<std::uint32_t>(wire.size()));
+    prins::append(out, wire);
+  }
+  Status s = write_all(fd, out);
+  if (s.is_ok() && ::fdatasync(fd) != 0) {
+    s = io_error("checkpoint fdatasync failed");
+  }
+  ::close(fd);
+  if (!s.is_ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return io_error("rename(" + tmp + "): " + std::strerror(errno));
+  }
+  // Reopen the descriptor onto the new file.
+  int new_fd = ::open(path_.c_str(), O_RDWR, 0644);
+  if (new_fd < 0) {
+    return io_error("reopen(" + path_ + "): " + std::strerror(errno));
+  }
+  ::lseek(new_fd, 0, SEEK_END);
+  ::close(fd_);
+  fd_ = new_fd;
+  return Status::ok();
+}
+
+std::uint64_t ReplicationJournal::acked_sequence() const {
+  std::lock_guard lock(mutex_);
+  return acked_;
+}
+
+std::uint64_t ReplicationJournal::max_sequence() const {
+  std::lock_guard lock(mutex_);
+  return max_sequence_;
+}
+
+std::size_t ReplicationJournal::pending_count() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace prins

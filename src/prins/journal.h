@@ -1,0 +1,74 @@
+// ReplicationJournal: a crash-durable log of outbound replication.
+//
+// The in-memory replication queue dies with the process; anything written
+// locally but not yet acknowledged by every replica would silently
+// diverge.  The journal closes that hole: every replication message is
+// appended (and fsync'd) before it is queued, and an acknowledgement
+// watermark is advanced as replicas confirm.  After a crash, a new engine
+// replays the entries above the watermark — at-least-once delivery, which
+// is safe because kWrite application is idempotent per (lba, content)
+// ordering and replicas apply in sequence order.
+//
+// File format (little-endian):
+//   header: magic "PRjl" (4)
+//   records, back to back:
+//     0x01 | u32 length | message wire bytes (self-checksummed)
+//     0x02 | u64 acked sequence watermark
+// A torn tail record (partial write at crash) is detected and ignored.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "prins/message.h"
+
+namespace prins {
+
+class ReplicationJournal {
+ public:
+  /// Open or create a journal at `path`, scanning existing records.
+  static Result<std::unique_ptr<ReplicationJournal>> open(
+      const std::string& path);
+  ~ReplicationJournal();
+
+  ReplicationJournal(const ReplicationJournal&) = delete;
+  ReplicationJournal& operator=(const ReplicationJournal&) = delete;
+
+  /// Durably record a message before it is queued for sending.
+  Status append(const ReplicationMessage& message);
+
+  /// Advance the acknowledgement watermark: everything with
+  /// sequence <= `sequence` is confirmed replicated.
+  Status mark_acked(std::uint64_t sequence);
+
+  /// Messages above the watermark, in sequence order (what a restarted
+  /// engine must re-send).
+  Result<std::vector<ReplicationMessage>> pending() const;
+
+  /// Rewrite the file keeping only pending records (reclaims space).
+  Status checkpoint();
+
+  std::uint64_t acked_sequence() const;
+  std::uint64_t max_sequence() const;
+  /// Records currently above the watermark.
+  std::size_t pending_count() const;
+
+ private:
+  ReplicationJournal(int fd, std::string path);
+
+  Status append_record_locked(std::uint8_t type, ByteSpan payload);
+
+  mutable std::mutex mutex_;
+  int fd_;
+  std::string path_;
+  std::uint64_t acked_ = 0;
+  std::uint64_t max_sequence_ = 0;
+  // Pending wire messages by sequence (kept in memory for cheap replay;
+  // the file is the durable copy).
+  std::vector<std::pair<std::uint64_t, Bytes>> pending_;
+};
+
+}  // namespace prins

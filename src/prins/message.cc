@@ -1,0 +1,81 @@
+#include "prins/message.h"
+
+#include <algorithm>
+
+#include "common/crc32c.h"
+#include "common/endian.h"
+
+namespace prins {
+namespace {
+
+constexpr Byte kMagic[4] = {'P', 'R', 'r', 'p'};
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 8 + 4;
+
+bool valid_kind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(MessageKind::kWrite) &&
+         k <= static_cast<std::uint8_t>(MessageKind::kHashReply);
+}
+
+bool valid_policy(std::uint8_t p) {
+  return p <= static_cast<std::uint8_t>(ReplicationPolicy::kPrinsRle);
+}
+
+}  // namespace
+
+Bytes ReplicationMessage::encode() const {
+  Bytes out;
+  out.reserve(kHeaderSize + payload.size() + 4);
+  append(out, kMagic);
+  out.push_back(static_cast<Byte>(kind));
+  out.push_back(static_cast<Byte>(policy));
+  append_le32(out, block_size);
+  append_le64(out, lba);
+  append_le64(out, sequence);
+  append_le64(out, timestamp_us);
+  append_le32(out, static_cast<std::uint32_t>(payload.size()));
+  append(out, payload);
+  append_le32(out, crc32c(out));
+  return out;
+}
+
+Result<ReplicationMessage> ReplicationMessage::decode(ByteSpan wire) {
+  if (wire.size() < kHeaderSize + 4) {
+    return corruption("replication message too short");
+  }
+  if (!std::equal(std::begin(kMagic), std::end(kMagic), wire.begin())) {
+    return corruption("bad replication message magic");
+  }
+  const std::uint32_t want_crc = load_le32(wire.subspan(wire.size() - 4));
+  if (crc32c(wire.first(wire.size() - 4)) != want_crc) {
+    return corruption("replication message crc mismatch");
+  }
+  ReplicationMessage msg;
+  std::size_t pos = 4;
+  const std::uint8_t kind_raw = wire[pos++];
+  if (!valid_kind(kind_raw)) {
+    return corruption("bad message kind " + std::to_string(kind_raw));
+  }
+  msg.kind = static_cast<MessageKind>(kind_raw);
+  const std::uint8_t policy_raw = wire[pos++];
+  if (!valid_policy(policy_raw)) {
+    return corruption("bad policy " + std::to_string(policy_raw));
+  }
+  msg.policy = static_cast<ReplicationPolicy>(policy_raw);
+  msg.block_size = load_le32(wire.subspan(pos, 4));
+  pos += 4;
+  msg.lba = load_le64(wire.subspan(pos, 8));
+  pos += 8;
+  msg.sequence = load_le64(wire.subspan(pos, 8));
+  pos += 8;
+  msg.timestamp_us = load_le64(wire.subspan(pos, 8));
+  pos += 8;
+  const std::uint32_t payload_len = load_le32(wire.subspan(pos, 4));
+  pos += 4;
+  if (wire.size() - 4 - pos != payload_len) {
+    return corruption("replication message payload length mismatch");
+  }
+  msg.payload = to_bytes(wire.subspan(pos, payload_len));
+  return msg;
+}
+
+}  // namespace prins

@@ -1,0 +1,47 @@
+// Replication wire messages between a PRINS engine and its replicas.
+//
+// Layout (little-endian):
+//   magic "PRrp" (4) | kind (1) | policy (1) | block_size (4) | lba (8) |
+//   sequence (8) | timestamp_us (8) | payload length (4) | payload |
+//   crc32c of everything before it (4)
+//
+// The payload of kWrite/kSyncBlock/kRepairBlock is a codec frame
+// (codec.h); kAck and the verify messages use it for raw data.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "prins/replication_policy.h"
+
+namespace prins {
+
+using Lba = std::uint64_t;  // same alias as block/block_device.h
+
+enum class MessageKind : std::uint8_t {
+  kWrite = 1,        // one replicated block write (parity or full block)
+  kSyncBlock = 2,    // initial sync: full block contents (compressed)
+  kAck = 3,          // replica -> primary: sequence applied
+  kVerifyRequest = 4,// primary -> replica: payload = packed (lba, crc) list
+  kVerifyReply = 5,  // replica -> primary: payload = packed mismatched lbas
+  kRepairBlock = 6,  // primary -> replica: full block contents
+  kBarrier = 7,      // flush marker: replica acks when all prior applied
+  kHashRequest = 8,  // primary -> replica: payload = packed (lba, count) ranges
+  kHashReply = 9,    // replica -> primary: payload = packed range hashes
+};
+
+struct ReplicationMessage {
+  MessageKind kind = MessageKind::kWrite;
+  ReplicationPolicy policy = ReplicationPolicy::kTraditional;
+  std::uint32_t block_size = 0;
+  Lba lba = 0;
+  std::uint64_t sequence = 0;
+  std::uint64_t timestamp_us = 0;  // logical write timestamp (drives TRAP)
+  Bytes payload;
+
+  Bytes encode() const;
+  static Result<ReplicationMessage> decode(ByteSpan wire);
+};
+
+}  // namespace prins

@@ -1,0 +1,169 @@
+#include "prins/replica.h"
+
+#include <thread>
+
+#include "codec/codec.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "parity/xor.h"
+#include "prins/verify.h"
+
+namespace prins {
+
+ReplicaEngine::ReplicaEngine(std::shared_ptr<BlockDevice> local,
+                             ReplicaConfig config)
+    : local_(std::move(local)), config_(config) {}
+
+Status ReplicaEngine::serve(Transport& transport) {
+  for (;;) {
+    auto wire = transport.recv();
+    if (!wire.is_ok()) {
+      return wire.status().code() == ErrorCode::kUnavailable ? Status::ok()
+                                                             : wire.status();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      metrics_.bytes_received += wire->size();
+    }
+    PRINS_ASSIGN_OR_RETURN(ReplicationMessage msg,
+                           ReplicationMessage::decode(*wire));
+    PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply, apply(msg));
+    PRINS_RETURN_IF_ERROR(transport.send(reply.encode()));
+  }
+}
+
+Result<ReplicationMessage> ReplicaEngine::apply(
+    const ReplicationMessage& message) {
+  switch (message.kind) {
+    case MessageKind::kVerifyRequest:
+      return apply_verify(message);
+    case MessageKind::kHashRequest: {
+      PRINS_ASSIGN_OR_RETURN(std::vector<BlockRange> ranges,
+                             unpack_ranges(message.payload));
+      std::vector<std::uint64_t> hashes;
+      hashes.reserve(ranges.size());
+      for (const BlockRange& range : ranges) {
+        PRINS_ASSIGN_OR_RETURN(std::uint64_t h,
+                               hash_block_range(*local_, range));
+        hashes.push_back(h);
+      }
+      ReplicationMessage reply;
+      reply.kind = MessageKind::kHashReply;
+      reply.sequence = message.sequence;
+      reply.payload = pack_hashes(hashes);
+      return reply;
+    }
+    case MessageKind::kWrite:
+    case MessageKind::kSyncBlock:
+    case MessageKind::kRepairBlock: {
+      PRINS_RETURN_IF_ERROR(apply_write(message));
+      break;
+    }
+    case MessageKind::kBarrier:
+      break;  // in-order processing makes the barrier itself a no-op
+    case MessageKind::kAck:
+    case MessageKind::kVerifyReply:
+    case MessageKind::kHashReply:
+      return failed_precondition("replica received a reply-kind message");
+  }
+  ReplicationMessage ack;
+  ack.kind = MessageKind::kAck;
+  ack.sequence = message.sequence;
+  ack.lba = message.lba;
+  return ack;
+}
+
+Status ReplicaEngine::apply_write(const ReplicationMessage& message) {
+  if (message.block_size != local_->block_size()) {
+    return invalid_argument("message block size " +
+                            std::to_string(message.block_size) +
+                            " != replica block size " +
+                            std::to_string(local_->block_size()));
+  }
+  PRINS_ASSIGN_OR_RETURN(Bytes raw, decode_frame(message.payload));
+  if (raw.size() != message.block_size) {
+    return corruption("decoded payload is " + std::to_string(raw.size()) +
+                      " bytes, expected one block");
+  }
+
+  const bool parity = message.kind == MessageKind::kWrite &&
+                      ships_parity(message.policy);
+  Bytes new_block;
+  Bytes delta;
+  if (parity) {
+    // Backward parity computation: A_new = P' ⊕ A_old.
+    Bytes old_block(message.block_size);
+    PRINS_RETURN_IF_ERROR(local_->read(message.lba, old_block));
+    delta = std::move(raw);
+    new_block = Bytes(message.block_size);
+    xor_to(new_block, delta, old_block);
+  } else {
+    new_block = std::move(raw);
+    if (config_.keep_trap_log && message.kind == MessageKind::kWrite) {
+      Bytes old_block(message.block_size);
+      PRINS_RETURN_IF_ERROR(local_->read(message.lba, old_block));
+      delta = parity_delta(new_block, old_block);
+    }
+  }
+
+  PRINS_RETURN_IF_ERROR(local_->write(message.lba, new_block));
+
+  if (config_.keep_trap_log && message.kind == MessageKind::kWrite) {
+    PRINS_RETURN_IF_ERROR(
+        trap_log_.append(message.lba, message.timestamp_us, delta));
+  }
+
+  std::lock_guard lock(mutex_);
+  metrics_.writes_applied += (message.kind == MessageKind::kWrite);
+  metrics_.parity_applies += parity;
+  metrics_.sync_blocks += (message.kind == MessageKind::kSyncBlock);
+  metrics_.repairs += (message.kind == MessageKind::kRepairBlock);
+  return Status::ok();
+}
+
+Result<ReplicationMessage> ReplicaEngine::apply_verify(
+    const ReplicationMessage& message) {
+  PRINS_ASSIGN_OR_RETURN(std::vector<BlockChecksum> sums,
+                         unpack_checksums(message.payload));
+  std::vector<std::uint64_t> mismatched;
+  Bytes block(local_->block_size());
+  for (const auto& sum : sums) {
+    if (sum.lba >= local_->num_blocks()) {
+      mismatched.push_back(sum.lba);
+      continue;
+    }
+    PRINS_RETURN_IF_ERROR(local_->read(sum.lba, block));
+    if (crc32c(block) != sum.crc) mismatched.push_back(sum.lba);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    metrics_.verify_requests += 1;
+  }
+  ReplicationMessage reply;
+  reply.kind = MessageKind::kVerifyReply;
+  reply.sequence = message.sequence;
+  reply.payload = pack_lbas(mismatched);
+  return reply;
+}
+
+ReplicaMetrics ReplicaEngine::metrics() const {
+  std::lock_guard lock(mutex_);
+  return metrics_;
+}
+
+std::thread replica_serve_in_background(std::shared_ptr<ReplicaEngine> replica,
+                                        std::shared_ptr<Listener> listener) {
+  return std::thread([replica = std::move(replica),
+                      listener = std::move(listener)] {
+    for (;;) {
+      auto conn = listener->accept();
+      if (!conn.is_ok()) return;
+      Status s = replica->serve(**conn);
+      if (!s.is_ok()) {
+        PRINS_LOG(kWarn) << "replica session error: " << s.to_string();
+      }
+    }
+  });
+}
+
+}  // namespace prins

@@ -1,0 +1,78 @@
+// ReplicaEngine: the replica-side PRINS engine.
+//
+// "The counterpart PRINS-engine at the replica node will listen on the
+// network to receive replicated parity.  Upon receiving such parity, [it]
+// will perform the reverse computation ... and store the data in its local
+// storage using the same LBA."  (§2)
+//
+// serve() loops on a transport: decodes each replication message, applies
+// it to the local device (backward parity computation for PRINS policies,
+// plain writes for traditional ones, checksum answers for verify), and
+// ACKs.  Optionally feeds every applied delta into a TrapLog, giving the
+// replica continuous data protection for free.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "block/block_device.h"
+#include "common/histogram.h"
+#include "net/transport.h"
+#include "prins/message.h"
+#include "prins/trap_log.h"
+
+namespace prins {
+
+struct ReplicaConfig {
+  /// Record parity deltas of applied writes for point-in-time recovery.
+  bool keep_trap_log = false;
+};
+
+struct ReplicaMetrics {
+  std::uint64_t writes_applied = 0;
+  std::uint64_t parity_applies = 0;   // writes applied via backward parity
+  std::uint64_t sync_blocks = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t verify_requests = 0;
+  std::uint64_t bytes_received = 0;   // wire message bytes
+};
+
+class ReplicaEngine {
+ public:
+  ReplicaEngine(std::shared_ptr<BlockDevice> local, ReplicaConfig config = {});
+
+  /// Serve one primary connection until it closes.  OK on clean disconnect.
+  Status serve(Transport& transport);
+
+  /// Apply a single message and build the reply (ACK / verify reply).
+  /// Exposed for deterministic unit tests; serve() is this in a loop.
+  Result<ReplicationMessage> apply(const ReplicationMessage& message);
+
+  ReplicaMetrics metrics() const;
+
+  /// The CDP log (empty unless config.keep_trap_log).
+  TrapLog& trap_log() { return trap_log_; }
+  const TrapLog& trap_log() const { return trap_log_; }
+
+  BlockDevice& device() { return *local_; }
+
+ private:
+  Status apply_write(const ReplicationMessage& message);
+  Result<ReplicationMessage> apply_verify(const ReplicationMessage& message);
+
+  std::shared_ptr<BlockDevice> local_;
+  ReplicaConfig config_;
+  TrapLog trap_log_;
+  mutable std::mutex mutex_;
+  ReplicaMetrics metrics_;
+};
+
+/// Run replica.serve(transport) for every connection accepted from
+/// `listener` on a background thread (sequentially).  Join after closing
+/// the listener.
+std::thread replica_serve_in_background(std::shared_ptr<ReplicaEngine> replica,
+                                        std::shared_ptr<Listener> listener);
+
+}  // namespace prins

@@ -1,0 +1,61 @@
+// Replication policies: the three techniques the paper compares, plus an
+// ablation variant.
+//
+//   kTraditional            — ship the whole changed block (red bars).
+//   kTraditionalCompressed  — whole block through the LZ compressor, the
+//                             zlib baseline (blue bars).
+//   kPrins                  — ship the write parity P' = new ⊕ old, encoded
+//                             zero-RLE then LZ, mirroring the paper's
+//                             zlib-encoded parity (golden bars).
+//   kPrinsRle               — parity with zero-RLE only; isolates how much
+//                             of PRINS's win is "mostly zeros" vs "LZ on the
+//                             residue" (ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "codec/codec.h"
+
+namespace prins {
+
+enum class ReplicationPolicy : std::uint8_t {
+  kTraditional = 0,
+  kTraditionalCompressed = 1,
+  kPrins = 2,
+  kPrinsRle = 3,
+};
+
+/// True when the policy ships parity deltas (replica must XOR with its old
+/// copy); false when it ships self-contained block contents.
+constexpr bool ships_parity(ReplicationPolicy policy) {
+  return policy == ReplicationPolicy::kPrins ||
+         policy == ReplicationPolicy::kPrinsRle;
+}
+
+/// Codec applied to the replication payload under this policy.
+inline const Codec& payload_codec(ReplicationPolicy policy) {
+  switch (policy) {
+    case ReplicationPolicy::kTraditional:
+      return codec_for(CodecId::kNull);
+    case ReplicationPolicy::kTraditionalCompressed:
+      return codec_for(CodecId::kLz);
+    case ReplicationPolicy::kPrins:
+      return codec_for(CodecId::kZeroRleLz);
+    case ReplicationPolicy::kPrinsRle:
+      return codec_for(CodecId::kZeroRle);
+  }
+  return codec_for(CodecId::kNull);
+}
+
+constexpr std::string_view policy_name(ReplicationPolicy policy) {
+  switch (policy) {
+    case ReplicationPolicy::kTraditional: return "traditional";
+    case ReplicationPolicy::kTraditionalCompressed: return "trad+compress";
+    case ReplicationPolicy::kPrins: return "PRINS";
+    case ReplicationPolicy::kPrinsRle: return "PRINS-rle";
+  }
+  return "?";
+}
+
+}  // namespace prins

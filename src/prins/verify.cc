@@ -1,0 +1,133 @@
+#include "prins/verify.h"
+
+#include "common/crc32c.h"
+#include "common/endian.h"
+#include "common/hash.h"
+#include "common/varint.h"
+
+namespace prins {
+
+Bytes pack_checksums(const std::vector<BlockChecksum>& checksums) {
+  Bytes out;
+  out.reserve(2 + checksums.size() * 12);
+  put_varint(out, checksums.size());
+  for (const auto& c : checksums) {
+    append_le64(out, c.lba);
+    append_le32(out, c.crc);
+  }
+  return out;
+}
+
+Result<std::vector<BlockChecksum>> unpack_checksums(ByteSpan payload) {
+  std::size_t pos = 0;
+  auto count = get_varint(payload, pos);
+  if (!count) return corruption("verify request: truncated count");
+  if (payload.size() - pos != *count * 12) {
+    return corruption("verify request: length mismatch");
+  }
+  std::vector<BlockChecksum> out;
+  out.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    BlockChecksum c;
+    c.lba = load_le64(payload.subspan(pos, 8));
+    pos += 8;
+    c.crc = load_le32(payload.subspan(pos, 4));
+    pos += 4;
+    out.push_back(c);
+  }
+  return out;
+}
+
+Bytes pack_lbas(const std::vector<std::uint64_t>& lbas) {
+  Bytes out;
+  out.reserve(2 + lbas.size() * 8);
+  put_varint(out, lbas.size());
+  for (std::uint64_t lba : lbas) append_le64(out, lba);
+  return out;
+}
+
+Result<std::vector<std::uint64_t>> unpack_lbas(ByteSpan payload) {
+  std::size_t pos = 0;
+  auto count = get_varint(payload, pos);
+  if (!count) return corruption("verify reply: truncated count");
+  if (payload.size() - pos != *count * 8) {
+    return corruption("verify reply: length mismatch");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    out.push_back(load_le64(payload.subspan(pos, 8)));
+    pos += 8;
+  }
+  return out;
+}
+
+Bytes pack_ranges(const std::vector<BlockRange>& ranges) {
+  Bytes out;
+  put_varint(out, ranges.size());
+  for (const BlockRange& r : ranges) {
+    put_varint(out, r.lba);
+    put_varint(out, r.count);
+  }
+  return out;
+}
+
+Result<std::vector<BlockRange>> unpack_ranges(ByteSpan payload) {
+  std::size_t pos = 0;
+  auto count = get_varint(payload, pos);
+  if (!count) return corruption("hash request: truncated count");
+  std::vector<BlockRange> out;
+  out.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto lba = get_varint(payload, pos);
+    auto n = get_varint(payload, pos);
+    if (!lba || !n) return corruption("hash request: truncated range");
+    out.push_back(BlockRange{*lba, *n});
+  }
+  if (pos != payload.size()) {
+    return corruption("hash request: trailing garbage");
+  }
+  return out;
+}
+
+Bytes pack_hashes(const std::vector<std::uint64_t>& hashes) {
+  Bytes out;
+  put_varint(out, hashes.size());
+  for (std::uint64_t h : hashes) append_le64(out, h);
+  return out;
+}
+
+Result<std::vector<std::uint64_t>> unpack_hashes(ByteSpan payload) {
+  std::size_t pos = 0;
+  auto count = get_varint(payload, pos);
+  if (!count) return corruption("hash reply: truncated count");
+  if (payload.size() - pos != *count * 8) {
+    return corruption("hash reply: length mismatch");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    out.push_back(load_le64(payload.subspan(pos, 8)));
+    pos += 8;
+  }
+  return out;
+}
+
+Result<std::uint64_t> hash_block_range(BlockDevice& device,
+                                       const BlockRange& range) {
+  if (range.lba >= device.num_blocks() ||
+      range.count > device.num_blocks() - range.lba) {
+    return out_of_range("hash range exceeds device");
+  }
+  Bytes block(device.block_size());
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  Byte crc_le[4];
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    PRINS_RETURN_IF_ERROR(device.read(range.lba + i, block));
+    store_le32(crc_le, crc32c(block));
+    hash = fnv1a64(crc_le, hash);
+  }
+  return hash;
+}
+
+}  // namespace prins

@@ -1,0 +1,60 @@
+// Packing helpers for the verify/repair protocol.
+//
+// The primary fingerprints block ranges with CRC-32C and ships
+// (lba, crc) lists in kVerifyRequest messages; the replica answers with the
+// list of LBAs whose local contents disagree, which the primary then
+// repairs with full kRepairBlock writes.  This is the block-level analogue
+// of rsync's checksum pass and is how a replica that missed updates (crash,
+// link loss) is brought back in sync without a full copy.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "block/block_device.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace prins {
+
+struct BlockChecksum {
+  std::uint64_t lba;
+  std::uint32_t crc;
+};
+
+/// Serialize a checksum list (count varint, then lba/crc pairs LE).
+Bytes pack_checksums(const std::vector<BlockChecksum>& checksums);
+Result<std::vector<BlockChecksum>> unpack_checksums(ByteSpan payload);
+
+/// Serialize an LBA list (count varint, then LEs).
+Bytes pack_lbas(const std::vector<std::uint64_t>& lbas);
+Result<std::vector<std::uint64_t>> unpack_lbas(ByteSpan payload);
+
+// ---- hierarchical (Merkle-style) verification ------------------------------
+//
+// For a device that is *mostly* in sync, shipping one CRC per block is
+// wasteful.  The hierarchical audit asks the replica to hash whole block
+// ranges (hash = FNV-64 over the per-block CRC-32C stream), compares them
+// to local hashes, and only descends into ranges that disagree, falling
+// back to the flat per-block protocol at the leaves.
+
+struct BlockRange {
+  std::uint64_t lba;
+  std::uint64_t count;
+};
+
+/// Serialize a range list (count varint, then lba/count varints).
+Bytes pack_ranges(const std::vector<BlockRange>& ranges);
+Result<std::vector<BlockRange>> unpack_ranges(ByteSpan payload);
+
+/// Serialize range hashes (count varint, then u64 LEs).
+Bytes pack_hashes(const std::vector<std::uint64_t>& hashes);
+Result<std::vector<std::uint64_t>> unpack_hashes(ByteSpan payload);
+
+/// The range fingerprint both sides compute: FNV-64 folded over each
+/// block's CRC-32C in LBA order.
+Result<std::uint64_t> hash_block_range(BlockDevice& device,
+                                       const BlockRange& range);
+
+}  // namespace prins

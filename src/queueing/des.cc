@@ -1,0 +1,125 @@
+#include "queueing/des.h"
+
+#include <cassert>
+#include <deque>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace prins {
+namespace {
+
+enum class EventKind { kThinkDone, kServiceDone };
+
+struct Event {
+  double time;
+  EventKind kind;
+  unsigned customer;
+  unsigned router;  // for kServiceDone
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct Router {
+  std::deque<unsigned> queue;  // waiting customers (head is in service)
+  double busy_until = 0;
+  double busy_time = 0;  // accumulated service time (for utilization)
+};
+
+}  // namespace
+
+DesResult simulate_closed_network(const DesConfig& config) {
+  assert(config.population > 0);
+  assert(!config.service_times_sec.empty());
+  const std::size_t k = config.service_times_sec.size();
+
+  Rng rng(config.seed);
+  auto service_draw = [&](std::size_t router) {
+    const double mean = config.service_times_sec[router];
+    return config.exponential_service ? rng.next_exponential(mean) : mean;
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<Router> routers(k);
+  std::vector<double> request_start(config.population, 0);
+
+  // All customers start thinking at t=0.
+  for (unsigned c = 0; c < config.population; ++c) {
+    events.push(Event{rng.next_exponential(config.think_time_mean_sec),
+                      EventKind::kThinkDone, c, 0});
+  }
+
+  const auto warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction * static_cast<double>(config.requests));
+  std::uint64_t completed = 0;
+  double response_sum = 0;
+  double measure_start_time = 0;
+  double now = 0;
+
+  auto enter_router = [&](unsigned customer, unsigned router) {
+    Router& r = routers[router];
+    r.queue.push_back(customer);
+    if (r.queue.size() == 1) {
+      const double s = service_draw(router);
+      r.busy_time += s;
+      events.push(Event{now + s, EventKind::kServiceDone, customer, router});
+    }
+  };
+
+  while (completed < config.requests + warmup && !events.empty()) {
+    const Event e = events.top();
+    events.pop();
+    now = e.time;
+    switch (e.kind) {
+      case EventKind::kThinkDone:
+        request_start[e.customer] = now;
+        enter_router(e.customer, 0);
+        break;
+      case EventKind::kServiceDone: {
+        Router& r = routers[e.router];
+        assert(!r.queue.empty() && r.queue.front() == e.customer);
+        r.queue.pop_front();
+        if (!r.queue.empty()) {
+          const double s = service_draw(e.router);
+          r.busy_time += s;
+          events.push(Event{now + s, EventKind::kServiceDone, r.queue.front(),
+                            e.router});
+        }
+        if (e.router + 1 < k) {
+          enter_router(e.customer, e.router + 1);
+        } else {
+          // Request complete: record and go back to thinking.
+          ++completed;
+          if (completed == warmup) {
+            measure_start_time = now;
+            response_sum = 0;
+            for (auto& router : routers) router.busy_time = 0;
+          }
+          if (completed > warmup) {
+            response_sum += now - request_start[e.customer];
+          }
+          events.push(
+              Event{now + rng.next_exponential(config.think_time_mean_sec),
+                    EventKind::kThinkDone, e.customer, 0});
+        }
+        break;
+      }
+    }
+  }
+
+  DesResult result;
+  result.completed = completed > warmup ? completed - warmup : 0;
+  const double measured = now - measure_start_time;
+  if (result.completed > 0 && measured > 0) {
+    result.mean_response_time_sec =
+        response_sum / static_cast<double>(result.completed);
+    result.throughput_per_sec =
+        static_cast<double>(result.completed) / measured;
+    for (const Router& r : routers) {
+      result.router_utilization.push_back(r.busy_time / measured);
+    }
+  }
+  return result;
+}
+
+}  // namespace prins

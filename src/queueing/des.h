@@ -1,0 +1,41 @@
+// Discrete-event simulation of the paper's closed queueing network —
+// the "more accurate and detailed modeling" the paper defers to future
+// work (§3.3).  Used to validate the exact-MVA solver: with exponential
+// think and service times the two must agree, and with deterministic
+// service times the DES quantifies how conservative the product-form
+// model is.
+//
+// Topology (Figure 3): `population` customers cycle through a delay
+// (think) centre and K FIFO single-server routers in series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prins {
+
+struct DesConfig {
+  unsigned population = 10;
+  double think_time_mean_sec = 0.1;
+  /// Mean service time per router, in visit order.
+  std::vector<double> service_times_sec;
+  /// Exponentially distributed service (matches MVA's assumptions) or
+  /// deterministic (each service takes exactly the mean).
+  bool exponential_service = true;
+  /// Completed requests to simulate (after warmup).
+  std::uint64_t requests = 200000;
+  /// Fraction of initial completions discarded as warmup.
+  double warmup_fraction = 0.1;
+  std::uint64_t seed = 1;
+};
+
+struct DesResult {
+  double mean_response_time_sec = 0;  // leave-think to finish-last-router
+  double throughput_per_sec = 0;      // completions / simulated time
+  std::vector<double> router_utilization;
+  std::uint64_t completed = 0;
+};
+
+DesResult simulate_closed_network(const DesConfig& config);
+
+}  // namespace prins

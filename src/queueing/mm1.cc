@@ -1,0 +1,26 @@
+#include "queueing/mm1.h"
+
+#include <cassert>
+#include <limits>
+
+namespace prins {
+
+Mm1Result solve_mm1(double arrival_rate_per_sec, double service_time_sec) {
+  assert(arrival_rate_per_sec >= 0);
+  assert(service_time_sec > 0);
+  const double mu = 1.0 / service_time_sec;
+  Mm1Result out;
+  out.utilization = arrival_rate_per_sec * service_time_sec;
+  if (arrival_rate_per_sec >= mu) {
+    out.saturated = true;
+    out.queueing_time_sec = std::numeric_limits<double>::infinity();
+    out.response_time_sec = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  out.saturated = false;
+  out.response_time_sec = 1.0 / (mu - arrival_rate_per_sec);
+  out.queueing_time_sec = out.utilization / (mu - arrival_rate_per_sec);
+  return out;
+}
+
+}  // namespace prins

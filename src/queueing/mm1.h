@@ -1,0 +1,22 @@
+// M/M/1 queue formulas for the single-router saturation study (Figure 10).
+//
+// With arrival rate λ and service rate µ = 1/S:
+//   utilisation  ρ  = λ/µ
+//   waiting time Wq = ρ / (µ - λ)       (time in queue, excl. service)
+//   sojourn time W  = 1 / (µ - λ)       (queue + service)
+// Both diverge as λ -> µ; saturated inputs return +infinity.
+#pragma once
+
+namespace prins {
+
+struct Mm1Result {
+  double utilization;        // ρ
+  double queueing_time_sec;  // Wq
+  double response_time_sec;  // W
+  bool saturated;            // λ >= µ
+};
+
+/// Evaluate an M/M/1 queue with the given arrival rate and service time.
+Mm1Result solve_mm1(double arrival_rate_per_sec, double service_time_sec);
+
+}  // namespace prins

@@ -1,0 +1,36 @@
+#include "queueing/mva.h"
+
+#include <cassert>
+
+namespace prins {
+
+std::vector<MvaResult> solve_mva_curve(
+    const std::vector<double>& service_times_sec, double think_time_sec,
+    unsigned max_n) {
+  assert(!service_times_sec.empty());
+  assert(think_time_sec >= 0);
+  const std::size_t k = service_times_sec.size();
+  std::vector<double> queue(k, 0.0);  // Q_k(n-1)
+  std::vector<MvaResult> curve;
+  curve.reserve(max_n);
+  for (unsigned n = 1; n <= max_n; ++n) {
+    double total_r = 0.0;
+    std::vector<double> r(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      r[i] = service_times_sec[i] * (1.0 + queue[i]);
+      total_r += r[i];
+    }
+    const double x = static_cast<double>(n) / (think_time_sec + total_r);
+    for (std::size_t i = 0; i < k; ++i) queue[i] = x * r[i];
+    curve.push_back(MvaResult{n, total_r, x, queue});
+  }
+  return curve;
+}
+
+MvaResult solve_mva(const std::vector<double>& service_times_sec,
+                    double think_time_sec, unsigned n) {
+  assert(n >= 1);
+  return solve_mva_curve(service_times_sec, think_time_sec, n).back();
+}
+
+}  // namespace prins

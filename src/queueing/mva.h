@@ -1,0 +1,36 @@
+// Exact Mean Value Analysis for closed queueing networks (§3.3, Figure 3).
+//
+// The paper's model: computing nodes are a delay (think) centre with think
+// time Z; each write's replication visits K FIFO routers in series; the
+// population N is "number of nodes × number of replicas".  Classic exact
+// MVA recursion (Lazowska et al. 1984, ch. 6, the paper's [29]):
+//
+//   R_k(n) = S_k * (1 + Q_k(n-1))          response time at centre k
+//   X(n)   = n / (Z + Σ_k R_k(n))          system throughput
+//   Q_k(n) = X(n) * R_k(n)                 queue length at centre k
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prins {
+
+struct MvaResult {
+  unsigned population;
+  double response_time_sec;  // Σ_k R_k: time from request issue to done
+  double throughput;         // X(n), requests/sec
+  std::vector<double> queue_lengths;  // Q_k(n) per centre
+};
+
+/// Solve the closed network for population `n`.
+/// `service_times_sec`: S_k of each FIFO centre (the routers).
+/// `think_time_sec`: Z of the delay centre.
+MvaResult solve_mva(const std::vector<double>& service_times_sec,
+                    double think_time_sec, unsigned n);
+
+/// Full curve for populations 1..max_n (one recursion pass).
+std::vector<MvaResult> solve_mva_curve(
+    const std::vector<double>& service_times_sec, double think_time_sec,
+    unsigned max_n);
+
+}  // namespace prins

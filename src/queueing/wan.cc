@@ -1,0 +1,21 @@
+#include "queueing/wan.h"
+
+#include "net/packet_model.h"
+
+namespace prins {
+
+double transmission_delay_sec(std::uint64_t payload_bytes,
+                              const WanLine& line) {
+  return static_cast<double>(wire_bytes_for(payload_bytes)) /
+         line.bytes_per_second;
+}
+
+double router_service_time_sec(std::uint64_t payload_bytes,
+                               const WanLine& line) {
+  const double proc =
+      kNodalProcessingDelaySec * static_cast<double>(packets_for(payload_bytes));
+  return transmission_delay_sec(payload_bytes, line) + proc +
+         kPropagationDelaySec;
+}
+
+}  // namespace prins

@@ -1,0 +1,36 @@
+// The paper's WAN nodal-delay model (§3.3, equations 3-4).
+//
+//   D_nodal = D_queue + D_trans + D_proc + D_prop
+//   D_trans = (Sd + Sd/1.5 * 0.112) / Net_BW      [packetization model]
+//   D_proc  = 5 µs per packet
+//   D_prop  = 200 km / 2*10^8 m/s = 1 ms
+//   S_router = D_trans + D_proc + D_prop          [queue service time]
+//
+// T1 = 1.544 Mbps ≈ 154.4 KB/s (10 bits/byte incl. framing, as the paper
+// assumes); T3 = 44.736 Mbps ≈ 4473.6 KB/s.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace prins {
+
+struct WanLine {
+  std::string_view name;
+  double bytes_per_second;
+};
+
+constexpr WanLine kT1{"T1", 154.4e3};
+constexpr WanLine kT3{"T3", 4473.6e3};
+
+constexpr double kNodalProcessingDelaySec = 5e-6;  // per packet
+constexpr double kPropagationDelaySec = 1e-3;      // ~200 km hop
+
+/// D_trans for a replication payload of `payload_bytes`.
+double transmission_delay_sec(std::uint64_t payload_bytes, const WanLine& line);
+
+/// S_router = D_trans + D_proc + D_prop (equation 4).
+double router_service_time_sec(std::uint64_t payload_bytes,
+                               const WanLine& line);
+
+}  // namespace prins

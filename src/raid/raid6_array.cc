@@ -1,0 +1,302 @@
+#include "raid/raid6_array.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "parity/gf256.h"
+#include "parity/xor.h"
+
+namespace prins {
+
+Result<std::unique_ptr<Raid6Array>> Raid6Array::create(
+    std::vector<std::shared_ptr<BlockDevice>> members) {
+  if (members.size() < 4) {
+    return invalid_argument("RAID-6 needs at least 4 members, got " +
+                            std::to_string(members.size()));
+  }
+  for (const auto& m : members) {
+    if (m == nullptr) return invalid_argument("null member device");
+    if (m->block_size() != members[0]->block_size() ||
+        m->num_blocks() != members[0]->num_blocks()) {
+      return invalid_argument("member geometries differ");
+    }
+  }
+  return std::unique_ptr<Raid6Array>(new Raid6Array(std::move(members)));
+}
+
+Raid6Array::Raid6Array(std::vector<std::shared_ptr<BlockDevice>> members)
+    : members_(std::move(members)),
+      num_disks_(static_cast<unsigned>(members_.size())),
+      block_size_(members_[0]->block_size()),
+      member_blocks_(members_[0]->num_blocks()),
+      logical_blocks_(member_blocks_ * (num_disks_ - 2)) {}
+
+unsigned Raid6Array::p_disk_of(std::uint64_t stripe) const {
+  // P rotates right-to-left like RAID-5 left-symmetric; Q sits just after.
+  return static_cast<unsigned>((num_disks_ - 1) - (stripe % num_disks_));
+}
+
+unsigned Raid6Array::q_disk_of(std::uint64_t stripe) const {
+  return (p_disk_of(stripe) + 1) % num_disks_;
+}
+
+unsigned Raid6Array::disk_of_slot(std::uint64_t stripe, unsigned slot) const {
+  assert(slot < data_disks());
+  // Data disks start after Q and wrap, skipping P and Q.
+  return (q_disk_of(stripe) + 1 + slot) % num_disks_;
+}
+
+unsigned Raid6Array::slot_of_disk(std::uint64_t stripe, unsigned disk) const {
+  const unsigned q = q_disk_of(stripe);
+  assert(disk != p_disk_of(stripe) && disk != q);
+  return (disk + num_disks_ - (q + 1) % num_disks_) % num_disks_;
+}
+
+Raid6Array::Location Raid6Array::locate(Lba lba) const {
+  Location loc{};
+  loc.stripe = lba / data_disks();
+  loc.slot = static_cast<unsigned>(lba % data_disks());
+  loc.p_disk = p_disk_of(loc.stripe);
+  loc.q_disk = q_disk_of(loc.stripe);
+  loc.disk = disk_of_slot(loc.stripe, loc.slot);
+  return loc;
+}
+
+Status Raid6Array::read(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  const std::uint64_t blocks = out.size() / block_size_;
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    PRINS_RETURN_IF_ERROR(
+        read_block(lba + i, out.subspan(i * block_size_, block_size_)));
+  }
+  return Status::ok();
+}
+
+Status Raid6Array::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  const std::uint64_t blocks = data.size() / block_size_;
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    PRINS_RETURN_IF_ERROR(
+        write_block(lba + i, data.subspan(i * block_size_, block_size_)));
+  }
+  return Status::ok();
+}
+
+Status Raid6Array::write_block(Lba lba, ByteSpan block) {
+  const Location loc = locate(lba);
+  std::lock_guard lock(mutex_);
+
+  Bytes old_data(block_size_);
+  PRINS_RETURN_IF_ERROR(members_[loc.disk]->read(loc.stripe, old_data));
+  Bytes old_p(block_size_);
+  PRINS_RETURN_IF_ERROR(members_[loc.p_disk]->read(loc.stripe, old_p));
+  Bytes old_q(block_size_);
+  PRINS_RETURN_IF_ERROR(members_[loc.q_disk]->read(loc.stripe, old_q));
+
+  const Bytes delta = parity_delta(block, old_data);
+  xor_into(old_p, delta);                               // P' = P ⊕ Δ
+  gf_mul_xor_into(old_q, gf_pow2(loc.slot), delta);     // Q' = Q ⊕ g^s·Δ
+
+  PRINS_RETURN_IF_ERROR(members_[loc.disk]->write(loc.stripe, block));
+  PRINS_RETURN_IF_ERROR(members_[loc.p_disk]->write(loc.stripe, old_p));
+  PRINS_RETURN_IF_ERROR(members_[loc.q_disk]->write(loc.stripe, old_q));
+
+  if (observer_) observer_(lba, delta);
+  return Status::ok();
+}
+
+Status Raid6Array::read_block(Lba lba, MutByteSpan out) {
+  const Location loc = locate(lba);
+  std::lock_guard lock(mutex_);
+  Status direct = members_[loc.disk]->read(loc.stripe, out);
+  if (direct.is_ok()) return direct;
+
+  // Degraded path: probe every member to find the (<= 2) failed set.
+  std::vector<unsigned> failed;
+  Bytes probe(block_size_);
+  for (unsigned m = 0; m < num_disks_; ++m) {
+    if (!members_[m]->read(loc.stripe, probe).is_ok()) failed.push_back(m);
+  }
+  if (failed.empty()) {
+    // Transient error; retry once.
+    return members_[loc.disk]->read(loc.stripe, out);
+  }
+  if (failed.size() > 2) {
+    return io_error("RAID-6 stripe lost " + std::to_string(failed.size()) +
+                    " members; unrecoverable");
+  }
+  std::vector<Bytes> recovered;
+  PRINS_RETURN_IF_ERROR(reconstruct(loc.stripe, failed, recovered));
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    if (failed[i] == loc.disk) {
+      std::memcpy(out.data(), recovered[i].data(), out.size());
+      return Status::ok();
+    }
+  }
+  // Our member wasn't in the failed set after all (flaky read): retry.
+  return members_[loc.disk]->read(loc.stripe, out);
+}
+
+Status Raid6Array::reconstruct(std::uint64_t stripe,
+                               const std::vector<unsigned>& failed,
+                               std::vector<Bytes>& out) {
+  assert(!failed.empty() && failed.size() <= 2);
+  const unsigned p_disk = p_disk_of(stripe);
+  const unsigned q_disk = q_disk_of(stripe);
+  auto is_failed = [&](unsigned d) {
+    return std::find(failed.begin(), failed.end(), d) != failed.end();
+  };
+
+  // Partial syndromes over the *surviving* data members.
+  Bytes p_partial(block_size_, 0);
+  Bytes q_partial(block_size_, 0);
+  Bytes buffer(block_size_);
+  for (unsigned slot = 0; slot < data_disks(); ++slot) {
+    const unsigned disk = disk_of_slot(stripe, slot);
+    if (is_failed(disk)) continue;
+    PRINS_RETURN_IF_ERROR(members_[disk]->read(stripe, buffer));
+    xor_into(p_partial, buffer);
+    gf_mul_xor_into(q_partial, gf_pow2(slot), buffer);
+  }
+
+  Bytes p(block_size_, 0), q(block_size_, 0);
+  if (!is_failed(p_disk)) {
+    PRINS_RETURN_IF_ERROR(members_[p_disk]->read(stripe, p));
+  }
+  if (!is_failed(q_disk)) {
+    PRINS_RETURN_IF_ERROR(members_[q_disk]->read(stripe, q));
+  }
+
+  // Failed data slots, ascending.
+  std::vector<unsigned> lost_slots;
+  for (unsigned d : failed) {
+    if (d != p_disk && d != q_disk) lost_slots.push_back(slot_of_disk(stripe, d));
+  }
+  std::sort(lost_slots.begin(), lost_slots.end());
+
+  // Solve for the lost data blocks.
+  std::vector<Bytes> data_out(lost_slots.size(), Bytes(block_size_, 0));
+  const bool p_lost = is_failed(p_disk);
+
+  if (lost_slots.size() == 1) {
+    Bytes& d = data_out[0];
+    const unsigned s = lost_slots[0];
+    if (!p_lost) {
+      // D = P ⊕ p_partial
+      d = p;
+      xor_into(d, p_partial);
+    } else {
+      // P also lost: D = (Q ⊕ q_partial) / g^s
+      d = q;
+      xor_into(d, q_partial);
+      gf_scale(d, gf_inv(gf_pow2(s)));
+    }
+  } else if (lost_slots.size() == 2) {
+    // Two data blocks lost (P and Q both present).
+    //   Pxy = P ⊕ p_partial = D_a ⊕ D_b
+    //   Qxy = Q ⊕ q_partial = g^a·D_a ⊕ g^b·D_b
+    //   D_a = (Qxy ⊕ g^b·Pxy) / (g^a ⊕ g^b);  D_b = Pxy ⊕ D_a
+    const unsigned a = lost_slots[0], b = lost_slots[1];
+    Bytes pxy = p;
+    xor_into(pxy, p_partial);
+    Bytes qxy = q;
+    xor_into(qxy, q_partial);
+    Bytes& da = data_out[0];
+    da = qxy;
+    gf_mul_xor_into(da, gf_pow2(b), pxy);
+    const std::uint8_t denom =
+        static_cast<std::uint8_t>(gf_pow2(a) ^ gf_pow2(b));
+    gf_scale(da, gf_inv(denom));
+    Bytes& db = data_out[1];
+    db = pxy;
+    xor_into(db, da);
+  }
+
+  // Recompute lost parity from the now-complete data set.
+  Bytes full_p = p_partial;
+  Bytes full_q = q_partial;
+  for (std::size_t i = 0; i < lost_slots.size(); ++i) {
+    xor_into(full_p, data_out[i]);
+    gf_mul_xor_into(full_q, gf_pow2(lost_slots[i]), data_out[i]);
+  }
+
+  // Emit outputs in the order of `failed`.
+  out.clear();
+  for (unsigned d : failed) {
+    if (d == p_disk) {
+      out.push_back(full_p);
+    } else if (d == q_disk) {
+      out.push_back(full_q);
+    } else {
+      const unsigned s = slot_of_disk(stripe, d);
+      for (std::size_t i = 0; i < lost_slots.size(); ++i) {
+        if (lost_slots[i] == s) {
+          out.push_back(data_out[i]);
+          break;
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status Raid6Array::rebuild_members(const std::vector<unsigned>& disks) {
+  if (disks.empty() || disks.size() > 2) {
+    return invalid_argument("RAID-6 rebuilds 1 or 2 members at a time");
+  }
+  for (unsigned d : disks) {
+    if (d >= num_disks_) {
+      return invalid_argument("no such member: " + std::to_string(d));
+    }
+  }
+  std::lock_guard lock(mutex_);
+  std::vector<Bytes> recovered;
+  for (std::uint64_t stripe = 0; stripe < member_blocks_; ++stripe) {
+    PRINS_RETURN_IF_ERROR(reconstruct(stripe, disks, recovered));
+    for (std::size_t i = 0; i < disks.size(); ++i) {
+      PRINS_RETURN_IF_ERROR(members_[disks[i]]->write(stripe, recovered[i]));
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> Raid6Array::scrub() {
+  std::lock_guard lock(mutex_);
+  std::uint64_t bad = 0;
+  Bytes p_acc(block_size_), q_acc(block_size_), buffer(block_size_);
+  for (std::uint64_t stripe = 0; stripe < member_blocks_; ++stripe) {
+    std::fill(p_acc.begin(), p_acc.end(), Byte{0});
+    std::fill(q_acc.begin(), q_acc.end(), Byte{0});
+    for (unsigned slot = 0; slot < data_disks(); ++slot) {
+      PRINS_RETURN_IF_ERROR(
+          members_[disk_of_slot(stripe, slot)]->read(stripe, buffer));
+      xor_into(p_acc, buffer);
+      gf_mul_xor_into(q_acc, gf_pow2(slot), buffer);
+    }
+    PRINS_RETURN_IF_ERROR(members_[p_disk_of(stripe)]->read(stripe, buffer));
+    xor_into(p_acc, buffer);
+    PRINS_RETURN_IF_ERROR(members_[q_disk_of(stripe)]->read(stripe, buffer));
+    xor_into(q_acc, buffer);
+    if (!all_zero(p_acc) || !all_zero(q_acc)) ++bad;
+  }
+  return bad;
+}
+
+Status Raid6Array::flush() {
+  for (auto& m : members_) PRINS_RETURN_IF_ERROR(m->flush());
+  return Status::ok();
+}
+
+void Raid6Array::set_parity_observer(ParityObserver observer) {
+  std::lock_guard lock(mutex_);
+  observer_ = std::move(observer);
+}
+
+std::string Raid6Array::describe() const {
+  return "raid6(" + std::to_string(num_disks_) + " members, " +
+         std::to_string(logical_blocks_) + "x" + std::to_string(block_size_) +
+         ")";
+}
+
+}  // namespace prins

@@ -1,0 +1,89 @@
+// Raid6Array: dual-parity (P+Q) software RAID over member BlockDevices.
+//
+// The paper's opening line places PRINS among systems that use "replicas
+// or erasure code"; RAID-6 is the erasure-coded substrate.  Each stripe
+// stores
+//   P = ⊕ D_i            and        Q = ⊕ g^i · D_i   (GF(2^8), g = 2)
+// on two rotating parity members, surviving the loss of ANY two members.
+//
+// The PRINS small-write property carries over: updating block D_s costs
+//   delta = D_new ⊕ D_old
+//   P_new = P_old ⊕ delta
+//   Q_new = Q_old ⊕ g^s · delta
+// so the write parity P' (== delta) is still computed for free, and the
+// same ParityObserver tap feeds the PRINS engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "block/block_device.h"
+#include "raid/raid_array.h"  // ParityObserver
+
+namespace prins {
+
+class Raid6Array final : public BlockDevice {
+ public:
+  /// Requires >= 4 members with identical geometry.
+  static Result<std::unique_ptr<Raid6Array>> create(
+      std::vector<std::shared_ptr<BlockDevice>> members);
+
+  std::uint32_t block_size() const override { return block_size_; }
+  std::uint64_t num_blocks() const override { return logical_blocks_; }
+
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+  Status flush() override;
+  std::string describe() const override;
+
+  void set_parity_observer(ParityObserver observer);
+
+  unsigned num_members() const { return num_disks_; }
+  unsigned data_disks() const { return num_disks_ - 2; }
+
+  /// Member indices holding P and Q for `stripe` (rotating).
+  unsigned p_disk_of(std::uint64_t stripe) const;
+  unsigned q_disk_of(std::uint64_t stripe) const;
+
+  /// Rebuild the full contents of up to two replaced members from the
+  /// survivors.
+  Status rebuild_members(const std::vector<unsigned>& disks);
+
+  /// Verify P and Q of every stripe; returns the count of bad stripes.
+  Result<std::uint64_t> scrub();
+
+ private:
+  explicit Raid6Array(std::vector<std::shared_ptr<BlockDevice>> members);
+
+  struct Location {
+    std::uint64_t stripe;
+    unsigned disk;      // member holding the data block
+    unsigned slot;      // data index within the stripe: coefficient g^slot
+    unsigned p_disk;
+    unsigned q_disk;
+  };
+  Location locate(Lba lba) const;
+  unsigned disk_of_slot(std::uint64_t stripe, unsigned slot) const;
+  unsigned slot_of_disk(std::uint64_t stripe, unsigned disk) const;
+
+  Status write_block(Lba lba, ByteSpan block);
+  Status read_block(Lba lba, MutByteSpan out);
+
+  /// Recover the contents `failed` members would hold in `stripe`, given
+  /// every other member is readable.  `failed` has size 1 or 2; outputs
+  /// are written to `out[i]` for failed[i].
+  Status reconstruct(std::uint64_t stripe, const std::vector<unsigned>& failed,
+                     std::vector<Bytes>& out);
+
+  std::vector<std::shared_ptr<BlockDevice>> members_;
+  unsigned num_disks_;
+  std::uint32_t block_size_;
+  std::uint64_t member_blocks_;
+  std::uint64_t logical_blocks_;
+  std::mutex mutex_;
+  ParityObserver observer_;
+};
+
+}  // namespace prins

@@ -1,0 +1,161 @@
+#include "raid/raid_array.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "parity/xor.h"
+
+namespace prins {
+
+Result<std::unique_ptr<RaidArray>> RaidArray::create(
+    RaidLevel level, std::vector<std::shared_ptr<BlockDevice>> members) {
+  const unsigned min_members = level == RaidLevel::kRaid0 ? 2 : 3;
+  if (members.size() < min_members) {
+    return invalid_argument("RAID level needs at least " +
+                            std::to_string(min_members) + " members, got " +
+                            std::to_string(members.size()));
+  }
+  for (const auto& m : members) {
+    if (m == nullptr) return invalid_argument("null member device");
+    if (m->block_size() != members[0]->block_size() ||
+        m->num_blocks() != members[0]->num_blocks()) {
+      return invalid_argument("member geometries differ: " + m->describe() +
+                              " vs " + members[0]->describe());
+    }
+  }
+  return std::unique_ptr<RaidArray>(new RaidArray(level, std::move(members)));
+}
+
+RaidArray::RaidArray(RaidLevel level,
+                     std::vector<std::shared_ptr<BlockDevice>> members)
+    : geometry_(level, static_cast<unsigned>(members.size())),
+      members_(std::move(members)),
+      block_size_(members_[0]->block_size()),
+      member_blocks_(members_[0]->num_blocks()),
+      logical_blocks_(member_blocks_ * geometry_.data_disks()) {}
+
+void RaidArray::set_parity_observer(ParityObserver observer) {
+  std::lock_guard lock(mutex_);
+  observer_ = std::move(observer);
+}
+
+Status RaidArray::read(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  const std::uint64_t blocks = out.size() / block_size_;
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    PRINS_RETURN_IF_ERROR(
+        read_block(lba + i, out.subspan(i * block_size_, block_size_)));
+  }
+  return Status::ok();
+}
+
+Status RaidArray::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  const std::uint64_t blocks = data.size() / block_size_;
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    PRINS_RETURN_IF_ERROR(
+        write_block(lba + i, data.subspan(i * block_size_, block_size_)));
+  }
+  return Status::ok();
+}
+
+Status RaidArray::read_block(Lba lba, MutByteSpan out) {
+  const StripeLocation loc = geometry_.locate(lba);
+  std::lock_guard lock(mutex_);
+  Status s = members_[loc.data_disk]->read(loc.member_block, out);
+  if (s.is_ok()) return s;
+  if (geometry_.level() == RaidLevel::kRaid0) return s;  // nothing to rebuild from
+  // Degraded mode: reconstruct from the surviving members of the stripe.
+  return reconstruct(loc.stripe, loc.data_disk, out);
+}
+
+Status RaidArray::write_block(Lba lba, ByteSpan block) {
+  const StripeLocation loc = geometry_.locate(lba);
+  std::lock_guard lock(mutex_);
+
+  if (geometry_.level() == RaidLevel::kRaid0) {
+    return members_[loc.data_disk]->write(loc.member_block, block);
+  }
+
+  // RAID-4/5 small-write: read old data + old parity, derive both the write
+  // parity P' and the new stripe parity, then write data + parity.
+  Bytes old_data(block_size_);
+  PRINS_RETURN_IF_ERROR(
+      members_[loc.data_disk]->read(loc.member_block, old_data));
+  Bytes old_parity(block_size_);
+  PRINS_RETURN_IF_ERROR(
+      members_[loc.parity_disk]->read(loc.member_block, old_parity));
+
+  Bytes delta = parity_delta(block, old_data);  // P' = new ⊕ old
+  Bytes new_parity(block_size_);
+  xor_to(new_parity, delta, old_parity);  // Pnew = P' ⊕ Pold
+
+  PRINS_RETURN_IF_ERROR(members_[loc.data_disk]->write(loc.member_block, block));
+  PRINS_RETURN_IF_ERROR(
+      members_[loc.parity_disk]->write(loc.member_block, new_parity));
+
+  if (observer_) observer_(lba, delta);
+  return Status::ok();
+}
+
+Status RaidArray::reconstruct(std::uint64_t stripe, unsigned disk,
+                              MutByteSpan out) {
+  assert(out.size() == block_size_);
+  std::memset(out.data(), 0, out.size());
+  Bytes tmp(block_size_);
+  for (unsigned m = 0; m < geometry_.num_disks(); ++m) {
+    if (m == disk) continue;
+    PRINS_RETURN_IF_ERROR(members_[m]->read(stripe, tmp));
+    xor_into(out, tmp);
+  }
+  return Status::ok();
+}
+
+Status RaidArray::rebuild_member(unsigned disk) {
+  if (geometry_.level() == RaidLevel::kRaid0) {
+    return failed_precondition("RAID-0 has no redundancy to rebuild from");
+  }
+  if (disk >= geometry_.num_disks()) {
+    return invalid_argument("no such member: " + std::to_string(disk));
+  }
+  std::lock_guard lock(mutex_);
+  Bytes block(block_size_);
+  for (std::uint64_t stripe = 0; stripe < member_blocks_; ++stripe) {
+    PRINS_RETURN_IF_ERROR(reconstruct(stripe, disk, block));
+    PRINS_RETURN_IF_ERROR(members_[disk]->write(stripe, block));
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> RaidArray::scrub() {
+  if (geometry_.level() == RaidLevel::kRaid0) return std::uint64_t{0};
+  std::lock_guard lock(mutex_);
+  std::uint64_t bad = 0;
+  Bytes acc(block_size_);
+  Bytes tmp(block_size_);
+  for (std::uint64_t stripe = 0; stripe < member_blocks_; ++stripe) {
+    std::memset(acc.data(), 0, acc.size());
+    for (unsigned m = 0; m < geometry_.num_disks(); ++m) {
+      PRINS_RETURN_IF_ERROR(members_[m]->read(stripe, tmp));
+      xor_into(acc, tmp);
+    }
+    if (!all_zero(acc)) ++bad;  // XOR of data blocks + parity must be zero
+  }
+  return bad;
+}
+
+Status RaidArray::flush() {
+  for (auto& m : members_) PRINS_RETURN_IF_ERROR(m->flush());
+  return Status::ok();
+}
+
+std::string RaidArray::describe() const {
+  const char* name = geometry_.level() == RaidLevel::kRaid0   ? "raid0"
+                     : geometry_.level() == RaidLevel::kRaid4 ? "raid4"
+                                                              : "raid5";
+  return std::string(name) + "(" + std::to_string(geometry_.num_disks()) +
+         " members, " + std::to_string(logical_blocks_) + "x" +
+         std::to_string(block_size_) + ")";
+}
+
+}  // namespace prins

@@ -1,0 +1,80 @@
+// RaidArray: software RAID-0/4/5 over member BlockDevices.
+//
+// This is the substrate the paper leans on: RAID-4/5 small writes must
+// compute P' = A_new ⊕ A_old to update the parity disk (Pnew = P' ⊕ Pold),
+// so replicating P' costs no extra computation at the primary.  The array
+// exposes that delta through a ParityObserver — the "PRINS tap".
+//
+// Also implements degraded reads (reconstruct a lost block by XOR-ing the
+// surviving stripe members) and full-member rebuild, so the reliability
+// story of the substrate is real, not decorative.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "block/block_device.h"
+#include "parity/stripe.h"
+
+namespace prins {
+
+/// Called after every single-block write with the logical LBA and the write
+/// parity P' = new ⊕ old.  Invoked with the array lock held; keep it short
+/// (PRINS enqueues onto its replication queue).
+using ParityObserver = std::function<void(Lba lba, ByteSpan parity_delta)>;
+
+class RaidArray final : public BlockDevice {
+ public:
+  /// All members must share block size and block count.
+  /// RAID-0 needs >= 2 members; RAID-4/5 need >= 3.
+  static Result<std::unique_ptr<RaidArray>> create(
+      RaidLevel level, std::vector<std::shared_ptr<BlockDevice>> members);
+
+  std::uint32_t block_size() const override { return block_size_; }
+  std::uint64_t num_blocks() const override { return logical_blocks_; }
+
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+  Status flush() override;
+  std::string describe() const override;
+
+  /// Install (or clear, with nullptr) the PRINS parity tap.
+  void set_parity_observer(ParityObserver observer);
+
+  RaidLevel level() const { return geometry_.level(); }
+  unsigned num_members() const { return geometry_.num_disks(); }
+
+  /// Rebuild the entire contents of member `disk` from the other members
+  /// (data blocks and parity blocks alike).  Used after replacing a failed
+  /// device.  RAID-0 cannot rebuild.
+  Status rebuild_member(unsigned disk);
+
+  /// Recompute and verify parity of every stripe; returns the number of
+  /// inconsistent stripes found (0 == clean).  RAID-0 always returns 0.
+  Result<std::uint64_t> scrub();
+
+ private:
+  RaidArray(RaidLevel level,
+            std::vector<std::shared_ptr<BlockDevice>> members);
+
+  /// One-block write implementing the read-modify-write small-write path.
+  Status write_block(Lba lba, ByteSpan block);
+  /// One-block read with degraded-mode reconstruction on member failure.
+  Status read_block(Lba lba, MutByteSpan out);
+
+  /// Reconstruct the block held by `disk` in `stripe` by XOR of all other
+  /// members' blocks in that stripe.
+  Status reconstruct(std::uint64_t stripe, unsigned disk, MutByteSpan out);
+
+  StripeGeometry geometry_;
+  std::vector<std::shared_ptr<BlockDevice>> members_;
+  std::uint32_t block_size_;
+  std::uint64_t member_blocks_;
+  std::uint64_t logical_blocks_;
+  std::mutex mutex_;  // serializes stripe read-modify-write cycles
+  ParityObserver observer_;
+};
+
+}  // namespace prins

@@ -1,0 +1,78 @@
+// SymmetricCluster: the paper's Figure 1 topology at full scale.
+//
+// "Each node has a computation engine and a locally attached storage
+// system ... The storages of all the nodes collectively form a shared
+// storage pool ... shared data are replicated in a subset of nodes,
+// called replica nodes."  (§2)
+//
+// N nodes; node i's writes are replicated to its R ring successors
+// (i+1 .. i+R mod N).  Every node therefore runs one PrinsEngine (for its
+// own volume) and R ReplicaEngines (hosting other nodes' replicas), all
+// joined by metered in-process links — the fixed "population" of the
+// queueing model is N*R, exactly the product the paper uses.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "net/traffic_meter.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+
+namespace prins {
+
+struct ClusterConfig {
+  unsigned nodes = 4;
+  unsigned replicas_per_node = 2;  // R ring successors per node
+  ReplicationPolicy policy = ReplicationPolicy::kPrins;
+  std::uint32_t block_size = 8192;
+  std::uint64_t blocks_per_node = 512;
+  /// Bytes of each block changed per write (partial-update model).
+  std::uint32_t dirty_bytes_per_write = 800;
+  std::uint64_t seed = 1;
+};
+
+struct ClusterReport {
+  std::uint64_t total_writes = 0;      // block writes across all nodes
+  TrafficStats fabric;                  // summed over every replica link
+  bool all_replicas_consistent = false;
+  double mean_payload_bytes = 0;        // per replicated write per link
+};
+
+class SymmetricCluster {
+ public:
+  explicit SymmetricCluster(ClusterConfig config);
+  ~SymmetricCluster();
+
+  SymmetricCluster(const SymmetricCluster&) = delete;
+  SymmetricCluster& operator=(const SymmetricCluster&) = delete;
+
+  /// Each node performs `writes_per_node` partial-block updates on its
+  /// own volume (interleaved round-robin across nodes); drains all
+  /// engines; verifies every replica store against its primary.
+  Result<ClusterReport> run(std::uint64_t writes_per_node);
+
+  unsigned nodes() const { return config_.nodes; }
+
+ private:
+  struct ReplicaHost {
+    std::shared_ptr<MemDisk> store;       // replica of some peer's volume
+    std::shared_ptr<ReplicaEngine> engine;
+    std::thread server;
+  };
+  struct Node {
+    std::shared_ptr<MemDisk> volume;
+    std::unique_ptr<PrinsEngine> engine;
+    std::vector<ReplicaHost> hosted;      // replicas of peers, by peer order
+    std::vector<TrafficMeter*> outgoing;  // meters on this node's links
+    Rng rng{0};
+  };
+
+  ClusterConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace prins

@@ -1,0 +1,184 @@
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "block/mem_disk.h"
+#include "net/inproc.h"
+#include "workload/byte_volume.h"
+
+namespace prins {
+namespace {
+
+/// Blocks needed to hold `bytes` at `block_size` (with a little slack so
+/// RMW on the final page never falls off the end).
+std::uint64_t blocks_for(std::uint64_t bytes, std::uint32_t block_size) {
+  return (bytes + block_size - 1) / block_size + 1;
+}
+
+Status copy_device(BlockDevice& from, BlockDevice& to) {
+  // Bulk copy in 1 MiB strides.
+  const std::uint32_t bs = from.block_size();
+  const std::uint64_t stride = std::max<std::uint64_t>(1, (1u << 20) / bs);
+  Bytes buffer;
+  for (Lba lba = 0; lba < from.num_blocks(); lba += stride) {
+    const std::uint64_t n = std::min(stride, from.num_blocks() - lba);
+    buffer.resize(n * bs);
+    PRINS_RETURN_IF_ERROR(from.read(lba, buffer));
+    PRINS_RETURN_IF_ERROR(to.write(lba, buffer));
+  }
+  return Status::ok();
+}
+
+Result<bool> devices_equal(BlockDevice& a, BlockDevice& b) {
+  if (a.block_size() != b.block_size() || a.num_blocks() != b.num_blocks()) {
+    return false;
+  }
+  const std::uint32_t bs = a.block_size();
+  const std::uint64_t stride = std::max<std::uint64_t>(1, (1u << 20) / bs);
+  Bytes buf_a, buf_b;
+  for (Lba lba = 0; lba < a.num_blocks(); lba += stride) {
+    const std::uint64_t n = std::min(stride, a.num_blocks() - lba);
+    buf_a.resize(n * bs);
+    buf_b.resize(n * bs);
+    PRINS_RETURN_IF_ERROR(a.read(lba, buf_a));
+    PRINS_RETURN_IF_ERROR(b.read(lba, buf_b));
+    if (buf_a != buf_b) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<PolicyRunResult> run_policy(const WorkloadFactory& factory,
+                                   const PolicyRunConfig& config) {
+  auto workload = factory();
+  if (workload == nullptr) return invalid_argument("factory returned null");
+
+  const std::uint64_t blocks =
+      blocks_for(workload->required_bytes(), config.block_size);
+  auto primary = std::make_shared<MemDisk>(blocks, config.block_size);
+
+  // Initial load happens on the raw device: the paper measures the
+  // steady-state benchmark run, after the replicas are already in sync.
+  {
+    ByteVolume volume(*primary);
+    PRINS_RETURN_IF_ERROR(workload->setup(volume));
+  }
+
+  // Replica nodes: device + engine + server thread over an in-proc link,
+  // each link wrapped in a TrafficMeter (the measurement instrument).
+  struct ReplicaNode {
+    std::shared_ptr<MemDisk> disk;
+    std::shared_ptr<ReplicaEngine> engine;
+    std::thread server;
+  };
+  std::vector<ReplicaNode> nodes(config.replicas);
+  std::vector<TrafficMeter*> meters;
+
+  EngineConfig engine_config;
+  engine_config.policy = config.policy;
+  auto engine = std::make_unique<PrinsEngine>(primary, engine_config);
+
+  for (auto& node : nodes) {
+    node.disk = std::make_shared<MemDisk>(blocks, config.block_size);
+    PRINS_RETURN_IF_ERROR(copy_device(*primary, *node.disk));  // initial sync
+    ReplicaConfig replica_config;
+    replica_config.keep_trap_log = config.keep_trap_log;
+    node.engine = std::make_shared<ReplicaEngine>(node.disk, replica_config);
+
+    auto [primary_end, replica_end] = make_inproc_pair();
+    auto meter = std::make_unique<TrafficMeter>(std::move(primary_end));
+    meters.push_back(meter.get());
+    engine->add_replica(std::move(meter));
+    node.server = std::thread(
+        [engine = node.engine, transport = std::shared_ptr<Transport>(
+                                   std::move(replica_end))] {
+          (void)engine->serve(*transport);
+        });
+  }
+
+  // Drive the workload through the engine.
+  PolicyRunResult result;
+  result.policy = config.policy;
+  result.block_size = config.block_size;
+  result.transactions = config.transactions;
+  {
+    ByteVolume volume(*engine);
+    for (std::uint64_t t = 0; t < config.transactions; ++t) {
+      PRINS_ASSIGN_OR_RETURN(std::uint64_t writes,
+                             workload->run_transaction(volume));
+      result.page_writes += writes;
+    }
+  }
+  PRINS_RETURN_IF_ERROR(engine->drain());
+
+  for (TrafficMeter* meter : meters) result.sent.merge(meter->sent());
+  result.engine = engine->metrics();
+  result.mean_payload_bytes =
+      result.engine.writes == 0
+          ? 0.0
+          : static_cast<double>(result.engine.payload_bytes) /
+                static_cast<double>(result.engine.writes);
+
+  result.replicas_consistent = true;
+  if (config.verify_replicas) {
+    for (auto& node : nodes) {
+      PRINS_ASSIGN_OR_RETURN(bool same, devices_equal(*primary, *node.disk));
+      result.replicas_consistent = result.replicas_consistent && same;
+    }
+  }
+
+  // Teardown: destroy the engine (closes links), then join servers.
+  engine.reset();
+  for (auto& node : nodes) {
+    if (node.server.joinable()) node.server.join();
+  }
+  return result;
+}
+
+Result<std::vector<PolicyRunResult>> run_sweep(const WorkloadFactory& factory,
+                                               const SweepConfig& config) {
+  std::vector<PolicyRunResult> results;
+  for (std::uint32_t block_size : config.block_sizes) {
+    for (ReplicationPolicy policy : config.policies) {
+      PolicyRunConfig run;
+      run.policy = policy;
+      run.block_size = block_size;
+      run.transactions = config.transactions;
+      run.replicas = config.replicas;
+      PRINS_ASSIGN_OR_RETURN(PolicyRunResult result, run_policy(factory, run));
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+std::string format_sweep_table(const std::string& title,
+                               const std::vector<PolicyRunResult>& results) {
+  std::string out;
+  char line[256];
+  out += title + "\n";
+  std::snprintf(line, sizeof line, "%-10s %-15s %14s %12s %10s %8s\n",
+                "block", "policy", "KB sent", "KB/write", "vs trad",
+                "ok");
+  out += line;
+
+  double traditional_kb = 0;
+  for (const auto& r : results) {
+    const double kb = static_cast<double>(r.sent.payload_bytes) / 1024.0;
+    if (r.policy == ReplicationPolicy::kTraditional) traditional_kb = kb;
+    const double ratio = kb > 0 ? traditional_kb / kb : 0.0;
+    const double per_write =
+        r.engine.writes > 0
+            ? kb / static_cast<double>(r.engine.writes)
+            : 0.0;
+    std::snprintf(line, sizeof line, "%-10u %-15s %14.1f %12.3f %9.1fx %8s\n",
+                  r.block_size, std::string(policy_name(r.policy)).c_str(), kb,
+                  per_write, ratio, r.replicas_consistent ? "yes" : "NO");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace prins

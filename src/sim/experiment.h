@@ -1,0 +1,76 @@
+// Experiment harness: wires a workload, a PRINS engine, and replica nodes
+// into the measured topology of the paper's testbed, and reports the
+// traffic each replication policy generates for an identical write stream.
+//
+// Determinism strategy: workloads are seeded, so constructing a fresh
+// workload + freshly set-up volume per policy run yields byte-identical
+// write streams — the moral equivalent of replaying a captured trace
+// without holding gigabytes of blocks in memory.
+//
+// Each run finishes by verifying the replica devices are byte-identical to
+// the primary, so every traffic number reported by a bench is also an
+// end-to-end correctness check of the replication path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/traffic_meter.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+#include "workload/workload.h"
+
+namespace prins {
+
+/// Factory invoked once per policy run; must return a fresh, identically
+/// seeded workload each time.
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+struct PolicyRunConfig {
+  ReplicationPolicy policy = ReplicationPolicy::kPrins;
+  std::uint32_t block_size = 8192;
+  std::uint64_t transactions = 1000;
+  unsigned replicas = 1;
+  bool keep_trap_log = false;
+  bool verify_replicas = true;
+};
+
+struct PolicyRunResult {
+  ReplicationPolicy policy;
+  std::uint32_t block_size = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t page_writes = 0;      // workload-level writes
+  TrafficStats sent;                  // summed over replica links
+  EngineMetrics engine;
+  bool replicas_consistent = false;
+  double mean_payload_bytes = 0.0;    // per replicated block write
+};
+
+/// Run `transactions` transactions of a fresh workload under one policy.
+Result<PolicyRunResult> run_policy(const WorkloadFactory& factory,
+                                   const PolicyRunConfig& config);
+
+/// The standard figure sweep: for each block size and each policy, run the
+/// workload and collect results (row-major: block sizes outer).
+struct SweepConfig {
+  std::vector<std::uint32_t> block_sizes{4096, 8192, 16384, 32768, 65536};
+  std::vector<ReplicationPolicy> policies{
+      ReplicationPolicy::kTraditional,
+      ReplicationPolicy::kTraditionalCompressed,
+      ReplicationPolicy::kPrins,
+  };
+  std::uint64_t transactions = 1000;
+  unsigned replicas = 1;
+};
+
+Result<std::vector<PolicyRunResult>> run_sweep(const WorkloadFactory& factory,
+                                               const SweepConfig& config);
+
+/// Render a sweep as the paper's figure table (KB transferred per policy
+/// per block size, plus ratios vs traditional).
+std::string format_sweep_table(const std::string& title,
+                               const std::vector<PolicyRunResult>& results);
+
+}  // namespace prins

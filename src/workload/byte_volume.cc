@@ -1,0 +1,36 @@
+#include "workload/byte_volume.h"
+
+#include <cstring>
+
+namespace prins {
+
+Status ByteVolume::read(std::uint64_t offset, MutByteSpan out) {
+  if (out.empty()) return Status::ok();
+  if (offset + out.size() > size_bytes()) {
+    return out_of_range("byte read beyond volume end");
+  }
+  const std::uint32_t bs = block_size();
+  const Lba first = offset / bs;
+  const Lba last = (offset + out.size() - 1) / bs;
+  Bytes buffer((last - first + 1) * bs);
+  PRINS_RETURN_IF_ERROR(device_.read(first, buffer));
+  std::memcpy(out.data(), buffer.data() + (offset - first * bs), out.size());
+  return Status::ok();
+}
+
+Status ByteVolume::write(std::uint64_t offset, ByteSpan data) {
+  if (data.empty()) return Status::ok();
+  if (offset + data.size() > size_bytes()) {
+    return out_of_range("byte write beyond volume end");
+  }
+  const std::uint32_t bs = block_size();
+  const Lba first = offset / bs;
+  const Lba last = (offset + data.size() - 1) / bs;
+  Bytes buffer((last - first + 1) * bs);
+  // RMW: fetch the covered blocks, splice the new bytes in, write back.
+  PRINS_RETURN_IF_ERROR(device_.read(first, buffer));
+  std::memcpy(buffer.data() + (offset - first * bs), data.data(), data.size());
+  return device_.write(first, buffer);
+}
+
+}  // namespace prins

@@ -1,0 +1,34 @@
+// ByteVolume: byte-addressed I/O over a BlockDevice.
+//
+// Databases and file systems write pages/files at byte offsets; the
+// storage replicates whole blocks.  This adapter performs the
+// read-modify-write of partially covered blocks — which is exactly the
+// mechanism that makes traditional replication traffic grow with block
+// size in the paper's figures (an 8 KB page update dirties a full 64 KB
+// block) while PRINS's parity stays the size of the actual change.
+#pragma once
+
+#include "block/block_device.h"
+
+namespace prins {
+
+class ByteVolume {
+ public:
+  explicit ByteVolume(BlockDevice& device) : device_(device) {}
+
+  std::uint64_t size_bytes() const { return device_.capacity_bytes(); }
+  std::uint32_t block_size() const { return device_.block_size(); }
+
+  /// Read `out.size()` bytes starting at byte `offset`.
+  Status read(std::uint64_t offset, MutByteSpan out);
+
+  /// Write `data` at byte `offset`, read-modify-writing edge blocks.
+  Status write(std::uint64_t offset, ByteSpan data);
+
+  BlockDevice& device() { return device_; }
+
+ private:
+  BlockDevice& device_;
+};
+
+}  // namespace prins

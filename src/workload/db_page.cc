@@ -1,0 +1,154 @@
+#include "workload/db_page.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/endian.h"
+#include "workload/text.h"
+
+namespace prins {
+namespace {
+
+constexpr Byte kMagic[4] = {'P', 'G', 'P', 'g'};
+constexpr std::uint16_t kDeadSlot = 0xFFFF;
+
+}  // namespace
+
+DbProfile oracle_profile() {
+  DbProfile p;
+  p.name = "oracle";
+  p.page_size = 8192;
+  p.mvcc_insert_on_update = false;
+  p.text_fraction = 0.5;
+  return p;
+}
+
+DbProfile postgres_profile() {
+  DbProfile p;
+  p.name = "postgres";
+  p.page_size = 8192;
+  p.mvcc_insert_on_update = true;
+  p.text_fraction = 0.5;
+  return p;
+}
+
+DbProfile mysql_profile() {
+  DbProfile p;
+  p.name = "mysql";
+  p.page_size = 16384;
+  p.mvcc_insert_on_update = false;
+  p.text_fraction = 0.6;
+  return p;
+}
+
+void DbPage::format(MutByteSpan page, std::uint64_t page_id) {
+  assert(page.size() >= kHeaderSize + 8);
+  assert(page.size() <= 0xFFFF);  // u16 offsets address the whole page
+  std::memset(page.data(), 0, page.size());
+  std::memcpy(page.data(), kMagic, 4);
+  store_le64(page.subspan(4, 8), page_id);
+  store_le64(page.subspan(12, 8), 1);  // initial LSN
+  store_le16(page.subspan(20, 2), 0);  // slot count
+  store_le16(page.subspan(22, 2), kHeaderSize);
+}
+
+DbPage::DbPage(MutByteSpan page) : page_(page) {}
+
+bool DbPage::valid() const {
+  return page_.size() >= kHeaderSize + 8 &&
+         std::memcmp(page_.data(), kMagic, 4) == 0;
+}
+
+std::uint64_t DbPage::page_id() const { return load_le64(page_.subspan(4, 8)); }
+std::uint64_t DbPage::lsn() const { return load_le64(page_.subspan(12, 8)); }
+std::uint16_t DbPage::slot_count() const {
+  return load_le16(page_.subspan(20, 2));
+}
+std::uint16_t DbPage::free_offset() const {
+  return load_le16(page_.subspan(22, 2));
+}
+
+void DbPage::bump_lsn() {
+  store_le64(page_.subspan(12, 8), lsn() + 1);
+}
+
+std::uint16_t DbPage::slot_offset_value(std::uint16_t slot) const {
+  const std::size_t at = page_.size() - 2 * (static_cast<std::size_t>(slot) + 1);
+  return load_le16(ByteSpan(page_).subspan(at, 2));
+}
+
+void DbPage::set_slot_offset(std::uint16_t slot, std::uint16_t value) {
+  const std::size_t at = page_.size() - 2 * (static_cast<std::size_t>(slot) + 1);
+  store_le16(page_.subspan(at, 2), value);
+}
+
+bool DbPage::fits(std::size_t payload_len) const {
+  const std::size_t dir_end = page_.size() - 2 * (slot_count() + 1);
+  return free_offset() + 2 + payload_len <= dir_end;
+}
+
+Result<std::uint16_t> DbPage::insert_row(ByteSpan payload) {
+  if (!valid()) return corruption("not a formatted page");
+  if (payload.size() > 0xFFFF - 2) return invalid_argument("row too large");
+  if (!fits(payload.size())) {
+    return resource_exhausted("page full");
+  }
+  const std::uint16_t off = free_offset();
+  store_le16(page_.subspan(off, 2), static_cast<std::uint16_t>(payload.size()));
+  std::memcpy(page_.data() + off + 2, payload.data(), payload.size());
+  const std::uint16_t slot = slot_count();
+  set_slot_offset(slot, off);
+  store_le16(page_.subspan(20, 2), static_cast<std::uint16_t>(slot + 1));
+  store_le16(page_.subspan(22, 2),
+             static_cast<std::uint16_t>(off + 2 + payload.size()));
+  bump_lsn();
+  return slot;
+}
+
+Result<ByteSpan> DbPage::read_row(std::uint16_t slot) const {
+  if (!valid()) return corruption("not a formatted page");
+  if (slot >= slot_count()) return out_of_range("no such slot");
+  const std::uint16_t off = slot_offset_value(slot);
+  if (off == kDeadSlot) return ByteSpan{};
+  const std::uint16_t len = load_le16(ByteSpan(page_).subspan(off, 2));
+  return ByteSpan(page_).subspan(off + 2, len);
+}
+
+Status DbPage::update_row_field(std::uint16_t slot, std::size_t offset,
+                                ByteSpan new_bytes) {
+  if (!valid()) return corruption("not a formatted page");
+  if (slot >= slot_count()) return out_of_range("no such slot");
+  const std::uint16_t off = slot_offset_value(slot);
+  if (off == kDeadSlot) return failed_precondition("row is deleted");
+  const std::uint16_t len = load_le16(ByteSpan(page_).subspan(off, 2));
+  if (offset + new_bytes.size() > len) {
+    return out_of_range("field beyond row payload");
+  }
+  std::memcpy(page_.data() + off + 2 + offset, new_bytes.data(),
+              new_bytes.size());
+  bump_lsn();
+  return Status::ok();
+}
+
+Status DbPage::delete_row(std::uint16_t slot) {
+  if (!valid()) return corruption("not a formatted page");
+  if (slot >= slot_count()) return out_of_range("no such slot");
+  set_slot_offset(slot, kDeadSlot);
+  bump_lsn();
+  return Status::ok();
+}
+
+bool DbPage::row_dead(std::uint16_t slot) const {
+  return slot < slot_count() && slot_offset_value(slot) == kDeadSlot;
+}
+
+Bytes make_row(Rng& rng, const DbProfile& profile, std::size_t payload_len) {
+  Bytes row(payload_len);
+  const auto text_len =
+      static_cast<std::size_t>(profile.text_fraction * payload_len);
+  fill_words(rng, MutByteSpan(row).first(text_len));
+  fill_numeric(rng, MutByteSpan(row).subspan(text_len));
+  return row;
+}
+
+}  // namespace prins

@@ -1,0 +1,96 @@
+// Slotted database pages: the content substrate under the TPC workloads.
+//
+// We cannot run Oracle/Postgres/MySQL, but the paper's measurements depend
+// only on *what the database writes to disk*: page-sized writes in which a
+// transaction dirties a few row fields, a header (LSN/checksum), and
+// occasionally the slot directory.  This module implements a classic
+// slotted page (header, heap of rows, slot directory growing from the
+// tail) with update/insert/delete operations that dirty realistic byte
+// ranges, plus per-engine profiles capturing the differences that matter
+// for replication traffic (page size; in-place update vs Postgres-style
+// MVCC insert-new-version).
+//
+// Page layout:
+//   [0..3]   magic 'PGPg'
+//   [4..11]  page id
+//   [12..19] LSN (bumped on every mutation)
+//   [20..21] slot count
+//   [22..23] free-space offset (start of unused heap area)
+//   [24..]   row heap, rows = [len u16][payload]
+//   tail     slot directory: slot i's row offset, u16, growing downward
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace prins {
+
+/// How a database engine lays its data on disk, as far as replication
+/// traffic is concerned.
+struct DbProfile {
+  std::string name;
+  std::uint32_t page_size = 8192;
+  /// Postgres-style MVCC: an UPDATE writes a whole new row version into
+  /// free space (larger dirty area) instead of patching fields in place.
+  bool mvcc_insert_on_update = false;
+  /// Fraction of a row's payload that is text (rest is packed numerics).
+  double text_fraction = 0.5;
+};
+
+DbProfile oracle_profile();    // 8 KB pages, in-place updates
+DbProfile postgres_profile();  // 8 KB pages, MVCC row versions
+DbProfile mysql_profile();     // 16 KB pages, in-place updates
+
+/// View over one page image.  The span must stay alive while the view is
+/// used; all mutators update the LSN so the header always dirties too.
+class DbPage {
+ public:
+  static constexpr std::size_t kHeaderSize = 24;
+
+  /// Format an empty page in place.
+  static void format(MutByteSpan page, std::uint64_t page_id);
+
+  explicit DbPage(MutByteSpan page);
+
+  bool valid() const;                 // magic check
+  std::uint64_t page_id() const;
+  std::uint64_t lsn() const;
+  std::uint16_t slot_count() const;
+  std::uint16_t free_offset() const;
+
+  /// Bytes available for one more row of `payload_len` (incl. slot entry).
+  bool fits(std::size_t payload_len) const;
+
+  /// Append a row; returns its slot index, or kResourceExhausted when full.
+  Result<std::uint16_t> insert_row(ByteSpan payload);
+
+  /// In-place update: overwrite `len` bytes of slot's payload at `offset`
+  /// with fresh content.  Dirty range = the field + header.
+  Status update_row_field(std::uint16_t slot, std::size_t offset,
+                          ByteSpan new_bytes);
+
+  /// Payload of a live row (empty span if the slot is dead).
+  Result<ByteSpan> read_row(std::uint16_t slot) const;
+
+  /// Tombstone a row (slot keeps its entry; space is not reclaimed —
+  /// compaction is a fresh page, as in real heap tables).
+  Status delete_row(std::uint16_t slot);
+  bool row_dead(std::uint16_t slot) const;
+
+ private:
+  void bump_lsn();
+  std::uint16_t slot_offset_value(std::uint16_t slot) const;
+  void set_slot_offset(std::uint16_t slot, std::uint16_t value);
+
+  MutByteSpan page_;
+};
+
+/// A row generator: `payload_len` bytes mixing text and numerics per the
+/// profile.  Deterministic given the rng state.
+Bytes make_row(Rng& rng, const DbProfile& profile, std::size_t payload_len);
+
+}  // namespace prins

@@ -1,0 +1,214 @@
+#include "workload/fsmicro.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "common/endian.h"
+#include "workload/text.h"
+
+namespace prins {
+namespace {
+
+constexpr std::uint32_t kInodeSize = 128;
+constexpr std::uint32_t kFsBlock = 4096;   // ext2 block size
+constexpr std::uint32_t kTarBlock = 512;   // ustar record size
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+/// Minimal POSIX ustar header for a regular file.
+void make_tar_header(MutByteSpan out, const std::string& name,
+                     std::uint64_t size, std::uint64_t mtime) {
+  std::memset(out.data(), 0, kTarBlock);
+  auto put = [&](std::size_t at, const char* s) {
+    std::strncpy(reinterpret_cast<char*>(out.data() + at), s, 99);
+  };
+  put(0, name.c_str());
+  std::snprintf(reinterpret_cast<char*>(out.data() + 100), 8, "%07o", 0644);
+  std::snprintf(reinterpret_cast<char*>(out.data() + 108), 8, "%07o", 0);
+  std::snprintf(reinterpret_cast<char*>(out.data() + 116), 8, "%07o", 0);
+  std::snprintf(reinterpret_cast<char*>(out.data() + 124), 12, "%011llo",
+                static_cast<unsigned long long>(size));
+  std::snprintf(reinterpret_cast<char*>(out.data() + 136), 12, "%011llo",
+                static_cast<unsigned long long>(mtime));
+  out[156] = '0';  // regular file
+  std::memcpy(out.data() + 257, "ustar", 6);
+  // Checksum: spaces while summing, then the octal value.
+  std::memset(out.data() + 148, ' ', 8);
+  unsigned sum = 0;
+  for (std::size_t i = 0; i < kTarBlock; ++i) sum += out[i];
+  std::snprintf(reinterpret_cast<char*>(out.data() + 148), 8, "%06o", sum);
+  out[155] = ' ';
+}
+
+}  // namespace
+
+FsMicro::FsMicro(FsMicroConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  // Create the file population and lay the volume out.
+  const unsigned total_files =
+      config_.directories * config_.files_per_directory;
+  files_.reserve(total_files);
+
+  superblock_off_ = 0;
+  inode_table_off_ = kFsBlock;  // superblock occupies one fs block
+  const std::uint64_t inode_bytes =
+      round_up(static_cast<std::uint64_t>(total_files + 1) * kInodeSize,
+               kFsBlock);
+  bitmap_off_ = inode_table_off_ + inode_bytes;
+  const std::uint64_t bitmap_bytes = kFsBlock;  // plenty for our block count
+  data_off_ = bitmap_off_ + bitmap_bytes;
+
+  std::uint64_t cursor = data_off_;
+  std::uint64_t archive_payload = 0;
+  for (unsigned d = 0; d < config_.directories; ++d) {
+    for (unsigned f = 0; f < config_.files_per_directory; ++f) {
+      File file;
+      file.directory = d;
+      file.size = static_cast<std::uint32_t>(
+          rng_.next_in(config_.min_file_bytes, config_.max_file_bytes));
+      file.data_offset = cursor;
+      file.inode_offset =
+          inode_table_off_ + static_cast<std::uint64_t>(files_.size()) * kInodeSize;
+      file.mtime = clock_;
+      cursor += round_up(file.size, kFsBlock);
+      archive_payload += kTarBlock + round_up(file.size, kTarBlock);
+      files_.push_back(file);
+    }
+  }
+  archive_off_ = cursor;
+  archive_capacity_ = round_up(archive_payload + 2 * kTarBlock, kFsBlock);
+  total_bytes_ = archive_off_ + archive_capacity_;
+
+  // Pick the benchmark's five directories once, as the paper does.
+  std::vector<unsigned> dirs(config_.directories);
+  std::iota(dirs.begin(), dirs.end(), 0u);
+  for (unsigned i = 0; i < config_.tar_directories && i < dirs.size(); ++i) {
+    const std::size_t j = i + rng_.next_below(dirs.size() - i);
+    std::swap(dirs[i], dirs[j]);
+    tar_dirs_.push_back(dirs[i]);
+  }
+}
+
+std::uint64_t FsMicro::required_bytes() const { return total_bytes_; }
+
+Status FsMicro::write_inode(ByteVolume& volume, const File& file) {
+  Bytes inode(kInodeSize, 0);
+  store_le32(MutByteSpan(inode).subspan(0, 4), 0100644);  // mode
+  store_le32(MutByteSpan(inode).subspan(4, 4), file.size);
+  store_le64(MutByteSpan(inode).subspan(8, 8), file.mtime);
+  store_le64(MutByteSpan(inode).subspan(16, 8), file.data_offset / kFsBlock);
+  const std::uint32_t blocks =
+      static_cast<std::uint32_t>(round_up(file.size, kFsBlock) / kFsBlock);
+  store_le32(MutByteSpan(inode).subspan(24, 4), blocks);
+  return volume.write(file.inode_offset, inode);
+}
+
+Status FsMicro::setup(ByteVolume& volume) {
+  // Superblock.
+  Bytes sb(kFsBlock, 0);
+  std::memcpy(sb.data(), "EXT2sim", 7);
+  store_le64(MutByteSpan(sb).subspan(8, 8), files_.size());
+  store_le64(MutByteSpan(sb).subspan(16, 8), total_bytes_ / kFsBlock);
+  PRINS_RETURN_IF_ERROR(volume.write(superblock_off_, sb));
+
+  // Block bitmap: mark every allocated fs block in use.
+  Bytes bitmap(kFsBlock, 0);
+  const std::uint64_t used_blocks = archive_off_ / kFsBlock;
+  for (std::uint64_t b = 0; b < used_blocks && b / 8 < bitmap.size(); ++b) {
+    bitmap[b / 8] |= static_cast<Byte>(1u << (b % 8));
+  }
+  PRINS_RETURN_IF_ERROR(volume.write(bitmap_off_, bitmap));
+
+  // Files: text content + inode.
+  for (const File& file : files_) {
+    Bytes content(file.size);
+    fill_words(rng_, content);
+    PRINS_RETURN_IF_ERROR(volume.write(file.data_offset, content));
+    PRINS_RETURN_IF_ERROR(write_inode(volume, file));
+  }
+  // Create the initial archive so the measured rounds overwrite an
+  // existing file, as tar does on a system where the archive already
+  // exists.  (Setup writes happen before replication starts.)
+  std::uint64_t ignored = 0;
+  PRINS_RETURN_IF_ERROR(tar_round(volume, ignored));
+  return Status::ok();
+}
+
+Status FsMicro::edit_files(ByteVolume& volume, std::uint64_t& writes) {
+  ++clock_;
+  for (File& file : files_) {
+    const bool in_archive =
+        std::find(tar_dirs_.begin(), tar_dirs_.end(), file.directory) !=
+        tar_dirs_.end();
+    if (!in_archive || !rng_.next_bool(config_.edit_fraction)) continue;
+    for (unsigned e = 0; e < config_.edits_per_file; ++e) {
+      const std::uint32_t len = static_cast<std::uint32_t>(rng_.next_in(
+          config_.edit_min_bytes,
+          std::min<std::uint64_t>(config_.edit_max_bytes, file.size)));
+      const std::uint64_t at = rng_.next_below(file.size - len + 1);
+      Bytes splice(len);
+      fill_words(rng_, splice);
+      PRINS_RETURN_IF_ERROR(volume.write(file.data_offset + at, splice));
+      ++writes;
+    }
+    file.mtime = clock_;
+    PRINS_RETURN_IF_ERROR(write_inode(volume, file));
+    ++writes;
+  }
+  return Status::ok();
+}
+
+Status FsMicro::tar_round(ByteVolume& volume, std::uint64_t& writes) {
+  // Build the archive stream in memory, then write it over the previous
+  // archive image — as `tar -cf archive.tar dir1..dir5` rewrites the file.
+  Bytes archive;
+  archive.reserve(archive_capacity_);
+  Bytes header(kTarBlock);
+  Bytes content;
+  for (const File& file : files_) {
+    const bool in_archive =
+        std::find(tar_dirs_.begin(), tar_dirs_.end(), file.directory) !=
+        tar_dirs_.end();
+    if (!in_archive) continue;
+    const std::string name = "dir" + std::to_string(file.directory) +
+                             "/file" +
+                             std::to_string(file.data_offset / kFsBlock);
+    make_tar_header(header, name, file.size, file.mtime);
+    append(archive, header);
+    content.resize(round_up(file.size, kTarBlock));
+    std::fill(content.begin(), content.end(), Byte{0});
+    PRINS_RETURN_IF_ERROR(
+        volume.read(file.data_offset, MutByteSpan(content).first(file.size)));
+    append(archive, content);
+  }
+  // Two zero records terminate a tar stream.
+  archive.resize(archive.size() + 2 * kTarBlock, 0);
+
+  PRINS_RETURN_IF_ERROR(volume.write(archive_off_, archive));
+  writes += (archive.size() + kFsBlock - 1) / kFsBlock;
+
+  // Archive file's inode (reusing the last inode slot) and superblock
+  // mtime tick.
+  Bytes stamp(8);
+  store_le64(stamp, clock_);
+  PRINS_RETURN_IF_ERROR(
+      volume.write(inode_table_off_ +
+                       static_cast<std::uint64_t>(files_.size()) * kInodeSize + 8,
+                   stamp));
+  PRINS_RETURN_IF_ERROR(volume.write(superblock_off_ + 24, stamp));
+  writes += 2;
+  return Status::ok();
+}
+
+Result<std::uint64_t> FsMicro::run_transaction(ByteVolume& volume) {
+  std::uint64_t writes = 0;
+  PRINS_RETURN_IF_ERROR(edit_files(volume, writes));
+  PRINS_RETURN_IF_ERROR(tar_round(volume, writes));
+  return writes;
+}
+
+}  // namespace prins

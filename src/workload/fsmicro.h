@@ -1,0 +1,79 @@
+// FsMicro: the paper's Ext2 file-system micro-benchmark (§3.2).
+//
+// "The micro-benchmark chooses five directories randomly on Ext2 ... and
+// creates an archive file using the tar command.  We ran the tar command
+// five times.  Each time before the tar command is run, files in the
+// directories are randomly selected and randomly changed."
+//
+// We model an ext2-like volume: superblock, inode table, block bitmap and
+// a data area holding text files in directories, plus an archive area the
+// tar stream is (re)written into.  One transaction = one benchmark round:
+// randomly edit a fraction of the files, then write a POSIX-ustar-format
+// archive of the chosen directories over the previous archive.  Because
+// most file bytes survive between rounds, consecutive archive images are
+// nearly identical — the source of the paper's largest PRINS wins
+// (Figure 7) — while the text content keeps the compression baseline
+// honest.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace prins {
+
+struct FsMicroConfig {
+  unsigned directories = 20;
+  unsigned files_per_directory = 10;
+  unsigned tar_directories = 5;       // dirs included in the archive
+  std::uint32_t min_file_bytes = 2 * 1024;
+  std::uint32_t max_file_bytes = 48 * 1024;
+  /// Fraction of in-archive files randomly edited before each tar round.
+  double edit_fraction = 0.20;
+  /// Edits per touched file (each a short text splice).
+  unsigned edits_per_file = 2;
+  unsigned edit_min_bytes = 16;
+  unsigned edit_max_bytes = 384;
+  std::uint64_t seed = 20060303;
+};
+
+class FsMicro final : public Workload {
+ public:
+  explicit FsMicro(FsMicroConfig config);
+
+  std::string_view name() const override { return "fsmicro"; }
+  std::uint64_t required_bytes() const override;
+  Status setup(ByteVolume& volume) override;
+
+  /// One micro-benchmark round: edit random files, then re-tar.
+  Result<std::uint64_t> run_transaction(ByteVolume& volume) override;
+
+ private:
+  struct File {
+    unsigned directory;
+    std::uint32_t size;
+    std::uint64_t data_offset;   // byte offset of contents in the data area
+    std::uint64_t inode_offset;  // byte offset of its inode
+    std::uint64_t mtime;
+  };
+
+  Status write_inode(ByteVolume& volume, const File& file);
+  Status edit_files(ByteVolume& volume, std::uint64_t& writes);
+  Status tar_round(ByteVolume& volume, std::uint64_t& writes);
+
+  FsMicroConfig config_;
+  Rng rng_;
+  std::vector<File> files_;
+  std::vector<unsigned> tar_dirs_;   // the five chosen directories
+  std::uint64_t superblock_off_ = 0;
+  std::uint64_t inode_table_off_ = 0;
+  std::uint64_t bitmap_off_ = 0;
+  std::uint64_t data_off_ = 0;
+  std::uint64_t archive_off_ = 0;
+  std::uint64_t archive_capacity_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t clock_ = 1;  // file mtime ticks
+};
+
+}  // namespace prins

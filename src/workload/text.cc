@@ -1,0 +1,71 @@
+#include "workload/text.h"
+
+#include <array>
+#include <cstring>
+
+namespace prins {
+namespace {
+
+// A modest word list gives text the right repetition structure: common
+// words recur, so LZ finds matches, as it would on real documents.
+constexpr std::array<std::string_view, 64> kWords = {
+    "the",     "of",       "and",      "to",       "in",      "is",
+    "order",   "customer", "district", "payment",  "item",    "stock",
+    "total",   "amount",   "quantity", "delivery", "pending", "status",
+    "account", "balance",  "credit",   "history",  "remote",  "local",
+    "storage", "network",  "parity",   "replica",  "block",   "write",
+    "data",    "system",   "server",   "request",  "response","queue",
+    "table",   "index",    "page",     "record",   "field",   "value",
+    "update",  "insert",   "delete",   "select",   "commit",  "begin",
+    "street",  "city",     "state",    "phone",    "name",    "price",
+    "tax",     "discount", "warehouse", "carrier",  "entry",   "date",
+    "time",    "count",    "level",    "info",
+};
+
+constexpr std::array<std::string_view, 10> kSyllables = {
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION",
+    "EING"};
+
+}  // namespace
+
+void fill_words(Rng& rng, MutByteSpan out) {
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::string_view word = kWords[rng.next_below(kWords.size())];
+    for (char c : word) {
+      if (pos >= out.size()) return;
+      out[pos++] = static_cast<Byte>(c);
+    }
+    if (pos < out.size()) out[pos++] = ' ';
+  }
+}
+
+std::string tpcc_last_name(std::uint64_t num) {
+  // TPC-C 4.3.2.3: concatenate syllables of the three digits of num % 1000.
+  num %= 1000;
+  std::string name;
+  name += kSyllables[num / 100];
+  name += kSyllables[(num / 10) % 10];
+  name += kSyllables[num % 10];
+  return name;
+}
+
+void fill_numeric(Rng& rng, MutByteSpan out) {
+  // Packed 4-byte little-endian integers: typical of ids, quantities and
+  // money-in-cents columns.  Most values are small (counts, quantities),
+  // so the high bytes are zero — the padding/fixed-width structure that
+  // makes real database pages roughly 2x zlib-compressible.
+  std::size_t i = 0;
+  while (i + 4 <= out.size()) {
+    const std::uint32_t v = static_cast<std::uint32_t>(
+        rng.next_bool(0.7) ? rng.next_below(100) : rng.next_below(100000));
+    out[i] = static_cast<Byte>(v);
+    out[i + 1] = static_cast<Byte>(v >> 8);
+    out[i + 2] = static_cast<Byte>(v >> 16);
+    out[i + 3] = static_cast<Byte>(v >> 24);
+    i += 4;
+  }
+  for (; i < out.size(); ++i) out[i] = static_cast<Byte>(rng.next_below(10));
+}
+
+}  // namespace prins

@@ -1,0 +1,27 @@
+// Realistic-looking text generation for row fields and file contents.
+//
+// Traffic ratios in the paper depend on content: database rows mix
+// compressible text with binary numerics, and the fs micro-benchmark
+// "mainly deals with text files that are more compressible than database
+// files" (§4).  This generator emits English-like word streams so the LZ
+// baseline sees honest compression ratios.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace prins {
+
+/// Fill `out` with space-separated pseudo-English words.
+void fill_words(Rng& rng, MutByteSpan out);
+
+/// A random last-name in the TPC-C syllable style ("BARBARPRES").
+std::string tpcc_last_name(std::uint64_t num);
+
+/// Fill `out` with a numeric/binary field pattern (little-endian counters
+/// and small floats) resembling packed row data.
+void fill_numeric(Rng& rng, MutByteSpan out);
+
+}  // namespace prins

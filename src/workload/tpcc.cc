@@ -1,0 +1,353 @@
+#include "workload/tpcc.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/endian.h"
+#include "workload/text.h"
+
+namespace prins {
+namespace {
+
+// Scaled-down row payload sizes (bytes); spec sizes in comments.
+constexpr std::uint32_t kWarehouseRow = 96;   // ~89
+constexpr std::uint32_t kDistrictRow = 96;    // ~95
+constexpr std::uint32_t kCustomerRow = 400;   // ~655
+constexpr std::uint32_t kStockRow = 200;      // ~306
+constexpr std::uint32_t kItemRow = 96;        // ~82
+constexpr std::uint32_t kOrderRow = 32;       // ~24
+constexpr std::uint32_t kOrderLineRow = 54;   // ~54
+constexpr std::uint32_t kHistoryRow = 46;     // ~46
+
+std::uint32_t rows_per_page(std::uint32_t page_size, std::uint32_t row_size) {
+  // Each row costs 2 (length) + payload + 2 (slot entry).
+  return (page_size - DbPage::kHeaderSize) / (row_size + 4);
+}
+
+}  // namespace
+
+Tpcc::Tpcc(TpccConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      item_skew_(config_.items, 0.85) {
+  page_size_ = config_.profile.page_size;
+  layout();
+  const std::uint64_t wd =
+      static_cast<std::uint64_t>(config_.warehouses) *
+      config_.districts_per_warehouse;
+  next_order_id_.assign(wd, 1);
+  undelivered_.assign(wd, 0);
+}
+
+void Tpcc::layout() {
+  auto place_table = [&](Table& table, std::uint64_t rows,
+                         std::uint32_t row_size) {
+    table.rows = rows;
+    table.row_size = row_size;
+    table.rows_per_page = rows_per_page(page_size_, row_size);
+    table.pages = (rows + table.rows_per_page - 1) / table.rows_per_page;
+    table.base = total_bytes_;
+    total_bytes_ += table.pages * page_size_;
+  };
+  const std::uint64_t w = config_.warehouses;
+  const std::uint64_t wd = w * config_.districts_per_warehouse;
+  place_table(warehouse_, w, kWarehouseRow);
+  place_table(district_, wd, kDistrictRow);
+  place_table(customer_, wd * config_.customers_per_district, kCustomerRow);
+  place_table(stock_, w * config_.items, kStockRow);
+  place_table(item_, config_.items, kItemRow);
+
+  auto place_append = [&](AppendRegion& region, std::uint64_t rows,
+                          std::uint32_t row_size) {
+    const std::uint32_t rpp = rows_per_page(page_size_, row_size);
+    region.pages = (rows + rpp - 1) / rpp;
+    region.base = total_bytes_;
+    region.cursor_page = 0;
+    total_bytes_ += region.pages * page_size_;
+  };
+  place_append(orders_, config_.order_capacity, kOrderRow);
+  place_append(order_lines_, config_.order_capacity * 10, kOrderLineRow);
+  place_append(history_, config_.order_capacity, kHistoryRow);
+}
+
+std::uint64_t Tpcc::required_bytes() const { return total_bytes_; }
+
+Status Tpcc::load_table(ByteVolume& volume, Table& table,
+                        std::size_t payload_size) {
+  Bytes page(page_size_);
+  std::uint64_t row = 0;
+  for (std::uint64_t p = 0; p < table.pages; ++p) {
+    DbPage::format(page, p);
+    DbPage view{page};
+    for (std::uint32_t s = 0; s < table.rows_per_page && row < table.rows;
+         ++s, ++row) {
+      Bytes payload = make_row(rng_, config_.profile, payload_size);
+      auto slot = view.insert_row(payload);
+      PRINS_RETURN_IF_ERROR(slot.status());
+    }
+    PRINS_RETURN_IF_ERROR(volume.write(table.base + p * page_size_, page));
+  }
+  return Status::ok();
+}
+
+Status Tpcc::setup(ByteVolume& volume) {
+  PRINS_RETURN_IF_ERROR(load_table(volume, warehouse_, kWarehouseRow));
+  PRINS_RETURN_IF_ERROR(load_table(volume, district_, kDistrictRow));
+  PRINS_RETURN_IF_ERROR(load_table(volume, customer_, kCustomerRow));
+  PRINS_RETURN_IF_ERROR(load_table(volume, stock_, kStockRow));
+  PRINS_RETURN_IF_ERROR(load_table(volume, item_, kItemRow));
+  // Append regions start as formatted empty pages.
+  Bytes page(page_size_);
+  for (AppendRegion* region : {&orders_, &order_lines_, &history_}) {
+    for (std::uint64_t p = 0; p < region->pages; ++p) {
+      DbPage::format(page, p);
+      PRINS_RETURN_IF_ERROR(volume.write(region->base + p * page_size_, page));
+    }
+  }
+  return Status::ok();
+}
+
+Status Tpcc::fetch_row_page(ByteVolume& volume, const Table& table,
+                            std::uint64_t row,
+                            std::map<std::uint64_t, Bytes>& dirty,
+                            std::uint64_t& page_off, std::uint16_t& slot) {
+  assert(row < table.rows);
+  page_off = table.base + (row / table.rows_per_page) * page_size_;
+  slot = static_cast<std::uint16_t>(row % table.rows_per_page);
+  auto it = dirty.find(page_off);
+  if (it == dirty.end()) {
+    Bytes page(page_size_);
+    PRINS_RETURN_IF_ERROR(volume.read(page_off, page));
+    dirty.emplace(page_off, std::move(page));
+  }
+  return Status::ok();
+}
+
+Status Tpcc::append_row(ByteVolume& volume, AppendRegion& region, ByteSpan row,
+                        std::map<std::uint64_t, Bytes>& dirty) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::uint64_t page_off =
+        region.base + region.cursor_page * page_size_;
+    auto it = dirty.find(page_off);
+    if (it == dirty.end()) {
+      Bytes page(page_size_);
+      PRINS_RETURN_IF_ERROR(volume.read(page_off, page));
+      it = dirty.emplace(page_off, std::move(page)).first;
+    }
+    DbPage view{it->second};
+    auto slot = view.insert_row(row);
+    if (slot.is_ok()) return Status::ok();
+    if (slot.status().code() != ErrorCode::kResourceExhausted) {
+      return slot.status();
+    }
+    // Page full: move to the next page (wrapping) and format it fresh.
+    region.cursor_page = (region.cursor_page + 1) % region.pages;
+    const std::uint64_t next_off =
+        region.base + region.cursor_page * page_size_;
+    Bytes fresh(page_size_);
+    DbPage::format(fresh, region.cursor_page);
+    dirty[next_off] = std::move(fresh);
+  }
+  return internal_error("append failed twice; row larger than a page?");
+}
+
+Result<std::uint64_t> Tpcc::run_transaction(ByteVolume& volume) {
+  const std::uint64_t toss = rng_.next_below(100);
+  Status s = Status::ok();
+  if (toss < 45) {
+    s = tx_new_order(volume, pool_);
+  } else if (toss < 88) {
+    s = tx_payment(volume, pool_);
+  } else if (toss < 92) {
+    s = tx_delivery(volume, pool_);
+  } else {
+    s = tx_read_only(volume);
+  }
+  PRINS_RETURN_IF_ERROR(s);
+  ++transactions_;
+  ++since_flush_;
+  // Checkpoint: flush the buffer pool's dirty pages once per interval so
+  // each on-disk page write carries several transactions' changes.
+  std::uint64_t flushed = 0;
+  if (since_flush_ >= config_.flush_interval) {
+    for (const auto& [offset, page] : pool_) {
+      PRINS_RETURN_IF_ERROR(volume.write(offset, page));
+    }
+    flushed = pool_.size();
+    pool_.clear();
+    since_flush_ = 0;
+  }
+  page_writes_ += flushed;
+  return flushed;
+}
+
+Status Tpcc::tx_new_order(ByteVolume& volume,
+                          std::map<std::uint64_t, Bytes>& dirty) {
+  const std::uint64_t w = rng_.next_below(config_.warehouses);
+  const std::uint64_t d = rng_.next_below(config_.districts_per_warehouse);
+  const std::uint64_t wd = w * config_.districts_per_warehouse + d;
+
+  // District: bump D_NEXT_O_ID (and tax/ytd fields nearby).
+  {
+    std::uint64_t page_off;
+    std::uint16_t slot;
+    PRINS_RETURN_IF_ERROR(
+        fetch_row_page(volume, district_, wd, dirty, page_off, slot));
+    DbPage view{dirty[page_off]};
+    Byte field[8];
+    store_le64(field, next_order_id_[wd]);
+    PRINS_RETURN_IF_ERROR(view.update_row_field(slot, 0, field));
+  }
+  const std::uint64_t order_id = next_order_id_[wd]++;
+
+  // Order lines: 5..15 items, stock update per item.
+  const std::uint64_t ol_cnt = rng_.next_in(5, 15);
+  for (std::uint64_t ol = 0; ol < ol_cnt; ++ol) {
+    const std::uint64_t item = item_skew_.sample(rng_) - 1;
+    // 1% of items come from a remote warehouse (spec 2.4.1.5).
+    std::uint64_t supply_w = w;
+    if (config_.warehouses > 1 && rng_.next_bool(0.01)) {
+      supply_w = rng_.next_below(config_.warehouses);
+    }
+    const std::uint64_t stock_row = supply_w * config_.items + item;
+    std::uint64_t page_off;
+    std::uint16_t slot;
+    PRINS_RETURN_IF_ERROR(
+        fetch_row_page(volume, stock_, stock_row, dirty, page_off, slot));
+    DbPage view{dirty[page_off]};
+    // S_QUANTITY, S_YTD, S_ORDER_CNT, S_REMOTE_CNT plus the S_DIST_xx
+    // info string for this district; on engines with variable-width rows
+    // the tail of the row shifts too, so about half the 200-byte row's
+    // bytes actually change on disk.
+    Byte fields[100];
+    fill_numeric(rng_, MutByteSpan(fields).first(24));
+    fill_words(rng_, MutByteSpan(fields).subspan(24));
+    PRINS_RETURN_IF_ERROR(view.update_row_field(slot, 0, fields));
+
+    // ORDER-LINE insert.
+    Bytes ol_row = make_row(rng_, config_.profile, kOrderLineRow);
+    store_le64(MutByteSpan(ol_row).first(8), order_id);
+    PRINS_RETURN_IF_ERROR(append_row(volume, order_lines_, ol_row, dirty));
+  }
+
+  // ORDERS (+NEW-ORDER, folded into the same row) insert.
+  Bytes o_row = make_row(rng_, config_.profile, kOrderRow);
+  store_le64(MutByteSpan(o_row).first(8), order_id);
+  PRINS_RETURN_IF_ERROR(append_row(volume, orders_, o_row, dirty));
+
+  // MVCC engines write a fresh version of the updated district row too.
+  if (config_.profile.mvcc_insert_on_update) {
+    Bytes version = make_row(rng_, config_.profile, kDistrictRow);
+    PRINS_RETURN_IF_ERROR(append_row(volume, history_, version, dirty));
+  }
+  return Status::ok();
+}
+
+Status Tpcc::tx_payment(ByteVolume& volume,
+                        std::map<std::uint64_t, Bytes>& dirty) {
+  const std::uint64_t w = rng_.next_below(config_.warehouses);
+  const std::uint64_t d = rng_.next_below(config_.districts_per_warehouse);
+  const std::uint64_t wd = w * config_.districts_per_warehouse + d;
+
+  // Warehouse W_YTD.
+  {
+    std::uint64_t page_off;
+    std::uint16_t slot;
+    PRINS_RETURN_IF_ERROR(
+        fetch_row_page(volume, warehouse_, w, dirty, page_off, slot));
+    DbPage view{dirty[page_off]};
+    Byte ytd[8];
+    fill_numeric(rng_, ytd);
+    PRINS_RETURN_IF_ERROR(view.update_row_field(slot, 8, ytd));
+  }
+  // District D_YTD.
+  {
+    std::uint64_t page_off;
+    std::uint16_t slot;
+    PRINS_RETURN_IF_ERROR(
+        fetch_row_page(volume, district_, wd, dirty, page_off, slot));
+    DbPage view{dirty[page_off]};
+    Byte ytd[8];
+    fill_numeric(rng_, ytd);
+    PRINS_RETURN_IF_ERROR(view.update_row_field(slot, 8, ytd));
+  }
+  // Customer: balance + payment counters; 10% bad credit rewrites C_DATA.
+  {
+    const std::uint64_t c =
+        nurand(rng_, 1023, 0, config_.customers_per_district - 1);
+    const std::uint64_t customer_row =
+        wd * config_.customers_per_district + c;
+    std::uint64_t page_off;
+    std::uint16_t slot;
+    PRINS_RETURN_IF_ERROR(
+        fetch_row_page(volume, customer_, customer_row, dirty, page_off, slot));
+    DbPage view{dirty[page_off]};
+    // C_BALANCE, C_YTD_PAYMENT, C_PAYMENT_CNT and the last-payment info
+    // fields, plus the variable-width tail shift: ~half of the 400-byte
+    // customer row changes on every payment.
+    Byte fields[200];
+    fill_numeric(rng_, MutByteSpan(fields).first(32));
+    fill_words(rng_, MutByteSpan(fields).subspan(32));
+    PRINS_RETURN_IF_ERROR(view.update_row_field(slot, 0, fields));
+    if (rng_.next_bool(0.10)) {
+      Bytes cdata(200);
+      fill_words(rng_, cdata);
+      PRINS_RETURN_IF_ERROR(view.update_row_field(slot, 100, cdata));
+    }
+  }
+  // History append.
+  Bytes h_row = make_row(rng_, config_.profile, kHistoryRow);
+  PRINS_RETURN_IF_ERROR(append_row(volume, history_, h_row, dirty));
+
+  if (config_.profile.mvcc_insert_on_update) {
+    // New versions of warehouse + district + customer rows.
+    Bytes version = make_row(rng_, config_.profile, kCustomerRow);
+    PRINS_RETURN_IF_ERROR(append_row(volume, history_, version, dirty));
+  }
+  return Status::ok();
+}
+
+Status Tpcc::tx_delivery(ByteVolume& volume,
+                         std::map<std::uint64_t, Bytes>& dirty) {
+  const std::uint64_t w = rng_.next_below(config_.warehouses);
+  // Deliver the oldest undelivered order in each district (spec: batch of 10).
+  for (std::uint64_t d = 0; d < config_.districts_per_warehouse; ++d) {
+    const std::uint64_t wd = w * config_.districts_per_warehouse + d;
+    if (undelivered_[wd] + 1 >= next_order_id_[wd]) continue;  // nothing due
+    ++undelivered_[wd];
+
+    // Customer balance update for the delivered order.
+    const std::uint64_t c =
+        nurand(rng_, 1023, 0, config_.customers_per_district - 1);
+    const std::uint64_t customer_row = wd * config_.customers_per_district + c;
+    std::uint64_t page_off;
+    std::uint16_t slot;
+    PRINS_RETURN_IF_ERROR(
+        fetch_row_page(volume, customer_, customer_row, dirty, page_off, slot));
+    DbPage view{dirty[page_off]};
+    Byte balance[8];
+    fill_numeric(rng_, balance);
+    PRINS_RETURN_IF_ERROR(view.update_row_field(slot, 0, balance));
+  }
+  return Status::ok();
+}
+
+Status Tpcc::tx_read_only(ByteVolume& volume) {
+  // Order-Status / Stock-Level: reads only; touch some pages to model the
+  // I/O without dirtying anything.
+  Bytes page(page_size_);
+  const std::uint64_t c_page = rng_.next_below(customer_.pages);
+  PRINS_RETURN_IF_ERROR(volume.read(customer_.base + c_page * page_size_, page));
+  const std::uint64_t s_page = rng_.next_below(stock_.pages);
+  PRINS_RETURN_IF_ERROR(volume.read(stock_.base + s_page * page_size_, page));
+  return Status::ok();
+}
+
+double Tpcc::mean_writes_per_transaction() const {
+  return transactions_ == 0
+             ? 0.0
+             : static_cast<double>(page_writes_) /
+                   static_cast<double>(transactions_);
+}
+
+}  // namespace prins

@@ -1,0 +1,116 @@
+// Tpcc: a TPC-C-shaped OLTP write-traffic generator.
+//
+// Implements the five-transaction mix (New-Order 45%, Payment 43%,
+// Order-Status 4%, Delivery 4%, Stock-Level 4%) over warehouse / district /
+// customer / stock / order tables stored as slotted pages, with TPC-C's
+// NURand skew on customer and item selection.  Row counts are scaled down
+// from the spec (configurable) so experiments fit in RAM, but the *shape*
+// of the write traffic — which tables are touched, how many pages per
+// transaction, how many bytes of each page actually change — follows the
+// spec's transaction profiles.
+//
+// Dirty pages are collected per transaction and written once each
+// (modelling the buffer manager's page-at-a-time flushes the paper's
+// block-level engine observes).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/db_page.h"
+#include "workload/workload.h"
+
+namespace prins {
+
+struct TpccConfig {
+  DbProfile profile = oracle_profile();
+  unsigned warehouses = 5;
+  unsigned districts_per_warehouse = 10;
+  unsigned customers_per_district = 300;  // spec: 3000 (scaled down)
+  unsigned items = 2000;                  // spec: 100000 (scaled down)
+  std::uint64_t seed = 20060101;
+  /// Capacity (in rows) of each append region before it wraps.
+  std::uint64_t order_capacity = 200000;
+  /// Buffer-pool behaviour: dirty pages accumulate across this many
+  /// transactions before being flushed to storage.  Real databases flush
+  /// pages at checkpoints, not per transaction, which is why one on-disk
+  /// page write carries several transactions' worth of changes — the
+  /// source of the 5-20% per-block dirty fraction the paper measures.
+  unsigned flush_interval = 64;
+};
+
+class Tpcc final : public Workload {
+ public:
+  explicit Tpcc(TpccConfig config);
+
+  std::string_view name() const override { return "tpcc"; }
+  std::uint64_t required_bytes() const override;
+  Status setup(ByteVolume& volume) override;
+  Result<std::uint64_t> run_transaction(ByteVolume& volume) override;
+
+  const TpccConfig& config() const { return config_; }
+
+  /// Mean page writes per transaction observed so far (drives the
+  /// queueing model's write-rate parameter).
+  double mean_writes_per_transaction() const;
+
+ private:
+  // Fixed-size-row table region: rows are appended at setup in slot order,
+  // so row_id maps to (page, slot) arithmetically.
+  struct Table {
+    std::uint64_t base = 0;        // byte offset of first page
+    std::uint64_t pages = 0;
+    std::uint64_t rows = 0;
+    std::uint32_t row_size = 0;
+    std::uint32_t rows_per_page = 0;
+  };
+
+  // Append region with a moving cursor (orders / order lines / history).
+  struct AppendRegion {
+    std::uint64_t base = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t cursor_page = 0;  // page currently being filled
+  };
+
+  void layout();
+  Status load_table(ByteVolume& volume, Table& table,
+                    std::size_t payload_size);
+  Status append_row(ByteVolume& volume, AppendRegion& region, ByteSpan row,
+                    std::map<std::uint64_t, Bytes>& dirty);
+
+  // Transaction bodies; each fills `dirty` with page_offset -> page image.
+  Status tx_new_order(ByteVolume& volume,
+                      std::map<std::uint64_t, Bytes>& dirty);
+  Status tx_payment(ByteVolume& volume, std::map<std::uint64_t, Bytes>& dirty);
+  Status tx_delivery(ByteVolume& volume, std::map<std::uint64_t, Bytes>& dirty);
+  Status tx_read_only(ByteVolume& volume);
+
+  // Read the page holding `row` of `table` into `dirty` (if not already
+  // there) and return a DbPage over it plus the row's slot.
+  Status fetch_row_page(ByteVolume& volume, const Table& table,
+                        std::uint64_t row, std::map<std::uint64_t, Bytes>& dirty,
+                        std::uint64_t& page_off, std::uint16_t& slot);
+
+  TpccConfig config_;
+  Rng rng_;
+  std::uint32_t page_size_ = 8192;
+  Zipf item_skew_;  // hot items, concentrating stock-page updates
+
+  // Buffer pool: page images dirtied since the last flush, keyed by byte
+  // offset.  Flushed (written to the volume) every flush_interval
+  // transactions.
+  std::map<std::uint64_t, Bytes> pool_;
+  unsigned since_flush_ = 0;
+
+  Table warehouse_, district_, customer_, stock_, item_;
+  AppendRegion orders_, order_lines_, history_;
+  std::uint64_t total_bytes_ = 0;
+
+  std::vector<std::uint64_t> next_order_id_;   // per (w,d)
+  std::vector<std::uint64_t> undelivered_;     // per (w,d): oldest order id
+  std::uint64_t transactions_ = 0;
+  std::uint64_t page_writes_ = 0;
+};
+
+}  // namespace prins

@@ -1,0 +1,231 @@
+#include "workload/tpcw.h"
+
+#include "common/endian.h"
+#include "workload/text.h"
+
+namespace prins {
+namespace {
+
+constexpr std::uint32_t kItemRow = 400;      // title/author/desc + stock/cost
+constexpr std::uint32_t kCustomerRow = 300;
+constexpr std::uint32_t kCartRow = 200;      // per-browser cart lines
+constexpr std::uint32_t kOrderRow = 48;
+constexpr std::uint32_t kOrderLineRow = 80;
+constexpr std::uint32_t kCcXactRow = 60;
+
+std::uint32_t rows_per_page(std::uint32_t page_size, std::uint32_t row_size) {
+  return (page_size - DbPage::kHeaderSize) / (row_size + 4);
+}
+
+}  // namespace
+
+Tpcw::Tpcw(TpcwConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      page_size_(config_.profile.page_size),
+      item_skew_(config_.items, 0.9) {
+  layout();
+}
+
+void Tpcw::layout() {
+  auto place_table = [&](Table& table, std::uint64_t rows,
+                         std::uint32_t row_size) {
+    table.rows = rows;
+    table.row_size = row_size;
+    table.rows_per_page = rows_per_page(page_size_, row_size);
+    table.pages = (rows + table.rows_per_page - 1) / table.rows_per_page;
+    table.base = total_bytes_;
+    total_bytes_ += table.pages * page_size_;
+  };
+  place_table(item_, config_.items, kItemRow);
+  place_table(customer_, config_.customers, kCustomerRow);
+  place_table(cart_, config_.emulated_browsers, kCartRow);
+
+  auto place_append = [&](AppendRegion& region, std::uint64_t rows,
+                          std::uint32_t row_size) {
+    const std::uint32_t rpp = rows_per_page(page_size_, row_size);
+    region.pages = (rows + rpp - 1) / rpp;
+    region.base = total_bytes_;
+    total_bytes_ += region.pages * page_size_;
+  };
+  place_append(orders_, config_.order_capacity, kOrderRow);
+  place_append(order_lines_, config_.order_capacity * 3, kOrderLineRow);
+  place_append(cc_xacts_, config_.order_capacity, kCcXactRow);
+}
+
+std::uint64_t Tpcw::required_bytes() const { return total_bytes_; }
+
+Status Tpcw::load_table(ByteVolume& volume, Table& table) {
+  Bytes page(page_size_);
+  std::uint64_t row = 0;
+  for (std::uint64_t p = 0; p < table.pages; ++p) {
+    DbPage::format(page, p);
+    DbPage view{page};
+    for (std::uint32_t s = 0; s < table.rows_per_page && row < table.rows;
+         ++s, ++row) {
+      Bytes payload = make_row(rng_, config_.profile, table.row_size);
+      PRINS_RETURN_IF_ERROR(view.insert_row(payload).status());
+    }
+    PRINS_RETURN_IF_ERROR(volume.write(table.base + p * page_size_, page));
+  }
+  return Status::ok();
+}
+
+Status Tpcw::setup(ByteVolume& volume) {
+  PRINS_RETURN_IF_ERROR(load_table(volume, item_));
+  PRINS_RETURN_IF_ERROR(load_table(volume, customer_));
+  PRINS_RETURN_IF_ERROR(load_table(volume, cart_));
+  Bytes page(page_size_);
+  for (AppendRegion* region : {&orders_, &order_lines_, &cc_xacts_}) {
+    for (std::uint64_t p = 0; p < region->pages; ++p) {
+      DbPage::format(page, p);
+      PRINS_RETURN_IF_ERROR(volume.write(region->base + p * page_size_, page));
+    }
+  }
+  return Status::ok();
+}
+
+Status Tpcw::fetch_row_page(ByteVolume& volume, const Table& table,
+                            std::uint64_t row,
+                            std::map<std::uint64_t, Bytes>& dirty,
+                            std::uint64_t& page_off, std::uint16_t& slot) {
+  page_off = table.base + (row / table.rows_per_page) * page_size_;
+  slot = static_cast<std::uint16_t>(row % table.rows_per_page);
+  if (!dirty.contains(page_off)) {
+    Bytes page(page_size_);
+    PRINS_RETURN_IF_ERROR(volume.read(page_off, page));
+    dirty.emplace(page_off, std::move(page));
+  }
+  return Status::ok();
+}
+
+Status Tpcw::append_row(ByteVolume& volume, AppendRegion& region, ByteSpan row,
+                        std::map<std::uint64_t, Bytes>& dirty) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::uint64_t page_off =
+        region.base + region.cursor_page * page_size_;
+    auto it = dirty.find(page_off);
+    if (it == dirty.end()) {
+      Bytes page(page_size_);
+      PRINS_RETURN_IF_ERROR(volume.read(page_off, page));
+      it = dirty.emplace(page_off, std::move(page)).first;
+    }
+    DbPage view{it->second};
+    auto slot = view.insert_row(row);
+    if (slot.is_ok()) return Status::ok();
+    if (slot.status().code() != ErrorCode::kResourceExhausted) {
+      return slot.status();
+    }
+    region.cursor_page = (region.cursor_page + 1) % region.pages;
+    Bytes fresh(page_size_);
+    DbPage::format(fresh, region.cursor_page);
+    dirty[region.base + region.cursor_page * page_size_] = std::move(fresh);
+  }
+  return internal_error("append failed twice");
+}
+
+Result<std::uint64_t> Tpcw::run_transaction(ByteVolume& volume) {
+  const std::uint64_t toss = rng_.next_below(100);
+  if (toss < 80) {
+    PRINS_RETURN_IF_ERROR(ix_browse(volume));
+  } else if (toss < 94) {
+    PRINS_RETURN_IF_ERROR(ix_cart_update(volume, pool_));
+  } else if (toss < 99) {
+    PRINS_RETURN_IF_ERROR(ix_buy_confirm(volume, pool_));
+  } else {
+    PRINS_RETURN_IF_ERROR(ix_register(volume, pool_));
+  }
+  ++since_flush_;
+  std::uint64_t flushed = 0;
+  if (since_flush_ >= config_.flush_interval) {
+    for (const auto& [offset, page] : pool_) {
+      PRINS_RETURN_IF_ERROR(volume.write(offset, page));
+    }
+    flushed = pool_.size();
+    pool_.clear();
+    since_flush_ = 0;
+  }
+  return flushed;
+}
+
+Status Tpcw::ix_browse(ByteVolume& volume) {
+  // Product detail / search / best sellers: item page reads only.
+  Bytes page(page_size_);
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t item = item_skew_.sample(rng_) - 1;
+    const std::uint64_t page_off =
+        item_.base + (item / item_.rows_per_page) * page_size_;
+    PRINS_RETURN_IF_ERROR(volume.read(page_off, page));
+  }
+  return Status::ok();
+}
+
+Status Tpcw::ix_cart_update(ByteVolume& volume,
+                            std::map<std::uint64_t, Bytes>& dirty) {
+  const std::uint64_t browser = rng_.next_below(config_.emulated_browsers);
+  std::uint64_t page_off;
+  std::uint16_t slot;
+  PRINS_RETURN_IF_ERROR(
+      fetch_row_page(volume, cart_, browser, dirty, page_off, slot));
+  DbPage view{dirty[page_off]};
+  // Carts are stored as one serialized row per browser; a refresh
+  // rewrites the whole row (MySQL updates the serialized blob in place).
+  Bytes fresh = make_row(rng_, config_.profile, kCartRow);
+  return view.update_row_field(slot, 0, fresh);
+}
+
+Status Tpcw::ix_buy_confirm(ByteVolume& volume,
+                            std::map<std::uint64_t, Bytes>& dirty) {
+  const std::uint64_t order_id = next_order_id_++;
+  const std::uint64_t lines = rng_.next_in(1, 5);
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    const std::uint64_t item = item_skew_.sample(rng_) - 1;
+    // I_STOCK update on the item row.
+    std::uint64_t page_off;
+    std::uint16_t slot;
+    PRINS_RETURN_IF_ERROR(
+        fetch_row_page(volume, item_, item, dirty, page_off, slot));
+    DbPage view{dirty[page_off]};
+    // I_STOCK plus the related-items and popularity fields MySQL keeps
+    // on the item row: ~64 bytes change per purchased item.
+    Byte stock[64];
+    fill_numeric(rng_, stock);
+    PRINS_RETURN_IF_ERROR(
+        view.update_row_field(slot, kItemRow - sizeof stock, stock));
+
+    Bytes ol = make_row(rng_, config_.profile, kOrderLineRow);
+    store_le64(MutByteSpan(ol).first(8), order_id);
+    PRINS_RETURN_IF_ERROR(append_row(volume, order_lines_, ol, dirty));
+  }
+  Bytes order = make_row(rng_, config_.profile, kOrderRow);
+  store_le64(MutByteSpan(order).first(8), order_id);
+  PRINS_RETURN_IF_ERROR(append_row(volume, orders_, order, dirty));
+
+  Bytes cc = make_row(rng_, config_.profile, kCcXactRow);
+  PRINS_RETURN_IF_ERROR(append_row(volume, cc_xacts_, cc, dirty));
+
+  // Reset the browser's cart row.
+  const std::uint64_t browser = rng_.next_below(config_.emulated_browsers);
+  std::uint64_t page_off;
+  std::uint16_t slot;
+  PRINS_RETURN_IF_ERROR(
+      fetch_row_page(volume, cart_, browser, dirty, page_off, slot));
+  DbPage view{dirty[page_off]};
+  Bytes empty(kCartRow, 0);
+  return view.update_row_field(slot, 0, empty);
+}
+
+Status Tpcw::ix_register(ByteVolume& volume,
+                         std::map<std::uint64_t, Bytes>& dirty) {
+  const std::uint64_t customer = rng_.next_below(config_.customers);
+  std::uint64_t page_off;
+  std::uint16_t slot;
+  PRINS_RETURN_IF_ERROR(
+      fetch_row_page(volume, customer_, customer, dirty, page_off, slot));
+  DbPage view{dirty[page_off]};
+  Bytes contact(64);
+  fill_words(rng_, contact);
+  return view.update_row_field(slot, 32, contact);
+}
+
+}  // namespace prins

@@ -1,0 +1,89 @@
+// Tpcw: a TPC-W-shaped web-commerce traffic generator.
+//
+// Models the on-line bookstore: an ITEM catalogue (10,000 items by
+// default, as in the paper's configuration), customers, shopping carts
+// (one per emulated browser), orders and credit-card transactions.  The
+// interaction mix is browse-heavy — most requests only read item pages —
+// so the absolute write traffic is far below TPC-C, matching the paper's
+// Figure 6 magnitudes (tens of MB per hour rather than GB).
+//
+// Write-bearing interactions: shopping-cart updates (small in-place field
+// changes), buy-confirm (order + order-line + CC inserts, item stock
+// updates, cart reset), and occasional customer registration updates.
+#pragma once
+
+#include <map>
+
+#include "common/rng.h"
+#include "workload/db_page.h"
+#include "workload/workload.h"
+
+namespace prins {
+
+struct TpcwConfig {
+  DbProfile profile = mysql_profile();
+  unsigned items = 10000;
+  unsigned customers = 1000;
+  unsigned emulated_browsers = 30;
+  std::uint64_t seed = 20060202;
+  std::uint64_t order_capacity = 100000;
+  /// Buffer-pool checkpoint interval, in interactions (see TpccConfig).
+  unsigned flush_interval = 64;
+};
+
+class Tpcw final : public Workload {
+ public:
+  explicit Tpcw(TpcwConfig config);
+
+  std::string_view name() const override { return "tpcw"; }
+  std::uint64_t required_bytes() const override;
+  Status setup(ByteVolume& volume) override;
+  Result<std::uint64_t> run_transaction(ByteVolume& volume) override;
+
+ private:
+  struct Table {
+    std::uint64_t base = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t rows = 0;
+    std::uint32_t row_size = 0;
+    std::uint32_t rows_per_page = 0;
+  };
+  struct AppendRegion {
+    std::uint64_t base = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t cursor_page = 0;
+  };
+
+  void layout();
+  Status load_table(ByteVolume& volume, Table& table);
+  Status fetch_row_page(ByteVolume& volume, const Table& table,
+                        std::uint64_t row,
+                        std::map<std::uint64_t, Bytes>& dirty,
+                        std::uint64_t& page_off, std::uint16_t& slot);
+  Status append_row(ByteVolume& volume, AppendRegion& region, ByteSpan row,
+                    std::map<std::uint64_t, Bytes>& dirty);
+
+  Status ix_browse(ByteVolume& volume);
+  Status ix_cart_update(ByteVolume& volume,
+                        std::map<std::uint64_t, Bytes>& dirty);
+  Status ix_buy_confirm(ByteVolume& volume,
+                        std::map<std::uint64_t, Bytes>& dirty);
+  Status ix_register(ByteVolume& volume,
+                     std::map<std::uint64_t, Bytes>& dirty);
+
+  TpcwConfig config_;
+  Rng rng_;
+  std::uint32_t page_size_;
+  Zipf item_skew_;
+
+  Table item_, customer_, cart_;
+  AppendRegion orders_, order_lines_, cc_xacts_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t next_order_id_ = 1;
+
+  // Buffer pool (see Tpcc): dirty pages held across interactions.
+  std::map<std::uint64_t, Bytes> pool_;
+  unsigned since_flush_ = 0;
+};
+
+}  // namespace prins

@@ -1,0 +1,100 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/crc32c.h"
+#include "common/endian.h"
+#include "common/varint.h"
+
+namespace prins {
+namespace {
+
+constexpr Byte kMagic[4] = {'P', 'R', 't', 'r'};
+
+}  // namespace
+
+Status WriteTrace::replay(BlockDevice& device) const {
+  std::lock_guard lock(mutex_);
+  for (const TraceEntry& entry : entries_) {
+    PRINS_RETURN_IF_ERROR(device.write(entry.lba, entry.data));
+  }
+  return Status::ok();
+}
+
+Status WriteTrace::save(const std::string& path) const {
+  Bytes out;
+  {
+    std::lock_guard lock(mutex_);
+    append(out, kMagic);
+    put_varint(out, entries_.size());
+    for (const TraceEntry& entry : entries_) {
+      put_varint(out, entry.lba);
+      put_varint(out, entry.data.size());
+      append(out, entry.data);
+    }
+  }
+  append_le32(out, crc32c(out));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return io_error("fopen(" + path + ") for writing");
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != out.size() || !flushed) {
+    return io_error("short write saving trace to " + path);
+  }
+  return Status::ok();
+}
+
+Status WriteTrace::load_from(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return not_found("trace file: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 8) {
+    std::fclose(f);
+    return corruption("trace file too small: " + path);
+  }
+  Bytes in(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(in.data(), 1, in.size(), f);
+  std::fclose(f);
+  if (read != in.size()) return io_error("short read loading " + path);
+
+  const std::uint32_t want = load_le32(ByteSpan(in).subspan(in.size() - 4));
+  if (crc32c(ByteSpan(in).first(in.size() - 4)) != want) {
+    return corruption("trace checksum mismatch: " + path);
+  }
+  if (!std::equal(std::begin(kMagic), std::end(kMagic), in.begin())) {
+    return corruption("bad trace magic: " + path);
+  }
+
+  std::size_t pos = 4;
+  auto count = get_varint(in, pos);
+  if (!count) return corruption("trace: truncated entry count");
+  std::vector<TraceEntry> loaded;
+  loaded.reserve(*count);
+  std::uint64_t bytes = 0;
+  const std::size_t payload_end = in.size() - 4;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto lba = get_varint(in, pos);
+    auto len = get_varint(in, pos);
+    if (!lba || !len || *len > payload_end - pos) {
+      return corruption("trace: truncated entry " + std::to_string(i));
+    }
+    loaded.push_back(
+        TraceEntry{*lba, to_bytes(ByteSpan(in).subspan(pos, *len))});
+    bytes += *len;
+    pos += *len;
+  }
+  if (pos != payload_end) {
+    return corruption("trace: trailing garbage");
+  }
+
+  std::lock_guard lock(mutex_);
+  for (auto& entry : loaded) entries_.push_back(std::move(entry));
+  bytes_ += bytes;
+  return Status::ok();
+}
+
+}  // namespace prins

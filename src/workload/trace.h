@@ -1,0 +1,89 @@
+// Block-write trace capture and replay.
+//
+// The fair way to compare replication policies is to feed each the exact
+// same write stream.  RecordingDisk captures every (lba, contents) a
+// workload produces against a scratch device; WriteTrace::replay then
+// pushes the identical stream through engines configured with different
+// policies.  (The paper reruns the hour-long benchmark per configuration;
+// recording lets us reuse one deterministic run per block size.)
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "block/block_device.h"
+
+namespace prins {
+
+struct TraceEntry {
+  Lba lba;
+  Bytes data;  // whole blocks
+};
+
+class WriteTrace {
+ public:
+  void add(Lba lba, ByteSpan data) {
+    std::lock_guard lock(mutex_);
+    entries_.push_back(TraceEntry{lba, to_bytes(data)});
+    bytes_ += data.size();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+  std::uint64_t total_bytes() const {
+    std::lock_guard lock(mutex_);
+    return bytes_;
+  }
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// Re-issue every recorded write, in order, against `device`.
+  Status replay(BlockDevice& device) const;
+
+  /// Persist to a file (format: magic, entry count, then
+  /// lba/length/data records, CRC-32C trailer).  Enables capturing a
+  /// workload once and re-running policy comparisons offline.
+  Status save(const std::string& path) const;
+
+  /// Append the entries of a trace file written by save() to this trace.
+  /// Verifies the checksum before applying anything.
+  Status load_from(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEntry> entries_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Decorator that records writes into a WriteTrace while passing them on.
+class RecordingDisk final : public BlockDevice {
+ public:
+  RecordingDisk(std::shared_ptr<BlockDevice> inner,
+                std::shared_ptr<WriteTrace> trace)
+      : inner_(std::move(inner)), trace_(std::move(trace)) {}
+
+  std::uint32_t block_size() const override { return inner_->block_size(); }
+  std::uint64_t num_blocks() const override { return inner_->num_blocks(); }
+
+  Status read(Lba lba, MutByteSpan out) override {
+    return inner_->read(lba, out);
+  }
+  Status write(Lba lba, ByteSpan data) override {
+    Status s = inner_->write(lba, data);
+    if (s.is_ok()) trace_->add(lba, data);
+    return s;
+  }
+  Status flush() override { return inner_->flush(); }
+  std::string describe() const override {
+    return "recording(" + inner_->describe() + ")";
+  }
+
+ private:
+  std::shared_ptr<BlockDevice> inner_;
+  std::shared_ptr<WriteTrace> trace_;
+};
+
+}  // namespace prins

@@ -1,0 +1,36 @@
+// Workload: the interface the benchmark harness drives.
+//
+// A workload owns a logical schema (tables / files) laid out on a byte
+// volume, populates it once in setup(), and then emits block-level write
+// traffic one transaction at a time — the same observable behaviour the
+// paper measured from Oracle/Postgres/MySQL/Ext2 under TPC-C/TPC-W/tar.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "workload/byte_volume.h"
+
+namespace prins {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Volume capacity the workload needs (bytes).
+  virtual std::uint64_t required_bytes() const = 0;
+
+  /// Initial load (build tables, create files).  Run against the raw
+  /// device *before* replication starts — the paper's experiments measure
+  /// steady-state transaction traffic after the initial sync.
+  virtual Status setup(ByteVolume& volume) = 0;
+
+  /// Execute one transaction; returns the number of page/file writes it
+  /// performed (0 for read-only transactions).
+  virtual Result<std::uint64_t> run_transaction(ByteVolume& volume) = 0;
+};
+
+}  // namespace prins

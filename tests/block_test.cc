@@ -1,0 +1,258 @@
+// Tests for the block-device layer: MemDisk, FileDisk, decorators.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "block/faulty_disk.h"
+#include "block/file_disk.h"
+#include "block/mem_disk.h"
+#include "block/snapshot_disk.h"
+#include "block/stats_disk.h"
+#include "common/rng.h"
+
+namespace prins {
+namespace {
+
+Bytes random_block(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Bytes b(n);
+  rng.fill(b);
+  return b;
+}
+
+TEST(MemDiskTest, ReadsBackWrites) {
+  MemDisk disk(64, 512);
+  EXPECT_EQ(disk.block_size(), 512u);
+  EXPECT_EQ(disk.num_blocks(), 64u);
+  EXPECT_EQ(disk.capacity_bytes(), 64u * 512u);
+
+  const Bytes data = random_block(1, 512);
+  ASSERT_TRUE(disk.write(10, data).is_ok());
+  Bytes out(512);
+  ASSERT_TRUE(disk.read(10, out).is_ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemDiskTest, FreshDiskIsZeroed) {
+  MemDisk disk(4, 256);
+  Bytes out(256, 0xFF);
+  ASSERT_TRUE(disk.read(3, out).is_ok());
+  EXPECT_TRUE(all_zero(out));
+}
+
+TEST(MemDiskTest, MultiBlockIo) {
+  MemDisk disk(16, 128);
+  const Bytes data = random_block(2, 4 * 128);
+  ASSERT_TRUE(disk.write(4, data).is_ok());
+  Bytes out(4 * 128);
+  ASSERT_TRUE(disk.read(4, out).is_ok());
+  EXPECT_EQ(out, data);
+  // And individual blocks line up with the bulk write.
+  Bytes one(128);
+  ASSERT_TRUE(disk.read(5, one).is_ok());
+  EXPECT_EQ(one, to_bytes(ByteSpan(data).subspan(128, 128)));
+}
+
+TEST(MemDiskTest, RejectsBadGeometryIo) {
+  MemDisk disk(8, 512);
+  Bytes small(100);
+  EXPECT_EQ(disk.read(0, small).code(), ErrorCode::kInvalidArgument);
+  Bytes empty;
+  EXPECT_EQ(disk.write(0, empty).code(), ErrorCode::kInvalidArgument);
+  Bytes block(512);
+  EXPECT_EQ(disk.read(8, block).code(), ErrorCode::kOutOfRange);
+  Bytes two(1024);
+  EXPECT_EQ(disk.write(7, two).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(MemDiskTest, LastBlockIsWritable) {
+  MemDisk disk(8, 512);
+  const Bytes data = random_block(3, 512);
+  EXPECT_TRUE(disk.write(7, data).is_ok());
+}
+
+// ---- FileDisk ----------------------------------------------------------------
+
+class FileDiskTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       ("prins_filedisk_" + std::to_string(::getpid()) + "_" +
+                        std::to_string(counter_++)))
+                          .string();
+  static int counter_;
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+int FileDiskTest::counter_ = 0;
+
+TEST_F(FileDiskTest, PersistsAcrossReopen) {
+  const Bytes data = random_block(4, 4096);
+  {
+    auto disk = FileDisk::open(path_, 32, 4096);
+    ASSERT_TRUE(disk.is_ok()) << disk.status().to_string();
+    ASSERT_TRUE((*disk)->write(5, data).is_ok());
+    ASSERT_TRUE((*disk)->flush().is_ok());
+  }
+  {
+    auto disk = FileDisk::open(path_, 32, 4096);
+    ASSERT_TRUE(disk.is_ok());
+    Bytes out(4096);
+    ASSERT_TRUE((*disk)->read(5, out).is_ok());
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST_F(FileDiskTest, FreshFileReadsZero) {
+  auto disk = FileDisk::open(path_, 8, 512);
+  ASSERT_TRUE(disk.is_ok());
+  Bytes out(512, 0xEE);
+  ASSERT_TRUE((*disk)->read(7, out).is_ok());
+  EXPECT_TRUE(all_zero(out));
+}
+
+TEST_F(FileDiskTest, RejectsZeroGeometry) {
+  EXPECT_FALSE(FileDisk::open(path_, 0, 512).is_ok());
+  EXPECT_FALSE(FileDisk::open(path_, 8, 0).is_ok());
+}
+
+TEST_F(FileDiskTest, BoundsChecked) {
+  auto disk = FileDisk::open(path_, 4, 512);
+  ASSERT_TRUE(disk.is_ok());
+  Bytes block(512);
+  EXPECT_EQ((*disk)->read(4, block).code(), ErrorCode::kOutOfRange);
+}
+
+// ---- FaultyDisk ----------------------------------------------------------------
+
+TEST(FaultyDiskTest, PassesThroughWhenHealthy) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  FaultyDisk disk(inner, {});
+  const Bytes data = random_block(5, 256);
+  ASSERT_TRUE(disk.write(2, data).is_ok());
+  Bytes out(256);
+  ASSERT_TRUE(disk.read(2, out).is_ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(disk.ops_seen(), 2u);
+}
+
+TEST(FaultyDiskTest, InjectsReadErrorsAtConfiguredRate) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  FaultyDisk::Config config;
+  config.read_error_p = 1.0;
+  FaultyDisk disk(inner, config);
+  Bytes out(256);
+  EXPECT_EQ(disk.read(0, out).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(disk.write(0, out).is_ok());  // writes unaffected
+}
+
+TEST(FaultyDiskTest, FailAfterKillsTheDisk) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  FaultyDisk disk(inner, {});
+  disk.fail_after(2);
+  Bytes block(256);
+  EXPECT_TRUE(disk.read(0, block).is_ok());
+  EXPECT_FALSE(disk.read(0, block).is_ok());  // second op trips the wire
+  EXPECT_TRUE(disk.is_dead());
+  EXPECT_FALSE(disk.write(0, block).is_ok());
+  EXPECT_FALSE(disk.flush().is_ok());
+  disk.set_dead(false);
+  EXPECT_TRUE(disk.read(0, block).is_ok());
+}
+
+TEST(FaultyDiskTest, CorruptionFlipsBytes) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  const Bytes data = random_block(6, 256);
+  ASSERT_TRUE(inner->write(0, data).is_ok());
+  FaultyDisk::Config config;
+  config.corrupt_p = 1.0;
+  FaultyDisk disk(inner, config);
+  Bytes out(256);
+  ASSERT_TRUE(disk.read(0, out).is_ok());
+  EXPECT_NE(out, data);  // silently corrupted
+}
+
+// ---- StatsDisk ----------------------------------------------------------------
+
+TEST(StatsDiskTest, CountsOpsAndBytes) {
+  auto inner = std::make_shared<MemDisk>(8, 512);
+  StatsDisk disk(inner);
+  Bytes two(1024);
+  ASSERT_TRUE(disk.write(0, two).is_ok());
+  Bytes one(512);
+  ASSERT_TRUE(disk.read(1, one).is_ok());
+  ASSERT_TRUE(disk.flush().is_ok());
+  const auto c = disk.counters();
+  EXPECT_EQ(c.writes, 1u);
+  EXPECT_EQ(c.bytes_written, 1024u);
+  EXPECT_EQ(c.reads, 1u);
+  EXPECT_EQ(c.bytes_read, 512u);
+  EXPECT_EQ(c.flushes, 1u);
+  disk.reset();
+  EXPECT_EQ(disk.counters().writes, 0u);
+}
+
+TEST(StatsDiskTest, FailedOpsNotCounted) {
+  auto inner = std::make_shared<MemDisk>(8, 512);
+  StatsDisk disk(inner);
+  Bytes block(512);
+  EXPECT_FALSE(disk.read(100, block).is_ok());
+  EXPECT_EQ(disk.counters().reads, 0u);
+}
+
+// ---- SnapshotDisk ----------------------------------------------------------------
+
+TEST(SnapshotDiskTest, ReadOriginalSeesPreSnapshotContents) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  const Bytes v0 = random_block(7, 256);
+  ASSERT_TRUE(inner->write(3, v0).is_ok());
+
+  SnapshotDisk snap(inner);
+  const Bytes v1 = random_block(8, 256);
+  ASSERT_TRUE(snap.write(3, v1).is_ok());
+
+  Bytes now(256), then(256);
+  ASSERT_TRUE(snap.read(3, now).is_ok());
+  ASSERT_TRUE(snap.read_original(3, then).is_ok());
+  EXPECT_EQ(now, v1);
+  EXPECT_EQ(then, v0);
+  EXPECT_EQ(snap.dirty_blocks(), 1u);
+}
+
+TEST(SnapshotDiskTest, RollbackRestoresEverything) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  Bytes originals[8];
+  for (Lba i = 0; i < 8; ++i) {
+    originals[i] = random_block(100 + i, 256);
+    ASSERT_TRUE(inner->write(i, originals[i]).is_ok());
+  }
+  SnapshotDisk snap(inner);
+  for (Lba i = 0; i < 8; i += 2) {
+    ASSERT_TRUE(snap.write(i, random_block(200 + i, 256)).is_ok());
+  }
+  EXPECT_EQ(snap.dirty_blocks(), 4u);
+  ASSERT_TRUE(snap.rollback().is_ok());
+  EXPECT_EQ(snap.dirty_blocks(), 0u);
+  Bytes out(256);
+  for (Lba i = 0; i < 8; ++i) {
+    ASSERT_TRUE(inner->read(i, out).is_ok());
+    EXPECT_EQ(out, originals[i]) << "block " << i;
+  }
+}
+
+TEST(SnapshotDiskTest, UndoKeepsFirstVersionOnly) {
+  auto inner = std::make_shared<MemDisk>(4, 256);
+  const Bytes v0 = random_block(9, 256);
+  ASSERT_TRUE(inner->write(0, v0).is_ok());
+  SnapshotDisk snap(inner);
+  ASSERT_TRUE(snap.write(0, random_block(10, 256)).is_ok());
+  ASSERT_TRUE(snap.write(0, random_block(11, 256)).is_ok());
+  Bytes then(256);
+  ASSERT_TRUE(snap.read_original(0, then).is_ok());
+  EXPECT_EQ(then, v0);
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,205 @@
+// Tests for the LRU block cache: hit/miss behaviour, LRU eviction order,
+// write-through vs write-back semantics, flush, and the interaction with
+// replication (write-back coalesces PRINS traffic).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "block/cached_disk.h"
+#include "block/mem_disk.h"
+#include "block/stats_disk.h"
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "net/traffic_meter.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+
+namespace prins {
+namespace {
+
+constexpr std::uint32_t kBs = 512;
+
+Bytes random_block(std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(kBs);
+  rng.fill(b);
+  return b;
+}
+
+struct Rig {
+  std::shared_ptr<MemDisk> backing = std::make_shared<MemDisk>(64, kBs);
+  std::shared_ptr<StatsDisk> stats{std::make_shared<StatsDisk>(backing)};
+  std::unique_ptr<CachedDisk> cache;
+
+  explicit Rig(CacheConfig config) {
+    cache = std::make_unique<CachedDisk>(stats, config);
+  }
+};
+
+TEST(CachedDiskTest, ReadsHitAfterFirstMiss) {
+  Rig rig({.capacity_blocks = 8});
+  ASSERT_TRUE(rig.backing->write(3, random_block(1)).is_ok());
+  Bytes out(kBs);
+  ASSERT_TRUE(rig.cache->read(3, out).is_ok());
+  ASSERT_TRUE(rig.cache->read(3, out).is_ok());
+  ASSERT_TRUE(rig.cache->read(3, out).is_ok());
+  const auto s = rig.cache->stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(rig.stats->counters().reads, 1u);  // inner read only once
+  EXPECT_EQ(out, random_block(1));
+}
+
+TEST(CachedDiskTest, LruEvictionKeepsHotBlocks) {
+  Rig rig({.capacity_blocks = 4});
+  Bytes out(kBs);
+  for (Lba lba = 0; lba < 4; ++lba) {
+    ASSERT_TRUE(rig.cache->read(lba, out).is_ok());
+  }
+  // Touch block 0 so it is most recent; then read a 5th block.
+  ASSERT_TRUE(rig.cache->read(0, out).is_ok());
+  ASSERT_TRUE(rig.cache->read(10, out).is_ok());
+  EXPECT_EQ(rig.cache->stats().evictions, 1u);
+  // Block 1 was LRU and evicted; block 0 must still hit.
+  const auto before = rig.cache->stats();
+  ASSERT_TRUE(rig.cache->read(0, out).is_ok());
+  EXPECT_EQ(rig.cache->stats().hits, before.hits + 1);
+  ASSERT_TRUE(rig.cache->read(1, out).is_ok());
+  EXPECT_EQ(rig.cache->stats().misses, before.misses + 1);
+}
+
+TEST(CachedDiskTest, WriteThroughHitsInnerImmediately) {
+  Rig rig({.capacity_blocks = 8, .write_back = false});
+  ASSERT_TRUE(rig.cache->write(2, random_block(2)).is_ok());
+  EXPECT_EQ(rig.stats->counters().writes, 1u);
+  EXPECT_EQ(rig.cache->dirty_blocks(), 0u);
+  // And the cached copy serves reads without an inner read.
+  Bytes out(kBs);
+  ASSERT_TRUE(rig.cache->read(2, out).is_ok());
+  EXPECT_EQ(rig.stats->counters().reads, 0u);
+  EXPECT_EQ(out, random_block(2));
+}
+
+TEST(CachedDiskTest, WriteBackDefersAndCoalesces) {
+  Rig rig({.capacity_blocks = 8, .write_back = true});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rig.cache->write(5, random_block(100 + i)).is_ok());
+  }
+  EXPECT_EQ(rig.stats->counters().writes, 0u);  // nothing reached the disk
+  EXPECT_EQ(rig.cache->dirty_blocks(), 1u);
+  ASSERT_TRUE(rig.cache->flush().is_ok());
+  EXPECT_EQ(rig.stats->counters().writes, 1u);  // 10 writes coalesced to 1
+  EXPECT_EQ(rig.cache->stats().writebacks, 1u);
+  Bytes out(kBs);
+  ASSERT_TRUE(rig.backing->read(5, out).is_ok());
+  EXPECT_EQ(out, random_block(109));  // last version won
+}
+
+TEST(CachedDiskTest, DirtyEvictionWritesBack) {
+  Rig rig({.capacity_blocks = 2, .write_back = true});
+  ASSERT_TRUE(rig.cache->write(0, random_block(3)).is_ok());
+  ASSERT_TRUE(rig.cache->write(1, random_block(4)).is_ok());
+  ASSERT_TRUE(rig.cache->write(2, random_block(5)).is_ok());  // evicts 0
+  EXPECT_EQ(rig.cache->stats().writebacks, 1u);
+  Bytes out(kBs);
+  ASSERT_TRUE(rig.backing->read(0, out).is_ok());
+  EXPECT_EQ(out, random_block(3));
+}
+
+TEST(CachedDiskTest, ReadYourWritesThroughAllPaths) {
+  for (bool write_back : {false, true}) {
+    Rig rig({.capacity_blocks = 4, .write_back = write_back});
+    Rng rng(7);
+    // Random mix of reads and writes over a working set > capacity.
+    std::vector<Bytes> expected(16, Bytes(kBs, 0));
+    for (int i = 0; i < 300; ++i) {
+      const Lba lba = rng.next_below(16);
+      if (rng.next_bool(0.5)) {
+        expected[lba] = random_block(1000 + i);
+        ASSERT_TRUE(rig.cache->write(lba, expected[lba]).is_ok());
+      } else {
+        Bytes out(kBs);
+        ASSERT_TRUE(rig.cache->read(lba, out).is_ok());
+        ASSERT_EQ(out, expected[lba]) << "wb=" << write_back << " i=" << i;
+      }
+    }
+    ASSERT_TRUE(rig.cache->flush().is_ok());
+    Bytes out(kBs);
+    for (Lba lba = 0; lba < 16; ++lba) {
+      ASSERT_TRUE(rig.backing->read(lba, out).is_ok());
+      ASSERT_EQ(out, expected[lba]) << "wb=" << write_back;
+    }
+  }
+}
+
+TEST(CachedDiskTest, MultiBlockIoSplitsCorrectly) {
+  Rig rig({.capacity_blocks = 8});
+  Bytes data(4 * kBs);
+  Rng rng(8);
+  rng.fill(data);
+  ASSERT_TRUE(rig.cache->write(2, data).is_ok());
+  Bytes out(4 * kBs);
+  ASSERT_TRUE(rig.cache->read(2, out).is_ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(rig.cache->cached_blocks(), 4u);
+}
+
+TEST(CachedDiskTest, InvalidateFlushesAndEmpties) {
+  Rig rig({.capacity_blocks = 8, .write_back = true});
+  ASSERT_TRUE(rig.cache->write(1, random_block(9)).is_ok());
+  ASSERT_TRUE(rig.cache->invalidate().is_ok());
+  EXPECT_EQ(rig.cache->cached_blocks(), 0u);
+  Bytes out(kBs);
+  ASSERT_TRUE(rig.backing->read(1, out).is_ok());
+  EXPECT_EQ(out, random_block(9));
+}
+
+TEST(CachedDiskTest, DestructorFlushesDirtyData) {
+  auto backing = std::make_shared<MemDisk>(8, kBs);
+  {
+    CachedDisk cache(backing, {.capacity_blocks = 4, .write_back = true});
+    ASSERT_TRUE(cache.write(0, random_block(11)).is_ok());
+  }
+  Bytes out(kBs);
+  ASSERT_TRUE(backing->read(0, out).is_ok());
+  EXPECT_EQ(out, random_block(11));
+}
+
+TEST(CachedDiskTest, WriteBackCacheCoalescesReplicationTraffic) {
+  // The system-level payoff: a write-back cache in front of a PrinsEngine
+  // turns N rewrites of a hot block into one replicated write.
+  auto primary = std::make_shared<MemDisk>(32, kBs);
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  auto engine = std::make_shared<PrinsEngine>(primary, config);
+  auto replica_disk = std::make_shared<MemDisk>(32, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk);
+  auto [primary_end, replica_end] = make_inproc_pair();
+  engine->add_replica(std::move(primary_end));
+  std::thread server(
+      [r = replica, t = std::shared_ptr<Transport>(std::move(replica_end))] {
+        ASSERT_TRUE(r->serve(*t).is_ok());
+      });
+
+  {
+    CachedDisk cache(engine, {.capacity_blocks = 16, .write_back = true});
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(cache.write(7, random_block(2000 + i)).is_ok());
+    }
+    ASSERT_TRUE(cache.flush().is_ok());
+  }
+  ASSERT_TRUE(engine->drain().is_ok());
+  EXPECT_EQ(engine->metrics().writes, 1u);  // 50 writes -> 1 replication
+
+  Bytes a(kBs), b(kBs);
+  ASSERT_TRUE(primary->read(7, a).is_ok());
+  ASSERT_TRUE(replica_disk->read(7, b).is_ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, random_block(2049));
+
+  engine.reset();
+  server.join();
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,91 @@
+// Tests for the symmetric multi-node cluster: every node is a primary for
+// its own volume and a replica host for its ring predecessors.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace prins {
+namespace {
+
+class ClusterPolicies : public ::testing::TestWithParam<ReplicationPolicy> {};
+
+TEST_P(ClusterPolicies, AllReplicasConvergeAcrossTheRing) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.replicas_per_node = 2;
+  config.policy = GetParam();
+  config.block_size = 2048;
+  config.blocks_per_node = 64;
+  config.dirty_bytes_per_write = 200;
+  config.seed = 11;
+  SymmetricCluster cluster(config);
+  auto report = cluster.run(100);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->all_replicas_consistent);
+  EXPECT_EQ(report->total_writes, 4u * 100u);
+  // Fabric messages: every write goes to R replicas.
+  EXPECT_EQ(report->fabric.messages, 4u * 100u * 2u);
+  EXPECT_GT(report->fabric.payload_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ClusterPolicies,
+                         ::testing::Values(
+                             ReplicationPolicy::kTraditional,
+                             ReplicationPolicy::kPrins));
+
+TEST(ClusterTest, PrinsCutsFabricTrafficClusterWide) {
+  std::uint64_t bytes_by_policy[2] = {0, 0};
+  int i = 0;
+  for (ReplicationPolicy policy :
+       {ReplicationPolicy::kTraditional, ReplicationPolicy::kPrins}) {
+    ClusterConfig config;
+    config.nodes = 5;
+    config.replicas_per_node = 2;
+    config.policy = policy;
+    config.block_size = 8192;
+    config.blocks_per_node = 64;
+    config.dirty_bytes_per_write = 600;  // ~7% of the block
+    config.seed = 12;
+    SymmetricCluster cluster(config);
+    auto report = cluster.run(60);
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_TRUE(report->all_replicas_consistent);
+    bytes_by_policy[i++] = report->fabric.payload_bytes;
+  }
+  EXPECT_GT(bytes_by_policy[0], 4 * bytes_by_policy[1]);
+}
+
+TEST(ClusterTest, FullReplicationRing) {
+  // R = N-1: everyone replicates to everyone else.
+  ClusterConfig config;
+  config.nodes = 3;
+  config.replicas_per_node = 2;
+  config.policy = ReplicationPolicy::kPrins;
+  config.block_size = 1024;
+  config.blocks_per_node = 32;
+  config.seed = 13;
+  SymmetricCluster cluster(config);
+  auto report = cluster.run(50);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->all_replicas_consistent);
+  EXPECT_EQ(report->fabric.messages, 3u * 50u * 2u);
+}
+
+TEST(ClusterTest, SingleReplicaPair) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.replicas_per_node = 1;
+  config.policy = ReplicationPolicy::kPrinsRle;
+  config.block_size = 4096;
+  config.blocks_per_node = 32;
+  config.seed = 14;
+  SymmetricCluster cluster(config);
+  auto report = cluster.run(80);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->all_replicas_consistent);
+  EXPECT_GT(report->mean_payload_bytes, 0.0);
+  EXPECT_LT(report->mean_payload_bytes, 4096.0);
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,243 @@
+// Tests for the codec layer: round trips across content classes,
+// corruption detection, and the compression-ratio properties the paper's
+// traffic results rest on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codec/codec.h"
+#include "codec/lz.h"
+#include "codec/zero_rle.h"
+#include "common/rng.h"
+#include "common/varint.h"
+#include "workload/text.h"
+
+namespace prins {
+namespace {
+
+/// The content classes the experiments exercise.
+enum class Content { kAllZero, kSparseParity, kText, kRandom, kRepetitive };
+
+Bytes make_content(Content kind, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n, 0);
+  switch (kind) {
+    case Content::kAllZero:
+      break;
+    case Content::kSparseParity: {
+      // ~10% of bytes nonzero in a few runs: a typical P'.
+      const std::size_t runs = 4;
+      for (std::size_t r = 0; r < runs && n > 0; ++r) {
+        const std::size_t len = std::max<std::size_t>(1, n / 40);
+        const std::size_t at = rng.next_below(n - len + 1);
+        rng.fill(MutByteSpan(out).subspan(at, len));
+      }
+      break;
+    }
+    case Content::kText:
+      fill_words(rng, out);
+      break;
+    case Content::kRandom:
+      rng.fill(out);
+      break;
+    case Content::kRepetitive:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<Byte>("ABCD"[i % 4]);
+      }
+      break;
+  }
+  return out;
+}
+
+struct RoundTripCase {
+  CodecId codec;
+  Content content;
+  std::size_t size;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIsIdentity) {
+  const auto& p = GetParam();
+  const Codec& codec = codec_for(p.codec);
+  const Bytes raw = make_content(p.content, p.size, p.size + 17);
+  const Bytes body = codec.encode(raw);
+  auto back = codec.decode(body, raw.size());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(*back, raw);
+}
+
+TEST_P(CodecRoundTrip, FramedRoundTrip) {
+  const auto& p = GetParam();
+  const Codec& codec = codec_for(p.codec);
+  const Bytes raw = make_content(p.content, p.size, p.size + 31);
+  const Bytes frame = encode_frame(codec, raw);
+  EXPECT_EQ(frame.size(), framed_size(codec, raw));
+  auto back = decode_frame(frame);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(*back, raw);
+}
+
+std::vector<RoundTripCase> all_cases() {
+  std::vector<RoundTripCase> cases;
+  for (CodecId codec : {CodecId::kNull, CodecId::kZeroRle, CodecId::kLz,
+                        CodecId::kZeroRleLz}) {
+    for (Content content :
+         {Content::kAllZero, Content::kSparseParity, Content::kText,
+          Content::kRandom, Content::kRepetitive}) {
+      for (std::size_t size : {0ul, 1ul, 5ul, 511ul, 4096ul, 65536ul}) {
+        cases.push_back({codec, content, size});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecsAllContents, CodecRoundTrip,
+                         ::testing::ValuesIn(all_cases()));
+
+TEST(CodecTest, RandomFuzzRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.next_below(3000);
+    Bytes raw(n);
+    // Mixed density: random run structure stresses both codecs.
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t len = std::min<std::size_t>(rng.next_in(1, 64), n - i);
+      if (rng.next_bool(0.5)) {
+        rng.fill(MutByteSpan(raw).subspan(i, len));
+      }
+      i += len;
+    }
+    for (CodecId id : {CodecId::kZeroRle, CodecId::kLz, CodecId::kZeroRleLz}) {
+      const Codec& codec = codec_for(id);
+      auto back = codec.decode(codec.encode(raw), raw.size());
+      ASSERT_TRUE(back.is_ok()) << "trial " << trial;
+      ASSERT_EQ(*back, raw) << "trial " << trial;
+    }
+  }
+}
+
+// ---- ratio properties -------------------------------------------------------
+
+TEST(CodecRatioTest, ZeroRleCollapsesAllZeroBlocks) {
+  const Bytes zeros(8192, 0);
+  const Bytes body = codec_for(CodecId::kZeroRle).encode(zeros);
+  EXPECT_LE(body.size(), 4u);  // two varints
+}
+
+TEST(CodecRatioTest, SparseParityShrinksByOrderOfMagnitude) {
+  const Bytes parity = make_content(Content::kSparseParity, 8192, 5);
+  const Bytes rle = codec_for(CodecId::kZeroRle).encode(parity);
+  EXPECT_LT(rle.size(), parity.size() / 5);
+  const Bytes rle_lz = codec_for(CodecId::kZeroRleLz).encode(parity);
+  EXPECT_LT(rle_lz.size(), parity.size() / 5);
+}
+
+TEST(CodecRatioTest, LzCompressesTextButNotRandom) {
+  const Bytes text = make_content(Content::kText, 8192, 6);
+  const Bytes text_lz = codec_for(CodecId::kLz).encode(text);
+  EXPECT_LT(text_lz.size(), text.size() / 2);  // words repeat
+
+  const Bytes noise = make_content(Content::kRandom, 8192, 7);
+  const Bytes noise_lz = codec_for(CodecId::kLz).encode(noise);
+  EXPECT_GT(noise_lz.size(), noise.size() * 9 / 10);  // incompressible
+  EXPECT_LT(noise_lz.size(), noise.size() + 64);      // bounded expansion
+}
+
+TEST(CodecRatioTest, RepetitiveContentCompressesExtremely) {
+  const Bytes rep = make_content(Content::kRepetitive, 65536, 8);
+  const Bytes lz = codec_for(CodecId::kLz).encode(rep);
+  EXPECT_LT(lz.size(), 256u);
+}
+
+// ---- corruption handling ------------------------------------------------------
+
+TEST(CodecCorruptionTest, FrameCrcDetectsBitFlip) {
+  const Bytes raw = make_content(Content::kText, 1024, 9);
+  Bytes frame = encode_frame(codec_for(CodecId::kLz), raw);
+  frame[frame.size() / 2] ^= 0x01;
+  auto back = decode_frame(frame);
+  ASSERT_FALSE(back.is_ok());
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(CodecCorruptionTest, EmptyAndTruncatedFramesRejected) {
+  EXPECT_FALSE(decode_frame({}).is_ok());
+  const Bytes raw(100, 1);
+  Bytes frame = encode_frame(codec_for(CodecId::kZeroRle), raw);
+  for (std::size_t cut : {1ul, 3ul, frame.size() - 1}) {
+    auto back = decode_frame(ByteSpan(frame).first(cut));
+    EXPECT_FALSE(back.is_ok()) << "cut " << cut;
+  }
+}
+
+TEST(CodecCorruptionTest, UnknownCodecIdRejected) {
+  Bytes frame{0x77, 0x00, 0x00, 0x00, 0x00, 0x00};
+  EXPECT_FALSE(decode_frame(frame).is_ok());
+  EXPECT_FALSE(parse_codec_id(0x77).is_ok());
+  EXPECT_TRUE(parse_codec_id(0).is_ok());
+}
+
+TEST(CodecCorruptionTest, ZeroRleRejectsOverflowingRuns) {
+  // zero run longer than the declared raw size
+  Bytes body;
+  put_varint(body, 100);  // zeros
+  put_varint(body, 0);    // literals
+  auto back = codec_for(CodecId::kZeroRle).decode(body, 50);
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(CodecCorruptionTest, ZeroRleRejectsShortOutput) {
+  Bytes body;
+  put_varint(body, 10);
+  put_varint(body, 0);
+  auto back = codec_for(CodecId::kZeroRle).decode(body, 50);
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(CodecCorruptionTest, LzRejectsBadDistances) {
+  Bytes body;
+  put_varint(body, (4ull << 1) | 1);  // match len 4
+  put_varint(body, 9);                // distance 9 into empty history
+  auto back = codec_for(CodecId::kLz).decode(body, 4);
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(CodecCorruptionTest, LzRejectsLiteralOverrun) {
+  Bytes body;
+  put_varint(body, 100ull << 1);  // 100 literals declared
+  body.push_back(1);              // only one present
+  auto back = codec_for(CodecId::kLz).decode(body, 100);
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(CodecCorruptionTest, NullCodecChecksSize) {
+  const Bytes raw(10, 1);
+  auto back = codec_for(CodecId::kNull).decode(raw, 11);
+  EXPECT_EQ(back.status().code(), ErrorCode::kCorruption);
+}
+
+// ---- LZ specifics -------------------------------------------------------------
+
+TEST(LzTest, OverlappingMatchDecodes) {
+  // "AAAAAAAA...": matches with distance 1, length > distance.
+  Bytes raw(1000, 'A');
+  const Codec& lz = codec_for(CodecId::kLz);
+  const Bytes body = lz.encode(raw);
+  EXPECT_LT(body.size(), 32u);
+  auto back = lz.decode(body, raw.size());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(LzTest, NamesAreStable) {
+  EXPECT_EQ(codec_for(CodecId::kNull).name(), "null");
+  EXPECT_EQ(codec_for(CodecId::kZeroRle).name(), "zero-rle");
+  EXPECT_EQ(codec_for(CodecId::kLz).name(), "lz");
+  EXPECT_EQ(codec_for(CodecId::kZeroRleLz).name(), "zero-rle+lz");
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,414 @@
+// Unit tests for the common substrate: status, crc, varint, rng, endian,
+// histogram, hashing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "common/endian.h"
+#include "common/hash.h"
+#include "common/hexdump.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/varint.h"
+
+namespace prins {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = corruption("bad magic");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad magic");
+  EXPECT_EQ(s.to_string(), "CORRUPTION: bad magic");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = not_found("nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<Bytes> r = Bytes{1, 2, 3};
+  Bytes moved = std::move(r).value();
+  EXPECT_EQ(moved, (Bytes{1, 2, 3}));
+}
+
+Status fails() { return io_error("boom"); }
+Status propagates() {
+  PRINS_RETURN_IF_ERROR(fails());
+  return Status::ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(propagates().code(), ErrorCode::kIoError);
+}
+
+Result<int> half(int x) {
+  if (x % 2 != 0) return invalid_argument("odd");
+  return x / 2;
+}
+Status uses_assign_or_return(int x, int* out) {
+  PRINS_ASSIGN_OR_RETURN(int h, half(x));
+  *out = h;
+  return Status::ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(uses_assign_or_return(10, &out).is_ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(uses_assign_or_return(3, &out).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+// ---- CRC-32C ---------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 appendix / well-known CRC-32C test vectors.
+  EXPECT_EQ(crc32c({}), 0u);
+  const std::string numbers = "123456789";
+  EXPECT_EQ(crc32c(as_bytes(numbers)), 0xE3069283u);
+  Bytes zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  Bytes ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ChainingMatchesWhole) {
+  Rng rng(7);
+  Bytes data(1000);
+  rng.fill(data);
+  for (std::size_t split : {0ul, 1ul, 3ul, 500ul, 999ul, 1000ul}) {
+    const std::uint32_t part =
+        crc32c(ByteSpan(data).subspan(split),
+               crc32c(ByteSpan(data).first(split)));
+    EXPECT_EQ(part, crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  Rng rng(8);
+  Bytes data(256);
+  rng.fill(data);
+  const std::uint32_t base = crc32c(data);
+  for (int trial = 0; trial < 64; ++trial) {
+    Bytes copy = data;
+    copy[rng.next_below(copy.size())] ^=
+        static_cast<Byte>(1u << rng.next_below(8));
+    if (copy == data) continue;
+    EXPECT_NE(crc32c(copy), base);
+  }
+}
+
+// ---- endian ----------------------------------------------------------------
+
+TEST(EndianTest, RoundTrips) {
+  Byte buf[8];
+  store_le32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(load_le32(buf), 0x12345678u);
+  store_be32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(load_be32(buf), 0x12345678u);
+  store_le64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(load_le64(buf), 0x1122334455667788ull);
+  store_be64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(load_be64(buf), 0x1122334455667788ull);
+  store_be16(buf, 0xABCD);
+  EXPECT_EQ(load_be16(buf), 0xABCD);
+  store_le16(buf, 0xABCD);
+  EXPECT_EQ(load_le16(buf), 0xABCD);
+  store_be24(buf, 0x00ABCDEF);
+  EXPECT_EQ(load_be24(buf), 0x00ABCDEFu);
+}
+
+TEST(EndianTest, AppendHelpers) {
+  Bytes out;
+  append_le16(out, 0x0102);
+  append_le32(out, 0x03040506u);
+  append_le64(out, 0x0708090A0B0C0D0Eull);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(load_le16(ByteSpan(out).first(2)), 0x0102);
+  EXPECT_EQ(load_le32(ByteSpan(out).subspan(2, 4)), 0x03040506u);
+  EXPECT_EQ(load_le64(ByteSpan(out).subspan(6, 8)), 0x0708090A0B0C0D0Eull);
+}
+
+// ---- varint ----------------------------------------------------------------
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xFFFFFFFFull,
+        0xFFFFFFFFFFFFFFFFull}) {
+    Bytes out;
+    put_varint(out, v);
+    EXPECT_EQ(out.size(), varint_size(v));
+    std::size_t pos = 0;
+    auto back = get_varint(out, pos);
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, out.size());
+  }
+}
+
+TEST(VarintTest, RandomRoundTrip) {
+  Rng rng(9);
+  Bytes out;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> rng.next_below(64);
+    values.push_back(v);
+    put_varint(out, v);
+  }
+  std::size_t pos = 0;
+  for (std::uint64_t v : values) {
+    auto back = get_varint(out, pos);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_EQ(pos, out.size());
+}
+
+TEST(VarintTest, TruncatedFails) {
+  Bytes out;
+  put_varint(out, 0xFFFFFFFFull);
+  out.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(out, pos).has_value());
+}
+
+TEST(VarintTest, EmptyFails) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint({}, pos).has_value());
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  bool all_same_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    all_same_c = all_same_c && (va == c.next_u64());
+  }
+  EXPECT_FALSE(all_same_c);  // different seeds diverge
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+    const std::uint64_t v = rng.next_in(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityRoughlyHolds) {
+  Rng rng(4);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / trials, 2.0, 0.1);
+}
+
+TEST(RngTest, FillTextIsPrintable) {
+  Rng rng(6);
+  Bytes text(512);
+  rng.fill_text(text);
+  for (Byte b : text) {
+    EXPECT_GE(b, ' ');
+    EXPECT_LE(b, '~');
+  }
+}
+
+TEST(ZipfTest, InRangeAndSkewed) {
+  Rng rng(7);
+  Zipf zipf(1000, 0.9);
+  std::uint64_t low = 0, total = 10000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::uint64_t v = zipf.sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+    low += (v <= 100);
+  }
+  // Zipf(0.9): the first 10% of items should draw well over half the mass.
+  EXPECT_GT(low, total / 2);
+}
+
+TEST(NurandTest, InRange) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = nurand(rng, 1023, 5, 300);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 300u);
+  }
+}
+
+// ---- histogram -------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_NEAR(h.mean(), 7.5, 1e-9);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 15u);
+}
+
+TEST(HistogramTest, QuantilesApproximateLargeValues) {
+  Histogram h;
+  Rng rng(9);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next_in(1000, 100000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const std::uint64_t p50 = h.quantile(0.5);
+  const std::uint64_t exact = values[values.size() / 2];
+  // log-bucketed: within ~10% relative error
+  EXPECT_NEAR(static_cast<double>(p50), static_cast<double>(exact),
+              0.12 * exact);
+}
+
+TEST(HistogramTest, MergeAddsUp) {
+  Histogram a, b;
+  a.record(10);
+  a.record(20);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_NEAR(a.mean(), 20.0, 1e-9);
+}
+
+TEST(HistogramTest, RecordNWeightsSamples) {
+  Histogram h;
+  h.record_n(10, 99);
+  h.record_n(1000, 1);
+  h.record_n(5, 0);  // zero-count is a no-op
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), (99 * 10 + 1000) / 100.0, 1e-9);
+  EXPECT_EQ(h.quantile(0.5), 10u);  // the mass sits at 10
+}
+
+TEST(HistogramTest, SummaryIsHumanReadable) {
+  Histogram h;
+  h.record(3);
+  h.record(9);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("count=2"), std::string::npos);
+  EXPECT_NE(s.find("max=9"), std::string::npos);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// ---- hashing / hexdump ------------------------------------------------------
+
+TEST(HashTest, Fnv1aDiffersOnContent) {
+  EXPECT_NE(fnv1a64(as_bytes("hello")), fnv1a64(as_bytes("hellp")));
+  EXPECT_EQ(fnv1a64(as_bytes("hello")), fnv1a64(as_bytes("hello")));
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total += std::popcount(mix64(0x1234567890ABCDEFull) ^
+                           mix64(0x1234567890ABCDEFull ^ (1ull << bit)));
+  }
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+TEST(HexdumpTest, FormatsAndTruncates) {
+  Bytes data(300, 'A');
+  const std::string dump = hexdump(data, 64);
+  EXPECT_NE(dump.find("41 41"), std::string::npos);
+  EXPECT_NE(dump.find("more bytes"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAAAAAA"), std::string::npos);
+}
+
+TEST(BytesTest, Helpers) {
+  EXPECT_TRUE(all_zero(Bytes(16, 0)));
+  Bytes b(16, 0);
+  b[7] = 1;
+  EXPECT_FALSE(all_zero(b));
+  Bytes dst{1};
+  append(dst, Bytes{2, 3});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace prins

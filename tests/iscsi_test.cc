@@ -1,0 +1,444 @@
+// Tests for the mini-iSCSI layer: PDU wire format, CDBs, and full
+// initiator/target sessions over in-proc and TCP transports.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "iscsi/initiator.h"
+#include "iscsi/pdu.h"
+#include "iscsi/scsi.h"
+#include "iscsi/target.h"
+#include "net/inproc.h"
+#include "net/tcp.h"
+
+namespace prins::iscsi {
+namespace {
+
+TEST(PduTest, EncodeDecodeRoundTrip) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kScsiCommand;
+  pdu.immediate = true;
+  pdu.flags = kFlagFinal | kFlagWrite;
+  pdu.byte2 = 0x12;
+  pdu.byte3 = 0x34;
+  pdu.lun = 0x0102030405060708ull;
+  pdu.itt = 0xDEADBEEF;
+  pdu.word5 = 1;
+  pdu.word6 = 2;
+  pdu.word7 = 3;
+  pdu.word8 = 4;
+  pdu.word9 = 5;
+  pdu.word10 = 6;
+  pdu.word11 = 7;
+  pdu.data = {1, 2, 3, 4, 5};
+
+  const Bytes wire = pdu.encode();
+  EXPECT_EQ(wire.size() % 4, 0u);  // padded
+  auto back = Pdu::decode(wire);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->opcode, pdu.opcode);
+  EXPECT_TRUE(back->immediate);
+  EXPECT_EQ(back->flags, pdu.flags);
+  EXPECT_EQ(back->byte2, 0x12);
+  EXPECT_EQ(back->byte3, 0x34);
+  EXPECT_EQ(back->lun, pdu.lun);
+  EXPECT_EQ(back->itt, pdu.itt);
+  EXPECT_EQ(back->word5, 1u);
+  EXPECT_EQ(back->word11, 7u);
+  EXPECT_EQ(back->data, pdu.data);
+}
+
+TEST(PduTest, AllOpcodesRoundTrip) {
+  for (Opcode op : {Opcode::kNopOut, Opcode::kScsiCommand,
+                    Opcode::kLoginRequest, Opcode::kDataOut,
+                    Opcode::kLogoutRequest, Opcode::kNopIn,
+                    Opcode::kScsiResponse, Opcode::kLoginResponse,
+                    Opcode::kDataIn, Opcode::kLogoutResponse, Opcode::kR2t,
+                    Opcode::kReject}) {
+    Pdu pdu;
+    pdu.opcode = op;
+    auto back = Pdu::decode(pdu.encode());
+    ASSERT_TRUE(back.is_ok()) << opcode_name(op);
+    EXPECT_EQ(back->opcode, op);
+    EXPECT_FALSE(opcode_name(op).empty());
+  }
+}
+
+TEST(PduTest, RejectsTruncatedAndBogus) {
+  EXPECT_FALSE(Pdu::decode(Bytes(10, 0)).is_ok());
+  Bytes bogus(48, 0);
+  bogus[0] = 0x3E;  // unknown opcode
+  EXPECT_FALSE(Pdu::decode(bogus).is_ok());
+  // Declared data longer than what follows the BHS.
+  Pdu pdu;
+  pdu.opcode = Opcode::kNopOut;
+  pdu.data = Bytes(100, 1);
+  Bytes wire = pdu.encode();
+  wire.resize(60);
+  EXPECT_FALSE(Pdu::decode(wire).is_ok());
+}
+
+TEST(PduTest, LoginKvRoundTrip) {
+  const std::map<std::string, std::string> kv{
+      {"InitiatorName", "iqn.test:init"},
+      {"MaxRecvDataSegmentLength", "65536"},
+      {"SessionType", "Normal"},
+  };
+  const auto back = decode_login_kv(encode_login_kv(kv));
+  EXPECT_EQ(back, kv);
+}
+
+TEST(PduTest, LoginKvIgnoresGarbage) {
+  const Bytes garbage =
+      to_bytes(as_bytes(std::string_view("novalue\0=x\0ok=1\0", 16)));
+  const auto kv = decode_login_kv(garbage);
+  EXPECT_EQ(kv.size(), 2u);  // "=x" parses with empty key; novalue dropped
+  EXPECT_EQ(kv.at("ok"), "1");
+}
+
+TEST(CdbTest, ReadWriteRoundTrip) {
+  Byte buf[kCdbSize];
+  make_read10(0x00ABCDEF, 77).encode(buf);
+  auto read = Cdb::decode(ByteSpan(buf, kCdbSize));
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read->op, ScsiOp::kRead10);
+  EXPECT_EQ(read->lba, 0x00ABCDEFu);
+  EXPECT_EQ(read->blocks, 77u);
+
+  make_write10(123, 456).encode(buf);
+  auto write = Cdb::decode(ByteSpan(buf, kCdbSize));
+  ASSERT_TRUE(write.is_ok());
+  EXPECT_EQ(write->op, ScsiOp::kWrite10);
+  EXPECT_EQ(write->lba, 123u);
+  EXPECT_EQ(write->blocks, 456u);
+}
+
+TEST(CdbTest, UnsupportedOpcodeRejected) {
+  Byte buf[kCdbSize] = {0xFF};
+  EXPECT_FALSE(Cdb::decode(ByteSpan(buf, kCdbSize)).is_ok());
+}
+
+TEST(CdbTest, ReadCapacityDataSaturates) {
+  Bytes d = make_read_capacity10_data(0x200000000ull, 512);
+  // > 2^32 blocks: max LBA pinned to 0xFFFFFFFF
+  EXPECT_EQ(d[0], 0xFF);
+  EXPECT_EQ(d[3], 0xFF);
+  d = make_read_capacity10_data(100, 4096);
+  EXPECT_EQ(d[3], 99);
+}
+
+// ---- full sessions --------------------------------------------------------------
+
+struct SessionFixture {
+  std::shared_ptr<MemDisk> disk;
+  std::shared_ptr<IscsiTarget> target;
+  std::thread server;
+  std::unique_ptr<IscsiInitiator> initiator;
+
+  explicit SessionFixture(TargetConfig target_config = {},
+                          InitiatorConfig initiator_config = {}) {
+    disk = std::make_shared<MemDisk>(256, 512);
+    target = std::make_shared<IscsiTarget>(disk, target_config);
+    auto [client_end, server_end] = make_inproc_pair();
+    server = std::thread(
+        [t = target, s = std::shared_ptr<Transport>(std::move(server_end))] {
+          ASSERT_TRUE(t->serve(*s).is_ok());
+        });
+    auto init = IscsiInitiator::login(std::move(client_end), initiator_config);
+    EXPECT_TRUE(init.is_ok()) << init.status().to_string();
+    if (init.is_ok()) initiator = std::move(*init);
+  }
+
+  ~SessionFixture() {
+    initiator.reset();  // logs out
+    if (server.joinable()) server.join();
+  }
+};
+
+TEST(IscsiSessionTest, DiscoversGeometry) {
+  SessionFixture fx;
+  ASSERT_NE(fx.initiator, nullptr);
+  EXPECT_EQ(fx.initiator->block_size(), 512u);
+  EXPECT_EQ(fx.initiator->num_blocks(), 256u);
+  EXPECT_NE(fx.initiator->target_name().find("iqn."), std::string::npos);
+}
+
+TEST(IscsiSessionTest, ReadWriteRoundTrip) {
+  SessionFixture fx;
+  ASSERT_NE(fx.initiator, nullptr);
+  Rng rng(1);
+  Bytes data(512 * 3);
+  rng.fill(data);
+  ASSERT_TRUE(fx.initiator->write(10, data).is_ok());
+  Bytes out(512 * 3);
+  ASSERT_TRUE(fx.initiator->read(10, out).is_ok());
+  EXPECT_EQ(out, data);
+  // The remote disk really has the bytes.
+  Bytes direct(512 * 3);
+  ASSERT_TRUE(fx.disk->read(10, direct).is_ok());
+  EXPECT_EQ(direct, data);
+}
+
+TEST(IscsiSessionTest, LargeWriteTakesR2tPath) {
+  TargetConfig target_config;
+  target_config.max_immediate_data = 1024;  // force R2T beyond 2 blocks
+  target_config.max_data_segment = 1024;
+  InitiatorConfig initiator_config;
+  initiator_config.max_immediate_data = 1024;
+  initiator_config.max_data_segment = 1024;
+  SessionFixture fx(target_config, initiator_config);
+  ASSERT_NE(fx.initiator, nullptr);
+
+  Rng rng(2);
+  Bytes data(512 * 32);  // 16 KB >> 1 KB immediate limit
+  rng.fill(data);
+  ASSERT_TRUE(fx.initiator->write(0, data).is_ok());
+  Bytes out(512 * 32);
+  ASSERT_TRUE(fx.initiator->read(0, out).is_ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(IscsiSessionTest, OutOfRangeIoFailsWithScsiError) {
+  SessionFixture fx;
+  ASSERT_NE(fx.initiator, nullptr);
+  Bytes block(512);
+  EXPECT_EQ(fx.initiator->read(256, block).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(fx.initiator->write(300, block).code(), ErrorCode::kOutOfRange);
+  // In-range traffic still works afterwards.
+  EXPECT_TRUE(fx.initiator->write(0, block).is_ok());
+}
+
+TEST(IscsiSessionTest, PingAndFlush) {
+  SessionFixture fx;
+  ASSERT_NE(fx.initiator, nullptr);
+  EXPECT_TRUE(fx.initiator->ping().is_ok());
+  EXPECT_TRUE(fx.initiator->flush().is_ok());
+  EXPECT_GT(fx.target->commands_served(), 0u);
+}
+
+TEST(IscsiSessionTest, LogoutIsIdempotentAndFinal) {
+  SessionFixture fx;
+  ASSERT_NE(fx.initiator, nullptr);
+  EXPECT_TRUE(fx.initiator->logout().is_ok());
+  EXPECT_TRUE(fx.initiator->logout().is_ok());
+  Bytes block(512);
+  EXPECT_EQ(fx.initiator->read(0, block).code(), ErrorCode::kUnavailable);
+}
+
+TEST(IscsiSessionTest, WorksOverTcp) {
+  auto disk = std::make_shared<MemDisk>(64, 4096);
+  auto target = std::make_shared<IscsiTarget>(disk);
+  auto listener_or = TcpListener::listen(0);
+  ASSERT_TRUE(listener_or.is_ok());
+  auto listener = std::shared_ptr<TcpListener>(std::move(*listener_or));
+  const std::uint16_t port = listener->port();
+  std::thread server = serve_in_background(target, listener);
+
+  auto transport = TcpTransport::connect("127.0.0.1", port);
+  ASSERT_TRUE(transport.is_ok());
+  auto initiator = IscsiInitiator::login(std::move(*transport));
+  ASSERT_TRUE(initiator.is_ok()) << initiator.status().to_string();
+  Rng rng(3);
+  Bytes data(4096 * 2);
+  rng.fill(data);
+  ASSERT_TRUE((*initiator)->write(5, data).is_ok());
+  Bytes out(4096 * 2);
+  ASSERT_TRUE((*initiator)->read(5, out).is_ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE((*initiator)->logout().is_ok());
+  listener->close();
+  server.join();
+}
+
+TEST(CdbTest, SixteenByteFormsRoundTrip) {
+  Byte buf[kCdbSize];
+  make_read16(0x123456789ABCull, 0x12345).encode(buf);
+  auto read = Cdb::decode(ByteSpan(buf, kCdbSize));
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read->op, ScsiOp::kRead16);
+  EXPECT_EQ(read->lba, 0x123456789ABCull);
+  EXPECT_EQ(read->blocks, 0x12345u);
+
+  make_write16(0xFFFFFFFF00ull, 7).encode(buf);
+  auto write = Cdb::decode(ByteSpan(buf, kCdbSize));
+  ASSERT_TRUE(write.is_ok());
+  EXPECT_EQ(write->op, ScsiOp::kWrite16);
+  EXPECT_EQ(write->lba, 0xFFFFFFFF00ull);
+
+  make_report_luns(4096).encode(buf);
+  auto rl = Cdb::decode(ByteSpan(buf, kCdbSize));
+  ASSERT_TRUE(rl.is_ok());
+  EXPECT_EQ(rl->op, ScsiOp::kReportLuns);
+  EXPECT_EQ(rl->alloc_len, 4096u);
+}
+
+TEST(PduTest, HeaderDigestRoundTripAndDetection) {
+  Pdu pdu;
+  pdu.opcode = Opcode::kScsiCommand;
+  pdu.itt = 42;
+  pdu.data = {1, 2, 3};
+  Bytes wire = pdu.encode(/*header_digest=*/true);
+  EXPECT_EQ(wire.size(), (48u + 4 + 3 + 3) & ~3u);
+  auto back = Pdu::decode(wire, /*header_digest=*/true);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->itt, 42u);
+  EXPECT_EQ(back->data, pdu.data);
+  // Flip a BHS bit: the digest must catch it.
+  wire[17] ^= 0x01;
+  auto bad = Pdu::decode(wire, true);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_NE(bad.status().message().find("digest"), std::string::npos);
+  // Decoding a digested PDU without the flag mis-frames and must not
+  // silently succeed with the right payload.
+  wire[17] ^= 0x01;  // restore
+  auto misread = Pdu::decode(wire, false);
+  if (misread.is_ok()) {
+    EXPECT_NE(misread->data, pdu.data);
+  }
+}
+
+TEST(IscsiSessionTest, ReportLunsListsTheLun) {
+  SessionFixture fx;
+  ASSERT_NE(fx.initiator, nullptr);
+  auto luns = fx.initiator->report_luns();
+  ASSERT_TRUE(luns.is_ok()) << luns.status().to_string();
+  ASSERT_EQ(luns->size(), 1u);
+  EXPECT_EQ((*luns)[0], 0u);
+}
+
+TEST(IscsiSessionTest, HeaderDigestNegotiatedAndWorking) {
+  InitiatorConfig initiator_config;
+  initiator_config.request_header_digest = true;
+  SessionFixture fx(TargetConfig{}, initiator_config);
+  ASSERT_NE(fx.initiator, nullptr);
+  EXPECT_TRUE(fx.initiator->header_digest());
+  Rng rng(5);
+  Bytes data(512 * 4);
+  rng.fill(data);
+  ASSERT_TRUE(fx.initiator->write(8, data).is_ok());
+  Bytes out(512 * 4);
+  ASSERT_TRUE(fx.initiator->read(8, out).is_ok());
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(fx.initiator->ping().is_ok());
+}
+
+TEST(IscsiSessionTest, HeaderDigestDeclinedWhenTargetForbidsIt) {
+  TargetConfig target_config;
+  target_config.allow_header_digest = false;
+  InitiatorConfig initiator_config;
+  initiator_config.request_header_digest = true;
+  SessionFixture fx(target_config, initiator_config);
+  ASSERT_NE(fx.initiator, nullptr);
+  EXPECT_FALSE(fx.initiator->header_digest());
+  Bytes block(512, 0x42);
+  EXPECT_TRUE(fx.initiator->write(0, block).is_ok());
+}
+
+TEST(IscsiSessionTest, DiscoverySessionListsTargets) {
+  auto disk = std::make_shared<MemDisk>(16, 512);
+  TargetConfig config;
+  config.target_name = "iqn.2006-04.test:vol0";
+  auto target = std::make_shared<IscsiTarget>(disk, config);
+  auto [client_end, server_end] = make_inproc_pair();
+  std::thread server(
+      [t = target, s = std::shared_ptr<Transport>(std::move(server_end))] {
+        ASSERT_TRUE(t->serve(*s).is_ok());
+      });
+  auto targets = discover_targets(std::move(client_end));
+  ASSERT_TRUE(targets.is_ok()) << targets.status().to_string();
+  ASSERT_EQ(targets->size(), 1u);
+  EXPECT_EQ((*targets)[0], "iqn.2006-04.test:vol0");
+  server.join();
+}
+
+TEST(IscsiSessionTest, DiscoveryThenNormalLoginWorkflow) {
+  // The standard flow: discover the target name first, then log in to it.
+  auto disk = std::make_shared<MemDisk>(16, 512);
+  auto target = std::make_shared<IscsiTarget>(disk);
+  InprocNetwork net;
+  auto listener_or = net.listen("portal");
+  ASSERT_TRUE(listener_or.is_ok());
+  auto listener = std::shared_ptr<Listener>(std::move(*listener_or));
+  std::thread server = serve_in_background(target, listener);
+
+  auto discovery_conn = net.connect("portal");
+  ASSERT_TRUE(discovery_conn.is_ok());
+  auto targets = discover_targets(std::move(*discovery_conn));
+  ASSERT_TRUE(targets.is_ok());
+  ASSERT_FALSE(targets->empty());
+
+  auto session_conn = net.connect("portal");
+  ASSERT_TRUE(session_conn.is_ok());
+  auto initiator = IscsiInitiator::login(std::move(*session_conn));
+  ASSERT_TRUE(initiator.is_ok());
+  EXPECT_EQ((*initiator)->target_name(), (*targets)[0]);
+  ASSERT_TRUE((*initiator)->logout().is_ok());
+  listener->close();
+  server.join();
+}
+
+TEST(IscsiSessionTest, ProtocolViolationsAreRejected) {
+  // Speak raw PDUs at the target: commands before login are fatal, and a
+  // target-opcode PDU after login draws a Reject.
+  auto disk = std::make_shared<MemDisk>(16, 512);
+  auto target = std::make_shared<IscsiTarget>(disk);
+
+  {
+    // SCSI command before login: session terminated with an error.
+    auto [client, server_end] = make_inproc_pair();
+    std::thread server(
+        [t = target, s = std::shared_ptr<Transport>(std::move(server_end))] {
+          EXPECT_FALSE(t->serve(*s).is_ok());
+        });
+    Pdu premature;
+    premature.opcode = Opcode::kScsiCommand;
+    ASSERT_TRUE(client->send(premature.encode()).is_ok());
+    server.join();
+  }
+  {
+    // Target-to-initiator opcode after login: Reject PDU, session lives.
+    auto [client, server_end] = make_inproc_pair();
+    std::thread server(
+        [t = target, s = std::shared_ptr<Transport>(std::move(server_end))] {
+          (void)t->serve(*s);
+        });
+    Pdu login;
+    login.opcode = Opcode::kLoginRequest;
+    login.flags = static_cast<std::uint8_t>(
+        kLoginTransit | (kStageOperational << 2) | kStageFullFeature);
+    login.itt = 1;
+    ASSERT_TRUE(client->send(login.encode()).is_ok());
+    ASSERT_TRUE(client->recv().is_ok());  // login response
+
+    Pdu bogus;
+    bogus.opcode = Opcode::kNopIn;  // only targets send NOP-In
+    bogus.itt = 2;
+    ASSERT_TRUE(client->send(bogus.encode()).is_ok());
+    auto reply = client->recv();
+    ASSERT_TRUE(reply.is_ok());
+    auto decoded = Pdu::decode(*reply);
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded->opcode, Opcode::kReject);
+    client->close();
+    server.join();
+  }
+}
+
+TEST(IscsiSessionTest, InitiatorIsABlockDevice) {
+  // The initiator can stand in anywhere a BlockDevice is expected — the
+  // property the PRINS engine's "communication module" relies on.
+  SessionFixture fx;
+  ASSERT_NE(fx.initiator, nullptr);
+  BlockDevice& dev = *fx.initiator;
+  Bytes block(512, 0x5A);
+  ASSERT_TRUE(dev.write(1, block).is_ok());
+  Bytes out(512);
+  ASSERT_TRUE(dev.read(1, out).is_ok());
+  EXPECT_EQ(out, block);
+  EXPECT_EQ(dev.capacity_bytes(), 256u * 512u);
+}
+
+}  // namespace
+}  // namespace prins::iscsi

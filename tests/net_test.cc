@@ -1,0 +1,302 @@
+// Tests for the transport layer: in-proc pairs, named rendezvous, TCP
+// framing, and the traffic meter's packet model.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "net/latent.h"
+#include "net/packet_model.h"
+#include "net/shaped_transport.h"
+#include "net/tcp.h"
+#include "net/traffic_meter.h"
+
+namespace prins {
+namespace {
+
+Bytes message(std::string_view s) { return to_bytes(as_bytes(s)); }
+
+TEST(InprocTest, PingPong) {
+  auto [a, b] = make_inproc_pair();
+  ASSERT_TRUE(a->send(message("hello")).is_ok());
+  auto got = b->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("hello"));
+  ASSERT_TRUE(b->send(message("world")).is_ok());
+  auto back = a->recv();
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, message("world"));
+}
+
+TEST(InprocTest, PreservesOrderAndBoundaries) {
+  auto [a, b] = make_inproc_pair();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a->send(message("msg" + std::to_string(i))).is_ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto got = b->recv();
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(*got, message("msg" + std::to_string(i)));
+  }
+}
+
+TEST(InprocTest, EmptyMessageAllowed) {
+  auto [a, b] = make_inproc_pair();
+  ASSERT_TRUE(a->send({}).is_ok());
+  auto got = b->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(InprocTest, CloseUnblocksReceiver) {
+  auto [a, b] = make_inproc_pair();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->close();
+  });
+  auto got = b->recv();
+  EXPECT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kUnavailable);
+  closer.join();
+}
+
+TEST(InprocTest, QueuedMessagesDrainAfterClose) {
+  auto [a, b] = make_inproc_pair();
+  ASSERT_TRUE(a->send(message("last words")).is_ok());
+  a->close();
+  auto got = b->recv();
+  ASSERT_TRUE(got.is_ok());  // delivered despite the close
+  EXPECT_EQ(*got, message("last words"));
+  EXPECT_FALSE(b->recv().is_ok());
+}
+
+TEST(InprocTest, BackpressureBlocksThenReleases) {
+  auto [a, b] = make_inproc_pair(/*capacity=*/2);
+  ASSERT_TRUE(a->send(message("1")).is_ok());
+  ASSERT_TRUE(a->send(message("2")).is_ok());
+  std::atomic<bool> third_sent{false};
+  std::thread sender([&] {
+    ASSERT_TRUE(a->send(message("3")).is_ok());  // blocks until b receives
+    third_sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_sent.load());
+  ASSERT_TRUE(b->recv().is_ok());
+  sender.join();
+  EXPECT_TRUE(third_sent.load());
+}
+
+TEST(InprocNetworkTest, ListenConnectAccept) {
+  InprocNetwork net;
+  auto listener = net.listen("node-b");
+  ASSERT_TRUE(listener.is_ok());
+  std::thread server([&] {
+    auto conn = (*listener)->accept();
+    ASSERT_TRUE(conn.is_ok());
+    auto got = (*conn)->recv();
+    ASSERT_TRUE(got.is_ok());
+    ASSERT_TRUE((*conn)->send(*got).is_ok());  // echo
+  });
+  auto client = net.connect("node-b");
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE((*client)->send(message("echo me")).is_ok());
+  auto got = (*client)->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("echo me"));
+  server.join();
+}
+
+TEST(InprocNetworkTest, ConnectToMissingAddressFails) {
+  InprocNetwork net;
+  EXPECT_EQ(net.connect("ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(InprocNetworkTest, DoubleListenFails) {
+  InprocNetwork net;
+  auto first = net.listen("addr");
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(net.listen("addr").status().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(InprocNetworkTest, ClosedListenerUnblocksAccept) {
+  InprocNetwork net;
+  auto listener = net.listen("addr2");
+  ASSERT_TRUE(listener.is_ok());
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (*listener)->close();
+  });
+  EXPECT_FALSE((*listener)->accept().is_ok());
+  closer.join();
+}
+
+// ---- TCP ------------------------------------------------------------------
+
+TEST(TcpTest, RoundTripOverLoopback) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  const std::uint16_t port = (*listener)->port();
+  ASSERT_NE(port, 0);
+
+  std::thread server([&] {
+    auto conn = (*listener)->accept();
+    ASSERT_TRUE(conn.is_ok());
+    for (;;) {
+      auto got = (*conn)->recv();
+      if (!got.is_ok()) break;
+      ASSERT_TRUE((*conn)->send(*got).is_ok());
+    }
+  });
+
+  auto client = TcpTransport::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+  // Small, empty, and large (multi-MB) messages survive framing.
+  Rng rng(1);
+  for (std::size_t n : {0ul, 1ul, 100ul, 70000ul, 3000000ul}) {
+    Bytes data(n);
+    rng.fill(data);
+    ASSERT_TRUE((*client)->send(data).is_ok()) << n;
+    auto got = (*client)->recv();
+    ASSERT_TRUE(got.is_ok()) << n;
+    EXPECT_EQ(*got, data) << n;
+  }
+  (*client)->close();
+  server.join();
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Grab a free port, then close the listener so nothing is there.
+  std::uint16_t port;
+  {
+    auto listener = TcpListener::listen(0);
+    ASSERT_TRUE(listener.is_ok());
+    port = (*listener)->port();
+  }
+  auto client = TcpTransport::connect("127.0.0.1", port);
+  EXPECT_FALSE(client.is_ok());
+}
+
+TEST(TcpTest, BadAddressRejected) {
+  EXPECT_FALSE(TcpTransport::connect("not-an-ip", 80).is_ok());
+}
+
+TEST(TcpTest, PeerCloseYieldsUnavailable) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::thread server([&] {
+    auto conn = (*listener)->accept();
+    ASSERT_TRUE(conn.is_ok());
+    (*conn)->close();
+  });
+  auto client = TcpTransport::connect("localhost", (*listener)->port());
+  ASSERT_TRUE(client.is_ok());
+  auto got = (*client)->recv();
+  EXPECT_EQ(got.status().code(), ErrorCode::kUnavailable);
+  server.join();
+}
+
+// ---- packet model & traffic meter ------------------------------------------------
+
+TEST(PacketModelTest, MatchesPaperFormula) {
+  EXPECT_EQ(packets_for(0), 0u);
+  EXPECT_EQ(packets_for(1), 1u);
+  EXPECT_EQ(packets_for(1500), 1u);
+  EXPECT_EQ(packets_for(1501), 2u);
+  EXPECT_EQ(packets_for(8192), 6u);
+  EXPECT_EQ(wire_bytes_for(1500), 1500u + 112u);
+  EXPECT_EQ(wire_bytes_for(8192), 8192u + 6 * 112u);
+}
+
+TEST(TrafficMeterTest, AccountsSendsAndReceives) {
+  auto [a, b] = make_inproc_pair();
+  TrafficMeter meter(std::move(a));
+  ASSERT_TRUE(meter.send(Bytes(8192, 1)).is_ok());
+  ASSERT_TRUE(meter.send(Bytes(100, 2)).is_ok());
+  const TrafficStats sent = meter.sent();
+  EXPECT_EQ(sent.messages, 2u);
+  EXPECT_EQ(sent.payload_bytes, 8292u);
+  EXPECT_EQ(sent.packets, 7u);
+  EXPECT_EQ(sent.wire_bytes, 8292u + 7 * 112u);
+
+  ASSERT_TRUE(b->send(Bytes(50, 3)).is_ok());
+  ASSERT_TRUE(meter.recv().is_ok());
+  EXPECT_EQ(meter.received().messages, 1u);
+  EXPECT_EQ(meter.received().payload_bytes, 50u);
+
+  EXPECT_EQ(meter.sent_sizes().count(), 2u);
+  meter.reset();
+  EXPECT_EQ(meter.sent().messages, 0u);
+}
+
+TEST(LatentPairTest, DeliversAfterDelayWithoutBlockingSender) {
+  auto [a, b] = make_latent_pair(std::chrono::microseconds(20000));
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a->send(message("in flight")).is_ok());
+  const double send_time =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(send_time, 0.010);  // sender not blocked for the latency
+  auto got = b->recv();
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("in flight"));
+  EXPECT_GE(total, 0.018);  // ~one-way delay elapsed before delivery
+}
+
+TEST(LatentPairTest, OrderPreservedAndDrainsAfterClose) {
+  auto [a, b] = make_latent_pair(std::chrono::microseconds(1000));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a->send(message(std::to_string(i))).is_ok());
+  }
+  a->close();
+  for (int i = 0; i < 10; ++i) {
+    auto got = b->recv();
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(*got, message(std::to_string(i)));
+  }
+  EXPECT_FALSE(b->recv().is_ok());
+}
+
+TEST(ShapedTransportTest, DeliversAndDelays) {
+  auto [a, b] = make_inproc_pair();
+  ShapingConfig shaping;
+  shaping.line = kT1;
+  shaping.hops = 2;
+  shaping.bandwidth_scale = 1000.0;  // keep the test fast
+  ShapedTransport shaped(std::move(a), shaping);
+
+  // An 8 KB message on T1/1000 still costs >= ~59 us of shaping.
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(shaped.send(Bytes(8192, 1)).is_ok());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 50e-6);
+
+  auto got = b->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got->size(), 8192u);
+  // Replies are not shaped (the model charges the forward path).
+  ASSERT_TRUE(b->send(Bytes(10, 2)).is_ok());
+  auto reply = shaped.recv();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply->size(), 10u);
+  EXPECT_NE(shaped.describe().find("T1"), std::string::npos);
+}
+
+TEST(TrafficMeterTest, MergeSumsStats) {
+  TrafficStats a, b;
+  a.add_message(1000);
+  b.add_message(2000);
+  a.merge(b);
+  EXPECT_EQ(a.messages, 2u);
+  EXPECT_EQ(a.payload_bytes, 3000u);
+  EXPECT_EQ(a.packets, 3u);
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,162 @@
+// Tests for the XOR parity algebra and RAID stripe geometry — the
+// correctness bedrock of PRINS.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "parity/stripe.h"
+#include "parity/xor.h"
+
+namespace prins {
+namespace {
+
+class XorSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(XorSizes, SelfInverse) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  Bytes a(n), b(n);
+  rng.fill(a);
+  rng.fill(b);
+  Bytes x = a;
+  xor_into(x, b);
+  xor_into(x, b);  // applying the same delta twice cancels
+  EXPECT_EQ(x, a);
+}
+
+TEST_P(XorSizes, ForwardBackwardRecoversNewData) {
+  // The PRINS round trip: P' = new ⊕ old at the primary,
+  // new = P' ⊕ old at the replica.
+  const std::size_t n = GetParam();
+  Rng rng(n + 2);
+  Bytes old_block(n), new_block(n);
+  rng.fill(old_block);
+  rng.fill(new_block);
+  const Bytes p = parity_delta(new_block, old_block);
+  Bytes recovered(n);
+  xor_to(recovered, p, old_block);
+  EXPECT_EQ(recovered, new_block);
+}
+
+TEST_P(XorSizes, DeltasCompose) {
+  // Applying P'1 then P'2 equals applying P'1 ⊕ P'2 — the TRAP telescope.
+  const std::size_t n = GetParam();
+  Rng rng(n + 3);
+  Bytes v0(n), v1(n), v2(n);
+  rng.fill(v0);
+  rng.fill(v1);
+  rng.fill(v2);
+  const Bytes d1 = parity_delta(v1, v0);
+  const Bytes d2 = parity_delta(v2, v1);
+  Bytes combined = d1;
+  xor_into(combined, d2);
+  Bytes out = v0;
+  xor_into(out, combined);
+  EXPECT_EQ(out, v2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XorSizes,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 512,
+                                           4096, 65536));
+
+TEST(XorTest, UnchangedDataGivesZeroParity) {
+  Rng rng(4);
+  Bytes block(4096);
+  rng.fill(block);
+  const Bytes p = parity_delta(block, block);
+  EXPECT_TRUE(all_zero(p));
+  EXPECT_EQ(count_nonzero(p), 0u);
+  EXPECT_EQ(dirty_fraction(p), 0.0);
+}
+
+TEST(XorTest, DirtyFractionMatchesChangedBytes) {
+  Bytes old_block(1000, 0xAA);
+  Bytes new_block = old_block;
+  for (int i = 100; i < 150; ++i) new_block[i] = 0x55;  // 50 changed bytes
+  const Bytes p = parity_delta(new_block, old_block);
+  EXPECT_EQ(count_nonzero(p), 50u);
+  EXPECT_NEAR(dirty_fraction(p), 0.05, 1e-9);
+}
+
+TEST(XorTest, EmptySpanDirtyFractionIsZero) {
+  EXPECT_EQ(dirty_fraction({}), 0.0);
+}
+
+// ---- stripe geometry ---------------------------------------------------------
+
+struct GeometryCase {
+  RaidLevel level;
+  unsigned disks;
+};
+
+class StripeGeometryTest
+    : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(StripeGeometryTest, LocateAndLogicalAreInverse) {
+  const StripeGeometry geo(GetParam().level, GetParam().disks);
+  for (std::uint64_t lba = 0; lba < 500; ++lba) {
+    const StripeLocation loc = geo.locate(lba);
+    EXPECT_LT(loc.data_disk, geo.num_disks());
+    if (geo.level() != RaidLevel::kRaid0) {
+      EXPECT_NE(loc.data_disk, loc.parity_disk);
+      EXPECT_LT(loc.parity_disk, geo.num_disks());
+    }
+    const unsigned slot = geo.slot_of(loc.stripe, loc.data_disk);
+    EXPECT_EQ(geo.logical_of(loc.stripe, slot), lba);
+    EXPECT_EQ(geo.disk_of_slot(loc.stripe, slot), loc.data_disk);
+  }
+}
+
+TEST_P(StripeGeometryTest, StripeDataDisksAreDistinct) {
+  const StripeGeometry geo(GetParam().level, GetParam().disks);
+  for (std::uint64_t stripe = 0; stripe < 50; ++stripe) {
+    std::set<unsigned> used;
+    for (unsigned slot = 0; slot < geo.data_disks(); ++slot) {
+      used.insert(geo.disk_of_slot(stripe, slot));
+    }
+    EXPECT_EQ(used.size(), geo.data_disks());
+    if (geo.level() != RaidLevel::kRaid0) {
+      EXPECT_FALSE(used.contains(geo.parity_disk_of(stripe)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StripeGeometryTest,
+    ::testing::Values(GeometryCase{RaidLevel::kRaid0, 2},
+                      GeometryCase{RaidLevel::kRaid0, 5},
+                      GeometryCase{RaidLevel::kRaid4, 3},
+                      GeometryCase{RaidLevel::kRaid4, 8},
+                      GeometryCase{RaidLevel::kRaid5, 3},
+                      GeometryCase{RaidLevel::kRaid5, 4},
+                      GeometryCase{RaidLevel::kRaid5, 7}));
+
+TEST(StripeGeometryTest, Raid4ParityIsFixed) {
+  const StripeGeometry geo(RaidLevel::kRaid4, 5);
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_EQ(geo.parity_disk_of(s), 4u);
+  }
+}
+
+TEST(StripeGeometryTest, Raid5ParityRotatesThroughAllDisks) {
+  const StripeGeometry geo(RaidLevel::kRaid5, 4);
+  std::set<unsigned> seen;
+  for (std::uint64_t s = 0; s < 4; ++s) seen.insert(geo.parity_disk_of(s));
+  EXPECT_EQ(seen.size(), 4u);
+  // Left-symmetric: stripe 0 parity on the last disk, walking left.
+  EXPECT_EQ(geo.parity_disk_of(0), 3u);
+  EXPECT_EQ(geo.parity_disk_of(1), 2u);
+  EXPECT_EQ(geo.parity_disk_of(2), 1u);
+  EXPECT_EQ(geo.parity_disk_of(3), 0u);
+  EXPECT_EQ(geo.parity_disk_of(4), 3u);
+}
+
+TEST(StripeGeometryTest, DataDiskCounts) {
+  EXPECT_EQ(StripeGeometry(RaidLevel::kRaid0, 4).data_disks(), 4u);
+  EXPECT_EQ(StripeGeometry(RaidLevel::kRaid4, 4).data_disks(), 3u);
+  EXPECT_EQ(StripeGeometry(RaidLevel::kRaid5, 4).data_disks(), 3u);
+}
+
+}  // namespace
+}  // namespace prins

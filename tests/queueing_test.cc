@@ -1,0 +1,241 @@
+// Tests for the queueing models: MVA recursion, M/M/1 formulas, and the
+// paper's WAN delay constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/packet_model.h"
+#include "queueing/des.h"
+#include "queueing/mm1.h"
+#include "queueing/mva.h"
+#include "queueing/wan.h"
+
+namespace prins {
+namespace {
+
+TEST(WanTest, TransmissionDelayMatchesPaperFormula) {
+  // Paper: Dtrans = (Sd + Sd/1.5 * 0.112) / 154.4 for T1, sizes in KB.
+  // For an 8 KB payload: 8192 bytes → 6 packets → 8192 + 672 wire bytes.
+  const double d = transmission_delay_sec(8192, kT1);
+  EXPECT_NEAR(d, (8192.0 + 6 * 112.0) / 154.4e3, 1e-9);
+  const double d3 = transmission_delay_sec(8192, kT3);
+  EXPECT_NEAR(d3, (8192.0 + 6 * 112.0) / 4473.6e3, 1e-9);
+  EXPECT_LT(d3, d);  // T3 is the faster line
+}
+
+TEST(WanTest, RouterServiceTimeAddsProcAndProp) {
+  const double service = router_service_time_sec(8192, kT1);
+  const double expected =
+      transmission_delay_sec(8192, kT1) + 6 * 5e-6 + 1e-3;
+  EXPECT_NEAR(service, expected, 1e-12);
+}
+
+TEST(WanTest, ZeroPayloadStillPaysPropagation) {
+  EXPECT_NEAR(router_service_time_sec(0, kT1), kPropagationDelaySec, 1e-12);
+}
+
+TEST(WanTest, LineConstantsMatchPaper) {
+  EXPECT_NEAR(kT1.bytes_per_second, 154.4e3, 1e-6);
+  EXPECT_NEAR(kT3.bytes_per_second, 4473.6e3, 1e-6);
+}
+
+// ---- MVA -------------------------------------------------------------------
+
+TEST(MvaTest, SingleCustomerSeesBareServiceTimes) {
+  // With N=1 there is no queueing: R = sum of service times.
+  const auto r = solve_mva({0.1, 0.2}, 1.0, 1);
+  EXPECT_NEAR(r.response_time_sec, 0.3, 1e-12);
+  EXPECT_NEAR(r.throughput, 1.0 / 1.3, 1e-12);
+}
+
+TEST(MvaTest, ThroughputSaturatesAtBottleneck) {
+  // As N grows, X(n) -> 1/S_max (the bottleneck service rate).
+  const double bottleneck = 0.05;
+  const auto curve = solve_mva_curve({0.01, bottleneck}, 0.5, 400);
+  const double x_limit = 1.0 / bottleneck;
+  EXPECT_NEAR(curve.back().throughput, x_limit, 0.01 * x_limit);
+  // And never exceeds it on the way.
+  for (const auto& point : curve) {
+    EXPECT_LE(point.throughput, x_limit * (1 + 1e-9));
+  }
+}
+
+TEST(MvaTest, ResponseTimeGrowsWithPopulation) {
+  const auto curve = solve_mva_curve({0.05, 0.05}, 0.1, 100);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].response_time_sec,
+              curve[i - 1].response_time_sec - 1e-12);
+  }
+  // Asymptotically R(n) ≈ n * S_bottleneck - Z.
+  const auto& last = curve.back();
+  EXPECT_NEAR(last.response_time_sec, 100 * 0.05 - 0.1,
+              0.1 * last.response_time_sec);
+}
+
+TEST(MvaTest, LittlesLawHoldsAtEveryPopulation) {
+  // N = X * (Z + R): the fixed point the recursion maintains exactly.
+  const auto curve = solve_mva_curve({0.02, 0.07, 0.01}, 0.3, 50);
+  for (const auto& point : curve) {
+    EXPECT_NEAR(point.population,
+                point.throughput * (0.3 + point.response_time_sec), 1e-9);
+    // Queue lengths sum to the customers not thinking.
+    double in_system = 0;
+    for (double q : point.queue_lengths) in_system += q;
+    EXPECT_NEAR(in_system,
+                point.throughput * point.response_time_sec, 1e-9);
+  }
+}
+
+TEST(MvaTest, SmallerServiceTimesGiveSmallerResponse) {
+  // The PRINS-vs-traditional comparison in Figure 8 reduced to its core:
+  // scaling every service time down scales the whole response curve down.
+  const auto slow = solve_mva_curve({0.05, 0.05}, 0.1, 80);
+  const auto fast = solve_mva_curve({0.0005, 0.0005}, 0.1, 80);
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    EXPECT_LT(fast[i].response_time_sec, slow[i].response_time_sec);
+  }
+  // The fast system stays flat where the slow one has blown up:
+  // 80 customers saturate the 0.05 s bottleneck (R ≈ N*S - Z ≈ 3.9 s)
+  // while the 0.0005 s system still serves everyone near its raw time.
+  EXPECT_LT(fast.back().response_time_sec, 0.01);
+  EXPECT_GT(slow.back().response_time_sec, 1.0);
+}
+
+// ---- M/M/1 -----------------------------------------------------------------
+
+TEST(Mm1Test, FormulasExact) {
+  // λ=5/s, S=0.1s → µ=10/s, ρ=0.5, W=1/(10-5)=0.2, Wq=0.5/5=0.1.
+  const auto r = solve_mm1(5.0, 0.1);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.utilization, 0.5, 1e-12);
+  EXPECT_NEAR(r.response_time_sec, 0.2, 1e-12);
+  EXPECT_NEAR(r.queueing_time_sec, 0.1, 1e-12);
+  EXPECT_NEAR(r.response_time_sec, r.queueing_time_sec + 0.1, 1e-12);
+}
+
+TEST(Mm1Test, SaturationIsInfinite) {
+  const auto at = solve_mm1(10.0, 0.1);
+  EXPECT_TRUE(at.saturated);
+  EXPECT_TRUE(std::isinf(at.queueing_time_sec));
+  const auto beyond = solve_mm1(20.0, 0.1);
+  EXPECT_TRUE(beyond.saturated);
+}
+
+TEST(Mm1Test, ZeroArrivalsMeanNoQueueing) {
+  const auto r = solve_mm1(0.0, 0.1);
+  EXPECT_NEAR(r.queueing_time_sec, 0.0, 1e-12);
+  EXPECT_NEAR(r.response_time_sec, 0.1, 1e-12);
+}
+
+TEST(Mm1Test, QueueingTimeExplodesNearSaturation) {
+  const double s = router_service_time_sec(8192, kT1);
+  double prev = 0;
+  for (double rate = 1; rate < 1.0 / s; rate += 1) {
+    const auto r = solve_mm1(rate, s);
+    ASSERT_FALSE(r.saturated);
+    EXPECT_GE(r.queueing_time_sec, prev);
+    prev = r.queueing_time_sec;
+  }
+  // Close to saturation the wait dwarfs the service time itself.
+  const auto near = solve_mm1(0.99 / s, s);
+  EXPECT_GT(near.queueing_time_sec, 10 * s);
+}
+
+// ---- DES vs MVA cross-validation ---------------------------------------------
+
+TEST(DesTest, SingleCustomerMatchesBareServiceTime) {
+  DesConfig config;
+  config.population = 1;
+  config.think_time_mean_sec = 0.1;
+  config.service_times_sec = {0.02, 0.03};
+  config.requests = 50000;
+  const auto r = simulate_closed_network(config);
+  // No queueing with one customer: R = E[S1] + E[S2] exactly in
+  // expectation.
+  EXPECT_NEAR(r.mean_response_time_sec, 0.05, 0.002);
+  // Little's law on the cycle: X = 1 / (Z + R).
+  EXPECT_NEAR(r.throughput_per_sec, 1.0 / 0.15, 0.3);
+}
+
+TEST(DesTest, AgreesWithMvaAcrossPopulations) {
+  // Exponential service matches MVA's product-form assumptions; the two
+  // independent implementations must agree within simulation noise.
+  const std::vector<double> service{0.010, 0.025};
+  const double think = 0.1;
+  const auto curve = solve_mva_curve(service, think, 60);
+  for (unsigned n : {1u, 5u, 15u, 30u, 60u}) {
+    DesConfig config;
+    config.population = n;
+    config.think_time_mean_sec = think;
+    config.service_times_sec = service;
+    config.requests = 150000;
+    config.seed = 42 + n;
+    const auto des = simulate_closed_network(config);
+    const auto& mva = curve[n - 1];
+    EXPECT_NEAR(des.mean_response_time_sec, mva.response_time_sec,
+                0.06 * mva.response_time_sec + 1e-4)
+        << "population " << n;
+    EXPECT_NEAR(des.throughput_per_sec, mva.throughput,
+                0.05 * mva.throughput)
+        << "population " << n;
+  }
+}
+
+TEST(DesTest, UtilizationMatchesThroughputTimesService) {
+  DesConfig config;
+  config.population = 20;
+  config.think_time_mean_sec = 0.05;
+  config.service_times_sec = {0.01, 0.002};
+  config.requests = 100000;
+  const auto r = simulate_closed_network(config);
+  ASSERT_EQ(r.router_utilization.size(), 2u);
+  // Utilization law: U_k = X * S_k.
+  EXPECT_NEAR(r.router_utilization[0], r.throughput_per_sec * 0.01, 0.03);
+  EXPECT_NEAR(r.router_utilization[1], r.throughput_per_sec * 0.002, 0.03);
+  EXPECT_LE(r.router_utilization[0], 1.001);
+}
+
+TEST(DesTest, DeterministicServiceBeatsExponential) {
+  // With the same means, deterministic service produces *less* queueing
+  // (M/D/1 waits are half of M/M/1) — so the paper's product-form model
+  // is conservative for near-constant packet service times.
+  DesConfig config;
+  config.population = 40;
+  config.think_time_mean_sec = 0.1;
+  config.service_times_sec = {0.02, 0.02};
+  config.requests = 150000;
+  const auto exponential = simulate_closed_network(config);
+  config.exponential_service = false;
+  config.seed = 7;
+  const auto deterministic = simulate_closed_network(config);
+  EXPECT_LT(deterministic.mean_response_time_sec,
+            exponential.mean_response_time_sec);
+}
+
+TEST(DesTest, DeterministicGivenSeed) {
+  DesConfig config;
+  config.population = 10;
+  config.think_time_mean_sec = 0.1;
+  config.service_times_sec = {0.01};
+  config.requests = 20000;
+  const auto a = simulate_closed_network(config);
+  const auto b = simulate_closed_network(config);
+  EXPECT_EQ(a.mean_response_time_sec, b.mean_response_time_sec);
+  EXPECT_EQ(a.throughput_per_sec, b.throughput_per_sec);
+}
+
+TEST(QueueingIntegrationTest, PrinsSustainsHigherWriteRatesThanTraditional) {
+  // Figure 10's core claim: with 8 KB blocks on T1, traditional saturates
+  // at a handful of writes/sec while PRINS (≈ a few hundred bytes per
+  // write) sustains far more.
+  const double s_traditional = router_service_time_sec(8192, kT1);
+  const double s_prins = router_service_time_sec(400, kT1);
+  const double max_rate_traditional = 1.0 / s_traditional;
+  const double max_rate_prins = 1.0 / s_prins;
+  EXPECT_LT(max_rate_traditional, 20.0);
+  EXPECT_GT(max_rate_prins, 100.0);
+  EXPECT_GT(max_rate_prins / max_rate_traditional, 10.0);
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,259 @@
+// Tests for the RAID substrate: parity maintenance, the PRINS observer
+// tap, degraded reads, rebuild, scrub, and small-write I/O amplification.
+#include <gtest/gtest.h>
+
+#include "block/faulty_disk.h"
+#include "block/mem_disk.h"
+#include "block/stats_disk.h"
+#include "common/rng.h"
+#include "parity/xor.h"
+#include "raid/raid_array.h"
+
+namespace prins {
+namespace {
+
+constexpr std::uint32_t kBs = 512;
+constexpr std::uint64_t kMemberBlocks = 32;
+
+std::vector<std::shared_ptr<BlockDevice>> make_members(unsigned n) {
+  std::vector<std::shared_ptr<BlockDevice>> members;
+  for (unsigned i = 0; i < n; ++i) {
+    members.push_back(std::make_shared<MemDisk>(kMemberBlocks, kBs));
+  }
+  return members;
+}
+
+Bytes random_blocks(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Bytes b(n);
+  rng.fill(b);
+  return b;
+}
+
+struct LevelCase {
+  RaidLevel level;
+  unsigned disks;
+};
+
+class RaidLevels : public ::testing::TestWithParam<LevelCase> {};
+
+TEST_P(RaidLevels, ReadBackAcrossWholeArray) {
+  auto array = RaidArray::create(GetParam().level,
+                                 make_members(GetParam().disks));
+  ASSERT_TRUE(array.is_ok()) << array.status().to_string();
+  auto& raid = **array;
+  Rng rng(1);
+  std::vector<Bytes> written(raid.num_blocks());
+  for (Lba lba = 0; lba < raid.num_blocks(); ++lba) {
+    written[lba] = random_blocks(1000 + lba, kBs);
+    ASSERT_TRUE(raid.write(lba, written[lba]).is_ok());
+  }
+  Bytes out(kBs);
+  for (Lba lba = 0; lba < raid.num_blocks(); ++lba) {
+    ASSERT_TRUE(raid.read(lba, out).is_ok());
+    EXPECT_EQ(out, written[lba]) << "lba " << lba;
+  }
+}
+
+TEST_P(RaidLevels, MultiBlockWritesSpanStripes) {
+  auto array =
+      RaidArray::create(GetParam().level, make_members(GetParam().disks));
+  ASSERT_TRUE(array.is_ok());
+  auto& raid = **array;
+  const std::size_t blocks = 7;
+  const Bytes data = random_blocks(2, blocks * kBs);
+  ASSERT_TRUE(raid.write(3, data).is_ok());
+  Bytes out(blocks * kBs);
+  ASSERT_TRUE(raid.read(3, out).is_ok());
+  EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, RaidLevels,
+                         ::testing::Values(LevelCase{RaidLevel::kRaid0, 2},
+                                           LevelCase{RaidLevel::kRaid0, 4},
+                                           LevelCase{RaidLevel::kRaid4, 3},
+                                           LevelCase{RaidLevel::kRaid4, 5},
+                                           LevelCase{RaidLevel::kRaid5, 3},
+                                           LevelCase{RaidLevel::kRaid5, 6}));
+
+TEST(RaidArrayTest, CreateValidatesMemberCountAndGeometry) {
+  EXPECT_FALSE(RaidArray::create(RaidLevel::kRaid5, make_members(2)).is_ok());
+  EXPECT_FALSE(RaidArray::create(RaidLevel::kRaid0, make_members(1)).is_ok());
+  auto mixed = make_members(2);
+  mixed.push_back(std::make_shared<MemDisk>(kMemberBlocks, kBs * 2));
+  EXPECT_FALSE(RaidArray::create(RaidLevel::kRaid5, std::move(mixed)).is_ok());
+  auto with_null = make_members(3);
+  with_null[1] = nullptr;
+  EXPECT_FALSE(
+      RaidArray::create(RaidLevel::kRaid5, std::move(with_null)).is_ok());
+}
+
+TEST(RaidArrayTest, CapacityExcludesParity) {
+  auto r5 = RaidArray::create(RaidLevel::kRaid5, make_members(5));
+  ASSERT_TRUE(r5.is_ok());
+  EXPECT_EQ((*r5)->num_blocks(), kMemberBlocks * 4);
+  auto r0 = RaidArray::create(RaidLevel::kRaid0, make_members(5));
+  ASSERT_TRUE(r0.is_ok());
+  EXPECT_EQ((*r0)->num_blocks(), kMemberBlocks * 5);
+}
+
+TEST(RaidArrayTest, ScrubCleanAfterRandomWrites) {
+  for (RaidLevel level : {RaidLevel::kRaid4, RaidLevel::kRaid5}) {
+    auto array = RaidArray::create(level, make_members(4));
+    ASSERT_TRUE(array.is_ok());
+    auto& raid = **array;
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      const Lba lba = rng.next_below(raid.num_blocks());
+      ASSERT_TRUE(raid.write(lba, random_blocks(i, kBs)).is_ok());
+    }
+    auto bad = raid.scrub();
+    ASSERT_TRUE(bad.is_ok());
+    EXPECT_EQ(*bad, 0u) << "level " << static_cast<int>(level);
+  }
+}
+
+TEST(RaidArrayTest, ScrubDetectsTamperedMember) {
+  auto members = make_members(4);
+  auto array = RaidArray::create(RaidLevel::kRaid5, members);
+  ASSERT_TRUE(array.is_ok());
+  auto& raid = **array;
+  ASSERT_TRUE(raid.write(0, random_blocks(4, kBs)).is_ok());
+  // Flip a byte behind the array's back.
+  Bytes block(kBs);
+  ASSERT_TRUE(members[0]->read(0, block).is_ok());
+  block[0] ^= 0xFF;
+  ASSERT_TRUE(members[0]->write(0, block).is_ok());
+  auto bad = raid.scrub();
+  ASSERT_TRUE(bad.is_ok());
+  EXPECT_EQ(*bad, 1u);
+}
+
+TEST(RaidArrayTest, ObserverReceivesExactParityDelta) {
+  auto array = RaidArray::create(RaidLevel::kRaid5, make_members(4));
+  ASSERT_TRUE(array.is_ok());
+  auto& raid = **array;
+
+  const Bytes before = random_blocks(5, kBs);
+  ASSERT_TRUE(raid.write(7, before).is_ok());
+
+  Lba observed_lba = ~0ull;
+  Bytes observed_delta;
+  raid.set_parity_observer([&](Lba lba, ByteSpan delta) {
+    observed_lba = lba;
+    observed_delta = to_bytes(delta);
+  });
+
+  const Bytes after = random_blocks(6, kBs);
+  ASSERT_TRUE(raid.write(7, after).is_ok());
+
+  EXPECT_EQ(observed_lba, 7u);
+  EXPECT_EQ(observed_delta, parity_delta(after, before));
+  // And the delta really recovers the new data from the old.
+  Bytes recovered(kBs);
+  xor_to(recovered, observed_delta, before);
+  EXPECT_EQ(recovered, after);
+
+  raid.set_parity_observer(nullptr);
+  ASSERT_TRUE(raid.write(7, before).is_ok());  // no crash with observer off
+}
+
+TEST(RaidArrayTest, Raid0HasNoObserverCallbacks) {
+  auto array = RaidArray::create(RaidLevel::kRaid0, make_members(2));
+  ASSERT_TRUE(array.is_ok());
+  int calls = 0;
+  (*array)->set_parity_observer([&](Lba, ByteSpan) { ++calls; });
+  ASSERT_TRUE((*array)->write(0, random_blocks(7, kBs)).is_ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RaidArrayTest, SmallWriteIoAmplificationIsTwoReadsTwoWrites) {
+  // The classic RAID-5 small-write penalty — and the reason P' is free.
+  auto members = make_members(4);
+  std::vector<std::shared_ptr<StatsDisk>> stats;
+  std::vector<std::shared_ptr<BlockDevice>> wrapped;
+  for (auto& m : members) {
+    auto s = std::make_shared<StatsDisk>(m);
+    stats.push_back(s);
+    wrapped.push_back(s);
+  }
+  auto array = RaidArray::create(RaidLevel::kRaid5, wrapped);
+  ASSERT_TRUE(array.is_ok());
+  ASSERT_TRUE((*array)->write(0, random_blocks(8, kBs)).is_ok());
+  StatsDisk::Counters total;
+  for (auto& s : stats) {
+    const auto c = s->counters();
+    total.reads += c.reads;
+    total.writes += c.writes;
+  }
+  EXPECT_EQ(total.reads, 2u);   // old data + old parity
+  EXPECT_EQ(total.writes, 2u);  // new data + new parity
+}
+
+TEST(RaidArrayTest, DegradedReadReconstructsLostBlock) {
+  auto members = make_members(4);
+  std::vector<std::shared_ptr<FaultyDisk>> faulty;
+  std::vector<std::shared_ptr<BlockDevice>> wrapped;
+  for (auto& m : members) {
+    auto f = std::make_shared<FaultyDisk>(m, FaultyDisk::Config{});
+    faulty.push_back(f);
+    wrapped.push_back(f);
+  }
+  auto array = RaidArray::create(RaidLevel::kRaid5, wrapped);
+  ASSERT_TRUE(array.is_ok());
+  auto& raid = **array;
+
+  std::vector<Bytes> written(raid.num_blocks());
+  for (Lba lba = 0; lba < raid.num_blocks(); ++lba) {
+    written[lba] = random_blocks(900 + lba, kBs);
+    ASSERT_TRUE(raid.write(lba, written[lba]).is_ok());
+  }
+
+  faulty[1]->set_dead(true);  // lose member 1
+
+  Bytes out(kBs);
+  for (Lba lba = 0; lba < raid.num_blocks(); ++lba) {
+    ASSERT_TRUE(raid.read(lba, out).is_ok()) << "lba " << lba;
+    EXPECT_EQ(out, written[lba]) << "lba " << lba;
+  }
+}
+
+TEST(RaidArrayTest, RebuildRestoresReplacedMember) {
+  auto members = make_members(4);
+  auto array = RaidArray::create(RaidLevel::kRaid5, members);
+  ASSERT_TRUE(array.is_ok());
+  auto& raid = **array;
+  for (Lba lba = 0; lba < raid.num_blocks(); ++lba) {
+    ASSERT_TRUE(raid.write(lba, random_blocks(800 + lba, kBs)).is_ok());
+  }
+  // Remember member 2's contents, wipe it, rebuild, compare.
+  Bytes expected(kMemberBlocks * kBs);
+  ASSERT_TRUE(members[2]->read(0, expected).is_ok());
+  Bytes zeros(kMemberBlocks * kBs, 0);
+  ASSERT_TRUE(members[2]->write(0, zeros).is_ok());
+  ASSERT_TRUE(raid.rebuild_member(2).is_ok());
+  Bytes rebuilt(kMemberBlocks * kBs);
+  ASSERT_TRUE(members[2]->read(0, rebuilt).is_ok());
+  EXPECT_EQ(rebuilt, expected);
+  auto bad = raid.scrub();
+  ASSERT_TRUE(bad.is_ok());
+  EXPECT_EQ(*bad, 0u);
+}
+
+TEST(RaidArrayTest, RebuildRejectsRaid0AndBadMember) {
+  auto r0 = RaidArray::create(RaidLevel::kRaid0, make_members(2));
+  ASSERT_TRUE(r0.is_ok());
+  EXPECT_EQ((*r0)->rebuild_member(0).code(), ErrorCode::kFailedPrecondition);
+  auto r5 = RaidArray::create(RaidLevel::kRaid5, make_members(3));
+  ASSERT_TRUE(r5.is_ok());
+  EXPECT_EQ((*r5)->rebuild_member(9).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(RaidArrayTest, DescribeNamesLevel) {
+  auto r4 = RaidArray::create(RaidLevel::kRaid4, make_members(3));
+  ASSERT_TRUE(r4.is_ok());
+  EXPECT_NE((*r4)->describe().find("raid4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,333 @@
+// Tests for the TRAP/CDP parity log: timely recovery to any point in time.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "block/mem_disk.h"
+#include "codec/codec.h"
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "parity/xor.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+#include "prins/trap_log.h"
+
+namespace prins {
+namespace {
+
+constexpr std::uint32_t kBs = 512;
+
+Bytes random_block(std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(kBs);
+  rng.fill(b);
+  return b;
+}
+
+TEST(TrapLogTest, RecoversEveryHistoricalVersion) {
+  // Write a chain of versions; the log must recover each exactly.
+  TrapLog log;
+  std::vector<Bytes> versions;
+  versions.push_back(Bytes(kBs, 0));  // state at t=0
+  for (std::uint64_t t = 1; t <= 20; ++t) {
+    Bytes next = random_block(t);
+    ASSERT_TRUE(log.append(5, t, parity_delta(next, versions.back())).is_ok());
+    versions.push_back(std::move(next));
+  }
+  const Bytes& current = versions.back();
+  for (std::uint64_t t = 0; t <= 20; ++t) {
+    auto recovered = log.recover_block(5, t, current);
+    ASSERT_TRUE(recovered.is_ok()) << "t=" << t;
+    EXPECT_EQ(*recovered, versions[t]) << "t=" << t;
+  }
+}
+
+TEST(TrapLogTest, UnloggedBlockIsItsCurrentSelf) {
+  TrapLog log;
+  const Bytes current = random_block(1);
+  auto recovered = log.recover_block(42, 0, current);
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_EQ(*recovered, current);
+}
+
+TEST(TrapLogTest, TimestampsMustBeMonotonicPerBlock) {
+  TrapLog log;
+  ASSERT_TRUE(log.append(0, 10, Bytes(kBs, 1)).is_ok());
+  EXPECT_FALSE(log.append(0, 5, Bytes(kBs, 2)).is_ok());
+  ASSERT_TRUE(log.append(0, 10, Bytes(kBs, 3)).is_ok());  // equal is fine
+  // Other blocks are independent.
+  ASSERT_TRUE(log.append(1, 5, Bytes(kBs, 4)).is_ok());
+}
+
+TEST(TrapLogTest, StoresSparseDeltasCompactly) {
+  TrapLog log;
+  Bytes delta(8192, 0);
+  delta[100] = 0xFF;  // one changed byte out of 8 KB
+  for (std::uint64_t t = 1; t <= 100; ++t) {
+    ASSERT_TRUE(log.append(0, t, delta).is_ok());
+  }
+  EXPECT_EQ(log.total_entries(), 100u);
+  EXPECT_EQ(log.raw_bytes_logged(), 100u * 8192u);
+  // Encoded: each entry is tens of bytes, not 8 KB.
+  EXPECT_LT(log.stored_bytes(), 100u * 64u);
+}
+
+TEST(TrapLogTest, TruncationBoundsHistory) {
+  TrapLog log;
+  std::vector<Bytes> versions{Bytes(kBs, 0)};
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    Bytes next = random_block(100 + t);
+    ASSERT_TRUE(log.append(0, t, parity_delta(next, versions.back())).is_ok());
+    versions.push_back(std::move(next));
+  }
+  log.truncate_before(5);  // drop deltas with ts < 5
+  EXPECT_EQ(log.total_entries(), 6u);  // ts 5..10 remain
+  // Recovery to t >= 4 still works (needs only deltas newer than t)...
+  for (std::uint64_t t = 4; t <= 10; ++t) {
+    auto recovered = log.recover_block(0, t, versions.back());
+    ASSERT_TRUE(recovered.is_ok()) << "t=" << t;
+    EXPECT_EQ(*recovered, versions[t]);
+  }
+  // ...but t=3 needs the dropped delta at ts=4.
+  EXPECT_EQ(log.recover_block(0, 3, versions.back()).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(TrapLogTest, TimestampsListedInOrder) {
+  TrapLog log;
+  for (std::uint64_t t : {3ull, 5ull, 9ull}) {
+    ASSERT_TRUE(log.append(7, t, Bytes(kBs, 1)).is_ok());
+  }
+  EXPECT_EQ(log.timestamps(7), (std::vector<std::uint64_t>{3, 5, 9}));
+  EXPECT_TRUE(log.timestamps(8).empty());
+}
+
+TEST(TrapLogTest, RecoverDeviceRollsBackAllBlocks) {
+  MemDisk disk(16, kBs);
+  TrapLog log;
+  Rng rng(3);
+  // Track full device state at each time step.
+  std::map<std::uint64_t, std::vector<Bytes>> snapshots;
+  std::vector<Bytes> state(16, Bytes(kBs, 0));
+  snapshots[0] = state;
+  for (std::uint64_t t = 1; t <= 30; ++t) {
+    const Lba lba = rng.next_below(16);
+    Bytes next = random_block(1000 + t);
+    ASSERT_TRUE(log.append(lba, t, parity_delta(next, state[lba])).is_ok());
+    state[lba] = next;
+    ASSERT_TRUE(disk.write(lba, next).is_ok());
+    snapshots[t] = state;
+  }
+  // Roll the device back to t=12 and compare to the tracked snapshot.
+  ASSERT_TRUE(log.recover_device(disk, 12).is_ok());
+  Bytes out(kBs);
+  for (Lba lba = 0; lba < 16; ++lba) {
+    ASSERT_TRUE(disk.read(lba, out).is_ok());
+    EXPECT_EQ(out, snapshots[12][lba]) << "lba " << lba;
+  }
+}
+
+TEST(TrapLogTest, CompactionPreservesEndpointsAndRefusesInterior) {
+  TrapLog log;
+  std::vector<Bytes> versions{Bytes(kBs, 0)};
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    Bytes next = random_block(300 + t);
+    ASSERT_TRUE(log.append(0, t, parity_delta(next, versions.back())).is_ok());
+    versions.push_back(std::move(next));
+  }
+  const std::uint64_t before_bytes = log.stored_bytes();
+  // Merge the middle of the history: timestamps 3..7 fold into one entry.
+  const std::uint64_t removed = log.compact_range(3, 7);
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(log.total_entries(), 6u);
+  EXPECT_LT(log.stored_bytes(), before_bytes);
+
+  const Bytes& current = versions.back();
+  // Recovery outside and at the edges of the span still exact:
+  for (std::uint64_t t : {0ull, 1ull, 2ull, 7ull, 8ull, 9ull, 10ull}) {
+    auto recovered = log.recover_block(0, t, current);
+    ASSERT_TRUE(recovered.is_ok()) << "t=" << t;
+    EXPECT_EQ(*recovered, versions[t]) << "t=" << t;
+  }
+  // Interior instants are gone.
+  for (std::uint64_t t : {3ull, 4ull, 5ull, 6ull}) {
+    EXPECT_EQ(log.recover_block(0, t, current).status().code(),
+              ErrorCode::kFailedPrecondition)
+        << "t=" << t;
+  }
+}
+
+TEST(TrapLogTest, CompactionOfSparseDeltasShrinksStorage) {
+  TrapLog log;
+  // 50 writes each touching the same 64 bytes: folding collapses them to
+  // roughly one delta's worth of storage.
+  Bytes delta(8192, 0);
+  for (std::uint64_t t = 1; t <= 50; ++t) {
+    Rng rng(t);
+    rng.fill(MutByteSpan(delta).subspan(1000, 64));
+    ASSERT_TRUE(log.append(0, t, delta).is_ok());
+  }
+  const std::uint64_t before = log.stored_bytes();
+  EXPECT_EQ(log.compact_range(1, 50), 49u);
+  EXPECT_LT(log.stored_bytes(), before / 20);
+  EXPECT_EQ(log.total_entries(), 1u);
+}
+
+TEST(TrapLogTest, CompactRangeNoOpOnSingleEntries) {
+  TrapLog log;
+  ASSERT_TRUE(log.append(0, 5, Bytes(kBs, 1)).is_ok());
+  EXPECT_EQ(log.compact_range(0, 100), 0u);
+  EXPECT_EQ(log.compact_range(10, 5), 0u);  // inverted range
+  EXPECT_EQ(log.total_entries(), 1u);
+}
+
+TEST(TrapLogTest, SnapshotSaveLoadPreservesRecovery) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("prins_trap_" + std::to_string(::getpid()) + ".snap"))
+          .string();
+  TrapLog log;
+  std::vector<Bytes> versions{Bytes(kBs, 0)};
+  for (std::uint64_t t = 1; t <= 12; ++t) {
+    Bytes next = random_block(600 + t);
+    ASSERT_TRUE(log.append(9, t, parity_delta(next, versions.back())).is_ok());
+    versions.push_back(std::move(next));
+  }
+  log.truncate_before(3);  // exercise min_recoverable round-tripping
+  ASSERT_TRUE(log.save(path).is_ok());
+
+  TrapLog restored;
+  ASSERT_TRUE(restored.load_from(path).is_ok());
+  EXPECT_EQ(restored.total_entries(), log.total_entries());
+  EXPECT_EQ(restored.stored_bytes(), log.stored_bytes());
+  const Bytes& current = versions.back();
+  for (std::uint64_t t = 2; t <= 12; ++t) {
+    auto recovered = restored.recover_block(9, t, current);
+    ASSERT_TRUE(recovered.is_ok()) << "t=" << t;
+    EXPECT_EQ(*recovered, versions[t]) << "t=" << t;
+  }
+  // Truncation semantics survived too.
+  EXPECT_EQ(restored.recover_block(9, 1, current).status().code(),
+            ErrorCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(TrapLogTest, SnapshotLoadRejectsCorruption) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("prins_trap_bad_" + std::to_string(::getpid()) + ".snap"))
+          .string();
+  TrapLog log;
+  ASSERT_TRUE(log.append(0, 1, Bytes(kBs, 1)).is_ok());
+  ASSERT_TRUE(log.save(path).is_ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 10, SEEK_SET);
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  TrapLog restored;
+  EXPECT_EQ(restored.load_from(path).code(), ErrorCode::kCorruption);
+  TrapLog missing;
+  EXPECT_EQ(missing.load_from("/nonexistent/trap.snap").code(),
+            ErrorCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(TrapLogTest, RejectsDeltaSizeMismatch) {
+  TrapLog log;
+  ASSERT_TRUE(log.append(0, 1, Bytes(100, 1)).is_ok());
+  auto recovered = log.recover_block(0, 0, Bytes(kBs, 0));
+  EXPECT_EQ(recovered.status().code(), ErrorCode::kCorruption);
+}
+
+// ---- CDP through the replica --------------------------------------------------
+
+TEST(TrapReplicaTest, ReplicaLogsPrinsWritesForPointInTimeRecovery) {
+  // The headline CDP property: a replica with keep_trap_log can rewind its
+  // copy to the state after any primary write, using only the parity
+  // deltas PRINS already shipped.
+  auto primary_disk = std::make_shared<MemDisk>(32, kBs);
+  auto replica_disk = std::make_shared<MemDisk>(32, kBs);
+  ReplicaConfig replica_config;
+  replica_config.keep_trap_log = true;
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, replica_config);
+
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  auto engine = std::make_unique<PrinsEngine>(primary_disk, config);
+  auto [primary_end, replica_end] = make_inproc_pair();
+  engine->add_replica(std::move(primary_end));
+  std::thread server(
+      [r = replica, t = std::shared_ptr<Transport>(std::move(replica_end))] {
+        ASSERT_TRUE(r->serve(*t).is_ok());
+      });
+
+  // Timestamped history of block 3 (engine's logical clock is 1,2,3,...).
+  std::vector<Bytes> history{Bytes(kBs, 0)};
+  Rng rng(4);
+  for (int i = 1; i <= 25; ++i) {
+    Bytes next = random_block(2000 + i);
+    ASSERT_TRUE(engine->write(3, next).is_ok());
+    history.push_back(std::move(next));
+  }
+  ASSERT_TRUE(engine->drain().is_ok());
+
+  Bytes current(kBs);
+  ASSERT_TRUE(replica_disk->read(3, current).is_ok());
+  EXPECT_EQ(current, history.back());
+
+  for (std::uint64_t t = 0; t <= 25; ++t) {
+    auto recovered = replica->trap_log().recover_block(3, t, current);
+    ASSERT_TRUE(recovered.is_ok()) << "t=" << t;
+    EXPECT_EQ(*recovered, history[t]) << "t=" << t;
+  }
+
+  // The log cost is bounded by what was actually shipped, not by
+  // full-block before-images.
+  EXPECT_EQ(replica->trap_log().total_entries(), 25u);
+
+  engine.reset();
+  server.join();
+}
+
+TEST(TrapReplicaTest, TraditionalPolicyAlsoFeedsTheLog) {
+  // keep_trap_log computes deltas locally for non-parity policies.
+  auto replica_disk = std::make_shared<MemDisk>(8, kBs);
+  ReplicaConfig config;
+  config.keep_trap_log = true;
+  ReplicaEngine replica(replica_disk, config);
+
+  const Bytes v1 = random_block(1);
+  ReplicationMessage msg;
+  msg.kind = MessageKind::kWrite;
+  msg.policy = ReplicationPolicy::kTraditional;
+  msg.block_size = kBs;
+  msg.lba = 2;
+  msg.sequence = 1;
+  msg.timestamp_us = 1;
+  msg.payload = encode_frame(codec_for(CodecId::kNull), v1);
+  ASSERT_TRUE(replica.apply(msg).is_ok());
+
+  const Bytes v2 = random_block(2);
+  msg.payload = encode_frame(codec_for(CodecId::kNull), v2);
+  msg.sequence = 2;
+  msg.timestamp_us = 2;
+  ASSERT_TRUE(replica.apply(msg).is_ok());
+
+  auto at_t1 = replica.trap_log().recover_block(2, 1, v2);
+  ASSERT_TRUE(at_t1.is_ok());
+  EXPECT_EQ(*at_t1, v1);
+  auto at_t0 = replica.trap_log().recover_block(2, 0, v2);
+  ASSERT_TRUE(at_t0.is_ok());
+  EXPECT_EQ(*at_t0, Bytes(kBs, 0));
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,452 @@
+// Tests for the workload substrate: byte volume RMW, slotted pages, the
+// TPC-C/TPC-W/fs-micro generators, and trace record/replay.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "parity/xor.h"
+#include "workload/byte_volume.h"
+#include "workload/db_page.h"
+#include "workload/fsmicro.h"
+#include "workload/text.h"
+#include "workload/tpcc.h"
+#include "workload/tpcw.h"
+#include "workload/trace.h"
+
+namespace prins {
+namespace {
+
+// ---- ByteVolume ------------------------------------------------------------
+
+TEST(ByteVolumeTest, UnalignedWriteReadRoundTrip) {
+  MemDisk disk(64, 512);
+  ByteVolume volume(disk);
+  Rng rng(1);
+  Bytes data(1000);
+  rng.fill(data);
+  ASSERT_TRUE(volume.write(300, data).is_ok());  // crosses block boundaries
+  Bytes out(1000);
+  ASSERT_TRUE(volume.read(300, out).is_ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(ByteVolumeTest, RmwPreservesNeighbours) {
+  MemDisk disk(4, 512);
+  ByteVolume volume(disk);
+  Bytes base(4 * 512);
+  Rng rng(2);
+  rng.fill(base);
+  ASSERT_TRUE(volume.write(0, base).is_ok());
+  // Splice 10 bytes into the middle of block 1.
+  Bytes splice(10, 0xEE);
+  ASSERT_TRUE(volume.write(512 + 100, splice).is_ok());
+  Bytes out(4 * 512);
+  ASSERT_TRUE(volume.read(0, out).is_ok());
+  Bytes expected = base;
+  std::fill(expected.begin() + 612, expected.begin() + 622, Byte{0xEE});
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ByteVolumeTest, BoundsChecked) {
+  MemDisk disk(2, 512);
+  ByteVolume volume(disk);
+  Bytes data(100);
+  EXPECT_FALSE(volume.write(1024 - 50, data).is_ok());
+  EXPECT_FALSE(volume.read(2000, data).is_ok());
+  EXPECT_TRUE(volume.write(1024 - 100, data).is_ok());  // exactly at the end
+  EXPECT_TRUE(volume.write(0, {}).is_ok());             // empty is a no-op
+}
+
+// ---- DbPage ----------------------------------------------------------------
+
+TEST(DbPageTest, FormatAndInsertReadBack) {
+  Bytes page(8192);
+  DbPage::format(page, 17);
+  DbPage view{page};
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.page_id(), 17u);
+  EXPECT_EQ(view.slot_count(), 0u);
+
+  Rng rng(3);
+  const Bytes row = make_row(rng, oracle_profile(), 100);
+  auto slot = view.insert_row(row);
+  ASSERT_TRUE(slot.is_ok());
+  EXPECT_EQ(*slot, 0u);
+  auto back = view.read_row(0);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(to_bytes(*back), row);
+}
+
+TEST(DbPageTest, LsnBumpsOnEveryMutation) {
+  Bytes page(8192);
+  DbPage::format(page, 0);
+  DbPage view{page};
+  const std::uint64_t lsn0 = view.lsn();
+  Rng rng(4);
+  ASSERT_TRUE(view.insert_row(make_row(rng, oracle_profile(), 50)).is_ok());
+  EXPECT_GT(view.lsn(), lsn0);
+  const std::uint64_t lsn1 = view.lsn();
+  Byte field[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(view.update_row_field(0, 10, field).is_ok());
+  EXPECT_GT(view.lsn(), lsn1);
+  const std::uint64_t lsn2 = view.lsn();
+  ASSERT_TRUE(view.delete_row(0).is_ok());
+  EXPECT_GT(view.lsn(), lsn2);
+}
+
+TEST(DbPageTest, FillsUntilFull) {
+  Bytes page(1024);
+  DbPage::format(page, 0);
+  DbPage view{page};
+  Rng rng(5);
+  int inserted = 0;
+  for (;;) {
+    auto slot = view.insert_row(make_row(rng, oracle_profile(), 100));
+    if (!slot.is_ok()) {
+      EXPECT_EQ(slot.status().code(), ErrorCode::kResourceExhausted);
+      break;
+    }
+    ++inserted;
+  }
+  // 1024-byte page, 104 bytes per row incl. overhead: 9 rows fit.
+  EXPECT_EQ(inserted, 9);
+  // Rows all intact after the page filled.
+  for (int s = 0; s < inserted; ++s) {
+    auto row = view.read_row(static_cast<std::uint16_t>(s));
+    ASSERT_TRUE(row.is_ok());
+    EXPECT_EQ(row->size(), 100u);
+  }
+}
+
+TEST(DbPageTest, UpdateTouchesOnlyFieldAndHeader) {
+  Bytes page(8192);
+  DbPage::format(page, 0);
+  DbPage view{page};
+  Rng rng(6);
+  ASSERT_TRUE(view.insert_row(make_row(rng, oracle_profile(), 200)).is_ok());
+  const Bytes before = page;
+  Byte field[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  ASSERT_TRUE(view.update_row_field(0, 50, field).is_ok());
+  const Bytes delta = parity_delta(page, before);
+  // Dirty bytes: <= 8 field bytes + 8 LSN bytes.
+  EXPECT_LE(count_nonzero(delta), 16u);
+  EXPECT_GT(count_nonzero(delta), 0u);
+}
+
+TEST(DbPageTest, DeleteTombstonesRow) {
+  Bytes page(8192);
+  DbPage::format(page, 0);
+  DbPage view{page};
+  Rng rng(7);
+  ASSERT_TRUE(view.insert_row(make_row(rng, oracle_profile(), 64)).is_ok());
+  ASSERT_TRUE(view.insert_row(make_row(rng, oracle_profile(), 64)).is_ok());
+  ASSERT_TRUE(view.delete_row(0).is_ok());
+  EXPECT_TRUE(view.row_dead(0));
+  EXPECT_FALSE(view.row_dead(1));
+  auto dead = view.read_row(0);
+  ASSERT_TRUE(dead.is_ok());
+  EXPECT_TRUE(dead->empty());
+  EXPECT_FALSE(view.update_row_field(0, 0, Bytes{1}).is_ok());
+  // Slot count unchanged; the slot is a tombstone.
+  EXPECT_EQ(view.slot_count(), 2u);
+}
+
+TEST(DbPageTest, ErrorsOnBadSlotAndRange) {
+  Bytes page(8192);
+  DbPage::format(page, 0);
+  DbPage view{page};
+  EXPECT_FALSE(view.read_row(0).is_ok());
+  Rng rng(8);
+  ASSERT_TRUE(view.insert_row(make_row(rng, oracle_profile(), 32)).is_ok());
+  Byte field[8];
+  EXPECT_FALSE(view.update_row_field(0, 30, field).is_ok());  // beyond row
+  EXPECT_FALSE(view.update_row_field(5, 0, field).is_ok());   // no such slot
+  Bytes not_a_page(8192, 0xAB);
+  DbPage bad{not_a_page};
+  EXPECT_FALSE(bad.valid());
+  EXPECT_FALSE(bad.insert_row(Bytes(10)).is_ok());
+}
+
+TEST(DbProfileTest, ProfilesDiffer) {
+  EXPECT_EQ(oracle_profile().page_size, 8192u);
+  EXPECT_EQ(mysql_profile().page_size, 16384u);
+  EXPECT_FALSE(oracle_profile().mvcc_insert_on_update);
+  EXPECT_TRUE(postgres_profile().mvcc_insert_on_update);
+}
+
+// ---- text ------------------------------------------------------------------
+
+TEST(TextTest, WordsAreAsciiAndCompressible) {
+  Rng rng(9);
+  Bytes text(4096);
+  fill_words(rng, text);
+  for (Byte b : text) {
+    EXPECT_TRUE((b >= 'a' && b <= 'z') || b == ' ') << static_cast<int>(b);
+  }
+}
+
+TEST(TextTest, TpccLastNamesFollowSyllables) {
+  EXPECT_EQ(tpcc_last_name(0), "BARBARBAR");
+  EXPECT_EQ(tpcc_last_name(371), "PRICALLYOUGHT");
+  EXPECT_EQ(tpcc_last_name(999), "EINGEINGEING");
+  EXPECT_EQ(tpcc_last_name(1999), "EINGEINGEING");  // modulo 1000
+}
+
+// ---- generic workload properties --------------------------------------------------
+
+class WorkloadKinds : public ::testing::TestWithParam<int> {
+ protected:
+  static std::unique_ptr<Workload> make(int kind, std::uint64_t seed) {
+    switch (kind) {
+      case 0: {
+        TpccConfig config;
+        config.warehouses = 2;
+        config.customers_per_district = 60;
+        config.items = 200;
+        config.order_capacity = 3000;
+        config.flush_interval = 4;
+        config.seed = seed;
+        return std::make_unique<Tpcc>(config);
+      }
+      case 1: {
+        TpcwConfig config;
+        config.items = 500;
+        config.customers = 100;
+        config.order_capacity = 2000;
+        config.flush_interval = 4;
+        config.seed = seed;
+        return std::make_unique<Tpcw>(config);
+      }
+      default: {
+        FsMicroConfig config;
+        config.directories = 6;
+        config.files_per_directory = 4;
+        config.tar_directories = 3;
+        config.max_file_bytes = 8 * 1024;
+        config.seed = seed;
+        return std::make_unique<FsMicro>(config);
+      }
+    }
+  }
+};
+
+TEST_P(WorkloadKinds, SetupAndTransactionsSucceed) {
+  auto workload = make(GetParam(), 42);
+  MemDisk disk(workload->required_bytes() / 4096 + 2, 4096);
+  ByteVolume volume(disk);
+  ASSERT_TRUE(workload->setup(volume).is_ok());
+  std::uint64_t total_writes = 0;
+  const int transactions = GetParam() == 2 ? 5 : 200;
+  for (int t = 0; t < transactions; ++t) {
+    auto writes = workload->run_transaction(volume);
+    ASSERT_TRUE(writes.is_ok()) << "txn " << t << ": "
+                                << writes.status().to_string();
+    total_writes += *writes;
+  }
+  EXPECT_GT(total_writes, 0u);
+}
+
+TEST_P(WorkloadKinds, DeterministicGivenSeed) {
+  // Identical seeds against identical volumes must produce identical
+  // block-write streams — the property the experiment harness relies on.
+  std::shared_ptr<WriteTrace> traces[2];
+  for (int run = 0; run < 2; ++run) {
+    auto workload = make(GetParam(), 77);
+    auto disk =
+        std::make_shared<MemDisk>(workload->required_bytes() / 4096 + 2, 4096);
+    {
+      ByteVolume volume(*disk);
+      ASSERT_TRUE(workload->setup(volume).is_ok());
+    }
+    traces[run] = std::make_shared<WriteTrace>();
+    RecordingDisk recorder(disk, traces[run]);
+    ByteVolume volume(recorder);
+    const int transactions = GetParam() == 2 ? 3 : 100;
+    for (int t = 0; t < transactions; ++t) {
+      ASSERT_TRUE(workload->run_transaction(volume).is_ok());
+    }
+  }
+  ASSERT_EQ(traces[0]->size(), traces[1]->size());
+  for (std::size_t i = 0; i < traces[0]->size(); ++i) {
+    ASSERT_EQ(traces[0]->entries()[i].lba, traces[1]->entries()[i].lba);
+    ASSERT_EQ(traces[0]->entries()[i].data, traces[1]->entries()[i].data);
+  }
+}
+
+TEST_P(WorkloadKinds, PartialBlockChangeProperty) {
+  // The paper's foundation: writes change only a fraction of each block.
+  // Measure the mean dirty fraction of overwritten blocks; it must be
+  // well below 1 (and nonzero).
+  auto workload = make(GetParam(), 99);
+  auto disk =
+      std::make_shared<MemDisk>(workload->required_bytes() / 8192 + 2, 8192);
+  {
+    ByteVolume volume(*disk);
+    ASSERT_TRUE(workload->setup(volume).is_ok());
+  }
+  // Shadow copy to diff against.
+  MemDisk shadow(disk->num_blocks(), 8192);
+  Bytes buf(8192);
+  for (Lba lba = 0; lba < disk->num_blocks(); ++lba) {
+    ASSERT_TRUE(disk->read(lba, buf).is_ok());
+    ASSERT_TRUE(shadow.write(lba, buf).is_ok());
+  }
+
+  auto trace = std::make_shared<WriteTrace>();
+  RecordingDisk recorder(disk, trace);
+  ByteVolume volume(recorder);
+  const int transactions = GetParam() == 2 ? 3 : 150;
+  for (int t = 0; t < transactions; ++t) {
+    ASSERT_TRUE(workload->run_transaction(volume).is_ok());
+  }
+
+  double dirty_sum = 0;
+  std::uint64_t samples = 0;
+  Bytes old_block;
+  for (const auto& entry : trace->entries()) {
+    old_block.resize(entry.data.size());  // entries may span blocks
+    ASSERT_TRUE(shadow.read(entry.lba, old_block).is_ok());
+    const Bytes delta = parity_delta(entry.data, old_block);
+    dirty_sum += dirty_fraction(delta);
+    ++samples;
+    ASSERT_TRUE(shadow.write(entry.lba, entry.data).is_ok());
+  }
+  ASSERT_GT(samples, 0u);
+  const double mean_dirty = dirty_sum / static_cast<double>(samples);
+  EXPECT_GT(mean_dirty, 0.001);
+  EXPECT_LT(mean_dirty, 0.65) << "writes should not rewrite whole blocks";
+}
+
+std::string workload_kind_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "tpcc";
+    case 1: return "tpcw";
+    default: return "fsmicro";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WorkloadKinds, ::testing::Values(0, 1, 2),
+                         workload_kind_name);
+
+// ---- fs-micro specifics ----------------------------------------------------------
+
+TEST(FsMicroTest, ConsecutiveTarRoundsAreMostlySimilar) {
+  // The key content property behind Figure 7's huge ratios: the archive
+  // region barely changes between rounds.
+  FsMicroConfig config;
+  config.directories = 6;
+  config.files_per_directory = 4;
+  config.tar_directories = 3;
+  config.max_file_bytes = 8 * 1024;
+  config.edit_fraction = 0.25;
+  FsMicro workload(config);
+  auto disk = std::make_shared<MemDisk>(
+      workload.required_bytes() / 4096 + 2, 4096);
+  ByteVolume volume(*disk);
+  ASSERT_TRUE(workload.setup(volume).is_ok());
+  ASSERT_TRUE(workload.run_transaction(volume).is_ok());  // round 1
+
+  // Snapshot, run round 2, diff.
+  Bytes before(disk->capacity_bytes());
+  ASSERT_TRUE(disk->read(0, before).is_ok());
+  ASSERT_TRUE(workload.run_transaction(volume).is_ok());  // round 2
+  Bytes after(disk->capacity_bytes());
+  ASSERT_TRUE(disk->read(0, after).is_ok());
+
+  const Bytes delta = parity_delta(after, before);
+  const double changed = dirty_fraction(delta);
+  EXPECT_GT(changed, 0.0);
+  EXPECT_LT(changed, 0.30);  // most of the volume identical across rounds
+}
+
+// ---- trace -----------------------------------------------------------------------
+
+TEST(TraceTest, RecordAndReplayReproduceDevice) {
+  auto source = std::make_shared<MemDisk>(32, 512);
+  auto trace = std::make_shared<WriteTrace>();
+  RecordingDisk recorder(source, trace);
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    Bytes block(512);
+    rng.fill(block);
+    ASSERT_TRUE(recorder.write(rng.next_below(32), block).is_ok());
+  }
+  EXPECT_EQ(trace->size(), 100u);
+  EXPECT_EQ(trace->total_bytes(), 100u * 512u);
+
+  MemDisk replayed(32, 512);
+  ASSERT_TRUE(trace->replay(replayed).is_ok());
+  Bytes a(512), b(512);
+  for (Lba lba = 0; lba < 32; ++lba) {
+    ASSERT_TRUE(source->read(lba, a).is_ok());
+    ASSERT_TRUE(replayed.read(lba, b).is_ok());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(TraceTest, SaveAndLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("prins_trace_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+  WriteTrace original;
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    Bytes data(512);
+    rng.fill(data);
+    original.add(rng.next_below(100), data);
+  }
+  ASSERT_TRUE(original.save(path).is_ok());
+
+  WriteTrace loaded;
+  ASSERT_TRUE(loaded.load_from(path).is_ok());
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.total_bytes(), original.total_bytes());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i].lba, original.entries()[i].lba);
+    EXPECT_EQ(loaded.entries()[i].data, original.entries()[i].data);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadDetectsCorruptionAndMissingFiles) {
+  WriteTrace trace;
+  EXPECT_EQ(trace.load_from("/nonexistent/prins.trace").code(),
+            ErrorCode::kNotFound);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("prins_trace_bad_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+  WriteTrace original;
+  original.add(1, Bytes(512, 7));
+  ASSERT_TRUE(original.save(path).is_ok());
+  // Flip a byte in the middle of the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 20, SEEK_SET);
+    std::fputc(0xEE, f);
+    std::fclose(f);
+  }
+  WriteTrace loaded;
+  EXPECT_EQ(loaded.load_from(path).code(), ErrorCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, FailedWritesNotRecorded) {
+  auto source = std::make_shared<MemDisk>(4, 512);
+  auto trace = std::make_shared<WriteTrace>();
+  RecordingDisk recorder(source, trace);
+  Bytes block(512);
+  EXPECT_FALSE(recorder.write(100, block).is_ok());
+  EXPECT_EQ(trace->size(), 0u);
+}
+
+}  // namespace
+}  // namespace prins

@@ -1,0 +1,194 @@
+// prinsctl — run PRINS nodes from the command line.
+//
+// A minimal operational wrapper over the library, enough to stand up the
+// paper's testbed on real machines:
+//
+//   # on the replica host
+//   prinsctl replica --file replica.img --blocks 65536 --bs 8192 --port 3261
+//
+//   # on the storage host (serves iSCSI to applications, replicates out)
+//   prinsctl target --file primary.img --blocks 65536 --bs 8192
+//                   --port 3260 --replica 10.0.0.2:3261 [--policy prins]
+//
+//   # anywhere: list targets a portal exposes
+//   prinsctl discover --host 10.0.0.1 --port 3260
+//
+// Both server modes run until the process is interrupted.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "block/file_disk.h"
+#include "common/logging.h"
+#include "iscsi/initiator.h"
+#include "iscsi/target.h"
+#include "net/tcp.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+
+namespace {
+
+using namespace prins;
+
+struct Options {
+  std::map<std::string, std::string> values;
+
+  const char* get(const std::string& key, const char* fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second.c_str();
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) == 0) {
+      options.values[key + 2] = argv[i + 1];
+    }
+  }
+  return options;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  prinsctl replica  --file PATH --blocks N --bs BYTES "
+               "--port P [--trap 1]\n"
+               "  prinsctl target   --file PATH --blocks N --bs BYTES "
+               "--port P [--replica HOST:PORT] [--policy "
+               "traditional|compressed|prins]\n"
+               "  prinsctl discover --host H --port P\n");
+  return 2;
+}
+
+ReplicationPolicy parse_policy(const std::string& name) {
+  if (name == "traditional") return ReplicationPolicy::kTraditional;
+  if (name == "compressed") return ReplicationPolicy::kTraditionalCompressed;
+  return ReplicationPolicy::kPrins;
+}
+
+int run_replica(const Options& options) {
+  auto disk = FileDisk::open(options.get("file", "replica.img"),
+                             options.get_u64("blocks", 4096),
+                             static_cast<std::uint32_t>(
+                                 options.get_u64("bs", 8192)));
+  if (!disk.is_ok()) {
+    std::fprintf(stderr, "open backing file: %s\n",
+                 disk.status().to_string().c_str());
+    return 1;
+  }
+  ReplicaConfig config;
+  config.keep_trap_log = options.get_u64("trap", 0) != 0;
+  auto replica = std::make_shared<ReplicaEngine>(
+      std::shared_ptr<BlockDevice>(std::move(*disk)), config);
+  auto listener = TcpListener::listen(
+      static_cast<std::uint16_t>(options.get_u64("port", 3261)));
+  if (!listener.is_ok()) {
+    std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("replica node on port %u (device %s, TRAP log %s)\n",
+              (*listener)->port(), options.get("file", "replica.img"),
+              config.keep_trap_log ? "on" : "off");
+  std::thread server = replica_serve_in_background(
+      replica, std::shared_ptr<TcpListener>(std::move(*listener)));
+  server.join();  // serves until the process is killed
+  return 0;
+}
+
+int run_target(const Options& options) {
+  auto disk = FileDisk::open(options.get("file", "primary.img"),
+                             options.get_u64("blocks", 4096),
+                             static_cast<std::uint32_t>(
+                                 options.get_u64("bs", 8192)));
+  if (!disk.is_ok()) {
+    std::fprintf(stderr, "open backing file: %s\n",
+                 disk.status().to_string().c_str());
+    return 1;
+  }
+
+  EngineConfig engine_config;
+  engine_config.policy = parse_policy(options.get("policy", "prins"));
+  auto engine = std::make_shared<PrinsEngine>(
+      std::shared_ptr<BlockDevice>(std::move(*disk)), engine_config);
+
+  const std::string replica_spec = options.get("replica", "");
+  if (!replica_spec.empty()) {
+    const auto colon = replica_spec.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--replica expects HOST:PORT\n");
+      return 2;
+    }
+    const std::string host = replica_spec.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(replica_spec.c_str() + colon + 1, nullptr, 10));
+    auto link = TcpTransport::connect(host, port);
+    if (!link.is_ok()) {
+      std::fprintf(stderr, "connect to replica %s: %s\n",
+                   replica_spec.c_str(), link.status().to_string().c_str());
+      return 1;
+    }
+    engine->add_replica(std::move(*link));
+    std::printf("replicating to %s with policy %s\n", replica_spec.c_str(),
+                std::string(policy_name(engine_config.policy)).c_str());
+  }
+
+  auto target = std::make_shared<iscsi::IscsiTarget>(engine);
+  auto listener = TcpListener::listen(
+      static_cast<std::uint16_t>(options.get_u64("port", 3260)));
+  if (!listener.is_ok()) {
+    std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("iSCSI target on port %u (device %s)\n", (*listener)->port(),
+              options.get("file", "primary.img"));
+  std::thread server = iscsi::serve_in_background(
+      target, std::shared_ptr<TcpListener>(std::move(*listener)));
+  server.join();
+  return 0;
+}
+
+int run_discover(const Options& options) {
+  auto transport = TcpTransport::connect(
+      options.get("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(options.get_u64("port", 3260)));
+  if (!transport.is_ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 transport.status().to_string().c_str());
+    return 1;
+  }
+  auto targets = iscsi::discover_targets(std::move(*transport));
+  if (!targets.is_ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 targets.status().to_string().c_str());
+    return 1;
+  }
+  for (const std::string& name : *targets) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  set_log_level(LogLevel::kInfo);
+  const std::string command = argv[1];
+  const Options options = parse_options(argc, argv, 2);
+  if (command == "replica") return run_replica(options);
+  if (command == "target") return run_target(options);
+  if (command == "discover") return run_discover(options);
+  return usage();
+}
