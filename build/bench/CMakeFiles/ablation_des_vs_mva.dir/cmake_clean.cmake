@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_des_vs_mva.dir/ablation_des_vs_mva.cc.o"
+  "CMakeFiles/ablation_des_vs_mva.dir/ablation_des_vs_mva.cc.o.d"
+  "ablation_des_vs_mva"
+  "ablation_des_vs_mva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_des_vs_mva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scale.dir/cluster_scale.cc.o"
+  "CMakeFiles/cluster_scale.dir/cluster_scale.cc.o.d"
+  "cluster_scale"
+  "cluster_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_router_mm1.cc" "bench/CMakeFiles/fig10_router_mm1.dir/fig10_router_mm1.cc.o" "gcc" "bench/CMakeFiles/fig10_router_mm1.dir/fig10_router_mm1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prins_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prins/CMakeFiles/prins_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/prins_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/prins_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/prins_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/prins_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/prins_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prins_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/prins_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/parity/CMakeFiles/prins_parity.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

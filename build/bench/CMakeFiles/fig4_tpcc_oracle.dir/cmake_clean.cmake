@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tpcc_oracle.dir/fig4_tpcc_oracle.cc.o"
+  "CMakeFiles/fig4_tpcc_oracle.dir/fig4_tpcc_oracle.cc.o.d"
+  "fig4_tpcc_oracle"
+  "fig4_tpcc_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tpcc_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tpcc_postgres.dir/fig5_tpcc_postgres.cc.o"
+  "CMakeFiles/fig5_tpcc_postgres.dir/fig5_tpcc_postgres.cc.o.d"
+  "fig5_tpcc_postgres"
+  "fig5_tpcc_postgres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tpcc_postgres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tpcw_mysql.dir/fig6_tpcw_mysql.cc.o"
+  "CMakeFiles/fig6_tpcw_mysql.dir/fig6_tpcw_mysql.cc.o.d"
+  "fig6_tpcw_mysql"
+  "fig6_tpcw_mysql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tpcw_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

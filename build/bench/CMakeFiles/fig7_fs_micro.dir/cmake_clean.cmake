@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fs_micro.dir/fig7_fs_micro.cc.o"
+  "CMakeFiles/fig7_fs_micro.dir/fig7_fs_micro.cc.o.d"
+  "fig7_fs_micro"
+  "fig7_fs_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fs_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

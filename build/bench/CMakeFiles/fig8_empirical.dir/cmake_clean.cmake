@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_empirical.dir/fig8_empirical.cc.o"
+  "CMakeFiles/fig8_empirical.dir/fig8_empirical.cc.o.d"
+  "fig8_empirical"
+  "fig8_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

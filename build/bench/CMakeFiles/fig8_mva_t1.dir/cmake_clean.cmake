@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mva_t1.dir/fig8_mva_t1.cc.o"
+  "CMakeFiles/fig8_mva_t1.dir/fig8_mva_t1.cc.o.d"
+  "fig8_mva_t1"
+  "fig8_mva_t1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mva_t1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_mva_t1.
+# This may be replaced when dependencies are built.

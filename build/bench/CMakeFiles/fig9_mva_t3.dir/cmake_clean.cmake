@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mva_t3.dir/fig9_mva_t3.cc.o"
+  "CMakeFiles/fig9_mva_t3.dir/fig9_mva_t3.cc.o.d"
+  "fig9_mva_t3"
+  "fig9_mva_t3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mva_t3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parity.dir/micro_parity.cc.o"
+  "CMakeFiles/micro_parity.dir/micro_parity.cc.o.d"
+  "micro_parity"
+  "micro_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_prins.dir/overhead_prins.cc.o"
+  "CMakeFiles/overhead_prins.dir/overhead_prins.cc.o.d"
+  "overhead_prins"
+  "overhead_prins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_prins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_replication.dir/database_replication.cpp.o"
+  "CMakeFiles/database_replication.dir/database_replication.cpp.o.d"
+  "database_replication"
+  "database_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

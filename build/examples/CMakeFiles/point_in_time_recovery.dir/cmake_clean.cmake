@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_in_time_recovery.dir/point_in_time_recovery.cpp.o"
+  "CMakeFiles/point_in_time_recovery.dir/point_in_time_recovery.cpp.o.d"
+  "point_in_time_recovery"
+  "point_in_time_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_in_time_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

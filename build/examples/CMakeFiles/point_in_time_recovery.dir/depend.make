@@ -1,0 +1,2 @@
+# Empty dependencies file for point_in_time_recovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_recovery.dir/raid_recovery.cpp.o"
+  "CMakeFiles/raid_recovery.dir/raid_recovery.cpp.o.d"
+  "raid_recovery"
+  "raid_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_mirroring.dir/remote_mirroring.cpp.o"
+  "CMakeFiles/remote_mirroring.dir/remote_mirroring.cpp.o.d"
+  "remote_mirroring"
+  "remote_mirroring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_mirroring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

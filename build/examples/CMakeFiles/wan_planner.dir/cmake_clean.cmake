@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_planner.dir/wan_planner.cpp.o"
+  "CMakeFiles/wan_planner.dir/wan_planner.cpp.o.d"
+  "wan_planner"
+  "wan_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

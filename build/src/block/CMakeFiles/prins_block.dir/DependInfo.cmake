@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/cached_disk.cc" "src/block/CMakeFiles/prins_block.dir/cached_disk.cc.o" "gcc" "src/block/CMakeFiles/prins_block.dir/cached_disk.cc.o.d"
+  "/root/repo/src/block/faulty_disk.cc" "src/block/CMakeFiles/prins_block.dir/faulty_disk.cc.o" "gcc" "src/block/CMakeFiles/prins_block.dir/faulty_disk.cc.o.d"
+  "/root/repo/src/block/file_disk.cc" "src/block/CMakeFiles/prins_block.dir/file_disk.cc.o" "gcc" "src/block/CMakeFiles/prins_block.dir/file_disk.cc.o.d"
+  "/root/repo/src/block/mem_disk.cc" "src/block/CMakeFiles/prins_block.dir/mem_disk.cc.o" "gcc" "src/block/CMakeFiles/prins_block.dir/mem_disk.cc.o.d"
+  "/root/repo/src/block/snapshot_disk.cc" "src/block/CMakeFiles/prins_block.dir/snapshot_disk.cc.o" "gcc" "src/block/CMakeFiles/prins_block.dir/snapshot_disk.cc.o.d"
+  "/root/repo/src/block/stats_disk.cc" "src/block/CMakeFiles/prins_block.dir/stats_disk.cc.o" "gcc" "src/block/CMakeFiles/prins_block.dir/stats_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

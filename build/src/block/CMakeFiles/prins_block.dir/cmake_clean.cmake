@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_block.dir/cached_disk.cc.o"
+  "CMakeFiles/prins_block.dir/cached_disk.cc.o.d"
+  "CMakeFiles/prins_block.dir/faulty_disk.cc.o"
+  "CMakeFiles/prins_block.dir/faulty_disk.cc.o.d"
+  "CMakeFiles/prins_block.dir/file_disk.cc.o"
+  "CMakeFiles/prins_block.dir/file_disk.cc.o.d"
+  "CMakeFiles/prins_block.dir/mem_disk.cc.o"
+  "CMakeFiles/prins_block.dir/mem_disk.cc.o.d"
+  "CMakeFiles/prins_block.dir/snapshot_disk.cc.o"
+  "CMakeFiles/prins_block.dir/snapshot_disk.cc.o.d"
+  "CMakeFiles/prins_block.dir/stats_disk.cc.o"
+  "CMakeFiles/prins_block.dir/stats_disk.cc.o.d"
+  "libprins_block.a"
+  "libprins_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/codec.cc" "src/codec/CMakeFiles/prins_codec.dir/codec.cc.o" "gcc" "src/codec/CMakeFiles/prins_codec.dir/codec.cc.o.d"
+  "/root/repo/src/codec/lz.cc" "src/codec/CMakeFiles/prins_codec.dir/lz.cc.o" "gcc" "src/codec/CMakeFiles/prins_codec.dir/lz.cc.o.d"
+  "/root/repo/src/codec/zero_rle.cc" "src/codec/CMakeFiles/prins_codec.dir/zero_rle.cc.o" "gcc" "src/codec/CMakeFiles/prins_codec.dir/zero_rle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_codec.dir/codec.cc.o"
+  "CMakeFiles/prins_codec.dir/codec.cc.o.d"
+  "CMakeFiles/prins_codec.dir/lz.cc.o"
+  "CMakeFiles/prins_codec.dir/lz.cc.o.d"
+  "CMakeFiles/prins_codec.dir/zero_rle.cc.o"
+  "CMakeFiles/prins_codec.dir/zero_rle.cc.o.d"
+  "libprins_codec.a"
+  "libprins_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

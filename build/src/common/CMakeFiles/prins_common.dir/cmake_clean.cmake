@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_common.dir/crc32c.cc.o"
+  "CMakeFiles/prins_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/prins_common.dir/hash.cc.o"
+  "CMakeFiles/prins_common.dir/hash.cc.o.d"
+  "CMakeFiles/prins_common.dir/hexdump.cc.o"
+  "CMakeFiles/prins_common.dir/hexdump.cc.o.d"
+  "CMakeFiles/prins_common.dir/histogram.cc.o"
+  "CMakeFiles/prins_common.dir/histogram.cc.o.d"
+  "CMakeFiles/prins_common.dir/logging.cc.o"
+  "CMakeFiles/prins_common.dir/logging.cc.o.d"
+  "CMakeFiles/prins_common.dir/rng.cc.o"
+  "CMakeFiles/prins_common.dir/rng.cc.o.d"
+  "CMakeFiles/prins_common.dir/status.cc.o"
+  "CMakeFiles/prins_common.dir/status.cc.o.d"
+  "CMakeFiles/prins_common.dir/varint.cc.o"
+  "CMakeFiles/prins_common.dir/varint.cc.o.d"
+  "libprins_common.a"
+  "libprins_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

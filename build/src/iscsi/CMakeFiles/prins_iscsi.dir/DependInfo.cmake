@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iscsi/initiator.cc" "src/iscsi/CMakeFiles/prins_iscsi.dir/initiator.cc.o" "gcc" "src/iscsi/CMakeFiles/prins_iscsi.dir/initiator.cc.o.d"
+  "/root/repo/src/iscsi/pdu.cc" "src/iscsi/CMakeFiles/prins_iscsi.dir/pdu.cc.o" "gcc" "src/iscsi/CMakeFiles/prins_iscsi.dir/pdu.cc.o.d"
+  "/root/repo/src/iscsi/scsi.cc" "src/iscsi/CMakeFiles/prins_iscsi.dir/scsi.cc.o" "gcc" "src/iscsi/CMakeFiles/prins_iscsi.dir/scsi.cc.o.d"
+  "/root/repo/src/iscsi/target.cc" "src/iscsi/CMakeFiles/prins_iscsi.dir/target.cc.o" "gcc" "src/iscsi/CMakeFiles/prins_iscsi.dir/target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/prins_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prins_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_iscsi.dir/initiator.cc.o"
+  "CMakeFiles/prins_iscsi.dir/initiator.cc.o.d"
+  "CMakeFiles/prins_iscsi.dir/pdu.cc.o"
+  "CMakeFiles/prins_iscsi.dir/pdu.cc.o.d"
+  "CMakeFiles/prins_iscsi.dir/scsi.cc.o"
+  "CMakeFiles/prins_iscsi.dir/scsi.cc.o.d"
+  "CMakeFiles/prins_iscsi.dir/target.cc.o"
+  "CMakeFiles/prins_iscsi.dir/target.cc.o.d"
+  "libprins_iscsi.a"
+  "libprins_iscsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_iscsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

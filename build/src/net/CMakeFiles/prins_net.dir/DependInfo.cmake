@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inproc.cc" "src/net/CMakeFiles/prins_net.dir/inproc.cc.o" "gcc" "src/net/CMakeFiles/prins_net.dir/inproc.cc.o.d"
+  "/root/repo/src/net/latent.cc" "src/net/CMakeFiles/prins_net.dir/latent.cc.o" "gcc" "src/net/CMakeFiles/prins_net.dir/latent.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/prins_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/prins_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/traffic_meter.cc" "src/net/CMakeFiles/prins_net.dir/traffic_meter.cc.o" "gcc" "src/net/CMakeFiles/prins_net.dir/traffic_meter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_net.dir/inproc.cc.o"
+  "CMakeFiles/prins_net.dir/inproc.cc.o.d"
+  "CMakeFiles/prins_net.dir/latent.cc.o"
+  "CMakeFiles/prins_net.dir/latent.cc.o.d"
+  "CMakeFiles/prins_net.dir/tcp.cc.o"
+  "CMakeFiles/prins_net.dir/tcp.cc.o.d"
+  "CMakeFiles/prins_net.dir/traffic_meter.cc.o"
+  "CMakeFiles/prins_net.dir/traffic_meter.cc.o.d"
+  "libprins_net.a"
+  "libprins_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parity/gf256.cc" "src/parity/CMakeFiles/prins_parity.dir/gf256.cc.o" "gcc" "src/parity/CMakeFiles/prins_parity.dir/gf256.cc.o.d"
+  "/root/repo/src/parity/stripe.cc" "src/parity/CMakeFiles/prins_parity.dir/stripe.cc.o" "gcc" "src/parity/CMakeFiles/prins_parity.dir/stripe.cc.o.d"
+  "/root/repo/src/parity/xor.cc" "src/parity/CMakeFiles/prins_parity.dir/xor.cc.o" "gcc" "src/parity/CMakeFiles/prins_parity.dir/xor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_parity.dir/gf256.cc.o"
+  "CMakeFiles/prins_parity.dir/gf256.cc.o.d"
+  "CMakeFiles/prins_parity.dir/stripe.cc.o"
+  "CMakeFiles/prins_parity.dir/stripe.cc.o.d"
+  "CMakeFiles/prins_parity.dir/xor.cc.o"
+  "CMakeFiles/prins_parity.dir/xor.cc.o.d"
+  "libprins_parity.a"
+  "libprins_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

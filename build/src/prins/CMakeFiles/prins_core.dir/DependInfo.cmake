@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prins/engine.cc" "src/prins/CMakeFiles/prins_core.dir/engine.cc.o" "gcc" "src/prins/CMakeFiles/prins_core.dir/engine.cc.o.d"
+  "/root/repo/src/prins/journal.cc" "src/prins/CMakeFiles/prins_core.dir/journal.cc.o" "gcc" "src/prins/CMakeFiles/prins_core.dir/journal.cc.o.d"
+  "/root/repo/src/prins/message.cc" "src/prins/CMakeFiles/prins_core.dir/message.cc.o" "gcc" "src/prins/CMakeFiles/prins_core.dir/message.cc.o.d"
+  "/root/repo/src/prins/replica.cc" "src/prins/CMakeFiles/prins_core.dir/replica.cc.o" "gcc" "src/prins/CMakeFiles/prins_core.dir/replica.cc.o.d"
+  "/root/repo/src/prins/trap_log.cc" "src/prins/CMakeFiles/prins_core.dir/trap_log.cc.o" "gcc" "src/prins/CMakeFiles/prins_core.dir/trap_log.cc.o.d"
+  "/root/repo/src/prins/verify.cc" "src/prins/CMakeFiles/prins_core.dir/verify.cc.o" "gcc" "src/prins/CMakeFiles/prins_core.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parity/CMakeFiles/prins_parity.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/prins_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/prins_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/prins_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prins_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

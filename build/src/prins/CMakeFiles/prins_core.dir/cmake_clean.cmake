@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_core.dir/engine.cc.o"
+  "CMakeFiles/prins_core.dir/engine.cc.o.d"
+  "CMakeFiles/prins_core.dir/journal.cc.o"
+  "CMakeFiles/prins_core.dir/journal.cc.o.d"
+  "CMakeFiles/prins_core.dir/message.cc.o"
+  "CMakeFiles/prins_core.dir/message.cc.o.d"
+  "CMakeFiles/prins_core.dir/replica.cc.o"
+  "CMakeFiles/prins_core.dir/replica.cc.o.d"
+  "CMakeFiles/prins_core.dir/trap_log.cc.o"
+  "CMakeFiles/prins_core.dir/trap_log.cc.o.d"
+  "CMakeFiles/prins_core.dir/verify.cc.o"
+  "CMakeFiles/prins_core.dir/verify.cc.o.d"
+  "libprins_core.a"
+  "libprins_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

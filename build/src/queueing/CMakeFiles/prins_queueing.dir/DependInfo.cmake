@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/des.cc" "src/queueing/CMakeFiles/prins_queueing.dir/des.cc.o" "gcc" "src/queueing/CMakeFiles/prins_queueing.dir/des.cc.o.d"
+  "/root/repo/src/queueing/mm1.cc" "src/queueing/CMakeFiles/prins_queueing.dir/mm1.cc.o" "gcc" "src/queueing/CMakeFiles/prins_queueing.dir/mm1.cc.o.d"
+  "/root/repo/src/queueing/mva.cc" "src/queueing/CMakeFiles/prins_queueing.dir/mva.cc.o" "gcc" "src/queueing/CMakeFiles/prins_queueing.dir/mva.cc.o.d"
+  "/root/repo/src/queueing/wan.cc" "src/queueing/CMakeFiles/prins_queueing.dir/wan.cc.o" "gcc" "src/queueing/CMakeFiles/prins_queueing.dir/wan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prins_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_queueing.dir/des.cc.o"
+  "CMakeFiles/prins_queueing.dir/des.cc.o.d"
+  "CMakeFiles/prins_queueing.dir/mm1.cc.o"
+  "CMakeFiles/prins_queueing.dir/mm1.cc.o.d"
+  "CMakeFiles/prins_queueing.dir/mva.cc.o"
+  "CMakeFiles/prins_queueing.dir/mva.cc.o.d"
+  "CMakeFiles/prins_queueing.dir/wan.cc.o"
+  "CMakeFiles/prins_queueing.dir/wan.cc.o.d"
+  "libprins_queueing.a"
+  "libprins_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

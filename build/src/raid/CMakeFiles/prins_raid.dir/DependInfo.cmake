@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raid/raid6_array.cc" "src/raid/CMakeFiles/prins_raid.dir/raid6_array.cc.o" "gcc" "src/raid/CMakeFiles/prins_raid.dir/raid6_array.cc.o.d"
+  "/root/repo/src/raid/raid_array.cc" "src/raid/CMakeFiles/prins_raid.dir/raid_array.cc.o" "gcc" "src/raid/CMakeFiles/prins_raid.dir/raid_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parity/CMakeFiles/prins_parity.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/prins_block.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

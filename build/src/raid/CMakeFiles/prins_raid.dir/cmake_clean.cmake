@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_raid.dir/raid6_array.cc.o"
+  "CMakeFiles/prins_raid.dir/raid6_array.cc.o.d"
+  "CMakeFiles/prins_raid.dir/raid_array.cc.o"
+  "CMakeFiles/prins_raid.dir/raid_array.cc.o.d"
+  "libprins_raid.a"
+  "libprins_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

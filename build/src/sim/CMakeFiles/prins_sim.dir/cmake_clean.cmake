@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_sim.dir/cluster.cc.o"
+  "CMakeFiles/prins_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/prins_sim.dir/experiment.cc.o"
+  "CMakeFiles/prins_sim.dir/experiment.cc.o.d"
+  "libprins_sim.a"
+  "libprins_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/byte_volume.cc" "src/workload/CMakeFiles/prins_workload.dir/byte_volume.cc.o" "gcc" "src/workload/CMakeFiles/prins_workload.dir/byte_volume.cc.o.d"
+  "/root/repo/src/workload/db_page.cc" "src/workload/CMakeFiles/prins_workload.dir/db_page.cc.o" "gcc" "src/workload/CMakeFiles/prins_workload.dir/db_page.cc.o.d"
+  "/root/repo/src/workload/fsmicro.cc" "src/workload/CMakeFiles/prins_workload.dir/fsmicro.cc.o" "gcc" "src/workload/CMakeFiles/prins_workload.dir/fsmicro.cc.o.d"
+  "/root/repo/src/workload/text.cc" "src/workload/CMakeFiles/prins_workload.dir/text.cc.o" "gcc" "src/workload/CMakeFiles/prins_workload.dir/text.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/workload/CMakeFiles/prins_workload.dir/tpcc.cc.o" "gcc" "src/workload/CMakeFiles/prins_workload.dir/tpcc.cc.o.d"
+  "/root/repo/src/workload/tpcw.cc" "src/workload/CMakeFiles/prins_workload.dir/tpcw.cc.o" "gcc" "src/workload/CMakeFiles/prins_workload.dir/tpcw.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/prins_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/prins_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prins_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/prins_block.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

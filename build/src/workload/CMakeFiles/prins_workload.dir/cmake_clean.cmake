@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prins_workload.dir/byte_volume.cc.o"
+  "CMakeFiles/prins_workload.dir/byte_volume.cc.o.d"
+  "CMakeFiles/prins_workload.dir/db_page.cc.o"
+  "CMakeFiles/prins_workload.dir/db_page.cc.o.d"
+  "CMakeFiles/prins_workload.dir/fsmicro.cc.o"
+  "CMakeFiles/prins_workload.dir/fsmicro.cc.o.d"
+  "CMakeFiles/prins_workload.dir/text.cc.o"
+  "CMakeFiles/prins_workload.dir/text.cc.o.d"
+  "CMakeFiles/prins_workload.dir/tpcc.cc.o"
+  "CMakeFiles/prins_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/prins_workload.dir/tpcw.cc.o"
+  "CMakeFiles/prins_workload.dir/tpcw.cc.o.d"
+  "CMakeFiles/prins_workload.dir/trace.cc.o"
+  "CMakeFiles/prins_workload.dir/trace.cc.o.d"
+  "libprins_workload.a"
+  "libprins_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prins_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

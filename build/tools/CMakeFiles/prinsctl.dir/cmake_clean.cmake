@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prinsctl.dir/prinsctl.cc.o"
+  "CMakeFiles/prinsctl.dir/prinsctl.cc.o.d"
+  "prinsctl"
+  "prinsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prinsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prinsctl.
+# This may be replaced when dependencies are built.
