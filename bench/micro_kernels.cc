@@ -1,0 +1,218 @@
+// Throughput of the dispatched byte kernels (GB/s per implementation per
+// size), the arithmetic floor of the PRINS hot path: every replicated
+// write runs xor_to_and_count once on the primary and xor_into once per
+// replica, and the zero-RLE codec runs skip_zeros over every delta.
+//
+// Every tier is cross-checked against the scalar reference before timing;
+// any mismatch exits non-zero, so this binary doubles as a smoke test
+// (registered with ctest via --quick).  Results land in
+// BENCH_kernels.json next to the working directory.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "parity/kernels.h"
+
+namespace {
+
+using namespace prins;
+using kernels::Ops;
+
+constexpr std::size_t kSizes[] = {64, 512, 4096, 8192, 65536};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Time `body` (which touches `bytes_per_call` bytes) long enough for a
+/// stable rate; returns GB/s. Takes the fastest of three samples so a
+/// scheduler preemption mid-sample doesn't masquerade as a slow kernel.
+template <typename Fn>
+double rate_gbps(std::size_t bytes_per_call, double min_sec, Fn&& body) {
+  // Warm up and pick an iteration count that runs ~min_sec.
+  body();
+  std::size_t iters = 1;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) body();
+    const double sec = seconds_since(start);
+    if (sec >= min_sec) break;
+    iters = sec > 0 ? iters * (static_cast<std::size_t>(min_sec / sec) + 2)
+                    : iters * 16;
+  }
+  double best_sec = -1;
+  for (int sample = 0; sample < 3; ++sample) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) body();
+    const double sec = seconds_since(start);
+    if (best_sec < 0 || sec < best_sec) best_sec = sec;
+  }
+  return static_cast<double>(bytes_per_call) * static_cast<double>(iters) /
+         best_sec / 1e9;
+}
+
+/// Verify one tier against the scalar reference across sizes 0..257 and
+/// odd alignments; returns false (and prints) on any divergence.
+bool cross_check(const Ops& ops, const Ops& ref) {
+  Rng rng(7);
+  Bytes a(512 + 3), b(512 + 3);
+  rng.fill(a);
+  rng.fill(b);
+  // Sprinkle zero runs so count/skip paths see both kinds of lanes.
+  for (std::size_t i = 96; i < 160 && i < a.size(); ++i) a[i] = b[i];
+  for (std::size_t n = 0; n <= 257; ++n) {
+    for (const std::size_t off : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}}) {
+      const Byte* pa = a.data() + off;
+      const Byte* pb = b.data() + off;
+      Bytes got(n), want(n);
+      ops.xor_to(got.data(), pa, pb, n);
+      ref.xor_to(want.data(), pa, pb, n);
+      if (got != want) {
+        std::fprintf(stderr, "FAIL %s xor_to n=%zu off=%zu\n", ops.name, n,
+                     off);
+        return false;
+      }
+      Bytes acc_got(want), acc_want(want);
+      ops.xor_into(acc_got.data(), pb, n);
+      ref.xor_into(acc_want.data(), pb, n);
+      if (acc_got != acc_want) {
+        std::fprintf(stderr, "FAIL %s xor_into n=%zu off=%zu\n", ops.name, n,
+                     off);
+        return false;
+      }
+      if (ops.count_nonzero(pa, n) != ref.count_nonzero(pa, n)) {
+        std::fprintf(stderr, "FAIL %s count_nonzero n=%zu off=%zu\n",
+                     ops.name, n, off);
+        return false;
+      }
+      Bytes fused_got(n), fused_want(n);
+      const std::size_t cg = ops.xor_to_and_count(fused_got.data(), pa, pb, n);
+      const std::size_t cw = ref.xor_to_and_count(fused_want.data(), pa, pb, n);
+      if (fused_got != fused_want || cg != cw) {
+        std::fprintf(stderr, "FAIL %s xor_to_and_count n=%zu off=%zu\n",
+                     ops.name, n, off);
+        return false;
+      }
+      for (const std::size_t pos : {std::size_t{0}, n / 2, n}) {
+        if (ops.skip_zeros(pa, n, pos) != ref.skip_zeros(pa, n, pos)) {
+          std::fprintf(stderr, "FAIL %s skip_zeros n=%zu pos=%zu off=%zu\n",
+                       ops.name, n, pos, off);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+struct Row {
+  std::string impl;
+  std::string kernel;
+  std::size_t size;
+  double gbps;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const double min_sec = quick ? 0.002 : 0.05;
+
+  const Ops& scalar = kernels::scalar_ops();
+  const std::vector<const Ops*> tiers = kernels::available_ops();
+
+  std::printf("=== PRINS byte kernels: GB/s per implementation "
+              "(dispatch picks \"%s\") ===\n\n",
+              kernels::active_ops().name);
+
+  for (const Ops* ops : tiers) {
+    if (!cross_check(*ops, scalar)) return 1;
+  }
+  std::printf("cross-check vs scalar: all %zu implementations "
+              "bit-identical\n\n",
+              tiers.size());
+
+  std::vector<Row> rows;
+  Rng rng(11);
+  Bytes a(kSizes[std::size(kSizes) - 1]), b(a.size()), out(a.size());
+  rng.fill(a);
+  rng.fill(b);
+  // ~90% zero bytes in `a`, like a real partial-write parity delta — the
+  // shape count_nonzero and skip_zeros actually see.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i % 10 != 0) a[i] = Byte{0};
+  }
+
+  std::printf("%-8s %-18s %10s %10s\n", "impl", "kernel", "size", "GB/s");
+  for (const Ops* ops : tiers) {
+    for (const std::size_t n : kSizes) {
+      struct KernelCase {
+        const char* name;
+        double gbps;
+      };
+      const KernelCase cases[] = {
+          {"xor_to", rate_gbps(n, min_sec,
+                               [&] { ops->xor_to(out.data(), a.data(),
+                                                 b.data(), n); })},
+          {"xor_into", rate_gbps(n, min_sec,
+                                 [&] { ops->xor_into(out.data(), b.data(),
+                                                     n); })},
+          {"count_nonzero",
+           rate_gbps(n, min_sec, [&] { (void)ops->count_nonzero(a.data(),
+                                                                n); })},
+          {"xor_to_and_count",
+           rate_gbps(n, min_sec,
+                     [&] { (void)ops->xor_to_and_count(out.data(), a.data(),
+                                                       b.data(), n); })},
+          {"skip_zeros",
+           rate_gbps(n, min_sec, [&] { (void)ops->skip_zeros(a.data(), n,
+                                                             0); })},
+      };
+      for (const KernelCase& c : cases) {
+        rows.push_back(Row{ops->name, c.name, n, c.gbps});
+        std::printf("%-8s %-18s %10zu %10.2f\n", ops->name, c.name, n,
+                    c.gbps);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Headline: dispatched xor_to vs scalar on an 8 KiB block.
+  double scalar_8k = 0, active_8k = 0;
+  for (const Row& r : rows) {
+    if (r.kernel == "xor_to" && r.size == 8192) {
+      if (r.impl == scalar.name) scalar_8k = r.gbps;
+      if (r.impl == kernels::active_ops().name) active_8k = r.gbps;
+    }
+  }
+  const double speedup = scalar_8k > 0 ? active_8k / scalar_8k : 0.0;
+  std::printf("speedup_xor_to_8192: %.2fx (%s %.2f GB/s vs scalar %.2f "
+              "GB/s)\n",
+              speedup, kernels::active_ops().name, active_8k, scalar_8k);
+
+  FILE* json = std::fopen("BENCH_kernels.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"active\": \"%s\",\n",
+                 kernels::active_ops().name);
+    std::fprintf(json, "  \"speedup_xor_to_8192\": %.3f,\n", speedup);
+    std::fprintf(json, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"impl\": \"%s\", \"kernel\": \"%s\", "
+                   "\"size\": %zu, \"gbps\": %.3f}%s\n",
+                   rows[i].impl.c_str(), rows[i].kernel.c_str(),
+                   rows[i].size, rows[i].gbps,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_kernels.json\n");
+  }
+  return 0;
+}

@@ -127,8 +127,9 @@ int main() {
   };
   auto array = make_array();
   Bytes tapped;
-  array->set_parity_observer(
-      [&tapped](Lba, ByteSpan delta) { tapped.assign(delta.begin(), delta.end()); });
+  array->set_parity_observer([&tapped](Lba, ByteSpan delta, std::size_t) {
+    tapped.assign(delta.begin(), delta.end());
+  });
   ImageSet images_r(kBlocks);
   const Measurement raid_prins =
       time_loop("PRINS (RAID tap)", [&](int i) -> std::size_t {

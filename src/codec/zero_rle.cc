@@ -3,22 +3,16 @@
 #include <cstring>
 
 #include "common/varint.h"
+#include "parity/kernels.h"
 
 namespace prins {
 
 namespace {
 
-/// Advance past a zero run starting at `pos`, eight bytes at a time.
+/// Advance past a zero run starting at `pos` using the SIMD-dispatched
+/// zero-run scanner (the encoder's hot loop on sparse parity deltas).
 std::size_t skip_zeros(ByteSpan raw, std::size_t pos) {
-  const std::size_t n = raw.size();
-  while (pos + 8 <= n) {
-    std::uint64_t word;
-    std::memcpy(&word, raw.data() + pos, 8);
-    if (word != 0) break;
-    pos += 8;
-  }
-  while (pos < n && raw[pos] == 0) ++pos;
-  return pos;
+  return kernels::active_ops().skip_zeros(raw.data(), raw.size(), pos);
 }
 
 }  // namespace

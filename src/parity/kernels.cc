@@ -1,0 +1,360 @@
+#include "parity/kernels.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PRINS_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace prins {
+namespace kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: word-wise via memcpy to stay alignment-safe on any target.
+// This is the reference implementation the SIMD tiers must match bit-for-bit.
+// Auto-vectorization is disabled so the reference stays a genuinely
+// independent (non-SIMD) code path for the cross-check tests, and so
+// benchmark speedups measure the vector tiers against real scalar code.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define PRINS_NO_AUTOVEC \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define PRINS_NO_AUTOVEC
+#endif
+
+PRINS_NO_AUTOVEC
+void xor_into_scalar(Byte* dst, const Byte* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+PRINS_NO_AUTOVEC
+void xor_to_scalar(Byte* out, const Byte* a, const Byte* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + i, 8);
+    std::memcpy(&y, b + i, 8);
+    x ^= y;
+    std::memcpy(out + i, &x, 8);
+  }
+  for (; i < n; ++i) out[i] = a[i] ^ b[i];
+}
+
+/// Count non-zero bytes of a word with bit tricks: fold each byte to its
+/// low bit ("byte != 0"), then popcount the 8 marker bits.
+inline unsigned nonzero_bytes_of_word(std::uint64_t w) {
+  constexpr std::uint64_t kHigh = 0x8080808080808080ull;
+  // A byte is non-zero iff (byte | (byte + 0x7f)) has its high bit set
+  // after masking out carries from neighbouring bytes.
+  const std::uint64_t t = (w & ~kHigh) + ~kHigh;  // high bit set if low7 != 0
+  const std::uint64_t marks = (t | w) & kHigh;    // high bit set if byte != 0
+  return static_cast<unsigned>(__builtin_popcountll(marks));
+}
+
+PRINS_NO_AUTOVEC
+std::size_t count_nonzero_scalar(const Byte* s, std::size_t n) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, s + i, 8);
+    count += nonzero_bytes_of_word(w);
+  }
+  for (; i < n; ++i) count += (s[i] != 0);
+  return count;
+}
+
+PRINS_NO_AUTOVEC
+std::size_t xor_to_and_count_scalar(Byte* out, const Byte* a, const Byte* b,
+                                    std::size_t n) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + i, 8);
+    std::memcpy(&y, b + i, 8);
+    x ^= y;
+    std::memcpy(out + i, &x, 8);
+    count += nonzero_bytes_of_word(x);
+  }
+  for (; i < n; ++i) {
+    const Byte v = a[i] ^ b[i];
+    out[i] = v;
+    count += (v != 0);
+  }
+  return count;
+}
+
+PRINS_NO_AUTOVEC
+std::size_t skip_zeros_scalar(const Byte* s, std::size_t n, std::size_t pos) {
+  while (pos + 8 <= n) {
+    std::uint64_t w;
+    std::memcpy(&w, s + pos, 8);
+    if (w != 0) {
+      // The first non-zero byte is the lowest set bit's byte (little-endian).
+      return pos + static_cast<std::size_t>(__builtin_ctzll(w)) / 8;
+    }
+    pos += 8;
+  }
+  while (pos < n && s[pos] == 0) ++pos;
+  return pos;
+}
+
+constexpr Ops kScalarOps = {
+    "scalar",          xor_into_scalar,         xor_to_scalar,
+    count_nonzero_scalar, xor_to_and_count_scalar, skip_zeros_scalar,
+};
+
+#if PRINS_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 tier: 16-byte unaligned lanes.  Baseline on x86_64, so this tier is
+// effectively "always on" there; it stays a separate tier so tests can
+// cross-check it and the AVX2 tier independently.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse2"))) void xor_into_sse2(Byte* dst, const Byte* src,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+__attribute__((target("sse2"))) void xor_to_sse2(Byte* out, const Byte* a,
+                                                 const Byte* b,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_xor_si128(x, y));
+  }
+  for (; i < n; ++i) out[i] = a[i] ^ b[i];
+}
+
+__attribute__((target("sse2"))) std::size_t count_nonzero_sse2(const Byte* s,
+                                                               std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+    const int zmask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, zero));
+    count += 16u - static_cast<unsigned>(__builtin_popcount(zmask));
+  }
+  for (; i < n; ++i) count += (s[i] != 0);
+  return count;
+}
+
+__attribute__((target("sse2"))) std::size_t xor_to_and_count_sse2(
+    Byte* out, const Byte* a, const Byte* b, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i v = _mm_xor_si128(x, y);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
+    const int zmask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, zero));
+    count += 16u - static_cast<unsigned>(__builtin_popcount(zmask));
+  }
+  for (; i < n; ++i) {
+    const Byte v = a[i] ^ b[i];
+    out[i] = v;
+    count += (v != 0);
+  }
+  return count;
+}
+
+__attribute__((target("sse2"))) std::size_t skip_zeros_sse2(const Byte* s,
+                                                            std::size_t n,
+                                                            std::size_t pos) {
+  const __m128i zero = _mm_setzero_si128();
+  while (pos + 16 <= n) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + pos));
+    const int zmask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, zero));
+    if (zmask != 0xFFFF) {
+      return pos + static_cast<std::size_t>(
+                       __builtin_ctz(~static_cast<unsigned>(zmask)));
+    }
+    pos += 16;
+  }
+  while (pos < n && s[pos] == 0) ++pos;
+  return pos;
+}
+
+constexpr Ops kSse2Ops = {
+    "sse2",             xor_into_sse2,         xor_to_sse2,
+    count_nonzero_sse2, xor_to_and_count_sse2, skip_zeros_sse2,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 32-byte lanes. The XOR kernels peel a scalar head so the store
+// pointer is 64-byte aligned — split-line stores cost ~40% of throughput on
+// typical Bytes buffers (malloc only guarantees 16-byte alignment); loads
+// tolerate misalignment far better, so only the destination is peeled.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline std::size_t head_to_line(const Byte* p,
+                                                                std::size_t n) {
+  const std::size_t head =
+      (64 - (reinterpret_cast<std::uintptr_t>(p) & 63)) & 63;
+  return head < n ? head : n;
+}
+
+// Head/tail bytes are handled with plain byte loops rather than the SSE2
+// helpers: calling non-VEX SSE code from a VEX-encoded function costs an
+// AVX/SSE state transition per call, which dwarfs the few peeled bytes.
+__attribute__((target("avx2"))) void xor_into_avx2(Byte* dst, const Byte* src,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (const std::size_t head = head_to_line(dst, n); i < head; ++i) {
+    dst[i] = static_cast<Byte>(dst[i] ^ src[i]);
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
+                       _mm256_xor_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<Byte>(dst[i] ^ src[i]);
+}
+
+__attribute__((target("avx2"))) void xor_to_avx2(Byte* out, const Byte* a,
+                                                 const Byte* b,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (const std::size_t head = head_to_line(out, n); i < head; ++i) {
+    out[i] = static_cast<Byte>(a[i] ^ b[i]);
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out + i),
+                       _mm256_xor_si256(x, y));
+  }
+  for (; i < n; ++i) out[i] = static_cast<Byte>(a[i] ^ b[i]);
+}
+
+__attribute__((target("avx2"))) std::size_t count_nonzero_avx2(const Byte* s,
+                                                               std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const unsigned zmask =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    count += 32u - static_cast<unsigned>(__builtin_popcount(zmask));
+  }
+  if (i < n) count += count_nonzero_sse2(s + i, n - i);
+  return count;
+}
+
+__attribute__((target("avx2"))) std::size_t xor_to_and_count_avx2(
+    Byte* out, const Byte* a, const Byte* b, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_xor_si256(x, y);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    const unsigned zmask =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    count += 32u - static_cast<unsigned>(__builtin_popcount(zmask));
+  }
+  if (i < n) count += xor_to_and_count_sse2(out + i, a + i, b + i, n - i);
+  return count;
+}
+
+__attribute__((target("avx2"))) std::size_t skip_zeros_avx2(const Byte* s,
+                                                            std::size_t n,
+                                                            std::size_t pos) {
+  const __m256i zero = _mm256_setzero_si256();
+  while (pos + 32 <= n) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + pos));
+    const unsigned zmask =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    if (zmask != 0xFFFFFFFFu) {
+      return pos + static_cast<std::size_t>(__builtin_ctz(~zmask));
+    }
+    pos += 32;
+  }
+  return skip_zeros_sse2(s, n, pos);
+}
+
+constexpr Ops kAvx2Ops = {
+    "avx2",             xor_into_avx2,         xor_to_avx2,
+    count_nonzero_avx2, xor_to_and_count_avx2, skip_zeros_avx2,
+};
+
+#endif  // PRINS_KERNELS_X86
+
+const Ops& detect_ops() {
+  const char* force = std::getenv("PRINS_KERNELS");
+  const std::string_view want = force == nullptr ? "" : force;
+  if (want == "scalar") return kScalarOps;
+#if PRINS_KERNELS_X86
+  const bool have_sse2 = __builtin_cpu_supports("sse2");
+  const bool have_avx2 = __builtin_cpu_supports("avx2");
+  if (want == "sse2" && have_sse2) return kSse2Ops;
+  if (want == "avx2" && have_avx2) return kAvx2Ops;
+  if (have_avx2) return kAvx2Ops;
+  if (have_sse2) return kSse2Ops;
+#endif
+  return kScalarOps;
+}
+
+}  // namespace
+
+const Ops& scalar_ops() { return kScalarOps; }
+
+const Ops& active_ops() {
+  static const Ops& chosen = detect_ops();
+  return chosen;
+}
+
+std::vector<const Ops*> available_ops() {
+  std::vector<const Ops*> ops{&kScalarOps};
+#if PRINS_KERNELS_X86
+  if (__builtin_cpu_supports("sse2")) ops.push_back(&kSse2Ops);
+  if (__builtin_cpu_supports("avx2")) ops.push_back(&kAvx2Ops);
+#endif
+  return ops;
+}
+
+}  // namespace kernels
+}  // namespace prins

@@ -1,0 +1,57 @@
+// Runtime-dispatched SIMD kernels for the PRINS hot path.
+//
+// Every byte the engine replicates flows through one of five primitives:
+//
+//   xor_into          dst ^= src                       (parity apply/compose)
+//   xor_to            out = a ^ b                      (forward/backward parity)
+//   count_nonzero     dirty-byte census of a delta     (metrics, 5-20% claim)
+//   xor_to_and_count  out = a ^ b, returns nonzero(out) in the SAME pass —
+//                     the fused form that removes the engine's second scan
+//   skip_zeros        first non-zero offset at/after `pos` (zero-RLE scanner)
+//
+// Three implementation tiers share one function-pointer table (`Ops`):
+// portable word-wise scalar code (the reference semantics), SSE2 (16 B
+// lanes), and AVX2 (32 B lanes).  The tier is picked once at runtime via
+// __builtin_cpu_supports, so one binary runs everywhere and uses the widest
+// vectors the CPU has.  All tiers are bit-identical by contract; the test
+// suite cross-checks every runnable tier against scalar over adversarial
+// sizes and alignments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace prins {
+namespace kernels {
+
+/// One implementation tier.  All pointers are non-null and handle n == 0,
+/// unaligned buffers, and arbitrary (non-overlapping) sizes.
+struct Ops {
+  const char* name;  // "scalar" | "sse2" | "avx2"
+  void (*xor_into)(Byte* dst, const Byte* src, std::size_t n);
+  void (*xor_to)(Byte* out, const Byte* a, const Byte* b, std::size_t n);
+  std::size_t (*count_nonzero)(const Byte* s, std::size_t n);
+  /// out = a ^ b; returns the number of non-zero bytes written to `out`.
+  std::size_t (*xor_to_and_count)(Byte* out, const Byte* a, const Byte* b,
+                                  std::size_t n);
+  /// First index >= pos (and <= n) whose byte is non-zero; n if none.
+  std::size_t (*skip_zeros)(const Byte* s, std::size_t n, std::size_t pos);
+};
+
+/// The portable reference tier (always available, defines the semantics).
+const Ops& scalar_ops();
+
+/// The widest tier this CPU supports, resolved once.  Honours the
+/// PRINS_KERNELS environment variable ("scalar" | "sse2" | "avx2") as a
+/// downgrade override for benchmarking and debugging; an unsupported or
+/// unknown value falls back to auto-detection.
+const Ops& active_ops();
+
+/// Every tier runnable on this CPU, scalar first.  For tests and benches
+/// that cross-check or race the tiers against each other.
+std::vector<const Ops*> available_ops();
+
+}  // namespace kernels
+}  // namespace prins

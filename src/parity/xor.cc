@@ -1,40 +1,28 @@
 #include "parity/xor.h"
 
 #include <cassert>
-#include <cstdint>
-#include <cstring>
+
+#include "parity/kernels.h"
 
 namespace prins {
 
+// All entry points delegate to the runtime-dispatched kernel tier (scalar /
+// SSE2 / AVX2, resolved once per process in kernels::active_ops()).
+
 void xor_into(MutByteSpan dst, ByteSpan src) {
   assert(dst.size() == src.size());
-  std::size_t n = dst.size();
-  Byte* d = dst.data();
-  const Byte* s = src.data();
-  // Word-wise main loop via memcpy to stay alignment-safe.
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t a, b;
-    std::memcpy(&a, d + i, 8);
-    std::memcpy(&b, s + i, 8);
-    a ^= b;
-    std::memcpy(d + i, &a, 8);
-  }
-  for (; i < n; ++i) d[i] ^= s[i];
+  kernels::active_ops().xor_into(dst.data(), src.data(), dst.size());
 }
 
 void xor_to(MutByteSpan out, ByteSpan a, ByteSpan b) {
   assert(out.size() == a.size() && a.size() == b.size());
-  std::size_t n = out.size();
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t x, y;
-    std::memcpy(&x, a.data() + i, 8);
-    std::memcpy(&y, b.data() + i, 8);
-    x ^= y;
-    std::memcpy(out.data() + i, &x, 8);
-  }
-  for (; i < n; ++i) out[i] = a[i] ^ b[i];
+  kernels::active_ops().xor_to(out.data(), a.data(), b.data(), out.size());
+}
+
+std::size_t xor_to_and_count(MutByteSpan out, ByteSpan a, ByteSpan b) {
+  assert(out.size() == a.size() && a.size() == b.size());
+  return kernels::active_ops().xor_to_and_count(out.data(), a.data(), b.data(),
+                                                out.size());
 }
 
 Bytes parity_delta(ByteSpan new_data, ByteSpan old_data) {
@@ -45,9 +33,7 @@ Bytes parity_delta(ByteSpan new_data, ByteSpan old_data) {
 }
 
 std::size_t count_nonzero(ByteSpan s) {
-  std::size_t n = 0;
-  for (Byte b : s) n += (b != 0);
-  return n;
+  return kernels::active_ops().count_nonzero(s.data(), s.size());
 }
 
 double dirty_fraction(ByteSpan s) {

@@ -17,11 +17,16 @@
 namespace prins {
 
 /// dst ^= src, element-wise.  Requires dst.size() == src.size().
-/// Word-accelerated on the aligned middle; byte loops on the edges.
+/// SIMD-accelerated via the runtime-dispatched kernels (parity/kernels.h).
 void xor_into(MutByteSpan dst, ByteSpan src);
 
 /// out = a ^ b.  Requires equal sizes.
 void xor_to(MutByteSpan out, ByteSpan a, ByteSpan b);
+
+/// Fused forward parity: out = a ^ b AND the number of non-zero bytes of
+/// the result, in one pass over the data.  This is what the engine's write
+/// path uses so the dirty-byte metric costs no second scan.
+std::size_t xor_to_and_count(MutByteSpan out, ByteSpan a, ByteSpan b);
 
 /// Returns a ^ b as a new buffer.  This is the forward parity computation:
 /// parity_delta(new_data, old_data) == P'.

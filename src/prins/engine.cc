@@ -16,7 +16,6 @@ PrinsEngine::PrinsEngine(std::shared_ptr<BlockDevice> local,
   assert(local_ != nullptr);
   assert(!config_.use_raid_tap &&
          "use the RaidArray constructor for tap mode");
-  worker_ = std::thread([this] { worker_main(); });
 }
 
 PrinsEngine::PrinsEngine(std::shared_ptr<RaidArray> local_raid,
@@ -24,11 +23,11 @@ PrinsEngine::PrinsEngine(std::shared_ptr<RaidArray> local_raid,
     : local_(local_raid), raid_(local_raid.get()), config_(config) {
   assert(local_ != nullptr);
   config_.use_raid_tap = true;
-  raid_->set_parity_observer([this](Lba lba, ByteSpan delta) {
-    std::lock_guard lock(tap_mutex_);
-    tap_deltas_[lba] = to_bytes(delta);
-  });
-  worker_ = std::thread([this] { worker_main(); });
+  raid_->set_parity_observer(
+      [this](Lba lba, ByteSpan delta, std::size_t dirty) {
+        std::lock_guard lock(tap_mutex_);
+        tap_deltas_[lba] = TapDelta{to_bytes(delta), dirty};
+      });
 }
 
 PrinsEngine::PrinsEngine(std::shared_ptr<Raid6Array> local_raid6,
@@ -36,11 +35,11 @@ PrinsEngine::PrinsEngine(std::shared_ptr<Raid6Array> local_raid6,
     : local_(local_raid6), raid6_(local_raid6.get()), config_(config) {
   assert(local_ != nullptr);
   config_.use_raid_tap = true;
-  raid6_->set_parity_observer([this](Lba lba, ByteSpan delta) {
-    std::lock_guard lock(tap_mutex_);
-    tap_deltas_[lba] = to_bytes(delta);
-  });
-  worker_ = std::thread([this] { worker_main(); });
+  raid6_->set_parity_observer(
+      [this](Lba lba, ByteSpan delta, std::size_t dirty) {
+        std::lock_guard lock(tap_mutex_);
+        tap_deltas_[lba] = TapDelta{to_bytes(delta), dirty};
+      });
 }
 
 PrinsEngine::~PrinsEngine() {
@@ -49,7 +48,9 @@ PrinsEngine::~PrinsEngine() {
     stopping_ = true;
     queue_cv_.notify_all();
   }
-  if (worker_.joinable()) worker_.join();
+  for (auto& link : replicas_) {
+    if (link->sender.joinable()) link->sender.join();
+  }
   if (raid_ != nullptr) raid_->set_parity_observer(nullptr);
   if (raid6_ != nullptr) raid6_->set_parity_observer(nullptr);
   for (auto& link : replicas_) link->transport->close();
@@ -59,8 +60,12 @@ void PrinsEngine::add_replica(std::unique_ptr<Transport> link) {
   assert(link != nullptr);
   auto replica = std::make_unique<ReplicaLink>();
   replica->transport = std::move(link);
-  std::lock_guard lock(mutex_);
-  replicas_.push_back(std::move(replica));
+  ReplicaLink* raw = replica.get();
+  {
+    std::lock_guard lock(mutex_);
+    replicas_.push_back(std::move(replica));
+  }
+  raw->sender = std::thread([this, raw] { sender_main(raw); });
 }
 
 std::size_t PrinsEngine::replica_count() const {
@@ -80,13 +85,14 @@ Status PrinsEngine::reattach_replica(std::size_t index,
     replica = replicas_[index].get();
   }
   {
-    // Take the link mutex so the worker is not mid-exchange on the old
+    // Take the link mutex so its sender is not mid-exchange on the old
     // transport while we swap it.
     std::lock_guard link_lock(replica->mutex);
     replica->transport->close();
     replica->transport = std::move(link);
   }
   std::lock_guard lock(mutex_);
+  replica->failed = false;
   worker_error_ = Status::ok();
   return Status::ok();
 }
@@ -101,12 +107,14 @@ Status PrinsEngine::write(Lba lba, ByteSpan data) {
     const Lba b = lba + i;
     const ByteSpan new_block = data.subspan(i * bs, bs);
     Bytes delta;
+    std::size_t dirty = 0;
     const bool need_delta = ships_parity(config_.policy) ||
                             config_.keep_trap_log || raid_ != nullptr ||
                             raid6_ != nullptr;
 
     if (raid_ != nullptr || raid6_ != nullptr) {
-      // Tap mode: the array computes P' during its small-write path.
+      // Tap mode: the array computes P' (and its dirty count) during its
+      // small-write path.
       PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
       std::lock_guard lock(tap_mutex_);
       auto it = tap_deltas_.find(b);
@@ -114,34 +122,43 @@ Status PrinsEngine::write(Lba lba, ByteSpan data) {
         return internal_error("RAID tap produced no delta for block " +
                               std::to_string(b));
       }
-      delta = std::move(it->second);
+      delta = std::move(it->second.delta);
+      dirty = it->second.dirty;
       tap_deltas_.erase(it);
+    } else if (need_delta) {
+      Bytes old_block(bs);
+      PRINS_RETURN_IF_ERROR(local_->read(b, old_block));
+      PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
+      // Fused kernel: one pass produces both P' and its dirty-byte count.
+      delta.resize(bs);
+      dirty = xor_to_and_count(delta, new_block, old_block);
     } else {
-      if (need_delta) {
-        Bytes old_block(bs);
-        PRINS_RETURN_IF_ERROR(local_->read(b, old_block));
-        PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
-        delta = parity_delta(new_block, old_block);
-      } else {
-        PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
-      }
+      PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
     }
-    PRINS_RETURN_IF_ERROR(replicate_block(b, new_block, delta));
+    PRINS_RETURN_IF_ERROR(replicate_block(b, new_block, delta, dirty));
   }
   return Status::ok();
 }
 
-Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block,
-                                    ByteSpan delta) {
+Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta,
+                                    std::size_t dirty) {
   const Codec& codec = payload_codec(config_.policy);
-  const ByteSpan raw = ships_parity(config_.policy) ? delta : new_block;
+  const ByteSpan raw_payload =
+      ships_parity(config_.policy) ? delta : new_block;
 
   ReplicationMessage msg;
   msg.kind = MessageKind::kWrite;
   msg.policy = config_.policy;
   msg.block_size = block_size();
   msg.lba = lba;
-  msg.payload = encode_frame(codec, raw);
+  msg.payload = encode_frame(codec, raw_payload);
+
+  // Coalescing needs the pre-codec payload to fold; share one copy across
+  // every link's outbox until a fold copies-on-write.
+  std::shared_ptr<Bytes> raw;
+  if (config_.coalesce_writes) {
+    raw = std::make_shared<Bytes>(to_bytes(raw_payload));
+  }
 
   {
     std::lock_guard lock(mutex_);
@@ -152,30 +169,251 @@ Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block,
     metrics_.payload_bytes += msg.payload.size();
     metrics_.payload_sizes.record(msg.payload.size());
     if (ships_parity(config_.policy)) {
-      metrics_.dirty_bytes.record(count_nonzero(delta));
+      metrics_.dirty_bytes.record(dirty);
     }
   }
   if (config_.keep_trap_log) {
     PRINS_RETURN_IF_ERROR(trap_log_.append(lba, msg.timestamp_us, delta));
   }
-  return enqueue(std::move(msg));
+  return enqueue(std::move(msg), std::move(raw));
 }
 
-Status PrinsEngine::enqueue(ReplicationMessage message) {
+Status PrinsEngine::enqueue(ReplicationMessage message,
+                            std::shared_ptr<Bytes> raw) {
   if (config_.journal != nullptr) {
     // Durable before queued: a crash between these two steps re-sends the
     // message (at-least-once), never loses it.
     PRINS_RETURN_IF_ERROR(config_.journal->append(message));
   }
+  return distribute(std::move(message), std::move(raw));
+}
+
+Status PrinsEngine::distribute(ReplicationMessage message,
+                               std::shared_ptr<Bytes> raw) {
+  const bool coalescable = config_.coalesce_writes && raw != nullptr &&
+                           message.kind == MessageKind::kWrite;
+  // Canonical encoding, shared across all outboxes; folded entries drop it
+  // and re-encode at send time.
+  auto wire = std::make_shared<const Bytes>(message.encode());
+
   std::unique_lock lock(mutex_);
   queue_cv_.wait(lock, [this] {
-    return stopping_ || queue_.size() < config_.queue_capacity;
+    return stopping_ || outboxes_below_capacity_locked();
   });
   if (stopping_) return unavailable("engine is shutting down");
   if (!worker_error_.is_ok()) return worker_error_;
-  queue_.push_back(std::move(message));
+
+  last_distributed_seq_ = std::max(last_distributed_seq_, message.sequence);
+  if (replicas_.empty()) {
+    // Nothing to ship: the write is trivially replicated everywhere.
+    metrics_.message_bytes += wire->size();
+    const std::uint64_t watermark = ack_watermark_locked();
+    lock.unlock();
+    advance_journal_watermark(watermark);
+    return Status::ok();
+  }
+
+  outstanding_.emplace(message.sequence,
+                       PendingAck{replicas_.size(), wire->size(), false});
+  for (auto& link : replicas_) {
+    append_to_outbox_locked(*link, message, wire, raw, coalescable);
+  }
   queue_cv_.notify_all();
   return Status::ok();
+}
+
+void PrinsEngine::append_to_outbox_locked(
+    ReplicaLink& link, const ReplicationMessage& meta,
+    const std::shared_ptr<const Bytes>& wire,
+    const std::shared_ptr<Bytes>& raw, bool coalescable) {
+  if (coalescable) {
+    const auto it = link.fold_slots.find(meta.lba);
+    if (it != link.fold_slots.end()) {
+      OutMessage& entry = link.outbox[it->second - link.first_slot];
+      if (ships_parity(config_.policy)) {
+        // Deltas telescope: applying d1 then d2 equals applying d1 ⊕ d2,
+        // so fold the new delta into the queued one.  Copy-on-write first:
+        // the payload may still be shared with other links' outboxes.
+        if (entry.raw.use_count() > 1) {
+          entry.raw = std::make_shared<Bytes>(*entry.raw);
+        }
+        xor_into(*entry.raw, *raw);
+        entry.wire = nullptr;  // payload changed; sender re-encodes
+        entry.meta.payload.clear();
+      } else {
+        // Full-block payloads: last write wins, and the new message's
+        // canonical encoding is exactly the folded entry.
+        entry.raw = raw;
+        entry.wire = wire;
+      }
+      entry.meta.sequence = meta.sequence;
+      entry.meta.timestamp_us = meta.timestamp_us;
+      entry.covered.push_back(meta.sequence);
+      return;
+    }
+  }
+
+  OutMessage item;
+  item.meta = meta;
+  item.wire = wire;
+  item.raw = raw;
+  item.coalescable = coalescable;
+  item.covered.push_back(meta.sequence);
+  link.outbox.push_back(std::move(item));
+  if (coalescable) {
+    link.fold_slots[meta.lba] = link.first_slot + link.outbox.size() - 1;
+  } else {
+    // A non-foldable message (e.g. a sync block) is an ordering barrier
+    // for its LBA: later writes must not fold to a position before it.
+    link.fold_slots.erase(meta.lba);
+  }
+}
+
+void PrinsEngine::complete_locked(const OutMessage& item, bool acked) {
+  // A coalesced ACK acknowledges every write the entry carries.
+  if (acked) metrics_.acks += item.covered.size();
+  for (const std::uint64_t seq : item.covered) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) continue;
+    if (!acked) it->second.dropped = true;
+    if (--it->second.remaining == 0) {
+      if (it->second.dropped) {
+        // An undelivered write must stay replayable: freeze the journal
+        // watermark until a recovery replays it.
+        journal_frozen_ = true;
+      } else {
+        metrics_.message_bytes += it->second.wire_bytes;
+      }
+      outstanding_.erase(it);
+    }
+  }
+}
+
+bool PrinsEngine::outboxes_below_capacity_locked() const {
+  for (const auto& link : replicas_) {
+    if (link->outbox.size() >= config_.queue_capacity) return false;
+  }
+  return true;
+}
+
+bool PrinsEngine::idle_locked() const {
+  for (const auto& link : replicas_) {
+    if (!link->outbox.empty() || link->in_flight != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t PrinsEngine::ack_watermark_locked() const {
+  if (journal_frozen_) return 0;
+  return outstanding_.empty() ? last_distributed_seq_
+                              : outstanding_.begin()->first - 1;
+}
+
+void PrinsEngine::advance_journal_watermark(std::uint64_t sequence) {
+  if (config_.journal == nullptr || sequence == 0) return;
+  std::lock_guard lock(journal_mutex_);
+  if (sequence <= journal_marked_) return;
+  const Status s = config_.journal->mark_acked(sequence);
+  if (!s.is_ok()) {
+    std::lock_guard elock(mutex_);
+    if (worker_error_.is_ok()) worker_error_ = s;
+    return;
+  }
+  journal_marked_ = sequence;
+}
+
+void PrinsEngine::sender_main(ReplicaLink* link) {
+  const std::size_t window = std::max<std::size_t>(1, config_.pipeline_depth);
+  std::vector<OutMessage> batch;
+  for (;;) {
+    batch.clear();
+    bool already_failed = false;
+    {
+      std::unique_lock lock(mutex_);
+      queue_cv_.wait(lock, [this, link] {
+        return stopping_ || !link->outbox.empty();
+      });
+      if (link->outbox.empty()) return;  // stopping with nothing left
+      while (!link->outbox.empty() && batch.size() < window) {
+        // A popped entry can no longer absorb folds.
+        const auto it = link->fold_slots.find(link->outbox.front().meta.lba);
+        if (it != link->fold_slots.end() && it->second == link->first_slot) {
+          link->fold_slots.erase(it);
+        }
+        batch.push_back(std::move(link->outbox.front()));
+        link->outbox.pop_front();
+        ++link->first_slot;
+      }
+      link->in_flight += batch.size();
+      already_failed = link->failed;
+      queue_cv_.notify_all();  // wake producers blocked on capacity
+    }
+
+    // Stream the whole window, then collect its ACKs.  The replica applies
+    // in order, so the window preserves write ordering.
+    Status result = Status::ok();
+    std::size_t acked = 0;
+    if (already_failed) {
+      // Sticky failure: drop the batch so producers and drain() never
+      // block behind a dead link.
+      result = unavailable("replica link is down");
+    } else {
+      std::lock_guard link_lock(link->mutex);
+      for (OutMessage& item : batch) {
+        if (item.wire == nullptr) {
+          // This entry absorbed folds; rebuild its encoding once, here,
+          // on this link's thread.
+          item.meta.payload =
+              encode_frame(payload_codec(item.meta.policy), *item.raw);
+          item.wire = std::make_shared<const Bytes>(item.meta.encode());
+        }
+      }
+      std::size_t sent = 0;
+      for (const OutMessage& item : batch) {
+        result = link->transport->send(*item.wire);
+        if (!result.is_ok()) break;
+        ++sent;
+      }
+      for (std::size_t i = 0; i < sent; ++i) {
+        auto reply = link->transport->recv();
+        if (!reply.is_ok()) {
+          result = reply.status();
+          break;
+        }
+        auto ack = ReplicationMessage::decode(*reply);
+        if (!ack.is_ok()) {
+          result = ack.status();
+          break;
+        }
+        if (ack->kind != MessageKind::kAck) {
+          result = failed_precondition("replica sent non-ACK reply");
+          break;
+        }
+        link->acked_timestamp.store(batch[i].meta.timestamp_us,
+                                    std::memory_order_relaxed);
+        ++acked;
+      }
+    }
+
+    std::uint64_t watermark = 0;
+    {
+      std::lock_guard lock(mutex_);
+      link->in_flight -= batch.size();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        complete_locked(batch[i], i < acked);
+      }
+      if (!result.is_ok()) {
+        link->failed = true;
+        if (worker_error_.is_ok() && !already_failed) {
+          worker_error_ = result;
+          PRINS_LOG(kError) << "replication failed: " << result.to_string();
+        }
+      }
+      watermark = ack_watermark_locked();
+      if (idle_locked()) drain_cv_.notify_all();
+    }
+    advance_journal_watermark(watermark);
+  }
 }
 
 Status PrinsEngine::send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
@@ -190,97 +428,9 @@ Status PrinsEngine::send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
   return Status::ok();
 }
 
-void PrinsEngine::worker_main() {
-  const std::size_t window = std::max<std::size_t>(1, config_.pipeline_depth);
-  struct BatchItem {
-    Bytes wire;
-    std::uint64_t timestamp;
-    std::uint64_t sequence;
-  };
-  std::vector<BatchItem> batch;
-  for (;;) {
-    batch.clear();
-    {
-      std::unique_lock lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping with nothing left
-      // Pop up to one pipeline window's worth of messages.
-      while (!queue_.empty() && batch.size() < window) {
-        batch.push_back(BatchItem{queue_.front().encode(),
-                                  queue_.front().timestamp_us,
-                                  queue_.front().sequence});
-        queue_.pop_front();
-        ++in_flight_;
-      }
-      queue_cv_.notify_all();  // wake producers blocked on capacity
-    }
-
-    // Per replica: stream the whole window, then collect its ACKs.  The
-    // replica applies in order, so the window preserves write ordering.
-    Status result = Status::ok();
-    std::uint64_t acks = 0;
-    for (auto& link : replicas_) {
-      std::lock_guard link_lock(link->mutex);
-      std::size_t sent = 0;
-      Status s = Status::ok();
-      for (const BatchItem& item : batch) {
-        s = link->transport->send(item.wire);
-        if (!s.is_ok()) break;
-        ++sent;
-      }
-      for (std::size_t i = 0; i < sent; ++i) {
-        auto reply = link->transport->recv();
-        if (!reply.is_ok()) {
-          s = reply.status();
-          break;
-        }
-        auto ack = ReplicationMessage::decode(*reply);
-        if (!ack.is_ok()) {
-          s = ack.status();
-          break;
-        }
-        if (ack->kind != MessageKind::kAck) {
-          s = failed_precondition("replica sent non-ACK reply");
-          break;
-        }
-        link->acked_timestamp.store(batch[i].timestamp,
-                                    std::memory_order_relaxed);
-        ++acks;
-      }
-      if (!s.is_ok() && result.is_ok()) result = s;
-    }
-
-    if (result.is_ok() && config_.journal != nullptr && !batch.empty()) {
-      std::uint64_t max_seq = 0;
-      for (const BatchItem& item : batch) {
-        max_seq = std::max(max_seq, item.sequence);
-      }
-      Status journal_status = config_.journal->mark_acked(max_seq);
-      if (!journal_status.is_ok()) result = journal_status;
-    }
-
-    {
-      std::lock_guard lock(mutex_);
-      in_flight_ -= batch.size();
-      metrics_.acks += acks;
-      if (result.is_ok()) {
-        for (const BatchItem& item : batch) {
-          metrics_.message_bytes += item.wire.size();
-        }
-      } else if (worker_error_.is_ok()) {
-        worker_error_ = result;
-        PRINS_LOG(kError) << "replication failed: " << result.to_string();
-      }
-      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
-    }
-  }
-}
-
 Status PrinsEngine::drain() {
   std::unique_lock lock(mutex_);
-  drain_cv_.wait(lock, [this] {
-    return (queue_.empty() && in_flight_ == 0) || stopping_;
-  });
+  drain_cv_.wait(lock, [this] { return idle_locked() || stopping_; });
   return worker_error_;
 }
 
@@ -306,7 +456,7 @@ Status PrinsEngine::full_sync() {
       msg.sequence = next_sequence_++;
       msg.timestamp_us = logical_clock_us_;  // sync is not a logical write
     }
-    PRINS_RETURN_IF_ERROR(enqueue(std::move(msg)));
+    PRINS_RETURN_IF_ERROR(enqueue(std::move(msg), nullptr));
   }
   return drain();
 }
@@ -451,14 +601,8 @@ Status PrinsEngine::replay_journal() {
     }
   }
   for (auto& msg : pending) {
-    // Re-append suppressed: the message is already in the journal.
-    std::unique_lock lock(mutex_);
-    queue_cv_.wait(lock, [this] {
-      return stopping_ || queue_.size() < config_.queue_capacity;
-    });
-    if (stopping_) return unavailable("engine is shutting down");
-    queue_.push_back(std::move(msg));
-    queue_cv_.notify_all();
+    // Straight to the outboxes: the message is already in the journal.
+    PRINS_RETURN_IF_ERROR(distribute(std::move(msg), nullptr));
   }
   return Status::ok();
 }
@@ -476,7 +620,7 @@ Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
     }
     link = replicas_[index].get();
   }
-  PRINS_RETURN_IF_ERROR(drain());  // quiesce the worker
+  PRINS_RETURN_IF_ERROR(drain());  // quiesce the senders
 
   const std::uint64_t since =
       link->acked_timestamp.load(std::memory_order_relaxed);

@@ -4,26 +4,34 @@
 // A BlockDevice decorator: reads pass through; every block write is
 //   1. applied to the local device,
 //   2. turned into a replication payload per the configured policy —
-//      for PRINS policies the payload is the write parity P' = new ⊕ old,
-//      for traditional policies the new block itself — encoded by the
-//      policy's codec,
-//   3. enqueued on a bounded queue drained by a worker thread that sends
-//      the message to every attached replica and waits for its ACK,
-// mirroring the paper's "PRINS-engine runs as a separate thread in parallel
-// to the normal iSCSI target thread ... communicates using a shared queue".
+//      for PRINS policies the payload is the write parity P' = new ⊕ old
+//      (computed by the fused SIMD kernel, which also yields the dirty-byte
+//      count for free), for traditional policies the new block itself —
+//      encoded by the policy's codec,
+//   3. fanned out to a per-replica outbox, each drained by its own sender
+//      thread, so a slow or high-latency replica never serializes the
+//      others.  Each sender streams up to `pipeline_depth` messages per
+//      link round-trip before collecting ACKs.
+//
+// Optionally (`coalesce_writes`) back-to-back deltas to the same LBA that
+// are still waiting in an outbox are XOR-folded into a single message: the
+// telescoping property (d1 then d2 == d1 ⊕ d2) makes the fold lossless for
+// parity policies, and last-write-wins makes it lossless for full-block
+// policies.  A folded message acknowledges every write it covers.
 //
 // Obtaining A_old: if the local device is a RaidArray, the engine taps the
 // array's ParityObserver and gets P' for free from the RAID-4/5 small-write
 // path (the paper's zero-overhead case).  Otherwise the engine reads the
 // old block before writing (the measured <10% overhead case).
 //
-// flush() acts as a replication barrier: it drains the queue (all replicas
-// acked everything) and then flushes the local device.
+// flush() acts as a replication barrier: it drains every outbox (all
+// replicas acked everything) and then flushes the local device.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -44,24 +52,32 @@ namespace prins {
 
 struct EngineConfig {
   ReplicationPolicy policy = ReplicationPolicy::kPrins;
+  /// Per-replica outbox bound; producers block while any outbox is full.
   std::size_t queue_capacity = 1024;
   /// Tap P' from the local RaidArray instead of reading the old block.
   /// Requires the local device passed to the constructor to be a RaidArray.
   bool use_raid_tap = false;
-  /// Messages sent to a replica before waiting for its ACKs.  1 is
-  /// stop-and-wait (the paper's conservative closed-network assumption);
-  /// larger windows amortize the link round-trip over WAN latencies.
-  /// Replicas apply in order either way.
+  /// Messages a sender streams to its replica before waiting for ACKs.
+  /// 1 is stop-and-wait (the paper's conservative closed-network
+  /// assumption); larger windows amortize the link round-trip over WAN
+  /// latencies.  Replicas apply in order either way.  The transport must
+  /// buffer at least this many messages per direction (TCP and the
+  /// default inproc pair do), else send/ack can deadlock.
   std::size_t pipeline_depth = 1;
+  /// XOR-fold queued same-LBA deltas in each replica outbox into one
+  /// message (lossless; see header comment).  Off by default: folding
+  /// trades wire messages for per-link re-encodes and makes per-message
+  /// traffic accounting depend on queue depth at send time.
+  bool coalesce_writes = false;
   /// Keep a primary-side TrapLog of every write's parity delta.  Enables
   /// resync_replica(): after a link outage, ship each stale block ONE
   /// folded delta (XOR of everything it missed) instead of checksum-
   /// scanning the device.  Costs memory proportional to bytes changed.
   bool keep_trap_log = false;
   /// Crash durability: every replication message is appended (fsync'd)
-  /// to this journal before queueing, and acknowledged sequences advance
-  /// its watermark.  After a crash, construct a new engine with the same
-  /// journal and call replay_journal().
+  /// to this journal before queueing, and fully-acknowledged sequences
+  /// advance its watermark.  After a crash, construct a new engine with
+  /// the same journal and call replay_journal().
   std::shared_ptr<ReplicationJournal> journal;
 };
 
@@ -69,10 +85,13 @@ struct EngineMetrics {
   std::uint64_t writes = 0;            // block writes replicated
   std::uint64_t raw_bytes = 0;         // application bytes written
   std::uint64_t payload_bytes = 0;     // encoded replication payload bytes
-  std::uint64_t message_bytes = 0;     // full wire message bytes (per replica:
-                                       // multiply by replica count for fabric
-                                       // totals; this counts one copy)
-  std::uint64_t acks = 0;              // acks received across replicas
+  std::uint64_t message_bytes = 0;     // canonical wire bytes of messages
+                                       // acked by every replica (one copy;
+                                       // multiply by replica count for
+                                       // fabric totals)
+  std::uint64_t acks = 0;              // logical write acknowledgements
+                                       // across replicas (a coalesced ACK
+                                       // counts once per write it covers)
   Histogram payload_sizes;             // per-write encoded payload size
   Histogram dirty_bytes;               // nonzero bytes per parity delta
                                        // (PRINS policies only)
@@ -93,8 +112,9 @@ class PrinsEngine final : public BlockDevice {
   PrinsEngine(const PrinsEngine&) = delete;
   PrinsEngine& operator=(const PrinsEngine&) = delete;
 
-  /// Attach a replica link.  The engine owns the transport and will close
-  /// it on destruction.  Add replicas before the first write.
+  /// Attach a replica link and start its sender thread.  The engine owns
+  /// the transport and will close it on destruction.  Add replicas before
+  /// the first write.
   void add_replica(std::unique_ptr<Transport> link);
 
   /// Number of attached replica links.
@@ -113,8 +133,8 @@ class PrinsEngine final : public BlockDevice {
   Status flush() override;
   std::string describe() const override;
 
-  /// Block until every queued message has been sent and acked.
-  /// Surfaces any replication error encountered by the worker.
+  /// Block until every queued message has been sent and acked on every
+  /// link.  Surfaces any replication error encountered by a sender.
   Status drain();
 
   /// Initial sync: ship the device's entire contents as compressed
@@ -157,18 +177,69 @@ class PrinsEngine final : public BlockDevice {
   ReplicationPolicy policy() const { return config_.policy; }
 
  private:
+  /// One queued wire message in a replica outbox.  Entries are usually a
+  /// cheap handle onto the shared canonical encoding; only entries that
+  /// absorbed a coalesced fold carry private bytes and re-encode at send
+  /// time.
+  struct OutMessage {
+    ReplicationMessage meta;  // header fields; payload carried by wire/raw
+    /// Canonical encoded wire message, shared across all link outboxes.
+    /// Null after a fold (payload changed; sender re-encodes).
+    std::shared_ptr<const Bytes> wire;
+    /// Raw (pre-codec) payload for folding; shared across links until a
+    /// fold copies-on-write.  Null when coalescing is off or impossible.
+    std::shared_ptr<Bytes> raw;
+    bool coalescable = false;
+    /// Sequences of every logical write this entry carries (>= 1; grows
+    /// as same-LBA writes fold in).  One replica ACK of this entry
+    /// acknowledges them all.
+    std::vector<std::uint64_t> covered;
+  };
+
   struct ReplicaLink {
     std::unique_ptr<Transport> transport;
     std::mutex mutex;  // serializes exchanges on this link
     // Logical timestamp of the newest write this replica has acked;
     // resync_replica() folds the parity log forward from here.
     std::atomic<std::uint64_t> acked_timestamp{0};
+
+    // Sender state below is guarded by the engine-wide mutex_.
+    std::deque<OutMessage> outbox;
+    /// LBA -> absolute outbox slot of the newest foldable entry.
+    std::unordered_map<Lba, std::uint64_t> fold_slots;
+    std::uint64_t first_slot = 0;  // absolute slot id of outbox.front()
+    std::size_t in_flight = 0;     // popped but not yet completed
+    bool failed = false;           // sticky until reattach_replica()
+    std::thread sender;
   };
 
-  void worker_main();
-  Status enqueue(ReplicationMessage message);
+  /// Per-sequence completion bookkeeping (guarded by mutex_).
+  struct PendingAck {
+    std::size_t remaining = 0;   // links that have not completed it yet
+    std::size_t wire_bytes = 0;  // canonical encoding size, for metrics
+    bool dropped = false;        // some link failed to deliver it
+  };
+
+  void sender_main(ReplicaLink* link);
+  /// Journal-append (if configured) and distribute to every outbox.
+  Status enqueue(ReplicationMessage message, std::shared_ptr<Bytes> raw);
+  /// Fan a message out to every replica outbox (no journal append).
+  Status distribute(ReplicationMessage message, std::shared_ptr<Bytes> raw);
+  void append_to_outbox_locked(ReplicaLink& link,
+                               const ReplicationMessage& meta,
+                               const std::shared_ptr<const Bytes>& wire,
+                               const std::shared_ptr<Bytes>& raw,
+                               bool coalescable);
+  /// Account one popped entry as acked or dropped by one link.
+  void complete_locked(const OutMessage& item, bool acked);
+  bool outboxes_below_capacity_locked() const;
+  bool idle_locked() const;
+  std::uint64_t ack_watermark_locked() const;
+  /// Monotonically advance the journal's acked watermark.
+  void advance_journal_watermark(std::uint64_t sequence);
   /// Build and enqueue the kWrite message for one block.
-  Status replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta);
+  Status replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta,
+                         std::size_t dirty);
   Status send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
                              MessageKind expect_ack_of);
   /// Flat per-block verify+repair of one range on one link (link mutex
@@ -190,18 +261,30 @@ class PrinsEngine final : public BlockDevice {
   std::vector<std::unique_ptr<ReplicaLink>> replicas_;
 
   // Pending parity deltas captured by the RAID tap, keyed by LBA.
+  struct TapDelta {
+    Bytes delta;
+    std::size_t dirty = 0;
+  };
   std::mutex tap_mutex_;
-  std::unordered_map<Lba, Bytes> tap_deltas_;
+  std::unordered_map<Lba, TapDelta> tap_deltas_;
 
-  // Replication queue + worker.
+  // Outbox fan-out + sender coordination.
   mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;   // producer <-> worker
+  std::condition_variable queue_cv_;   // producers <-> senders
   std::condition_variable drain_cv_;   // drain() waiters
-  std::deque<ReplicationMessage> queue_;
-  std::uint64_t in_flight_ = 0;  // messages popped but not fully acked
   bool stopping_ = false;
   Status worker_error_;  // first replication failure, surfaced by drain()
-  std::thread worker_;
+
+  // Sequences distributed but not yet completed by every link, ordered so
+  // the journal watermark is the smallest outstanding sequence minus one.
+  std::map<std::uint64_t, PendingAck> outstanding_;
+  std::uint64_t last_distributed_seq_ = 0;
+  /// Set once any message is dropped (link failure): the journal watermark
+  /// must never advance past an undelivered write, so it freezes until a
+  /// new engine replays the journal.
+  bool journal_frozen_ = false;
+  std::mutex journal_mutex_;  // serializes mark_acked calls
+  std::uint64_t journal_marked_ = 0;  // guarded by journal_mutex_
 
   std::uint64_t next_sequence_ = 1;
   std::uint64_t logical_clock_us_ = 0;  // advances 1us per replicated write

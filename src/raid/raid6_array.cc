@@ -94,7 +94,8 @@ Status Raid6Array::write_block(Lba lba, ByteSpan block) {
   Bytes old_q(block_size_);
   PRINS_RETURN_IF_ERROR(members_[loc.q_disk]->read(loc.stripe, old_q));
 
-  const Bytes delta = parity_delta(block, old_data);
+  Bytes delta(block_size_);  // Δ = new ⊕ old, dirty count fused in
+  const std::size_t dirty = xor_to_and_count(delta, block, old_data);
   xor_into(old_p, delta);                               // P' = P ⊕ Δ
   gf_mul_xor_into(old_q, gf_pow2(loc.slot), delta);     // Q' = Q ⊕ g^s·Δ
 
@@ -102,7 +103,7 @@ Status Raid6Array::write_block(Lba lba, ByteSpan block) {
   PRINS_RETURN_IF_ERROR(members_[loc.p_disk]->write(loc.stripe, old_p));
   PRINS_RETURN_IF_ERROR(members_[loc.q_disk]->write(loc.stripe, old_q));
 
-  if (observer_) observer_(lba, delta);
+  if (observer_) observer_(lba, delta, dirty);
   return Status::ok();
 }
 

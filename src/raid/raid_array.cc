@@ -86,7 +86,8 @@ Status RaidArray::write_block(Lba lba, ByteSpan block) {
   PRINS_RETURN_IF_ERROR(
       members_[loc.parity_disk]->read(loc.member_block, old_parity));
 
-  Bytes delta = parity_delta(block, old_data);  // P' = new ⊕ old
+  Bytes delta(block_size_);  // P' = new ⊕ old, dirty count fused in
+  const std::size_t dirty = xor_to_and_count(delta, block, old_data);
   Bytes new_parity(block_size_);
   xor_to(new_parity, delta, old_parity);  // Pnew = P' ⊕ Pold
 
@@ -94,7 +95,7 @@ Status RaidArray::write_block(Lba lba, ByteSpan block) {
   PRINS_RETURN_IF_ERROR(
       members_[loc.parity_disk]->write(loc.member_block, new_parity));
 
-  if (observer_) observer_(lba, delta);
+  if (observer_) observer_(lba, delta, dirty);
   return Status::ok();
 }
 

@@ -20,10 +20,13 @@
 
 namespace prins {
 
-/// Called after every single-block write with the logical LBA and the write
-/// parity P' = new ⊕ old.  Invoked with the array lock held; keep it short
-/// (PRINS enqueues onto its replication queue).
-using ParityObserver = std::function<void(Lba lba, ByteSpan parity_delta)>;
+/// Called after every single-block write with the logical LBA, the write
+/// parity P' = new ⊕ old, and P's non-zero byte count (computed by the
+/// fused XOR kernel during the small-write path, so observers never need a
+/// second scan).  Invoked with the array lock held; keep it short (PRINS
+/// enqueues onto its replication queue).
+using ParityObserver =
+    std::function<void(Lba lba, ByteSpan parity_delta, std::size_t dirty)>;
 
 class RaidArray final : public BlockDevice {
  public:

@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "net/inproc.h"
 
@@ -15,6 +16,8 @@ SymmetricCluster::SymmetricCluster(ClusterConfig config)
         std::make_shared<MemDisk>(config_.blocks_per_node, config_.block_size);
     EngineConfig engine_config;
     engine_config.policy = config_.policy;
+    engine_config.pipeline_depth = config_.pipeline_depth;
+    engine_config.coalesce_writes = config_.coalesce_writes;
     node.engine = std::make_unique<PrinsEngine>(node.volume, engine_config);
     node.rng = Rng(config_.seed * 1000 + i);
   }
@@ -56,6 +59,7 @@ Result<ClusterReport> SymmetricCluster::run(std::uint64_t writes_per_node) {
       std::min(config_.dirty_bytes_per_write, bs);
 
   // Interleave nodes round-robin, as concurrent applications would.
+  const auto start = std::chrono::steady_clock::now();
   Bytes block(bs);
   for (std::uint64_t w = 0; w < writes_per_node; ++w) {
     for (Node& node : nodes_) {
@@ -69,8 +73,10 @@ Result<ClusterReport> SymmetricCluster::run(std::uint64_t writes_per_node) {
   for (Node& node : nodes_) {
     PRINS_RETURN_IF_ERROR(node.engine->drain());
   }
+  const auto stop = std::chrono::steady_clock::now();
 
   ClusterReport report;
+  report.elapsed_sec = std::chrono::duration<double>(stop - start).count();
   report.all_replicas_consistent = true;
   std::uint64_t payload_messages = 0;
   for (unsigned i = 0; i < config_.nodes; ++i) {

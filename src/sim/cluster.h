@@ -33,6 +33,10 @@ struct ClusterConfig {
   /// Bytes of each block changed per write (partial-update model).
   std::uint32_t dirty_bytes_per_write = 800;
   std::uint64_t seed = 1;
+  /// Passed through to every node's EngineConfig: messages streamed per
+  /// link round-trip, and whether queued same-LBA deltas XOR-fold.
+  std::size_t pipeline_depth = 1;
+  bool coalesce_writes = false;
 };
 
 struct ClusterReport {
@@ -40,6 +44,7 @@ struct ClusterReport {
   TrafficStats fabric;                  // summed over every replica link
   bool all_replicas_consistent = false;
   double mean_payload_bytes = 0;        // per replicated write per link
+  double elapsed_sec = 0;               // write loop + drain (not verify)
 };
 
 class SymmetricCluster {

@@ -1,0 +1,149 @@
+// Tests for the runtime-dispatched byte kernels: every tier the CPU can
+// run must be bit-identical to the scalar reference over adversarial
+// sizes (0..257 crosses every lane boundary), odd alignments, and
+// randomized contents — plus semantic spot checks of the reference
+// itself.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "parity/kernels.h"
+#include "parity/xor.h"
+
+namespace prins {
+namespace {
+
+using kernels::Ops;
+
+TEST(KernelsTest, ScalarReferenceSemantics) {
+  const Ops& ops = kernels::scalar_ops();
+  const Bytes a = {0x00, 0xFF, 0x55, 0x00, 0x01};
+  const Bytes b = {0x00, 0xFF, 0xAA, 0x01, 0x01};
+  Bytes out(a.size());
+  EXPECT_EQ(ops.xor_to_and_count(out.data(), a.data(), b.data(), a.size()),
+            2u);  // 0x55^0xAA and 0x00^0x01 are the only non-zero bytes
+  EXPECT_EQ(out, (Bytes{0x00, 0x00, 0xFF, 0x01, 0x00}));
+  EXPECT_EQ(ops.count_nonzero(out.data(), out.size()), 2u);
+  EXPECT_EQ(ops.skip_zeros(out.data(), out.size(), 0), 2u);
+  EXPECT_EQ(ops.skip_zeros(out.data(), out.size(), 3), 3u);
+  EXPECT_EQ(ops.skip_zeros(out.data(), out.size(), 4), 5u);  // none left
+  EXPECT_EQ(ops.skip_zeros(out.data(), out.size(), 5), 5u);  // pos == n
+  EXPECT_EQ(ops.count_nonzero(out.data(), 0), 0u);
+}
+
+TEST(KernelsTest, AvailableTiersStartWithScalar) {
+  const auto tiers = kernels::available_ops();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_STREQ(tiers.front()->name, "scalar");
+  // active_ops is one of the runnable tiers.
+  bool found = false;
+  for (const Ops* ops : tiers) found = found || ops == &kernels::active_ops();
+  EXPECT_TRUE(found);
+}
+
+/// Every runnable tier, every kernel, sizes 0..257, three misalignments,
+/// randomized contents with embedded zero runs.
+TEST(KernelsTest, AllTiersMatchScalarOverSizesAndAlignments) {
+  const Ops& ref = kernels::scalar_ops();
+  Rng rng(1);
+  Bytes a(512 + 8), b(512 + 8);
+  rng.fill(a);
+  rng.fill(b);
+  // A zero run in the middle (a == b there) and zero-leading bytes, so the
+  // counting/scanning kernels see long all-zero and all-nonzero stretches.
+  for (std::size_t i = 100; i < 180; ++i) a[i] = b[i];
+  for (std::size_t i = 0; i < 40; ++i) {
+    a[i] = 0;
+    b[i] = 0;
+  }
+
+  for (const Ops* ops : kernels::available_ops()) {
+    SCOPED_TRACE(ops->name);
+    for (std::size_t n = 0; n <= 257; ++n) {
+      for (const std::size_t off : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{7}}) {
+        const Byte* pa = a.data() + off;
+        const Byte* pb = b.data() + off;
+
+        Bytes got(n, 0xCD), want(n, 0xCD);
+        ops->xor_to(got.data(), pa, pb, n);
+        ref.xor_to(want.data(), pa, pb, n);
+        ASSERT_EQ(got, want) << "xor_to n=" << n << " off=" << off;
+
+        Bytes acc_got = want, acc_want = want;
+        ops->xor_into(acc_got.data(), pb, n);
+        ref.xor_into(acc_want.data(), pb, n);
+        ASSERT_EQ(acc_got, acc_want) << "xor_into n=" << n << " off=" << off;
+
+        ASSERT_EQ(ops->count_nonzero(pa, n), ref.count_nonzero(pa, n))
+            << "count_nonzero n=" << n << " off=" << off;
+
+        Bytes f_got(n), f_want(n);
+        const std::size_t c_got =
+            ops->xor_to_and_count(f_got.data(), pa, pb, n);
+        const std::size_t c_want =
+            ref.xor_to_and_count(f_want.data(), pa, pb, n);
+        ASSERT_EQ(f_got, f_want) << "fused bytes n=" << n << " off=" << off;
+        ASSERT_EQ(c_got, c_want) << "fused count n=" << n << " off=" << off;
+
+        for (std::size_t pos = 0; pos <= n; pos += (n / 7) + 1) {
+          ASSERT_EQ(ops->skip_zeros(pa, n, pos), ref.skip_zeros(pa, n, pos))
+              << "skip_zeros n=" << n << " pos=" << pos << " off=" << off;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, FusedCountEqualsSeparateCountOnLargeRandomBlocks) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes a(8192), b(8192);
+    rng.fill(a);
+    rng.fill(b);
+    // Vary the dirty fraction: equalize a random prefix.
+    const std::size_t same = rng.next_below(a.size());
+    for (std::size_t i = 0; i < same; ++i) b[i] = a[i];
+
+    for (const Ops* ops : kernels::available_ops()) {
+      Bytes out(a.size());
+      const std::size_t fused =
+          ops->xor_to_and_count(out.data(), a.data(), b.data(), a.size());
+      EXPECT_EQ(fused, ops->count_nonzero(out.data(), out.size()))
+          << ops->name;
+      EXPECT_EQ(fused, count_nonzero(out)) << ops->name;  // public wrapper
+    }
+  }
+}
+
+TEST(KernelsTest, SkipZerosOnAllZeroAndAllNonzeroBuffers) {
+  Bytes zeros(300, 0);
+  Bytes ones(300, 1);
+  for (const Ops* ops : kernels::available_ops()) {
+    SCOPED_TRACE(ops->name);
+    EXPECT_EQ(ops->skip_zeros(zeros.data(), zeros.size(), 0), zeros.size());
+    EXPECT_EQ(ops->skip_zeros(zeros.data(), zeros.size(), 299), zeros.size());
+    EXPECT_EQ(ops->skip_zeros(ones.data(), ones.size(), 0), 0u);
+    EXPECT_EQ(ops->skip_zeros(ones.data(), ones.size(), 123), 123u);
+    EXPECT_EQ(ops->skip_zeros(zeros.data(), 0, 0), 0u);
+  }
+}
+
+TEST(KernelsTest, PublicXorWrappersUseDispatchedOps) {
+  // The span-level API in parity/xor.h must agree with the raw kernels.
+  Rng rng(3);
+  Bytes a(1000), b(1000);
+  rng.fill(a);
+  rng.fill(b);
+  Bytes out(a.size());
+  const std::size_t fused = xor_to_and_count(out, a, b);
+  EXPECT_EQ(out, parity_delta(a, b));
+  EXPECT_EQ(fused, count_nonzero(out));
+  Bytes acc = a;
+  xor_into(acc, b);
+  EXPECT_EQ(acc, out);
+}
+
+}  // namespace
+}  // namespace prins

@@ -249,11 +249,15 @@ TEST(Raid6Test, ObserverDeliversWriteParity) {
   const Bytes before = random_block(7);
   ASSERT_TRUE(rig.array->write(3, before).is_ok());
   Bytes observed;
-  rig.array->set_parity_observer(
-      [&](Lba, ByteSpan delta) { observed = to_bytes(delta); });
+  std::size_t observed_dirty = 0;
+  rig.array->set_parity_observer([&](Lba, ByteSpan delta, std::size_t dirty) {
+    observed = to_bytes(delta);
+    observed_dirty = dirty;
+  });
   const Bytes after = random_block(8);
   ASSERT_TRUE(rig.array->write(3, after).is_ok());
   EXPECT_EQ(observed, parity_delta(after, before));
+  EXPECT_EQ(observed_dirty, count_nonzero(observed));
 }
 
 TEST(Raid6Test, ScrubDetectsTampering) {

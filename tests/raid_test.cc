@@ -139,9 +139,11 @@ TEST(RaidArrayTest, ObserverReceivesExactParityDelta) {
 
   Lba observed_lba = ~0ull;
   Bytes observed_delta;
-  raid.set_parity_observer([&](Lba lba, ByteSpan delta) {
+  std::size_t observed_dirty = 0;
+  raid.set_parity_observer([&](Lba lba, ByteSpan delta, std::size_t dirty) {
     observed_lba = lba;
     observed_delta = to_bytes(delta);
+    observed_dirty = dirty;
   });
 
   const Bytes after = random_blocks(6, kBs);
@@ -149,6 +151,7 @@ TEST(RaidArrayTest, ObserverReceivesExactParityDelta) {
 
   EXPECT_EQ(observed_lba, 7u);
   EXPECT_EQ(observed_delta, parity_delta(after, before));
+  EXPECT_EQ(observed_dirty, count_nonzero(observed_delta));
   // And the delta really recovers the new data from the old.
   Bytes recovered(kBs);
   xor_to(recovered, observed_delta, before);
@@ -162,7 +165,7 @@ TEST(RaidArrayTest, Raid0HasNoObserverCallbacks) {
   auto array = RaidArray::create(RaidLevel::kRaid0, make_members(2));
   ASSERT_TRUE(array.is_ok());
   int calls = 0;
-  (*array)->set_parity_observer([&](Lba, ByteSpan) { ++calls; });
+  (*array)->set_parity_observer([&](Lba, ByteSpan, std::size_t) { ++calls; });
   ASSERT_TRUE((*array)->write(0, random_blocks(7, kBs)).is_ok());
   EXPECT_EQ(calls, 0);
 }
