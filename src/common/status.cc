@@ -12,6 +12,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kNotFound: return "NOT_FOUND";
     case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";

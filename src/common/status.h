@@ -24,6 +24,7 @@ enum class ErrorCode {
   kNotFound,          // requested entity does not exist
   kAlreadyExists,     // create of an existing entity
   kUnavailable,       // peer gone, connection closed, retryable
+  kTimeout,           // deadline elapsed; the operation may have succeeded
   kResourceExhausted, // queue full, out of space
   kFailedPrecondition,// operation not valid in current state
   kUnimplemented,     // feature intentionally absent
@@ -78,6 +79,9 @@ inline Status already_exists(std::string msg) {
 }
 inline Status unavailable(std::string msg) {
   return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status timeout_error(std::string msg) {
+  return {ErrorCode::kTimeout, std::move(msg)};
 }
 inline Status resource_exhausted(std::string msg) {
   return {ErrorCode::kResourceExhausted, std::move(msg)};

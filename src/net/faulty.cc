@@ -1,0 +1,145 @@
+#include "net/faulty.h"
+
+#include <thread>
+
+namespace prins {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 FaultConfig config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {}
+
+Status FaultyTransport::send(ByteSpan message) {
+  enum class Fault { kNone, kDrop, kCorrupt, kDuplicate };
+  Fault fault = Fault::kNone;
+  std::chrono::milliseconds stall{0};
+  {
+    std::lock_guard lock(mutex_);
+    if (disconnected_) return unavailable("faulty transport disconnected");
+    stats_.sent += 1;
+    if (config_.disconnect_after > 0 &&
+        stats_.sent > config_.disconnect_after) {
+      disconnected_ = true;
+      stats_.disconnects += 1;
+      inner_->close();
+      return unavailable("faulty transport: link cut");
+    }
+    if (rng_.next_bool(config_.stall_p)) {
+      stats_.stalled += 1;
+      stall = config_.stall;
+    }
+    if (rng_.next_bool(config_.drop_p)) {
+      fault = Fault::kDrop;
+      stats_.dropped += 1;
+    } else if (rng_.next_bool(config_.corrupt_p)) {
+      fault = Fault::kCorrupt;
+      stats_.corrupted += 1;
+    } else if (rng_.next_bool(config_.duplicate_p)) {
+      fault = Fault::kDuplicate;
+      stats_.duplicated += 1;
+    }
+  }
+  if (stall.count() > 0) std::this_thread::sleep_for(stall);
+
+  switch (fault) {
+    case Fault::kDrop:
+      // The link ate it; the sender sees success and waits in vain.
+      return Status::ok();
+    case Fault::kCorrupt: {
+      Bytes copy(message.begin(), message.end());
+      if (!copy.empty()) {
+        std::uint64_t bit;
+        {
+          std::lock_guard lock(mutex_);
+          bit = rng_.next_below(copy.size() * 8);
+        }
+        copy[bit / 8] ^= static_cast<Byte>(1u << (bit % 8));
+      }
+      std::lock_guard lock(mutex_);
+      stats_.delivered += 1;
+      return inner_->send(copy);
+    }
+    case Fault::kDuplicate: {
+      std::lock_guard lock(mutex_);
+      PRINS_RETURN_IF_ERROR(inner_->send(message));
+      stats_.delivered += 2;
+      return inner_->send(message);
+    }
+    case Fault::kNone:
+      break;
+  }
+  std::lock_guard lock(mutex_);
+  stats_.delivered += 1;
+  return inner_->send(message);
+}
+
+Result<Bytes> FaultyTransport::recv() {
+  Transport* inner;
+  {
+    std::lock_guard lock(mutex_);
+    if (disconnected_) return unavailable("faulty transport disconnected");
+    inner = inner_.get();
+  }
+  return inner->recv();
+}
+
+Result<Bytes> FaultyTransport::recv_for(std::chrono::milliseconds timeout) {
+  Transport* inner;
+  {
+    std::lock_guard lock(mutex_);
+    if (disconnected_) return unavailable("faulty transport disconnected");
+    inner = inner_.get();
+  }
+  return inner->recv_for(timeout);
+}
+
+void FaultyTransport::close() {
+  std::lock_guard lock(mutex_);
+  inner_->close();
+}
+
+std::string FaultyTransport::describe() const {
+  std::lock_guard lock(mutex_);
+  return "faulty(" + inner_->describe() + ")";
+}
+
+void FaultyTransport::set_disconnected(bool disconnected) {
+  std::lock_guard lock(mutex_);
+  if (disconnected && !disconnected_) {
+    stats_.disconnects += 1;
+    inner_->close();
+  }
+  disconnected_ = disconnected;
+}
+
+bool FaultyTransport::is_disconnected() const {
+  std::lock_guard lock(mutex_);
+  return disconnected_;
+}
+
+void FaultyTransport::reconnect_with(std::unique_ptr<Transport> inner) {
+  std::lock_guard lock(mutex_);
+  inner_ = std::move(inner);
+  disconnected_ = false;
+}
+
+FaultStats FaultyTransport::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+FaultyListener::FaultyListener(std::unique_ptr<Listener> inner,
+                               FaultConfig config)
+    : inner_(std::move(inner)), config_(config) {}
+
+Result<std::unique_ptr<Transport>> FaultyListener::accept() {
+  PRINS_ASSIGN_OR_RETURN(std::unique_ptr<Transport> t, inner_->accept());
+  FaultConfig per_conn = config_;
+  per_conn.seed = config_.seed + accepted_;
+  accepted_ += 1;
+  return std::unique_ptr<Transport>(
+      std::make_unique<FaultyTransport>(std::move(t), per_conn));
+}
+
+void FaultyListener::close() { inner_->close(); }
+
+}  // namespace prins

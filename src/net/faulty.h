@@ -1,0 +1,104 @@
+// FaultyTransport / FaultyListener: failure-injection decorators for tests.
+//
+// The transport analogue of block/faulty_disk: wraps another Transport and
+// injects message drops, duplicates, payload bit-flips, stalls, and hard
+// disconnects, all driven by a seeded Rng so every run is reproducible.
+// Composable with LatentTransport / ShapedTransport (wrap in either order)
+// to emulate the paper's lossy WAN links end to end.
+//
+// Fault semantics:
+//   - drop:       send() returns OK but the message never reaches the peer
+//                 (a lossy link, not a send error — the sender only learns
+//                 via a missing reply).
+//   - duplicate:  the message is delivered twice (models retransmit races
+//                 and duplicate ACKs).
+//   - corrupt:    one random bit of the delivered copy is flipped; the
+//                 frame CRC catches it downstream.
+//   - stall:      send() sleeps before delivering (a congestion burst).
+//   - disconnect: after `disconnect_after` sends the transport closes the
+//                 inner channel and every later op fails kUnavailable —
+//                 models a link cut; terminal until set_disconnected(false)
+//                 swaps in a fresh reconnect (tests usually make the engine
+//                 reconnect through a TransportFactory instead).
+//
+// Faults apply on the send path; recv()/recv_for() pass through so one
+// faulty end suffices to perturb both directions of a request/reply pair
+// when each side's messages traverse it.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace prins {
+
+struct FaultConfig {
+  double drop_p = 0.0;       // P(message silently dropped)
+  double duplicate_p = 0.0;  // P(message delivered twice)
+  double corrupt_p = 0.0;    // P(one bit of the message flipped)
+  double stall_p = 0.0;      // P(send sleeps `stall` before delivering)
+  std::chrono::milliseconds stall{5};
+  std::uint64_t disconnect_after = 0;  // sends before a hard cut; 0 = never
+  std::uint64_t seed = 1;
+};
+
+struct FaultStats {
+  std::uint64_t sent = 0;        // send() calls that reached fault selection
+  std::uint64_t delivered = 0;   // messages actually handed to the inner end
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t disconnects = 0;
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(std::unique_ptr<Transport> inner, FaultConfig config);
+
+  Status send(ByteSpan message) override;
+  Result<Bytes> recv() override;
+  Result<Bytes> recv_for(std::chrono::milliseconds timeout) override;
+  void close() override;
+  std::string describe() const override;
+
+  /// Force (or clear) the disconnected state.  Entering it closes the inner
+  /// transport; leaving it requires a live replacement channel.
+  void set_disconnected(bool disconnected);
+  bool is_disconnected() const;
+
+  /// Replace the inner transport (a "reconnect") and clear the disconnected
+  /// state.  The fault schedule keeps running — the send counter is not
+  /// reset, so disconnect_after fires only once.
+  void reconnect_with(std::unique_ptr<Transport> inner);
+
+  FaultStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<Transport> inner_;
+  FaultConfig config_;
+  Rng rng_;
+  FaultStats stats_;
+  bool disconnected_ = false;
+};
+
+/// Wraps a Listener so each accepted connection is a FaultyTransport.
+/// Connection i uses seed `config.seed + i`, so multi-connection tests stay
+/// deterministic without every link sharing one fault stream.
+class FaultyListener final : public Listener {
+ public:
+  FaultyListener(std::unique_ptr<Listener> inner, FaultConfig config);
+
+  Result<std::unique_ptr<Transport>> accept() override;
+  void close() override;
+
+ private:
+  std::unique_ptr<Listener> inner_;
+  FaultConfig config_;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace prins

@@ -29,6 +29,19 @@ struct Pipe {
   Result<Bytes> pop() {
     std::unique_lock lock(mutex);
     can_recv.wait(lock, [&] { return closed || !queue.empty(); });
+    return pop_locked();
+  }
+
+  Result<Bytes> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex);
+    if (!can_recv.wait_for(lock, timeout,
+                           [&] { return closed || !queue.empty(); })) {
+      return timeout_error("inproc recv timed out");
+    }
+    return pop_locked();
+  }
+
+  Result<Bytes> pop_locked() {
     if (queue.empty()) return unavailable("inproc channel closed");
     Bytes msg = std::move(queue.front());
     queue.pop_front();
@@ -52,6 +65,9 @@ class InprocTransport final : public Transport {
 
   Status send(ByteSpan message) override { return out_->push(message); }
   Result<Bytes> recv() override { return in_->pop(); }
+  Result<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    return in_->pop_for(timeout);
+  }
 
   void close() override {
     out_->close();

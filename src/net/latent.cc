@@ -59,6 +59,29 @@ struct LatentPipe {
     return message;
   }
 
+  Result<Bytes> pop_for(std::chrono::milliseconds timeout) {
+    const Clock::time_point deadline = Clock::now() + timeout;
+    std::unique_lock lock(mutex);
+    for (;;) {
+      if (!queue.empty()) {
+        const Clock::time_point ready = queue.front().ready;
+        if (Clock::now() >= ready) break;
+        if (ready > deadline) return timeout_error("latent recv timed out");
+        can_recv.wait_until(lock, ready);
+        continue;
+      }
+      if (closed) return unavailable("latent channel closed");
+      if (can_recv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          queue.empty()) {
+        return timeout_error("latent recv timed out");
+      }
+    }
+    Bytes message = std::move(queue.front().data);
+    queue.pop_front();
+    can_send.notify_one();
+    return message;
+  }
+
   void close() {
     std::lock_guard lock(mutex);
     closed = true;
@@ -76,6 +99,9 @@ class LatentTransport final : public Transport {
 
   Status send(ByteSpan message) override { return out_->push(message); }
   Result<Bytes> recv() override { return in_->pop(); }
+  Result<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    return in_->pop_for(timeout);
+  }
   void close() override {
     out_->close();
     in_->close();

@@ -42,6 +42,9 @@ class ShapedTransport final : public Transport {
   }
 
   Result<Bytes> recv() override { return inner_->recv(); }
+  Result<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    return inner_->recv_for(timeout);
+  }
   void close() override { inner_->close(); }
   std::string describe() const override {
     return "shaped[" + std::string(config_.line.name) + "](" +

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -103,6 +104,23 @@ Result<Bytes> TcpTransport::recv() {
     PRINS_RETURN_IF_ERROR(read_all(fd_, payload.data(), len));
   }
   return payload;
+}
+
+Result<Bytes> TcpTransport::recv_for(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return unavailable("transport closed");
+  // Poll only for the *first* byte of the frame; once the header starts
+  // arriving the peer is live and a blocking read of the remainder is safe.
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll");
+    }
+    if (rc == 0) return timeout_error("tcp recv timed out");
+    break;
+  }
+  return recv();
 }
 
 void TcpTransport::close() {

@@ -31,6 +31,7 @@ class TcpTransport final : public Transport {
 
   Status send(ByteSpan message) override;
   Result<Bytes> recv() override;
+  Result<Bytes> recv_for(std::chrono::milliseconds timeout) override;
   void close() override;
   std::string describe() const override;
 

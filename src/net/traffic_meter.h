@@ -58,6 +58,15 @@ class TrafficMeter final : public Transport {
     return r;
   }
 
+  Result<Bytes> recv_for(std::chrono::milliseconds timeout) override {
+    auto r = inner_->recv_for(timeout);
+    if (r.is_ok()) {
+      std::lock_guard lock(mutex_);
+      received_.add_message(r.value().size());
+    }
+    return r;
+  }
+
   void close() override { inner_->close(); }
   std::string describe() const override {
     return "metered(" + inner_->describe() + ")";

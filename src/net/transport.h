@@ -8,6 +8,7 @@
 // peer closes (kUnavailable).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -26,6 +27,18 @@ class Transport {
   /// Receive the next message; blocks.  kUnavailable once the peer has
   /// closed and all queued messages are drained.
   virtual Result<Bytes> recv() = 0;
+
+  /// Receive with a deadline: like recv(), but fails with kTimeout once
+  /// `timeout` elapses with no message (the channel stays usable — the
+  /// message may still arrive on a later call).  This is what lets the
+  /// engine's retry path detect a dropped message instead of hanging.
+  /// Implementations that cannot honor deadlines fall back to a blocking
+  /// recv(); the in-proc, latent, TCP, and decorator transports all honor
+  /// them.
+  virtual Result<Bytes> recv_for(std::chrono::milliseconds timeout) {
+    (void)timeout;
+    return recv();
+  }
 
   /// Close this end; wakes any blocked recv() on both sides.
   virtual void close() = 0;

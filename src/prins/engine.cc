@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/crc32c.h"
 #include "common/logging.h"
@@ -63,6 +64,8 @@ void PrinsEngine::add_replica(std::unique_ptr<Transport> link) {
   ReplicaLink* raw = replica.get();
   {
     std::lock_guard lock(mutex_);
+    raw->index = replicas_.size();
+    raw->jitter = Rng(0x9e3779b97f4a7c15ull + raw->index);
     replicas_.push_back(std::move(replica));
   }
   raw->sender = std::thread([this, raw] { sender_main(raw); });
@@ -90,10 +93,18 @@ Status PrinsEngine::reattach_replica(std::size_t index,
     std::lock_guard link_lock(replica->mutex);
     replica->transport->close();
     replica->transport = std::move(link);
+    replica->heal_failures = 0;
   }
   std::lock_guard lock(mutex_);
   replica->failed = false;
-  worker_error_ = Status::ok();
+  replica->unhealable = false;
+  // Clear the sticky error only once *every* link is healthy again:
+  // reattaching replica 0 must not silently absolve a still-failed
+  // replica 1.
+  bool any_failed = false;
+  for (const auto& r : replicas_) any_failed |= r->failed;
+  if (!any_failed) worker_error_ = Status::ok();
+  queue_cv_.notify_all();
   return Status::ok();
 }
 
@@ -115,16 +126,25 @@ Status PrinsEngine::write(Lba lba, ByteSpan data) {
     if (raid_ != nullptr || raid6_ != nullptr) {
       // Tap mode: the array computes P' (and its dirty count) during its
       // small-write path.
-      PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
-      std::lock_guard lock(tap_mutex_);
-      auto it = tap_deltas_.find(b);
-      if (it == tap_deltas_.end()) {
+      const Status wrote = local_->write(b, new_block);
+      // Consume the tap entry on *every* exit path — a stale delta left
+      // behind by a failed write would poison the next write to this LBA.
+      bool have_tap = false;
+      {
+        std::lock_guard lock(tap_mutex_);
+        auto it = tap_deltas_.find(b);
+        if (it != tap_deltas_.end()) {
+          delta = std::move(it->second.delta);
+          dirty = it->second.dirty;
+          have_tap = true;
+          tap_deltas_.erase(it);
+        }
+      }
+      PRINS_RETURN_IF_ERROR(wrote);
+      if (!have_tap) {
         return internal_error("RAID tap produced no delta for block " +
                               std::to_string(b));
       }
-      delta = std::move(it->second.delta);
-      dirty = it->second.dirty;
-      tap_deltas_.erase(it);
     } else if (need_delta) {
       Bytes old_block(bs);
       PRINS_RETURN_IF_ERROR(local_->read(b, old_block));
@@ -171,9 +191,18 @@ Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta,
     if (ships_parity(config_.policy)) {
       metrics_.dirty_bytes.record(dirty);
     }
+    // A heal snapshotting its fold window must wait until this write's
+    // delta is in the trap log, or the fold would miss it.
+    if (config_.keep_trap_log) ++pending_appends_;
   }
   if (config_.keep_trap_log) {
-    PRINS_RETURN_IF_ERROR(trap_log_.append(lba, msg.timestamp_us, delta));
+    const Status appended = trap_log_.append(lba, msg.timestamp_us, delta);
+    {
+      std::lock_guard lock(mutex_);
+      --pending_appends_;
+      queue_cv_.notify_all();
+    }
+    PRINS_RETURN_IF_ERROR(appended);
   }
   return enqueue(std::move(msg), std::move(raw));
 }
@@ -219,6 +248,11 @@ Status PrinsEngine::distribute(ReplicationMessage message,
     append_to_outbox_locked(*link, message, wire, raw, coalescable);
   }
   queue_cv_.notify_all();
+  // The message may have completed instantly on every link (heal-skip
+  // fast path); keep the journal watermark moving in that case.
+  const std::uint64_t watermark = ack_watermark_locked();
+  lock.unlock();
+  advance_journal_watermark(watermark);
   return Status::ok();
 }
 
@@ -226,6 +260,16 @@ void PrinsEngine::append_to_outbox_locked(
     ReplicaLink& link, const ReplicationMessage& meta,
     const std::shared_ptr<const Bytes>& wire,
     const std::shared_ptr<Bytes>& raw, bool coalescable) {
+  if (meta.kind == MessageKind::kWrite &&
+      meta.timestamp_us <= link.skip_below_ts) {
+    // A pending (or completed) heal's fold already carries this write for
+    // this link; queueing it too would deliver the delta twice (and XOR
+    // twice is an undo).
+    OutMessage skipped;
+    skipped.covered.push_back(meta.sequence);
+    complete_locked(skipped, /*acked=*/true);
+    return;
+  }
   if (coalescable) {
     const auto it = link.fold_slots.find(meta.lba);
     if (it != link.fold_slots.end()) {
@@ -296,9 +340,17 @@ bool PrinsEngine::outboxes_below_capacity_locked() const {
   return true;
 }
 
+bool PrinsEngine::healable_locked(const ReplicaLink& link) const {
+  return link.failed && !link.unhealable && config_.reconnect != nullptr &&
+         config_.keep_trap_log;
+}
+
 bool PrinsEngine::idle_locked() const {
   for (const auto& link : replicas_) {
     if (!link->outbox.empty() || link->in_flight != 0) return false;
+    // A degraded link with a pending self-heal is work in progress:
+    // drain() must wait for the heal's verdict, not report a stale error.
+    if (healable_locked(*link)) return false;
   }
   return true;
 }
@@ -325,14 +377,28 @@ void PrinsEngine::advance_journal_watermark(std::uint64_t sequence) {
 void PrinsEngine::sender_main(ReplicaLink* link) {
   const std::size_t window = std::max<std::size_t>(1, config_.pipeline_depth);
   std::vector<OutMessage> batch;
+  std::vector<bool> acked;
   for (;;) {
     batch.clear();
     bool already_failed = false;
     {
       std::unique_lock lock(mutex_);
+      if (healable_locked(*link)) {
+        // Degraded state: hold queued traffic (producers back-pressure on
+        // capacity) and retry the heal on its backoff schedule.
+        queue_cv_.wait_until(lock, link->next_heal,
+                             [this] { return stopping_; });
+        if (stopping_) return;
+        if (!healable_locked(*link)) continue;  // reattached meanwhile
+        if (std::chrono::steady_clock::now() < link->next_heal) continue;
+        lock.unlock();
+        attempt_heal(link);
+        continue;
+      }
       queue_cv_.wait(lock, [this, link] {
-        return stopping_ || !link->outbox.empty();
+        return stopping_ || healable_locked(*link) || !link->outbox.empty();
       });
+      if (healable_locked(*link)) continue;
       if (link->outbox.empty()) return;  // stopping with nothing left
       while (!link->outbox.empty() && batch.size() < window) {
         // A popped entry can no longer absorb folds.
@@ -349,14 +415,12 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
       queue_cv_.notify_all();  // wake producers blocked on capacity
     }
 
-    // Stream the whole window, then collect its ACKs.  The replica applies
-    // in order, so the window preserves write ordering.
     Status result = Status::ok();
-    std::size_t acked = 0;
     if (already_failed) {
-      // Sticky failure: drop the batch so producers and drain() never
-      // block behind a dead link.
+      // Sticky, non-healable failure: drop the batch so producers and
+      // drain() never block behind a dead link.
       result = unavailable("replica link is down");
+      acked.assign(batch.size(), false);
     } else {
       std::lock_guard link_lock(link->mutex);
       for (OutMessage& item : batch) {
@@ -368,31 +432,7 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
           item.wire = std::make_shared<const Bytes>(item.meta.encode());
         }
       }
-      std::size_t sent = 0;
-      for (const OutMessage& item : batch) {
-        result = link->transport->send(*item.wire);
-        if (!result.is_ok()) break;
-        ++sent;
-      }
-      for (std::size_t i = 0; i < sent; ++i) {
-        auto reply = link->transport->recv();
-        if (!reply.is_ok()) {
-          result = reply.status();
-          break;
-        }
-        auto ack = ReplicationMessage::decode(*reply);
-        if (!ack.is_ok()) {
-          result = ack.status();
-          break;
-        }
-        if (ack->kind != MessageKind::kAck) {
-          result = failed_precondition("replica sent non-ACK reply");
-          break;
-        }
-        link->acked_timestamp.store(batch[i].meta.timestamp_us,
-                                    std::memory_order_relaxed);
-        ++acked;
-      }
+      result = exchange_batch_locked(*link, batch, acked);
     }
 
     std::uint64_t watermark = 0;
@@ -400,11 +440,26 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
       std::lock_guard lock(mutex_);
       link->in_flight -= batch.size();
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        complete_locked(batch[i], i < acked);
+        complete_locked(batch[i], acked[i]);
       }
       if (!result.is_ok()) {
         link->failed = true;
-        if (worker_error_.is_ok() && !already_failed) {
+        link->next_heal = std::chrono::steady_clock::now();
+        // A heal's trap-log fold can re-deliver kWrite traffic, so a
+        // healable link failing on pure write batches is *degraded*, not
+        // broken: keep accepting writes and let the heal catch up.  Any
+        // other kind in the batch has no second delivery path — that
+        // failure must stick.
+        bool fold_covers_batch = true;
+        for (const OutMessage& item : batch) {
+          fold_covers_batch &= item.meta.kind == MessageKind::kWrite;
+        }
+        const bool degraded = fold_covers_batch && healable_locked(*link);
+        if (degraded) {
+          PRINS_LOG(kWarn) << "replica " << link->index
+                           << " degraded; self-heal scheduled: "
+                           << result.to_string();
+        } else if (worker_error_.is_ok() && !already_failed) {
           worker_error_ = result;
           PRINS_LOG(kError) << "replication failed: " << result.to_string();
         }
@@ -414,6 +469,359 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
     }
     advance_journal_watermark(watermark);
   }
+}
+
+Result<Bytes> PrinsEngine::recv_reply_locked(ReplicaLink& link) {
+  return config_.retry.op_timeout.count() > 0
+             ? link.transport->recv_for(config_.retry.op_timeout)
+             : link.transport->recv();
+}
+
+void PrinsEngine::retry_backoff(ReplicaLink& link, std::size_t attempt) {
+  const RetryPolicy& r = config_.retry;
+  double ms = static_cast<double>(r.base_backoff.count()) *
+              std::pow(r.multiplier, static_cast<double>(
+                                         std::min<std::size_t>(attempt, 30)) -
+                                         1.0);
+  ms = std::min(ms, static_cast<double>(r.max_backoff.count()));
+  // ±25% jitter decorrelates simultaneous retries across links.
+  ms *= 0.75 + 0.5 * link.jitter.next_double();
+  if (ms <= 0.0) return;
+  std::unique_lock lock(mutex_);
+  queue_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
+                     [this] { return stopping_; });
+}
+
+Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
+                                          std::vector<OutMessage>& batch,
+                                          std::vector<bool>& acked) {
+  acked.assign(batch.size(), false);
+  const auto all_acked = [&] {
+    return std::all_of(acked.begin(), acked.end(), [](bool a) { return a; });
+  };
+  const bool parity = ships_parity(config_.policy);
+  std::size_t attempt = 0;
+  for (;;) {
+    // Stream every un-acked entry, oldest first, then collect replies.
+    // The replica applies in arrival order; parity deltas XOR-commute, so
+    // retransmission order cannot change the converged state.
+    std::size_t sent = 0;
+    Status result = Status::ok();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (acked[i]) continue;
+      result = link.transport->send(*batch[i].wire);
+      if (!result.is_ok()) break;
+      ++sent;
+    }
+    std::size_t newly_acked = 0;
+    std::size_t replies = 0;
+    while (result.is_ok() && replies < sent && !all_acked()) {
+      auto reply = recv_reply_locked(link);
+      if (!reply.is_ok()) {
+        result = reply.status();
+        break;
+      }
+      ++replies;
+      auto ack = ReplicationMessage::decode(*reply);
+      if (!ack.is_ok()) continue;  // torn reply; the retransmit covers it
+      if (ack->kind == MessageKind::kNak) continue;  // explicit resend ask
+      if (ack->kind != MessageKind::kAck) {
+        return failed_precondition("replica sent non-ACK reply");
+      }
+      // Exact-match marking: with loss in play, a cumulative reading of
+      // acks could bury an undelivered write under a later one.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!acked[i] && batch[i].meta.sequence == ack->sequence) {
+          acked[i] = true;
+          ++newly_acked;
+          const std::uint64_t ts = batch[i].meta.timestamp_us;
+          if (ts > link.acked_timestamp.load(std::memory_order_relaxed)) {
+            link.acked_timestamp.store(ts, std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+      // Unmatched sequences are stale acks from a duplicated delivery or
+      // an earlier timed-out round; ignore them.
+    }
+    if (all_acked()) return Status::ok();
+
+    // Classify what went wrong.
+    const ErrorCode code = result.code();
+    const bool connection_loss =
+        code == ErrorCode::kUnavailable || code == ErrorCode::kIoError;
+    if (result.is_ok()) {
+      // Every reply collected, entries still open: drops or NAKs upstream.
+      result = timeout_error("replica replies incomplete; retransmitting");
+    } else if (code == ErrorCode::kFailedPrecondition) {
+      return result;  // protocol breach: not retryable
+    } else if (connection_loss && config_.reconnect == nullptr) {
+      return result;  // the historical sticky-failure path
+    }
+    if (!parity) {
+      // Whole-block payloads only tolerate in-order redelivery (deltas
+      // commute, full blocks do not): a gap in the acked prefix would
+      // reorder same-LBA writes at the replica.
+      bool seen_unacked = false;
+      for (bool a : acked) {
+        if (!a) {
+          seen_unacked = true;
+        } else if (seen_unacked) {
+          return failed_precondition(
+              "out-of-order ack under a full-block policy");
+        }
+      }
+    }
+
+    attempt = newly_acked > 0 ? 1 : attempt + 1;
+    if (attempt > config_.retry.max_attempts) return result;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return result;
+      metrics_.retries += 1;
+    }
+    if (connection_loss) {
+      auto fresh = config_.reconnect(link.index);
+      if (fresh.is_ok()) {
+        link.transport->close();
+        link.transport = std::move(*fresh);
+        std::lock_guard lock(mutex_);
+        metrics_.reconnects += 1;
+      }
+      // Factory failure: back off and try the whole round again.
+    }
+    retry_backoff(link, attempt);
+  }
+}
+
+void PrinsEngine::heal_failed(ReplicaLink* link, const Status& why) {
+  const RetryPolicy& r = config_.retry;
+  std::lock_guard lock(mutex_);
+  link->heal_failures += 1;
+  const double base =
+      std::max<double>(1.0, static_cast<double>(r.base_backoff.count()));
+  double ms = base * std::pow(r.multiplier,
+                              static_cast<double>(std::min<std::uint32_t>(
+                                  link->heal_failures - 1, 30)));
+  ms = std::min(
+      ms, std::max<double>(1.0, static_cast<double>(r.max_backoff.count())));
+  ms *= 0.75 + 0.5 * link->jitter.next_double();
+  link->next_heal = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(ms));
+  PRINS_LOG(kWarn) << "self-heal of replica " << link->index
+                   << " failed (attempt " << link->heal_failures
+                   << "): " << why.to_string();
+}
+
+Status PrinsEngine::hello_locked(ReplicaLink& link,
+                                 std::uint64_t& applied_ts) {
+  ReplicationMessage hello;
+  hello.kind = MessageKind::kHello;
+  {
+    std::lock_guard lock(mutex_);
+    hello.sequence = next_sequence_++;
+  }
+  const Bytes wire = hello.encode();
+  for (std::size_t attempt = 0; attempt <= config_.retry.max_attempts;
+       ++attempt) {
+    PRINS_RETURN_IF_ERROR(link.transport->send(wire));
+    auto reply = recv_reply_locked(link);
+    if (!reply.is_ok()) {
+      if (reply.status().code() == ErrorCode::kTimeout) continue;
+      return reply.status();
+    }
+    auto ack = ReplicationMessage::decode(*reply);
+    if (!ack.is_ok()) continue;  // torn; ask again
+    if (ack->kind == MessageKind::kAck && ack->sequence == hello.sequence) {
+      applied_ts = ack->timestamp_us;
+      return Status::ok();
+    }
+    // NAK or a stale reply from before the outage: ask again.
+  }
+  return timeout_error("replica hello got no usable reply");
+}
+
+Status PrinsEngine::build_resync_locked(ReplicaLink& link,
+                                        std::uint64_t replica_ts) {
+  // Fold base: whichever of our acked watermark and the replica's own
+  // applied position is newer (acks lost in the outage leave ours stale;
+  // folding from a stale base would re-apply — i.e. undo — those writes).
+  const std::uint64_t since =
+      std::max(link.acked_timestamp.load(std::memory_order_relaxed),
+               replica_ts);
+  std::uint64_t until = 0;
+  {
+    std::unique_lock lock(mutex_);
+    // Every timestamped write must be in the trap log before we pick the
+    // window, or the fold would silently miss it.
+    queue_cv_.wait(lock,
+                   [this] { return stopping_ || pending_appends_ == 0; });
+    if (stopping_) return unavailable("engine is shutting down");
+    for (const OutMessage& item : link.outbox) {
+      if (item.meta.kind != MessageKind::kWrite) {
+        return failed_precondition(
+            "non-write traffic queued for this link; heal deferred");
+      }
+    }
+    until = logical_clock_us_;
+    // The fold carries everything this link has queued (all entries bear
+    // timestamps <= until): complete them here and let the fold deliver
+    // their bytes.  From now on, late-arriving entries at or below `until`
+    // complete on sight (append_to_outbox_locked).
+    for (OutMessage& item : link.outbox) complete_locked(item, true);
+    link.outbox.clear();
+    link.fold_slots.clear();
+    link.skip_below_ts = until;
+    queue_cv_.notify_all();  // producers blocked on outbox capacity
+  }
+  if (until <= since) {
+    link.resync_upto = std::max(since, until);
+    return Status::ok();  // nothing missed
+  }
+
+  // Build into a scratch set and commit only when complete: a fold failure
+  // partway must not leave a partial set that a resumed heal would ship as
+  // if it were the whole outage.
+  std::deque<ResyncFrame> frames;
+  const std::uint32_t bs = block_size();
+  for (Lba lba : trap_log_.blocks_changed_in(since, until)) {
+    auto fold = trap_log_.fold_range(lba, since, until, bs);
+    if (!fold.is_ok()) {
+      if (fold.status().code() == ErrorCode::kFailedPrecondition) {
+        // Trap history for the outage window was compacted or truncated
+        // away.  The fold is unreconstructible: stop healing and force the
+        // journal to keep everything for an operator-driven recovery.
+        std::lock_guard lock(mutex_);
+        link.unhealable = true;
+        journal_frozen_ = true;
+        // The degraded window suppressed the sticky error on the promise
+        // the heal would deliver; that promise is now broken.
+        if (worker_error_.is_ok()) worker_error_ = fold.status();
+        queue_cv_.notify_all();
+        // The link just left the healable state: drain() waiters must wake
+        // and surface the sticky error instead of waiting on a heal that
+        // will never come.
+        if (idle_locked()) drain_cv_.notify_all();
+        PRINS_LOG(kError)
+            << "replica " << link.index
+            << " is unhealable (trap history lost); run verify_and_repair";
+      }
+      return fold.status();
+    }
+    if (all_zero(*fold)) continue;  // missed writes cancelled out
+
+    ReplicationMessage msg;
+    msg.kind = MessageKind::kWrite;
+    msg.policy = ReplicationPolicy::kPrinsRle;
+    msg.block_size = bs;
+    msg.lba = lba;
+    msg.timestamp_us = until;
+    msg.payload = encode_frame(codec_for(CodecId::kZeroRle), *fold);
+    {
+      std::lock_guard lock(mutex_);
+      msg.sequence = next_sequence_++;
+    }
+    frames.push_back(ResyncFrame{msg.sequence, msg.encode()});
+  }
+  link.resync_wire = std::move(frames);
+  link.resync_upto = until;
+  return Status::ok();
+}
+
+void PrinsEngine::attempt_heal(ReplicaLink* link) {
+  std::lock_guard link_lock(link->mutex);
+
+  // 1. Fresh connection.
+  auto fresh = config_.reconnect(link->index);
+  if (!fresh.is_ok()) return heal_failed(link, fresh.status());
+  link->transport->close();
+  link->transport = std::move(*fresh);
+  {
+    std::lock_guard lock(mutex_);
+    metrics_.reconnects += 1;
+  }
+
+  // 2. Where is the replica really?  (Its applied position can be ahead
+  // of our acked watermark when acks were lost in the outage.)
+  std::uint64_t replica_ts = 0;
+  if (Status s = hello_locked(*link, replica_ts); !s.is_ok()) {
+    return heal_failed(link, s);
+  }
+
+  // 3. Build the folded catch-up set — unless an interrupted heal left one
+  // to resume (resending the same sequences is safe: replica dedup).
+  if (link->resync_wire.empty()) {
+    if (Status s = build_resync_locked(*link, replica_ts); !s.is_ok()) {
+      return heal_failed(link, s);
+    }
+  }
+
+  // 4. Ship it, one exchange per stale block.
+  while (!link->resync_wire.empty()) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+    }
+    const ResyncFrame& frame = link->resync_wire.front();
+    Status shipped = Status::ok();
+    bool delivered = false;
+    for (std::size_t attempt = 0;
+         attempt <= config_.retry.max_attempts && !delivered; ++attempt) {
+      shipped = link->transport->send(frame.wire);
+      if (!shipped.is_ok()) break;
+      auto reply = recv_reply_locked(*link);
+      if (!reply.is_ok()) {
+        shipped = reply.status();
+        if (shipped.code() != ErrorCode::kTimeout) break;
+        continue;
+      }
+      auto ack = ReplicationMessage::decode(*reply);
+      if (!ack.is_ok()) continue;  // torn reply; resend
+      if (ack->kind == MessageKind::kAck && ack->sequence == frame.sequence) {
+        delivered = true;
+      }
+      // NAK or stale ack: resend.
+    }
+    if (!delivered) {
+      return heal_failed(
+          link, shipped.is_ok()
+                    ? timeout_error("resync frame got no ack; will resume")
+                    : shipped);
+    }
+    link->resync_wire.pop_front();
+  }
+
+  // 5. Healed: rejoin the steady-state path.
+  std::uint64_t watermark = 0;
+  {
+    std::lock_guard lock(mutex_);
+    link->failed = false;
+    link->heal_failures = 0;
+    if (link->resync_upto >
+        link->acked_timestamp.load(std::memory_order_relaxed)) {
+      link->acked_timestamp.store(link->resync_upto,
+                                  std::memory_order_relaxed);
+    }
+    metrics_.auto_resyncs += 1;
+    bool any_failed = false;
+    for (const auto& r : replicas_) any_failed |= r->failed;
+    if (!any_failed) {
+      // Every link is caught up: writes the outage marked undeliverable
+      // have now arrived via the folds, so the sticky error and the
+      // journal freeze have nothing left to guard.
+      worker_error_ = Status::ok();
+      for (auto& [seq, pending] : outstanding_) pending.dropped = false;
+      journal_frozen_ = false;
+    }
+    watermark = ack_watermark_locked();
+    if (idle_locked()) drain_cv_.notify_all();
+    queue_cv_.notify_all();
+  }
+  advance_journal_watermark(watermark);
+  PRINS_LOG(kInfo) << "replica " << link->index
+                   << " self-healed (resynced through ts="
+                   << link->resync_upto << ")";
 }
 
 Status PrinsEngine::send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
@@ -431,7 +839,14 @@ Status PrinsEngine::send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
 Status PrinsEngine::drain() {
   std::unique_lock lock(mutex_);
   drain_cv_.wait(lock, [this] { return idle_locked() || stopping_; });
-  return worker_error_;
+  const Status result = worker_error_;
+  // Senders mark the journal after releasing mutex_, so a drain() waiter
+  // can wake before the last mark lands; settle it here so "drained"
+  // implies "journal watermark current".
+  const std::uint64_t watermark = ack_watermark_locked();
+  lock.unlock();
+  advance_journal_watermark(watermark);
+  return result;
 }
 
 Status PrinsEngine::flush() {
@@ -654,7 +1069,30 @@ Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
     ++resynced;
   }
   link->acked_timestamp.store(newest, std::memory_order_relaxed);
+
+  // The replica is caught up.  If it was the last straggler, the journal
+  // freeze has nothing left to guard: writes the outage marked dropped
+  // have all been delivered through the fold, so release the watermark
+  // (it would otherwise stay frozen for the life of the engine and the
+  // journal would grow without bound).
+  std::uint64_t watermark = 0;
+  {
+    std::lock_guard lock(mutex_);
+    bool any_failed = false;
+    for (const auto& r : replicas_) any_failed |= r->failed;
+    if (!any_failed) {
+      for (auto& [seq, pending] : outstanding_) pending.dropped = false;
+      journal_frozen_ = false;
+      watermark = ack_watermark_locked();
+    }
+  }
+  advance_journal_watermark(watermark);
   return resynced;
+}
+
+std::size_t PrinsEngine::tap_backlog() const {
+  std::lock_guard lock(tap_mutex_);
+  return tap_deltas_.size();
 }
 
 EngineMetrics PrinsEngine::metrics() const {

@@ -29,8 +29,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,6 +42,7 @@
 
 #include "block/block_device.h"
 #include "common/histogram.h"
+#include "common/rng.h"
 #include "net/transport.h"
 #include "prins/message.h"
 #include "prins/replication_policy.h"
@@ -49,6 +52,29 @@
 #include "raid/raid_array.h"
 
 namespace prins {
+
+/// Rebuilds the transport to replica `index` after a connection-class
+/// failure (the engine closes the old transport before calling this).
+using TransportFactory =
+    std::function<Result<std::unique_ptr<Transport>>(std::size_t index)>;
+
+/// How a sender reacts to link trouble.  Transient errors (reply timeout,
+/// torn reply, replica NAK) retransmit the un-acked window with exponential
+/// backoff + jitter; connection losses additionally reconnect through the
+/// engine's TransportFactory (when one is configured).  Sequence dedup at
+/// the replica makes every retransmission safe.
+struct RetryPolicy {
+  /// Consecutive no-progress attempts before the link is declared failed.
+  std::size_t max_attempts = 5;
+  std::chrono::milliseconds base_backoff{1};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{200};
+  /// Per-reply receive deadline.  0 (default) blocks forever — a dropped
+  /// message then stalls the link until the peer closes, exactly the
+  /// pre-retry behavior.  Set it on lossy fabrics so drops surface as
+  /// kTimeout and trigger retransmission.
+  std::chrono::milliseconds op_timeout{0};
+};
 
 struct EngineConfig {
   ReplicationPolicy policy = ReplicationPolicy::kPrins;
@@ -79,6 +105,17 @@ struct EngineConfig {
   /// advance its watermark.  After a crash, construct a new engine with
   /// the same journal and call replay_journal().
   std::shared_ptr<ReplicationJournal> journal;
+  /// Link error recovery (see RetryPolicy).  The defaults retry transient
+  /// errors a few times and otherwise behave like the pre-retry engine.
+  RetryPolicy retry;
+  /// Reconnect callback.  Null (default): losing a connection is a sticky
+  /// failure resolved by the operator (reattach_replica + resync_replica).
+  /// Non-null: senders transparently reconnect and replay un-acked traffic;
+  /// combined with keep_trap_log, a link that exhausts its retries becomes
+  /// a *degraded* state the engine exits on its own — it periodically
+  /// reconnects, folds the parity log over the outage window, resyncs the
+  /// replica, and unfreezes the journal watermark.
+  TransportFactory reconnect;
 };
 
 struct EngineMetrics {
@@ -95,6 +132,9 @@ struct EngineMetrics {
   Histogram payload_sizes;             // per-write encoded payload size
   Histogram dirty_bytes;               // nonzero bytes per parity delta
                                        // (PRINS policies only)
+  std::uint64_t retries = 0;           // batch retransmission rounds
+  std::uint64_t reconnects = 0;        // transports rebuilt via the factory
+  std::uint64_t auto_resyncs = 0;      // degraded links healed autonomously
 };
 
 class PrinsEngine final : public BlockDevice {
@@ -172,6 +212,11 @@ class PrinsEngine final : public BlockDevice {
   /// The primary-side parity log (empty unless config.keep_trap_log).
   const TrapLog& trap_log() const { return trap_log_; }
 
+  /// RAID-tap deltas captured but not yet consumed by write().  Nonzero
+  /// outside a write() call would mean a leaked (stale) delta; exposed so
+  /// tests can pin the no-leak invariant.
+  std::size_t tap_backlog() const;
+
   EngineMetrics metrics() const;
 
   ReplicationPolicy policy() const { return config_.policy; }
@@ -196,6 +241,13 @@ class PrinsEngine final : public BlockDevice {
     std::vector<std::uint64_t> covered;
   };
 
+  /// One heal message awaiting delivery: a resumed heal resends the same
+  /// wire bytes (same sequence), so the replica's dedup absorbs overlap.
+  struct ResyncFrame {
+    std::uint64_t sequence;
+    Bytes wire;
+  };
+
   struct ReplicaLink {
     std::unique_ptr<Transport> transport;
     std::mutex mutex;  // serializes exchanges on this link
@@ -203,13 +255,29 @@ class PrinsEngine final : public BlockDevice {
     // resync_replica() folds the parity log forward from here.
     std::atomic<std::uint64_t> acked_timestamp{0};
 
+    // Fields below the transport are stable after add_replica().
+    std::size_t index = 0;
+    Rng jitter{1};  // decorrelates backoff across links (guarded by mutex)
+
     // Sender state below is guarded by the engine-wide mutex_.
     std::deque<OutMessage> outbox;
     /// LBA -> absolute outbox slot of the newest foldable entry.
     std::unordered_map<Lba, std::uint64_t> fold_slots;
     std::uint64_t first_slot = 0;  // absolute slot id of outbox.front()
     std::size_t in_flight = 0;     // popped but not yet completed
-    bool failed = false;           // sticky until reattach_replica()
+    bool failed = false;   // sticky until reattach_replica() or a heal
+    bool unhealable = false;  // trap history gone; operator repair needed
+    /// kWrite entries at or below this timestamp are covered by a heal's
+    /// fold and complete immediately instead of queueing.
+    std::uint64_t skip_below_ts = 0;
+
+    // Heal state touched only by this link's sender thread (and by
+    // reattach_replica under `mutex`).
+    std::deque<ResyncFrame> resync_wire;  // un-acked heal messages
+    std::uint64_t resync_upto = 0;        // fold window end of resync_wire
+    std::uint32_t heal_failures = 0;
+    std::chrono::steady_clock::time_point next_heal{};
+
     std::thread sender;
   };
 
@@ -221,6 +289,23 @@ class PrinsEngine final : public BlockDevice {
   };
 
   void sender_main(ReplicaLink* link);
+  /// Deliver a popped window to the replica with retry/reconnect per the
+  /// RetryPolicy.  OK iff every entry was acked; `acked` records per-entry
+  /// outcomes either way.  Link mutex must be held.
+  Status exchange_batch_locked(ReplicaLink& link,
+                               std::vector<OutMessage>& batch,
+                               std::vector<bool>& acked);
+  Result<Bytes> recv_reply_locked(ReplicaLink& link);
+  /// Sleep the retry backoff for `attempt` (1-based), waking early on stop.
+  void retry_backoff(ReplicaLink& link, std::size_t attempt);
+  /// Degraded-link recovery: reconnect, locate the replica (kHello), fold
+  /// the trap log over the outage, ship it, rejoin the steady-state path.
+  void attempt_heal(ReplicaLink* link);
+  Status hello_locked(ReplicaLink& link, std::uint64_t& applied_ts);
+  Status build_resync_locked(ReplicaLink& link, std::uint64_t replica_ts);
+  void heal_failed(ReplicaLink* link, const Status& why);
+  /// True when a failed link will recover on its own (mutex_ held).
+  bool healable_locked(const ReplicaLink& link) const;
   /// Journal-append (if configured) and distribute to every outbox.
   Status enqueue(ReplicationMessage message, std::shared_ptr<Bytes> raw);
   /// Fan a message out to every replica outbox (no journal append).
@@ -265,7 +350,7 @@ class PrinsEngine final : public BlockDevice {
     Bytes delta;
     std::size_t dirty = 0;
   };
-  std::mutex tap_mutex_;
+  mutable std::mutex tap_mutex_;
   std::unordered_map<Lba, TapDelta> tap_deltas_;
 
   // Outbox fan-out + sender coordination.
@@ -288,6 +373,10 @@ class PrinsEngine final : public BlockDevice {
 
   std::uint64_t next_sequence_ = 1;
   std::uint64_t logical_clock_us_ = 0;  // advances 1us per replicated write
+  /// Writes that took a timestamp but have not yet landed in the trap log
+  /// (guarded by mutex_).  A heal must not snapshot its fold window while
+  /// any are pending, or the fold would silently miss them.
+  std::size_t pending_appends_ = 0;
 
   TrapLog trap_log_;  // populated when config_.keep_trap_log
 

@@ -29,6 +29,9 @@ enum class MessageKind : std::uint8_t {
   kBarrier = 7,      // flush marker: replica acks when all prior applied
   kHashRequest = 8,  // primary -> replica: payload = packed (lba, count) ranges
   kHashReply = 9,    // replica -> primary: payload = packed range hashes
+  kNak = 10,         // replica -> primary: frame arrived corrupt, resend
+  kHello = 11,       // primary -> replica: report applied position (kAck
+                     //   reply carries the replica's applied timestamp)
 };
 
 struct ReplicationMessage {

@@ -25,9 +25,19 @@ Status ReplicaEngine::serve(Transport& transport) {
       std::lock_guard lock(mutex_);
       metrics_.bytes_received += wire->size();
     }
-    PRINS_ASSIGN_OR_RETURN(ReplicationMessage msg,
-                           ReplicationMessage::decode(*wire));
-    PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply, apply(msg));
+    auto msg = ReplicationMessage::decode(*wire);
+    if (!msg.is_ok()) {
+      // A torn frame is the link's fault, not the session's: NAK so the
+      // primary retransmits.  Sequence 0 = "couldn't even read the header";
+      // the primary resends everything un-acked and dedup absorbs overlap.
+      std::lock_guard lock(mutex_);
+      metrics_.naks_sent += 1;
+      ReplicationMessage nak;
+      nak.kind = MessageKind::kNak;
+      PRINS_RETURN_IF_ERROR(transport.send(nak.encode()));
+      continue;
+    }
+    PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply, apply(*msg));
     PRINS_RETURN_IF_ERROR(transport.send(reply.encode()));
   }
 }
@@ -56,14 +66,50 @@ Result<ReplicationMessage> ReplicaEngine::apply(
     case MessageKind::kWrite:
     case MessageKind::kSyncBlock:
     case MessageKind::kRepairBlock: {
-      PRINS_RETURN_IF_ERROR(apply_write(message));
+      {
+        std::lock_guard lock(mutex_);
+        if (already_applied_locked(message.sequence)) {
+          metrics_.duplicates_dropped += 1;
+          break;  // ACK again; do NOT re-apply (XOR would undo the write)
+        }
+      }
+      Status applied = apply_write(message);
+      if (applied.code() == ErrorCode::kCorruption) {
+        // Payload survived the header CRC but its codec frame is bad:
+        // bounce it back for a resend rather than diverging.
+        std::lock_guard lock(mutex_);
+        metrics_.naks_sent += 1;
+        ReplicationMessage nak;
+        nak.kind = MessageKind::kNak;
+        nak.sequence = message.sequence;
+        nak.lba = message.lba;
+        return nak;
+      }
+      PRINS_RETURN_IF_ERROR(applied);
+      std::lock_guard lock(mutex_);
+      record_applied_locked(message.sequence);
+      if (message.kind == MessageKind::kWrite) {
+        applied_timestamp_us_ =
+            std::max(applied_timestamp_us_, message.timestamp_us);
+      }
       break;
     }
     case MessageKind::kBarrier:
       break;  // in-order processing makes the barrier itself a no-op
+    case MessageKind::kHello: {
+      // Position report: the ACK's timestamp tells the primary how far
+      // this replica's device has advanced.
+      ReplicationMessage ack;
+      ack.kind = MessageKind::kAck;
+      ack.sequence = message.sequence;
+      std::lock_guard lock(mutex_);
+      ack.timestamp_us = applied_timestamp_us_;
+      return ack;
+    }
     case MessageKind::kAck:
     case MessageKind::kVerifyReply:
     case MessageKind::kHashReply:
+    case MessageKind::kNak:
       return failed_precondition("replica received a reply-kind message");
   }
   ReplicationMessage ack;
@@ -71,6 +117,21 @@ Result<ReplicationMessage> ReplicaEngine::apply(
   ack.sequence = message.sequence;
   ack.lba = message.lba;
   return ack;
+}
+
+bool ReplicaEngine::already_applied_locked(std::uint64_t sequence) const {
+  return sequence != 0 && applied_set_.count(sequence) != 0;
+}
+
+void ReplicaEngine::record_applied_locked(std::uint64_t sequence) {
+  if (sequence == 0) return;
+  constexpr std::size_t kDedupWindow = 65536;
+  if (!applied_set_.insert(sequence).second) return;
+  applied_fifo_.push_back(sequence);
+  if (applied_fifo_.size() > kDedupWindow) {
+    applied_set_.erase(applied_fifo_.front());
+    applied_fifo_.pop_front();
+  }
 }
 
 Status ReplicaEngine::apply_write(const ReplicationMessage& message) {
@@ -149,6 +210,11 @@ Result<ReplicationMessage> ReplicaEngine::apply_verify(
 ReplicaMetrics ReplicaEngine::metrics() const {
   std::lock_guard lock(mutex_);
   return metrics_;
+}
+
+std::uint64_t ReplicaEngine::applied_timestamp() const {
+  std::lock_guard lock(mutex_);
+  return applied_timestamp_us_;
 }
 
 std::thread replica_serve_in_background(std::shared_ptr<ReplicaEngine> replica,

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "block/block_device.h"
 #include "common/histogram.h"
@@ -37,6 +39,8 @@ struct ReplicaMetrics {
   std::uint64_t repairs = 0;
   std::uint64_t verify_requests = 0;
   std::uint64_t bytes_received = 0;   // wire message bytes
+  std::uint64_t duplicates_dropped = 0;  // re-delivered sequences not applied
+  std::uint64_t naks_sent = 0;           // corrupt frames bounced back
 };
 
 class ReplicaEngine {
@@ -44,13 +48,27 @@ class ReplicaEngine {
   ReplicaEngine(std::shared_ptr<BlockDevice> local, ReplicaConfig config = {});
 
   /// Serve one primary connection until it closes.  OK on clean disconnect.
+  /// A frame that fails CRC/decode is NAK'd (the primary retransmits), not
+  /// fatal; device errors still end the session with the error.
   Status serve(Transport& transport);
 
-  /// Apply a single message and build the reply (ACK / verify reply).
+  /// Apply a single message and build the reply (ACK / verify reply / NAK).
   /// Exposed for deterministic unit tests; serve() is this in a loop.
+  ///
+  /// Write-kind messages with a nonzero sequence are deduplicated against a
+  /// sliding window of recently applied sequences: a re-delivered message
+  /// (duplicate on the wire, or a primary replaying un-acked traffic after
+  /// a reconnect) is ACK'd without touching the device.  This is what makes
+  /// primary-side retransmission safe — applying a parity delta twice would
+  /// XOR the write back *out*.
   Result<ReplicationMessage> apply(const ReplicationMessage& message);
 
   ReplicaMetrics metrics() const;
+
+  /// Newest write timestamp applied to the device (0 before any write).
+  /// Reported in the kHello reply so a healing primary can pick a correct
+  /// trap-log fold base even if its own view of the link went stale.
+  std::uint64_t applied_timestamp() const;
 
   /// The CDP log (empty unless config.keep_trap_log).
   TrapLog& trap_log() { return trap_log_; }
@@ -61,12 +79,20 @@ class ReplicaEngine {
  private:
   Status apply_write(const ReplicationMessage& message);
   Result<ReplicationMessage> apply_verify(const ReplicationMessage& message);
+  bool already_applied_locked(std::uint64_t sequence) const;
+  void record_applied_locked(std::uint64_t sequence);
 
   std::shared_ptr<BlockDevice> local_;
   ReplicaConfig config_;
   TrapLog trap_log_;
   mutable std::mutex mutex_;
   ReplicaMetrics metrics_;
+  // Sliding dedup window (set + FIFO of the same sequences).  Bounded so a
+  // long-lived replica doesn't hold every sequence ever seen; the window is
+  // far wider than any in-flight pipeline, so a live duplicate always hits.
+  std::unordered_set<std::uint64_t> applied_set_;
+  std::deque<std::uint64_t> applied_fifo_;
+  std::uint64_t applied_timestamp_us_ = 0;
 };
 
 /// Run replica.serve(transport) for every connection accepted from

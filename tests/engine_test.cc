@@ -925,14 +925,14 @@ TEST(EngineTest, ReplicaDeviceFaultFailsTheSession) {
 
 TEST(EngineTest, GarbageOnTheWireIsRejectedNotApplied) {
   // A man-in-the-middle (or bit rot) corrupting a replication message
-  // must not corrupt the replica: the CRC rejects it and the session
-  // errors out.
+  // must not corrupt the replica: the CRC rejects it, the replica NAKs so
+  // the primary can retransmit, and the session survives.
   auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
   auto replica = std::make_shared<ReplicaEngine>(replica_disk);
   auto [sender, replica_end] = make_inproc_pair();
   std::thread server(
       [r = replica, t = std::shared_ptr<Transport>(std::move(replica_end))] {
-        EXPECT_FALSE(r->serve(*t).is_ok());
+        EXPECT_TRUE(r->serve(*t).is_ok());  // clean disconnect, not an error
       });
 
   ReplicationMessage msg;
@@ -944,6 +944,13 @@ TEST(EngineTest, GarbageOnTheWireIsRejectedNotApplied) {
   Bytes wire = msg.encode();
   wire[wire.size() / 2] ^= 0xFF;  // corrupt in flight
   ASSERT_TRUE(sender->send(wire).is_ok());
+
+  auto reply = sender->recv();
+  ASSERT_TRUE(reply.is_ok());
+  auto nak = ReplicationMessage::decode(*reply);
+  ASSERT_TRUE(nak.is_ok());
+  EXPECT_EQ(nak->kind, MessageKind::kNak);
+
   sender->close();
   server.join();
 
@@ -951,6 +958,7 @@ TEST(EngineTest, GarbageOnTheWireIsRejectedNotApplied) {
   ASSERT_TRUE(replica_disk->read(3, out).is_ok());
   EXPECT_TRUE(all_zero(out));  // the corrupt write never landed
   EXPECT_EQ(replica->metrics().writes_applied, 0u);
+  EXPECT_EQ(replica->metrics().naks_sent, 1u);
 }
 
 TEST(ReplicaEngineTest, RejectsReplyKindMessages) {
@@ -973,15 +981,30 @@ TEST(ReplicaEngineTest, RejectsBlockSizeMismatch) {
 }
 
 TEST(ReplicaEngineTest, RejectsCorruptPayload) {
+  // A payload whose codec frame fails its own integrity check is bounced
+  // back as a NAK (echoing sequence + lba) instead of killing the session;
+  // the device is never touched.
   auto disk = std::make_shared<MemDisk>(8, kBs);
   ReplicaEngine replica(disk);
   ReplicationMessage msg;
   msg.kind = MessageKind::kWrite;
   msg.policy = ReplicationPolicy::kTraditional;
   msg.block_size = kBs;
+  msg.sequence = 42;
+  msg.lba = 5;
   msg.payload = encode_frame(codec_for(CodecId::kNull), Bytes(kBs, 1));
   msg.payload[8] ^= 0xFF;  // corrupt the codec frame body
-  EXPECT_FALSE(replica.apply(msg).is_ok());
+  auto reply = replica.apply(msg);
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply->kind, MessageKind::kNak);
+  EXPECT_EQ(reply->sequence, 42u);
+  EXPECT_EQ(reply->lba, 5u);
+  EXPECT_EQ(replica.metrics().writes_applied, 0u);
+  EXPECT_EQ(replica.metrics().naks_sent, 1u);
+
+  Bytes out(kBs);
+  ASSERT_TRUE(disk->read(5, out).is_ok());
+  EXPECT_TRUE(all_zero(out));
 }
 
 TEST(ReplicaEngineTest, BarrierAcksWithoutWriting) {

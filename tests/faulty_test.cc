@@ -1,0 +1,213 @@
+// Tests for the fault-injecting transport decorator and the timed receive
+// (recv_for) support it leans on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/faulty.h"
+#include "net/inproc.h"
+#include "net/latent.h"
+
+namespace prins {
+namespace {
+
+using std::chrono::milliseconds;
+
+Bytes message(std::string_view s) { return to_bytes(as_bytes(s)); }
+
+FaultConfig only(double FaultConfig::*knob, double p, std::uint64_t seed = 7) {
+  FaultConfig config;
+  config.*knob = p;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FaultyTransportTest, PassesThroughWhenFaultFree) {
+  auto [a, b] = make_inproc_pair();
+  FaultyTransport faulty(std::move(a), FaultConfig{});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(faulty.send(message("m" + std::to_string(i))).is_ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto got = b->recv();
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(*got, message("m" + std::to_string(i)));
+  }
+  const FaultStats stats = faulty.stats();
+  EXPECT_EQ(stats.sent, 10u);
+  EXPECT_EQ(stats.delivered, 10u);
+  EXPECT_EQ(stats.dropped + stats.corrupted + stats.duplicated, 0u);
+}
+
+TEST(FaultyTransportTest, DropsAreSilentSuccess) {
+  auto [a, b] = make_inproc_pair();
+  FaultyTransport faulty(std::move(a), only(&FaultConfig::drop_p, 1.0));
+  ASSERT_TRUE(faulty.send(message("gone")).is_ok());  // sender sees success
+  EXPECT_EQ(faulty.stats().dropped, 1u);
+  EXPECT_EQ(faulty.stats().delivered, 0u);
+  auto got = b->recv_for(milliseconds(20));
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kTimeout);
+}
+
+TEST(FaultyTransportTest, CorruptFlipsExactlyOneBit) {
+  auto [a, b] = make_inproc_pair();
+  FaultyTransport faulty(std::move(a), only(&FaultConfig::corrupt_p, 1.0));
+  const Bytes original = message("a perfectly innocent payload");
+  ASSERT_TRUE(faulty.send(original).is_ok());
+  auto got = b->recv();
+  ASSERT_TRUE(got.is_ok());
+  ASSERT_EQ(got->size(), original.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    flipped_bits += __builtin_popcount(
+        static_cast<unsigned>((*got)[i] ^ original[i]) & 0xFF);
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(faulty.stats().corrupted, 1u);
+}
+
+TEST(FaultyTransportTest, DuplicateDeliversTwice) {
+  auto [a, b] = make_inproc_pair();
+  FaultyTransport faulty(std::move(a), only(&FaultConfig::duplicate_p, 1.0));
+  ASSERT_TRUE(faulty.send(message("twice")).is_ok());
+  for (int i = 0; i < 2; ++i) {
+    auto got = b->recv();
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(*got, message("twice"));
+  }
+  EXPECT_EQ(faulty.stats().duplicated, 1u);
+  EXPECT_EQ(faulty.stats().delivered, 2u);
+}
+
+TEST(FaultyTransportTest, StallDelaysButDelivers) {
+  auto [a, b] = make_inproc_pair();
+  FaultConfig config;
+  config.stall_p = 1.0;
+  config.stall = milliseconds(20);
+  FaultyTransport faulty(std::move(a), config);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(faulty.send(message("slow")).is_ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, milliseconds(15));
+  auto got = b->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("slow"));
+  EXPECT_EQ(faulty.stats().stalled, 1u);
+}
+
+TEST(FaultyTransportTest, SameSeedSameFaultSchedule) {
+  FaultConfig config;
+  config.drop_p = 0.3;
+  config.duplicate_p = 0.2;
+  config.seed = 1234;
+  std::vector<std::uint64_t> delivered_counts;
+  for (int run = 0; run < 2; ++run) {
+    auto [a, b] = make_inproc_pair();
+    FaultyTransport faulty(std::move(a), config);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(faulty.send(message("x")).is_ok());
+    }
+    const FaultStats stats = faulty.stats();
+    EXPECT_GT(stats.dropped, 0u);
+    EXPECT_GT(stats.duplicated, 0u);
+    delivered_counts.push_back(stats.delivered);
+  }
+  EXPECT_EQ(delivered_counts[0], delivered_counts[1]);
+}
+
+TEST(FaultyTransportTest, DisconnectAfterCutsTheLinkHard) {
+  auto [a, b] = make_inproc_pair();
+  FaultConfig config;
+  config.disconnect_after = 3;
+  FaultyTransport faulty(std::move(a), config);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(faulty.send(message("ok")).is_ok());
+  }
+  auto cut = faulty.send(message("dead"));
+  ASSERT_FALSE(cut.is_ok());
+  EXPECT_EQ(cut.code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(faulty.is_disconnected());
+  // Everything after the cut fails the same way, including receives.
+  EXPECT_EQ(faulty.send(message("still dead")).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(faulty.recv_for(milliseconds(5)).status().code(),
+            ErrorCode::kUnavailable);
+  // The peer sees the closed channel once the in-flight backlog drains.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(b->recv().is_ok());
+  EXPECT_EQ(b->recv().status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(faulty.stats().disconnects, 1u);
+}
+
+TEST(FaultyTransportTest, ReconnectWithRestoresTheLink) {
+  auto [a, b] = make_inproc_pair();
+  FaultyTransport faulty(std::move(a), FaultConfig{});
+  faulty.set_disconnected(true);
+  EXPECT_EQ(faulty.send(message("x")).code(), ErrorCode::kUnavailable);
+
+  auto [a2, b2] = make_inproc_pair();
+  faulty.reconnect_with(std::move(a2));
+  EXPECT_FALSE(faulty.is_disconnected());
+  ASSERT_TRUE(faulty.send(message("back")).is_ok());
+  auto got = b2->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("back"));
+}
+
+TEST(FaultyListenerTest, WrapsEveryAcceptedConnection) {
+  InprocNetwork network;
+  auto inner = network.listen("addr");
+  ASSERT_TRUE(inner.is_ok());
+  FaultConfig config;
+  config.drop_p = 1.0;  // the server side eats every reply
+  FaultyListener listener(std::move(*inner), config);
+
+  std::unique_ptr<Transport> server_end;
+  std::thread accepter([&] {
+    auto conn = listener.accept();
+    ASSERT_TRUE(conn.is_ok());
+    server_end = std::move(*conn);
+  });
+  auto client = network.connect("addr");
+  ASSERT_TRUE(client.is_ok());
+  accepter.join();
+
+  // Client -> server passes (faults ride the wrapped end's send path)...
+  ASSERT_TRUE((*client)->send(message("ping")).is_ok());
+  auto got = server_end->recv();
+  ASSERT_TRUE(got.is_ok());
+  // ...but the server's reply is dropped on the floor.
+  ASSERT_TRUE(server_end->send(message("pong")).is_ok());
+  auto reply = (*client)->recv_for(milliseconds(20));
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kTimeout);
+  listener.close();
+}
+
+TEST(RecvForTest, InprocTimesOutThenDelivers) {
+  auto [a, b] = make_inproc_pair();
+  auto nothing = b->recv_for(milliseconds(10));
+  ASSERT_FALSE(nothing.is_ok());
+  EXPECT_EQ(nothing.status().code(), ErrorCode::kTimeout);
+  ASSERT_TRUE(a->send(message("late")).is_ok());
+  auto got = b->recv_for(milliseconds(100));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("late"));
+}
+
+TEST(RecvForTest, LatentRespectsPropagationDelay) {
+  auto [a, b] = make_latent_pair(std::chrono::microseconds(20000));
+  ASSERT_TRUE(a->send(message("in flight")).is_ok());
+  // The message exists but hasn't arrived yet: a short wait must time out
+  // rather than deliver early.
+  auto early = b->recv_for(milliseconds(2));
+  ASSERT_FALSE(early.is_ok());
+  EXPECT_EQ(early.status().code(), ErrorCode::kTimeout);
+  auto got = b->recv_for(milliseconds(500));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("in flight"));
+}
+
+}  // namespace
+}  // namespace prins
