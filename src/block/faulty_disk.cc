@@ -1,5 +1,8 @@
 #include "block/faulty_disk.h"
 
+#include <algorithm>
+#include <string>
+
 namespace prins {
 
 FaultyDisk::FaultyDisk(std::shared_ptr<BlockDevice> inner, Config config)
@@ -8,7 +11,12 @@ FaultyDisk::FaultyDisk(std::shared_ptr<BlockDevice> inner, Config config)
 Status FaultyDisk::maybe_fault(bool is_read) {
   ++ops_;
   if (ops_ >= fail_at_) dead_ = true;
-  if (dead_) return io_error("disk is dead");
+  if (ops_ >= crash_at_ && crash_at_ != ~0ull) {
+    crash_at_ = ~0ull;
+    dead_ = true;
+    if (!is_read) crash_tear_ = true;  // the fatal write persists a prefix
+  }
+  if (dead_ && !crash_tear_) return io_error("disk is dead");
   const double p = is_read ? config_.read_error_p : config_.write_error_p;
   if (p > 0 && rng_.next_bool(p)) {
     return io_error(is_read ? "injected read error" : "injected write error");
@@ -19,13 +27,44 @@ Status FaultyDisk::maybe_fault(bool is_read) {
   return Status::ok();
 }
 
+Status FaultyDisk::tear_locked(Lba lba, ByteSpan data, std::size_t keep) {
+  const std::uint32_t bs = inner_->block_size();
+  const std::size_t full = keep / bs;
+  const std::size_t part = keep % bs;
+  ++torn_;
+  if (full > 0) {
+    PRINS_RETURN_IF_ERROR(inner_->write(lba, data.first(full * bs)));
+  }
+  if (part > 0) {
+    Bytes block(bs);
+    PRINS_RETURN_IF_ERROR(inner_->read(lba + full, block));
+    std::copy(data.begin() + full * bs, data.begin() + keep, block.begin());
+    PRINS_RETURN_IF_ERROR(inner_->write(lba + full, block));
+  }
+  return Status::ok();
+}
+
 Status FaultyDisk::read(Lba lba, MutByteSpan out) {
   std::lock_guard lock(mutex_);
   PRINS_RETURN_IF_ERROR(maybe_fault(/*is_read=*/true));
+  if (!bad_blocks_.empty() && !out.empty()) {
+    const Lba end = lba + out.size() / inner_->block_size();
+    auto it = bad_blocks_.lower_bound(lba);
+    if (it != bad_blocks_.end() && *it < end) {
+      return corruption_error("medium error at block " + std::to_string(*it));
+    }
+  }
   PRINS_RETURN_IF_ERROR(inner_->read(lba, out));
   if (corrupt_next_read_ && !out.empty()) {
     corrupt_next_read_ = false;
-    out[rng_.next_below(out.size())] ^= 0xFF;  // silent single-byte flip
+    const std::size_t idx = rng_.next_below(out.size());
+    out[idx] ^= 0xFF;  // silent single-byte flip
+    if (config_.corrupt_persistent) {
+      const std::uint32_t bs = inner_->block_size();
+      const std::size_t blk = idx / bs;
+      PRINS_RETURN_IF_ERROR(
+          inner_->write(lba + blk, ByteSpan(out).subspan(blk * bs, bs)));
+    }
   }
   return Status::ok();
 }
@@ -33,7 +72,24 @@ Status FaultyDisk::read(Lba lba, MutByteSpan out) {
 Status FaultyDisk::write(Lba lba, ByteSpan data) {
   std::lock_guard lock(mutex_);
   PRINS_RETURN_IF_ERROR(maybe_fault(/*is_read=*/false));
-  return inner_->write(lba, data);
+  if (crash_tear_) {
+    crash_tear_ = false;
+    if (data.size() > 1) {
+      (void)tear_locked(lba, data, 1 + rng_.next_below(data.size() - 1));
+    }
+    return io_error("disk crashed mid-write");
+  }
+  if (config_.torn_write_p > 0 && data.size() > 1 &&
+      rng_.next_bool(config_.torn_write_p)) {
+    return tear_locked(lba, data, 1 + rng_.next_below(data.size() - 1));
+  }
+  PRINS_RETURN_IF_ERROR(inner_->write(lba, data));
+  if (!bad_blocks_.empty()) {
+    const Lba end = lba + data.size() / inner_->block_size();
+    bad_blocks_.erase(bad_blocks_.lower_bound(lba),
+                      bad_blocks_.lower_bound(end));
+  }
+  return Status::ok();
 }
 
 Status FaultyDisk::flush() {
@@ -51,10 +107,24 @@ void FaultyDisk::fail_after(std::uint64_t ops) {
   fail_at_ = ops_ + ops;
 }
 
+void FaultyDisk::crash_after(std::uint64_t ops) {
+  std::lock_guard lock(mutex_);
+  crash_at_ = ops_ + ops;
+}
+
+void FaultyDisk::reconfigure(const Config& config) {
+  std::lock_guard lock(mutex_);
+  config_ = config;
+}
+
 void FaultyDisk::set_dead(bool dead) {
   std::lock_guard lock(mutex_);
   dead_ = dead;
-  if (!dead) fail_at_ = ~0ull;
+  if (!dead) {
+    fail_at_ = ~0ull;
+    crash_at_ = ~0ull;
+    crash_tear_ = false;
+  }
 }
 
 bool FaultyDisk::is_dead() const {
@@ -62,9 +132,31 @@ bool FaultyDisk::is_dead() const {
   return dead_;
 }
 
+Status FaultyDisk::corrupt_block(Lba lba, std::size_t offset) {
+  std::lock_guard lock(mutex_);
+  const std::uint32_t bs = inner_->block_size();
+  if (lba >= inner_->num_blocks() || offset >= bs) {
+    return out_of_range("corrupt_block target outside device");
+  }
+  Bytes block(bs);
+  PRINS_RETURN_IF_ERROR(inner_->read(lba, block));
+  block[offset] ^= 0xFF;
+  return inner_->write(lba, block);
+}
+
+void FaultyDisk::mark_bad(Lba lba) {
+  std::lock_guard lock(mutex_);
+  bad_blocks_.insert(lba);
+}
+
 std::uint64_t FaultyDisk::ops_seen() const {
   std::lock_guard lock(mutex_);
   return ops_;
+}
+
+std::uint64_t FaultyDisk::torn_writes() const {
+  std::lock_guard lock(mutex_);
+  return torn_;
 }
 
 }  // namespace prins

@@ -1,12 +1,14 @@
 // FaultyDisk: failure-injection decorator for tests.
 //
-// Wraps another BlockDevice and injects I/O errors, silent corruption, or a
-// hard "disk died" state.  Deterministic: probabilistic faults are driven by
-// a seeded Rng, and exact fault points can be scheduled by op count.
+// Wraps another BlockDevice and injects I/O errors, silent corruption, torn
+// writes, or a hard "disk died" state.  Deterministic: probabilistic faults
+// are driven by a seeded Rng, and exact fault points can be scheduled by op
+// count.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "block/block_device.h"
 #include "common/rng.h"
@@ -19,6 +21,14 @@ class FaultyDisk final : public BlockDevice {
     double read_error_p = 0.0;   // probability a read fails with IO_ERROR
     double write_error_p = 0.0;  // probability a write fails with IO_ERROR
     double corrupt_p = 0.0;      // probability a read flips one byte
+    /// When a corrupt_p flip fires, also write the flipped byte back through
+    /// the wrapped device, so the corruption is at rest for a scrubber to
+    /// find, not just in this one returned copy.
+    bool corrupt_persistent = false;
+    /// Probability a write persists only a random byte prefix yet still
+    /// reports success — a lying disk.  The loss stays silent until the
+    /// block is read back (and checksummed).
+    double torn_write_p = 0.0;
     std::uint64_t seed = 1;
   };
 
@@ -36,14 +46,38 @@ class FaultyDisk final : public BlockDevice {
   /// models a dead member disk for RAID degraded-mode tests.
   void fail_after(std::uint64_t ops);
 
+  /// Crash-stop after `ops` more I/Os: if the fatal op is a write, a random
+  /// byte prefix of it persists before the failure (a torn in-flight write),
+  /// then the disk is dead until set_dead(false).  Models power loss
+  /// mid-apply.
+  void crash_after(std::uint64_t ops);
+
+  /// Swap the fault probabilities mid-run (keeps the RNG stream and op
+  /// counters) — e.g. a soak test injects faults during its workload, then
+  /// turns them off so the repair phase can converge.
+  void reconfigure(const Config& config);
+
   /// Immediately mark the disk dead (or revive it).
   void set_dead(bool dead);
   bool is_dead() const;
 
+  /// Deterministically flip one stored byte of `lba` (byte `offset` within
+  /// the block), bypassing fault accounting.  The flip is silent: reads
+  /// succeed and return the corrupt contents.
+  Status corrupt_block(Lba lba, std::size_t offset = 0);
+
+  /// Mark `lba` as a detected medium error: reads covering it fail with
+  /// DATA_CORRUPTION until the block is successfully rewritten.
+  void mark_bad(Lba lba);
+
   std::uint64_t ops_seen() const;
+  std::uint64_t torn_writes() const;
 
  private:
   Status maybe_fault(bool is_read);
+  /// Persist only the first `keep` bytes of `data` (whole leading blocks
+  /// plus a merged partial block).
+  Status tear_locked(Lba lba, ByteSpan data, std::size_t keep);
 
   std::shared_ptr<BlockDevice> inner_;
   Config config_;
@@ -52,7 +86,11 @@ class FaultyDisk final : public BlockDevice {
   bool dead_ = false;
   std::uint64_t ops_ = 0;
   std::uint64_t fail_at_ = ~0ull;
+  std::uint64_t crash_at_ = ~0ull;
+  bool crash_tear_ = false;
   bool corrupt_next_read_ = false;
+  std::uint64_t torn_ = 0;
+  std::set<Lba> bad_blocks_;
 };
 
 }  // namespace prins

@@ -1,0 +1,235 @@
+#include "block/integrity_disk.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/endian.h"
+
+namespace prins {
+namespace {
+
+// Sidecar layout: a 16-byte header, then fixed-offset pages each covering
+// kPageBlocks blocks.  A page is a known-bitmap, the CRC entries, and a
+// CRC-32C of the two — self-checksummed so a torn page write is detected at
+// open and degrades to "these blocks are untracked".
+constexpr char kMagic[4] = {'P', 'R', 'i', 'g'};
+constexpr std::size_t kHeaderSize = 16;  // magic + block_size + num_blocks
+constexpr std::size_t kPageBlocks = 1024;
+constexpr std::size_t kBitmapBytes = kPageBlocks / 8;
+constexpr std::size_t kPageSize = kBitmapBytes + kPageBlocks * 4 + 4;
+
+off_t page_offset(std::size_t page) {
+  return static_cast<off_t>(kHeaderSize + page * kPageSize);
+}
+
+Status pwrite_all(int fd, ByteSpan data, off_t offset) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::pwrite(fd, data.data() + done, data.size() - done,
+                         offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("pwrite(sidecar): ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IntegrityDisk>> IntegrityDisk::open(
+    std::shared_ptr<BlockDevice> inner, IntegrityConfig config) {
+  if (inner == nullptr) return invalid_argument("null inner device");
+  int fd = -1;
+  if (!config.sidecar_path.empty()) {
+    fd = ::open(config.sidecar_path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      return io_error("open(" + config.sidecar_path + "): " +
+                      std::strerror(errno));
+    }
+  }
+  auto disk = std::unique_ptr<IntegrityDisk>(
+      new IntegrityDisk(std::move(inner), std::move(config), fd));
+  if (fd >= 0) {
+    std::lock_guard lock(disk->mutex_);
+    PRINS_RETURN_IF_ERROR(disk->load_sidecar_locked());
+  }
+  return disk;
+}
+
+IntegrityDisk::IntegrityDisk(std::shared_ptr<BlockDevice> inner,
+                             IntegrityConfig config, int fd)
+    : inner_(std::move(inner)),
+      config_(std::move(config)),
+      fd_(fd),
+      crcs_(inner_->num_blocks(), 0),
+      known_(inner_->num_blocks(), false),
+      page_dirty_((inner_->num_blocks() + kPageBlocks - 1) / kPageBlocks,
+                  false) {}
+
+IntegrityDisk::~IntegrityDisk() {
+  if (fd_ >= 0) {
+    {
+      std::lock_guard lock(mutex_);
+      (void)flush_sidecar_locked();  // best effort
+    }
+    ::close(fd_);
+  }
+}
+
+Status IntegrityDisk::load_sidecar_locked() {
+  Bytes header(kHeaderSize);
+  ssize_t n = ::pread(fd_, header.data(), header.size(), 0);
+  if (n < 0) {
+    return io_error(std::string("pread(sidecar): ") + std::strerror(errno));
+  }
+  if (n == 0) {
+    // Fresh sidecar: stamp the geometry.
+    std::memcpy(header.data(), kMagic, 4);
+    store_le32(MutByteSpan(header).subspan(4, 4), inner_->block_size());
+    store_le64(MutByteSpan(header).subspan(8, 8), inner_->num_blocks());
+    return pwrite_all(fd_, header, 0);
+  }
+  if (static_cast<std::size_t>(n) < kHeaderSize ||
+      std::memcmp(header.data(), kMagic, 4) != 0) {
+    return corruption("sidecar " + config_.sidecar_path +
+                      " has a bad header");
+  }
+  if (load_le32(ByteSpan(header).subspan(4, 4)) != inner_->block_size() ||
+      load_le64(ByteSpan(header).subspan(8, 8)) != inner_->num_blocks()) {
+    return invalid_argument("sidecar " + config_.sidecar_path +
+                            " geometry does not match " + inner_->describe());
+  }
+
+  Bytes page(kPageSize);
+  for (std::size_t p = 0; p < page_dirty_.size(); ++p) {
+    n = ::pread(fd_, page.data(), page.size(), page_offset(p));
+    if (n < 0) {
+      return io_error(std::string("pread(sidecar): ") + std::strerror(errno));
+    }
+    if (n == 0) continue;  // page never written; blocks stay untracked
+    const ByteSpan body = ByteSpan(page).first(kPageSize - 4);
+    if (static_cast<std::size_t>(n) < kPageSize ||
+        load_le32(ByteSpan(page).subspan(kPageSize - 4, 4)) != crc32c(body)) {
+      ++stats_.pages_dropped;  // torn page: forget, re-adopt on read
+      continue;
+    }
+    const Lba base = static_cast<Lba>(p) * kPageBlocks;
+    for (std::size_t i = 0; i < kPageBlocks; ++i) {
+      const Lba lba = base + i;
+      if (lba >= known_.size()) break;
+      if ((page[i / 8] >> (i % 8)) & 1) {
+        known_[lba] = true;
+        crcs_[lba] = load_le32(body.subspan(kBitmapBytes + i * 4, 4));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status IntegrityDisk::flush_sidecar_locked() {
+  if (fd_ < 0) return Status::ok();
+  bool wrote = false;
+  Bytes page(kPageSize);
+  for (std::size_t p = 0; p < page_dirty_.size(); ++p) {
+    if (!page_dirty_[p]) continue;
+    std::memset(page.data(), 0, page.size());
+    const Lba base = static_cast<Lba>(p) * kPageBlocks;
+    for (std::size_t i = 0; i < kPageBlocks; ++i) {
+      const Lba lba = base + i;
+      if (lba >= known_.size()) break;
+      if (!known_[lba]) continue;
+      page[i / 8] |= static_cast<Byte>(1u << (i % 8));
+      store_le32(MutByteSpan(page).subspan(kBitmapBytes + i * 4, 4),
+                 crcs_[lba]);
+    }
+    const ByteSpan body = ByteSpan(page).first(kPageSize - 4);
+    store_le32(MutByteSpan(page).subspan(kPageSize - 4, 4), crc32c(body));
+    PRINS_RETURN_IF_ERROR(pwrite_all(fd_, page, page_offset(p)));
+    page_dirty_[p] = false;
+    wrote = true;
+  }
+  if (wrote) {
+    if (::fdatasync(fd_) != 0) {
+      return io_error(std::string("fdatasync(sidecar): ") +
+                      std::strerror(errno));
+    }
+    ++stats_.sidecar_flushes;
+  }
+  writes_since_flush_ = 0;
+  return Status::ok();
+}
+
+void IntegrityDisk::note_block_locked(Lba lba, std::uint32_t crc) {
+  crcs_[lba] = crc;
+  known_[lba] = true;
+  page_dirty_[lba / kPageBlocks] = true;
+}
+
+Status IntegrityDisk::read(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  const std::uint32_t bs = inner_->block_size();
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(inner_->read(lba, out));
+  for (std::size_t i = 0; i * bs < out.size(); ++i) {
+    const Lba block = lba + i;
+    const std::uint32_t crc = crc32c(out.subspan(i * bs, bs));
+    if (!known_[block]) {
+      note_block_locked(block, crc);  // adopt current contents as baseline
+      ++stats_.blocks_adopted;
+      continue;
+    }
+    ++stats_.blocks_verified;
+    if (crc != crcs_[block]) {
+      ++stats_.mismatches;
+      return corruption_error("block " + std::to_string(block) +
+                              " CRC mismatch: stored " +
+                              std::to_string(crcs_[block]) + ", read " +
+                              std::to_string(crc));
+    }
+  }
+  return Status::ok();
+}
+
+Status IntegrityDisk::write(Lba lba, ByteSpan data) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, data.size()));
+  const std::uint32_t bs = inner_->block_size();
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(inner_->write(lba, data));
+  for (std::size_t i = 0; i * bs < data.size(); ++i) {
+    note_block_locked(lba + i, crc32c(data.subspan(i * bs, bs)));
+    ++writes_since_flush_;
+  }
+  if (fd_ >= 0 && config_.flush_every > 0 &&
+      writes_since_flush_ >= config_.flush_every) {
+    PRINS_RETURN_IF_ERROR(flush_sidecar_locked());
+  }
+  return Status::ok();
+}
+
+Status IntegrityDisk::flush() {
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(inner_->flush());
+  return flush_sidecar_locked();
+}
+
+std::string IntegrityDisk::describe() const {
+  return "integrity(" + inner_->describe() + ")";
+}
+
+bool IntegrityDisk::tracked(Lba lba) const {
+  std::lock_guard lock(mutex_);
+  return lba < known_.size() && known_[lba];
+}
+
+IntegrityStats IntegrityDisk::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace prins

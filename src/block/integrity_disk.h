@@ -1,0 +1,90 @@
+// IntegrityDisk: end-to-end checksumming decorator.
+//
+// Keeps a CRC-32C per block, records it on every write, and verifies it on
+// every read, so bit rot, torn writes, and misdirected I/O in the wrapped
+// device surface as a typed DATA_CORRUPTION error instead of silently
+// poisoning PRINS's A_old invariant.  The checksums optionally persist in a
+// sidecar file: fixed-offset pages of CRC entries, each page carrying its own
+// known-bitmap and CRC so a torn sidecar write degrades to "blocks unknown",
+// never to a false verdict.  Sidecar writes are batched (one fsync per
+// `flush_every` block writes) to keep the decorator off the write-latency
+// path.
+//
+// A block is "tracked" once it has been written (or read while untracked, in
+// which case the current contents are adopted as the baseline).  Reads of
+// untracked blocks therefore always succeed; corruption that lands before a
+// block is ever tracked is undetectable by construction — scrub early.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "block/block_device.h"
+
+namespace prins {
+
+struct IntegrityConfig {
+  /// Sidecar file for the CRC pages; empty keeps the checksums in memory
+  /// only (detection within one process lifetime, nothing to repair from
+  /// after a restart).
+  std::string sidecar_path;
+  /// Block writes between sidecar write-backs (0 = write back only on
+  /// flush()).  Dirty CRC pages are always persisted by flush().
+  std::uint64_t flush_every = 64;
+};
+
+struct IntegrityStats {
+  std::uint64_t blocks_verified = 0;  // tracked blocks read and CRC-checked
+  std::uint64_t mismatches = 0;       // verification failures (DATA_CORRUPTION)
+  std::uint64_t blocks_adopted = 0;   // untracked blocks baselined on read
+  std::uint64_t sidecar_flushes = 0;  // fsyncs of the sidecar file
+  std::uint64_t pages_dropped = 0;    // sidecar pages discarded at open (torn)
+};
+
+class IntegrityDisk final : public BlockDevice {
+ public:
+  /// Wrap `inner`.  With a sidecar path, loads any surviving CRC pages
+  /// (geometry mismatch is an error; torn pages are dropped and counted).
+  static Result<std::unique_ptr<IntegrityDisk>> open(
+      std::shared_ptr<BlockDevice> inner, IntegrityConfig config = {});
+  ~IntegrityDisk() override;
+
+  IntegrityDisk(const IntegrityDisk&) = delete;
+  IntegrityDisk& operator=(const IntegrityDisk&) = delete;
+
+  std::uint32_t block_size() const override { return inner_->block_size(); }
+  std::uint64_t num_blocks() const override { return inner_->num_blocks(); }
+
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+  Status flush() override;
+  std::string describe() const override;
+
+  /// True once `lba` has a recorded baseline CRC.
+  bool tracked(Lba lba) const;
+
+  IntegrityStats stats() const;
+
+ private:
+  IntegrityDisk(std::shared_ptr<BlockDevice> inner, IntegrityConfig config,
+                int fd);
+
+  Status load_sidecar_locked();
+  Status flush_sidecar_locked();
+  void note_block_locked(Lba lba, std::uint32_t crc);
+
+  std::shared_ptr<BlockDevice> inner_;
+  const IntegrityConfig config_;
+  const int fd_;  // sidecar file, -1 when in-memory only
+
+  mutable std::mutex mutex_;
+  std::vector<std::uint32_t> crcs_;
+  std::vector<bool> known_;
+  std::vector<bool> page_dirty_;
+  std::uint64_t writes_since_flush_ = 0;
+  IntegrityStats stats_;
+};
+
+}  // namespace prins

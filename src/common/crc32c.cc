@@ -1,6 +1,12 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PRINS_CRC32C_HW 1
+#endif
 
 namespace prins {
 namespace {
@@ -27,10 +33,7 @@ struct Tables {
 
 constexpr Tables kTables{};
 
-}  // namespace
-
-std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
-  std::uint32_t crc = ~seed;
+std::uint32_t crc32c_sw(ByteSpan data, std::uint32_t crc) {
   std::size_t i = 0;
   const auto& t = kTables.t;
   // slice-by-4 main loop
@@ -45,7 +48,46 @@ std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
   for (; i < data.size(); ++i) {
     crc = (crc >> 8) ^ t[0][(crc ^ data[i]) & 0xFF];
   }
-  return ~crc;
+  return crc;
+}
+
+#ifdef PRINS_CRC32C_HW
+// SSE4.2 crc32 instruction, 8 bytes per issue.  Same polynomial, so the
+// result is bit-identical to the table path (the test suite cross-checks).
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(ByteSpan data,
+                                                          std::uint32_t crc) {
+  const Byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = static_cast<std::uint32_t>(_mm_crc32_u64(crc, word));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+#endif
+
+using CrcFn = std::uint32_t (*)(ByteSpan, std::uint32_t);
+
+CrcFn pick_crc_fn() {
+#ifdef PRINS_CRC32C_HW
+  if (__builtin_cpu_supports("sse4.2")) return &crc32c_hw;
+#endif
+  return &crc32c_sw;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
+  static const CrcFn fn = pick_crc_fn();
+  return ~fn(data, ~seed);
 }
 
 }  // namespace prins

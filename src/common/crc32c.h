@@ -1,7 +1,9 @@
 // CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
 //
 // Used to protect replication frames and block checksums during
-// verify/repair.  Table-driven (slice-by-4); no hardware dependency.
+// verify/repair.  Uses the SSE4.2 crc32 instruction when the CPU has it
+// (resolved once at first use), otherwise a table-driven slice-by-4
+// fallback with identical output.
 #pragma once
 
 #include <cstdint>

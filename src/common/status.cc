@@ -8,6 +8,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
     case ErrorCode::kCorruption: return "CORRUPTION";
+    case ErrorCode::kDataCorruption: return "DATA_CORRUPTION";
     case ErrorCode::kIoError: return "IO_ERROR";
     case ErrorCode::kNotFound: return "NOT_FOUND";
     case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";

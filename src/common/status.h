@@ -20,6 +20,8 @@ enum class ErrorCode {
   kInvalidArgument,   // caller broke a documented precondition
   kOutOfRange,        // LBA / offset outside the device or buffer
   kCorruption,        // checksum mismatch, malformed frame, bad magic
+  kDataCorruption,    // stored block fails its integrity check; needs repair,
+                      // not retry (IntegrityDisk, RAID degraded reads)
   kIoError,           // underlying device or socket failed
   kNotFound,          // requested entity does not exist
   kAlreadyExists,     // create of an existing entity
@@ -67,6 +69,9 @@ inline Status out_of_range(std::string msg) {
 }
 inline Status corruption(std::string msg) {
   return {ErrorCode::kCorruption, std::move(msg)};
+}
+inline Status corruption_error(std::string msg) {
+  return {ErrorCode::kDataCorruption, std::move(msg)};
 }
 inline Status io_error(std::string msg) {
   return {ErrorCode::kIoError, std::move(msg)};

@@ -123,6 +123,24 @@ Status PrinsEngine::write(Lba lba, ByteSpan data) {
                             config_.keep_trap_log || raid_ != nullptr ||
                             raid6_ != nullptr;
 
+    // From here until the delta lands in the trap log, the device is ahead
+    // of the log: a heal snapshotting its fold window must wait for the
+    // window to clear, and the NAK-repair converter must skip the round
+    // (both would reconstruct a state the log cannot explain).  The
+    // matching decrement is in replicate_block(); error paths below
+    // abandon the window themselves.
+    if (config_.keep_trap_log) {
+      std::lock_guard lock(mutex_);
+      ++pending_appends_;
+    }
+    const auto abandon_pending = [this] {
+      if (config_.keep_trap_log) {
+        std::lock_guard lock(mutex_);
+        --pending_appends_;
+        queue_cv_.notify_all();
+      }
+    };
+
     if (raid_ != nullptr || raid6_ != nullptr) {
       // Tap mode: the array computes P' (and its dirty count) during its
       // small-write path.
@@ -140,20 +158,32 @@ Status PrinsEngine::write(Lba lba, ByteSpan data) {
           tap_deltas_.erase(it);
         }
       }
-      PRINS_RETURN_IF_ERROR(wrote);
+      if (!wrote.is_ok()) {
+        abandon_pending();
+        return wrote;
+      }
       if (!have_tap) {
+        abandon_pending();
         return internal_error("RAID tap produced no delta for block " +
                               std::to_string(b));
       }
     } else if (need_delta) {
       Bytes old_block(bs);
-      PRINS_RETURN_IF_ERROR(local_->read(b, old_block));
-      PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
+      Status step = local_->read(b, old_block);
+      if (step.is_ok()) step = local_->write(b, new_block);
+      if (!step.is_ok()) {
+        abandon_pending();
+        return step;
+      }
       // Fused kernel: one pass produces both P' and its dirty-byte count.
       delta.resize(bs);
       dirty = xor_to_and_count(delta, new_block, old_block);
     } else {
-      PRINS_RETURN_IF_ERROR(local_->write(b, new_block));
+      const Status wrote = local_->write(b, new_block);
+      if (!wrote.is_ok()) {
+        abandon_pending();
+        return wrote;
+      }
     }
     PRINS_RETURN_IF_ERROR(replicate_block(b, new_block, delta, dirty));
   }
@@ -191,9 +221,8 @@ Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta,
     if (ships_parity(config_.policy)) {
       metrics_.dirty_bytes.record(dirty);
     }
-    // A heal snapshotting its fold window must wait until this write's
-    // delta is in the trap log, or the fold would miss it.
-    if (config_.keep_trap_log) ++pending_appends_;
+    // pending_appends_ was raised in write() before the device was touched;
+    // it drops below, once this write's delta is in the trap log.
   }
   if (config_.keep_trap_log) {
     const Status appended = trap_log_.append(lba, msg.timestamp_us, delta);
@@ -524,7 +553,21 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
       ++replies;
       auto ack = ReplicationMessage::decode(*reply);
       if (!ack.is_ok()) continue;  // torn reply; the retransmit covers it
-      if (ack->kind == MessageKind::kNak) continue;  // explicit resend ask
+      if (ack->kind == MessageKind::kNak) {
+        // A plain NAK asks for a resend (torn frame); a kNeedFullBlock NAK
+        // says the replica's stored block is damaged and a parity delta
+        // can *never* apply — swap the entry for a full-block repair.
+        if (!ack->payload.empty() &&
+            ack->payload[0] == static_cast<Byte>(NakReason::kNeedFullBlock)) {
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (!acked[i] && batch[i].meta.sequence == ack->sequence) {
+              convert_to_repair_locked(batch[i]);
+              break;
+            }
+          }
+        }
+        continue;
+      }
       if (ack->kind != MessageKind::kAck) {
         return failed_precondition("replica sent non-ACK reply");
       }
@@ -592,6 +635,47 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
     }
     retry_backoff(link, attempt);
   }
+}
+
+void PrinsEngine::convert_to_repair_locked(OutMessage& entry) {
+  if (entry.meta.kind != MessageKind::kWrite || !ships_parity(config_.policy)) {
+    // Full-block policies already carry the whole contents; a plain resend
+    // is the repair.
+    return;
+  }
+  if (!config_.keep_trap_log) {
+    // Without delta history we cannot reconstruct the block as of this
+    // entry's timestamp; let the retry loop exhaust and the heal (full
+    // resync) take over.
+    return;
+  }
+  Bytes content(block_size());
+  {
+    std::lock_guard lock(mutex_);
+    // A write between the device and the trap log would make the rollback
+    // below reconstruct a state the log cannot explain.  Never wait here —
+    // a producer may be blocked on *this* link's full outbox, which only
+    // the caller can drain — just let the next retry round convert.
+    if (pending_appends_ != 0) return;
+    if (!local_->read(entry.meta.lba, content).is_ok()) return;
+    auto at_ts = trap_log_.recover_block(entry.meta.lba,
+                                         entry.meta.timestamp_us, content);
+    if (!at_ts.is_ok()) return;
+    content = std::move(*at_ts);
+    metrics_.nak_full_repairs += 1;
+  }
+  // Rebuild in place.  Sequence and timestamp are kept: the replica never
+  // applied the original (that is what the NAK said), so ack matching and
+  // dedup see one message that simply changed its clothes.  Deltas queued
+  // behind this entry still telescope, because the payload is the block
+  // exactly as of this entry's own write.
+  entry.meta.kind = MessageKind::kRepairBlock;
+  entry.meta.payload = encode_frame(codec_for(CodecId::kLz), content);
+  entry.wire = std::make_shared<const Bytes>(entry.meta.encode());
+  entry.raw = nullptr;
+  entry.coalescable = false;
+  PRINS_LOG(kWarn) << "replica NAK'd damaged block " << entry.meta.lba
+                   << "; resending as a full-block repair";
 }
 
 void PrinsEngine::heal_failed(ReplicaLink* link, const Status& why) {
@@ -997,6 +1081,154 @@ Result<std::uint64_t> PrinsEngine::verify_and_repair_hierarchical(
     }
   }
   return repaired;
+}
+
+Status PrinsEngine::fetch_block_from_replica(Lba lba, MutByteSpan out) {
+  if (out.size() != block_size()) {
+    return invalid_argument("fetch_block_from_replica reads exactly one block");
+  }
+  if (lba >= num_blocks()) {
+    return out_of_range("block " + std::to_string(lba) + " beyond device end");
+  }
+  std::size_t count = 0;
+  {
+    std::lock_guard lock(mutex_);
+    count = replicas_.size();
+  }
+  Status last = unavailable("no replicas attached");
+  bool any_nak = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    ReplicaLink* link = nullptr;
+    {
+      std::lock_guard lock(mutex_);
+      link = replicas_[i].get();
+      if (link->failed) {
+        last = unavailable("replica " + std::to_string(i) + " is down");
+        continue;
+      }
+    }
+    ReplicationMessage req;
+    req.kind = MessageKind::kReadBlockRequest;
+    req.block_size = block_size();
+    req.lba = lba;
+    {
+      std::lock_guard lock(mutex_);
+      req.sequence = next_sequence_++;
+    }
+    std::lock_guard link_lock(link->mutex);
+    if (Status sent = link->transport->send(req.encode()); !sent.is_ok()) {
+      last = sent;
+      continue;
+    }
+    // A previous exchange that finished early can leave duplicate acks
+    // buffered on the transport; skim past anything that is not our reply.
+    bool answered = false;
+    for (int tries = 0; tries < 16 && !answered; ++tries) {
+      auto reply_wire = recv_reply_locked(*link);
+      if (!reply_wire.is_ok()) {
+        last = reply_wire.status();
+        break;
+      }
+      auto reply = ReplicationMessage::decode(*reply_wire);
+      if (!reply.is_ok()) continue;  // torn frame; keep listening
+      if (reply->sequence != req.sequence) continue;  // stale ack
+      answered = true;
+      if (reply->kind == MessageKind::kNak) {
+        any_nak = true;
+        last = corruption_error("replica " + std::to_string(i) +
+                                " cannot serve block " + std::to_string(lba));
+        break;
+      }
+      if (reply->kind != MessageKind::kReadBlockReply || reply->lba != lba) {
+        last = failed_precondition("unexpected reply to read-block request");
+        break;
+      }
+      auto block = decode_frame(reply->payload);
+      if (!block.is_ok()) {
+        last = block.status();
+        break;
+      }
+      if (block->size() != out.size()) {
+        last = corruption("read-block reply has the wrong block size");
+        break;
+      }
+      std::copy(block->begin(), block->end(), out.begin());
+      return Status::ok();
+    }
+  }
+  // If at least one replica answered "my copy is damaged too", surface that
+  // over a transport error: the caller's next escalation differs.
+  if (any_nak && last.code() != ErrorCode::kDataCorruption) {
+    return corruption_error("every replica copy of block " +
+                            std::to_string(lba) + " is damaged");
+  }
+  return last;
+}
+
+Result<ScrubStats> PrinsEngine::scrub(const ScrubberConfig& config,
+                                      std::vector<RepairSource> extra_sources) {
+  // Quiesce first: replies in flight on a busy link would be misread as
+  // read-block replies, and a half-replicated write under a repaired LBA
+  // would resurrect stale bytes.
+  PRINS_RETURN_IF_ERROR(drain());
+  // Writers stay paused for the whole pass; senders are idle because the
+  // outboxes just drained.
+  std::lock_guard write_lock(write_mutex_);
+
+  Scrubber scrubber(local_, config);
+  for (RepairSource& source : extra_sources) {
+    scrubber.add_source(std::move(source));
+  }
+  if (raid_ != nullptr) {
+    scrubber.add_source(RepairSource{
+        "raid",
+        [this](Lba lba, MutByteSpan out) {
+          return raid_->repair_block(lba, out);
+        },
+        /*in_place=*/true});
+  }
+  if (raid6_ != nullptr) {
+    scrubber.add_source(RepairSource{
+        "raid6",
+        [this](Lba lba, MutByteSpan out) {
+          return raid6_->repair_block(lba, out);
+        },
+        /*in_place=*/true});
+  }
+  bool have_replicas = false;
+  {
+    std::lock_guard lock(mutex_);
+    have_replicas = !replicas_.empty();
+  }
+  if (have_replicas) {
+    scrubber.add_source(RepairSource{
+        "replica",
+        [this](Lba lba, MutByteSpan out) {
+          return fetch_block_from_replica(lba, out);
+        },
+        /*in_place=*/false});
+  }
+
+  PRINS_ASSIGN_OR_RETURN(ScrubStats pass, scrubber.run_pass());
+  if (raid_ != nullptr || raid6_ != nullptr) {
+    // Repair write-backs went through the array's small-write path and left
+    // parity-observer deltas behind; they are not logical writes and must
+    // not leak into the next write's tap lookup.
+    std::lock_guard lock(tap_mutex_);
+    tap_deltas_.clear();
+  }
+  {
+    std::lock_guard lock(mutex_);
+    metrics_.scrub_passes += 1;
+    metrics_.scrub_corruptions += pass.corruptions_found;
+    metrics_.scrub_repaired += pass.repaired;
+    metrics_.scrub_quarantined += pass.quarantined;
+  }
+  if (pass.quarantined > 0) {
+    PRINS_LOG(kError) << "scrub pass quarantined " << pass.quarantined
+                      << " unrepairable block(s)";
+  }
+  return pass;
 }
 
 Status PrinsEngine::replay_journal() {

@@ -47,6 +47,7 @@
 #include "prins/message.h"
 #include "prins/replication_policy.h"
 #include "prins/journal.h"
+#include "prins/scrubber.h"
 #include "prins/trap_log.h"
 #include "raid/raid6_array.h"
 #include "raid/raid_array.h"
@@ -135,6 +136,13 @@ struct EngineMetrics {
   std::uint64_t retries = 0;           // batch retransmission rounds
   std::uint64_t reconnects = 0;        // transports rebuilt via the factory
   std::uint64_t auto_resyncs = 0;      // degraded links healed autonomously
+  std::uint64_t nak_full_repairs = 0;  // queued parity deltas a replica
+                                       // NAK'd as damaged and the engine
+                                       // re-sent as full-block repairs
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_corruptions = 0;  // corrupt blocks scrub passes found
+  std::uint64_t scrub_repaired = 0;
+  std::uint64_t scrub_quarantined = 0;  // blocks no repair source could fix
 };
 
 class PrinsEngine final : public BlockDevice {
@@ -194,6 +202,24 @@ class PrinsEngine final : public BlockDevice {
   /// Returns the number of blocks repaired across all replicas.
   Result<std::uint64_t> verify_and_repair_hierarchical(Lba start,
                                                        std::uint64_t count);
+
+  /// Fetch one block's contents from the first healthy replica that can
+  /// serve it (kReadBlockRequest).  The scrubber's replica-pull repair
+  /// source; also usable directly for ad-hoc recovery.  Call when the
+  /// links are quiet (e.g. after drain()) — a reply in flight on a busy
+  /// link would be misread.  DATA_CORRUPTION if every replica NAK'd the
+  /// block (their copies are damaged too).
+  Status fetch_block_from_replica(Lba lba, MutByteSpan out);
+
+  /// Scrub the local device: drain, pause writers, and run one Scrubber
+  /// pass repairing corrupt blocks from (in order) any `extra_sources`,
+  /// the tapped RAID array's reconstruction, and healthy replicas.  When
+  /// the local device wraps a RAID array that the engine does not tap,
+  /// pass its repair_block as an in_place extra source — writing repairs
+  /// through the logical path would fold the corrupt old data into parity.
+  /// Stats also accumulate into EngineMetrics (scrub_*).
+  Result<ScrubStats> scrub(const ScrubberConfig& config = {},
+                           std::vector<RepairSource> extra_sources = {});
 
   /// Re-enqueue every journaled message above the acknowledgement
   /// watermark (crash recovery).  Call after attaching replicas and
@@ -296,6 +322,12 @@ class PrinsEngine final : public BlockDevice {
                                std::vector<OutMessage>& batch,
                                std::vector<bool>& acked);
   Result<Bytes> recv_reply_locked(ReplicaLink& link);
+  /// Rewrite a NAK'd (NakReason::kNeedFullBlock) in-flight parity entry as
+  /// a kRepairBlock carrying the block's full contents at the entry's own
+  /// timestamp, so deltas queued behind it still telescope.  No-op (the
+  /// next retry round converts) while a write is mid-flight to the trap
+  /// log.  Link mutex must be held.
+  void convert_to_repair_locked(OutMessage& entry);
   /// Sleep the retry backoff for `attempt` (1-based), waking early on stop.
   void retry_backoff(ReplicaLink& link, std::size_t attempt);
   /// Degraded-link recovery: reconnect, locate the replica (kHello), fold

@@ -1,0 +1,119 @@
+#include "prins/intent_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/endian.h"
+
+namespace prins {
+namespace {
+
+constexpr Byte kMagic[4] = {'P', 'R', 'w', 'i'};
+constexpr std::size_t kRecordSize = 24;
+
+Status write_all(int fd, ByteSpan data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("intent write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteIntentLog>> WriteIntentLog::open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return io_error("open(" + path + "): " + std::strerror(errno));
+  }
+  std::unique_ptr<WriteIntentLog> log(new WriteIntentLog(fd, path));
+
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) return io_error("lseek: " + std::string(std::strerror(errno)));
+  if (size == 0) {
+    PRINS_RETURN_IF_ERROR(write_all(fd, kMagic));
+    return log;
+  }
+
+  Bytes contents(static_cast<std::size_t>(size));
+  if (::pread(fd, contents.data(), contents.size(), 0) !=
+      static_cast<ssize_t>(contents.size())) {
+    return io_error("intent log read failed: " + path);
+  }
+  if (contents.size() < 4 ||
+      !std::equal(std::begin(kMagic), std::end(kMagic), contents.begin())) {
+    return corruption("bad intent log magic: " + path);
+  }
+
+  std::size_t pos = 4;
+  while (contents.size() - pos >= kRecordSize) {
+    const ByteSpan record = ByteSpan(contents).subspan(pos, kRecordSize);
+    if (load_le32(record.subspan(20, 4)) != crc32c(record.first(20))) {
+      break;  // torn tail; everything before it is good
+    }
+    log->pending_.push_back({load_le64(record.first(8)),
+                             load_le64(record.subspan(8, 8)),
+                             load_le32(record.subspan(16, 4))});
+    pos += kRecordSize;
+  }
+  return log;
+}
+
+WriteIntentLog::WriteIntentLog(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+WriteIntentLog::~WriteIntentLog() { ::close(fd_); }
+
+Status WriteIntentLog::record(std::uint64_t sequence, std::uint64_t lba,
+                              std::uint32_t crc) {
+  Bytes record;
+  record.reserve(kRecordSize);
+  append_le64(record, sequence);
+  append_le64(record, lba);
+  append_le32(record, crc);
+  append_le32(record, crc32c(record));
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(write_all(fd_, record));
+  if (::fdatasync(fd_) != 0) {
+    return io_error("intent fdatasync: " + std::string(std::strerror(errno)));
+  }
+  pending_.push_back({sequence, lba, crc});
+  return Status::ok();
+}
+
+Status WriteIntentLog::checkpoint() {
+  std::lock_guard lock(mutex_);
+  if (::ftruncate(fd_, 4) != 0) {
+    return io_error("intent ftruncate: " + std::string(std::strerror(errno)));
+  }
+  if (::lseek(fd_, 4, SEEK_SET) < 0) {
+    return io_error("intent lseek: " + std::string(std::strerror(errno)));
+  }
+  if (::fdatasync(fd_) != 0) {
+    return io_error("intent fdatasync: " + std::string(std::strerror(errno)));
+  }
+  pending_.clear();
+  return Status::ok();
+}
+
+std::vector<WriteIntentLog::Intent> WriteIntentLog::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_;
+}
+
+std::size_t WriteIntentLog::pending_count() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace prins

@@ -1,0 +1,68 @@
+// WriteIntentLog: crash-atomicity for the replica's in-place XOR apply.
+//
+// The replica's apply is read-A_old, XOR, write-in-place — if the process
+// (or its disk) dies between deciding to write and the write completing,
+// the block holds neither A_old nor A_new, and every future parity delta on
+// that LBA diverges silently.  Before each apply the replica durably
+// records an intent: (sequence, LBA, CRC-32C of the block *about to be
+// written*).  On restart, each intended block either CRC-matches its intent
+// (the apply completed; re-delivery must be deduplicated, since re-XOR
+// would undo it) or it doesn't (the apply was torn or never started; the
+// block must be re-fetched in full, not patched).
+//
+// File format: magic "PRwi" then fixed 24-byte records
+//   sequence (8) | lba (8) | crc of new block (4) | crc32c of the first 20 (4)
+// appended with fdatasync.  A torn tail record fails its own CRC and is
+// ignored.  checkpoint() truncates the log — call it only after the data
+// device has been flushed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace prins {
+
+class WriteIntentLog {
+ public:
+  struct Intent {
+    std::uint64_t sequence = 0;
+    std::uint64_t lba = 0;
+    std::uint32_t crc = 0;  // CRC-32C the block will have once applied
+  };
+
+  /// Open (creating if needed) the log at `path` and scan surviving
+  /// intents.  A torn or corrupt tail record is dropped silently.
+  static Result<std::unique_ptr<WriteIntentLog>> open(const std::string& path);
+  ~WriteIntentLog();
+
+  WriteIntentLog(const WriteIntentLog&) = delete;
+  WriteIntentLog& operator=(const WriteIntentLog&) = delete;
+
+  /// Durably record an intent.  Returns only after fdatasync.
+  Status record(std::uint64_t sequence, std::uint64_t lba, std::uint32_t crc);
+
+  /// Drop all intents (the data device is flushed; every recorded apply is
+  /// durable).  Truncates the file.
+  Status checkpoint();
+
+  /// Intents on file, oldest first (survivors of the open() scan plus any
+  /// recorded since).
+  std::vector<Intent> pending() const;
+  std::size_t pending_count() const;
+
+ private:
+  WriteIntentLog(int fd, std::string path);
+
+  int fd_;
+  const std::string path_;
+  mutable std::mutex mutex_;
+  std::vector<Intent> pending_;
+};
+
+}  // namespace prins

@@ -13,7 +13,7 @@ constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 8 + 4;
 
 bool valid_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(MessageKind::kWrite) &&
-         k <= static_cast<std::uint8_t>(MessageKind::kHello);
+         k <= static_cast<std::uint8_t>(MessageKind::kReadBlockReply);
 }
 
 bool valid_policy(std::uint8_t p) {

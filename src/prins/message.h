@@ -30,8 +30,20 @@ enum class MessageKind : std::uint8_t {
   kHashRequest = 8,  // primary -> replica: payload = packed (lba, count) ranges
   kHashReply = 9,    // replica -> primary: payload = packed range hashes
   kNak = 10,         // replica -> primary: frame arrived corrupt, resend
+                     //   (payload byte 0 = NakReason; empty means kResend)
   kHello = 11,       // primary -> replica: report applied position (kAck
                      //   reply carries the replica's applied timestamp)
+  kReadBlockRequest = 12,  // primary -> replica: send back block `lba`
+  kReadBlockReply = 13,    // replica -> primary: payload = codec frame of
+                           //   the requested block's contents
+};
+
+/// Optional first payload byte of a kNak, telling the primary how to
+/// recover.  Absent payload means kResend (the frame itself was damaged).
+enum class NakReason : std::uint8_t {
+  kResend = 0,         // frame corrupt in flight: retransmit as-is
+  kNeedFullBlock = 1,  // replica's stored A_old is damaged: a parity delta
+                       //   cannot apply, send the full block instead
 };
 
 struct ReplicationMessage {

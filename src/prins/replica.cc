@@ -1,5 +1,6 @@
 #include "prins/replica.h"
 
+#include <map>
 #include <thread>
 
 #include "codec/codec.h"
@@ -74,28 +75,74 @@ Result<ReplicationMessage> ReplicaEngine::apply(
         }
       }
       Status applied = apply_write(message);
-      if (applied.code() == ErrorCode::kCorruption) {
-        // Payload survived the header CRC but its codec frame is bad:
-        // bounce it back for a resend rather than diverging.
+      if (applied.code() == ErrorCode::kCorruption ||
+          applied.code() == ErrorCode::kDataCorruption) {
+        // kCorruption: the payload survived the header CRC but its codec
+        // frame is bad — bounce it back for a resend.  kDataCorruption:
+        // our stored A_old is torn or rotten, so resending the same parity
+        // delta can never succeed — ask for the full block instead.
         std::lock_guard lock(mutex_);
         metrics_.naks_sent += 1;
         ReplicationMessage nak;
         nak.kind = MessageKind::kNak;
         nak.sequence = message.sequence;
         nak.lba = message.lba;
+        if (applied.code() == ErrorCode::kDataCorruption) {
+          nak.payload.push_back(
+              static_cast<Byte>(NakReason::kNeedFullBlock));
+          metrics_.full_repairs_requested += 1;
+        }
         return nak;
       }
       PRINS_RETURN_IF_ERROR(applied);
       std::lock_guard lock(mutex_);
       record_applied_locked(message.sequence);
-      if (message.kind == MessageKind::kWrite) {
+      if (message.kind == MessageKind::kWrite ||
+          message.kind == MessageKind::kRepairBlock) {
         applied_timestamp_us_ =
             std::max(applied_timestamp_us_, message.timestamp_us);
       }
       break;
     }
+    case MessageKind::kReadBlockRequest: {
+      // A peer's scrubber wants our copy of the block (repair pull).
+      Bytes block(local_->block_size());
+      Status read = message.lba < local_->num_blocks()
+                        ? local_->read(message.lba, block)
+                        : out_of_range("no such block");
+      {
+        std::lock_guard lock(mutex_);
+        if (read.is_ok() && damaged_.count(message.lba) != 0) {
+          read = corruption_error("block awaits repair here too");
+        }
+      }
+      ReplicationMessage reply;
+      reply.sequence = message.sequence;
+      reply.lba = message.lba;
+      if (!read.is_ok()) {
+        std::lock_guard lock(mutex_);
+        metrics_.naks_sent += 1;
+        reply.kind = MessageKind::kNak;
+        return reply;
+      }
+      reply.kind = MessageKind::kReadBlockReply;
+      reply.block_size = local_->block_size();
+      reply.payload = encode_frame(codec_for(CodecId::kLz), block);
+      std::lock_guard lock(mutex_);
+      metrics_.reads_served += 1;
+      return reply;
+    }
     case MessageKind::kBarrier:
-      break;  // in-order processing makes the barrier itself a no-op
+      // In-order processing makes the barrier itself a no-op for ordering,
+      // but it is the durability point: settle the device before dropping
+      // the intents that guard it.
+      if (config_.intent_log) {
+        PRINS_RETURN_IF_ERROR(local_->flush());
+        PRINS_RETURN_IF_ERROR(config_.intent_log->checkpoint());
+        std::lock_guard lock(mutex_);
+        applies_since_checkpoint_ = 0;
+      }
+      break;
     case MessageKind::kHello: {
       // Position report: the ACK's timestamp tells the primary how far
       // this replica's device has advanced.
@@ -110,6 +157,7 @@ Result<ReplicationMessage> ReplicaEngine::apply(
     case MessageKind::kVerifyReply:
     case MessageKind::kHashReply:
     case MessageKind::kNak:
+    case MessageKind::kReadBlockReply:
       return failed_precondition("replica received a reply-kind message");
   }
   ReplicationMessage ack;
@@ -149,12 +197,27 @@ Status ReplicaEngine::apply_write(const ReplicationMessage& message) {
 
   const bool parity = message.kind == MessageKind::kWrite &&
                       ships_parity(message.policy);
+  {
+    std::lock_guard lock(mutex_);
+    if (parity && damaged_.count(message.lba) != 0) {
+      return corruption_error("block " + std::to_string(message.lba) +
+                              " is damaged; parity cannot apply");
+    }
+  }
+
   Bytes new_block;
   Bytes delta;
   if (parity) {
     // Backward parity computation: A_new = P' ⊕ A_old.
     Bytes old_block(message.block_size);
-    PRINS_RETURN_IF_ERROR(local_->read(message.lba, old_block));
+    Status old_read = local_->read(message.lba, old_block);
+    if (old_read.code() == ErrorCode::kDataCorruption) {
+      // A_old failed its checksum: remember the damage so every delta to
+      // this LBA bounces until a full-contents write repairs it.
+      std::lock_guard lock(mutex_);
+      damaged_.insert(message.lba);
+    }
+    PRINS_RETURN_IF_ERROR(old_read);
     delta = std::move(raw);
     new_block = Bytes(message.block_size);
     xor_to(new_block, delta, old_block);
@@ -162,24 +225,100 @@ Status ReplicaEngine::apply_write(const ReplicationMessage& message) {
     new_block = std::move(raw);
     if (config_.keep_trap_log && message.kind == MessageKind::kWrite) {
       Bytes old_block(message.block_size);
-      PRINS_RETURN_IF_ERROR(local_->read(message.lba, old_block));
-      delta = parity_delta(new_block, old_block);
+      Status old_read = local_->read(message.lba, old_block);
+      if (old_read.is_ok()) {
+        delta = parity_delta(new_block, old_block);
+      } else if (old_read.code() != ErrorCode::kDataCorruption) {
+        return old_read;
+      }
+      // Corrupt old contents: the full write repairs the block, but there
+      // is no usable delta to log for CDP.
     }
+  }
+
+  // Durable intent before the in-place write: after a crash, the CRC tells
+  // a completed apply (dedup its redelivery) from a torn one (NAK for a
+  // full-block repair).
+  if (config_.intent_log) {
+    PRINS_RETURN_IF_ERROR(config_.intent_log->record(
+        message.sequence, message.lba, crc32c(new_block)));
   }
 
   PRINS_RETURN_IF_ERROR(local_->write(message.lba, new_block));
 
-  if (config_.keep_trap_log && message.kind == MessageKind::kWrite) {
+  if (config_.keep_trap_log && message.kind == MessageKind::kWrite &&
+      !delta.empty()) {
     PRINS_RETURN_IF_ERROR(
         trap_log_.append(message.lba, message.timestamp_us, delta));
   }
 
-  std::lock_guard lock(mutex_);
-  metrics_.writes_applied += (message.kind == MessageKind::kWrite);
-  metrics_.parity_applies += parity;
-  metrics_.sync_blocks += (message.kind == MessageKind::kSyncBlock);
-  metrics_.repairs += (message.kind == MessageKind::kRepairBlock);
+  bool checkpoint_due = false;
+  {
+    std::lock_guard lock(mutex_);
+    damaged_.erase(message.lba);  // full contents (or a clean apply) landed
+    metrics_.writes_applied += (message.kind == MessageKind::kWrite);
+    metrics_.parity_applies += parity;
+    metrics_.sync_blocks += (message.kind == MessageKind::kSyncBlock);
+    metrics_.repairs += (message.kind == MessageKind::kRepairBlock);
+    if (config_.intent_log && config_.intent_checkpoint_every > 0 &&
+        ++applies_since_checkpoint_ >= config_.intent_checkpoint_every) {
+      applies_since_checkpoint_ = 0;
+      checkpoint_due = true;
+    }
+  }
+  if (checkpoint_due) {
+    // Settle the data writes first; only then is it safe to forget the
+    // intents that would re-detect them.
+    PRINS_RETURN_IF_ERROR(local_->flush());
+    PRINS_RETURN_IF_ERROR(config_.intent_log->checkpoint());
+  }
   return Status::ok();
+}
+
+Result<std::vector<Lba>> ReplicaEngine::recover_intents() {
+  if (!config_.intent_log) return std::vector<Lba>{};
+  std::map<Lba, std::vector<WriteIntentLog::Intent>> by_lba;
+  for (const WriteIntentLog::Intent& intent : config_.intent_log->pending()) {
+    by_lba[intent.lba].push_back(intent);
+  }
+  std::vector<Lba> damaged;
+  Bytes block(local_->block_size());
+  for (const auto& [lba, intents] : by_lba) {
+    if (lba >= local_->num_blocks()) continue;
+    const Status read = local_->read(lba, block);
+    const std::uint32_t crc = read.is_ok() ? crc32c(block) : 0;
+    // Applies are sequential, so the *newest* intent the contents match
+    // tells how far the stream got: everything up to it completed (dedup
+    // those sequences — re-XOR would undo them), everything after it never
+    // ran and will be redelivered.  Matching nothing means the block is
+    // torn — or an apply stopped between intent and write, which is
+    // indistinguishable and equally unsafe to patch with a delta.
+    bool matched = false;
+    if (read.is_ok()) {
+      for (std::size_t i = intents.size(); i-- > 0;) {
+        if (intents[i].crc == crc) {
+          std::lock_guard lock(mutex_);
+          for (std::size_t j = 0; j <= i; ++j) {
+            record_applied_locked(intents[j].sequence);
+          }
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      std::lock_guard lock(mutex_);
+      damaged_.insert(lba);
+      metrics_.torn_blocks_detected += 1;
+      damaged.push_back(lba);
+    }
+  }
+  return damaged;
+}
+
+std::vector<Lba> ReplicaEngine::damaged_blocks() const {
+  std::lock_guard lock(mutex_);
+  return {damaged_.begin(), damaged_.end()};
 }
 
 Result<ReplicationMessage> ReplicaEngine::apply_verify(
@@ -193,7 +332,12 @@ Result<ReplicationMessage> ReplicaEngine::apply_verify(
       mismatched.push_back(sum.lba);
       continue;
     }
-    PRINS_RETURN_IF_ERROR(local_->read(sum.lba, block));
+    const Status read = local_->read(sum.lba, block);
+    if (read.code() == ErrorCode::kDataCorruption) {
+      mismatched.push_back(sum.lba);  // unreadable == mismatched: repair it
+      continue;
+    }
+    PRINS_RETURN_IF_ERROR(read);
     if (crc32c(block) != sum.crc) mismatched.push_back(sum.lba);
   }
   {

@@ -16,12 +16,15 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "block/block_device.h"
 #include "common/histogram.h"
 #include "net/transport.h"
+#include "prins/intent_log.h"
 #include "prins/message.h"
 #include "prins/trap_log.h"
 
@@ -30,6 +33,14 @@ namespace prins {
 struct ReplicaConfig {
   /// Record parity deltas of applied writes for point-in-time recovery.
   bool keep_trap_log = false;
+  /// Crash-atomic apply: durably record (sequence, LBA, CRC of the new
+  /// block) before every in-place write, so a restart can tell applied
+  /// writes from torn ones (call recover_intents()).  Null disables.
+  std::shared_ptr<WriteIntentLog> intent_log;
+  /// Applies between intent-log checkpoints (device flush + log truncate);
+  /// 0 checkpoints only on barriers.  Bounds both the log size and the
+  /// restart replay work.
+  std::uint64_t intent_checkpoint_every = 256;
 };
 
 struct ReplicaMetrics {
@@ -41,6 +52,9 @@ struct ReplicaMetrics {
   std::uint64_t bytes_received = 0;   // wire message bytes
   std::uint64_t duplicates_dropped = 0;  // re-delivered sequences not applied
   std::uint64_t naks_sent = 0;           // corrupt frames bounced back
+  std::uint64_t reads_served = 0;        // kReadBlockRequest blocks returned
+  std::uint64_t torn_blocks_detected = 0;  // intent replay found a torn apply
+  std::uint64_t full_repairs_requested = 0;  // NAKs asking for a full block
 };
 
 class ReplicaEngine {
@@ -62,6 +76,19 @@ class ReplicaEngine {
   /// primary-side retransmission safe — applying a parity delta twice would
   /// XOR the write back *out*.
   Result<ReplicationMessage> apply(const ReplicationMessage& message);
+
+  /// Replay the write-intent log after a restart.  A block whose contents
+  /// CRC-match one of its intents completed that apply — its sequence (and
+  /// its predecessors') re-enter the dedup window so the primary's replay
+  /// is ACK'd without re-XOR-ing the write out.  A block matching no intent
+  /// is torn (or its apply never ran; the two are indistinguishable, and
+  /// both are unsafe to patch): it is marked damaged, and parity applies to
+  /// it are NAK'd with NakReason::kNeedFullBlock until a full-contents
+  /// write (repair/sync) lands.  Returns the damaged LBAs.
+  Result<std::vector<Lba>> recover_intents();
+
+  /// Blocks currently marked damaged (awaiting full-block repair).
+  std::vector<Lba> damaged_blocks() const;
 
   ReplicaMetrics metrics() const;
 
@@ -93,6 +120,8 @@ class ReplicaEngine {
   std::unordered_set<std::uint64_t> applied_set_;
   std::deque<std::uint64_t> applied_fifo_;
   std::uint64_t applied_timestamp_us_ = 0;
+  std::set<Lba> damaged_;  // torn/corrupt blocks; parity cannot apply
+  std::uint64_t applies_since_checkpoint_ = 0;
 };
 
 /// Run replica.serve(transport) for every connection accepted from

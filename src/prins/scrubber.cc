@@ -1,0 +1,129 @@
+#include "prins/scrubber.h"
+
+namespace prins {
+
+Scrubber::Scrubber(std::shared_ptr<BlockDevice> device, ScrubberConfig config)
+    : device_(std::move(device)), config_(config) {}
+
+Scrubber::~Scrubber() { stop(); }
+
+void Scrubber::add_source(RepairSource source) {
+  std::lock_guard lock(mutex_);
+  sources_.push_back(std::move(source));
+}
+
+void Scrubber::repair_block(Lba lba, ScrubStats& pass) {
+  const std::uint32_t bs = device_->block_size();
+  std::vector<RepairSource> sources;
+  {
+    std::lock_guard lock(mutex_);
+    sources = sources_;
+  }
+  Bytes good(bs);
+  Bytes check(bs);
+  for (const RepairSource& source : sources) {
+    if (!source.fetch) continue;
+    if (!source.fetch(lba, good).is_ok()) continue;
+    if (!source.in_place && !device_->write(lba, good).is_ok()) continue;
+    // Count the repair only if the verifying layer now agrees.
+    if (device_->read(lba, check).is_ok()) {
+      ++pass.repaired;
+      ++pass.repaired_by[source.name];
+      std::lock_guard lock(mutex_);
+      quarantine_.erase(lba);
+      return;
+    }
+  }
+  std::lock_guard lock(mutex_);
+  if (quarantine_.insert(lba).second) ++pass.quarantined;
+}
+
+Result<ScrubStats> Scrubber::run_pass() {
+  ScrubStats pass;
+  const std::uint32_t bs = device_->block_size();
+  const std::uint64_t blocks = device_->num_blocks();
+  const std::uint64_t batch =
+      config_.batch_blocks == 0 ? 64 : config_.batch_blocks;
+  Bytes block(bs);
+  const auto started = std::chrono::steady_clock::now();
+  for (Lba lba = 0; lba < blocks; ++lba) {
+    const Status read = device_->read(lba, block);
+    ++pass.blocks_scanned;
+    if (read.code() == ErrorCode::kDataCorruption) {
+      ++pass.corruptions_found;
+      repair_block(lba, pass);
+    } else if (!read.is_ok()) {
+      ++pass.read_errors;  // transient / dead device: nothing to verify
+    }
+    if ((lba + 1) % batch == 0) {
+      std::unique_lock lock(mutex_);
+      if (stopping_) break;
+      if (config_.blocks_per_second > 0) {
+        // Pace against the wall clock: sleep until the scanned count is
+        // back under budget (interruptible by stop()).
+        const auto due =
+            started + std::chrono::microseconds(pass.blocks_scanned *
+                                                1'000'000 /
+                                                config_.blocks_per_second);
+        stop_cv_.wait_until(lock, due, [&] { return stopping_; });
+        if (stopping_) break;
+      }
+    }
+  }
+  ++pass.passes;
+  std::lock_guard lock(mutex_);
+  merge_pass_locked(pass);
+  return pass;
+}
+
+void Scrubber::merge_pass_locked(const ScrubStats& pass) {
+  total_.passes += pass.passes;
+  total_.blocks_scanned += pass.blocks_scanned;
+  total_.corruptions_found += pass.corruptions_found;
+  total_.repaired += pass.repaired;
+  for (const auto& [name, count] : pass.repaired_by) {
+    total_.repaired_by[name] += count;
+  }
+  total_.quarantined += pass.quarantined;
+  total_.read_errors += pass.read_errors;
+}
+
+void Scrubber::start(std::chrono::milliseconds interval) {
+  stop();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = false;
+  }
+  worker_ = std::thread([this, interval] {
+    for (;;) {
+      (void)run_pass();
+      std::unique_lock lock(mutex_);
+      if (stop_cv_.wait_for(lock, interval, [&] { return stopping_; })) {
+        return;
+      }
+    }
+  });
+}
+
+void Scrubber::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard lock(mutex_);
+  stopping_ = false;
+}
+
+ScrubStats Scrubber::stats() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::vector<Lba> Scrubber::quarantined() const {
+  std::lock_guard lock(mutex_);
+  return {quarantine_.begin(), quarantine_.end()};
+}
+
+}  // namespace prins

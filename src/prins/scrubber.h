@@ -1,0 +1,108 @@
+// Scrubber: rate-limited background sweep that turns latent corruption into
+// repaired blocks.
+//
+// Checksums only detect corruption when a block is *read*; blocks nobody
+// reads rot silently until the day they are needed for a parity rebuild or
+// a PRINS delta apply.  The scrubber reads every block of a device on a
+// budget, and when a read fails with DATA_CORRUPTION escalates through an
+// ordered list of repair sources:
+//
+//   1. the device's own redundancy (RAID degraded-mode reconstruction),
+//   2. a healthy replica (kReadBlockRequest over the replication link),
+//   3. quarantine: record the LBA and move on, so operators see exactly
+//      what was lost instead of the device lying with stale data.
+//
+// Each repair is re-read through the device afterwards, so the fix is only
+// counted when the verifying layer (IntegrityDisk) agrees.  Runs either as
+// synchronous passes (run_pass) or as a background thread (start/stop).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "block/block_device.h"
+
+namespace prins {
+
+/// One place a good copy of a block can come from.  `fetch` either fills
+/// `out` with the block's correct contents (the scrubber writes them back),
+/// or — when `in_place` is set — repairs the device directly and reports
+/// the restored contents (RAID reconstruction writes the member itself; a
+/// second write through the logical path would fold the corrupt old data
+/// into parity).
+struct RepairSource {
+  std::string name;
+  std::function<Status(Lba, MutByteSpan)> fetch;
+  bool in_place = false;
+};
+
+struct ScrubberConfig {
+  /// Read budget; 0 scans flat out.
+  std::uint64_t blocks_per_second = 0;
+  /// Blocks read between budget checks (and stop() checks).
+  std::uint64_t batch_blocks = 64;
+};
+
+struct ScrubStats {
+  std::uint64_t passes = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t corruptions_found = 0;
+  std::uint64_t repaired = 0;
+  std::map<std::string, std::uint64_t> repaired_by;  // per source name
+  std::uint64_t quarantined = 0;   // blocks newly quarantined
+  std::uint64_t read_errors = 0;   // non-corruption read failures (skipped)
+};
+
+class Scrubber {
+ public:
+  explicit Scrubber(std::shared_ptr<BlockDevice> device,
+                    ScrubberConfig config = {});
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Sources are tried in the order added.
+  void add_source(RepairSource source);
+
+  /// One full sweep of the device; returns this pass's stats.  Previously
+  /// quarantined blocks are retried (a source may have come back).
+  Result<ScrubStats> run_pass();
+
+  /// Run a pass every `interval` on a background thread until stop().
+  void start(std::chrono::milliseconds interval);
+  void stop();
+
+  /// Cumulative stats across all passes.
+  ScrubStats stats() const;
+
+  /// LBAs no source could repair, ascending.
+  std::vector<Lba> quarantined() const;
+
+ private:
+  void repair_block(Lba lba, ScrubStats& pass);
+  void merge_pass_locked(const ScrubStats& pass);
+
+  const std::shared_ptr<BlockDevice> device_;
+  const ScrubberConfig config_;
+
+  mutable std::mutex mutex_;
+  std::vector<RepairSource> sources_;
+  ScrubStats total_;
+  std::set<Lba> quarantine_;
+
+  std::condition_variable stop_cv_;
+  std::thread worker_;
+  bool stopping_ = false;
+};
+
+}  // namespace prins

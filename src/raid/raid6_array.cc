@@ -124,8 +124,9 @@ Status Raid6Array::read_block(Lba lba, MutByteSpan out) {
     return members_[loc.disk]->read(loc.stripe, out);
   }
   if (failed.size() > 2) {
-    return io_error("RAID-6 stripe lost " + std::to_string(failed.size()) +
-                    " members; unrecoverable");
+    return corruption_error("RAID-6 stripe lost " +
+                            std::to_string(failed.size()) +
+                            " members; unrecoverable");
   }
   std::vector<Bytes> recovered;
   PRINS_RETURN_IF_ERROR(reconstruct(loc.stripe, failed, recovered));
@@ -240,6 +241,19 @@ Status Raid6Array::reconstruct(std::uint64_t stripe,
     }
   }
   return Status::ok();
+}
+
+Status Raid6Array::repair_block(Lba lba, MutByteSpan out) {
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  if (out.size() != block_size_) {
+    return invalid_argument("repair_block takes exactly one block");
+  }
+  const Location loc = locate(lba);
+  std::lock_guard lock(mutex_);
+  std::vector<Bytes> recovered;
+  PRINS_RETURN_IF_ERROR(reconstruct(loc.stripe, {loc.disk}, recovered));
+  std::memcpy(out.data(), recovered[0].data(), out.size());
+  return members_[loc.disk]->write(loc.stripe, recovered[0]);
 }
 
 Status Raid6Array::rebuild_members(const std::vector<unsigned>& disks) {

@@ -54,6 +54,12 @@ class Raid6Array final : public BlockDevice {
   /// Verify P and Q of every stripe; returns the count of bad stripes.
   Result<std::uint64_t> scrub();
 
+  /// Overwrite logical block `lba` on its data member with the contents
+  /// reconstructed from the other stripe members, returning them in `out`.
+  /// Never reads the (corrupt) old data and leaves P/Q untouched — the
+  /// repair path for a block whose stored copy failed its checksum.
+  Status repair_block(Lba lba, MutByteSpan out);
+
  private:
   explicit Raid6Array(std::vector<std::shared_ptr<BlockDevice>> members);
 

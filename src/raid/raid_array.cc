@@ -66,7 +66,28 @@ Status RaidArray::read_block(Lba lba, MutByteSpan out) {
   if (s.is_ok()) return s;
   if (geometry_.level() == RaidLevel::kRaid0) return s;  // nothing to rebuild from
   // Degraded mode: reconstruct from the surviving members of the stripe.
-  return reconstruct(loc.stripe, loc.data_disk, out);
+  Status rebuilt = reconstruct(loc.stripe, loc.data_disk, out);
+  if (!rebuilt.is_ok()) {
+    // More than one member gone: the block is unrecoverable from this
+    // array, which callers should treat as "repair elsewhere", not "retry".
+    return corruption_error("block " + std::to_string(lba) +
+                            " unrecoverable: " + rebuilt.message());
+  }
+  return rebuilt;
+}
+
+Status RaidArray::repair_block(Lba lba, MutByteSpan out) {
+  if (geometry_.level() == RaidLevel::kRaid0) {
+    return failed_precondition("RAID-0 has no redundancy to repair from");
+  }
+  PRINS_RETURN_IF_ERROR(check_io(lba, out.size()));
+  if (out.size() != block_size_) {
+    return invalid_argument("repair_block takes exactly one block");
+  }
+  const StripeLocation loc = geometry_.locate(lba);
+  std::lock_guard lock(mutex_);
+  PRINS_RETURN_IF_ERROR(reconstruct(loc.stripe, loc.data_disk, out));
+  return members_[loc.data_disk]->write(loc.member_block, out);
 }
 
 Status RaidArray::write_block(Lba lba, ByteSpan block) {

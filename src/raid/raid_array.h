@@ -58,6 +58,13 @@ class RaidArray final : public BlockDevice {
   /// inconsistent stripes found (0 == clean).  RAID-0 always returns 0.
   Result<std::uint64_t> scrub();
 
+  /// Overwrite logical block `lba` on its data member with the contents
+  /// reconstructed from the other stripe members, and return those contents
+  /// in `out`.  Unlike write(), this never reads the (corrupt) old data and
+  /// leaves parity untouched — the repair path for a block whose stored
+  /// copy failed its checksum.  RAID-0 cannot repair.
+  Status repair_block(Lba lba, MutByteSpan out);
+
  private:
   RaidArray(RaidLevel level,
             std::vector<std::shared_ptr<BlockDevice>> members);

@@ -174,6 +174,93 @@ TEST(FaultyDiskTest, CorruptionFlipsBytes) {
   EXPECT_NE(out, data);  // silently corrupted
 }
 
+TEST(FaultyDiskTest, PersistentCorruptionLandsOnTheInnerDevice) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  const Bytes data = random_block(9, 256);
+  ASSERT_TRUE(inner->write(0, data).is_ok());
+  FaultyDisk::Config config;
+  config.corrupt_p = 1.0;
+  config.corrupt_persistent = true;
+  FaultyDisk disk(inner, config);
+  Bytes out(256);
+  ASSERT_TRUE(disk.read(0, out).is_ok());
+  EXPECT_NE(out, data);
+  // The flip was written back: the inner device is corrupt at rest.
+  Bytes stored(256);
+  ASSERT_TRUE(inner->read(0, stored).is_ok());
+  EXPECT_EQ(stored, out);
+  EXPECT_NE(stored, data);
+}
+
+TEST(FaultyDiskTest, TornWritePersistsOnlyAPrefix) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  FaultyDisk::Config config;
+  config.torn_write_p = 1.0;
+  FaultyDisk disk(inner, config);
+  const Bytes data(256, 0xAB);  // inner starts zeroed
+  ASSERT_TRUE(disk.write(3, data).is_ok());  // the disk lies: reports success
+  EXPECT_EQ(disk.torn_writes(), 1u);
+  Bytes out(256);
+  ASSERT_TRUE(inner->read(3, out).is_ok());
+  // Some non-empty strict prefix landed; the rest still holds old bytes.
+  std::size_t kept = 0;
+  while (kept < out.size() && out[kept] == 0xAB) ++kept;
+  EXPECT_GT(kept, 0u);
+  EXPECT_LT(kept, out.size());
+  for (std::size_t i = kept; i < out.size(); ++i) EXPECT_EQ(out[i], 0u);
+}
+
+TEST(FaultyDiskTest, CrashAfterTearsTheFatalWriteThenDies) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  FaultyDisk disk(inner, {});
+  const Bytes data(256, 0xCD);
+  disk.crash_after(2);
+  Bytes out(256);
+  ASSERT_TRUE(disk.read(0, out).is_ok());                     // op 1
+  EXPECT_EQ(disk.write(5, data).code(), ErrorCode::kIoError);  // op 2: crash
+  EXPECT_TRUE(disk.is_dead());
+  EXPECT_EQ(disk.torn_writes(), 1u);
+  // A strict prefix of the dying write persisted.
+  ASSERT_TRUE(inner->read(5, out).is_ok());
+  std::size_t kept = 0;
+  while (kept < out.size() && out[kept] == 0xCD) ++kept;
+  EXPECT_GT(kept, 0u);
+  EXPECT_LT(kept, out.size());
+  // "Restart" revives the device with the torn state intact.
+  disk.set_dead(false);
+  Bytes again(256);
+  ASSERT_TRUE(disk.read(5, again).is_ok());
+  EXPECT_EQ(again, out);
+}
+
+TEST(FaultyDiskTest, MarkBadFailsReadsUntilRewritten) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  FaultyDisk disk(inner, {});
+  disk.mark_bad(4);
+  Bytes block(256);
+  EXPECT_EQ(disk.read(4, block).code(), ErrorCode::kDataCorruption);
+  // Multi-block reads covering the bad block fail too.
+  Bytes two(512);
+  EXPECT_EQ(disk.read(3, two).code(), ErrorCode::kDataCorruption);
+  EXPECT_TRUE(disk.read(5, block).is_ok());  // neighbours unaffected
+  ASSERT_TRUE(disk.write(4, Bytes(256, 0x11)).is_ok());
+  EXPECT_TRUE(disk.read(4, block).is_ok());  // rewrite clears the mark
+}
+
+TEST(FaultyDiskTest, CorruptBlockIsDeterministicAndSilent) {
+  auto inner = std::make_shared<MemDisk>(8, 256);
+  const Bytes data = random_block(10, 256);
+  ASSERT_TRUE(inner->write(2, data).is_ok());
+  FaultyDisk disk(inner, {});
+  ASSERT_TRUE(disk.corrupt_block(2, 17).is_ok());
+  Bytes out(256);
+  ASSERT_TRUE(disk.read(2, out).is_ok());  // silent: the read succeeds
+  Bytes expect = data;
+  expect[17] ^= 0xFF;
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(disk.corrupt_block(9, 0).code(), ErrorCode::kOutOfRange);
+}
+
 // ---- StatsDisk ----------------------------------------------------------------
 
 TEST(StatsDiskTest, CountsOpsAndBytes) {

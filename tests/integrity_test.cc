@@ -1,0 +1,690 @@
+// End-to-end data integrity: IntegrityDisk checksum verification, the
+// write-intent log and crash-atomic replica apply, NAK-driven full-block
+// repair, the scrub-and-repair escalation (RAID reconstruction, replica
+// pull, quarantine), and a corruption/torn-write soak.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "block/faulty_disk.h"
+#include "block/integrity_disk.h"
+#include "block/mem_disk.h"
+#include "codec/codec.h"
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "prins/engine.h"
+#include "prins/intent_log.h"
+#include "prins/replica.h"
+#include "prins/scrubber.h"
+#include "raid/raid_array.h"
+
+namespace prins {
+namespace {
+
+constexpr std::uint32_t kBs = 512;
+constexpr std::uint64_t kBlocks = 64;
+
+std::string temp_path(const char* tag) {
+  static int counter = 0;
+  return (std::filesystem::temp_directory_path() /
+          ("prins_integrity_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + "_" + std::to_string(counter++)))
+      .string();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* tag) : path(temp_path(tag)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+Bytes random_block(std::uint64_t seed, std::size_t n = kBs) {
+  Rng rng(seed);
+  Bytes b(n);
+  rng.fill(b);
+  return b;
+}
+
+// ---- IntegrityDisk -------------------------------------------------------------
+
+TEST(IntegrityDiskTest, DetectsBitRotAsTypedCorruption) {
+  auto inner = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto opened = IntegrityDisk::open(inner);
+  ASSERT_TRUE(opened.is_ok()) << opened.status().to_string();
+  auto& disk = **opened;
+
+  const Bytes data = random_block(1);
+  ASSERT_TRUE(disk.write(3, data).is_ok());
+  Bytes out(kBs);
+  ASSERT_TRUE(disk.read(3, out).is_ok());
+  EXPECT_EQ(out, data);
+
+  // Rot a byte beneath the checksum layer.
+  Bytes rotten = data;
+  rotten[100] ^= 0x01;
+  ASSERT_TRUE(inner->write(3, rotten).is_ok());
+  EXPECT_EQ(disk.read(3, out).code(), ErrorCode::kDataCorruption);
+
+  const auto stats = disk.stats();
+  EXPECT_EQ(stats.mismatches, 1u);
+  EXPECT_GE(stats.blocks_verified, 1u);
+
+  // A rewrite re-baselines the block.
+  ASSERT_TRUE(disk.write(3, rotten).is_ok());
+  EXPECT_TRUE(disk.read(3, out).is_ok());
+}
+
+TEST(IntegrityDiskTest, UntrackedBlocksAreAdoptedOnFirstRead) {
+  auto inner = std::make_shared<MemDisk>(kBlocks, kBs);
+  ASSERT_TRUE(inner->write(5, random_block(2)).is_ok());
+  auto opened = IntegrityDisk::open(inner);
+  ASSERT_TRUE(opened.is_ok());
+  auto& disk = **opened;
+
+  EXPECT_FALSE(disk.tracked(5));
+  Bytes out(kBs);
+  ASSERT_TRUE(disk.read(5, out).is_ok());
+  EXPECT_TRUE(disk.tracked(5));
+  EXPECT_EQ(disk.stats().blocks_adopted, 1u);
+
+  // From now on the adopted baseline is enforced.
+  ASSERT_TRUE(inner->write(5, random_block(3)).is_ok());
+  EXPECT_EQ(disk.read(5, out).code(), ErrorCode::kDataCorruption);
+}
+
+TEST(IntegrityDiskTest, SidecarPersistsChecksumsAcrossReopen) {
+  TempFile sidecar("sidecar");
+  auto inner = std::make_shared<MemDisk>(kBlocks, kBs);
+  const Bytes data = random_block(4);
+  {
+    auto opened = IntegrityDisk::open(inner, {sidecar.path});
+    ASSERT_TRUE(opened.is_ok()) << opened.status().to_string();
+    ASSERT_TRUE((*opened)->write(7, data).is_ok());
+    ASSERT_TRUE((*opened)->flush().is_ok());
+  }
+  // Corrupt while the checksum layer is "down".
+  Bytes rotten = data;
+  rotten[0] ^= 0xFF;
+  ASSERT_TRUE(inner->write(7, rotten).is_ok());
+
+  auto reopened = IntegrityDisk::open(inner, {sidecar.path});
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  EXPECT_TRUE((*reopened)->tracked(7));
+  Bytes out(kBs);
+  EXPECT_EQ((*reopened)->read(7, out).code(), ErrorCode::kDataCorruption);
+}
+
+TEST(IntegrityDiskTest, TornSidecarPageDegradesToUntracked) {
+  TempFile sidecar("torn");
+  auto inner = std::make_shared<MemDisk>(kBlocks, kBs);
+  {
+    auto opened = IntegrityDisk::open(inner, {sidecar.path});
+    ASSERT_TRUE(opened.is_ok());
+    ASSERT_TRUE((*opened)->write(2, random_block(5)).is_ok());
+    ASSERT_TRUE((*opened)->flush().is_ok());
+  }
+  // Tear the CRC page itself (flip a byte past the 16-byte header): the
+  // page must fail its own checksum and be dropped, not believed.
+  {
+    std::FILE* f = std::fopen(sidecar.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 200, SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 200, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  auto reopened = IntegrityDisk::open(inner, {sidecar.path});
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  EXPECT_EQ((*reopened)->stats().pages_dropped, 1u);
+  EXPECT_FALSE((*reopened)->tracked(2));
+  Bytes out(kBs);
+  EXPECT_TRUE((*reopened)->read(2, out).is_ok());  // adopted, not failed
+}
+
+TEST(IntegrityDiskTest, SidecarGeometryMismatchRejected) {
+  TempFile sidecar("geom");
+  {
+    auto inner = std::make_shared<MemDisk>(kBlocks, kBs);
+    auto opened = IntegrityDisk::open(inner, {sidecar.path});
+    ASSERT_TRUE(opened.is_ok());
+    ASSERT_TRUE((*opened)->flush().is_ok());
+  }
+  auto other = std::make_shared<MemDisk>(kBlocks * 2, kBs);
+  auto reopened = IntegrityDisk::open(other, {sidecar.path});
+  EXPECT_EQ(reopened.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// ---- WriteIntentLog ------------------------------------------------------------
+
+TEST(WriteIntentLogTest, IntentsSurviveReopen) {
+  TempFile file("intents");
+  {
+    auto log = WriteIntentLog::open(file.path);
+    ASSERT_TRUE(log.is_ok()) << log.status().to_string();
+    ASSERT_TRUE((*log)->record(1, 10, 0xAAAA).is_ok());
+    ASSERT_TRUE((*log)->record(2, 11, 0xBBBB).is_ok());
+  }
+  auto log = WriteIntentLog::open(file.path);
+  ASSERT_TRUE(log.is_ok());
+  const auto pending = (*log)->pending();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].sequence, 1u);
+  EXPECT_EQ(pending[0].lba, 10u);
+  EXPECT_EQ(pending[0].crc, 0xAAAAu);
+  EXPECT_EQ(pending[1].sequence, 2u);
+}
+
+TEST(WriteIntentLogTest, TornTailRecordDropped) {
+  TempFile file("torn_intent");
+  std::uintmax_t after_first = 0;
+  {
+    auto log = WriteIntentLog::open(file.path);
+    ASSERT_TRUE(log.is_ok());
+    ASSERT_TRUE((*log)->record(1, 10, 0x1111).is_ok());
+    after_first = std::filesystem::file_size(file.path);
+    ASSERT_TRUE((*log)->record(2, 11, 0x2222).is_ok());
+  }
+  const std::uintmax_t full = std::filesystem::file_size(file.path);
+  for (std::uintmax_t cut = after_first; cut < full; ++cut) {
+    const std::string copy = file.path + ".cut";
+    std::filesystem::copy_file(
+        file.path, copy, std::filesystem::copy_options::overwrite_existing);
+    ASSERT_EQ(::truncate(copy.c_str(), static_cast<off_t>(cut)), 0);
+    auto log = WriteIntentLog::open(copy);
+    ASSERT_TRUE(log.is_ok()) << "cut at " << cut;
+    ASSERT_EQ((*log)->pending_count(), 1u) << "cut at " << cut;
+    EXPECT_EQ((*log)->pending()[0].sequence, 1u);
+    std::remove(copy.c_str());
+  }
+}
+
+TEST(WriteIntentLogTest, CheckpointClearsIntents) {
+  TempFile file("ckpt");
+  auto log = WriteIntentLog::open(file.path);
+  ASSERT_TRUE(log.is_ok());
+  ASSERT_TRUE((*log)->record(1, 0, 1).is_ok());
+  ASSERT_TRUE((*log)->record(2, 1, 2).is_ok());
+  ASSERT_TRUE((*log)->checkpoint().is_ok());
+  EXPECT_EQ((*log)->pending_count(), 0u);
+  // Still appendable, and the truncation survives reopen.
+  ASSERT_TRUE((*log)->record(3, 2, 3).is_ok());
+  log->reset();
+  auto reopened = WriteIntentLog::open(file.path);
+  ASSERT_TRUE(reopened.is_ok());
+  ASSERT_EQ((*reopened)->pending_count(), 1u);
+  EXPECT_EQ((*reopened)->pending()[0].sequence, 3u);
+}
+
+// ---- Crash-atomic replica apply ------------------------------------------------
+
+ReplicationMessage parity_write(std::uint64_t seq, Lba lba, ByteSpan delta) {
+  ReplicationMessage msg;
+  msg.kind = MessageKind::kWrite;
+  msg.policy = ReplicationPolicy::kPrins;
+  msg.block_size = kBs;
+  msg.lba = lba;
+  msg.sequence = seq;
+  msg.timestamp_us = seq;
+  msg.payload = encode_frame(payload_codec(ReplicationPolicy::kPrins), delta);
+  return msg;
+}
+
+ReplicationMessage full_repair(std::uint64_t seq, Lba lba, ByteSpan block) {
+  ReplicationMessage msg;
+  msg.kind = MessageKind::kRepairBlock;
+  msg.block_size = kBs;
+  msg.lba = lba;
+  msg.sequence = seq;
+  msg.timestamp_us = seq;
+  msg.payload = encode_frame(codec_for(CodecId::kLz), block);
+  return msg;
+}
+
+Bytes xor_blocks(const Bytes& a, const Bytes& b) {
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+TEST(CrashAtomicApply, TornApplyDetectedAndRepairedInFull) {
+  TempFile intents("crash_intents");
+  auto mem = std::make_shared<MemDisk>(16, kBs);
+  auto faulty = std::make_shared<FaultyDisk>(mem, FaultyDisk::Config{});
+
+  const Bytes b1 = random_block(21);
+  Bytes b2 = b1;
+  for (Byte& x : b2) x ^= 0xFF;  // differs in EVERY byte: any tear detectable
+
+  {
+    auto log = WriteIntentLog::open(intents.path);
+    ASSERT_TRUE(log.is_ok());
+    ReplicaConfig config;
+    config.intent_log = std::shared_ptr<WriteIntentLog>(std::move(*log));
+    ReplicaEngine replica(faulty, config);
+
+    auto r1 = replica.apply(parity_write(1, 5, b1));  // old is zero: delta=b1
+    ASSERT_TRUE(r1.is_ok());
+    ASSERT_EQ(r1->kind, MessageKind::kAck);
+
+    // Power fails during the in-place apply of seq 2: the read of A_old is
+    // op 1, the write is op 2 — a byte prefix of A_new persists.
+    faulty->crash_after(2);
+    auto r2 = replica.apply(parity_write(2, 5, xor_blocks(b1, b2)));
+    ASSERT_FALSE(r2.is_ok());
+    EXPECT_EQ(r2.status().code(), ErrorCode::kIoError);
+    EXPECT_EQ(faulty->torn_writes(), 1u);
+  }  // replica and its intent log die with the "machine"
+
+  // The torn block now holds a b2-prefix/b1-suffix hybrid.
+  Bytes stored(kBs);
+  ASSERT_TRUE(mem->read(5, stored).is_ok());
+  EXPECT_NE(stored, b1);
+  EXPECT_NE(stored, b2);
+
+  // Restart: replay the intent log.
+  faulty->set_dead(false);
+  auto log = WriteIntentLog::open(intents.path);
+  ASSERT_TRUE(log.is_ok());
+  ASSERT_EQ((*log)->pending_count(), 2u);  // both intents survived the crash
+  ReplicaConfig config;
+  config.intent_log = std::shared_ptr<WriteIntentLog>(std::move(*log));
+  ReplicaEngine replica(faulty, config);
+
+  auto damaged = replica.recover_intents();
+  ASSERT_TRUE(damaged.is_ok()) << damaged.status().to_string();
+  ASSERT_EQ(damaged->size(), 1u);
+  EXPECT_EQ((*damaged)[0], 5u);
+  EXPECT_EQ(replica.metrics().torn_blocks_detected, 1u);
+
+  // The primary replays the un-acked delta: it must be bounced with an
+  // explicit ask for the full block, NOT applied (XOR onto a torn base
+  // diverges forever).
+  auto replay = replica.apply(parity_write(2, 5, xor_blocks(b1, b2)));
+  ASSERT_TRUE(replay.is_ok());
+  ASSERT_EQ(replay->kind, MessageKind::kNak);
+  ASSERT_FALSE(replay->payload.empty());
+  EXPECT_EQ(replay->payload[0], static_cast<Byte>(NakReason::kNeedFullBlock));
+  EXPECT_EQ(replica.metrics().full_repairs_requested, 1u);
+
+  // The full-block repair lands, clears the damage, and CRC-matches.
+  auto repaired = replica.apply(full_repair(2, 5, b2));
+  ASSERT_TRUE(repaired.is_ok());
+  EXPECT_EQ(repaired->kind, MessageKind::kAck);
+  EXPECT_TRUE(replica.damaged_blocks().empty());
+  ASSERT_TRUE(mem->read(5, stored).is_ok());
+  EXPECT_EQ(crc32c(stored), crc32c(b2));
+
+  // Parity flows again.
+  const Bytes b3 = random_block(23);
+  auto r3 = replica.apply(parity_write(3, 5, xor_blocks(b2, b3)));
+  ASSERT_TRUE(r3.is_ok());
+  EXPECT_EQ(r3->kind, MessageKind::kAck);
+  ASSERT_TRUE(mem->read(5, stored).is_ok());
+  EXPECT_EQ(stored, b3);
+}
+
+TEST(CrashAtomicApply, CompletedApplyIsDeduplicatedAfterRestart) {
+  TempFile intents("dedup_intents");
+  auto mem = std::make_shared<MemDisk>(16, kBs);
+  const Bytes b1 = random_block(31);
+  const Bytes b2 = random_block(32);
+
+  {
+    auto log = WriteIntentLog::open(intents.path);
+    ASSERT_TRUE(log.is_ok());
+    ReplicaConfig config;
+    config.intent_log = std::shared_ptr<WriteIntentLog>(std::move(*log));
+    ReplicaEngine replica(mem, config);
+    ASSERT_TRUE(replica.apply(parity_write(1, 5, b1)).is_ok());
+    ASSERT_TRUE(replica.apply(parity_write(2, 5, xor_blocks(b1, b2))).is_ok());
+  }  // crash after the applies completed but before any checkpoint
+
+  auto log = WriteIntentLog::open(intents.path);
+  ASSERT_TRUE(log.is_ok());
+  ReplicaConfig config;
+  config.intent_log = std::shared_ptr<WriteIntentLog>(std::move(*log));
+  ReplicaEngine replica(mem, config);
+  auto damaged = replica.recover_intents();
+  ASSERT_TRUE(damaged.is_ok());
+  EXPECT_TRUE(damaged->empty());  // contents match the newest intent
+
+  // The primary replays both un-acked writes; re-XOR would undo them.
+  ASSERT_TRUE(replica.apply(parity_write(1, 5, b1)).is_ok());
+  ASSERT_TRUE(replica.apply(parity_write(2, 5, xor_blocks(b1, b2))).is_ok());
+  EXPECT_EQ(replica.metrics().duplicates_dropped, 2u);
+  Bytes stored(kBs);
+  ASSERT_TRUE(mem->read(5, stored).is_ok());
+  EXPECT_EQ(stored, b2);
+}
+
+// ---- Scrubber ------------------------------------------------------------------
+
+TEST(ScrubberTest, RepairsViaRaidReconstruction) {
+  // IntegrityDisk over a RAID-4: at-rest rot in a data member fails the
+  // logical read's checksum; repair_block rebuilds the member from parity
+  // without disturbing the (still correct) parity column.
+  std::vector<std::shared_ptr<BlockDevice>> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(std::make_shared<MemDisk>(32, kBs));
+  }
+  auto array = RaidArray::create(RaidLevel::kRaid4, members);
+  ASSERT_TRUE(array.is_ok()) << array.status().to_string();
+  std::shared_ptr<RaidArray> raid = std::move(*array);
+  auto opened = IntegrityDisk::open(raid);
+  ASSERT_TRUE(opened.is_ok());
+  std::shared_ptr<IntegrityDisk> disk = std::move(*opened);
+
+  std::vector<Bytes> written(disk->num_blocks());
+  for (Lba lba = 0; lba < disk->num_blocks(); ++lba) {
+    written[lba] = random_block(400 + lba);
+    ASSERT_TRUE(disk->write(lba, written[lba]).is_ok());
+  }
+  // Rot three blocks of data member 0 (RAID-4 keeps parity on the last
+  // member, so member 0 is pure data).
+  for (Lba member_block : {0u, 3u, 9u}) {
+    Bytes garbage = random_block(900 + member_block);
+    ASSERT_TRUE(members[0]->write(member_block, garbage).is_ok());
+  }
+  std::size_t failing = 0;
+  Bytes out(kBs);
+  for (Lba lba = 0; lba < disk->num_blocks(); ++lba) {
+    if (disk->read(lba, out).code() == ErrorCode::kDataCorruption) ++failing;
+  }
+  ASSERT_EQ(failing, 3u);
+
+  Scrubber scrubber(disk);
+  scrubber.add_source(RepairSource{
+      "raid",
+      [&](Lba lba, MutByteSpan buf) { return raid->repair_block(lba, buf); },
+      /*in_place=*/true});
+  auto pass = scrubber.run_pass();
+  ASSERT_TRUE(pass.is_ok()) << pass.status().to_string();
+  EXPECT_EQ(pass->blocks_scanned, disk->num_blocks());
+  EXPECT_EQ(pass->corruptions_found, 3u);
+  EXPECT_EQ(pass->repaired, 3u);
+  EXPECT_EQ(pass->repaired_by.at("raid"), 3u);
+  EXPECT_EQ(pass->quarantined, 0u);
+  EXPECT_TRUE(scrubber.quarantined().empty());
+
+  for (Lba lba = 0; lba < disk->num_blocks(); ++lba) {
+    ASSERT_TRUE(disk->read(lba, out).is_ok()) << "lba " << lba;
+    EXPECT_EQ(out, written[lba]) << "lba " << lba;
+  }
+  // A second pass over the repaired device is clean.
+  auto second = scrubber.run_pass();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->corruptions_found, 0u);
+  EXPECT_EQ(scrubber.stats().corruptions_found, 3u);  // cumulative
+}
+
+TEST(ScrubberTest, QuarantinesWhenEverySourceFailsThenRecovers) {
+  auto inner = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto opened = IntegrityDisk::open(inner);
+  ASSERT_TRUE(opened.is_ok());
+  std::shared_ptr<IntegrityDisk> disk = std::move(*opened);
+
+  const Bytes good = random_block(50);
+  ASSERT_TRUE(disk->write(9, good).is_ok());
+  ASSERT_TRUE(inner->write(9, random_block(51)).is_ok());  // rot it
+
+  Scrubber scrubber(disk);
+  scrubber.add_source(RepairSource{
+      "dead-source",
+      [](Lba, MutByteSpan) { return unavailable("source is down"); },
+      /*in_place=*/false});
+  auto pass = scrubber.run_pass();
+  ASSERT_TRUE(pass.is_ok());
+  EXPECT_EQ(pass->corruptions_found, 1u);
+  EXPECT_EQ(pass->repaired, 0u);
+  EXPECT_EQ(pass->quarantined, 1u);
+  ASSERT_EQ(scrubber.quarantined().size(), 1u);
+  EXPECT_EQ(scrubber.quarantined()[0], 9u);
+
+  // The source comes back: the next pass retries the quarantined block.
+  scrubber.add_source(RepairSource{
+      "backup",
+      [&](Lba lba, MutByteSpan buf) {
+        EXPECT_EQ(lba, 9u);
+        std::copy(good.begin(), good.end(), buf.begin());
+        return Status::ok();
+      },
+      /*in_place=*/false});
+  auto retry = scrubber.run_pass();
+  ASSERT_TRUE(retry.is_ok());
+  EXPECT_EQ(retry->repaired, 1u);
+  EXPECT_EQ(retry->repaired_by.at("backup"), 1u);
+  EXPECT_TRUE(scrubber.quarantined().empty());
+  Bytes out(kBs);
+  ASSERT_TRUE(disk->read(9, out).is_ok());
+  EXPECT_EQ(out, good);
+}
+
+// ---- Engine integration --------------------------------------------------------
+
+/// Primary (IntegrityDisk over MemDisk) + one replica whose device stack the
+/// test chooses; in-proc link, background serve.
+struct IntegrityRig {
+  std::shared_ptr<MemDisk> primary_mem;
+  std::shared_ptr<FaultyDisk> primary_faulty;
+  std::shared_ptr<IntegrityDisk> primary_disk;
+  std::shared_ptr<MemDisk> replica_mem;
+  std::shared_ptr<FaultyDisk> replica_faulty;
+  std::shared_ptr<IntegrityDisk> replica_disk;
+  std::shared_ptr<ReplicaEngine> replica;
+  std::unique_ptr<PrinsEngine> engine;
+  std::thread server;
+
+  explicit IntegrityRig(std::uint64_t blocks, EngineConfig config = {}) {
+    primary_mem = std::make_shared<MemDisk>(blocks, kBs);
+    primary_faulty =
+        std::make_shared<FaultyDisk>(primary_mem, FaultyDisk::Config{});
+    auto p = IntegrityDisk::open(primary_faulty);
+    EXPECT_TRUE(p.is_ok());
+    primary_disk = std::move(*p);
+
+    replica_mem = std::make_shared<MemDisk>(blocks, kBs);
+    replica_faulty =
+        std::make_shared<FaultyDisk>(replica_mem, FaultyDisk::Config{});
+    auto r = IntegrityDisk::open(replica_faulty);
+    EXPECT_TRUE(r.is_ok());
+    replica_disk = std::move(*r);
+    replica = std::make_shared<ReplicaEngine>(replica_disk);
+
+    engine = std::make_unique<PrinsEngine>(primary_disk, config);
+    auto [primary_end, replica_end] = make_inproc_pair();
+    engine->add_replica(std::move(primary_end));
+    server = std::thread(
+        [r2 = replica, t = std::shared_ptr<Transport>(std::move(replica_end))] {
+          EXPECT_TRUE(r2->serve(*t).is_ok());
+        });
+  }
+
+  ~IntegrityRig() {
+    engine.reset();
+    if (server.joinable()) server.join();
+  }
+
+  bool mems_match() const {
+    Bytes a(kBs), b(kBs);
+    for (Lba lba = 0; lba < primary_mem->num_blocks(); ++lba) {
+      EXPECT_TRUE(primary_mem->read(lba, a).is_ok());
+      EXPECT_TRUE(replica_mem->read(lba, b).is_ok());
+      if (a != b) return false;
+    }
+    return true;
+  }
+};
+
+TEST(EngineIntegration, NakConvertsQueuedDeltaToFullBlockRepair) {
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  config.keep_trap_log = true;
+  IntegrityRig rig(16, config);
+
+  ASSERT_TRUE(rig.engine->write(7, random_block(60)).is_ok());
+  ASSERT_TRUE(rig.engine->drain().is_ok());
+  ASSERT_TRUE(rig.mems_match());
+
+  // Rot the replica's stored copy at rest: the next parity delta cannot
+  // apply there, and a resend can never help.
+  ASSERT_TRUE(rig.replica_faulty->corrupt_block(7, 42).is_ok());
+
+  const Bytes next = random_block(61);
+  ASSERT_TRUE(rig.engine->write(7, next).is_ok());
+  ASSERT_TRUE(rig.engine->drain().is_ok());
+  EXPECT_TRUE(rig.mems_match());
+
+  EXPECT_GE(rig.engine->metrics().nak_full_repairs, 1u);
+  const auto rm = rig.replica->metrics();
+  EXPECT_GE(rm.full_repairs_requested, 1u);
+  EXPECT_GE(rm.repairs, 1u);
+  EXPECT_TRUE(rig.replica->damaged_blocks().empty());
+  EXPECT_GE(rig.replica_disk->stats().mismatches, 1u);
+}
+
+TEST(EngineIntegration, ScrubPullsGoodBlocksFromReplica) {
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  IntegrityRig rig(32, config);
+
+  for (Lba lba = 0; lba < 32; ++lba) {
+    ASSERT_TRUE(rig.engine->write(lba, random_block(70 + lba)).is_ok());
+  }
+  ASSERT_TRUE(rig.engine->drain().is_ok());
+  ASSERT_TRUE(rig.mems_match());
+
+  for (Lba lba : {2u, 11u, 30u}) {
+    ASSERT_TRUE(rig.primary_faulty->corrupt_block(lba, 5).is_ok());
+  }
+
+  auto pass = rig.engine->scrub();
+  ASSERT_TRUE(pass.is_ok()) << pass.status().to_string();
+  EXPECT_EQ(pass->corruptions_found, 3u);
+  EXPECT_EQ(pass->repaired, 3u);
+  EXPECT_EQ(pass->repaired_by.at("replica"), 3u);
+  EXPECT_EQ(pass->quarantined, 0u);
+  EXPECT_TRUE(rig.mems_match());
+  EXPECT_GE(rig.replica->metrics().reads_served, 3u);
+
+  const auto metrics = rig.engine->metrics();
+  EXPECT_EQ(metrics.scrub_passes, 1u);
+  EXPECT_EQ(metrics.scrub_corruptions, 3u);
+  EXPECT_EQ(metrics.scrub_repaired, 3u);
+  EXPECT_EQ(metrics.scrub_quarantined, 0u);
+
+  // A second pass over the repaired device is clean.
+  auto second = rig.engine->scrub();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->corruptions_found, 0u);
+}
+
+TEST(EngineIntegration, ScrubQuarantinesWhenReplicaCopyIsAlsoDamaged) {
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  IntegrityRig rig(16, config);
+
+  ASSERT_TRUE(rig.engine->write(4, random_block(80)).is_ok());
+  ASSERT_TRUE(rig.engine->drain().is_ok());
+
+  // Both copies rot: the primary fails its own checksum, and the replica's
+  // checksum layer refuses to serve its copy (NAK on the read-block pull).
+  ASSERT_TRUE(rig.primary_faulty->corrupt_block(4, 1).is_ok());
+  ASSERT_TRUE(rig.replica_faulty->corrupt_block(4, 2).is_ok());
+
+  auto pass = rig.engine->scrub();
+  ASSERT_TRUE(pass.is_ok()) << pass.status().to_string();
+  EXPECT_EQ(pass->corruptions_found, 1u);
+  EXPECT_EQ(pass->repaired, 0u);
+  EXPECT_EQ(pass->quarantined, 1u);
+  EXPECT_EQ(rig.engine->metrics().scrub_quarantined, 1u);
+}
+
+// ---- Soak ----------------------------------------------------------------------
+
+TEST(IntegritySoak, CorruptionAndTornWritesConvergeAfterScrub) {
+  constexpr std::uint64_t kSoakBlocks = 64;
+  constexpr int kWrites = 400;
+
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  config.keep_trap_log = true;
+  config.retry.max_attempts = 8;
+  IntegrityRig rig(kSoakBlocks, config);
+
+  // Baseline sync first, so every replica block is tracked by its checksum
+  // layer *before* faults start firing (corruption that lands on a
+  // never-tracked block is adopted as truth — undetectable by design).
+  Rng rng(7);
+  for (Lba lba = 0; lba < kSoakBlocks; ++lba) {
+    ASSERT_TRUE(rig.engine->write(lba, random_block(8000 + lba)).is_ok());
+  }
+  ASSERT_TRUE(rig.engine->drain().is_ok());
+  ASSERT_TRUE(rig.mems_match());
+
+  // Storm phase: the replica's disk lies (torn writes) and rots (persistent
+  // read corruption) while the primary keeps writing.
+  FaultyDisk::Config faults;
+  faults.torn_write_p = 0.05;
+  faults.corrupt_p = 0.03;
+  faults.corrupt_persistent = true;
+  faults.seed = 99;
+  rig.replica_faulty->reconfigure(faults);
+  for (int i = 0; i < kWrites; ++i) {
+    const Lba lba = rng.next_below(kSoakBlocks);
+    ASSERT_TRUE(rig.engine->write(lba, random_block(9000 + i)).is_ok());
+  }
+  // Calm the disk before converging (a scrub against a still-lying disk
+  // can never finish).
+  rig.replica_faulty->reconfigure(FaultyDisk::Config{});
+  ASSERT_TRUE(rig.engine->drain().is_ok());
+
+  // Whether the storm itself triggers a NAK repair depends on a torn or
+  // rotted block catching a *second* write before the faults stop, so force
+  // one deterministic instance: rot a replica block at rest, then write to
+  // that LBA — the replica's A_old read fails its checksum and the delta
+  // must come back as a full-block repair.
+  ASSERT_TRUE(rig.replica_faulty->corrupt_block(5, 3).is_ok());
+  ASSERT_TRUE(rig.engine->write(5, random_block(9999)).is_ok());
+  ASSERT_TRUE(rig.engine->drain().is_ok());
+  const auto rm = rig.replica->metrics();
+  EXPECT_GT(rm.full_repairs_requested, 0u);
+  EXPECT_GT(rig.engine->metrics().nak_full_repairs, 0u);
+
+  // Repair the replica-side residue (tears that were ACK'd and never
+  // re-read, rot on blocks the storm skipped), then require byte-identical
+  // volumes.
+  auto repaired = rig.engine->verify_and_repair(0, kSoakBlocks);
+  ASSERT_TRUE(repaired.is_ok()) << repaired.status().to_string();
+  EXPECT_TRUE(rig.replica->damaged_blocks().empty());
+  ASSERT_TRUE(rig.mems_match());
+
+  // Now rot the primary and let the scrubber pull every block back from the
+  // replica: 100% detection, 100% repair, nothing quarantined.
+  const std::vector<Lba> rotted = {1, 7, 20, 33, 48, 63};
+  for (Lba lba : rotted) {
+    ASSERT_TRUE(rig.primary_faulty->corrupt_block(lba, lba % kBs).is_ok());
+  }
+  auto pass = rig.engine->scrub();
+  ASSERT_TRUE(pass.is_ok()) << pass.status().to_string();
+  EXPECT_EQ(pass->blocks_scanned, kSoakBlocks);
+  EXPECT_EQ(pass->corruptions_found, rotted.size());
+  EXPECT_EQ(pass->repaired, rotted.size());
+  EXPECT_EQ(pass->repaired_by.at("replica"), rotted.size());
+  EXPECT_EQ(pass->quarantined, 0u);
+  ASSERT_TRUE(rig.mems_match());
+
+  // And a final pass over the healed pair finds nothing.
+  auto clean = rig.engine->scrub();
+  ASSERT_TRUE(clean.is_ok());
+  EXPECT_EQ(clean->corruptions_found, 0u);
+}
+
+}  // namespace
+}  // namespace prins

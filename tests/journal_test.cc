@@ -129,6 +129,72 @@ TEST(JournalTest, TornTailIsIgnored) {
   EXPECT_EQ((*pending)[0].sequence, 1u);
 }
 
+TEST(JournalTest, TornTailFuzzEveryTruncationOffset) {
+  // Exhaustive crash simulation: whatever byte the power failed at while the
+  // tail record was being appended, reopen must recover exactly the intact
+  // prefix — never a phantom record, never an error.
+  JournalFile file;
+  std::uintmax_t after_first = 0;
+  std::uintmax_t after_second = 0;
+  {
+    auto journal = ReplicationJournal::open(file.path);
+    ASSERT_TRUE(journal.is_ok());
+    ASSERT_TRUE((*journal)->append(make_message(1)).is_ok());
+    after_first = std::filesystem::file_size(file.path);
+    ASSERT_TRUE((*journal)->append(make_message(2)).is_ok());
+    after_second = std::filesystem::file_size(file.path);
+  }
+  ASSERT_LT(after_first, after_second);
+
+  const std::string copy = file.path + ".torn";
+  for (std::uintmax_t cut = after_first; cut < after_second; ++cut) {
+    std::filesystem::copy_file(
+        file.path, copy, std::filesystem::copy_options::overwrite_existing);
+    ASSERT_EQ(::truncate(copy.c_str(), static_cast<off_t>(cut)), 0);
+    auto reopened = ReplicationJournal::open(copy);
+    ASSERT_TRUE(reopened.is_ok())
+        << "cut at byte " << cut << ": " << reopened.status().to_string();
+    auto pending = (*reopened)->pending();
+    ASSERT_TRUE(pending.is_ok()) << "cut at byte " << cut;
+    ASSERT_EQ(pending->size(), 1u) << "cut at byte " << cut;
+    EXPECT_EQ((*pending)[0].sequence, 1u) << "cut at byte " << cut;
+    EXPECT_EQ((*pending)[0].payload, make_message(1).payload)
+        << "cut at byte " << cut;
+  }
+  std::remove(copy.c_str());
+}
+
+TEST(JournalTest, TornAckTailFuzzEveryTruncationOffset) {
+  // Same sweep over a torn acknowledgement record: the watermark must fall
+  // back to its pre-ack value, resurrecting (not losing) pending messages.
+  JournalFile file;
+  std::uintmax_t after_appends = 0;
+  std::uintmax_t after_ack = 0;
+  {
+    auto journal = ReplicationJournal::open(file.path);
+    ASSERT_TRUE(journal.is_ok());
+    ASSERT_TRUE((*journal)->append(make_message(1)).is_ok());
+    ASSERT_TRUE((*journal)->append(make_message(2)).is_ok());
+    after_appends = std::filesystem::file_size(file.path);
+    ASSERT_TRUE((*journal)->mark_acked(1).is_ok());
+    after_ack = std::filesystem::file_size(file.path);
+  }
+  ASSERT_LT(after_appends, after_ack);
+
+  const std::string copy = file.path + ".torn";
+  for (std::uintmax_t cut = after_appends; cut < after_ack; ++cut) {
+    std::filesystem::copy_file(
+        file.path, copy, std::filesystem::copy_options::overwrite_existing);
+    ASSERT_EQ(::truncate(copy.c_str(), static_cast<off_t>(cut)), 0);
+    auto reopened = ReplicationJournal::open(copy);
+    ASSERT_TRUE(reopened.is_ok())
+        << "cut at byte " << cut << ": " << reopened.status().to_string();
+    EXPECT_EQ((*reopened)->acked_sequence(), 0u) << "cut at byte " << cut;
+    EXPECT_EQ((*reopened)->pending_count(), 2u) << "cut at byte " << cut;
+  }
+  std::remove(copy.c_str());
+}
+
 TEST(JournalTest, CheckpointShrinksFileAndKeepsPending) {
   JournalFile file;
   auto journal = ReplicationJournal::open(file.path);

@@ -24,6 +24,7 @@
 #include <thread>
 
 #include "block/file_disk.h"
+#include "block/integrity_disk.h"
 #include "common/logging.h"
 #include "iscsi/initiator.h"
 #include "iscsi/target.h"
@@ -64,12 +65,41 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  prinsctl replica  --file PATH --blocks N --bs BYTES "
-               "--port P [--trap 1]\n"
+               "--port P [--trap 1] [--sidecar PATH] [--intents PATH]\n"
                "  prinsctl target   --file PATH --blocks N --bs BYTES "
                "--port P [--replica HOST:PORT] [--policy "
-               "traditional|compressed|prins]\n"
+               "traditional|compressed|prins] [--sidecar PATH]\n"
+               "  prinsctl scrub    --file PATH --blocks N --bs BYTES "
+               "--sidecar PATH [--replica HOST:PORT] [--rate BLOCKS/S]\n"
                "  prinsctl discover --host H --port P\n");
   return 2;
+}
+
+/// Open the backing file, optionally wrapped in an IntegrityDisk when
+/// --sidecar is given.  Exits with a message on failure.
+std::shared_ptr<BlockDevice> open_device(const Options& options,
+                                         const char* default_file) {
+  auto disk = FileDisk::open(options.get("file", default_file),
+                             options.get_u64("blocks", 4096),
+                             static_cast<std::uint32_t>(
+                                 options.get_u64("bs", 8192)));
+  if (!disk.is_ok()) {
+    std::fprintf(stderr, "open backing file: %s\n",
+                 disk.status().to_string().c_str());
+    return nullptr;
+  }
+  std::shared_ptr<BlockDevice> device(std::move(*disk));
+  const std::string sidecar = options.get("sidecar", "");
+  if (!sidecar.empty()) {
+    auto checked = IntegrityDisk::open(device, {sidecar});
+    if (!checked.is_ok()) {
+      std::fprintf(stderr, "open checksum sidecar: %s\n",
+                   checked.status().to_string().c_str());
+      return nullptr;
+    }
+    device = std::move(*checked);
+  }
+  return device;
 }
 
 ReplicationPolicy parse_policy(const std::string& name) {
@@ -79,19 +109,33 @@ ReplicationPolicy parse_policy(const std::string& name) {
 }
 
 int run_replica(const Options& options) {
-  auto disk = FileDisk::open(options.get("file", "replica.img"),
-                             options.get_u64("blocks", 4096),
-                             static_cast<std::uint32_t>(
-                                 options.get_u64("bs", 8192)));
-  if (!disk.is_ok()) {
-    std::fprintf(stderr, "open backing file: %s\n",
-                 disk.status().to_string().c_str());
-    return 1;
-  }
+  std::shared_ptr<BlockDevice> disk = open_device(options, "replica.img");
+  if (disk == nullptr) return 1;
   ReplicaConfig config;
   config.keep_trap_log = options.get_u64("trap", 0) != 0;
-  auto replica = std::make_shared<ReplicaEngine>(
-      std::shared_ptr<BlockDevice>(std::move(*disk)), config);
+  const std::string intents = options.get("intents", "");
+  if (!intents.empty()) {
+    auto log = WriteIntentLog::open(intents);
+    if (!log.is_ok()) {
+      std::fprintf(stderr, "open intent log: %s\n",
+                   log.status().to_string().c_str());
+      return 1;
+    }
+    config.intent_log = std::shared_ptr<WriteIntentLog>(std::move(*log));
+  }
+  auto replica = std::make_shared<ReplicaEngine>(disk, config);
+  if (config.intent_log != nullptr) {
+    auto damaged = replica->recover_intents();
+    if (!damaged.is_ok()) {
+      std::fprintf(stderr, "intent replay: %s\n",
+                   damaged.status().to_string().c_str());
+      return 1;
+    }
+    for (Lba lba : *damaged) {
+      std::printf("torn block %llu awaits full-block repair\n",
+                  static_cast<unsigned long long>(lba));
+    }
+  }
   auto listener = TcpListener::listen(
       static_cast<std::uint16_t>(options.get_u64("port", 3261)));
   if (!listener.is_ok()) {
@@ -108,20 +152,12 @@ int run_replica(const Options& options) {
 }
 
 int run_target(const Options& options) {
-  auto disk = FileDisk::open(options.get("file", "primary.img"),
-                             options.get_u64("blocks", 4096),
-                             static_cast<std::uint32_t>(
-                                 options.get_u64("bs", 8192)));
-  if (!disk.is_ok()) {
-    std::fprintf(stderr, "open backing file: %s\n",
-                 disk.status().to_string().c_str());
-    return 1;
-  }
+  std::shared_ptr<BlockDevice> disk = open_device(options, "primary.img");
+  if (disk == nullptr) return 1;
 
   EngineConfig engine_config;
   engine_config.policy = parse_policy(options.get("policy", "prins"));
-  auto engine = std::make_shared<PrinsEngine>(
-      std::shared_ptr<BlockDevice>(std::move(*disk)), engine_config);
+  auto engine = std::make_shared<PrinsEngine>(disk, engine_config);
 
   const std::string replica_spec = options.get("replica", "");
   if (!replica_spec.empty()) {
@@ -159,6 +195,63 @@ int run_target(const Options& options) {
   return 0;
 }
 
+int run_scrub(const Options& options) {
+  std::shared_ptr<BlockDevice> disk = open_device(options, "primary.img");
+  if (disk == nullptr) return 1;
+  if (options.values.count("sidecar") == 0) {
+    std::fprintf(stderr,
+                 "warning: scrubbing without --sidecar can only find "
+                 "corruption the device itself reports\n");
+  }
+
+  EngineConfig engine_config;
+  engine_config.policy = parse_policy(options.get("policy", "prins"));
+  PrinsEngine engine(disk, engine_config);
+
+  const std::string replica_spec = options.get("replica", "");
+  if (!replica_spec.empty()) {
+    const auto colon = replica_spec.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--replica expects HOST:PORT\n");
+      return 2;
+    }
+    auto link = TcpTransport::connect(
+        replica_spec.substr(0, colon),
+        static_cast<std::uint16_t>(
+            std::strtoul(replica_spec.c_str() + colon + 1, nullptr, 10)));
+    if (!link.is_ok()) {
+      std::fprintf(stderr, "connect to replica %s: %s\n",
+                   replica_spec.c_str(), link.status().to_string().c_str());
+      return 1;
+    }
+    engine.add_replica(std::move(*link));
+  }
+
+  ScrubberConfig scrub_config;
+  scrub_config.blocks_per_second = options.get_u64("rate", 0);
+  auto pass = engine.scrub(scrub_config);
+  if (!pass.is_ok()) {
+    std::fprintf(stderr, "scrub failed: %s\n",
+                 pass.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("scanned    %llu blocks\n",
+              static_cast<unsigned long long>(pass->blocks_scanned));
+  std::printf("corrupt    %llu\n",
+              static_cast<unsigned long long>(pass->corruptions_found));
+  std::printf("repaired   %llu\n",
+              static_cast<unsigned long long>(pass->repaired));
+  for (const auto& [source, count] : pass->repaired_by) {
+    std::printf("  via %-8s %llu\n", source.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("quarantined %llu\n",
+              static_cast<unsigned long long>(pass->quarantined));
+  std::printf("read errors %llu\n",
+              static_cast<unsigned long long>(pass->read_errors));
+  return pass->quarantined == 0 ? 0 : 1;
+}
+
 int run_discover(const Options& options) {
   auto transport = TcpTransport::connect(
       options.get("host", "127.0.0.1"),
@@ -189,6 +282,7 @@ int main(int argc, char** argv) {
   const Options options = parse_options(argc, argv, 2);
   if (command == "replica") return run_replica(options);
   if (command == "target") return run_target(options);
+  if (command == "scrub") return run_scrub(options);
   if (command == "discover") return run_discover(options);
   return usage();
 }
