@@ -40,6 +40,19 @@ Bytes encode_frame(const Codec& codec, ByteSpan raw) {
   return frame;
 }
 
+void encode_frame_into(const Codec& codec, ByteSpan raw, Bytes& out) {
+  out.clear();
+  out.push_back(static_cast<Byte>(codec.id()));
+  put_varint(out, raw.size());
+  // Reserve the CRC slot, encode the body after it, then backfill: the body
+  // CRC is over bytes we have not produced yet.
+  const std::size_t crc_at = out.size();
+  out.resize(crc_at + 4);
+  codec.encode_append(raw, out);
+  const ByteSpan body = ByteSpan(out).subspan(crc_at + 4);
+  store_le32(MutByteSpan(out).subspan(crc_at, 4), crc32c(body));
+}
+
 Result<Bytes> decode_frame(ByteSpan frame) {
   if (frame.empty()) return corruption("empty codec frame");
   std::size_t pos = 0;

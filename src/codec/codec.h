@@ -39,6 +39,15 @@ class Codec {
   /// than the input (incompressible data).
   virtual Bytes encode(ByteSpan raw) const = 0;
 
+  /// Encode `raw`, appending the body to `out` (same bytes as encode()).
+  /// Lets callers reuse a pooled buffer; the default allocates via
+  /// encode(), while the codecs on the replication hot path (Null, ZeroRle)
+  /// override it to write into `out` directly.
+  virtual void encode_append(ByteSpan raw, Bytes& out) const {
+    const Bytes body = encode(raw);
+    append(out, body);
+  }
+
   /// Decode a body produced by encode() whose original size was `raw_size`.
   virtual Result<Bytes> decode(ByteSpan body, std::size_t raw_size) const = 0;
 };
@@ -51,6 +60,11 @@ Result<CodecId> parse_codec_id(std::uint8_t raw);
 
 /// Wrap an encoded payload in the self-describing frame.
 Bytes encode_frame(const Codec& codec, ByteSpan raw);
+
+/// encode_frame into a caller-owned buffer: `out` is cleared (capacity
+/// kept) and refilled with the identical frame bytes.  With a pooled `out`
+/// and an appending codec this makes framing allocation-free.
+void encode_frame_into(const Codec& codec, ByteSpan raw, Bytes& out);
 
 /// Decode a frame produced by encode_frame (any registered codec).
 /// Verifies the CRC before decoding.

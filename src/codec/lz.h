@@ -39,6 +39,9 @@ class NullCodec final : public Codec {
   CodecId id() const override { return CodecId::kNull; }
   std::string_view name() const override { return "null"; }
   Bytes encode(ByteSpan raw) const override { return to_bytes(raw); }
+  void encode_append(ByteSpan raw, Bytes& out) const override {
+    append(out, raw);
+  }
   Result<Bytes> decode(ByteSpan body, std::size_t raw_size) const override {
     if (body.size() != raw_size) {
       return corruption("null codec: size mismatch");

@@ -20,6 +20,11 @@ std::size_t skip_zeros(ByteSpan raw, std::size_t pos) {
 Bytes ZeroRleCodec::encode(ByteSpan raw) const {
   Bytes out;
   out.reserve(64);
+  encode_append(raw, out);
+  return out;
+}
+
+void ZeroRleCodec::encode_append(ByteSpan raw, Bytes& out) const {
   std::size_t pos = 0;
   while (pos < raw.size()) {
     std::size_t zero_start = pos;
@@ -44,7 +49,6 @@ Bytes ZeroRleCodec::encode(ByteSpan raw) const {
     put_varint(out, lits);
     append(out, raw.subspan(lit_start, lits));
   }
-  return out;
 }
 
 Result<Bytes> ZeroRleCodec::decode(ByteSpan body, std::size_t raw_size) const {

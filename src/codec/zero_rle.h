@@ -16,6 +16,7 @@ class ZeroRleCodec final : public Codec {
   CodecId id() const override { return CodecId::kZeroRle; }
   std::string_view name() const override { return "zero-rle"; }
   Bytes encode(ByteSpan raw) const override;
+  void encode_append(ByteSpan raw, Bytes& out) const override;
   Result<Bytes> decode(ByteSpan body, std::size_t raw_size) const override;
 };
 

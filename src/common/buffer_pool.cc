@@ -1,0 +1,151 @@
+#include "common/buffer_pool.h"
+
+namespace prins {
+namespace internal {
+
+struct PoolShared {
+  std::mutex mutex;
+  std::vector<BufferSlot*> free_list;
+  std::size_t buffer_capacity = 0;
+  std::size_t max_free = 0;
+  std::uint64_t allocated = 0;
+  std::uint64_t reused = 0;
+  bool closed = false;
+
+  ~PoolShared() {
+    for (BufferSlot* slot : free_list) delete slot;
+  }
+};
+
+namespace {
+
+void ref(BufferSlot* slot) {
+  if (slot != nullptr) slot->refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void unref(BufferSlot* slot) {
+  if (slot == nullptr) return;
+  if (slot->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  PoolShared* home = slot->home.get();
+  if (home == nullptr) {
+    delete slot;
+    return;
+  }
+  bool cached = false;
+  {
+    std::lock_guard lock(home->mutex);
+    if (!home->closed && home->free_list.size() < home->max_free) {
+      home->free_list.push_back(slot);
+      cached = true;
+    }
+  }
+  // Deleting the slot drops its `home` shared_ptr, which may destroy the
+  // PoolShared itself — do it outside the lock.
+  if (!cached) delete slot;
+}
+
+}  // namespace
+}  // namespace internal
+
+PooledBuffer::PooledBuffer(const PooledBuffer& other) : slot_(other.slot_) {
+  internal::ref(slot_);
+}
+
+PooledBuffer& PooledBuffer::operator=(const PooledBuffer& other) {
+  if (this == &other) return *this;
+  internal::ref(other.slot_);
+  internal::unref(slot_);
+  slot_ = other.slot_;
+  return *this;
+}
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept : slot_(other.slot_) {
+  other.slot_ = nullptr;
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  internal::unref(slot_);
+  slot_ = other.slot_;
+  other.slot_ = nullptr;
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() { internal::unref(slot_); }
+
+PooledBuffer PooledBuffer::heap(Bytes bytes) {
+  auto* slot = new internal::BufferSlot;
+  slot->buf = std::move(bytes);
+  return PooledBuffer(slot);
+}
+
+ByteSpan PooledBuffer::span() const {
+  return slot_ == nullptr ? ByteSpan{} : ByteSpan(slot_->buf);
+}
+
+std::size_t PooledBuffer::size() const {
+  return slot_ == nullptr ? 0 : slot_->buf.size();
+}
+
+Bytes& PooledBuffer::mutable_bytes() { return slot_->buf; }
+
+const Bytes& PooledBuffer::bytes() const { return slot_->buf; }
+
+std::size_t PooledBuffer::use_count() const {
+  return slot_ == nullptr ? 0
+                          : slot_->refs.load(std::memory_order_relaxed);
+}
+
+void PooledBuffer::reset() {
+  internal::unref(slot_);
+  slot_ = nullptr;
+}
+
+BufferPool::BufferPool(std::size_t buffer_capacity, std::size_t max_free)
+    : shared_(std::make_shared<internal::PoolShared>()) {
+  shared_->buffer_capacity = buffer_capacity;
+  shared_->max_free = max_free;
+}
+
+BufferPool::~BufferPool() {
+  std::vector<internal::BufferSlot*> free_list;
+  {
+    std::lock_guard lock(shared_->mutex);
+    shared_->closed = true;
+    free_list.swap(shared_->free_list);
+  }
+  for (internal::BufferSlot* slot : free_list) delete slot;
+}
+
+PooledBuffer BufferPool::acquire(std::size_t size) {
+  internal::BufferSlot* slot = nullptr;
+  {
+    std::lock_guard lock(shared_->mutex);
+    if (!shared_->free_list.empty()) {
+      slot = shared_->free_list.back();
+      shared_->free_list.pop_back();
+      shared_->reused += 1;
+    } else {
+      shared_->allocated += 1;
+    }
+  }
+  if (slot == nullptr) {
+    slot = new internal::BufferSlot;
+    slot->home = shared_;
+    slot->buf.reserve(std::max(shared_->buffer_capacity, size));
+  } else {
+    slot->refs.store(1, std::memory_order_relaxed);
+  }
+  // Same-size reuse (the steady state — everything is block-sized) leaves
+  // the bytes untouched; growth value-initializes only the new tail.
+  slot->buf.resize(size);
+  return PooledBuffer(slot);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard lock(shared_->mutex);
+  return Stats{shared_->allocated, shared_->reused,
+               shared_->free_list.size()};
+}
+
+}  // namespace prins

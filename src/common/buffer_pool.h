@@ -1,0 +1,111 @@
+// BufferPool: a freelist of reusable byte buffers for the replication hot
+// path.
+//
+// The engine's submit path needs several scratch buffers per block write
+// (old-block contents, the parity delta, the encoded codec frame, the
+// coalesce copy).  Allocating them fresh each time puts 4-6 heap
+// round-trips on every write; this pool hands out refcounted buffers that
+// return to a freelist on last release, so steady state makes zero heap
+// allocations per write.
+//
+// PooledBuffer is a shared handle (copy = refcount bump) so one payload can
+// sit in several replica outboxes at once, exactly like the shared_ptr wire
+// buffers it replaces.  Buffers keep their capacity across reuse; acquiring
+// the same size as the previous user (the common case — everything is
+// block-sized) does not even touch the bytes.
+//
+// Thread-safe: acquire/release may race freely across producer and sender
+// threads.  The *contents* of a buffer follow the usual rule: mutate only
+// while uniquely owned (use_count() == 1) or under external locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace prins {
+
+class BufferPool;
+
+namespace internal {
+struct PoolShared;
+
+struct BufferSlot {
+  Bytes buf;
+  std::atomic<std::uint32_t> refs{1};
+  // Pool to return to on last release; null for plain heap slots
+  // (PooledBuffer::heap), which are deleted instead.  Holds the freelist
+  // alive even if the pool object is destroyed first.
+  std::shared_ptr<PoolShared> home;
+};
+}  // namespace internal
+
+/// Shared handle onto a pooled (or plain heap) buffer.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(const PooledBuffer& other);
+  PooledBuffer& operator=(const PooledBuffer& other);
+  PooledBuffer(PooledBuffer&& other) noexcept;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  ~PooledBuffer();
+
+  /// Wrap an owned buffer in a standalone (unpooled) slot.  For cold paths
+  /// that build a payload ad hoc; the slot is heap-allocated and freed on
+  /// last release.
+  static PooledBuffer heap(Bytes bytes);
+
+  explicit operator bool() const { return slot_ != nullptr; }
+
+  /// Empty span when null.
+  ByteSpan span() const;
+  std::size_t size() const;
+
+  /// Mutable access; requires a non-null handle.  Callers must hold unique
+  /// ownership (use_count() == 1) or serialize externally.
+  Bytes& mutable_bytes();
+  const Bytes& bytes() const;
+
+  /// Handles sharing this slot (0 for a null handle).
+  std::size_t use_count() const;
+
+  void reset();
+
+ private:
+  friend class BufferPool;
+  explicit PooledBuffer(internal::BufferSlot* slot) : slot_(slot) {}
+
+  internal::BufferSlot* slot_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  /// `buffer_capacity`: bytes reserved in each fresh buffer (the expected
+  /// steady-state size, e.g. the block size).  `max_free`: freelist bound —
+  /// releases beyond it free the buffer instead of caching it.
+  explicit BufferPool(std::size_t buffer_capacity, std::size_t max_free = 128);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer resized to `size` (contents unspecified).  Reuses a free
+  /// buffer when one is cached, else allocates.
+  PooledBuffer acquire(std::size_t size);
+
+  struct Stats {
+    std::uint64_t allocated = 0;  // fresh buffers created
+    std::uint64_t reused = 0;     // acquires served from the freelist
+    std::size_t free_buffers = 0;
+  };
+  Stats stats() const;
+
+ private:
+  std::shared_ptr<internal::PoolShared> shared_;
+};
+
+}  // namespace prins

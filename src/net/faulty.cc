@@ -9,6 +9,15 @@ FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
     : inner_(std::move(inner)), config_(config), rng_(config.seed) {}
 
 Status FaultyTransport::send(ByteSpan message) {
+  const ByteSpan parts[] = {message};
+  return send_parts(parts);
+}
+
+Status FaultyTransport::send_vec(std::span<const ByteSpan> parts) {
+  return send_parts(parts);
+}
+
+Status FaultyTransport::send_parts(std::span<const ByteSpan> parts) {
   enum class Fault { kNone, kDrop, kCorrupt, kDuplicate };
   Fault fault = Fault::kNone;
   std::chrono::milliseconds stall{0};
@@ -45,7 +54,12 @@ Status FaultyTransport::send(ByteSpan message) {
       // The link ate it; the sender sees success and waits in vain.
       return Status::ok();
     case Fault::kCorrupt: {
-      Bytes copy(message.begin(), message.end());
+      // Corruption needs a mutable copy anyway, so concatenate the parts.
+      Bytes copy;
+      std::size_t total = 0;
+      for (const ByteSpan& part : parts) total += part.size();
+      copy.reserve(total);
+      for (const ByteSpan& part : parts) append(copy, part);
       if (!copy.empty()) {
         std::uint64_t bit;
         {
@@ -60,16 +74,16 @@ Status FaultyTransport::send(ByteSpan message) {
     }
     case Fault::kDuplicate: {
       std::lock_guard lock(mutex_);
-      PRINS_RETURN_IF_ERROR(inner_->send(message));
+      PRINS_RETURN_IF_ERROR(inner_->send_vec(parts));
       stats_.delivered += 2;
-      return inner_->send(message);
+      return inner_->send_vec(parts);
     }
     case Fault::kNone:
       break;
   }
   std::lock_guard lock(mutex_);
   stats_.delivered += 1;
-  return inner_->send(message);
+  return inner_->send_vec(parts);
 }
 
 Result<Bytes> FaultyTransport::recv() {

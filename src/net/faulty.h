@@ -59,6 +59,7 @@ class FaultyTransport final : public Transport {
   FaultyTransport(std::unique_ptr<Transport> inner, FaultConfig config);
 
   Status send(ByteSpan message) override;
+  Status send_vec(std::span<const ByteSpan> parts) override;
   Result<Bytes> recv() override;
   Result<Bytes> recv_for(std::chrono::milliseconds timeout) override;
   void close() override;
@@ -77,6 +78,9 @@ class FaultyTransport final : public Transport {
   FaultStats stats() const;
 
  private:
+  // Shared fault-selection + delivery path behind send()/send_vec().
+  Status send_parts(std::span<const ByteSpan> parts);
+
   mutable std::mutex mutex_;
   std::unique_ptr<Transport> inner_;
   FaultConfig config_;

@@ -26,6 +26,21 @@ struct Pipe {
     return Status::ok();
   }
 
+  // Scatter-gather push: assemble the queued message directly from the
+  // parts, so the sender never builds a contiguous copy of its own.
+  Status push_vec(std::span<const ByteSpan> parts) {
+    std::size_t total = 0;
+    for (const ByteSpan& part : parts) total += part.size();
+    std::unique_lock lock(mutex);
+    can_send.wait(lock, [&] { return closed || queue.size() < capacity; });
+    if (closed) return unavailable("inproc peer closed");
+    Bytes& msg = queue.emplace_back();
+    msg.reserve(total);
+    for (const ByteSpan& part : parts) append(msg, part);
+    can_recv.notify_one();
+    return Status::ok();
+  }
+
   Result<Bytes> pop() {
     std::unique_lock lock(mutex);
     can_recv.wait(lock, [&] { return closed || !queue.empty(); });
@@ -64,6 +79,9 @@ class InprocTransport final : public Transport {
   ~InprocTransport() override { close(); }
 
   Status send(ByteSpan message) override { return out_->push(message); }
+  Status send_vec(std::span<const ByteSpan> parts) override {
+    return out_->push_vec(parts);
+  }
   Result<Bytes> recv() override { return in_->pop(); }
   Result<Bytes> recv_for(std::chrono::milliseconds timeout) override {
     return in_->pop_for(timeout);

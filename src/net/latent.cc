@@ -40,6 +40,20 @@ struct LatentPipe {
     return Status::ok();
   }
 
+  Status push_vec(std::span<const ByteSpan> parts) {
+    std::size_t total = 0;
+    for (const ByteSpan& part : parts) total += part.size();
+    std::unique_lock lock(mutex);
+    can_send.wait(lock, [&] { return closed || queue.size() < capacity; });
+    if (closed) return unavailable("latent peer closed");
+    InFlight& entry = queue.emplace_back();
+    entry.ready = Clock::now() + delay;
+    entry.data.reserve(total);
+    for (const ByteSpan& part : parts) append(entry.data, part);
+    can_recv.notify_one();
+    return Status::ok();
+  }
+
   Result<Bytes> pop() {
     std::unique_lock lock(mutex);
     for (;;) {
@@ -98,6 +112,9 @@ class LatentTransport final : public Transport {
   ~LatentTransport() override { close(); }
 
   Status send(ByteSpan message) override { return out_->push(message); }
+  Status send_vec(std::span<const ByteSpan> parts) override {
+    return out_->push_vec(parts);
+  }
   Result<Bytes> recv() override { return in_->pop(); }
   Result<Bytes> recv_for(std::chrono::milliseconds timeout) override {
     return in_->pop_for(timeout);

@@ -32,13 +32,15 @@ class ShapedTransport final : public Transport {
       : inner_(std::move(inner)), config_(config) {}
 
   Status send(ByteSpan message) override {
-    // Serialization + per-hop propagation, scaled.
-    const double seconds =
-        (transmission_delay_sec(message.size(), config_.line) +
-         config_.hops * kPropagationDelaySec) /
-        config_.bandwidth_scale;
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    delay_for(message.size());
     return inner_->send(message);
+  }
+
+  Status send_vec(std::span<const ByteSpan> parts) override {
+    std::size_t total = 0;
+    for (const ByteSpan& part : parts) total += part.size();
+    delay_for(total);
+    return inner_->send_vec(parts);
   }
 
   Result<Bytes> recv() override { return inner_->recv(); }
@@ -52,6 +54,15 @@ class ShapedTransport final : public Transport {
   }
 
  private:
+  // Serialization + per-hop propagation, scaled.
+  void delay_for(std::size_t message_size) {
+    const double seconds =
+        (transmission_delay_sec(message_size, config_.line) +
+         config_.hops * kPropagationDelaySec) /
+        config_.bandwidth_scale;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+
   std::unique_ptr<Transport> inner_;
   ShapingConfig config_;
 };

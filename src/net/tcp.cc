@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -88,6 +89,49 @@ Status TcpTransport::send(ByteSpan message) {
   store_le32(header, static_cast<std::uint32_t>(message.size()));
   PRINS_RETURN_IF_ERROR(write_all(fd_, header, sizeof header));
   return write_all(fd_, message.data(), message.size());
+}
+
+Status TcpTransport::send_vec(std::span<const ByteSpan> parts) {
+  if (fd_ < 0) return unavailable("transport closed");
+  // writev() caps the iovec count; the engine sends 3 parts, so a small
+  // fixed array (parts + length prefix) covers every caller.
+  constexpr std::size_t kMaxParts = 15;
+  if (parts.size() > kMaxParts) return Transport::send_vec(parts);
+  std::size_t total = 0;
+  for (const ByteSpan& part : parts) total += part.size();
+  if (total > kMaxTcpMessageBytes) {
+    return invalid_argument("message exceeds frame limit");
+  }
+  Byte header[4];
+  store_le32(header, static_cast<std::uint32_t>(total));
+  iovec iov[kMaxParts + 1];
+  std::size_t iov_count = 0;
+  iov[iov_count++] = {header, sizeof header};
+  for (const ByteSpan& part : parts) {
+    if (part.empty()) continue;
+    iov[iov_count++] = {const_cast<Byte*>(part.data()), part.size()};
+  }
+  std::size_t remaining = sizeof header + total;
+  std::size_t first = 0;
+  while (remaining > 0) {
+    ssize_t n = ::writev(fd_, iov + first, static_cast<int>(iov_count - first));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("writev");
+    }
+    remaining -= static_cast<std::size_t>(n);
+    // Advance past fully-written iovecs; trim a partially-written one.
+    auto done = static_cast<std::size_t>(n);
+    while (first < iov_count && done >= iov[first].iov_len) {
+      done -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iov_count && done > 0) {
+      iov[first].iov_base = static_cast<Byte*>(iov[first].iov_base) + done;
+      iov[first].iov_len -= done;
+    }
+  }
+  return Status::ok();
 }
 
 Result<Bytes> TcpTransport::recv() {

@@ -30,6 +30,7 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   Status send(ByteSpan message) override;
+  Status send_vec(std::span<const ByteSpan> parts) override;
   Result<Bytes> recv() override;
   Result<Bytes> recv_for(std::chrono::milliseconds timeout) override;
   void close() override;

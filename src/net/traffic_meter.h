@@ -41,11 +41,15 @@ class TrafficMeter final : public Transport {
 
   Status send(ByteSpan message) override {
     Status s = inner_->send(message);
-    if (s.is_ok()) {
-      std::lock_guard lock(mutex_);
-      sent_.add_message(message.size());
-      message_sizes_.record(message.size());
-    }
+    if (s.is_ok()) account_sent(message.size());
+    return s;
+  }
+
+  Status send_vec(std::span<const ByteSpan> parts) override {
+    std::size_t total = 0;
+    for (const ByteSpan& part : parts) total += part.size();
+    Status s = inner_->send_vec(parts);
+    if (s.is_ok()) account_sent(total);
     return s;
   }
 
@@ -93,6 +97,12 @@ class TrafficMeter final : public Transport {
   }
 
  private:
+  void account_sent(std::size_t size) {
+    std::lock_guard lock(mutex_);
+    sent_.add_message(size);
+    message_sizes_.record(size);
+  }
+
   std::unique_ptr<Transport> inner_;
   mutable std::mutex mutex_;
   TrafficStats sent_;

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/bytes.h"
@@ -23,6 +24,20 @@ class Transport {
 
   /// Deliver one message to the peer.  Blocks only on flow control.
   virtual Status send(ByteSpan message) = 0;
+
+  /// Deliver one message given as scattered parts (header / payload /
+  /// trailer), logically equal to send() of their concatenation.  The
+  /// default concatenates; inproc/tcp/latent/faulty/shaped override it to
+  /// move the parts straight onto the wire, so callers can frame a message
+  /// without assembling a contiguous copy per link.
+  virtual Status send_vec(std::span<const ByteSpan> parts) {
+    std::size_t total = 0;
+    for (const ByteSpan& part : parts) total += part.size();
+    Bytes whole;
+    whole.reserve(total);
+    for (const ByteSpan& part : parts) append(whole, part);
+    return send(whole);
+  }
 
   /// Receive the next message; blocks.  kUnavailable once the peer has
   /// closed and all queued messages are drained.

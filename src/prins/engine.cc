@@ -3,27 +3,67 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/crc32c.h"
+#include "common/endian.h"
 #include "common/logging.h"
 #include "parity/xor.h"
 #include "prins/verify.h"
 
 namespace prins {
+namespace {
+
+std::size_t resolve_write_shards(std::size_t requested) {
+  std::size_t n = requested;
+  if (n == 0) {
+    if (const char* env = std::getenv("PRINS_WRITE_SHARDS")) {
+      n = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+    if (n == 0) n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  n = std::min<std::size_t>(n, 64);
+  std::size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+
+// Codec frames add at most a small header plus bounded expansion over the
+// raw payload; reserving a bit beyond the block size keeps steady-state
+// frame encodes from growing the pooled buffer.
+std::size_t frame_capacity_for(std::size_t block_size) {
+  return block_size + block_size / 8 + 64;
+}
+
+}  // namespace
 
 PrinsEngine::PrinsEngine(std::shared_ptr<BlockDevice> local,
                          EngineConfig config)
-    : local_(std::move(local)), config_(config) {
+    : local_(std::move(local)),
+      config_(config),
+      block_pool_(local_->block_size(),
+                  config_.pool_buffers ? config_.pool_max_free : 0),
+      frame_pool_(frame_capacity_for(local_->block_size()),
+                  config_.pool_buffers ? config_.pool_max_free : 0) {
   assert(local_ != nullptr);
   assert(!config_.use_raid_tap &&
          "use the RaidArray constructor for tap mode");
+  init_shards();
 }
 
 PrinsEngine::PrinsEngine(std::shared_ptr<RaidArray> local_raid,
                          EngineConfig config)
-    : local_(local_raid), raid_(local_raid.get()), config_(config) {
+    : local_(local_raid),
+      raid_(local_raid.get()),
+      config_(config),
+      block_pool_(local_->block_size(),
+                  config_.pool_buffers ? config_.pool_max_free : 0),
+      frame_pool_(frame_capacity_for(local_->block_size()),
+                  config_.pool_buffers ? config_.pool_max_free : 0) {
   assert(local_ != nullptr);
   config_.use_raid_tap = true;
+  init_shards();
   raid_->set_parity_observer(
       [this](Lba lba, ByteSpan delta, std::size_t dirty) {
         std::lock_guard lock(tap_mutex_);
@@ -33,14 +73,42 @@ PrinsEngine::PrinsEngine(std::shared_ptr<RaidArray> local_raid,
 
 PrinsEngine::PrinsEngine(std::shared_ptr<Raid6Array> local_raid6,
                          EngineConfig config)
-    : local_(local_raid6), raid6_(local_raid6.get()), config_(config) {
+    : local_(local_raid6),
+      raid6_(local_raid6.get()),
+      config_(config),
+      block_pool_(local_->block_size(),
+                  config_.pool_buffers ? config_.pool_max_free : 0),
+      frame_pool_(frame_capacity_for(local_->block_size()),
+                  config_.pool_buffers ? config_.pool_max_free : 0) {
   assert(local_ != nullptr);
   config_.use_raid_tap = true;
+  init_shards();
   raid6_->set_parity_observer(
       [this](Lba lba, ByteSpan delta, std::size_t dirty) {
         std::lock_guard lock(tap_mutex_);
         tap_deltas_[lba] = TapDelta{to_bytes(delta), dirty};
       });
+}
+
+void PrinsEngine::init_shards() {
+  const std::size_t n = resolve_write_shards(config_.write_shards);
+  config_.write_shards = n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<WriteShard>());
+  }
+  shard_mask_ = n - 1;
+}
+
+std::uint64_t PrinsEngine::clock_tick() {
+  return (clock_state_.fetch_add(1, std::memory_order_seq_cst) & kClockMask) +
+         1;
+}
+
+void PrinsEngine::drop_pending() {
+  // Heals poll clock_state_ on a short wait_for, so no notify is needed —
+  // the hot path stays signal-free.
+  clock_state_.fetch_sub(kPendingOne, std::memory_order_acq_rel);
 }
 
 PrinsEngine::~PrinsEngine() {
@@ -113,84 +181,94 @@ Status PrinsEngine::write(Lba lba, ByteSpan data) {
   const std::uint32_t bs = block_size();
   const std::uint64_t blocks = data.size() / bs;
 
-  std::lock_guard write_lock(write_mutex_);
   for (std::uint64_t i = 0; i < blocks; ++i) {
     const Lba b = lba + i;
-    const ByteSpan new_block = data.subspan(i * bs, bs);
-    Bytes delta;
-    std::size_t dirty = 0;
-    const bool need_delta = ships_parity(config_.policy) ||
-                            config_.keep_trap_log || raid_ != nullptr ||
-                            raid6_ != nullptr;
-
-    // From here until the delta lands in the trap log, the device is ahead
-    // of the log: a heal snapshotting its fold window must wait for the
-    // window to clear, and the NAK-repair converter must skip the round
-    // (both would reconstruct a state the log cannot explain).  The
-    // matching decrement is in replicate_block(); error paths below
-    // abandon the window themselves.
-    if (config_.keep_trap_log) {
-      std::lock_guard lock(mutex_);
-      ++pending_appends_;
-    }
-    const auto abandon_pending = [this] {
-      if (config_.keep_trap_log) {
-        std::lock_guard lock(mutex_);
-        --pending_appends_;
-        queue_cv_.notify_all();
-      }
-    };
-
-    if (raid_ != nullptr || raid6_ != nullptr) {
-      // Tap mode: the array computes P' (and its dirty count) during its
-      // small-write path.
-      const Status wrote = local_->write(b, new_block);
-      // Consume the tap entry on *every* exit path — a stale delta left
-      // behind by a failed write would poison the next write to this LBA.
-      bool have_tap = false;
-      {
-        std::lock_guard lock(tap_mutex_);
-        auto it = tap_deltas_.find(b);
-        if (it != tap_deltas_.end()) {
-          delta = std::move(it->second.delta);
-          dirty = it->second.dirty;
-          have_tap = true;
-          tap_deltas_.erase(it);
-        }
-      }
-      if (!wrote.is_ok()) {
-        abandon_pending();
-        return wrote;
-      }
-      if (!have_tap) {
-        abandon_pending();
-        return internal_error("RAID tap produced no delta for block " +
-                              std::to_string(b));
-      }
-    } else if (need_delta) {
-      Bytes old_block(bs);
-      Status step = local_->read(b, old_block);
-      if (step.is_ok()) step = local_->write(b, new_block);
-      if (!step.is_ok()) {
-        abandon_pending();
-        return step;
-      }
-      // Fused kernel: one pass produces both P' and its dirty-byte count.
-      delta.resize(bs);
-      dirty = xor_to_and_count(delta, new_block, old_block);
-    } else {
-      const Status wrote = local_->write(b, new_block);
-      if (!wrote.is_ok()) {
-        abandon_pending();
-        return wrote;
-      }
-    }
-    PRINS_RETURN_IF_ERROR(replicate_block(b, new_block, delta, dirty));
+    WriteShard& shard = shard_for(b);
+    // Writers to different stripes run fully concurrently; only same-block
+    // writers serialize (which the replica XOR chains require).
+    std::lock_guard shard_lock(shard.mutex);
+    PRINS_RETURN_IF_ERROR(
+        write_block_locked(shard, b, data.subspan(i * bs, bs)));
   }
   return Status::ok();
 }
 
-Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta,
+Status PrinsEngine::write_block_locked(WriteShard& shard, Lba b,
+                                       ByteSpan new_block) {
+  const std::uint32_t bs = block_size();
+  PooledBuffer delta;
+  Bytes tap_delta;
+  ByteSpan delta_span;
+  std::size_t dirty = 0;
+  const bool need_delta = ships_parity(config_.policy) ||
+                          config_.keep_trap_log || raid_ != nullptr ||
+                          raid6_ != nullptr;
+
+  // From here until the delta lands in the trap log, the device is ahead
+  // of the log: a heal snapshotting its fold window must wait for the
+  // window to clear (clock_state_'s pending bits), and the NAK-repair
+  // converter skips its round while this stripe is locked.  The matching
+  // decrement is in replicate_block(); error paths below abandon the
+  // window themselves.
+  if (config_.keep_trap_log) {
+    clock_state_.fetch_add(kPendingOne, std::memory_order_acq_rel);
+  }
+  const auto abandon_pending = [this] {
+    if (config_.keep_trap_log) drop_pending();
+  };
+
+  if (raid_ != nullptr || raid6_ != nullptr) {
+    // Tap mode: the array computes P' (and its dirty count) during its
+    // small-write path.
+    const Status wrote = local_->write(b, new_block);
+    // Consume the tap entry on *every* exit path — a stale delta left
+    // behind by a failed write would poison the next write to this LBA.
+    bool have_tap = false;
+    {
+      std::lock_guard lock(tap_mutex_);
+      auto it = tap_deltas_.find(b);
+      if (it != tap_deltas_.end()) {
+        tap_delta = std::move(it->second.delta);
+        dirty = it->second.dirty;
+        have_tap = true;
+        tap_deltas_.erase(it);
+      }
+    }
+    if (!wrote.is_ok()) {
+      abandon_pending();
+      return wrote;
+    }
+    if (!have_tap) {
+      abandon_pending();
+      return internal_error("RAID tap produced no delta for block " +
+                            std::to_string(b));
+    }
+    delta_span = tap_delta;
+  } else if (need_delta) {
+    PooledBuffer old_block = block_pool_.acquire(bs);
+    Status step = local_->read(b, old_block.mutable_bytes());
+    if (step.is_ok()) step = local_->write(b, new_block);
+    if (!step.is_ok()) {
+      abandon_pending();
+      return step;
+    }
+    // Fused kernel: one pass produces both P' and its dirty-byte count.
+    delta = block_pool_.acquire(bs);
+    dirty = xor_to_and_count(delta.mutable_bytes(), new_block,
+                             old_block.span());
+    delta_span = delta.span();
+  } else {
+    const Status wrote = local_->write(b, new_block);
+    if (!wrote.is_ok()) {
+      abandon_pending();
+      return wrote;
+    }
+  }
+  return replicate_block(shard, b, new_block, delta_span, dirty);
+}
+
+Status PrinsEngine::replicate_block(WriteShard& shard, Lba lba,
+                                    ByteSpan new_block, ByteSpan delta,
                                     std::size_t dirty) {
   const Codec& codec = payload_codec(config_.policy);
   const ByteSpan raw_payload =
@@ -201,80 +279,101 @@ Status PrinsEngine::replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta,
   msg.policy = config_.policy;
   msg.block_size = block_size();
   msg.lba = lba;
-  msg.payload = encode_frame(codec, raw_payload);
+
+  // Encode the codec frame straight into a pooled buffer; the flat wire
+  // message is never materialized (senders frame with scatter-gather I/O).
+  PooledBuffer payload = frame_pool_.acquire(0);
+  encode_frame_into(codec, raw_payload, payload.mutable_bytes());
 
   // Coalescing needs the pre-codec payload to fold; share one copy across
   // every link's outbox until a fold copies-on-write.
-  std::shared_ptr<Bytes> raw;
+  PooledBuffer raw;
   if (config_.coalesce_writes) {
-    raw = std::make_shared<Bytes>(to_bytes(raw_payload));
+    raw = block_pool_.acquire(raw_payload.size());
+    std::copy(raw_payload.begin(), raw_payload.end(),
+              raw.mutable_bytes().begin());
   }
 
-  {
-    std::lock_guard lock(mutex_);
-    msg.sequence = next_sequence_++;
-    msg.timestamp_us = ++logical_clock_us_;
-    metrics_.writes += 1;
-    metrics_.raw_bytes += new_block.size();
-    metrics_.payload_bytes += msg.payload.size();
-    metrics_.payload_sizes.record(msg.payload.size());
-    if (ships_parity(config_.policy)) {
-      metrics_.dirty_bytes.record(dirty);
-    }
-    // pending_appends_ was raised in write() before the device was touched;
-    // it drops below, once this write's delta is in the trap log.
+  // Publish a journal-watermark floor *before* taking the sequence:
+  // between the fetch_add and the outbox insert this write is invisible to
+  // outstanding_, and the watermark must not advance past it once the
+  // journal append lands.
+  SubmitSlot slot(shard, next_sequence_.load(std::memory_order_seq_cst));
+  msg.sequence = next_sequence_.fetch_add(1, std::memory_order_seq_cst);
+  slot.tighten(msg.sequence);
+  msg.timestamp_us = clock_tick();
+
+  shard.writes += 1;
+  shard.raw_bytes += new_block.size();
+  shard.payload_bytes += payload.size();
+  shard.payload_sizes.record(payload.size());
+  if (ships_parity(config_.policy)) {
+    shard.dirty_bytes.record(dirty);
   }
+
   if (config_.keep_trap_log) {
     const Status appended = trap_log_.append(lba, msg.timestamp_us, delta);
-    {
-      std::lock_guard lock(mutex_);
-      --pending_appends_;
-      queue_cv_.notify_all();
-    }
+    drop_pending();
     PRINS_RETURN_IF_ERROR(appended);
   }
-  return enqueue(std::move(msg), std::move(raw));
+  return enqueue(msg, std::move(payload), std::move(raw));
 }
 
-Status PrinsEngine::enqueue(ReplicationMessage message,
-                            std::shared_ptr<Bytes> raw) {
+Status PrinsEngine::enqueue(const ReplicationMessage& meta,
+                            PooledBuffer payload, PooledBuffer raw) {
   if (config_.journal != nullptr) {
     // Durable before queued: a crash between these two steps re-sends the
-    // message (at-least-once), never loses it.
-    PRINS_RETURN_IF_ERROR(config_.journal->append(message));
+    // message (at-least-once), never loses it.  The payload travels
+    // alongside the header, so no flat message copy is built here either.
+    PRINS_RETURN_IF_ERROR(config_.journal->append(meta, payload.span()));
   }
-  return distribute(std::move(message), std::move(raw));
+  return distribute(meta, std::move(payload), std::move(raw));
 }
 
-Status PrinsEngine::distribute(ReplicationMessage message,
-                               std::shared_ptr<Bytes> raw) {
-  const bool coalescable = config_.coalesce_writes && raw != nullptr &&
-                           message.kind == MessageKind::kWrite;
-  // Canonical encoding, shared across all outboxes; folded entries drop it
-  // and re-encode at send time.
-  auto wire = std::make_shared<const Bytes>(message.encode());
+Status PrinsEngine::distribute(const ReplicationMessage& meta,
+                               PooledBuffer payload, PooledBuffer raw) {
+  const bool coalescable = config_.coalesce_writes && bool(raw) &&
+                           meta.kind == MessageKind::kWrite;
+  // Canonical wire size (header + frame + CRC), for traffic accounting.
+  const std::size_t wire_size =
+      ReplicationMessage::kWireHeaderSize + payload.size() + 4;
 
+  submit_global_locks_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock lock(mutex_);
   queue_cv_.wait(lock, [this] {
-    return stopping_ || outboxes_below_capacity_locked();
+    return stopping_.load(std::memory_order_relaxed) ||
+           outboxes_below_capacity_locked();
   });
-  if (stopping_) return unavailable("engine is shutting down");
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return unavailable("engine is shutting down");
+  }
   if (!worker_error_.is_ok()) return worker_error_;
 
-  last_distributed_seq_ = std::max(last_distributed_seq_, message.sequence);
+  last_distributed_seq_ = std::max(last_distributed_seq_, meta.sequence);
   if (replicas_.empty()) {
     // Nothing to ship: the write is trivially replicated everywhere.
-    metrics_.message_bytes += wire->size();
+    metrics_.message_bytes += wire_size;
     const std::uint64_t watermark = ack_watermark_locked();
     lock.unlock();
     advance_journal_watermark(watermark);
     return Status::ok();
   }
 
-  outstanding_.emplace(message.sequence,
-                       PendingAck{replicas_.size(), wire->size(), false});
+  if (ack_node_pool_.empty()) {
+    outstanding_.emplace(meta.sequence,
+                         PendingAck{replicas_.size(), wire_size, false});
+  } else {
+    // Reuse a recycled map node: ack bookkeeping is the last per-write
+    // heap allocation on the submit path, and this makes it free in
+    // steady state.
+    auto node = std::move(ack_node_pool_.back());
+    ack_node_pool_.pop_back();
+    node.key() = meta.sequence;
+    node.mapped() = PendingAck{replicas_.size(), wire_size, false};
+    outstanding_.insert(std::move(node));
+  }
   for (auto& link : replicas_) {
-    append_to_outbox_locked(*link, message, wire, raw, coalescable);
+    append_to_outbox_locked(*link, meta, payload, raw, coalescable);
   }
   queue_cv_.notify_all();
   // The message may have completed instantly on every link (heal-skip
@@ -285,17 +384,18 @@ Status PrinsEngine::distribute(ReplicationMessage message,
   return Status::ok();
 }
 
-void PrinsEngine::append_to_outbox_locked(
-    ReplicaLink& link, const ReplicationMessage& meta,
-    const std::shared_ptr<const Bytes>& wire,
-    const std::shared_ptr<Bytes>& raw, bool coalescable) {
+void PrinsEngine::append_to_outbox_locked(ReplicaLink& link,
+                                          const ReplicationMessage& meta,
+                                          const PooledBuffer& payload,
+                                          const PooledBuffer& raw,
+                                          bool coalescable) {
   if (meta.kind == MessageKind::kWrite &&
       meta.timestamp_us <= link.skip_below_ts) {
     // A pending (or completed) heal's fold already carries this write for
     // this link; queueing it too would deliver the delta twice (and XOR
     // twice is an undo).
     OutMessage skipped;
-    skipped.covered.push_back(meta.sequence);
+    skipped.first_covered = meta.sequence;
     complete_locked(skipped, /*acked=*/true);
     return;
   }
@@ -308,30 +408,34 @@ void PrinsEngine::append_to_outbox_locked(
         // so fold the new delta into the queued one.  Copy-on-write first:
         // the payload may still be shared with other links' outboxes.
         if (entry.raw.use_count() > 1) {
-          entry.raw = std::make_shared<Bytes>(*entry.raw);
+          PooledBuffer copy = block_pool_.acquire(entry.raw.size());
+          std::copy(entry.raw.span().begin(), entry.raw.span().end(),
+                    copy.mutable_bytes().begin());
+          entry.raw = std::move(copy);
         }
-        xor_into(*entry.raw, *raw);
-        entry.wire = nullptr;  // payload changed; sender re-encodes
-        entry.meta.payload.clear();
+        xor_into(entry.raw.mutable_bytes(), raw.span());
+        entry.payload.reset();  // stale; sender re-encodes from raw
+        entry.needs_encode = true;
       } else {
         // Full-block payloads: last write wins, and the new message's
-        // canonical encoding is exactly the folded entry.
+        // frame is exactly the folded entry's.
         entry.raw = raw;
-        entry.wire = wire;
+        entry.payload = payload;
+        entry.needs_encode = false;
       }
       entry.meta.sequence = meta.sequence;
       entry.meta.timestamp_us = meta.timestamp_us;
-      entry.covered.push_back(meta.sequence);
+      entry.extra_covered.push_back(meta.sequence);
       return;
     }
   }
 
   OutMessage item;
   item.meta = meta;
-  item.wire = wire;
+  item.payload = payload;
   item.raw = raw;
   item.coalescable = coalescable;
-  item.covered.push_back(meta.sequence);
+  item.first_covered = meta.sequence;
   link.outbox.push_back(std::move(item));
   if (coalescable) {
     link.fold_slots[meta.lba] = link.first_slot + link.outbox.size() - 1;
@@ -344,10 +448,10 @@ void PrinsEngine::append_to_outbox_locked(
 
 void PrinsEngine::complete_locked(const OutMessage& item, bool acked) {
   // A coalesced ACK acknowledges every write the entry carries.
-  if (acked) metrics_.acks += item.covered.size();
-  for (const std::uint64_t seq : item.covered) {
+  if (acked) metrics_.acks += item.covered_count();
+  const auto settle = [&](std::uint64_t seq) {
     auto it = outstanding_.find(seq);
-    if (it == outstanding_.end()) continue;
+    if (it == outstanding_.end()) return;
     if (!acked) it->second.dropped = true;
     if (--it->second.remaining == 0) {
       if (it->second.dropped) {
@@ -357,9 +461,15 @@ void PrinsEngine::complete_locked(const OutMessage& item, bool acked) {
       } else {
         metrics_.message_bytes += it->second.wire_bytes;
       }
-      outstanding_.erase(it);
+      if (ack_node_pool_.size() < config_.queue_capacity) {
+        ack_node_pool_.push_back(outstanding_.extract(it));
+      } else {
+        outstanding_.erase(it);
+      }
     }
-  }
+  };
+  settle(item.first_covered);
+  for (const std::uint64_t seq : item.extra_covered) settle(seq);
 }
 
 bool PrinsEngine::outboxes_below_capacity_locked() const {
@@ -386,8 +496,18 @@ bool PrinsEngine::idle_locked() const {
 
 std::uint64_t PrinsEngine::ack_watermark_locked() const {
   if (journal_frozen_) return 0;
-  return outstanding_.empty() ? last_distributed_seq_
-                              : outstanding_.begin()->first - 1;
+  std::uint64_t mark = outstanding_.empty()
+                           ? last_distributed_seq_
+                           : outstanding_.begin()->first - 1;
+  // Clamp below any sequence still travelling between the counter and the
+  // outboxes (see WriteShard::submitting_seq): such a write may already be
+  // journaled but is invisible to outstanding_.
+  for (const auto& shard : shards_) {
+    const std::uint64_t slot =
+        shard->submitting_seq.load(std::memory_order_seq_cst);
+    if (slot != 0) mark = std::min(mark, slot - 1);
+  }
+  return mark;
 }
 
 void PrinsEngine::advance_journal_watermark(std::uint64_t sequence) {
@@ -416,7 +536,7 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
         // Degraded state: hold queued traffic (producers back-pressure on
         // capacity) and retry the heal on its backoff schedule.
         queue_cv_.wait_until(lock, link->next_heal,
-                             [this] { return stopping_; });
+                             [this] { return stopping_.load(std::memory_order_relaxed); });
         if (stopping_) return;
         if (!healable_locked(*link)) continue;  // reattached meanwhile
         if (std::chrono::steady_clock::now() < link->next_heal) continue;
@@ -425,7 +545,7 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
         continue;
       }
       queue_cv_.wait(lock, [this, link] {
-        return stopping_ || healable_locked(*link) || !link->outbox.empty();
+        return stopping_.load(std::memory_order_relaxed) || healable_locked(*link) || !link->outbox.empty();
       });
       if (healable_locked(*link)) continue;
       if (link->outbox.empty()) return;  // stopping with nothing left
@@ -452,15 +572,6 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
       acked.assign(batch.size(), false);
     } else {
       std::lock_guard link_lock(link->mutex);
-      for (OutMessage& item : batch) {
-        if (item.wire == nullptr) {
-          // This entry absorbed folds; rebuild its encoding once, here,
-          // on this link's thread.
-          item.meta.payload =
-              encode_frame(payload_codec(item.meta.policy), *item.raw);
-          item.wire = std::make_shared<const Bytes>(item.meta.encode());
-        }
-      }
       result = exchange_batch_locked(*link, batch, acked);
     }
 
@@ -518,7 +629,7 @@ void PrinsEngine::retry_backoff(ReplicaLink& link, std::size_t attempt) {
   if (ms <= 0.0) return;
   std::unique_lock lock(mutex_);
   queue_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
-                     [this] { return stopping_; });
+                     [this] { return stopping_.load(std::memory_order_relaxed); });
 }
 
 Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
@@ -538,7 +649,7 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
     Status result = Status::ok();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (acked[i]) continue;
-      result = link.transport->send(*batch[i].wire);
+      result = send_entry_locked(link, batch[i]);
       if (!result.is_ok()) break;
       ++sent;
     }
@@ -637,6 +748,31 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
   }
 }
 
+Status PrinsEngine::send_entry_locked(ReplicaLink& link, OutMessage& entry) {
+  if (entry.needs_encode) {
+    // This entry absorbed folds; rebuild its frame once, here, on this
+    // link's thread.
+    PooledBuffer fresh = frame_pool_.acquire(0);
+    encode_frame_into(payload_codec(entry.meta.policy), entry.raw.span(),
+                      fresh.mutable_bytes());
+    entry.payload = std::move(fresh);
+    entry.needs_encode = false;
+  }
+  // Scatter-gather framing: the header is encoded on the stack, the payload
+  // frame is the shared pooled buffer, and the trailing CRC chains across
+  // both — byte-identical to ReplicationMessage::encode() without ever
+  // materializing the flat wire copy.
+  Byte header[ReplicationMessage::kWireHeaderSize];
+  entry.meta.encode_header(header, entry.payload.size());
+  std::uint32_t crc = crc32c(ByteSpan(header));
+  crc = crc32c(entry.payload.span(), crc);
+  Byte trailer[4];
+  store_le32(trailer, crc);
+  const ByteSpan parts[] = {ByteSpan(header), entry.payload.span(),
+                            ByteSpan(trailer)};
+  return link.transport->send_vec(parts);
+}
+
 void PrinsEngine::convert_to_repair_locked(OutMessage& entry) {
   if (entry.meta.kind != MessageKind::kWrite || !ships_parity(config_.policy)) {
     // Full-block policies already carry the whole contents; a plain resend
@@ -649,19 +785,22 @@ void PrinsEngine::convert_to_repair_locked(OutMessage& entry) {
     // resync) take over.
     return;
   }
+  // A same-block write between the device and the trap log would make the
+  // rollback below reconstruct a state the log cannot explain; owning the
+  // block's stripe excludes that.  Never *wait* for the stripe — a producer
+  // holding it may be blocked on *this* link's full outbox, which only the
+  // caller can drain — just let the next retry round convert.
+  WriteShard& shard = shard_for(entry.meta.lba);
+  std::unique_lock shard_lock(shard.mutex, std::try_to_lock);
+  if (!shard_lock.owns_lock()) return;
   Bytes content(block_size());
+  if (!local_->read(entry.meta.lba, content).is_ok()) return;
+  auto at_ts = trap_log_.recover_block(entry.meta.lba,
+                                       entry.meta.timestamp_us, content);
+  if (!at_ts.is_ok()) return;
+  content = std::move(*at_ts);
   {
     std::lock_guard lock(mutex_);
-    // A write between the device and the trap log would make the rollback
-    // below reconstruct a state the log cannot explain.  Never wait here —
-    // a producer may be blocked on *this* link's full outbox, which only
-    // the caller can drain — just let the next retry round convert.
-    if (pending_appends_ != 0) return;
-    if (!local_->read(entry.meta.lba, content).is_ok()) return;
-    auto at_ts = trap_log_.recover_block(entry.meta.lba,
-                                         entry.meta.timestamp_us, content);
-    if (!at_ts.is_ok()) return;
-    content = std::move(*at_ts);
     metrics_.nak_full_repairs += 1;
   }
   // Rebuild in place.  Sequence and timestamp are kept: the replica never
@@ -670,10 +809,11 @@ void PrinsEngine::convert_to_repair_locked(OutMessage& entry) {
   // behind this entry still telescope, because the payload is the block
   // exactly as of this entry's own write.
   entry.meta.kind = MessageKind::kRepairBlock;
-  entry.meta.payload = encode_frame(codec_for(CodecId::kLz), content);
-  entry.wire = std::make_shared<const Bytes>(entry.meta.encode());
-  entry.raw = nullptr;
+  entry.payload =
+      PooledBuffer::heap(encode_frame(codec_for(CodecId::kLz), content));
+  entry.raw.reset();
   entry.coalescable = false;
+  entry.needs_encode = false;
   PRINS_LOG(kWarn) << "replica NAK'd damaged block " << entry.meta.lba
                    << "; resending as a full-block repair";
 }
@@ -702,10 +842,7 @@ Status PrinsEngine::hello_locked(ReplicaLink& link,
                                  std::uint64_t& applied_ts) {
   ReplicationMessage hello;
   hello.kind = MessageKind::kHello;
-  {
-    std::lock_guard lock(mutex_);
-    hello.sequence = next_sequence_++;
-  }
+  hello.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   const Bytes wire = hello.encode();
   for (std::size_t attempt = 0; attempt <= config_.retry.max_attempts;
        ++attempt) {
@@ -738,17 +875,27 @@ Status PrinsEngine::build_resync_locked(ReplicaLink& link,
   {
     std::unique_lock lock(mutex_);
     // Every timestamped write must be in the trap log before we pick the
-    // window, or the fold would silently miss it.
-    queue_cv_.wait(lock,
-                   [this] { return stopping_ || pending_appends_ == 0; });
-    if (stopping_) return unavailable("engine is shutting down");
+    // window, or the fold would silently miss it.  The single load of
+    // clock_state_ gives an atomic (pending == 0, clock == K) snapshot;
+    // writers do not signal the cv, so poll on a short timeout.
+    for (;;) {
+      if (stopping_.load(std::memory_order_relaxed)) {
+        return unavailable("engine is shutting down");
+      }
+      const std::uint64_t state =
+          clock_state_.load(std::memory_order_seq_cst);
+      if ((state & ~kClockMask) == 0) {
+        until = state & kClockMask;
+        break;
+      }
+      queue_cv_.wait_for(lock, std::chrono::microseconds(200));
+    }
     for (const OutMessage& item : link.outbox) {
       if (item.meta.kind != MessageKind::kWrite) {
         return failed_precondition(
             "non-write traffic queued for this link; heal deferred");
       }
     }
-    until = logical_clock_us_;
     // The fold carries everything this link has queued (all entries bear
     // timestamps <= until): complete them here and let the fold deliver
     // their bytes.  From now on, late-arriving entries at or below `until`
@@ -802,10 +949,7 @@ Status PrinsEngine::build_resync_locked(ReplicaLink& link,
     msg.lba = lba;
     msg.timestamp_us = until;
     msg.payload = encode_frame(codec_for(CodecId::kZeroRle), *fold);
-    {
-      std::lock_guard lock(mutex_);
-      msg.sequence = next_sequence_++;
-    }
+    msg.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
     frames.push_back(ResyncFrame{msg.sequence, msg.encode()});
   }
   link.resync_wire = std::move(frames);
@@ -943,19 +1087,24 @@ Status PrinsEngine::full_sync() {
   Bytes block(bs);
   const Codec& codec = codec_for(CodecId::kLz);
   for (Lba lba = 0; lba < num_blocks(); ++lba) {
+    WriteShard& shard = shard_for(lba);
+    // Hold the block's stripe so the read and the enqueue see one write
+    // generation, and publish a watermark slot like any submit.
+    std::lock_guard shard_lock(shard.mutex);
     PRINS_RETURN_IF_ERROR(local_->read(lba, block));
     ReplicationMessage msg;
     msg.kind = MessageKind::kSyncBlock;
     msg.policy = config_.policy;
     msg.block_size = bs;
     msg.lba = lba;
-    msg.payload = encode_frame(codec, block);
-    {
-      std::lock_guard lock(mutex_);
-      msg.sequence = next_sequence_++;
-      msg.timestamp_us = logical_clock_us_;  // sync is not a logical write
-    }
-    PRINS_RETURN_IF_ERROR(enqueue(std::move(msg), nullptr));
+    SubmitSlot slot(shard, next_sequence_.load(std::memory_order_seq_cst));
+    msg.sequence = next_sequence_.fetch_add(1, std::memory_order_seq_cst);
+    slot.tighten(msg.sequence);
+    // Sync is not a logical write: read the clock, do not advance it.
+    msg.timestamp_us =
+        clock_state_.load(std::memory_order_seq_cst) & kClockMask;
+    PRINS_RETURN_IF_ERROR(enqueue(
+        msg, PooledBuffer::heap(encode_frame(codec, block)), PooledBuffer()));
   }
   return drain();
 }
@@ -1111,10 +1260,7 @@ Status PrinsEngine::fetch_block_from_replica(Lba lba, MutByteSpan out) {
     req.kind = MessageKind::kReadBlockRequest;
     req.block_size = block_size();
     req.lba = lba;
-    {
-      std::lock_guard lock(mutex_);
-      req.sequence = next_sequence_++;
-    }
+    req.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard link_lock(link->mutex);
     if (Status sent = link->transport->send(req.encode()); !sent.is_ok()) {
       last = sent;
@@ -1167,13 +1313,16 @@ Status PrinsEngine::fetch_block_from_replica(Lba lba, MutByteSpan out) {
 
 Result<ScrubStats> PrinsEngine::scrub(const ScrubberConfig& config,
                                       std::vector<RepairSource> extra_sources) {
-  // Quiesce first: replies in flight on a busy link would be misread as
-  // read-block replies, and a half-replicated write under a repaired LBA
-  // would resurrect stale bytes.
+  // Quiesce: pause writers first by locking every stripe (writers take
+  // exactly one, so any consistent order is deadlock-free), *then* drain,
+  // so nothing can slip into an outbox between the drain and the pass —
+  // replies in flight on a busy link would be misread as read-block
+  // replies, and a half-replicated write under a repaired LBA would
+  // resurrect stale bytes.  Writers stay paused for the whole pass.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (auto& shard : shards_) shard_locks.emplace_back(shard->mutex);
   PRINS_RETURN_IF_ERROR(drain());
-  // Writers stay paused for the whole pass; senders are idle because the
-  // outboxes just drained.
-  std::lock_guard write_lock(write_mutex_);
 
   Scrubber scrubber(local_, config);
   for (RepairSource& source : extra_sources) {
@@ -1237,19 +1386,31 @@ Status PrinsEngine::replay_journal() {
   }
   PRINS_ASSIGN_OR_RETURN(std::vector<ReplicationMessage> pending,
                          config_.journal->pending());
-  {
-    // Fast-forward counters past everything ever journaled so new writes
-    // do not collide with replayed sequences.
-    std::lock_guard lock(mutex_);
-    const std::uint64_t max_seq = config_.journal->max_sequence();
-    next_sequence_ = std::max(next_sequence_, max_seq + 1);
-    for (const auto& msg : pending) {
-      logical_clock_us_ = std::max(logical_clock_us_, msg.timestamp_us);
-    }
+  // Fast-forward counters past everything ever journaled so new writes do
+  // not collide with replayed sequences (CAS-max; replay runs before new
+  // writes, but stay safe against concurrent submitters anyway).
+  const std::uint64_t max_seq = config_.journal->max_sequence();
+  std::uint64_t seq = next_sequence_.load(std::memory_order_relaxed);
+  while (seq < max_seq + 1 &&
+         !next_sequence_.compare_exchange_weak(seq, max_seq + 1)) {
+  }
+  std::uint64_t max_ts = 0;
+  for (const auto& msg : pending) {
+    max_ts = std::max(max_ts, msg.timestamp_us);
+  }
+  std::uint64_t state = clock_state_.load(std::memory_order_seq_cst);
+  while ((state & kClockMask) < max_ts &&
+         !clock_state_.compare_exchange_weak(
+             state, (state & ~kClockMask) | max_ts)) {
   }
   for (auto& msg : pending) {
     // Straight to the outboxes: the message is already in the journal.
-    PRINS_RETURN_IF_ERROR(distribute(std::move(msg), nullptr));
+    PooledBuffer payload = msg.payload.empty()
+                               ? PooledBuffer()
+                               : PooledBuffer::heap(std::move(msg.payload));
+    msg.payload.clear();
+    PRINS_RETURN_IF_ERROR(
+        distribute(msg, std::move(payload), PooledBuffer()));
   }
   return Status::ok();
 }
@@ -1290,12 +1451,10 @@ Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
     msg.block_size = bs;
     msg.lba = lba;
     msg.payload = encode_frame(codec_for(CodecId::kZeroRle), fold);
-    {
-      std::lock_guard lock(mutex_);
-      msg.sequence = next_sequence_++;
-      msg.timestamp_us = logical_clock_us_;
-      newest = logical_clock_us_;
-    }
+    msg.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    msg.timestamp_us =
+        clock_state_.load(std::memory_order_seq_cst) & kClockMask;
+    newest = msg.timestamp_us;
     PRINS_RETURN_IF_ERROR(
         send_and_ack_locked(*link, msg.encode(), msg.kind));
     ++resynced;
@@ -1328,8 +1487,23 @@ std::size_t PrinsEngine::tap_backlog() const {
 }
 
 EngineMetrics PrinsEngine::metrics() const {
-  std::lock_guard lock(mutex_);
-  return metrics_;
+  EngineMetrics out;
+  {
+    std::lock_guard lock(mutex_);
+    out = metrics_;
+  }
+  // Merge the per-shard hot-path counters.  Shard locks are taken *after*
+  // releasing mutex_: writers hold a shard lock while waiting for mutex_
+  // in distribute(), so nesting the other way would deadlock.
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    out.writes += shard->writes;
+    out.raw_bytes += shard->raw_bytes;
+    out.payload_bytes += shard->payload_bytes;
+    out.payload_sizes.merge(shard->payload_sizes);
+    out.dirty_bytes.merge(shard->dirty_bytes);
+  }
+  return out;
 }
 
 std::string PrinsEngine::describe() const {

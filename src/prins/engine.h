@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "block/block_device.h"
+#include "common/buffer_pool.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "net/transport.h"
@@ -117,6 +118,21 @@ struct EngineConfig {
   /// reconnects, folds the parity log over the outage window, resyncs the
   /// replica, and unfreezes the journal watermark.
   TransportFactory reconnect;
+  /// LBA-striped submit locks: writers to blocks in different shards
+  /// (shard = lba mod write_shards) proceed concurrently; same-block writes
+  /// stay fully serialized, which is what keeps replica XOR chains
+  /// telescoping.  0 (default) auto-sizes: the PRINS_WRITE_SHARDS
+  /// environment variable if set, else the hardware thread count.  Rounded
+  /// up to a power of two, clamped to [1, 64].  1 reproduces the old
+  /// global-write-lock behavior.
+  std::size_t write_shards = 0;
+  /// Serve hot-path scratch buffers (old block, delta, codec frame,
+  /// coalesce copy) from a freelist instead of the heap; steady-state
+  /// writes then allocate nothing.  Off is only interesting for baseline
+  /// benchmarking.
+  bool pool_buffers = true;
+  /// Freelist bound per pool; releases beyond it free their buffer.
+  std::size_t pool_max_free = 128;
 };
 
 struct EngineMetrics {
@@ -247,24 +263,43 @@ class PrinsEngine final : public BlockDevice {
 
   ReplicationPolicy policy() const { return config_.policy; }
 
+  /// Resolved submit-shard count (config.write_shards after auto-sizing).
+  std::size_t write_shard_count() const { return shards_.size(); }
+
+  /// Test/bench hook: engine-wide mutex_ acquisitions made by the submit
+  /// path since construction.  The sharded pipeline takes exactly one per
+  /// distributed message (in distribute()); the pre-shard engine took three.
+  std::uint64_t debug_submit_global_lock_count() const {
+    return submit_global_locks_.load(std::memory_order_relaxed);
+  }
+
+  /// Freelist stats of the block-scratch / frame pools (bench reporting).
+  BufferPool::Stats block_pool_stats() const { return block_pool_.stats(); }
+  BufferPool::Stats frame_pool_stats() const { return frame_pool_.stats(); }
+
  private:
-  /// One queued wire message in a replica outbox.  Entries are usually a
-  /// cheap handle onto the shared canonical encoding; only entries that
-  /// absorbed a coalesced fold carry private bytes and re-encode at send
-  /// time.
+  /// One queued message in a replica outbox.  No canonical wire encoding
+  /// exists: the sender frames each entry at transmission time with
+  /// scatter-gather I/O (stack-encoded header + shared payload frame +
+  /// trailing CRC), so enqueueing is a cheap refcount bump, not a copy.
   struct OutMessage {
-    ReplicationMessage meta;  // header fields; payload carried by wire/raw
-    /// Canonical encoded wire message, shared across all link outboxes.
-    /// Null after a fold (payload changed; sender re-encodes).
-    std::shared_ptr<const Bytes> wire;
+    ReplicationMessage meta;  // header fields; payload lives in `payload`
+    /// Encoded (post-codec) payload frame, shared across all link outboxes
+    /// via the pool refcount.
+    PooledBuffer payload;
     /// Raw (pre-codec) payload for folding; shared across links until a
-    /// fold copies-on-write.  Null when coalescing is off or impossible.
-    std::shared_ptr<Bytes> raw;
+    /// fold copies-on-write.  Empty when coalescing is off or impossible.
+    PooledBuffer raw;
     bool coalescable = false;
-    /// Sequences of every logical write this entry carries (>= 1; grows
-    /// as same-LBA writes fold in).  One replica ACK of this entry
-    /// acknowledges them all.
-    std::vector<std::uint64_t> covered;
+    /// A fold changed `raw`, so `payload` is stale; the sender re-encodes
+    /// just before transmission.
+    bool needs_encode = false;
+    /// Sequences of every logical write this entry carries (>= 1; grows as
+    /// same-LBA writes fold in).  One replica ACK acknowledges them all.
+    /// Split so the common unfolded entry allocates nothing.
+    std::uint64_t first_covered = 0;
+    std::vector<std::uint64_t> extra_covered;
+    std::size_t covered_count() const { return 1 + extra_covered.size(); }
   };
 
   /// One heal message awaiting delivery: a resumed heal resends the same
@@ -314,6 +349,42 @@ class PrinsEngine final : public BlockDevice {
     bool dropped = false;        // some link failed to deliver it
   };
 
+  /// One LBA stripe of the submit path (shard = lba & shard_mask_).  The
+  /// shard lock serializes the read-old/write/enqueue critical section for
+  /// its blocks only, so writers in different stripes never contend.
+  /// Hot-path metrics live here (guarded by `mutex`) and are merged by
+  /// metrics(), keeping the engine-wide mutex_ off the per-block path.
+  struct alignas(64) WriteShard {
+    std::mutex mutex;
+    /// Sequence being submitted under this shard's lock (0 = none).  A
+    /// lower bound is published BEFORE the global sequence counter is
+    /// bumped and cleared after the message reaches the outboxes, so
+    /// ack_watermark_locked() never advances the journal watermark past a
+    /// write that is between fetch_add and distribute().
+    std::atomic<std::uint64_t> submitting_seq{0};
+    std::uint64_t writes = 0;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t payload_bytes = 0;
+    Histogram payload_sizes;
+    Histogram dirty_bytes;
+  };
+
+  /// RAII publisher for WriteShard::submitting_seq (see its comment).
+  class SubmitSlot {
+   public:
+    SubmitSlot(WriteShard& shard, std::uint64_t lower_bound)
+        : slot_(shard.submitting_seq) {
+      slot_.store(lower_bound, std::memory_order_seq_cst);
+    }
+    void tighten(std::uint64_t sequence) {
+      slot_.store(sequence, std::memory_order_seq_cst);
+    }
+    ~SubmitSlot() { slot_.store(0, std::memory_order_seq_cst); }
+
+   private:
+    std::atomic<std::uint64_t>& slot_;
+  };
+
   void sender_main(ReplicaLink* link);
   /// Deliver a popped window to the replica with retry/reconnect per the
   /// RetryPolicy.  OK iff every entry was acked; `acked` records per-entry
@@ -339,14 +410,22 @@ class PrinsEngine final : public BlockDevice {
   /// True when a failed link will recover on its own (mutex_ held).
   bool healable_locked(const ReplicaLink& link) const;
   /// Journal-append (if configured) and distribute to every outbox.
-  Status enqueue(ReplicationMessage message, std::shared_ptr<Bytes> raw);
+  /// `meta.payload` must be empty; the payload travels in `payload`.
+  Status enqueue(const ReplicationMessage& meta, PooledBuffer payload,
+                 PooledBuffer raw);
   /// Fan a message out to every replica outbox (no journal append).
-  Status distribute(ReplicationMessage message, std::shared_ptr<Bytes> raw);
+  Status distribute(const ReplicationMessage& meta, PooledBuffer payload,
+                    PooledBuffer raw);
   void append_to_outbox_locked(ReplicaLink& link,
                                const ReplicationMessage& meta,
-                               const std::shared_ptr<const Bytes>& wire,
-                               const std::shared_ptr<Bytes>& raw,
+                               const PooledBuffer& payload,
+                               const PooledBuffer& raw,
                                bool coalescable);
+  /// Frame and transmit one outbox entry with scatter-gather I/O: header
+  /// encoded on the stack, payload frame shared from the pool, trailing
+  /// CRC chained across both.  Re-encodes folded entries first.  Link
+  /// mutex must be held.
+  Status send_entry_locked(ReplicaLink& link, OutMessage& entry);
   /// Account one popped entry as acked or dropped by one link.
   void complete_locked(const OutMessage& item, bool acked);
   bool outboxes_below_capacity_locked() const;
@@ -354,9 +433,11 @@ class PrinsEngine final : public BlockDevice {
   std::uint64_t ack_watermark_locked() const;
   /// Monotonically advance the journal's acked watermark.
   void advance_journal_watermark(std::uint64_t sequence);
-  /// Build and enqueue the kWrite message for one block.
-  Status replicate_block(Lba lba, ByteSpan new_block, ByteSpan delta,
-                         std::size_t dirty);
+  /// The per-block submit path; shard_for(lba).mutex must be held.
+  Status write_block_locked(WriteShard& shard, Lba lba, ByteSpan data);
+  /// Build and enqueue the kWrite message for one block (shard lock held).
+  Status replicate_block(WriteShard& shard, Lba lba, ByteSpan new_block,
+                         ByteSpan delta, std::size_t dirty);
   Status send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
                              MessageKind expect_ack_of);
   /// Flat per-block verify+repair of one range on one link (link mutex
@@ -364,16 +445,35 @@ class PrinsEngine final : public BlockDevice {
   Status flat_verify_locked(ReplicaLink& link, Lba start, std::uint64_t count,
                             std::uint64_t& repaired);
 
+  /// Resolve config.write_shards (env/auto-size, power of two, clamp) and
+  /// build the shard array.  Called once from each constructor.
+  void init_shards();
+  /// Advance the logical clock by 1µs; returns the new timestamp.
+  std::uint64_t clock_tick();
+  void drop_pending();
+  WriteShard& shard_for(Lba lba) const {
+    return *shards_[static_cast<std::size_t>(lba) & shard_mask_];
+  }
+
   std::shared_ptr<BlockDevice> local_;
   RaidArray* raid_ = nullptr;    // non-null in RAID-4/5 tap mode
   Raid6Array* raid6_ = nullptr;  // non-null in RAID-6 tap mode
   EngineConfig config_;
 
-  // Serializes the read-old/write/enqueue critical section.  Without it,
-  // two concurrent writers hitting the same block would both diff against
-  // the same old contents and the replica's XOR chain would no longer
-  // telescope (delta2 would be A2 ⊕ A0 instead of A2 ⊕ A1).
-  std::mutex write_mutex_;
+  // LBA-striped submit locks.  Each shard serializes the read-old/write/
+  // enqueue critical section for its own blocks — without that, two
+  // concurrent writers hitting the same block would both diff against the
+  // same old contents and the replica's XOR chain would no longer
+  // telescope (delta2 would be A2 ⊕ A0 instead of A2 ⊕ A1).  Writers in
+  // different stripes share nothing on the submit path but the outboxes.
+  std::vector<std::unique_ptr<WriteShard>> shards_;
+  std::size_t shard_mask_ = 0;  // shards_.size() - 1; size is a power of 2
+
+  // Hot-path scratch pools: block-sized buffers (old block, delta,
+  // coalesce copy) and codec output frames.  max_free=0 when
+  // config.pool_buffers is off, which degenerates to plain heap traffic.
+  mutable BufferPool block_pool_;
+  mutable BufferPool frame_pool_;
 
   std::vector<std::unique_ptr<ReplicaLink>> replicas_;
 
@@ -389,12 +489,16 @@ class PrinsEngine final : public BlockDevice {
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;   // producers <-> senders
   std::condition_variable drain_cv_;   // drain() waiters
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};  // set under mutex_; read lock-free
   Status worker_error_;  // first replication failure, surfaced by drain()
 
   // Sequences distributed but not yet completed by every link, ordered so
   // the journal watermark is the smallest outstanding sequence minus one.
   std::map<std::uint64_t, PendingAck> outstanding_;
+  // Recycled outstanding_ nodes (guarded by mutex_, bounded by
+  // queue_capacity): erase stashes the node, the next distribute reuses
+  // it, so steady-state ack bookkeeping never touches the heap.
+  std::vector<std::map<std::uint64_t, PendingAck>::node_type> ack_node_pool_;
   std::uint64_t last_distributed_seq_ = 0;
   /// Set once any message is dropped (link failure): the journal watermark
   /// must never advance past an undelivered write, so it freezes until a
@@ -403,16 +507,27 @@ class PrinsEngine final : public BlockDevice {
   std::mutex journal_mutex_;  // serializes mark_acked calls
   std::uint64_t journal_marked_ = 0;  // guarded by journal_mutex_
 
-  std::uint64_t next_sequence_ = 1;
-  std::uint64_t logical_clock_us_ = 0;  // advances 1us per replicated write
-  /// Writes that took a timestamp but have not yet landed in the trap log
-  /// (guarded by mutex_).  A heal must not snapshot its fold window while
-  /// any are pending, or the fold would silently miss them.
-  std::size_t pending_appends_ = 0;
+  std::atomic<std::uint64_t> next_sequence_{1};
+
+  /// Combined logical-clock / pending-append state, mutated with single
+  /// atomic RMWs so heals can snapshot "(no trap appends in flight, clock
+  /// = K)" without a global lock.  Low 48 bits (kClockMask): the logical
+  /// clock, advancing 1µs per replicated write — 2^48 writes is ~8.9 years
+  /// at one per microsecond, so carry into the high bits is not a concern.
+  /// High 16 bits: writes that took a timestamp but have not yet landed in
+  /// the trap log; a heal must not snapshot its fold window while any are
+  /// pending, or the fold would silently miss them.
+  static constexpr std::uint64_t kClockMask = (std::uint64_t{1} << 48) - 1;
+  static constexpr std::uint64_t kPendingOne = std::uint64_t{1} << 48;
+  std::atomic<std::uint64_t> clock_state_{0};
+
+  /// Submit-path acquisitions of mutex_ (see debug_submit_global_lock_count).
+  std::atomic<std::uint64_t> submit_global_locks_{0};
 
   TrapLog trap_log_;  // populated when config_.keep_trap_log
 
-  // Metrics (guarded by mutex_).
+  // Engine-wide metrics (guarded by mutex_).  Per-write counters live in
+  // the shards; metrics() merges both.
   EngineMetrics metrics_;
 };
 

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "common/endian.h"
 
 namespace prins {
@@ -115,18 +116,71 @@ Status ReplicationJournal::append_record_locked(std::uint8_t type,
 }
 
 Status ReplicationJournal::append(const ReplicationMessage& message) {
-  const Bytes wire = message.encode();
-  std::lock_guard lock(mutex_);
-  PRINS_RETURN_IF_ERROR(append_record_locked(kRecordMessage, wire));
-  max_sequence_ = std::max(max_sequence_, message.sequence);
-  pending_.emplace_back(message.sequence, wire);
+  return append(message, message.payload);
+}
+
+Status ReplicationJournal::append(const ReplicationMessage& header,
+                                  ByteSpan payload) {
+  std::unique_lock lock(mutex_);
+  if (!flush_error_.is_ok()) return flush_error_;
+
+  // Stage [type | u32 len | wire] directly into the shared staging buffer,
+  // building the wire frame in place (header, payload, trailing CRC).
+  const std::size_t wire_size =
+      ReplicationMessage::kWireHeaderSize + payload.size() + 4;
+  staging_.push_back(kRecordMessage);
+  append_le32(staging_, static_cast<std::uint32_t>(wire_size));
+  const std::size_t wire_at = staging_.size();
+  staging_.resize(wire_at + ReplicationMessage::kWireHeaderSize);
+  header.encode_header(MutByteSpan(staging_).subspan(wire_at),
+                       payload.size());
+  prins::append(staging_, payload);
+  append_le32(staging_, crc32c(ByteSpan(staging_).subspan(wire_at)));
+  Bytes wire = to_bytes(ByteSpan(staging_).subspan(wire_at));
+  const std::uint64_t my_ticket = ++staged_ticket_;
+
+  // Group commit: the first appender to find no flush in progress becomes
+  // the leader and syncs everything staged so far (including records from
+  // appenders now waiting); the rest sleep until their ticket is covered.
+  while (synced_ticket_ < my_ticket && flush_error_.is_ok()) {
+    if (!flusher_active_) {
+      flusher_active_ = true;
+      Bytes batch = std::move(staging_);
+      staging_ = Bytes();
+      const std::uint64_t batch_upto = staged_ticket_;
+      const int fd = fd_;
+      lock.unlock();
+      Status s = write_all(fd, batch);
+      if (s.is_ok() && ::fdatasync(fd) != 0) {
+        s = io_error("journal fdatasync: " +
+                     std::string(std::strerror(errno)));
+      }
+      lock.lock();
+      flusher_active_ = false;
+      if (s.is_ok()) {
+        synced_ticket_ = std::max(synced_ticket_, batch_upto);
+      } else {
+        flush_error_ = s;
+      }
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(lock);
+    }
+  }
+  if (!flush_error_.is_ok()) return flush_error_;
+  max_sequence_ = std::max(max_sequence_, header.sequence);
+  pending_.emplace_back(header.sequence, std::move(wire));
   return Status::ok();
 }
 
 Status ReplicationJournal::mark_acked(std::uint64_t sequence) {
   Byte seq[8];
   store_le64(seq, sequence);
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  // The leader writes the descriptor with the lock released; wait it out so
+  // record bytes never interleave.
+  sync_cv_.wait(lock, [&] { return !flusher_active_; });
+  if (!flush_error_.is_ok()) return flush_error_;
   if (sequence <= acked_) return Status::ok();
   PRINS_RETURN_IF_ERROR(append_record_locked(kRecordAck, seq));
   acked_ = sequence;
@@ -144,11 +198,20 @@ Result<std::vector<ReplicationMessage>> ReplicationJournal::pending() const {
                            ReplicationMessage::decode(wire));
     out.push_back(std::move(message));
   }
+  // Group-committed appends can land in pending_ slightly out of ticket
+  // order; replay must go out in sequence order.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.sequence < b.sequence;
+  });
   return out;
 }
 
 Status ReplicationJournal::checkpoint() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  // Swapping fd_ under a live leader (which writes with the lock released)
+  // would hand it a dead descriptor; staged-but-unsynced records would also
+  // be missed by the rewrite.  Both drain quickly.
+  sync_cv_.wait(lock, [&] { return !flusher_active_ && staging_.empty(); });
   const std::string tmp = path_ + ".tmp";
   int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {

@@ -17,6 +17,7 @@
 // A torn tail record (partial write at crash) is detected and ignored.
 #pragma once
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,15 @@ class ReplicationJournal {
 
   /// Durably record a message before it is queued for sending.
   Status append(const ReplicationMessage& message);
+
+  /// Same, with the payload supplied out-of-line (`header.payload` is
+  /// ignored) — the engine's hot path keeps payloads in pooled buffers and
+  /// never materializes an owning ReplicationMessage.  Concurrent appends
+  /// group-commit: each caller stages its record under the lock, then one
+  /// leader writes and fdatasyncs the whole batch while later arrivals pile
+  /// into the next batch, so N writers share one fsync instead of
+  /// serializing N.
+  Status append(const ReplicationMessage& header, ByteSpan payload);
 
   /// Advance the acknowledgement watermark: everything with
   /// sequence <= `sequence` is confirmed replicated.
@@ -69,6 +79,18 @@ class ReplicationJournal {
   // Pending wire messages by sequence (kept in memory for cheap replay;
   // the file is the durable copy).
   std::vector<std::pair<std::uint64_t, Bytes>> pending_;
+
+  // Group-commit state.  Appenders stage records into `staging_` and take a
+  // ticket; a single leader at a time swaps the staging buffer out and
+  // flushes it with the lock released.  `flush_error_` is sticky: once a
+  // write or sync fails the journal refuses further appends, because a
+  // record's durability can no longer be guaranteed.
+  std::condition_variable sync_cv_;
+  Bytes staging_;
+  std::uint64_t staged_ticket_ = 0;
+  std::uint64_t synced_ticket_ = 0;
+  bool flusher_active_ = false;
+  Status flush_error_ = Status::ok();
 };
 
 }  // namespace prins

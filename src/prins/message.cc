@@ -9,7 +9,7 @@ namespace prins {
 namespace {
 
 constexpr Byte kMagic[4] = {'P', 'R', 'r', 'p'};
-constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 8 + 4;
+constexpr std::size_t kHeaderSize = ReplicationMessage::kWireHeaderSize;
 
 bool valid_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(MessageKind::kWrite) &&
@@ -22,23 +22,48 @@ bool valid_policy(std::uint8_t p) {
 
 }  // namespace
 
+ReplicationMessage MessageView::to_message() const {
+  ReplicationMessage msg;
+  msg.kind = kind;
+  msg.policy = policy;
+  msg.block_size = block_size;
+  msg.lba = lba;
+  msg.sequence = sequence;
+  msg.timestamp_us = timestamp_us;
+  msg.payload = to_bytes(payload);
+  return msg;
+}
+
+void ReplicationMessage::encode_header(MutByteSpan out,
+                                       std::size_t payload_size) const {
+  std::size_t pos = 0;
+  std::copy(std::begin(kMagic), std::end(kMagic), out.begin());
+  pos += 4;
+  out[pos++] = static_cast<Byte>(kind);
+  out[pos++] = static_cast<Byte>(policy);
+  store_le32(out.subspan(pos, 4), block_size);
+  pos += 4;
+  store_le64(out.subspan(pos, 8), lba);
+  pos += 8;
+  store_le64(out.subspan(pos, 8), sequence);
+  pos += 8;
+  store_le64(out.subspan(pos, 8), timestamp_us);
+  pos += 8;
+  store_le32(out.subspan(pos, 4),
+             static_cast<std::uint32_t>(payload_size));
+}
+
 Bytes ReplicationMessage::encode() const {
   Bytes out;
+  out.resize(kHeaderSize);
+  encode_header(out, payload.size());
   out.reserve(kHeaderSize + payload.size() + 4);
-  append(out, kMagic);
-  out.push_back(static_cast<Byte>(kind));
-  out.push_back(static_cast<Byte>(policy));
-  append_le32(out, block_size);
-  append_le64(out, lba);
-  append_le64(out, sequence);
-  append_le64(out, timestamp_us);
-  append_le32(out, static_cast<std::uint32_t>(payload.size()));
   append(out, payload);
   append_le32(out, crc32c(out));
   return out;
 }
 
-Result<ReplicationMessage> ReplicationMessage::decode(ByteSpan wire) {
+Result<MessageView> ReplicationMessage::decode_view(ByteSpan wire) {
   if (wire.size() < kHeaderSize + 4) {
     return corruption("replication message too short");
   }
@@ -49,7 +74,7 @@ Result<ReplicationMessage> ReplicationMessage::decode(ByteSpan wire) {
   if (crc32c(wire.first(wire.size() - 4)) != want_crc) {
     return corruption("replication message crc mismatch");
   }
-  ReplicationMessage msg;
+  MessageView msg;
   std::size_t pos = 4;
   const std::uint8_t kind_raw = wire[pos++];
   if (!valid_kind(kind_raw)) {
@@ -74,8 +99,25 @@ Result<ReplicationMessage> ReplicationMessage::decode(ByteSpan wire) {
   if (wire.size() - 4 - pos != payload_len) {
     return corruption("replication message payload length mismatch");
   }
-  msg.payload = to_bytes(wire.subspan(pos, payload_len));
+  msg.payload = wire.subspan(pos, payload_len);
   return msg;
+}
+
+Result<ReplicationMessage> ReplicationMessage::decode(ByteSpan wire) {
+  PRINS_ASSIGN_OR_RETURN(MessageView view, decode_view(wire));
+  return view.to_message();
+}
+
+MessageView ReplicationMessage::view() const {
+  MessageView v;
+  v.kind = kind;
+  v.policy = policy;
+  v.block_size = block_size;
+  v.lba = lba;
+  v.sequence = sequence;
+  v.timestamp_us = timestamp_us;
+  v.payload = payload;
+  return v;
 }
 
 }  // namespace prins

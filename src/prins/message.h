@@ -46,6 +46,24 @@ enum class NakReason : std::uint8_t {
                        //   cannot apply, send the full block instead
 };
 
+struct ReplicationMessage;
+
+/// Decoded message whose payload is a *view* into the wire buffer — the
+/// zero-copy sibling of ReplicationMessage.  Valid only while the wire
+/// buffer it was decoded from stays alive and unmodified.
+struct MessageView {
+  MessageKind kind = MessageKind::kWrite;
+  ReplicationPolicy policy = ReplicationPolicy::kTraditional;
+  std::uint32_t block_size = 0;
+  Lba lba = 0;
+  std::uint64_t sequence = 0;
+  std::uint64_t timestamp_us = 0;
+  ByteSpan payload;
+
+  /// Deep copy into an owning message.
+  ReplicationMessage to_message() const;
+};
+
 struct ReplicationMessage {
   MessageKind kind = MessageKind::kWrite;
   ReplicationPolicy policy = ReplicationPolicy::kTraditional;
@@ -55,8 +73,27 @@ struct ReplicationMessage {
   std::uint64_t timestamp_us = 0;  // logical write timestamp (drives TRAP)
   Bytes payload;
 
+  /// Bytes of the fixed wire header (magic through payload length); a full
+  /// frame is kWireHeaderSize + payload + 4-byte trailing CRC.
+  static constexpr std::size_t kWireHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 8 + 4;
+
   Bytes encode() const;
+
+  /// Serialize just the header fields into `out` (exactly kWireHeaderSize
+  /// bytes), declaring a payload of `payload_size` bytes.  Lets senders
+  /// frame a message scatter-gather: stack header + payload span + trailing
+  /// CRC via Transport::send_vec, no contiguous copy.  The trailing CRC
+  /// covers header-then-payload, chained with crc32c's seed parameter.
+  void encode_header(MutByteSpan out, std::size_t payload_size) const;
+
+  /// Zero-copy decode: identical validation to decode(), but the returned
+  /// view's payload aliases `wire`.
+  static Result<MessageView> decode_view(ByteSpan wire);
+
   static Result<ReplicationMessage> decode(ByteSpan wire);
+
+  /// View of this message (payload aliases this->payload).
+  MessageView view() const;
 };
 
 }  // namespace prins

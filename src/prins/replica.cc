@@ -26,7 +26,7 @@ Status ReplicaEngine::serve(Transport& transport) {
       std::lock_guard lock(mutex_);
       metrics_.bytes_received += wire->size();
     }
-    auto msg = ReplicationMessage::decode(*wire);
+    auto msg = ReplicationMessage::decode_view(*wire);
     if (!msg.is_ok()) {
       // A torn frame is the link's fault, not the session's: NAK so the
       // primary retransmits.  Sequence 0 = "couldn't even read the header";
@@ -38,13 +38,18 @@ Status ReplicaEngine::serve(Transport& transport) {
       PRINS_RETURN_IF_ERROR(transport.send(nak.encode()));
       continue;
     }
-    PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply, apply(*msg));
+    PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply, apply_view(*msg));
     PRINS_RETURN_IF_ERROR(transport.send(reply.encode()));
   }
 }
 
 Result<ReplicationMessage> ReplicaEngine::apply(
     const ReplicationMessage& message) {
+  return apply_view(message.view());
+}
+
+Result<ReplicationMessage> ReplicaEngine::apply_view(
+    const MessageView& message) {
   switch (message.kind) {
     case MessageKind::kVerifyRequest:
       return apply_verify(message);
@@ -182,7 +187,7 @@ void ReplicaEngine::record_applied_locked(std::uint64_t sequence) {
   }
 }
 
-Status ReplicaEngine::apply_write(const ReplicationMessage& message) {
+Status ReplicaEngine::apply_write(const MessageView& message) {
   if (message.block_size != local_->block_size()) {
     return invalid_argument("message block size " +
                             std::to_string(message.block_size) +
@@ -322,7 +327,7 @@ std::vector<Lba> ReplicaEngine::damaged_blocks() const {
 }
 
 Result<ReplicationMessage> ReplicaEngine::apply_verify(
-    const ReplicationMessage& message) {
+    const MessageView& message) {
   PRINS_ASSIGN_OR_RETURN(std::vector<BlockChecksum> sums,
                          unpack_checksums(message.payload));
   std::vector<std::uint64_t> mismatched;

@@ -77,6 +77,11 @@ class ReplicaEngine {
   /// XOR the write back *out*.
   Result<ReplicationMessage> apply(const ReplicationMessage& message);
 
+  /// Zero-copy variant: the payload span may alias the wire buffer (see
+  /// ReplicationMessage::decode_view), so nothing is copied between recv()
+  /// and the device write.  serve() uses this; apply() wraps it.
+  Result<ReplicationMessage> apply_view(const MessageView& message);
+
   /// Replay the write-intent log after a restart.  A block whose contents
   /// CRC-match one of its intents completed that apply — its sequence (and
   /// its predecessors') re-enter the dedup window so the primary's replay
@@ -104,8 +109,8 @@ class ReplicaEngine {
   BlockDevice& device() { return *local_; }
 
  private:
-  Status apply_write(const ReplicationMessage& message);
-  Result<ReplicationMessage> apply_verify(const ReplicationMessage& message);
+  Status apply_write(const MessageView& message);
+  Result<ReplicationMessage> apply_verify(const MessageView& message);
   bool already_applied_locked(std::uint64_t sequence) const;
   void record_applied_locked(std::uint64_t sequence);
 
