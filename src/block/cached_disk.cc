@@ -54,7 +54,7 @@ Status CachedDisk::read_one(Lba lba, MutByteSpan out) {
   }
   ++stats_.misses;
   PRINS_RETURN_IF_ERROR(inner_->read(lba, out));
-  return insert(lba, to_bytes(out), /*dirty=*/false);
+  return insert(lba, ByteSpan(out.data(), out.size()), /*dirty=*/false);
 }
 
 Status CachedDisk::write_one(Lba lba, ByteSpan data) {
@@ -76,23 +76,26 @@ void CachedDisk::touch(LruList::iterator it) {
 
 Status CachedDisk::insert(Lba lba, ByteSpan data, bool dirty) {
   if (lru_.size() >= config_.capacity_blocks) {
-    PRINS_RETURN_IF_ERROR(evict_lru());
+    // Recycle the victim's node and buffer: splice the LRU tail to the
+    // front and overwrite it in place, so a steady stream of misses pays
+    // neither a list-node allocation nor a fresh block-sized buffer.
+    Entry& victim = lru_.back();
+    if (victim.dirty) {
+      PRINS_RETURN_IF_ERROR(inner_->write(victim.lba, victim.data));
+      ++stats_.writebacks;
+    }
+    ++stats_.evictions;
+    index_.erase(victim.lba);
+    lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+    Entry& slot = lru_.front();
+    slot.lba = lba;
+    slot.data.assign(data.begin(), data.end());
+    slot.dirty = dirty;
+    index_[lba] = lru_.begin();
+    return Status::ok();
   }
   lru_.push_front(Entry{lba, to_bytes(data), dirty});
   index_[lba] = lru_.begin();
-  return Status::ok();
-}
-
-Status CachedDisk::evict_lru() {
-  assert(!lru_.empty());
-  Entry& victim = lru_.back();
-  if (victim.dirty) {
-    PRINS_RETURN_IF_ERROR(inner_->write(victim.lba, victim.data));
-    ++stats_.writebacks;
-  }
-  ++stats_.evictions;
-  index_.erase(victim.lba);
-  lru_.pop_back();
   return Status::ok();
 }
 

@@ -72,9 +72,9 @@ class CachedDisk final : public BlockDevice {
   Status write_one(Lba lba, ByteSpan data);
   /// Move an existing entry to the front (most recent).
   void touch(LruList::iterator it);
-  /// Insert a new entry, evicting if at capacity.
+  /// Insert a new entry; at capacity the LRU victim's node and buffer are
+  /// recycled in place (no allocation on the steady-state miss path).
   Status insert(Lba lba, ByteSpan data, bool dirty);
-  Status evict_lru();
   Status flush_locked();
 
   std::shared_ptr<BlockDevice> inner_;

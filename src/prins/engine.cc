@@ -654,16 +654,46 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
       ++sent;
     }
     std::size_t newly_acked = 0;
-    std::size_t replies = 0;
-    while (result.is_ok() && replies < sent && !all_acked()) {
+    const auto mark_acked = [&](std::size_t i) {
+      acked[i] = true;
+      ++newly_acked;
+      const std::uint64_t ts = batch[i].meta.timestamp_us;
+      if (ts > link.acked_timestamp.load(std::memory_order_relaxed)) {
+        link.acked_timestamp.store(ts, std::memory_order_relaxed);
+      }
+    };
+    // Each sent frame produces exactly one completion at the replica, but
+    // a kAckBatch folds many completions into one frame: count *covered*
+    // completions, not reply frames, to know when the round is answered.
+    std::size_t covered = 0;
+    while (result.is_ok() && covered < sent && !all_acked()) {
       auto reply = recv_reply_locked(link);
       if (!reply.is_ok()) {
         result = reply.status();
         break;
       }
-      ++replies;
       auto ack = ReplicationMessage::decode(*reply);
-      if (!ack.is_ok()) continue;  // torn reply; the retransmit covers it
+      if (!ack.is_ok()) {
+        ++covered;
+        continue;  // torn reply; the retransmit covers it
+      }
+      if (ack->kind == MessageKind::kAckBatch) {
+        auto ranges = unpack_ack_ranges(ack->payload);
+        if (!ranges.is_ok()) {
+          ++covered;
+          continue;  // damaged in flight; retransmit re-acks via dedup
+        }
+        for (const AckRange& range : *ranges) {
+          covered += range.count;
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (!acked[i] && range.covers(batch[i].meta.sequence)) {
+              mark_acked(i);
+            }
+          }
+        }
+        continue;
+      }
+      ++covered;
       if (ack->kind == MessageKind::kNak) {
         // A plain NAK asks for a resend (torn frame); a kNeedFullBlock NAK
         // says the replica's stored block is damaged and a parity delta
@@ -683,15 +713,11 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
         return failed_precondition("replica sent non-ACK reply");
       }
       // Exact-match marking: with loss in play, a cumulative reading of
-      // acks could bury an undelivered write under a later one.
+      // acks could bury an undelivered write under a later one.  (kAckBatch
+      // ranges enumerate every covered sequence, so they are exact too.)
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (!acked[i] && batch[i].meta.sequence == ack->sequence) {
-          acked[i] = true;
-          ++newly_acked;
-          const std::uint64_t ts = batch[i].meta.timestamp_us;
-          if (ts > link.acked_timestamp.load(std::memory_order_relaxed)) {
-            link.acked_timestamp.store(ts, std::memory_order_relaxed);
-          }
+          mark_acked(i);
           break;
         }
       }
@@ -714,15 +740,18 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
     }
     if (!parity) {
       // Whole-block payloads only tolerate in-order redelivery (deltas
-      // commute, full blocks do not): a gap in the acked prefix would
-      // reorder same-LBA writes at the replica.
-      bool seen_unacked = false;
-      for (bool a : acked) {
-        if (!a) {
-          seen_unacked = true;
-        } else if (seen_unacked) {
-          return failed_precondition(
-              "out-of-order ack under a full-block policy");
+      // commute, full blocks do not): an un-acked entry behind an acked
+      // *same-LBA* successor would reorder that block's writes when it is
+      // retransmitted.  Cross-LBA gaps are fine — the replica stripes its
+      // apply workers by LBA, so unrelated blocks ack out of order by
+      // design.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (acked[i]) continue;
+        for (std::size_t j = i + 1; j < batch.size(); ++j) {
+          if (acked[j] && batch[j].meta.lba == batch[i].meta.lba) {
+            return failed_precondition(
+                "out-of-order ack under a full-block policy");
+          }
         }
       }
     }

@@ -76,23 +76,65 @@ WriteIntentLog::~WriteIntentLog() { ::close(fd_); }
 
 Status WriteIntentLog::record(std::uint64_t sequence, std::uint64_t lba,
                               std::uint32_t crc) {
-  Bytes record;
-  record.reserve(kRecordSize);
-  append_le64(record, sequence);
-  append_le64(record, lba);
-  append_le32(record, crc);
-  append_le32(record, crc32c(record));
-  std::lock_guard lock(mutex_);
-  PRINS_RETURN_IF_ERROR(write_all(fd_, record));
-  if (::fdatasync(fd_) != 0) {
-    return io_error("intent fdatasync: " + std::string(std::strerror(errno)));
+  std::unique_lock lock(mutex_);
+  if (!flush_error_.is_ok()) return flush_error_;
+
+  // Stage the record and take a ticket; the flush that covers the ticket
+  // makes it durable.
+  const std::size_t at = staging_.size();
+  staging_.resize(at + kRecordSize);
+  MutByteSpan record = MutByteSpan(staging_).subspan(at, kRecordSize);
+  store_le64(record.first(8), sequence);
+  store_le64(record.subspan(8, 8), lba);
+  store_le32(record.subspan(16, 4), crc);
+  store_le32(record.subspan(20, 4), crc32c(record.first(20)));
+  staged_intents_.push_back({sequence, lba, crc});
+  const std::uint64_t my_ticket = ++staged_ticket_;
+
+  // Group commit: the first appender to find no flush in progress becomes
+  // the leader and syncs everything staged so far (including records from
+  // appenders now waiting); the rest sleep until their ticket is covered.
+  while (synced_ticket_ < my_ticket && flush_error_.is_ok()) {
+    if (!flusher_active_) {
+      flusher_active_ = true;
+      Bytes batch = std::move(staging_);
+      staging_ = Bytes();
+      std::vector<Intent> intents = std::move(staged_intents_);
+      staged_intents_.clear();
+      const std::uint64_t batch_upto = staged_ticket_;
+      const int fd = fd_;
+      lock.unlock();
+      Status s = write_all(fd, batch);
+      if (s.is_ok() && ::fdatasync(fd) != 0) {
+        s = io_error("intent fdatasync: " + std::string(std::strerror(errno)));
+      }
+      lock.lock();
+      flusher_active_ = false;
+      if (s.is_ok()) {
+        synced_ticket_ = std::max(synced_ticket_, batch_upto);
+        stats_.fsyncs += 1;
+        stats_.records += intents.size();
+        pending_.insert(pending_.end(), intents.begin(), intents.end());
+      } else {
+        flush_error_ = s;
+      }
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(lock);
+    }
   }
-  pending_.push_back({sequence, lba, crc});
-  return Status::ok();
+  return flush_error_;
 }
 
 Status WriteIntentLog::checkpoint() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  // Wait out any in-flight flush (its bytes would land after the truncate
+  // and resurrect stale intents); staged-but-unsynced records ride along.
+  sync_cv_.wait(lock, [this] {
+    return !flusher_active_ &&
+           (staged_ticket_ == synced_ticket_ || !flush_error_.is_ok());
+  });
+  if (!flush_error_.is_ok()) return flush_error_;
   if (::ftruncate(fd_, 4) != 0) {
     return io_error("intent ftruncate: " + std::string(std::strerror(errno)));
   }
@@ -114,6 +156,11 @@ std::vector<WriteIntentLog::Intent> WriteIntentLog::pending() const {
 std::size_t WriteIntentLog::pending_count() const {
   std::lock_guard lock(mutex_);
   return pending_.size();
+}
+
+WriteIntentLog::Stats WriteIntentLog::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
 }
 
 }  // namespace prins

@@ -10,6 +10,13 @@
 // would undo it) or it doesn't (the apply was torn or never started; the
 // block must be re-fetched in full, not patched).
 //
+// record() group-commits: concurrent appenders stage their records into a
+// shared buffer and the first to find no flush in progress syncs everything
+// staged so far under a single fdatasync (same shape as the journal's group
+// commit), so N parallel apply workers pay ~1 fsync per batch instead of
+// one each.  Every record() still returns only after *its* record is
+// durable.
+//
 // File format: magic "PRwi" then fixed 24-byte records
 //   sequence (8) | lba (8) | crc of new block (4) | crc32c of the first 20 (4)
 // appended with fdatasync.  A torn tail record fails its own CRC and is
@@ -17,6 +24,7 @@
 // device has been flushed.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,6 +44,13 @@ class WriteIntentLog {
     std::uint32_t crc = 0;  // CRC-32C the block will have once applied
   };
 
+  struct Stats {
+    std::uint64_t records = 0;  // intents durably recorded
+    std::uint64_t fsyncs = 0;   // fdatasync calls that covered them; the
+                                // ratio records/fsyncs is the group-commit
+                                // amortization factor
+  };
+
   /// Open (creating if needed) the log at `path` and scan surviving
   /// intents.  A torn or corrupt tail record is dropped silently.
   static Result<std::unique_ptr<WriteIntentLog>> open(const std::string& path);
@@ -44,11 +59,15 @@ class WriteIntentLog {
   WriteIntentLog(const WriteIntentLog&) = delete;
   WriteIntentLog& operator=(const WriteIntentLog&) = delete;
 
-  /// Durably record an intent.  Returns only after fdatasync.
+  /// Durably record an intent.  Returns only after an fdatasync covering
+  /// this record (possibly issued by a concurrent record() call — group
+  /// commit).  A failed flush is sticky: every waiter and every later call
+  /// sees the error.
   Status record(std::uint64_t sequence, std::uint64_t lba, std::uint32_t crc);
 
   /// Drop all intents (the data device is flushed; every recorded apply is
-  /// durable).  Truncates the file.
+  /// durable).  Truncates the file.  Waits out any in-flight group flush so
+  /// record bytes never land after the truncate.
   Status checkpoint();
 
   /// Intents on file, oldest first (survivors of the open() scan plus any
@@ -56,13 +75,26 @@ class WriteIntentLog {
   std::vector<Intent> pending() const;
   std::size_t pending_count() const;
 
+  Stats stats() const;
+
  private:
   WriteIntentLog(int fd, std::string path);
 
   int fd_;
   const std::string path_;
   mutable std::mutex mutex_;
+  std::condition_variable sync_cv_;
   std::vector<Intent> pending_;
+  // Group-commit state: records staged since the last flush, the ticket of
+  // the newest staged record, and the ticket covered by the last successful
+  // fdatasync.  staged intents join pending_ only once durable.
+  Bytes staging_;
+  std::vector<Intent> staged_intents_;
+  std::uint64_t staged_ticket_ = 0;
+  std::uint64_t synced_ticket_ = 0;
+  bool flusher_active_ = false;
+  Status flush_error_ = Status::ok();
+  Stats stats_;
 };
 
 }  // namespace prins

@@ -13,7 +13,7 @@ constexpr std::size_t kHeaderSize = ReplicationMessage::kWireHeaderSize;
 
 bool valid_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(MessageKind::kWrite) &&
-         k <= static_cast<std::uint8_t>(MessageKind::kReadBlockReply);
+         k <= static_cast<std::uint8_t>(MessageKind::kAckBatch);
 }
 
 bool valid_policy(std::uint8_t p) {
@@ -21,6 +21,54 @@ bool valid_policy(std::uint8_t p) {
 }
 
 }  // namespace
+
+Bytes pack_ack_ranges(const std::vector<AckRange>& ranges) {
+  Bytes out;
+  out.reserve(4 + ranges.size() * 12);
+  append_le32(out, static_cast<std::uint32_t>(ranges.size()));
+  for (const AckRange& range : ranges) {
+    append_le64(out, range.first_sequence);
+    append_le32(out, range.count);
+  }
+  return out;
+}
+
+Result<std::vector<AckRange>> unpack_ack_ranges(ByteSpan payload) {
+  if (payload.size() < 4) return corruption("ack batch payload too short");
+  const std::uint32_t count = load_le32(payload.first(4));
+  if (payload.size() != 4 + static_cast<std::size_t>(count) * 12) {
+    return corruption("ack batch payload length mismatch");
+  }
+  std::vector<AckRange> ranges;
+  ranges.reserve(count);
+  std::size_t pos = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AckRange range;
+    range.first_sequence = load_le64(payload.subspan(pos, 8));
+    range.count = load_le32(payload.subspan(pos + 8, 4));
+    if (range.count == 0) return corruption("empty ack range");
+    ranges.push_back(range);
+    pos += 12;
+  }
+  return ranges;
+}
+
+std::vector<AckRange> coalesce_ack_ranges(std::vector<std::uint64_t>& acked) {
+  std::sort(acked.begin(), acked.end());
+  std::vector<AckRange> ranges;
+  for (std::uint64_t sequence : acked) {
+    if (!ranges.empty()) {
+      AckRange& last = ranges.back();
+      if (last.covers(sequence)) continue;  // duplicate completion
+      if (sequence == last.first_sequence + last.count) {
+        ++last.count;
+        continue;
+      }
+    }
+    ranges.push_back(AckRange{sequence, 1});
+  }
+  return ranges;
+}
 
 ReplicationMessage MessageView::to_message() const {
   ReplicationMessage msg;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -36,6 +37,9 @@ enum class MessageKind : std::uint8_t {
   kReadBlockRequest = 12,  // primary -> replica: send back block `lba`
   kReadBlockReply = 13,    // replica -> primary: payload = codec frame of
                            //   the requested block's contents
+  kAckBatch = 14,          // replica -> primary: payload = packed sequence
+                           //   ranges, each applied (cumulative-plus-holes
+                           //   ack); `sequence` = newest covered sequence
 };
 
 /// Optional first payload byte of a kNak, telling the primary how to
@@ -45,6 +49,27 @@ enum class NakReason : std::uint8_t {
   kNeedFullBlock = 1,  // replica's stored A_old is damaged: a parity delta
                        //   cannot apply, send the full block instead
 };
+
+/// One contiguous run of applied sequences inside a kAckBatch payload.
+/// The replica's ack stage coalesces per-worker completions into runs;
+/// holes between runs are sequences still in flight (or NAK'd separately).
+struct AckRange {
+  std::uint64_t first_sequence = 0;
+  std::uint32_t count = 0;
+
+  bool covers(std::uint64_t sequence) const {
+    return sequence >= first_sequence && sequence - first_sequence < count;
+  }
+};
+
+/// kAckBatch payload codec: u32 range count, then per range u64 first
+/// sequence + u32 run length.
+Bytes pack_ack_ranges(const std::vector<AckRange>& ranges);
+Result<std::vector<AckRange>> unpack_ack_ranges(ByteSpan payload);
+
+/// Collapse a set of acked sequences into minimal ranges.  Sorts `acked`
+/// in place; duplicates merge into their run.
+std::vector<AckRange> coalesce_ack_ranges(std::vector<std::uint64_t>& acked);
 
 struct ReplicationMessage;
 

@@ -1,26 +1,263 @@
 #include "prins/replica.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
 #include <map>
 #include <thread>
 
+#include "block/cached_disk.h"
 #include "codec/codec.h"
+#include "common/buffer_pool.h"
 #include "common/crc32c.h"
+#include "common/endian.h"
 #include "common/logging.h"
 #include "parity/xor.h"
 #include "prins/verify.h"
 
 namespace prins {
+namespace {
+
+std::size_t resolve_apply_shards(std::size_t requested) {
+  std::size_t n = requested;
+  if (n == 0) {
+    if (const char* env = std::getenv("PRINS_APPLY_SHARDS")) {
+      n = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+    if (n == 0) n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  n = std::min<std::size_t>(n, 32);
+  std::size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+
+/// Frame a reply scatter-gather (stack header + payload span + chained-CRC
+/// trailer), the same shape as the primary's send_entry path: no flat
+/// encode, no contiguous copy.
+Status send_framed(Transport& transport, const ReplicationMessage& meta,
+                   ByteSpan payload) {
+  Byte header[ReplicationMessage::kWireHeaderSize];
+  meta.encode_header(header, payload.size());
+  std::uint32_t crc = crc32c(ByteSpan(header));
+  crc = crc32c(payload, crc);
+  Byte trailer[4];
+  store_le32(trailer, crc);
+  const ByteSpan parts[] = {ByteSpan(header), payload, ByteSpan(trailer)};
+  return transport.send_vec(parts);
+}
+
+bool is_write_kind(MessageKind kind) {
+  return kind == MessageKind::kWrite || kind == MessageKind::kSyncBlock ||
+         kind == MessageKind::kRepairBlock;
+}
+
+}  // namespace
 
 ReplicaEngine::ReplicaEngine(std::shared_ptr<BlockDevice> local,
                              ReplicaConfig config)
-    : local_(std::move(local)), config_(config) {}
+    : local_(std::move(local)), config_(config) {
+  config_.apply_shards = resolve_apply_shards(config_.apply_shards);
+  if (config_.apply_queue_capacity == 0) config_.apply_queue_capacity = 1;
+  if (config_.ack_coalesce_max == 0) config_.ack_coalesce_max = 1;
+  shards_.reserve(config_.apply_shards);
+  for (std::size_t i = 0; i < config_.apply_shards; ++i) {
+    shards_.push_back(std::make_unique<ApplyShard>());
+  }
+  if (config_.old_block_cache_blocks > 0) {
+    cache_ = std::make_shared<CachedDisk>(
+        local_, CacheConfig{config_.old_block_cache_blocks,
+                            /*write_back=*/false});
+    apply_dev_ = cache_;
+  } else {
+    apply_dev_ = local_;
+  }
+}
+
+ReplicaEngine::~ReplicaEngine() = default;
 
 Status ReplicaEngine::serve(Transport& transport) {
+  // ---- Pipeline plumbing, all scoped to this connection. ----------------
+  struct WorkItem {
+    Bytes wire;        // owning buffer; view.payload aliases it
+    MessageView view;
+  };
+  struct ShardQueue {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<WorkItem> q;
+    bool closed = false;
+  };
+  struct Completion {
+    std::uint64_t sequence = 0;
+    Lba lba = 0;
+    ApplyOutcome outcome = ApplyOutcome::kApplied;
+  };
+  struct AckQueue {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Completion> q;
+    bool closed = false;
+  };
+
+  const std::size_t nshards = shards_.size();
+  std::vector<ShardQueue> queues(nshards);
+  AckQueue acks;
+  std::mutex send_mutex;          // one reply frame on the wire at a time
+  std::mutex error_mutex;
+  Status session_error;           // first fatal error from any stage
+  std::atomic<std::size_t> in_flight{0};  // dispatched, not yet completed
+  std::mutex idle_mutex;
+  std::condition_variable idle_cv;
+
+  auto fail_session = [&](const Status& s) {
+    {
+      std::lock_guard lock(error_mutex);
+      if (session_error.is_ok()) session_error = s;
+    }
+    transport.close();  // wake the demux stage out of recv()
+  };
+
+  auto send_reply = [&](const ReplicationMessage& meta, ByteSpan payload) {
+    std::lock_guard lock(send_mutex);
+    return send_framed(transport, meta, payload);
+  };
+
+  // ---- Apply workers: one per LBA stripe, FIFO per stripe. --------------
+  auto worker_loop = [&](std::size_t index) {
+    ShardQueue& queue = queues[index];
+    for (;;) {
+      WorkItem item;
+      {
+        std::unique_lock lock(queue.m);
+        queue.cv.wait(lock, [&] { return !queue.q.empty() || queue.closed; });
+        if (queue.q.empty()) break;  // closed and drained
+        item = std::move(queue.q.front());
+        queue.q.pop_front();
+      }
+      queue.cv.notify_all();  // demux may be blocked on capacity
+      auto outcome = apply_write_message(item.view);
+      if (outcome.is_ok()) {
+        {
+          std::lock_guard lock(acks.m);
+          acks.q.push_back(
+              Completion{item.view.sequence, item.view.lba, *outcome});
+        }
+        acks.cv.notify_one();
+      } else {
+        fail_session(outcome.status());
+      }
+      if (in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(idle_mutex);
+        idle_cv.notify_all();
+      }
+    }
+  };
+
+  // ---- Ack stage: coalesce completions into cumulative ack frames. ------
+  auto ack_loop = [&] {
+    BufferPool payload_pool(4 + config_.ack_coalesce_max * 12, 4);
+    std::vector<Completion> batch;
+    std::vector<std::uint64_t> acked;
+    for (;;) {
+      batch.clear();
+      {
+        std::unique_lock lock(acks.m);
+        acks.cv.wait(lock, [&] { return !acks.q.empty() || acks.closed; });
+        if (acks.q.empty()) break;  // closed and drained
+        const std::size_t take =
+            std::min(acks.q.size(), config_.ack_coalesce_max);
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(acks.q.front());
+          acks.q.pop_front();
+        }
+      }
+      acked.clear();
+      Lba last_lba = 0;
+      std::uint64_t newest = 0;
+      Status sent = Status::ok();
+      for (const Completion& c : batch) {
+        if (c.outcome == ApplyOutcome::kApplied) {
+          acked.push_back(c.sequence);
+          if (c.sequence >= newest) {
+            newest = c.sequence;
+            last_lba = c.lba;
+          }
+          continue;
+        }
+        // NAKs are the holes: they stay individual frames so the primary
+        // can match each to its entry (and read the reason byte).
+        ReplicationMessage nak;
+        nak.kind = MessageKind::kNak;
+        nak.sequence = c.sequence;
+        nak.lba = c.lba;
+        Byte reason = static_cast<Byte>(NakReason::kNeedFullBlock);
+        const ByteSpan payload =
+            c.outcome == ApplyOutcome::kNakFullBlock ? ByteSpan(&reason, 1)
+                                                     : ByteSpan();
+        sent = send_reply(nak, payload);
+        if (!sent.is_ok()) break;
+      }
+      if (sent.is_ok() && acked.size() == 1) {
+        // A lone completion acks plainly — byte-compatible with the
+        // one-frame-at-a-time resync and heal exchanges.
+        ReplicationMessage ack;
+        ack.kind = MessageKind::kAck;
+        ack.sequence = acked[0];
+        ack.lba = last_lba;
+        sent = send_reply(ack, {});
+      } else if (sent.is_ok() && acked.size() > 1) {
+        const std::vector<AckRange> ranges = coalesce_ack_ranges(acked);
+        PooledBuffer payload = payload_pool.acquire(0);
+        Bytes& bytes = payload.mutable_bytes();
+        bytes.clear();
+        append_le32(bytes, static_cast<std::uint32_t>(ranges.size()));
+        for (const AckRange& range : ranges) {
+          append_le64(bytes, range.first_sequence);
+          append_le32(bytes, range.count);
+        }
+        ReplicationMessage ack;
+        ack.kind = MessageKind::kAckBatch;
+        ack.sequence = newest;
+        ack.lba = last_lba;
+        sent = send_reply(ack, bytes);
+        if (sent.is_ok()) {
+          std::lock_guard lock(mutex_);
+          metrics_.ack_batches += 1;
+          metrics_.acks_batched += acked.size();
+        }
+      }
+      if (!sent.is_ok()) {
+        // The peer hanging up mid-ack is a clean end of session (the demux
+        // sees the same close); anything else is fatal.
+        if (sent.code() != ErrorCode::kUnavailable) fail_session(sent);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i) workers.emplace_back(worker_loop, i);
+  std::thread ack_thread(ack_loop);
+
+  auto quiesce = [&] {
+    std::unique_lock lock(idle_mutex);
+    idle_cv.wait(lock, [&] {
+      return in_flight.load(std::memory_order_acquire) == 0;
+    });
+  };
+
+  // ---- Demux stage: decode once, stripe by LBA. -------------------------
+  Status result = Status::ok();
   for (;;) {
     auto wire = transport.recv();
     if (!wire.is_ok()) {
-      return wire.status().code() == ErrorCode::kUnavailable ? Status::ok()
-                                                             : wire.status();
+      if (wire.status().code() != ErrorCode::kUnavailable) {
+        result = wire.status();
+      }
+      break;
     }
     {
       std::lock_guard lock(mutex_);
@@ -31,16 +268,68 @@ Status ReplicaEngine::serve(Transport& transport) {
       // A torn frame is the link's fault, not the session's: NAK so the
       // primary retransmits.  Sequence 0 = "couldn't even read the header";
       // the primary resends everything un-acked and dedup absorbs overlap.
-      std::lock_guard lock(mutex_);
-      metrics_.naks_sent += 1;
+      {
+        std::lock_guard lock(mutex_);
+        metrics_.naks_sent += 1;
+      }
       ReplicationMessage nak;
       nak.kind = MessageKind::kNak;
-      PRINS_RETURN_IF_ERROR(transport.send(nak.encode()));
+      if (Status s = send_reply(nak, {}); !s.is_ok()) {
+        result = s;
+        break;
+      }
       continue;
     }
-    PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply, apply_view(*msg));
-    PRINS_RETURN_IF_ERROR(transport.send(reply.encode()));
+    if (is_write_kind(msg->kind)) {
+      // Moving the owning Bytes relocates the vector header only; the heap
+      // bytes the view's payload aliases stay put.
+      ShardQueue& queue = queues[msg->lba & (nshards - 1)];
+      std::unique_lock lock(queue.m);
+      queue.cv.wait(lock, [&] {
+        return queue.q.size() < config_.apply_queue_capacity;
+      });
+      in_flight.fetch_add(1, std::memory_order_acq_rel);
+      queue.q.push_back(WorkItem{std::move(*wire), *msg});
+      const std::uint64_t depth = queue.q.size();
+      lock.unlock();
+      queue.cv.notify_all();
+      std::uint64_t peak = apply_queue_peak_.load(std::memory_order_relaxed);
+      while (depth > peak && !apply_queue_peak_.compare_exchange_weak(
+                                 peak, depth, std::memory_order_relaxed)) {
+      }
+      continue;
+    }
+    // Barriers, verifies, hashes, hellos, read-blocks: rare control frames
+    // whose answers must observe every prior write — drain the pipeline,
+    // then handle inline.
+    quiesce();
+    auto reply = apply_view(*msg);
+    if (!reply.is_ok()) {
+      result = reply.status();
+      break;
+    }
+    if (Status s = send_reply(*reply, reply->payload); !s.is_ok()) {
+      result = s;
+      break;
+    }
   }
+
+  // ---- Teardown: drain workers, then the ack stage. ---------------------
+  for (ShardQueue& queue : queues) {
+    std::lock_guard lock(queue.m);
+    queue.closed = true;
+    queue.cv.notify_all();
+  }
+  for (std::thread& worker : workers) worker.join();
+  {
+    std::lock_guard lock(acks.m);
+    acks.closed = true;
+    acks.cv.notify_all();
+  }
+  ack_thread.join();
+
+  std::lock_guard lock(error_mutex);
+  return session_error.is_ok() ? result : session_error;
 }
 
 Result<ReplicationMessage> ReplicaEngine::apply(
@@ -72,40 +361,17 @@ Result<ReplicationMessage> ReplicaEngine::apply_view(
     case MessageKind::kWrite:
     case MessageKind::kSyncBlock:
     case MessageKind::kRepairBlock: {
-      {
-        std::lock_guard lock(mutex_);
-        if (already_applied_locked(message.sequence)) {
-          metrics_.duplicates_dropped += 1;
-          break;  // ACK again; do NOT re-apply (XOR would undo the write)
-        }
-      }
-      Status applied = apply_write(message);
-      if (applied.code() == ErrorCode::kCorruption ||
-          applied.code() == ErrorCode::kDataCorruption) {
-        // kCorruption: the payload survived the header CRC but its codec
-        // frame is bad — bounce it back for a resend.  kDataCorruption:
-        // our stored A_old is torn or rotten, so resending the same parity
-        // delta can never succeed — ask for the full block instead.
-        std::lock_guard lock(mutex_);
-        metrics_.naks_sent += 1;
+      PRINS_ASSIGN_OR_RETURN(ApplyOutcome outcome,
+                             apply_write_message(message));
+      if (outcome != ApplyOutcome::kApplied) {
         ReplicationMessage nak;
         nak.kind = MessageKind::kNak;
         nak.sequence = message.sequence;
         nak.lba = message.lba;
-        if (applied.code() == ErrorCode::kDataCorruption) {
-          nak.payload.push_back(
-              static_cast<Byte>(NakReason::kNeedFullBlock));
-          metrics_.full_repairs_requested += 1;
+        if (outcome == ApplyOutcome::kNakFullBlock) {
+          nak.payload.push_back(static_cast<Byte>(NakReason::kNeedFullBlock));
         }
         return nak;
-      }
-      PRINS_RETURN_IF_ERROR(applied);
-      std::lock_guard lock(mutex_);
-      record_applied_locked(message.sequence);
-      if (message.kind == MessageKind::kWrite ||
-          message.kind == MessageKind::kRepairBlock) {
-        applied_timestamp_us_ =
-            std::max(applied_timestamp_us_, message.timestamp_us);
       }
       break;
     }
@@ -115,9 +381,10 @@ Result<ReplicationMessage> ReplicaEngine::apply_view(
       Status read = message.lba < local_->num_blocks()
                         ? local_->read(message.lba, block)
                         : out_of_range("no such block");
-      {
-        std::lock_guard lock(mutex_);
-        if (read.is_ok() && damaged_.count(message.lba) != 0) {
+      if (read.is_ok()) {
+        ApplyShard& shard = shard_for(message.lba);
+        std::lock_guard lock(shard.mutex);
+        if (shard.damaged.count(message.lba) != 0) {
           read = corruption_error("block awaits repair here too");
         }
       }
@@ -138,14 +405,11 @@ Result<ReplicationMessage> ReplicaEngine::apply_view(
       return reply;
     }
     case MessageKind::kBarrier:
-      // In-order processing makes the barrier itself a no-op for ordering,
-      // but it is the durability point: settle the device before dropping
-      // the intents that guard it.
+      // The pipeline quiesces before a barrier reaches here, making it the
+      // durability point: settle the device before dropping the intents
+      // that guard it.
       if (config_.intent_log) {
-        PRINS_RETURN_IF_ERROR(local_->flush());
-        PRINS_RETURN_IF_ERROR(config_.intent_log->checkpoint());
-        std::lock_guard lock(mutex_);
-        applies_since_checkpoint_ = 0;
+        PRINS_RETURN_IF_ERROR(checkpoint_intents());
       }
       break;
     case MessageKind::kHello: {
@@ -154,11 +418,11 @@ Result<ReplicationMessage> ReplicaEngine::apply_view(
       ReplicationMessage ack;
       ack.kind = MessageKind::kAck;
       ack.sequence = message.sequence;
-      std::lock_guard lock(mutex_);
-      ack.timestamp_us = applied_timestamp_us_;
+      ack.timestamp_us = applied_timestamp_us_.load(std::memory_order_acquire);
       return ack;
     }
     case MessageKind::kAck:
+    case MessageKind::kAckBatch:
     case MessageKind::kVerifyReply:
     case MessageKind::kHashReply:
     case MessageKind::kNak:
@@ -172,22 +436,71 @@ Result<ReplicationMessage> ReplicaEngine::apply_view(
   return ack;
 }
 
-bool ReplicaEngine::already_applied_locked(std::uint64_t sequence) const {
-  return sequence != 0 && applied_set_.count(sequence) != 0;
+bool ReplicaEngine::already_applied(const ApplyShard& shard,
+                                    std::uint64_t sequence) {
+  return sequence != 0 && shard.applied_set.count(sequence) != 0;
 }
 
-void ReplicaEngine::record_applied_locked(std::uint64_t sequence) {
+void ReplicaEngine::record_applied(ApplyShard& shard, std::uint64_t sequence) {
   if (sequence == 0) return;
   constexpr std::size_t kDedupWindow = 65536;
-  if (!applied_set_.insert(sequence).second) return;
-  applied_fifo_.push_back(sequence);
-  if (applied_fifo_.size() > kDedupWindow) {
-    applied_set_.erase(applied_fifo_.front());
-    applied_fifo_.pop_front();
+  if (!shard.applied_set.insert(sequence).second) return;
+  shard.applied_fifo.push_back(sequence);
+  if (shard.applied_fifo.size() > kDedupWindow) {
+    shard.applied_set.erase(shard.applied_fifo.front());
+    shard.applied_fifo.pop_front();
   }
 }
 
-Status ReplicaEngine::apply_write(const MessageView& message) {
+void ReplicaEngine::bump_timestamp(std::uint64_t timestamp_us) {
+  std::uint64_t prev = applied_timestamp_us_.load(std::memory_order_relaxed);
+  while (timestamp_us > prev &&
+         !applied_timestamp_us_.compare_exchange_weak(
+             prev, timestamp_us, std::memory_order_acq_rel)) {
+  }
+}
+
+Result<ReplicaEngine::ApplyOutcome> ReplicaEngine::apply_write_message(
+    const MessageView& message) {
+  ApplyShard& shard = shard_for(message.lba);
+  bool checkpoint_due = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    if (already_applied(shard, message.sequence)) {
+      std::lock_guard metrics_lock(mutex_);
+      metrics_.duplicates_dropped += 1;
+      return ApplyOutcome::kApplied;  // ACK again; re-XOR would undo it
+    }
+    Status applied = apply_write_locked(shard, message, &checkpoint_due);
+    if (applied.code() == ErrorCode::kCorruption ||
+        applied.code() == ErrorCode::kDataCorruption) {
+      // kCorruption: the payload survived the header CRC but its codec
+      // frame is bad — bounce it back for a resend.  kDataCorruption:
+      // our stored A_old is torn or rotten, so resending the same parity
+      // delta can never succeed — ask for the full block instead.
+      std::lock_guard metrics_lock(mutex_);
+      metrics_.naks_sent += 1;
+      if (applied.code() == ErrorCode::kDataCorruption) {
+        metrics_.full_repairs_requested += 1;
+        return ApplyOutcome::kNakFullBlock;
+      }
+      return ApplyOutcome::kNakResend;
+    }
+    PRINS_RETURN_IF_ERROR(applied);
+    record_applied(shard, message.sequence);
+    if (message.kind == MessageKind::kWrite ||
+        message.kind == MessageKind::kRepairBlock) {
+      bump_timestamp(message.timestamp_us);
+    }
+  }
+  // Checkpoint outside the shard lock: it locks *all* shards to quiesce.
+  if (checkpoint_due) PRINS_RETURN_IF_ERROR(checkpoint_intents());
+  return ApplyOutcome::kApplied;
+}
+
+Status ReplicaEngine::apply_write_locked(ApplyShard& shard,
+                                         const MessageView& message,
+                                         bool* checkpoint_due) {
   if (message.block_size != local_->block_size()) {
     return invalid_argument("message block size " +
                             std::to_string(message.block_size) +
@@ -202,25 +515,22 @@ Status ReplicaEngine::apply_write(const MessageView& message) {
 
   const bool parity = message.kind == MessageKind::kWrite &&
                       ships_parity(message.policy);
-  {
-    std::lock_guard lock(mutex_);
-    if (parity && damaged_.count(message.lba) != 0) {
-      return corruption_error("block " + std::to_string(message.lba) +
-                              " is damaged; parity cannot apply");
-    }
+  if (parity && shard.damaged.count(message.lba) != 0) {
+    return corruption_error("block " + std::to_string(message.lba) +
+                            " is damaged; parity cannot apply");
   }
 
   Bytes new_block;
   Bytes delta;
   if (parity) {
-    // Backward parity computation: A_new = P' ⊕ A_old.
+    // Backward parity computation: A_new = P' ⊕ A_old.  The old-block
+    // cache (apply_dev_) turns a hot LBA's read into a memcpy.
     Bytes old_block(message.block_size);
-    Status old_read = local_->read(message.lba, old_block);
+    Status old_read = apply_dev_->read(message.lba, old_block);
     if (old_read.code() == ErrorCode::kDataCorruption) {
       // A_old failed its checksum: remember the damage so every delta to
       // this LBA bounces until a full-contents write repairs it.
-      std::lock_guard lock(mutex_);
-      damaged_.insert(message.lba);
+      shard.damaged.insert(message.lba);
     }
     PRINS_RETURN_IF_ERROR(old_read);
     delta = std::move(raw);
@@ -230,7 +540,7 @@ Status ReplicaEngine::apply_write(const MessageView& message) {
     new_block = std::move(raw);
     if (config_.keep_trap_log && message.kind == MessageKind::kWrite) {
       Bytes old_block(message.block_size);
-      Status old_read = local_->read(message.lba, old_block);
+      Status old_read = apply_dev_->read(message.lba, old_block);
       if (old_read.is_ok()) {
         delta = parity_delta(new_block, old_block);
       } else if (old_read.code() != ErrorCode::kDataCorruption) {
@@ -243,40 +553,55 @@ Status ReplicaEngine::apply_write(const MessageView& message) {
 
   // Durable intent before the in-place write: after a crash, the CRC tells
   // a completed apply (dedup its redelivery) from a torn one (NAK for a
-  // full-block repair).
+  // full-block repair).  record() group-commits, so concurrent shard
+  // workers share one fdatasync.
   if (config_.intent_log) {
     PRINS_RETURN_IF_ERROR(config_.intent_log->record(
         message.sequence, message.lba, crc32c(new_block)));
   }
 
-  PRINS_RETURN_IF_ERROR(local_->write(message.lba, new_block));
+  PRINS_RETURN_IF_ERROR(apply_dev_->write(message.lba, new_block));
 
   if (config_.keep_trap_log && message.kind == MessageKind::kWrite &&
       !delta.empty()) {
+    std::lock_guard trap_lock(trap_mutex_);
     PRINS_RETURN_IF_ERROR(
         trap_log_.append(message.lba, message.timestamp_us, delta));
   }
 
-  bool checkpoint_due = false;
+  shard.damaged.erase(message.lba);  // full contents (or a clean apply) landed
   {
     std::lock_guard lock(mutex_);
-    damaged_.erase(message.lba);  // full contents (or a clean apply) landed
     metrics_.writes_applied += (message.kind == MessageKind::kWrite);
     metrics_.parity_applies += parity;
     metrics_.sync_blocks += (message.kind == MessageKind::kSyncBlock);
     metrics_.repairs += (message.kind == MessageKind::kRepairBlock);
-    if (config_.intent_log && config_.intent_checkpoint_every > 0 &&
-        ++applies_since_checkpoint_ >= config_.intent_checkpoint_every) {
-      applies_since_checkpoint_ = 0;
-      checkpoint_due = true;
+  }
+  if (config_.intent_log && config_.intent_checkpoint_every > 0) {
+    const std::uint64_t applies =
+        applies_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (applies >= config_.intent_checkpoint_every) {
+      applies_since_checkpoint_.store(0, std::memory_order_relaxed);
+      *checkpoint_due = true;
     }
   }
-  if (checkpoint_due) {
-    // Settle the data writes first; only then is it safe to forget the
-    // intents that would re-detect them.
-    PRINS_RETURN_IF_ERROR(local_->flush());
-    PRINS_RETURN_IF_ERROR(config_.intent_log->checkpoint());
-  }
+  return Status::ok();
+}
+
+Status ReplicaEngine::checkpoint_intents() {
+  if (!config_.intent_log) return Status::ok();
+  std::lock_guard checkpoint_lock(checkpoint_mutex_);
+  // Quiesce by locking every shard (index order; applies take exactly one):
+  // no apply can sit between its intent record and its device write while
+  // the log truncates.
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(shards_.size());
+  for (auto& shard : shards_) held.emplace_back(shard->mutex);
+  // Settle the data writes first; only then is it safe to forget the
+  // intents that would re-detect them.
+  PRINS_RETURN_IF_ERROR(apply_dev_->flush());
+  PRINS_RETURN_IF_ERROR(config_.intent_log->checkpoint());
+  applies_since_checkpoint_.store(0, std::memory_order_relaxed);
   return Status::ok();
 }
 
@@ -292,19 +617,21 @@ Result<std::vector<Lba>> ReplicaEngine::recover_intents() {
     if (lba >= local_->num_blocks()) continue;
     const Status read = local_->read(lba, block);
     const std::uint32_t crc = read.is_ok() ? crc32c(block) : 0;
-    // Applies are sequential, so the *newest* intent the contents match
-    // tells how far the stream got: everything up to it completed (dedup
-    // those sequences — re-XOR would undo them), everything after it never
-    // ran and will be redelivered.  Matching nothing means the block is
-    // torn — or an apply stopped between intent and write, which is
-    // indistinguishable and equally unsafe to patch with a delta.
+    // Same-LBA applies are serialized (their shard orders them), so the
+    // *newest* intent the contents match tells how far that block's stream
+    // got: everything up to it completed (dedup those sequences — re-XOR
+    // would undo them), everything after it never ran and will be
+    // redelivered.  Matching nothing means the block is torn — or an apply
+    // stopped between intent and write, which is indistinguishable and
+    // equally unsafe to patch with a delta.
+    ApplyShard& shard = shard_for(lba);
     bool matched = false;
     if (read.is_ok()) {
       for (std::size_t i = intents.size(); i-- > 0;) {
         if (intents[i].crc == crc) {
-          std::lock_guard lock(mutex_);
+          std::lock_guard lock(shard.mutex);
           for (std::size_t j = 0; j <= i; ++j) {
-            record_applied_locked(intents[j].sequence);
+            record_applied(shard, intents[j].sequence);
           }
           matched = true;
           break;
@@ -312,8 +639,11 @@ Result<std::vector<Lba>> ReplicaEngine::recover_intents() {
       }
     }
     if (!matched) {
+      {
+        std::lock_guard lock(shard.mutex);
+        shard.damaged.insert(lba);
+      }
       std::lock_guard lock(mutex_);
-      damaged_.insert(lba);
       metrics_.torn_blocks_detected += 1;
       damaged.push_back(lba);
     }
@@ -322,8 +652,13 @@ Result<std::vector<Lba>> ReplicaEngine::recover_intents() {
 }
 
 std::vector<Lba> ReplicaEngine::damaged_blocks() const {
-  std::lock_guard lock(mutex_);
-  return {damaged_.begin(), damaged_.end()};
+  std::vector<Lba> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    out.insert(out.end(), shard->damaged.begin(), shard->damaged.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Result<ReplicationMessage> ReplicaEngine::apply_verify(
@@ -357,13 +692,27 @@ Result<ReplicationMessage> ReplicaEngine::apply_verify(
 }
 
 ReplicaMetrics ReplicaEngine::metrics() const {
-  std::lock_guard lock(mutex_);
-  return metrics_;
+  ReplicaMetrics m;
+  {
+    std::lock_guard lock(mutex_);
+    m = metrics_;
+  }
+  m.apply_queue_peak = apply_queue_peak_.load(std::memory_order_relaxed);
+  if (cache_) {
+    const CacheStats stats = cache_->stats();
+    m.cache_hits = stats.hits;
+    m.cache_misses = stats.misses;
+  }
+  if (config_.intent_log) {
+    const WriteIntentLog::Stats stats = config_.intent_log->stats();
+    m.intent_records = stats.records;
+    m.intent_fsyncs = stats.fsyncs;
+  }
+  return m;
 }
 
 std::uint64_t ReplicaEngine::applied_timestamp() const {
-  std::lock_guard lock(mutex_);
-  return applied_timestamp_us_;
+  return applied_timestamp_us_.load(std::memory_order_acquire);
 }
 
 std::thread replica_serve_in_background(std::shared_ptr<ReplicaEngine> replica,

@@ -5,11 +5,17 @@
 // will perform the reverse computation ... and store the data in its local
 // storage using the same LBA."  (§2)
 //
-// serve() loops on a transport: decodes each replication message, applies
-// it to the local device (backward parity computation for PRINS policies,
-// plain writes for traditional ones, checksum answers for verify), and
-// ACKs.  Optionally feeds every applied delta into a TrapLog, giving the
-// replica continuous data protection for free.
+// serve() runs a bounded pipeline mirroring the primary's sharded submit
+// side: a demux stage decodes each frame once (decode_view, zero-copy) and
+// dispatches write-kind messages to N apply workers striped by LBA, so
+// same-block parity deltas stay serialized (XOR chains must telescope)
+// while independent blocks apply concurrently.  Worker completions flow to
+// an ack stage that coalesces them into cumulative kAckBatch frames.  An
+// optional write-through LRU (the old-block apply cache) elides the
+// read-modify-write disk read for hot LBAs, and the intent log group-
+// commits so parallel workers share fsyncs.  Optionally feeds every
+// applied delta into a TrapLog, giving the replica continuous data
+// protection for free.
 #pragma once
 
 #include <atomic>
@@ -30,6 +36,8 @@
 
 namespace prins {
 
+class CachedDisk;
+
 struct ReplicaConfig {
   /// Record parity deltas of applied writes for point-in-time recovery.
   bool keep_trap_log = false;
@@ -41,6 +49,25 @@ struct ReplicaConfig {
   /// 0 checkpoints only on barriers.  Bounds both the log size and the
   /// restart replay work.
   std::uint64_t intent_checkpoint_every = 256;
+  /// Apply workers serve() runs, striped by LBA (shard = lba mod shards)
+  /// so same-block deltas keep their order while independent blocks apply
+  /// concurrently.  0 (default) auto-sizes: the PRINS_APPLY_SHARDS
+  /// environment variable if set, else the hardware thread count; the
+  /// result is rounded up to a power of two (masking beats modulo) and
+  /// clamped to 32.  1 reproduces the historical in-order loop.
+  std::size_t apply_shards = 0;
+  /// Frames a shard's dispatch queue may hold; the demux stage blocks when
+  /// full, back-pressuring the transport.
+  std::size_t apply_queue_capacity = 128;
+  /// Max completions folded into one ack frame.  1 disables batching
+  /// (every apply acks individually, the pre-pipeline wire behavior).
+  std::size_t ack_coalesce_max = 64;
+  /// Old-block apply cache: capacity (in blocks) of a write-through LRU in
+  /// front of the local device's apply path, so the A_old read of a hot
+  /// LBA's read-modify-write never touches the disk.  0 (default)
+  /// disables — tests that inject corruption under the replica rely on
+  /// every read observing the medium.
+  std::size_t old_block_cache_blocks = 0;
 };
 
 struct ReplicaMetrics {
@@ -55,11 +82,20 @@ struct ReplicaMetrics {
   std::uint64_t reads_served = 0;        // kReadBlockRequest blocks returned
   std::uint64_t torn_blocks_detected = 0;  // intent replay found a torn apply
   std::uint64_t full_repairs_requested = 0;  // NAKs asking for a full block
+  // Pipeline counters (serve()'s demux/worker/ack stages).
+  std::uint64_t ack_batches = 0;       // kAckBatch frames sent
+  std::uint64_t acks_batched = 0;      // completions those frames covered
+  std::uint64_t apply_queue_peak = 0;  // deepest dispatch queue observed
+  std::uint64_t cache_hits = 0;        // old-block apply cache
+  std::uint64_t cache_misses = 0;
+  std::uint64_t intent_records = 0;    // intents recorded (group commit...)
+  std::uint64_t intent_fsyncs = 0;     // ...amortizes these across workers
 };
 
 class ReplicaEngine {
  public:
   ReplicaEngine(std::shared_ptr<BlockDevice> local, ReplicaConfig config = {});
+  ~ReplicaEngine();
 
   /// Serve one primary connection until it closes.  OK on clean disconnect.
   /// A frame that fails CRC/decode is NAK'd (the primary retransmits), not
@@ -67,7 +103,7 @@ class ReplicaEngine {
   Status serve(Transport& transport);
 
   /// Apply a single message and build the reply (ACK / verify reply / NAK).
-  /// Exposed for deterministic unit tests; serve() is this in a loop.
+  /// Exposed for deterministic unit tests; serve() pipelines this logic.
   ///
   /// Write-kind messages with a nonzero sequence are deduplicated against a
   /// sliding window of recently applied sequences: a re-delivered message
@@ -102,6 +138,9 @@ class ReplicaEngine {
   /// trap-log fold base even if its own view of the link went stale.
   std::uint64_t applied_timestamp() const;
 
+  /// Resolved apply-worker count (config.apply_shards after auto-sizing).
+  std::size_t apply_shards() const { return shards_.size(); }
+
   /// The CDP log (empty unless config.keep_trap_log).
   TrapLog& trap_log() { return trap_log_; }
   const TrapLog& trap_log() const { return trap_log_; }
@@ -109,24 +148,63 @@ class ReplicaEngine {
   BlockDevice& device() { return *local_; }
 
  private:
-  Status apply_write(const MessageView& message);
+  /// What a write-kind apply tells the ack stage.
+  enum class ApplyOutcome : std::uint8_t {
+    kApplied = 0,      // ack it (covers deduplicated redeliveries)
+    kNakResend = 1,    // codec frame corrupt: retransmit as-is
+    kNakFullBlock = 2  // stored A_old damaged: only a full block can land
+  };
+
+  // Per-LBA-stripe apply state.  A shard's mutex is held for the whole
+  // dedup-check -> intent -> write -> record-applied span, so an intent-log
+  // checkpoint can quiesce every in-flight apply by locking all shards.
+  struct ApplyShard {
+    mutable std::mutex mutex;
+    std::unordered_set<std::uint64_t> applied_set;
+    std::deque<std::uint64_t> applied_fifo;
+    std::set<Lba> damaged;  // torn/corrupt blocks; parity cannot apply
+  };
+
+  ApplyShard& shard_for(Lba lba) {
+    return *shards_[lba & (shards_.size() - 1)];
+  }
+
+  /// Dedup-check + apply + record, under the LBA's shard lock.  Returns
+  /// the ack/NAK disposition; a non-OK status is a fatal session error.
+  Result<ApplyOutcome> apply_write_message(const MessageView& message);
+
+  Status apply_write_locked(ApplyShard& shard, const MessageView& message,
+                            bool* checkpoint_due);
   Result<ReplicationMessage> apply_verify(const MessageView& message);
-  bool already_applied_locked(std::uint64_t sequence) const;
-  void record_applied_locked(std::uint64_t sequence);
+  /// Device flush + intent-log truncate with every shard locked (no apply
+  /// can sit between its intent record and its device write).
+  Status checkpoint_intents();
+  void bump_timestamp(std::uint64_t timestamp_us);
+  static bool already_applied(const ApplyShard& shard, std::uint64_t sequence);
+  static void record_applied(ApplyShard& shard, std::uint64_t sequence);
 
   std::shared_ptr<BlockDevice> local_;
   ReplicaConfig config_;
+  // Apply-path device: `local_` wrapped in a write-through CachedDisk when
+  // config.old_block_cache_blocks > 0, else `local_` itself.  Reads for
+  // verify/hash/scrub replies go straight to `local_` — scans must observe
+  // the medium and must not wash the LRU.
+  std::shared_ptr<BlockDevice> apply_dev_;
+  std::shared_ptr<CachedDisk> cache_;  // null when the cache is disabled
   TrapLog trap_log_;
-  mutable std::mutex mutex_;
+  std::mutex trap_mutex_;  // appends come from concurrent apply workers
+  mutable std::mutex mutex_;  // guards metrics_ only
   ReplicaMetrics metrics_;
-  // Sliding dedup window (set + FIFO of the same sequences).  Bounded so a
+  // Sliding dedup window, striped with the applies: set + FIFO of recently
+  // applied sequences per shard.  A sequence always carries the same LBA,
+  // so a redelivery lands on the shard that recorded it.  Bounded so a
   // long-lived replica doesn't hold every sequence ever seen; the window is
   // far wider than any in-flight pipeline, so a live duplicate always hits.
-  std::unordered_set<std::uint64_t> applied_set_;
-  std::deque<std::uint64_t> applied_fifo_;
-  std::uint64_t applied_timestamp_us_ = 0;
-  std::set<Lba> damaged_;  // torn/corrupt blocks; parity cannot apply
-  std::uint64_t applies_since_checkpoint_ = 0;
+  std::vector<std::unique_ptr<ApplyShard>> shards_;
+  std::atomic<std::uint64_t> applied_timestamp_us_{0};
+  std::atomic<std::uint64_t> applies_since_checkpoint_{0};
+  std::atomic<std::uint64_t> apply_queue_peak_{0};
+  std::mutex checkpoint_mutex_;  // one all-shard quiesce at a time
 };
 
 /// Run replica.serve(transport) for every connection accepted from

@@ -138,5 +138,53 @@ TEST(VerifyPackingTest, LengthMismatchRejected) {
   EXPECT_FALSE(unpack_lbas({}).is_ok());
 }
 
+// ---- kAckBatch range packing ----------------------------------------------
+
+TEST(AckRangeTest, PackUnpackRoundTrip) {
+  const std::vector<AckRange> ranges{{1, 3}, {10, 1}, {0xFFFFFFFF00ull, 7}};
+  const Bytes packed = pack_ack_ranges(ranges);
+  EXPECT_EQ(packed.size(), 4 + ranges.size() * 12);
+  auto back = unpack_ack_ranges(packed);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  ASSERT_EQ(back->size(), ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ((*back)[i].first_sequence, ranges[i].first_sequence);
+    EXPECT_EQ((*back)[i].count, ranges[i].count);
+  }
+}
+
+TEST(AckRangeTest, MalformedPayloadsRejected) {
+  EXPECT_FALSE(unpack_ack_ranges({}).is_ok());
+  Bytes truncated = pack_ack_ranges({{5, 2}});
+  truncated.pop_back();
+  EXPECT_FALSE(unpack_ack_ranges(truncated).is_ok());
+  // A zero-length run never describes an applied write.
+  EXPECT_FALSE(unpack_ack_ranges(pack_ack_ranges({{5, 0}})).is_ok());
+}
+
+TEST(AckRangeTest, CoalesceMergesRunsAndDuplicates) {
+  std::vector<std::uint64_t> acked{7, 5, 6, 6, 9, 12, 13, 5};
+  const std::vector<AckRange> ranges = coalesce_ack_ranges(acked);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].first_sequence, 5u);
+  EXPECT_EQ(ranges[0].count, 3u);  // 5,6,7 with duplicates folded in
+  EXPECT_EQ(ranges[1].first_sequence, 9u);
+  EXPECT_EQ(ranges[1].count, 1u);
+  EXPECT_EQ(ranges[2].first_sequence, 12u);
+  EXPECT_EQ(ranges[2].count, 2u);
+  std::vector<std::uint64_t> empty;
+  EXPECT_TRUE(coalesce_ack_ranges(empty).empty());
+}
+
+TEST(AckRangeTest, CoversIsHalfOpenOnTheRun) {
+  const AckRange range{100, 4};
+  EXPECT_FALSE(range.covers(99));
+  EXPECT_TRUE(range.covers(100));
+  EXPECT_TRUE(range.covers(103));
+  EXPECT_FALSE(range.covers(104));
+  // No underflow when the probe is far below the run start.
+  EXPECT_FALSE(range.covers(0));
+}
+
 }  // namespace
 }  // namespace prins

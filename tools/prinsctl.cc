@@ -14,6 +14,7 @@
 //   prinsctl discover --host 10.0.0.1 --port 3260
 //
 // Both server modes run until the process is interrupted.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +67,8 @@ int usage() {
                "usage:\n"
                "  prinsctl replica  --file PATH --blocks N --bs BYTES "
                "--port P [--trap 1] [--sidecar PATH] [--intents PATH]\n"
+               "                    [--apply-shards N] [--cache-blocks N] "
+               "[--ack-batch N] [--stats SECS]\n"
                "  prinsctl target   --file PATH --blocks N --bs BYTES "
                "--port P [--replica HOST:PORT] [--policy "
                "traditional|compressed|prins] [--sidecar PATH]\n"
@@ -113,6 +116,13 @@ int run_replica(const Options& options) {
   if (disk == nullptr) return 1;
   ReplicaConfig config;
   config.keep_trap_log = options.get_u64("trap", 0) != 0;
+  config.apply_shards =
+      static_cast<std::size_t>(options.get_u64("apply-shards", 0));
+  config.old_block_cache_blocks =
+      static_cast<std::size_t>(options.get_u64("cache-blocks", 0));
+  if (const std::uint64_t batch = options.get_u64("ack-batch", 0); batch > 0) {
+    config.ack_coalesce_max = static_cast<std::size_t>(batch);
+  }
   const std::string intents = options.get("intents", "");
   if (!intents.empty()) {
     auto log = WriteIntentLog::open(intents);
@@ -142,11 +152,43 @@ int run_replica(const Options& options) {
     std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
     return 1;
   }
-  std::printf("replica node on port %u (device %s, TRAP log %s)\n",
-              (*listener)->port(), options.get("file", "replica.img"),
-              config.keep_trap_log ? "on" : "off");
+  std::printf(
+      "replica node on port %u (device %s, TRAP log %s, %zu apply shards, "
+      "old-block cache %zu blocks)\n",
+      (*listener)->port(), options.get("file", "replica.img"),
+      config.keep_trap_log ? "on" : "off", replica->apply_shards(),
+      config.old_block_cache_blocks);
   std::thread server = replica_serve_in_background(
       replica, std::shared_ptr<TcpListener>(std::move(*listener)));
+  const std::uint64_t stats_every = options.get_u64("stats", 0);
+  while (stats_every > 0) {
+    // Periodic pipeline-counter report, one parseable line per interval.
+    std::this_thread::sleep_for(std::chrono::seconds(stats_every));
+    const ReplicaMetrics m = replica->metrics();
+    const double hit_rate =
+        m.cache_hits + m.cache_misses > 0
+            ? static_cast<double>(m.cache_hits) /
+                  static_cast<double>(m.cache_hits + m.cache_misses)
+            : 0.0;
+    const double fsyncs_per_apply =
+        m.intent_records > 0 ? static_cast<double>(m.intent_fsyncs) /
+                                   static_cast<double>(m.intent_records)
+                             : 0.0;
+    const double batch_avg =
+        m.ack_batches > 0 ? static_cast<double>(m.acks_batched) /
+                                static_cast<double>(m.ack_batches)
+                          : 0.0;
+    std::printf("stats: applied=%llu queue_peak=%llu ack_batches=%llu "
+                "ack_batch_avg=%.1f fsyncs_per_apply=%.3f "
+                "cache_hit_rate=%.3f naks=%llu dups=%llu\n",
+                static_cast<unsigned long long>(m.writes_applied),
+                static_cast<unsigned long long>(m.apply_queue_peak),
+                static_cast<unsigned long long>(m.ack_batches), batch_avg,
+                fsyncs_per_apply, hit_rate,
+                static_cast<unsigned long long>(m.naks_sent),
+                static_cast<unsigned long long>(m.duplicates_dropped));
+    std::fflush(stdout);
+  }
   server.join();  // serves until the process is killed
   return 0;
 }
