@@ -1,0 +1,315 @@
+// Connection-scaling face-off: thread-per-link blocking TCP vs the epoll
+// reactor transport.
+//
+// Both servers run the same closed-loop echo workload — every connection
+// ping-pongs a small frame, so each in-flight message measures one full
+// round trip through the transport under test:
+//
+//   thread-per-link   TcpListener + one blocking thread per accepted
+//                     connection (the pre-reactor architecture: 2 threads
+//                     of stack + scheduler load per link, counting both
+//                     ends)
+//   reactor           ReactorListener + handler-mode echo: a fixed pool of
+//                     event loops serves every connection, no thread per
+//                     link
+//
+// The client driver is the reactor in handler mode for BOTH servers, so
+// the measured difference is server architecture, not client scheduling.
+// A cell is "sustained" when every round trip completes inside the
+// watchdog.  The headline number is the largest sustained connection
+// count of each server and the reactor's p50 at 8x the baseline's count —
+// the paper's reliability argument assumes many initiator sessions per
+// storage node, which is exactly what thread-per-link runs out of first.
+//
+// Results land in BENCH_conn_scale.json; --quick shrinks the matrix so the
+// binary doubles as a ctest smoke test.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/reactor.h"
+#include "net/reactor_tcp.h"
+#include "net/tcp.h"
+
+namespace prins {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kPayloadBytes = 64;
+
+double to_us(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+struct CellResult {
+  const char* server;
+  std::size_t conns;
+  bool sustained;
+  double msgs_per_sec;
+  double p50_us;
+  double p99_us;
+};
+
+double quantile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const std::size_t k =
+      std::min(v.size() - 1,
+               static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+// Per-connection closed-loop state.  Each connection's handler runs only
+// on its own reactor loop, so the non-atomic fields are single-threaded.
+struct ConnLoop {
+  std::shared_ptr<Transport> transport;
+  Clock::time_point sent;
+  std::vector<double> lat_us;
+  std::size_t rounds = 0;
+};
+
+// Drive `conns` closed-loop connections against 127.0.0.1:port and fill
+// `cell` with round-trip stats.  Returns false on a watchdog trip (the
+// server could not sustain the load).
+bool drive_clients(std::shared_ptr<ReactorPool> pool, std::uint16_t port,
+                   std::size_t conns, std::size_t rounds, CellResult* cell) {
+  const Bytes ping(kPayloadBytes, Byte{0x42});
+  auto done = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<std::unique_ptr<ConnLoop>> loops;
+  loops.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    auto transport = ReactorTcpTransport::connect(
+        pool->next().shared_from_this(), "127.0.0.1", port);
+    if (!transport.is_ok()) {
+      std::fprintf(stderr, "conn %zu: %s\n", i,
+                   transport.status().to_string().c_str());
+      return false;
+    }
+    auto loop = std::make_unique<ConnLoop>();
+    loop->transport = std::move(*transport);
+    loop->lat_us.reserve(rounds);
+    loop->rounds = rounds;
+    ConnLoop* raw = loop.get();
+    // The handler holds the transport shared_ptr, so a late echo can never
+    // outlive its connection; the cycle is broken below by resetting the
+    // handler before the loops are torn down.
+    static_cast<ReactorTcpTransport*>(loop->transport.get())
+        ->set_message_handler([raw, t = loop->transport, ping,
+                               done](Bytes&&) {
+          raw->lat_us.push_back(to_us(Clock::now() - raw->sent));
+          if (raw->lat_us.size() < raw->rounds) {
+            raw->sent = Clock::now();
+            (void)t->send(ping);
+          } else {
+            done->fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    loops.push_back(std::move(loop));
+  }
+
+  const auto start = Clock::now();
+  for (auto& loop : loops) {
+    loop->sent = Clock::now();
+    if (!loop->transport->send(ping).is_ok()) return false;
+  }
+  const auto deadline = start + std::chrono::seconds(120);
+  while (done->load(std::memory_order_relaxed) < conns) {
+    if (Clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const bool sustained = done->load(std::memory_order_relaxed) == conns;
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (auto& loop : loops) {
+    static_cast<ReactorTcpTransport*>(loop->transport.get())
+        ->set_message_handler(nullptr);
+    loop->transport->close();
+  }
+
+  std::vector<double> all;
+  all.reserve(conns * rounds);
+  for (auto& loop : loops) {
+    all.insert(all.end(), loop->lat_us.begin(), loop->lat_us.end());
+  }
+  cell->conns = conns;
+  cell->sustained = sustained;
+  cell->msgs_per_sec = secs > 0 ? static_cast<double>(all.size()) / secs : 0;
+  cell->p50_us = quantile(all, 0.50);
+  cell->p99_us = quantile(all, 0.99);
+  return sustained;
+}
+
+bool run_thread_per_link(std::shared_ptr<ReactorPool> client_pool,
+                         std::size_t conns, std::size_t rounds,
+                         CellResult* cell) {
+  cell->server = "thread-per-link";
+  auto listener = TcpListener::listen(0);
+  if (!listener.is_ok()) return false;
+  std::atomic<bool> accepting{true};
+  std::vector<std::thread> workers;
+  std::thread acceptor([&] {
+    while (accepting.load()) {
+      auto conn = (*listener)->accept();
+      if (!conn.is_ok()) return;
+      workers.emplace_back(
+          [t = std::shared_ptr<Transport>(std::move(*conn))] {
+            for (;;) {
+              auto got = t->recv();
+              if (!got.is_ok() || !t->send(*got).is_ok()) return;
+            }
+          });
+    }
+  });
+
+  const bool ok =
+      drive_clients(client_pool, (*listener)->port(), conns, rounds, cell);
+  accepting.store(false);
+  (*listener)->close();
+  acceptor.join();
+  for (auto& w : workers) w.join();
+  return ok;
+}
+
+bool run_reactor(std::shared_ptr<ReactorPool> client_pool,
+                 std::shared_ptr<ReactorPool> server_pool, std::size_t conns,
+                 std::size_t rounds, CellResult* cell) {
+  cell->server = "reactor";
+  auto listener = ReactorListener::listen(server_pool, 0);
+  if (!listener.is_ok()) return false;
+  std::atomic<bool> accepting{true};
+  std::vector<std::shared_ptr<Transport>> server_conns;
+  std::thread acceptor([&] {
+    while (accepting.load()) {
+      auto conn = (*listener)->accept();
+      if (!conn.is_ok()) return;
+      std::shared_ptr<Transport> t = std::move(*conn);
+      static_cast<ReactorTcpTransport*>(t.get())->set_message_handler(
+          [t](Bytes&& m) { (void)t->send(m); });
+      server_conns.push_back(std::move(t));
+    }
+  });
+
+  const bool ok =
+      drive_clients(client_pool, (*listener)->port(), conns, rounds, cell);
+  accepting.store(false);
+  (*listener)->close();
+  acceptor.join();
+  for (auto& conn : server_conns) {
+    static_cast<ReactorTcpTransport*>(conn.get())->set_message_handler(
+        nullptr);
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace prins
+
+int main(int argc, char** argv) {
+  using namespace prins;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // Roughly constant message volume per cell so big-conn cells don't take
+  // proportionally longer; every connection still completes `rounds` full
+  // round trips.
+  const std::size_t msg_target = quick ? 2000 : 40000;
+  const std::vector<std::size_t> baseline_counts =
+      quick ? std::vector<std::size_t>{8} : std::vector<std::size_t>{16, 128};
+  const std::vector<std::size_t> reactor_counts =
+      quick ? std::vector<std::size_t>{8, 64}
+            : std::vector<std::size_t>{16, 128, 512, 1024};
+
+  auto client_pool = ReactorPool::create(2);
+  auto server_pool = ReactorPool::create(2);
+  if (!client_pool.is_ok() || !server_pool.is_ok()) {
+    std::fprintf(stderr, "reactor pool creation failed\n");
+    return 1;
+  }
+
+  std::vector<CellResult> cells;
+  std::size_t baseline_max = 0;
+  std::size_t reactor_max = 0;
+  std::printf("%-16s %8s %6s %12s %10s %10s\n", "server", "conns", "ok",
+              "msgs/s", "p50_us", "p99_us");
+  for (std::size_t conns : baseline_counts) {
+    const std::size_t rounds = std::max<std::size_t>(10, msg_target / conns);
+    CellResult cell{};
+    const bool ok =
+        run_thread_per_link(*client_pool, conns, rounds, &cell);
+    if (ok) baseline_max = conns;
+    cells.push_back(cell);
+    std::printf("%-16s %8zu %6s %12.0f %10.1f %10.1f\n", cell.server, conns,
+                ok ? "yes" : "NO", cell.msgs_per_sec, cell.p50_us,
+                cell.p99_us);
+  }
+  for (std::size_t conns : reactor_counts) {
+    const std::size_t rounds = std::max<std::size_t>(10, msg_target / conns);
+    CellResult cell{};
+    const bool ok =
+        run_reactor(*client_pool, *server_pool, conns, rounds, &cell);
+    if (ok) reactor_max = conns;
+    cells.push_back(cell);
+    std::printf("%-16s %8zu %6s %12.0f %10.1f %10.1f\n", cell.server, conns,
+                ok ? "yes" : "NO", cell.msgs_per_sec, cell.p50_us,
+                cell.p99_us);
+  }
+
+  // The headline comparison: the reactor at its max sustained count vs the
+  // thread-per-link baseline at its own.
+  double baseline_p50 = 0, reactor_p50_at_scale = 0;
+  for (const CellResult& c : cells) {
+    if (std::strcmp(c.server, "thread-per-link") == 0 &&
+        c.conns == baseline_max) {
+      baseline_p50 = c.p50_us;
+    }
+    if (std::strcmp(c.server, "reactor") == 0 && c.conns == reactor_max) {
+      reactor_p50_at_scale = c.p50_us;
+    }
+  }
+  const double scale =
+      baseline_max > 0
+          ? static_cast<double>(reactor_max) / static_cast<double>(baseline_max)
+          : 0.0;
+  std::printf("\nmax sustained: thread-per-link=%zu reactor=%zu (%.1fx)\n",
+              baseline_max, reactor_max, scale);
+
+  FILE* json = std::fopen("BENCH_conn_scale.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"payload_bytes\": %zu,\n", kPayloadBytes);
+    std::fprintf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(json, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"baseline_max_conns\": %zu,\n", baseline_max);
+    std::fprintf(json, "  \"reactor_max_conns\": %zu,\n", reactor_max);
+    std::fprintf(json, "  \"conn_scale_factor\": %.1f,\n", scale);
+    std::fprintf(json, "  \"baseline_p50_us_at_max\": %.1f,\n", baseline_p50);
+    std::fprintf(json, "  \"reactor_p50_us_at_max\": %.1f,\n",
+                 reactor_p50_at_scale);
+    std::fprintf(json, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellResult& c = cells[i];
+      std::fprintf(json,
+                   "    {\"server\": \"%s\", \"conns\": %zu, "
+                   "\"sustained\": %s, \"msgs_per_sec\": %.1f, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                   c.server, c.conns, c.sustained ? "true" : "false",
+                   c.msgs_per_sec, c.p50_us, c.p99_us,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_conn_scale.json\n");
+  }
+  return 0;
+}

@@ -17,6 +17,8 @@
 #include "common/rng.h"
 #include "iscsi/initiator.h"
 #include "iscsi/target.h"
+#include "net/reactor.h"
+#include "net/reactor_tcp.h"
 #include "net/tcp.h"
 #include "net/traffic_meter.h"
 #include "prins/engine.h"
@@ -30,13 +32,46 @@ Status run() {
   constexpr std::uint32_t kBlockSize = 4096;
   constexpr std::uint64_t kBlocks = 512;
 
+  // With PRINS_REACTOR set, every socket below is multiplexed on one epoll
+  // pool (and the engine's retry timers ride its wheel) instead of parking
+  // a kernel thread per link.  Either way the rest of the program is
+  // identical: both transports speak the same wire format behind the same
+  // blocking API.
+  std::shared_ptr<ReactorPool> pool;
+  if (reactor_enabled_from_env()) {
+    PRINS_ASSIGN_OR_RETURN(pool, ReactorPool::create());
+    std::printf("PRINS_REACTOR on: %zu reactor loop thread(s)\n",
+                pool->size());
+  }
+  auto listen_loopback =
+      [&](std::uint16_t port) -> Result<std::shared_ptr<Listener>> {
+    if (pool != nullptr) {
+      PRINS_ASSIGN_OR_RETURN(auto owned, ReactorListener::listen(pool, port));
+      return std::shared_ptr<Listener>(std::move(owned));
+    }
+    PRINS_ASSIGN_OR_RETURN(auto owned, TcpListener::listen(port));
+    return std::shared_ptr<Listener>(std::move(owned));
+  };
+  auto listener_port = [&](const std::shared_ptr<Listener>& listener) {
+    if (pool != nullptr) {
+      return static_cast<ReactorListener&>(*listener).port();
+    }
+    return static_cast<TcpListener&>(*listener).port();
+  };
+  auto connect_loopback =
+      [&](std::uint16_t port) -> Result<std::unique_ptr<Transport>> {
+    if (pool != nullptr) {
+      return ReactorTcpTransport::connect(pool->next().shared_from_this(),
+                                          "127.0.0.1", port);
+    }
+    return TcpTransport::connect("127.0.0.1", port);
+  };
+
   // --- replica node: ReplicaEngine listening on TCP ----------------------
   auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
   auto replica = std::make_shared<ReplicaEngine>(replica_disk);
-  PRINS_ASSIGN_OR_RETURN(auto replica_listener_owned, TcpListener::listen(0));
-  auto replica_listener =
-      std::shared_ptr<TcpListener>(std::move(replica_listener_owned));
-  const std::uint16_t replica_port = replica_listener->port();
+  PRINS_ASSIGN_OR_RETURN(auto replica_listener, listen_loopback(0));
+  const std::uint16_t replica_port = listener_port(replica_listener);
   std::thread replica_thread =
       replica_serve_in_background(replica, replica_listener);
   std::printf("replica node listening on 127.0.0.1:%u\n", replica_port);
@@ -45,26 +80,25 @@ Status run() {
   auto storage_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
   EngineConfig engine_config;
   engine_config.policy = ReplicationPolicy::kPrins;
+  if (pool != nullptr) {
+    engine_config.reactor = pool->at(0).shared_from_this();
+  }
   auto engine = std::make_shared<PrinsEngine>(storage_disk, engine_config);
-  PRINS_ASSIGN_OR_RETURN(auto replica_link,
-                         TcpTransport::connect("127.0.0.1", replica_port));
+  PRINS_ASSIGN_OR_RETURN(auto replica_link, connect_loopback(replica_port));
   auto meter = std::make_unique<TrafficMeter>(std::move(replica_link));
   TrafficMeter* wan_traffic = meter.get();
   engine->add_replica(std::move(meter));
 
   auto target = std::make_shared<iscsi::IscsiTarget>(engine);
-  PRINS_ASSIGN_OR_RETURN(auto target_listener_owned, TcpListener::listen(0));
-  auto target_listener =
-      std::shared_ptr<TcpListener>(std::move(target_listener_owned));
-  const std::uint16_t target_port = target_listener->port();
+  PRINS_ASSIGN_OR_RETURN(auto target_listener, listen_loopback(0));
+  const std::uint16_t target_port = listener_port(target_listener);
   std::thread target_thread =
       iscsi::serve_in_background(target, target_listener);
   std::printf("storage node (iSCSI target + PRINS engine) on 127.0.0.1:%u\n",
               target_port);
 
   // --- application host: an iSCSI initiator -------------------------------
-  PRINS_ASSIGN_OR_RETURN(auto app_link,
-                         TcpTransport::connect("127.0.0.1", target_port));
+  PRINS_ASSIGN_OR_RETURN(auto app_link, connect_loopback(target_port));
   PRINS_ASSIGN_OR_RETURN(auto initiator,
                          iscsi::IscsiInitiator::login(std::move(app_link)));
   std::printf("application host logged in to %s (%llu x %u bytes)\n\n",

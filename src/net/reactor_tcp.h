@@ -1,0 +1,116 @@
+// ReactorTcpTransport / ReactorListener: nonblocking sockets multiplexed on
+// a Reactor, behind the blocking Transport API.
+//
+// Where TcpTransport parks a kernel thread in recv() per link, every
+// reactor connection is a small state machine driven by epoll readiness:
+//
+//   read side   incremental frame reassembly (4-byte length prefix, then
+//               payload) across however many readiness events it takes;
+//               completed messages land in a bounded inbox
+//   write side  send() enqueues an owned frame and opportunistically
+//               flushes; what the socket won't take is resumed by the loop
+//               on EPOLLOUT via writev across the queued frames
+//
+// The blocking Transport API is a compatibility shim over that machine:
+// recv()/recv_for() pop the inbox (recv_for arms its deadline on the
+// reactor's timer wheel, not a per-thread timed wait), and send() blocks
+// only when the outbox is over its byte limit (flow control).  PrinsEngine,
+// ReplicaEngine, the iSCSI target, and the faulty/latent/shaped decorators
+// run unmodified on top.
+//
+// Server fan-in can skip the shim: set_message_handler() delivers each
+// completed message on the loop thread instead of the inbox, so one
+// reactor thread can serve hundreds of connections with no thread per
+// link (backpressure pauses reading while the outbox is over its limit).
+// Handlers must not block; send() from a handler never blocks.
+//
+// Wire format and frame limit are identical to TcpTransport — the two ends
+// of a connection may freely mix blocking and reactor transports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/reactor.h"
+#include "net/transport.h"
+
+namespace prins {
+
+struct ReactorTcpOptions {
+  /// Completed messages the inbox buffers before the connection stops
+  /// reading (resumes when recv() drains below half).
+  std::size_t inbox_capacity = 1024;
+  /// Outbox bytes above which send() blocks off-loop callers.
+  std::size_t outbox_limit_bytes = 4u << 20;
+  /// Test knobs: socket buffer sizes (0 = OS default).  A tiny SO_SNDBUF
+  /// forces partial writes, exercising the resume path.
+  int sndbuf_bytes = 0;
+  int rcvbuf_bytes = 0;
+};
+
+class ReactorTcpTransport final : public Transport {
+ public:
+  /// Connect to host:port and register the connection on `reactor`.
+  static Result<std::unique_ptr<Transport>> connect(
+      std::shared_ptr<Reactor> reactor, const std::string& host,
+      std::uint16_t port, const ReactorTcpOptions& options = {});
+
+  /// Adopt an already-connected socket (the listener's accept path).
+  static Result<std::unique_ptr<Transport>> adopt(
+      std::shared_ptr<Reactor> reactor, int fd,
+      const ReactorTcpOptions& options = {});
+
+  ~ReactorTcpTransport() override;
+
+  ReactorTcpTransport(const ReactorTcpTransport&) = delete;
+  ReactorTcpTransport& operator=(const ReactorTcpTransport&) = delete;
+
+  Status send(ByteSpan message) override;
+  Status send_vec(std::span<const ByteSpan> parts) override;
+  Result<Bytes> recv() override;
+  Result<Bytes> recv_for(std::chrono::milliseconds timeout) override;
+  void close() override;
+  std::string describe() const override;
+
+  /// Async delivery: run `handler` on the loop thread for every completed
+  /// message instead of queueing to the inbox (any queued backlog is
+  /// delivered first).  Set before mixing with recv(); passing nullptr
+  /// restores inbox delivery.
+  void set_message_handler(std::function<void(Bytes&&)> handler);
+
+  /// Bytes currently queued for the wire (tests / backpressure probes).
+  std::size_t outbox_bytes() const;
+
+ private:
+  struct Conn;
+  explicit ReactorTcpTransport(std::shared_ptr<Conn> conn);
+
+  std::shared_ptr<Conn> conn_;
+};
+
+class ReactorListener final : public Listener {
+ public:
+  /// Bind 127.0.0.1:port (0 picks a free port) and accept on `pool`'s
+  /// first reactor; connections are placed round-robin across the pool.
+  static Result<std::unique_ptr<ReactorListener>> listen(
+      std::shared_ptr<ReactorPool> pool, std::uint16_t port,
+      const ReactorTcpOptions& options = {});
+
+  ~ReactorListener() override;
+
+  ReactorListener(const ReactorListener&) = delete;
+  ReactorListener& operator=(const ReactorListener&) = delete;
+
+  Result<std::unique_ptr<Transport>> accept() override;
+  void close() override;
+
+  std::uint16_t port() const;
+
+ private:
+  struct State;
+  explicit ReactorListener(std::shared_ptr<State> state);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace prins

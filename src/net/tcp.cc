@@ -33,29 +33,15 @@ Status write_all(int fd, const Byte* data, std::size_t len) {
   return Status::ok();
 }
 
-// Returns kUnavailable on clean EOF at a message boundary.
-Status read_all(int fd, Byte* data, std::size_t len) {
-  std::size_t done = 0;
-  while (done < len) {
-    ssize_t n = ::recv(fd, data + done, len - done, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return errno_status("recv");
-    }
-    if (n == 0) {
-      return done == 0 ? unavailable("peer closed connection")
-                       : corruption("peer closed mid-message");
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return Status::ok();
-}
-
 }  // namespace
 
 TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  // Explicit socket semantics, identical for the blocking and reactor
+  // variants: no Nagle delay on the small-delta replication traffic, and
+  // address reuse so a restarted node can rebind its port immediately.
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 }
 
 TcpTransport::~TcpTransport() { close(); }
@@ -72,7 +58,11 @@ Result<std::unique_ptr<Transport>> TcpTransport::connect(
     ::close(fd);
     return invalid_argument("bad IPv4 address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
     Status s = errno_status("connect " + ip + ":" + std::to_string(port));
     ::close(fd);
     return s;
@@ -134,37 +124,78 @@ Status TcpTransport::send_vec(std::span<const ByteSpan> parts) {
   return Status::ok();
 }
 
-Result<Bytes> TcpTransport::recv() {
-  if (fd_ < 0) return unavailable("transport closed");
-  Byte header[4];
-  PRINS_RETURN_IF_ERROR(read_all(fd_, header, sizeof header));
-  const std::uint32_t len = load_le32(header);
-  if (len > kMaxTcpMessageBytes) {
-    return corruption("frame length " + std::to_string(len) +
-                      " exceeds limit");
-  }
-  Bytes payload(len);
-  if (len > 0) {
-    PRINS_RETURN_IF_ERROR(read_all(fd_, payload.data(), len));
-  }
-  return payload;
-}
+Result<Bytes> TcpTransport::recv() { return recv_until(std::nullopt); }
 
 Result<Bytes> TcpTransport::recv_for(std::chrono::milliseconds timeout) {
+  return recv_until(std::chrono::steady_clock::now() + timeout);
+}
+
+Result<Bytes> TcpTransport::recv_until(
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   if (fd_ < 0) return unavailable("transport closed");
-  // Poll only for the *first* byte of the frame; once the header starts
-  // arriving the peer is live and a blocking read of the remainder is safe.
-  pollfd pfd{fd_, POLLIN, 0};
   for (;;) {
-    int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return errno_status("poll");
+    // The deadline covers the *whole* frame, not just its first byte: a
+    // peer that stalls mid-message surfaces as kTimeout, and the partial
+    // frame stays parked in the reassembly members for the next call.
+    if (deadline.has_value()) {
+      // ceil, not cast: truncation would let poll wake a fraction of a
+      // millisecond before the deadline and report a spurious timeout.
+      const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return timeout_error("tcp recv timed out");
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (rc < 0) {
+        if (errno == EINTR) continue;  // re-derive the remaining budget
+        return errno_status("poll");
+      }
+      if (rc == 0) return timeout_error("tcp recv timed out");
     }
-    if (rc == 0) return timeout_error("tcp recv timed out");
-    break;
+    Byte* dst;
+    std::size_t want;
+    if (!in_payload_) {
+      dst = header_ + header_fill_;
+      want = sizeof header_ - header_fill_;
+    } else {
+      dst = payload_.data() + payload_fill_;
+      want = payload_.size() - payload_fill_;
+    }
+    ssize_t n = 0;
+    if (want > 0) {
+      n = ::recv(fd_, dst, want, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("recv");
+      }
+      if (n == 0) {
+        return (header_fill_ == 0 && !in_payload_)
+                   ? unavailable("peer closed connection")
+                   : corruption("peer closed mid-message");
+      }
+    }
+    if (!in_payload_) {
+      header_fill_ += static_cast<std::size_t>(n);
+      if (header_fill_ < sizeof header_) continue;
+      const std::uint32_t len = load_le32(header_);
+      if (len > kMaxTcpMessageBytes) {
+        return corruption("frame length " + std::to_string(len) +
+                          " exceeds limit");
+      }
+      payload_.resize(len);
+      payload_fill_ = 0;
+      in_payload_ = true;
+      if (len > 0) continue;
+    } else {
+      payload_fill_ += static_cast<std::size_t>(n);
+      if (payload_fill_ < payload_.size()) continue;
+    }
+    Bytes message = std::move(payload_);
+    payload_ = Bytes();
+    payload_fill_ = 0;
+    header_fill_ = 0;
+    in_payload_ = false;
+    return message;
   }
-  return recv();
 }
 
 void TcpTransport::close() {
@@ -210,8 +241,13 @@ TcpListener::~TcpListener() { close(); }
 
 Result<std::unique_ptr<Transport>> TcpListener::accept() {
   if (fd_ < 0) return unavailable("listener closed");
-  int client = ::accept(fd_, nullptr, nullptr);
-  if (client < 0) {
+  int client;
+  for (;;) {
+    client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) break;
+    // EINTR: a signal landed mid-accept.  ECONNABORTED: the peer gave up
+    // while queued — neither says anything about the *next* connection.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
     if (errno == EINVAL || errno == EBADF) {
       return unavailable("listener closed");
     }

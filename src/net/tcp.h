@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "net/transport.h"
 
@@ -37,7 +38,22 @@ class TcpTransport final : public Transport {
   std::string describe() const override;
 
  private:
+  /// Shared incremental receive path: read header then payload, stopping
+  /// at `deadline` (nullopt blocks).  A deadline hit mid-frame returns
+  /// kTimeout and parks the partial frame in the members below, so the
+  /// next recv()/recv_for() resumes exactly where the stream left off —
+  /// a peer that stalls mid-message cannot turn a timeout into a late
+  /// success or desynchronize the framing.
+  Result<Bytes> recv_until(
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+
   int fd_;
+  // Partial-frame reassembly state (valid across timed-out receives).
+  Byte header_[4] = {0, 0, 0, 0};
+  std::size_t header_fill_ = 0;
+  Bytes payload_;
+  std::size_t payload_fill_ = 0;
+  bool in_payload_ = false;
 };
 
 class TcpListener final : public Listener {

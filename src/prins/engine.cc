@@ -116,6 +116,7 @@ PrinsEngine::~PrinsEngine() {
     std::lock_guard lock(mutex_);
     stopping_ = true;
     queue_cv_.notify_all();
+    cancel_gates_locked();
   }
   for (auto& link : replicas_) {
     if (link->sender.joinable()) link->sender.join();
@@ -173,6 +174,9 @@ Status PrinsEngine::reattach_replica(std::size_t index,
   for (const auto& r : replicas_) any_failed |= r->failed;
   if (!any_failed) worker_error_ = Status::ok();
   queue_cv_.notify_all();
+  // Reactor mode: the sender may be sleeping out a heal backoff on a gate;
+  // cancel it so the fresh link is picked up now, not at the old deadline.
+  cancel_gates_locked();
   return Status::ok();
 }
 
@@ -535,8 +539,15 @@ void PrinsEngine::sender_main(ReplicaLink* link) {
       if (healable_locked(*link)) {
         // Degraded state: hold queued traffic (producers back-pressure on
         // capacity) and retry the heal on its backoff schedule.
-        queue_cv_.wait_until(lock, link->next_heal,
-                             [this] { return stopping_.load(std::memory_order_relaxed); });
+        if (config_.reactor != nullptr) {
+          const auto next_heal = link->next_heal;
+          lock.unlock();
+          reactor_wait_until(next_heal);
+          lock.lock();
+        } else {
+          queue_cv_.wait_until(lock, link->next_heal,
+                               [this] { return stopping_.load(std::memory_order_relaxed); });
+        }
         if (stopping_) return;
         if (!healable_locked(*link)) continue;  // reattached meanwhile
         if (std::chrono::steady_clock::now() < link->next_heal) continue;
@@ -627,9 +638,51 @@ void PrinsEngine::retry_backoff(ReplicaLink& link, std::size_t attempt) {
   // ±25% jitter decorrelates simultaneous retries across links.
   ms *= 0.75 + 0.5 * link.jitter.next_double();
   if (ms <= 0.0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(ms));
+  if (config_.reactor != nullptr) {
+    reactor_wait_until(deadline);
+    return;
+  }
   std::unique_lock lock(mutex_);
-  queue_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
-                     [this] { return stopping_.load(std::memory_order_relaxed); });
+  queue_cv_.wait_until(lock, deadline,
+                       [this] { return stopping_.load(std::memory_order_relaxed); });
+}
+
+void PrinsEngine::cancel_gates_locked() {
+  for (const auto& gate : gates_) {
+    std::lock_guard g(gate->m);
+    gate->cancelled = true;
+    gate->cv.notify_all();
+  }
+}
+
+void PrinsEngine::reactor_wait_until(
+    std::chrono::steady_clock::time_point deadline) {
+  auto gate = std::make_shared<TimerGate>();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    gates_.push_back(gate);
+  }
+  // Capture only the gate: if this engine dies while the entry is still on
+  // the wheel, the callback fires against an orphaned gate and nothing else.
+  const TimerId id = config_.reactor->add_timer_at(deadline, [gate] {
+    std::lock_guard g(gate->m);
+    gate->fired = true;
+    gate->cv.notify_all();
+  });
+  bool fired;
+  {
+    std::unique_lock g(gate->m);
+    gate->cv.wait(g, [&] { return gate->fired || gate->cancelled; });
+    fired = gate->fired;
+  }
+  if (!fired) config_.reactor->cancel_timer(id);
+  std::lock_guard lock(mutex_);
+  gates_.erase(std::find(gates_.begin(), gates_.end(), gate));
 }
 
 Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,

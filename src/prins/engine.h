@@ -44,6 +44,7 @@
 #include "common/buffer_pool.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "net/reactor.h"
 #include "net/transport.h"
 #include "prins/message.h"
 #include "prins/replication_policy.h"
@@ -118,6 +119,17 @@ struct EngineConfig {
   /// reconnects, folds the parity log over the outage window, resyncs the
   /// replica, and unfreezes the journal watermark.
   TransportFactory reconnect;
+  /// Deadline substrate for retry backoff and heal scheduling.  Null
+  /// (default): a sender waiting out a backoff parks in a per-thread timed
+  /// condition wait, exactly the historical behavior.  Non-null: the delay
+  /// becomes an entry on this reactor's timer wheel and the sender parks
+  /// in an *untimed* wait on a gate the wheel fires — one shared wheel
+  /// tracks every link's deadline, and stop/reattach cancel the gates so
+  /// waiters re-check state immediately instead of sleeping out the rest
+  /// of their backoff.  Pair with ReactorTcpTransport links so the
+  /// per-reply op_timeout rides the same wheel (its recv_for arms a wheel
+  /// timer rather than polling).
+  std::shared_ptr<Reactor> reactor;
   /// LBA-striped submit locks: writers to blocks in different shards
   /// (shard = lba mod write_shards) proceed concurrently; same-block writes
   /// stay fully serialized, which is what keeps replica XOR chains
@@ -401,6 +413,14 @@ class PrinsEngine final : public BlockDevice {
   void convert_to_repair_locked(OutMessage& entry);
   /// Sleep the retry backoff for `attempt` (1-based), waking early on stop.
   void retry_backoff(ReplicaLink& link, std::size_t attempt);
+  /// Reactor-mode timed wait: park on a gate until the timer wheel fires
+  /// it at `deadline`, or stop/reattach cancels it.  The wheel callback
+  /// captures only the gate (never the engine), so a timer outliving the
+  /// engine is a notify into the void, not a use-after-free.
+  void reactor_wait_until(std::chrono::steady_clock::time_point deadline);
+  /// Wake every parked gate (mutex_ held).  Gates are single-use, so a
+  /// cancelled waiter simply re-checks link state and re-arms if needed.
+  void cancel_gates_locked();
   /// Degraded-link recovery: reconnect, locate the replica (kHello), fold
   /// the trap log over the outage, ship it, rejoin the steady-state path.
   void attempt_heal(ReplicaLink* link);
@@ -491,6 +511,16 @@ class PrinsEngine final : public BlockDevice {
   std::condition_variable drain_cv_;   // drain() waiters
   std::atomic<bool> stopping_{false};  // set under mutex_; read lock-free
   Status worker_error_;  // first replication failure, surfaced by drain()
+
+  // Reactor-timer gates (config_.reactor mode): one per in-progress
+  // backoff/heal wait, registered here so stop/reattach can cancel them.
+  struct TimerGate {
+    std::mutex m;
+    std::condition_variable cv;
+    bool fired = false;
+    bool cancelled = false;
+  };
+  std::vector<std::shared_ptr<TimerGate>> gates_;  // guarded by mutex_
 
   // Sequences distributed but not yet completed by every link, ordered so
   // the journal watermark is the smallest outstanding sequence minus one.

@@ -2,9 +2,15 @@
 // framing, and the traffic meter's packet model.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <thread>
 
 #include "common/rng.h"
+#include "net/faulty.h"
 #include "net/inproc.h"
 #include "net/latent.h"
 #include "net/packet_model.h"
@@ -180,6 +186,86 @@ TEST(TcpTest, ConnectToClosedPortFails) {
 
 TEST(TcpTest, BadAddressRejected) {
   EXPECT_FALSE(TcpTransport::connect("not-an-ip", 80).is_ok());
+}
+
+TEST(TcpTest, RecvForTimesOutMidFrameThenResumes) {
+  // Regression: recv_for used to poll only for the *first* byte of a frame
+  // and then block on the remainder, so a peer stalling mid-message turned
+  // a timeout into a late success.  The deadline must cover the whole
+  // frame, and the partial frame must survive the timeout so the stream
+  // stays in sync.
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.is_ok());
+
+  // A raw socket lets the test write half a frame and stall on purpose.
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*listener)->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  auto server = (*listener)->accept();
+  ASSERT_TRUE(server.is_ok());
+
+  const Bytes body = message("ten__bytes");
+  unsigned char header[4] = {10, 0, 0, 0};  // little-endian length
+  ASSERT_EQ(::send(raw, header, sizeof header, 0), 4);
+  ASSERT_EQ(::send(raw, body.data(), 3, 0), 3);  // ...then stall
+
+  const auto start = std::chrono::steady_clock::now();
+  auto timed_out = (*server)->recv_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(timed_out.status().code(), ErrorCode::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(80));
+
+  // The stream resumes mid-frame: the remaining 7 bytes complete the
+  // message that timed out, byte for byte.
+  ASSERT_EQ(::send(raw, body.data() + 3, 7, 0), 7);
+  auto got = (*server)->recv();
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_EQ(*got, body);
+
+  // And the connection is still framed correctly for the next message.
+  unsigned char next[4 + 2] = {2, 0, 0, 0, 'o', 'k'};
+  ASSERT_EQ(::send(raw, next, sizeof next, 0), 6);
+  auto after = (*server)->recv_for(std::chrono::seconds(5));
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(*after, message("ok"));
+  ::close(raw);
+}
+
+TEST(RecvForTest, DecoratorPassThroughSurfacesMidFrameStall) {
+  // Same stall as above, but the accepted transport is wrapped in a
+  // fault-free FaultyTransport: the decorator must hand recv_for's
+  // deadline to the socket (not fall back to a blocking recv), so the
+  // mid-frame stall surfaces as kTimeout through the wrapper too.
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.is_ok());
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*listener)->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  auto accepted = (*listener)->accept();
+  ASSERT_TRUE(accepted.is_ok());
+  FaultyTransport server(std::move(*accepted), FaultConfig{});
+
+  unsigned char partial[4 + 2] = {5, 0, 0, 0, 'h', 'i'};  // 2 of 5 bytes
+  ASSERT_EQ(::send(raw, partial, sizeof partial, 0), 6);
+  auto timed_out = server.recv_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(timed_out.status().code(), ErrorCode::kTimeout);
+
+  unsigned char rest[3] = {'v', 'e', 'r'};
+  ASSERT_EQ(::send(raw, rest, sizeof rest, 0), 3);
+  auto got = server.recv_for(std::chrono::seconds(5));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(*got, message("hiver"));
+  ::close(raw);
 }
 
 TEST(TcpTest, PeerCloseYieldsUnavailable) {

@@ -29,6 +29,8 @@
 #include "common/logging.h"
 #include "iscsi/initiator.h"
 #include "iscsi/target.h"
+#include "net/reactor.h"
+#include "net/reactor_tcp.h"
 #include "net/tcp.h"
 #include "prins/engine.h"
 #include "prins/replica.h"
@@ -105,6 +107,52 @@ std::shared_ptr<BlockDevice> open_device(const Options& options,
   return device;
 }
 
+/// The process-wide reactor pool, created on first use when PRINS_REACTOR
+/// is set (PRINS_REACTOR_THREADS sizes it).  Null means classic blocking
+/// sockets with one kernel thread parked per link.
+std::shared_ptr<ReactorPool> shared_reactor_pool() {
+  static std::shared_ptr<ReactorPool> pool =
+      []() -> std::shared_ptr<ReactorPool> {
+    if (!reactor_enabled_from_env()) return nullptr;
+    auto created = ReactorPool::create();
+    if (!created.is_ok()) {
+      std::fprintf(stderr, "reactor pool unavailable (%s), using blocking "
+                           "sockets\n",
+                   created.status().to_string().c_str());
+      return nullptr;
+    }
+    std::fprintf(stderr, "reactor transport enabled (%zu loop thread%s)\n",
+                 (*created)->size(), (*created)->size() == 1 ? "" : "s");
+    return std::move(*created);
+  }();
+  return pool;
+}
+
+struct BoundListener {
+  std::shared_ptr<Listener> listener;
+  std::uint16_t port = 0;
+};
+
+Result<BoundListener> open_listener(std::uint16_t port) {
+  if (auto pool = shared_reactor_pool()) {
+    PRINS_ASSIGN_OR_RETURN(auto listener, ReactorListener::listen(pool, port));
+    const std::uint16_t bound = listener->port();
+    return BoundListener{std::move(listener), bound};
+  }
+  PRINS_ASSIGN_OR_RETURN(auto listener, TcpListener::listen(port));
+  const std::uint16_t bound = listener->port();
+  return BoundListener{std::move(listener), bound};
+}
+
+Result<std::unique_ptr<Transport>> connect_tcp(const std::string& host,
+                                               std::uint16_t port) {
+  if (auto pool = shared_reactor_pool()) {
+    return ReactorTcpTransport::connect(pool->next().shared_from_this(), host,
+                                        port);
+  }
+  return TcpTransport::connect(host, port);
+}
+
 ReplicationPolicy parse_policy(const std::string& name) {
   if (name == "traditional") return ReplicationPolicy::kTraditional;
   if (name == "compressed") return ReplicationPolicy::kTraditionalCompressed;
@@ -146,7 +194,7 @@ int run_replica(const Options& options) {
                   static_cast<unsigned long long>(lba));
     }
   }
-  auto listener = TcpListener::listen(
+  auto listener = open_listener(
       static_cast<std::uint16_t>(options.get_u64("port", 3261)));
   if (!listener.is_ok()) {
     std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
@@ -155,11 +203,11 @@ int run_replica(const Options& options) {
   std::printf(
       "replica node on port %u (device %s, TRAP log %s, %zu apply shards, "
       "old-block cache %zu blocks)\n",
-      (*listener)->port(), options.get("file", "replica.img"),
+      listener->port, options.get("file", "replica.img"),
       config.keep_trap_log ? "on" : "off", replica->apply_shards(),
       config.old_block_cache_blocks);
-  std::thread server = replica_serve_in_background(
-      replica, std::shared_ptr<TcpListener>(std::move(*listener)));
+  std::thread server =
+      replica_serve_in_background(replica, std::move(listener->listener));
   const std::uint64_t stats_every = options.get_u64("stats", 0);
   while (stats_every > 0) {
     // Periodic pipeline-counter report, one parseable line per interval.
@@ -199,6 +247,11 @@ int run_target(const Options& options) {
 
   EngineConfig engine_config;
   engine_config.policy = parse_policy(options.get("policy", "prins"));
+  if (auto pool = shared_reactor_pool()) {
+    // Retry/heal backoff rides the reactor's timer wheel instead of a
+    // per-thread timed wait.
+    engine_config.reactor = pool->at(0).shared_from_this();
+  }
   auto engine = std::make_shared<PrinsEngine>(disk, engine_config);
 
   const std::string replica_spec = options.get("replica", "");
@@ -211,7 +264,7 @@ int run_target(const Options& options) {
     const std::string host = replica_spec.substr(0, colon);
     const auto port = static_cast<std::uint16_t>(
         std::strtoul(replica_spec.c_str() + colon + 1, nullptr, 10));
-    auto link = TcpTransport::connect(host, port);
+    auto link = connect_tcp(host, port);
     if (!link.is_ok()) {
       std::fprintf(stderr, "connect to replica %s: %s\n",
                    replica_spec.c_str(), link.status().to_string().c_str());
@@ -223,16 +276,16 @@ int run_target(const Options& options) {
   }
 
   auto target = std::make_shared<iscsi::IscsiTarget>(engine);
-  auto listener = TcpListener::listen(
+  auto listener = open_listener(
       static_cast<std::uint16_t>(options.get_u64("port", 3260)));
   if (!listener.is_ok()) {
     std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
     return 1;
   }
-  std::printf("iSCSI target on port %u (device %s)\n", (*listener)->port(),
+  std::printf("iSCSI target on port %u (device %s)\n", listener->port,
               options.get("file", "primary.img"));
-  std::thread server = iscsi::serve_in_background(
-      target, std::shared_ptr<TcpListener>(std::move(*listener)));
+  std::thread server =
+      iscsi::serve_in_background(target, std::move(listener->listener));
   server.join();
   return 0;
 }
@@ -248,6 +301,9 @@ int run_scrub(const Options& options) {
 
   EngineConfig engine_config;
   engine_config.policy = parse_policy(options.get("policy", "prins"));
+  if (auto pool = shared_reactor_pool()) {
+    engine_config.reactor = pool->at(0).shared_from_this();
+  }
   PrinsEngine engine(disk, engine_config);
 
   const std::string replica_spec = options.get("replica", "");
@@ -257,7 +313,7 @@ int run_scrub(const Options& options) {
       std::fprintf(stderr, "--replica expects HOST:PORT\n");
       return 2;
     }
-    auto link = TcpTransport::connect(
+    auto link = connect_tcp(
         replica_spec.substr(0, colon),
         static_cast<std::uint16_t>(
             std::strtoul(replica_spec.c_str() + colon + 1, nullptr, 10)));
@@ -295,7 +351,7 @@ int run_scrub(const Options& options) {
 }
 
 int run_discover(const Options& options) {
-  auto transport = TcpTransport::connect(
+  auto transport = connect_tcp(
       options.get("host", "127.0.0.1"),
       static_cast<std::uint16_t>(options.get_u64("port", 3260)));
   if (!transport.is_ok()) {
