@@ -16,12 +16,14 @@
 #include "block/mem_disk.h"
 #include "common/rng.h"
 #include "iscsi/initiator.h"
+#include "iscsi/reactor_target.h"
 #include "iscsi/target.h"
 #include "net/reactor.h"
 #include "net/reactor_tcp.h"
 #include "net/tcp.h"
 #include "net/traffic_meter.h"
 #include "prins/engine.h"
+#include "prins/reactor_server.h"
 #include "prins/replica.h"
 
 using namespace prins;
@@ -32,11 +34,13 @@ Status run() {
   constexpr std::uint32_t kBlockSize = 4096;
   constexpr std::uint64_t kBlocks = 512;
 
-  // With PRINS_REACTOR set, every socket below is multiplexed on one epoll
-  // pool (and the engine's retry timers ride its wheel) instead of parking
-  // a kernel thread per link.  Either way the rest of the program is
-  // identical: both transports speak the same wire format behind the same
-  // blocking API.
+  // With PRINS_REACTOR set, both server nodes become thread-free: the
+  // replica and the iSCSI target serve every session as reactor handlers
+  // (ReactorReplicaServer / ReactorIscsiServer), the engine's replica
+  // links are pumped by reactor callbacks instead of a sender thread each,
+  // and retry timers ride the epoll pool's wheel.  Either way the rest of
+  // the program is identical: both transports speak the same wire format
+  // behind the same blocking API.
   std::shared_ptr<ReactorPool> pool;
   if (reactor_enabled_from_env()) {
     PRINS_ASSIGN_OR_RETURN(pool, ReactorPool::create());
@@ -70,10 +74,19 @@ Status run() {
   // --- replica node: ReplicaEngine listening on TCP ----------------------
   auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
   auto replica = std::make_shared<ReplicaEngine>(replica_disk);
-  PRINS_ASSIGN_OR_RETURN(auto replica_listener, listen_loopback(0));
-  const std::uint16_t replica_port = listener_port(replica_listener);
-  std::thread replica_thread =
-      replica_serve_in_background(replica, replica_listener);
+  std::unique_ptr<ReactorReplicaServer> replica_server;
+  std::shared_ptr<Listener> replica_listener;
+  std::thread replica_thread;
+  std::uint16_t replica_port = 0;
+  if (pool != nullptr) {
+    PRINS_ASSIGN_OR_RETURN(replica_server,
+                           ReactorReplicaServer::start(replica, pool));
+    replica_port = replica_server->port();
+  } else {
+    PRINS_ASSIGN_OR_RETURN(replica_listener, listen_loopback(0));
+    replica_port = listener_port(replica_listener);
+    replica_thread = replica_serve_in_background(replica, replica_listener);
+  }
   std::printf("replica node listening on 127.0.0.1:%u\n", replica_port);
 
   // --- storage node: PRINS engine inside an iSCSI target ------------------
@@ -82,6 +95,7 @@ Status run() {
   engine_config.policy = ReplicationPolicy::kPrins;
   if (pool != nullptr) {
     engine_config.reactor = pool->at(0).shared_from_this();
+    engine_config.reactor_senders = true;
   }
   auto engine = std::make_shared<PrinsEngine>(storage_disk, engine_config);
   PRINS_ASSIGN_OR_RETURN(auto replica_link, connect_loopback(replica_port));
@@ -90,10 +104,19 @@ Status run() {
   engine->add_replica(std::move(meter));
 
   auto target = std::make_shared<iscsi::IscsiTarget>(engine);
-  PRINS_ASSIGN_OR_RETURN(auto target_listener, listen_loopback(0));
-  const std::uint16_t target_port = listener_port(target_listener);
-  std::thread target_thread =
-      iscsi::serve_in_background(target, target_listener);
+  std::unique_ptr<iscsi::ReactorIscsiServer> target_server;
+  std::shared_ptr<Listener> target_listener;
+  std::thread target_thread;
+  std::uint16_t target_port = 0;
+  if (pool != nullptr) {
+    PRINS_ASSIGN_OR_RETURN(target_server,
+                           iscsi::ReactorIscsiServer::start(target, pool));
+    target_port = target_server->port();
+  } else {
+    PRINS_ASSIGN_OR_RETURN(target_listener, listen_loopback(0));
+    target_port = listener_port(target_listener);
+    target_thread = iscsi::serve_in_background(target, target_listener);
+  }
   std::printf("storage node (iSCSI target + PRINS engine) on 127.0.0.1:%u\n",
               target_port);
 
@@ -144,12 +167,20 @@ Status run() {
   // goes away first so that dropping our engine reference actually
   // destroys it and closes the WAN link, unblocking the replica.
   PRINS_RETURN_IF_ERROR(initiator->logout());
-  target_listener->close();
-  target_thread.join();
+  if (target_server != nullptr) {
+    target_server->stop();
+  } else {
+    target_listener->close();
+    target_thread.join();
+  }
   target.reset();
   engine.reset();  // last owner: closes the WAN link
-  replica_listener->close();
-  replica_thread.join();
+  if (replica_server != nullptr) {
+    replica_server->stop();
+  } else {
+    replica_listener->close();
+    replica_thread.join();
+  }
 
   return mismatches == 0 ? Status::ok()
                          : internal_error("replica diverged");

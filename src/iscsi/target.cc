@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/endian.h"
 #include "common/logging.h"
@@ -24,78 +25,96 @@ Status IscsiTarget::serve(Transport& transport) {
       }
       return message.status();
     }
-    PRINS_ASSIGN_OR_RETURN(Pdu pdu,
-                           Pdu::decode(*message, session.header_digest));
+    bool done = false;
+    PRINS_RETURN_IF_ERROR(handle_frame(transport, session, *message, &done));
+    if (done) return Status::ok();
+  }
+}
 
-    if (!session.logged_in && pdu.opcode != Opcode::kLoginRequest) {
-      return failed_precondition("PDU " + std::string(opcode_name(pdu.opcode)) +
-                                 " before login");
+Status IscsiTarget::handle_frame(Transport& transport, Session& session,
+                                 ByteSpan message, bool* done) {
+  *done = false;
+  PRINS_ASSIGN_OR_RETURN(Pdu pdu, Pdu::decode(message, session.header_digest));
+
+  if (!session.logged_in && pdu.opcode != Opcode::kLoginRequest) {
+    return failed_precondition("PDU " + std::string(opcode_name(pdu.opcode)) +
+                               " before login");
+  }
+  if (session.pending.active) {
+    // Mid data phase: the initiator owes us Data-Out for the pending
+    // write; anything else is out of order.
+    if (pdu.opcode != Opcode::kDataOut || pdu.itt != session.pending.itt) {
+      return failed_precondition("expected Data-Out for ITT " +
+                                 std::to_string(session.pending.itt));
     }
+    return handle_data_out(transport, session, pdu);
+  }
 
-    switch (pdu.opcode) {
-      case Opcode::kLoginRequest:
-        PRINS_RETURN_IF_ERROR(handle_login(transport, session, pdu));
-        break;
-      case Opcode::kScsiCommand:
-        commands_.fetch_add(1, std::memory_order_relaxed);
-        PRINS_RETURN_IF_ERROR(handle_scsi(transport, session, pdu));
-        break;
-      case Opcode::kNopOut: {
-        if (pdu.itt == 0xFFFFFFFFu) break;  // unsolicited ping, no reply
-        Pdu reply;
-        reply.opcode = Opcode::kNopIn;
-        reply.flags = kFlagFinal;
-        reply.itt = pdu.itt;
-        reply.word6 = session.stat_sn++;
-        reply.word7 = session.exp_cmd_sn;
-        reply.data = pdu.data;  // echo ping payload
-        PRINS_RETURN_IF_ERROR(
-            transport.send(reply.encode(session.header_digest)));
-        break;
+  switch (pdu.opcode) {
+    case Opcode::kLoginRequest:
+      PRINS_RETURN_IF_ERROR(handle_login(transport, session, pdu));
+      break;
+    case Opcode::kScsiCommand:
+      commands_.fetch_add(1, std::memory_order_relaxed);
+      PRINS_RETURN_IF_ERROR(handle_scsi(transport, session, pdu));
+      break;
+    case Opcode::kNopOut: {
+      if (pdu.itt == 0xFFFFFFFFu) break;  // unsolicited ping, no reply
+      Pdu reply;
+      reply.opcode = Opcode::kNopIn;
+      reply.flags = kFlagFinal;
+      reply.itt = pdu.itt;
+      reply.word6 = session.stat_sn++;
+      reply.word7 = session.exp_cmd_sn;
+      reply.data = pdu.data;  // echo ping payload
+      PRINS_RETURN_IF_ERROR(
+          transport.send(reply.encode(session.header_digest)));
+      break;
+    }
+    case Opcode::kTextRequest: {
+      // Discovery: answer SendTargets with the target we serve.
+      auto kv = decode_login_kv(pdu.data);
+      Pdu reply;
+      reply.opcode = Opcode::kTextResponse;
+      reply.flags = kFlagFinal;
+      reply.itt = pdu.itt;
+      reply.word5 = 0xFFFFFFFFu;  // no continuation
+      reply.word6 = session.stat_sn++;
+      reply.word7 = session.exp_cmd_sn;
+      if (kv.contains("SendTargets")) {
+        reply.data = encode_login_kv({{"TargetName", config_.target_name}});
       }
-      case Opcode::kTextRequest: {
-        // Discovery: answer SendTargets with the target we serve.
-        auto kv = decode_login_kv(pdu.data);
-        Pdu reply;
-        reply.opcode = Opcode::kTextResponse;
-        reply.flags = kFlagFinal;
-        reply.itt = pdu.itt;
-        reply.word5 = 0xFFFFFFFFu;  // no continuation
-        reply.word6 = session.stat_sn++;
-        reply.word7 = session.exp_cmd_sn;
-        if (kv.contains("SendTargets")) {
-          reply.data = encode_login_kv({{"TargetName", config_.target_name}});
-        }
-        PRINS_RETURN_IF_ERROR(
-            transport.send(reply.encode(session.header_digest)));
-        break;
-      }
-      case Opcode::kLogoutRequest: {
-        Pdu reply;
-        reply.opcode = Opcode::kLogoutResponse;
-        reply.flags = kFlagFinal;
-        reply.itt = pdu.itt;
-        reply.word6 = session.stat_sn++;
-        reply.word7 = session.exp_cmd_sn;
-        PRINS_RETURN_IF_ERROR(
-            transport.send(reply.encode(session.header_digest)));
-        return Status::ok();
-      }
-      case Opcode::kDataOut:
-        return failed_precondition("unsolicited Data-Out");
-      default: {
-        Pdu reject;
-        reject.opcode = Opcode::kReject;
-        reject.flags = kFlagFinal;
-        reject.byte2 = 0x04;  // protocol error
-        reject.itt = 0xFFFFFFFFu;
-        reject.word6 = session.stat_sn++;
-        PRINS_RETURN_IF_ERROR(
-            transport.send(reject.encode(session.header_digest)));
-        break;
-      }
+      PRINS_RETURN_IF_ERROR(
+          transport.send(reply.encode(session.header_digest)));
+      break;
+    }
+    case Opcode::kLogoutRequest: {
+      Pdu reply;
+      reply.opcode = Opcode::kLogoutResponse;
+      reply.flags = kFlagFinal;
+      reply.itt = pdu.itt;
+      reply.word6 = session.stat_sn++;
+      reply.word7 = session.exp_cmd_sn;
+      PRINS_RETURN_IF_ERROR(
+          transport.send(reply.encode(session.header_digest)));
+      *done = true;
+      break;
+    }
+    case Opcode::kDataOut:
+      return failed_precondition("unsolicited Data-Out");
+    default: {
+      Pdu reject;
+      reject.opcode = Opcode::kReject;
+      reject.flags = kFlagFinal;
+      reject.byte2 = 0x04;  // protocol error
+      reject.itt = 0xFFFFFFFFu;
+      reject.word6 = session.stat_sn++;
+      PRINS_RETURN_IF_ERROR(
+          transport.send(reject.encode(session.header_digest)));
+      break;
     }
   }
+  return Status::ok();
 }
 
 Status IscsiTarget::handle_login(Transport& transport, Session& session,
@@ -286,7 +305,10 @@ Status IscsiTarget::do_write(Transport& transport, Session& session,
   if (received > 0) std::memcpy(buffer.data(), cmd.data.data(), received);
 
   if (received < total) {
-    // Ask for the rest with one R2T covering the remainder.
+    // Ask for the rest with one R2T covering the remainder, then park the
+    // partial buffer in the session: the data phase completes as Data-Out
+    // PDUs arrive (handle_frame routes them to handle_data_out), so no
+    // nested recv() loop blocks the caller mid-command.
     const std::uint32_t ttt = session.next_ttt++;
     Pdu r2t;
     r2t.opcode = Opcode::kR2t;
@@ -299,24 +321,13 @@ Status IscsiTarget::do_write(Transport& transport, Session& session,
     r2t.word10 = static_cast<std::uint32_t>(received);       // offset
     r2t.word11 = static_cast<std::uint32_t>(total - received);  // length
     PRINS_RETURN_IF_ERROR(transport.send(r2t.encode(session.header_digest)));
-
-    while (received < total) {
-      auto message = transport.recv();
-      if (!message.is_ok()) return message.status();
-      PRINS_ASSIGN_OR_RETURN(Pdu dout,
-                             Pdu::decode(*message, session.header_digest));
-      if (dout.opcode != Opcode::kDataOut || dout.itt != cmd.itt) {
-        return failed_precondition("expected Data-Out for ITT " +
-                                   std::to_string(cmd.itt));
-      }
-      const std::uint64_t off = dout.word10;
-      if (off + dout.data.size() > total) {
-        return send_response(transport, session, cmd.itt, kScsiCheckCondition,
-                             sense_invalid_cdb());
-      }
-      std::memcpy(buffer.data() + off, dout.data.data(), dout.data.size());
-      received += dout.data.size();
-    }
+    session.pending.active = true;
+    session.pending.itt = cmd.itt;
+    session.pending.lba = lba;
+    session.pending.total = total;
+    session.pending.received = received;
+    session.pending.buffer = std::move(buffer);
+    return Status::ok();
   }
 
   Status s = device_->write(lba, buffer);
@@ -327,18 +338,67 @@ Status IscsiTarget::do_write(Transport& transport, Session& session,
   return send_response(transport, session, cmd.itt, kScsiGood);
 }
 
+Status IscsiTarget::handle_data_out(Transport& transport, Session& session,
+                                    const Pdu& dout) {
+  PendingWrite& pending = session.pending;
+  const std::uint64_t off = dout.word10;
+  if (off + dout.data.size() > pending.total) {
+    const std::uint32_t itt = pending.itt;
+    pending = PendingWrite{};
+    return send_response(transport, session, itt, kScsiCheckCondition,
+                         sense_invalid_cdb());
+  }
+  std::memcpy(pending.buffer.data() + off, dout.data.data(), dout.data.size());
+  pending.received += dout.data.size();
+  if (pending.received < pending.total) return Status::ok();
+
+  // Data phase complete: land the write and retire the pending state.
+  const std::uint32_t itt = pending.itt;
+  const std::uint64_t lba = pending.lba;
+  Bytes buffer = std::move(pending.buffer);
+  pending = PendingWrite{};
+  Status s = device_->write(lba, buffer);
+  if (!s.is_ok()) {
+    return send_response(transport, session, itt, kScsiCheckCondition,
+                         sense_medium_error());
+  }
+  return send_response(transport, session, itt, kScsiGood);
+}
+
 std::thread serve_in_background(std::shared_ptr<IscsiTarget> target,
                                 std::shared_ptr<Listener> listener) {
   return std::thread([target = std::move(target),
                       listener = std::move(listener)] {
+    std::vector<std::thread> sessions;
+    int consecutive_failures = 0;
     for (;;) {
       auto conn = listener->accept();
-      if (!conn.is_ok()) return;  // listener closed
-      Status s = target->serve(**conn);
-      if (!s.is_ok()) {
-        PRINS_LOG(kWarn) << "iSCSI session ended with error: " << s.to_string();
+      if (!conn.is_ok()) {
+        // Closed listener = clean shutdown; other accept errors are
+        // transient — retry rather than abandoning every future initiator,
+        // but don't spin forever if accept() only ever fails.
+        if (conn.status().code() == ErrorCode::kUnavailable) break;
+        PRINS_LOG(kWarn) << "iSCSI accept: " << conn.status().to_string();
+        if (++consecutive_failures >= 64) {
+          PRINS_LOG(kError)
+              << "iSCSI accept failing persistently; stopping the loop";
+          break;
+        }
+        continue;
       }
+      consecutive_failures = 0;
+      // One session thread per initiator: a slow or failed connection no
+      // longer wedges the accept loop behind it.
+      sessions.emplace_back(
+          [target, conn = std::shared_ptr<Transport>(std::move(*conn))] {
+            Status s = target->serve(*conn);
+            if (!s.is_ok()) {
+              PRINS_LOG(kWarn)
+                  << "iSCSI session ended with error: " << s.to_string();
+            }
+          });
     }
+    for (std::thread& session : sessions) session.join();
   });
 }
 

@@ -9,7 +9,15 @@
 // full-feature), SCSI commands with immediate write data, R2T + Data-Out
 // for writes larger than the negotiated immediate limit, chunked Data-In
 // for reads, NOP ping, logout.  One connection at a time per serve() call;
-// run several serve()s on threads for multiple initiators.
+// run several serve()s on threads for multiple initiators, or serve many
+// initiators on O(1) threads with ReactorIscsiServer
+// (iscsi/reactor_target.h).
+//
+// The PDU loop is a pure state machine: handle_frame() consumes one PDU
+// and never calls recv() — a write awaiting Data-Out after an R2T parks
+// its partial buffer in the session (PendingWrite) instead of nesting a
+// receive loop, so the same code drives both the blocking serve() loop
+// and the reactor's handler-driven fan-in.
 #pragma once
 
 #include <atomic>
@@ -45,16 +53,41 @@ class IscsiTarget {
   std::uint64_t commands_served() const { return commands_.load(); }
 
  private:
+  // The reactor-hosted server drives handle_frame() per connection from
+  // loop-thread callbacks instead of a blocking recv() loop.
+  friend class ReactorIscsiServer;
+
+  /// A write command mid-flight: the R2T went out and the session is
+  /// collecting Data-Out PDUs into `buffer` until `received` covers the
+  /// transfer.  While active, any PDU other than the matching Data-Out is
+  /// a protocol error (the initiator owes us the data phase).
+  struct PendingWrite {
+    bool active = false;
+    std::uint32_t itt = 0;
+    std::uint64_t lba = 0;
+    std::uint64_t total = 0;
+    std::uint64_t received = 0;
+    Bytes buffer;
+  };
+
   struct Session {
     bool logged_in = false;
     bool header_digest = false;  // negotiated at login
     std::uint32_t stat_sn = 1;
     std::uint32_t exp_cmd_sn = 1;
     std::uint32_t next_ttt = 1;
+    PendingWrite pending;
   };
+
+  /// Consume exactly one wire message (PDU): decode, dispatch, send any
+  /// replies.  Never calls transport.recv().  Sets *done on logout.
+  Status handle_frame(Transport& transport, Session& session,
+                      ByteSpan message, bool* done);
 
   Status handle_login(Transport& transport, Session& session,
                       const Pdu& request);
+  Status handle_data_out(Transport& transport, Session& session,
+                         const Pdu& dout);
   Status handle_scsi(Transport& transport, Session& session,
                      const Pdu& command);
   Status do_read(Transport& transport, Session& session, const Pdu& cmd,
@@ -72,8 +105,12 @@ class IscsiTarget {
 };
 
 /// Convenience: accept connections from `listener` on a background thread,
-/// serving each sequentially, until the listener closes.  Returns the thread;
-/// join it after closing the listener.
+/// serving each initiator on its own session thread (concurrently).
+/// Transient accept() errors are retried; the loop exits cleanly only when
+/// the listener closes (or accept() fails persistently).  Per-session
+/// errors are logged, never wedge the accept loop.  Returns the accept
+/// thread; join it after closing the listener — it joins every session
+/// thread first.
 std::thread serve_in_background(std::shared_ptr<IscsiTarget> target,
                                 std::shared_ptr<Listener> listener);
 

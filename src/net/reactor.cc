@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace prins {
@@ -288,10 +289,7 @@ bool reactor_enabled_from_env() {
 }
 
 std::size_t reactor_threads_from_env() {
-  const char* env = std::getenv("PRINS_REACTOR_THREADS");
-  if (env == nullptr) return 1;
-  const long n = std::strtol(env, nullptr, 10);
-  return static_cast<std::size_t>(std::clamp<long>(n, 1, 64));
+  return parse_env_size("PRINS_REACTOR_THREADS", 1, 64).value_or(1);
 }
 
 }  // namespace prins

@@ -73,8 +73,10 @@ struct ReactorTcpTransport::Conn : std::enable_shared_from_this<Conn> {
 
   std::deque<Bytes> inbox;
   std::function<void(Bytes&&)> handler;  // non-null: bypass the inbox
+  std::function<void(const Status&)> close_handler;  // one-shot, via post()
   bool paused_inbox = false;             // inbox at capacity
   bool paused_outbox = false;            // handler mode: outbox over limit
+  bool paused_user = false;              // set_read_paused() gate
 
   // Write-side state machine: owned frames; the head may be partially on
   // the wire (out_off bytes of it already written).
@@ -92,7 +94,7 @@ struct ReactorTcpTransport::Conn : std::enable_shared_from_this<Conn> {
 
   std::uint32_t interest() const {
     std::uint32_t events = 0;
-    if (!paused_inbox && !paused_outbox) events |= EPOLLIN;
+    if (!paused_inbox && !paused_outbox && !paused_user) events |= EPOLLIN;
     if (write_armed) events |= EPOLLOUT;
     return events;
   }
@@ -112,7 +114,16 @@ struct ReactorTcpTransport::Conn : std::enable_shared_from_this<Conn> {
     out_bytes = 0;
     can_recv.notify_all();
     can_send.notify_all();
+    fire_close_handler_locked();
     schedule_remove();
+  }
+
+  /// Consume and post the close handler, if installed.  `mutex` held.
+  void fire_close_handler_locked() {
+    if (!close_handler) return;
+    reactor->post(
+        [cb = std::move(close_handler), status = error]() { cb(status); });
+    close_handler = nullptr;
   }
 
   /// Drop the fd from the loop on the loop thread (dispatch for this fd
@@ -209,7 +220,8 @@ struct ReactorTcpTransport::Conn : std::enable_shared_from_this<Conn> {
     // Fairness budget: with level-triggered epoll, anything unread is
     // reported again, so cap the work one connection does per wake.
     std::size_t budget = 1u << 20;
-    while (!closed && !paused_inbox && !paused_outbox && budget > 0) {
+    while (!closed && !paused_inbox && !paused_outbox && !paused_user &&
+           budget > 0) {
       Byte* dst;
       std::size_t want;
       if (!in_payload) {
@@ -451,6 +463,20 @@ void ReactorTcpTransport::set_message_handler(
   });
 }
 
+void ReactorTcpTransport::set_close_handler(
+    std::function<void(const Status&)> handler) {
+  std::lock_guard lock(conn_->mutex);
+  conn_->close_handler = std::move(handler);
+  if (conn_->closed) conn_->fire_close_handler_locked();
+}
+
+void ReactorTcpTransport::set_read_paused(bool paused) {
+  std::lock_guard lock(conn_->mutex);
+  if (conn_->paused_user == paused) return;
+  conn_->paused_user = paused;
+  conn_->update_interest();
+}
+
 std::size_t ReactorTcpTransport::outbox_bytes() const {
   std::lock_guard lock(conn_->mutex);
   return conn_->out_bytes;
@@ -475,6 +501,8 @@ struct ReactorListener::State : std::enable_shared_from_this<State> {
   std::mutex mutex;
   std::condition_variable can_accept;
   std::deque<std::unique_ptr<Transport>> pending;
+  std::function<void(std::unique_ptr<Transport>)> accept_handler;
+  bool drain_scheduled = false;  // posted backlog drain in flight
   bool closed = false;
   bool removed = false;
 
@@ -496,10 +524,47 @@ struct ReactorListener::State : std::enable_shared_from_this<State> {
                          << transport.status().to_string();
         continue;
       }
-      std::lock_guard lock(mutex);
+      std::unique_lock lock(mutex);
       if (closed) return;  // racing close(): drop the connection
+      if (accept_handler && pending.empty() && !drain_scheduled) {
+        auto h = accept_handler;
+        lock.unlock();
+        h(std::move(*transport));
+        continue;
+      }
+      // No handler, or a backlog drain is still queued: keep arrival order
+      // by routing through `pending`.
       pending.push_back(std::move(*transport));
-      can_accept.notify_one();
+      if (accept_handler) {
+        schedule_drain_locked();
+      } else {
+        can_accept.notify_one();
+      }
+    }
+  }
+
+  /// Queue a one-shot drain of `pending` into the accept handler on the
+  /// accept loop's thread.  `mutex` held.
+  void schedule_drain_locked() {
+    if (drain_scheduled) return;
+    drain_scheduled = true;
+    pool->at(0).shared_from_this()->post(
+        [self = shared_from_this()] { self->drain_pending(); });
+  }
+
+  /// Hand queued connections to the accept handler, oldest first.
+  void drain_pending() {
+    for (;;) {
+      std::unique_lock lock(mutex);
+      if (pending.empty() || !accept_handler || closed) {
+        drain_scheduled = false;
+        return;
+      }
+      auto h = accept_handler;
+      auto t = std::move(pending.front());
+      pending.pop_front();
+      lock.unlock();
+      h(std::move(t));
     }
   }
 };
@@ -575,6 +640,15 @@ void ReactorListener::close() {
             state->fd = -1;
           }
         });
+  }
+}
+
+void ReactorListener::set_accept_handler(
+    std::function<void(std::unique_ptr<Transport>)> handler) {
+  std::lock_guard lock(state_->mutex);
+  state_->accept_handler = std::move(handler);
+  if (state_->accept_handler && !state_->pending.empty()) {
+    state_->schedule_drain_locked();
   }
 }
 

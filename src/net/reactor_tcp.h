@@ -78,6 +78,20 @@ class ReactorTcpTransport final : public Transport {
   /// restores inbox delivery.
   void set_message_handler(std::function<void(Bytes&&)> handler);
 
+  /// One-shot notification when the connection dies (peer hangup, I/O
+  /// error, frame corruption, or close()).  Runs on the loop thread via
+  /// post(), after the handler that observed the failure returns; the
+  /// callback is consumed on first fire.  If the connection is already
+  /// closed when this is installed, the callback fires immediately (still
+  /// via post()).  Servers use this to drop per-connection state.
+  void set_close_handler(std::function<void(const Status&)> handler);
+
+  /// Application-level read gate, independent of the inbox/outbox
+  /// backpressure flags: while paused, the loop stops reading from the
+  /// socket (and so stops invoking the message handler), letting a server
+  /// bound the frames in flight per connection.  Safe from any thread.
+  void set_read_paused(bool paused);
+
   /// Bytes currently queued for the wire (tests / backpressure probes).
   std::size_t outbox_bytes() const;
 
@@ -103,6 +117,13 @@ class ReactorListener final : public Listener {
 
   Result<std::unique_ptr<Transport>> accept() override;
   void close() override;
+
+  /// Thread-free accept: run `handler` on the accept loop's thread for
+  /// every new connection instead of queueing it for accept().  Any
+  /// already-queued connections are handed to the handler first (on the
+  /// loop thread, in arrival order).  Passing nullptr restores queueing.
+  void set_accept_handler(
+      std::function<void(std::unique_ptr<Transport>)> handler);
 
   std::uint16_t port() const;
 

@@ -35,16 +35,19 @@ Status write_all(int fd, const Byte* data, std::size_t len) {
 
 }  // namespace
 
-TcpTransport::TcpTransport(int fd) : fd_(fd) {
+TcpTransport::TcpTransport(int fd) : fd_(fd), owned_fd_(fd) {
   // Explicit socket semantics, identical for the blocking and reactor
   // variants: no Nagle delay on the small-delta replication traffic, and
   // address reuse so a restarted node can rebind its port immediately.
   int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 }
 
-TcpTransport::~TcpTransport() { close(); }
+TcpTransport::~TcpTransport() {
+  close();
+  if (owned_fd_ >= 0) ::close(owned_fd_);
+}
 
 Result<std::unique_ptr<Transport>> TcpTransport::connect(
     const std::string& host, std::uint16_t port) {
@@ -71,18 +74,20 @@ Result<std::unique_ptr<Transport>> TcpTransport::connect(
 }
 
 Status TcpTransport::send(ByteSpan message) {
-  if (fd_ < 0) return unavailable("transport closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return unavailable("transport closed");
   if (message.size() > kMaxTcpMessageBytes) {
     return invalid_argument("message exceeds frame limit");
   }
   Byte header[4];
   store_le32(header, static_cast<std::uint32_t>(message.size()));
-  PRINS_RETURN_IF_ERROR(write_all(fd_, header, sizeof header));
-  return write_all(fd_, message.data(), message.size());
+  PRINS_RETURN_IF_ERROR(write_all(fd, header, sizeof header));
+  return write_all(fd, message.data(), message.size());
 }
 
 Status TcpTransport::send_vec(std::span<const ByteSpan> parts) {
-  if (fd_ < 0) return unavailable("transport closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return unavailable("transport closed");
   // writev() caps the iovec count; the engine sends 3 parts, so a small
   // fixed array (parts + length prefix) covers every caller.
   constexpr std::size_t kMaxParts = 15;
@@ -104,7 +109,7 @@ Status TcpTransport::send_vec(std::span<const ByteSpan> parts) {
   std::size_t remaining = sizeof header + total;
   std::size_t first = 0;
   while (remaining > 0) {
-    ssize_t n = ::writev(fd_, iov + first, static_cast<int>(iov_count - first));
+    ssize_t n = ::writev(fd, iov + first, static_cast<int>(iov_count - first));
     if (n < 0) {
       if (errno == EINTR) continue;
       return errno_status("writev");
@@ -132,7 +137,8 @@ Result<Bytes> TcpTransport::recv_for(std::chrono::milliseconds timeout) {
 
 Result<Bytes> TcpTransport::recv_until(
     std::optional<std::chrono::steady_clock::time_point> deadline) {
-  if (fd_ < 0) return unavailable("transport closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return unavailable("transport closed");
   for (;;) {
     // The deadline covers the *whole* frame, not just its first byte: a
     // peer that stalls mid-message surfaces as kTimeout, and the partial
@@ -143,7 +149,7 @@ Result<Bytes> TcpTransport::recv_until(
       const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
           *deadline - std::chrono::steady_clock::now());
       if (remaining.count() <= 0) return timeout_error("tcp recv timed out");
-      pollfd pfd{fd_, POLLIN, 0};
+      pollfd pfd{fd, POLLIN, 0};
       const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
       if (rc < 0) {
         if (errno == EINTR) continue;  // re-derive the remaining budget
@@ -162,7 +168,7 @@ Result<Bytes> TcpTransport::recv_until(
     }
     ssize_t n = 0;
     if (want > 0) {
-      n = ::recv(fd_, dst, want, 0);
+      n = ::recv(fd, dst, want, 0);
       if (n < 0) {
         if (errno == EINTR) continue;
         return errno_status("recv");
@@ -199,11 +205,12 @@ Result<Bytes> TcpTransport::recv_until(
 }
 
 void TcpTransport::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Shutdown only: a concurrent recv()/send() may be blocked inside a
+  // syscall on this descriptor, and ::close()ing it here would let the fd
+  // number be reused under them.  shutdown() wakes them with EOF; the
+  // descriptor itself is released by the destructor.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 std::string TcpTransport::describe() const { return "tcp"; }
@@ -237,13 +244,17 @@ Result<std::unique_ptr<TcpListener>> TcpListener::listen(std::uint16_t port) {
       new TcpListener(fd, ntohs(addr.sin_port)));
 }
 
-TcpListener::~TcpListener() { close(); }
+TcpListener::~TcpListener() {
+  close();
+  if (owned_fd_ >= 0) ::close(owned_fd_);
+}
 
 Result<std::unique_ptr<Transport>> TcpListener::accept() {
-  if (fd_ < 0) return unavailable("listener closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return unavailable("listener closed");
   int client;
   for (;;) {
-    client = ::accept(fd_, nullptr, nullptr);
+    client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) break;
     // EINTR: a signal landed mid-accept.  ECONNABORTED: the peer gave up
     // while queued — neither says anything about the *next* connection.
@@ -257,11 +268,11 @@ Result<std::unique_ptr<Transport>> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Shutdown only (wakes a blocked accept() with EINVAL); the descriptor
+  // is released by the destructor so the accept thread can never see its
+  // fd number reused mid-call.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 }  // namespace prins

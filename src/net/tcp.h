@@ -6,6 +6,7 @@
 // testbed ran over its GigE switch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -47,7 +48,13 @@ class TcpTransport final : public Transport {
   Result<Bytes> recv_until(
       std::optional<std::chrono::steady_clock::time_point> deadline);
 
-  int fd_;
+  // -1 once closed.  close() is called while another thread may be
+  // blocked in recv()/send() (that is how a peer unsticks them), so the
+  // handoff is atomic; the descriptor itself stays open until the
+  // destructor (owned_fd_) so an in-flight syscall can never observe the
+  // fd number reused.
+  std::atomic<int> fd_;
+  int owned_fd_;
   // Partial-frame reassembly state (valid across timed-out receives).
   Byte header_[4] = {0, 0, 0, 0};
   std::size_t header_fill_ = 0;
@@ -72,8 +79,15 @@ class TcpListener final : public Listener {
   std::uint16_t port() const { return port_; }
 
  private:
-  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
-  int fd_;
+  TcpListener(int fd, std::uint16_t port)
+      : fd_(fd), owned_fd_(fd), port_(port) {}
+  // close() races with a blocked accept() by design (it is how a serve
+  // loop is shut down): the handoff is atomic, close() only shuts the
+  // socket down (waking the accept with EINVAL), and the descriptor is
+  // released by the destructor so the blocked accept can never see its
+  // fd number reused.
+  std::atomic<int> fd_;
+  int owned_fd_;
   std::uint16_t port_;
 };
 

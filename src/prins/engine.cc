@@ -7,7 +7,9 @@
 
 #include "common/crc32c.h"
 #include "common/endian.h"
+#include "common/env.h"
 #include "common/logging.h"
+#include "net/reactor_tcp.h"
 #include "parity/xor.h"
 #include "prins/verify.h"
 
@@ -17,9 +19,7 @@ namespace {
 std::size_t resolve_write_shards(std::size_t requested) {
   std::size_t n = requested;
   if (n == 0) {
-    if (const char* env = std::getenv("PRINS_WRITE_SHARDS")) {
-      n = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
-    }
+    n = parse_env_size("PRINS_WRITE_SHARDS", 1, 64).value_or(0);
     if (n == 0) n = std::thread::hardware_concurrency();
     if (n == 0) n = 1;
   }
@@ -98,6 +98,13 @@ void PrinsEngine::init_shards() {
     shards_.push_back(std::make_unique<WriteShard>());
   }
   shard_mask_ = n - 1;
+  if (config_.reactor_senders && config_.reactor == nullptr) {
+    PRINS_LOG(kWarn) << "EngineConfig::reactor_senders requires a reactor; "
+                        "falling back to threaded senders";
+    config_.reactor_senders = false;
+  }
+  sender_guard_ = std::make_shared<SenderGuard>();
+  sender_guard_->engine = this;
 }
 
 std::uint64_t PrinsEngine::clock_tick() {
@@ -112,18 +119,32 @@ void PrinsEngine::drop_pending() {
 }
 
 PrinsEngine::~PrinsEngine() {
+  // Silence the reactor-sender callbacks first: each message/close
+  // handler, wheel timer, and posted pump holds the guard lock for its
+  // whole run, so once `engine` is nulled under that lock, none is in
+  // flight and none will start.
+  {
+    std::lock_guard g(sender_guard_->m);
+    sender_guard_->engine = nullptr;
+  }
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
     queue_cv_.notify_all();
     cancel_gates_locked();
+    for (auto& link : replicas_) {
+      if (link->reactor_driven) cancel_link_timer_locked(link.get());
+    }
   }
   for (auto& link : replicas_) {
     if (link->sender.joinable()) link->sender.join();
   }
   if (raid_ != nullptr) raid_->set_parity_observer(nullptr);
   if (raid6_ != nullptr) raid6_->set_parity_observer(nullptr);
-  for (auto& link : replicas_) link->transport->close();
+  for (auto& link : replicas_) {
+    clear_link_handlers(*link);
+    link->transport->close();
+  }
 }
 
 void PrinsEngine::add_replica(std::unique_ptr<Transport> link) {
@@ -136,6 +157,14 @@ void PrinsEngine::add_replica(std::unique_ptr<Transport> link) {
     raw->index = replicas_.size();
     raw->jitter = Rng(0x9e3779b97f4a7c15ull + raw->index);
     replicas_.push_back(std::move(replica));
+  }
+  if (config_.reactor_senders && install_reactor_link(raw)) {
+    // Reactor-driven link: no sender thread.  A backlog queued before this
+    // link existed is impossible (outboxes are per-link), so the first
+    // distribute() schedules the first pump.
+    std::lock_guard lock(mutex_);
+    raw->reactor_driven = true;
+    return;
   }
   raw->sender = std::thread([this, raw] { sender_main(raw); });
 }
@@ -156,27 +185,89 @@ Status PrinsEngine::reattach_replica(std::size_t index,
     }
     replica = replicas_[index].get();
   }
+  bool was_reactor = false;
   {
     // Take the link mutex so its sender is not mid-exchange on the old
     // transport while we swap it.
     std::lock_guard link_lock(replica->mutex);
+    {
+      std::lock_guard lock(mutex_);
+      was_reactor = replica->reactor_driven;
+    }
+    // An engine-initiated close must not fire the old transport's close
+    // handler into fail_round.
+    if (was_reactor) clear_link_handlers(*replica);
     replica->transport->close();
     replica->transport = std::move(link);
     replica->heal_failures = 0;
   }
-  std::lock_guard lock(mutex_);
-  replica->failed = false;
-  replica->unhealable = false;
-  // Clear the sticky error only once *every* link is healthy again:
-  // reattaching replica 0 must not silently absolve a still-failed
-  // replica 1.
-  bool any_failed = false;
-  for (const auto& r : replicas_) any_failed |= r->failed;
-  if (!any_failed) worker_error_ = Status::ok();
-  queue_cv_.notify_all();
-  // Reactor mode: the sender may be sleeping out a heal backoff on a gate;
-  // cancel it so the fresh link is picked up now, not at the old deadline.
-  cancel_gates_locked();
+  {
+    std::lock_guard lock(mutex_);
+    replica->failed = false;
+    replica->unhealable = false;
+    // Clear the sticky error only once *every* link is healthy again:
+    // reattaching replica 0 must not silently absolve a still-failed
+    // replica 1.
+    bool any_failed = false;
+    for (const auto& r : replicas_) any_failed |= r->failed;
+    if (!any_failed) worker_error_ = Status::ok();
+    queue_cv_.notify_all();
+    // Reactor mode: the sender may be sleeping out a heal backoff on a
+    // gate; cancel it so the fresh link is picked up now, not at the old
+    // deadline.
+    cancel_gates_locked();
+  }
+  if (!was_reactor) return Status::ok();
+
+  // Re-arm the reactor sender on the fresh transport.
+  std::lock_guard link_lock(replica->mutex);
+  std::unique_lock lock(mutex_);
+  if (replica->phase == ReplicaLink::Phase::kHealing ||
+      replica->phase == ReplicaLink::Phase::kExclusive) {
+    // kHealing: the heal thread owns the link; the gate cancel above woke
+    // it, it will observe failed == false and rejoin the reactor path
+    // itself (installing handlers on this fresh transport).  kExclusive:
+    // an operator exchange owns the link; end_link_exclusive reinstalls.
+    return Status::ok();
+  }
+  cancel_link_timer_locked(replica);
+  lock.unlock();
+  if (!install_reactor_link(replica)) {
+    // The fresh transport is not reactor-capable: revert this link to a
+    // threaded sender.  Un-acked round entries go back to the outbox
+    // front — sender_main resumes from there, it does not adopt rounds.
+    lock.lock();
+    replica->reactor_driven = false;
+    replica->phase = ReplicaLink::Phase::kIdle;
+    replica->in_flight -= replica->round.size();
+    for (std::size_t i = replica->round.size(); i-- > 0;) {
+      if (replica->round_acked[i]) continue;  // settled at ack time
+      replica->outbox.push_front(std::move(replica->round[i]));
+      --replica->first_slot;
+    }
+    replica->round.clear();
+    replica->round_acked.clear();
+    replica->round_attempt = 0;
+    replica->round_sent = 0;
+    replica->round_covered = 0;
+    replica->round_progress = false;
+    queue_cv_.notify_all();
+    lock.unlock();
+    if (replica->sender.joinable()) replica->sender.join();
+    replica->sender = std::thread([this, replica] { sender_main(replica); });
+    return Status::ok();
+  }
+  lock.lock();
+  if (!replica->round.empty()) {
+    // A round was mid-flight when the old transport died: retransmit its
+    // un-acked entries on the fresh one (replica dedup absorbs overlap).
+    // An immediate wheel timer reuses the kBackoff resend path.
+    replica->phase = ReplicaLink::Phase::kBackoff;
+    arm_link_timer_locked(replica, std::chrono::steady_clock::now());
+  } else {
+    replica->phase = ReplicaLink::Phase::kIdle;
+    schedule_pump_locked(replica);
+  }
   return Status::ok();
 }
 
@@ -380,6 +471,9 @@ Status PrinsEngine::distribute(const ReplicationMessage& meta,
     append_to_outbox_locked(*link, meta, payload, raw, coalescable);
   }
   queue_cv_.notify_all();
+  if (config_.reactor_senders) {
+    for (auto& link : replicas_) schedule_pump_locked(link.get());
+  }
   // The message may have completed instantly on every link (heal-skip
   // fast path); keep the journal watermark moving in that case.
   const std::uint64_t watermark = ack_watermark_locked();
@@ -628,7 +722,8 @@ Result<Bytes> PrinsEngine::recv_reply_locked(ReplicaLink& link) {
              : link.transport->recv();
 }
 
-void PrinsEngine::retry_backoff(ReplicaLink& link, std::size_t attempt) {
+std::chrono::steady_clock::duration PrinsEngine::retry_delay(
+    ReplicaLink& link, std::size_t attempt) {
   const RetryPolicy& r = config_.retry;
   double ms = static_cast<double>(r.base_backoff.count()) *
               std::pow(r.multiplier, static_cast<double>(
@@ -637,11 +732,15 @@ void PrinsEngine::retry_backoff(ReplicaLink& link, std::size_t attempt) {
   ms = std::min(ms, static_cast<double>(r.max_backoff.count()));
   // ±25% jitter decorrelates simultaneous retries across links.
   ms *= 0.75 + 0.5 * link.jitter.next_double();
-  if (ms <= 0.0) return;
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double, std::milli>(ms));
+  if (ms <= 0.0) ms = 0.0;
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+void PrinsEngine::retry_backoff(ReplicaLink& link, std::size_t attempt) {
+  const auto delay = retry_delay(link, attempt);
+  if (delay.count() <= 0) return;
+  const auto deadline = std::chrono::steady_clock::now() + delay;
   if (config_.reactor != nullptr) {
     reactor_wait_until(deadline);
     return;
@@ -1134,6 +1233,569 @@ void PrinsEngine::attempt_heal(ReplicaLink* link) {
                    << link->resync_upto << ")";
 }
 
+// ---- Reactor-driven sender path (config.reactor_senders) -------------------
+//
+// The threaded sender_main/exchange_batch_locked pair becomes an event
+// machine: pump_link() (a posted closure) plays the pop-a-window half,
+// on_link_reply() (the transport's message handler) plays the
+// collect-replies half, and the wheel timer plays recv_for's op_timeout and
+// retry_backoff's sleep.  Lock order everywhere: sender guard, then link
+// mutex, then engine mutex_ — the same link-then-engine order the threaded
+// path uses, with the guard outermost so teardown can fence callbacks.
+
+bool PrinsEngine::install_reactor_link(ReplicaLink* link) {
+  auto* rt = dynamic_cast<ReactorTcpTransport*>(link->transport.get());
+  if (rt == nullptr) return false;
+  auto guard = sender_guard_;
+  rt->set_close_handler([guard, link](const Status& why) {
+    std::lock_guard g(guard->m);
+    if (guard->engine == nullptr) return;
+    // Lock-free pre-check: never block a loop thread on the link mutex
+    // behind a multi-second heal exchange.
+    if (link->healing.load(std::memory_order_relaxed)) return;
+    guard->engine->on_link_closed(link, why);
+  });
+  rt->set_message_handler([guard, link](Bytes&& reply) {
+    std::lock_guard g(guard->m);
+    if (guard->engine == nullptr) return;
+    if (link->healing.load(std::memory_order_relaxed)) return;
+    guard->engine->on_link_reply(link, std::move(reply));
+  });
+  return true;
+}
+
+void PrinsEngine::clear_link_handlers(ReplicaLink& link) {
+  if (auto* rt = dynamic_cast<ReactorTcpTransport*>(link.transport.get())) {
+    rt->set_close_handler(nullptr);
+    rt->set_message_handler(nullptr);
+  }
+}
+
+void PrinsEngine::arm_link_timer_locked(
+    ReplicaLink* link, std::chrono::steady_clock::time_point deadline) {
+  const std::uint64_t epoch =
+      link->timer_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  link->timer_armed = true;
+  auto guard = sender_guard_;
+  link->timer = config_.reactor->add_timer_at(deadline, [guard, link, epoch] {
+    std::lock_guard g(guard->m);
+    // Guard first: `link` is only safe to touch while the engine lives.
+    if (guard->engine == nullptr) return;
+    if (link->timer_epoch.load(std::memory_order_relaxed) != epoch) return;
+    if (link->healing.load(std::memory_order_relaxed)) return;
+    guard->engine->on_link_timer(link);
+  });
+}
+
+void PrinsEngine::cancel_link_timer_locked(ReplicaLink* link) {
+  // The epoch bump retires a callback the wheel already dequeued and that
+  // cancel_timer can no longer reach.
+  link->timer_epoch.fetch_add(1, std::memory_order_relaxed);
+  if (link->timer_armed) {
+    link->timer_armed = false;
+    config_.reactor->cancel_timer(link->timer);
+  }
+}
+
+void PrinsEngine::schedule_pump_locked(ReplicaLink* link) {
+  if (!link->reactor_driven || link->pump_scheduled ||
+      stopping_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (link->phase != ReplicaLink::Phase::kIdle) return;
+  if (link->outbox.empty()) return;
+  // A degraded link holds its traffic for the heal's fold; only a
+  // sticky-dead link's pump runs (to drop the queue, below).
+  if (link->failed && healable_locked(*link)) return;
+  link->pump_scheduled = true;
+  auto guard = sender_guard_;
+  config_.reactor->post([guard, link] {
+    std::lock_guard g(guard->m);
+    if (guard->engine == nullptr) return;
+    if (link->healing.load(std::memory_order_relaxed)) return;
+    guard->engine->pump_link(link);
+  });
+}
+
+void PrinsEngine::pump_link(ReplicaLink* link) {
+  std::lock_guard link_lock(link->mutex);
+  std::unique_lock lock(mutex_);
+  link->pump_scheduled = false;
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  if (link->failed) {
+    if (healable_locked(*link)) return;  // the heal's fold carries the queue
+    // Sticky, non-healable failure: drop queued traffic so producers and
+    // drain() never block behind a dead link (sender_main's
+    // already_failed path).
+    if (link->outbox.empty()) return;
+    while (!link->outbox.empty()) {
+      const auto it = link->fold_slots.find(link->outbox.front().meta.lba);
+      if (it != link->fold_slots.end() && it->second == link->first_slot) {
+        link->fold_slots.erase(it);
+      }
+      OutMessage item = std::move(link->outbox.front());
+      link->outbox.pop_front();
+      ++link->first_slot;
+      complete_locked(item, /*acked=*/false);
+    }
+    const std::uint64_t watermark = ack_watermark_locked();
+    queue_cv_.notify_all();
+    if (idle_locked()) drain_cv_.notify_all();
+    lock.unlock();
+    advance_journal_watermark(watermark);
+    return;
+  }
+  if (link->phase != ReplicaLink::Phase::kIdle || link->outbox.empty()) {
+    return;
+  }
+
+  const std::size_t window = std::max<std::size_t>(1, config_.pipeline_depth);
+  while (!link->outbox.empty() && link->round.size() < window) {
+    // A popped entry can no longer absorb folds.
+    const auto it = link->fold_slots.find(link->outbox.front().meta.lba);
+    if (it != link->fold_slots.end() && it->second == link->first_slot) {
+      link->fold_slots.erase(it);
+    }
+    link->round.push_back(std::move(link->outbox.front()));
+    link->outbox.pop_front();
+    ++link->first_slot;
+  }
+  link->round_acked.assign(link->round.size(), false);
+  link->round_attempt = 0;
+  link->round_sent = 0;
+  link->round_covered = 0;
+  link->round_progress = false;
+  link->in_flight += link->round.size();
+  link->phase = ReplicaLink::Phase::kAwaitingAcks;
+  queue_cv_.notify_all();  // wake producers blocked on outbox capacity
+  lock.unlock();
+
+  // Transmit.  On a loop thread the transport's enqueue never blocks on
+  // flow control, so a stuck replica cannot stall the reactor here.
+  std::size_t sent = 0;
+  Status result = Status::ok();
+  for (OutMessage& entry : link->round) {
+    result = send_entry_locked(*link, entry);
+    if (!result.is_ok()) break;
+    ++sent;
+  }
+  if (!result.is_ok()) {
+    // Sends on a reactor transport only fail once the connection is dead;
+    // classification (degraded heal vs. sticky) happens in fail_round.
+    fail_round(link, result);
+    return;
+  }
+  lock.lock();
+  if (link->phase != ReplicaLink::Phase::kAwaitingAcks) return;
+  link->round_sent = sent;
+  if (config_.retry.op_timeout.count() > 0) {
+    arm_link_timer_locked(
+        link, std::chrono::steady_clock::now() + config_.retry.op_timeout);
+  }
+}
+
+void PrinsEngine::on_link_reply(ReplicaLink* link, Bytes reply) {
+  std::lock_guard link_lock(link->mutex);
+  std::unique_lock lock(mutex_);
+  if (stopping_.load(std::memory_order_relaxed) || link->round.empty()) {
+    return;  // stale ack from an earlier round/life of the link
+  }
+  if (link->phase != ReplicaLink::Phase::kAwaitingAcks &&
+      link->phase != ReplicaLink::Phase::kBackoff) {
+    return;
+  }
+  // Coverage counts completions per transmission attempt; an ack landing
+  // during a backoff still settles its entry but does not count toward the
+  // attempt that already closed.
+  const bool counting = link->phase == ReplicaLink::Phase::kAwaitingAcks;
+
+  const auto mark = [&](std::size_t i) {
+    link->round_acked[i] = true;
+    link->round_progress = true;
+    complete_locked(link->round[i], /*acked=*/true);
+    const std::uint64_t ts = link->round[i].meta.timestamp_us;
+    if (ts > link->acked_timestamp.load(std::memory_order_relaxed)) {
+      link->acked_timestamp.store(ts, std::memory_order_relaxed);
+    }
+  };
+  const auto all_acked = [&] {
+    return std::all_of(link->round_acked.begin(), link->round_acked.end(),
+                       [](bool a) { return a; });
+  };
+
+  constexpr std::size_t kNoConvert = static_cast<std::size_t>(-1);
+  std::size_t convert_index = kNoConvert;
+  auto ack = ReplicationMessage::decode(reply);
+  if (!ack.is_ok()) {
+    if (counting) ++link->round_covered;  // torn reply; retransmit covers it
+  } else if (ack->kind == MessageKind::kAckBatch) {
+    auto ranges = unpack_ack_ranges(ack->payload);
+    if (!ranges.is_ok()) {
+      if (counting) ++link->round_covered;  // damaged; dedup re-acks
+    } else {
+      for (const AckRange& range : *ranges) {
+        if (counting) link->round_covered += range.count;
+        for (std::size_t i = 0; i < link->round.size(); ++i) {
+          if (!link->round_acked[i] &&
+              range.covers(link->round[i].meta.sequence)) {
+            mark(i);
+          }
+        }
+      }
+    }
+  } else if (ack->kind == MessageKind::kNak) {
+    if (counting) ++link->round_covered;
+    if (!ack->payload.empty() &&
+        ack->payload[0] == static_cast<Byte>(NakReason::kNeedFullBlock)) {
+      for (std::size_t i = 0; i < link->round.size(); ++i) {
+        if (!link->round_acked[i] &&
+            link->round[i].meta.sequence == ack->sequence) {
+          convert_index = i;
+          break;
+        }
+      }
+    }
+    // A plain NAK (torn frame at the replica) is covered by the attempt's
+    // retransmit, exactly like the threaded path.
+  } else if (ack->kind == MessageKind::kAck) {
+    if (counting) ++link->round_covered;
+    for (std::size_t i = 0; i < link->round.size(); ++i) {
+      if (!link->round_acked[i] &&
+          link->round[i].meta.sequence == ack->sequence) {
+        mark(i);
+        break;
+      }
+    }
+    // Unmatched sequences are stale acks from duplicated delivery or an
+    // earlier timed-out round; ignore them.
+  } else {
+    lock.unlock();
+    fail_round(link, failed_precondition("replica sent non-ACK reply"));
+    return;
+  }
+
+  if (convert_index != kNoConvert) {
+    // convert_to_repair_locked takes mutex_ (metrics) and a stripe lock
+    // itself; call it with only the link mutex held, like the threaded
+    // path does.
+    lock.unlock();
+    convert_to_repair_locked(link->round[convert_index]);
+    lock.lock();
+  }
+
+  if (all_acked()) {
+    finish_round(link, lock);
+    return;
+  }
+  if (counting && link->round_covered >= link->round_sent) {
+    // Every reply for this attempt arrived, entries still open: drops or
+    // NAKs upstream — retransmit after the backoff.
+    round_retry_or_fail(
+        link, lock, timeout_error("replica replies incomplete; retransmitting"));
+    return;
+  }
+  // Partial progress: settled entries may already move the watermark.
+  const std::uint64_t watermark = ack_watermark_locked();
+  lock.unlock();
+  advance_journal_watermark(watermark);
+}
+
+void PrinsEngine::on_link_closed(ReplicaLink* link, const Status& why) {
+  std::lock_guard link_lock(link->mutex);
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed) || link->failed) return;
+    if (link->phase == ReplicaLink::Phase::kExclusive) return;
+  }
+  fail_round(link,
+             why.is_ok() ? unavailable("replica connection closed") : why);
+}
+
+void PrinsEngine::on_link_timer(ReplicaLink* link) {
+  std::lock_guard link_lock(link->mutex);
+  std::unique_lock lock(mutex_);
+  if (stopping_.load(std::memory_order_relaxed) || !link->timer_armed) return;
+  link->timer_armed = false;
+  switch (link->phase) {
+    case ReplicaLink::Phase::kAwaitingAcks:
+      // op_timeout expired with replies missing: recv_for's timeout in
+      // event form.
+      round_retry_or_fail(link, lock,
+                          timeout_error("replica reply timed out"));
+      return;
+    case ReplicaLink::Phase::kBackoff:
+      lock.unlock();
+      resend_round(link);
+      return;
+    default:
+      return;
+  }
+}
+
+void PrinsEngine::round_retry_or_fail(ReplicaLink* link,
+                                      std::unique_lock<std::mutex>& lock,
+                                      const Status& why) {
+  // exchange_batch_locked's full-block ordering check: an un-acked entry
+  // behind an acked same-LBA successor cannot be retransmitted (full
+  // blocks do not commute).
+  if (!ships_parity(config_.policy)) {
+    for (std::size_t i = 0; i < link->round.size(); ++i) {
+      if (link->round_acked[i]) continue;
+      for (std::size_t j = i + 1; j < link->round.size(); ++j) {
+        if (link->round_acked[j] &&
+            link->round[j].meta.lba == link->round[i].meta.lba) {
+          lock.unlock();
+          fail_round(link, failed_precondition(
+                               "out-of-order ack under a full-block policy"));
+          return;
+        }
+      }
+    }
+  }
+  link->round_attempt =
+      link->round_progress ? 1 : link->round_attempt + 1;
+  link->round_progress = false;
+  if (link->round_attempt > config_.retry.max_attempts) {
+    lock.unlock();
+    fail_round(link, why);
+    return;
+  }
+  metrics_.retries += 1;
+  link->phase = ReplicaLink::Phase::kBackoff;
+  cancel_link_timer_locked(link);  // an op_timeout may still be ticking
+  arm_link_timer_locked(link,
+                        std::chrono::steady_clock::now() +
+                            retry_delay(*link, link->round_attempt));
+  lock.unlock();
+}
+
+void PrinsEngine::resend_round(ReplicaLink* link) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed) || link->failed ||
+        link->round.empty()) {
+      return;
+    }
+    link->phase = ReplicaLink::Phase::kAwaitingAcks;
+    link->round_sent = 0;
+    link->round_covered = 0;
+    link->round_progress = false;
+  }
+  std::size_t sent = 0;
+  Status result = Status::ok();
+  for (std::size_t i = 0; i < link->round.size(); ++i) {
+    if (link->round_acked[i]) continue;
+    result = send_entry_locked(*link, link->round[i]);
+    if (!result.is_ok()) break;
+    ++sent;
+  }
+  if (!result.is_ok()) {
+    fail_round(link, result);
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  if (link->phase != ReplicaLink::Phase::kAwaitingAcks) return;
+  link->round_sent = sent;
+  if (config_.retry.op_timeout.count() > 0) {
+    arm_link_timer_locked(
+        link, std::chrono::steady_clock::now() + config_.retry.op_timeout);
+  }
+}
+
+void PrinsEngine::finish_round(ReplicaLink* link,
+                               std::unique_lock<std::mutex>& lock) {
+  link->in_flight -= link->round.size();
+  link->round.clear();
+  link->round_acked.clear();
+  link->round_attempt = 0;
+  link->round_sent = 0;
+  link->round_covered = 0;
+  link->round_progress = false;
+  cancel_link_timer_locked(link);
+  link->phase = ReplicaLink::Phase::kIdle;
+  const std::uint64_t watermark = ack_watermark_locked();
+  queue_cv_.notify_all();
+  if (idle_locked()) drain_cv_.notify_all();
+  schedule_pump_locked(link);
+  lock.unlock();
+  advance_journal_watermark(watermark);
+}
+
+void PrinsEngine::fail_round(ReplicaLink* link, const Status& why) {
+  bool spawn_heal = false;
+  std::uint64_t watermark = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (link->failed) return;  // a close and a timeout can race; first wins
+    cancel_link_timer_locked(link);
+    link->in_flight -= link->round.size();
+    // sender_main's failure classification: a heal's fold can re-deliver
+    // kWrite traffic, so an all-write round failing on a healable link is
+    // *degraded*; any other kind has no second delivery path.
+    bool fold_covers_round = true;
+    for (std::size_t i = 0; i < link->round.size(); ++i) {
+      fold_covers_round &=
+          link->round[i].meta.kind == MessageKind::kWrite;
+      // Entries acked before the failure were settled at ack time.
+      if (!link->round_acked[i]) {
+        complete_locked(link->round[i], /*acked=*/false);
+      }
+    }
+    link->round.clear();
+    link->round_acked.clear();
+    link->round_attempt = 0;
+    link->round_sent = 0;
+    link->round_covered = 0;
+    link->round_progress = false;
+    link->failed = true;
+    link->next_heal = std::chrono::steady_clock::now();
+    if (fold_covers_round && healable_locked(*link)) {
+      PRINS_LOG(kWarn) << "replica " << link->index
+                       << " degraded; self-heal scheduled: "
+                       << why.to_string();
+      link->phase = ReplicaLink::Phase::kHealing;
+      link->healing.store(true, std::memory_order_relaxed);
+      spawn_heal = true;
+    } else {
+      link->phase = ReplicaLink::Phase::kIdle;
+      if (worker_error_.is_ok()) {
+        worker_error_ = why;
+        PRINS_LOG(kError) << "replication failed: " << why.to_string();
+      }
+      // Queued traffic behind a sticky-dead link must still drain.
+      schedule_pump_locked(link);
+    }
+    watermark = ack_watermark_locked();
+    queue_cv_.notify_all();
+    if (idle_locked()) drain_cv_.notify_all();
+  }
+  // The dying transport's callbacks must go quiet: the heal will close
+  // and replace it, and a sticky-dead link's late frames mean nothing.
+  clear_link_handlers(*link);
+  advance_journal_watermark(watermark);
+  if (spawn_heal) {
+    // The previous heal episode's thread (if any) exited before this
+    // link could fail again, so the join is immediate.
+    if (link->sender.joinable()) link->sender.join();
+    link->sender = std::thread([this, link] { heal_main(link); });
+  }
+}
+
+void PrinsEngine::heal_main(ReplicaLink* link) {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        link->healing.store(false, std::memory_order_relaxed);
+        return;
+      }
+      if (!healable_locked(*link)) break;  // healed, reattached, unhealable
+      const auto next_heal = link->next_heal;
+      lock.unlock();
+      if (std::chrono::steady_clock::now() < next_heal) {
+        reactor_wait_until(next_heal);
+        continue;  // re-check state after the wait
+      }
+    }
+    // attempt_heal's hello/resync exchanges use blocking recv() on the
+    // fresh transport — valid here because no message handler is
+    // installed on it yet.
+    attempt_heal(link);
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        link->healing.store(false, std::memory_order_relaxed);
+        return;
+      }
+      if (!link->failed) break;
+    }
+  }
+  if (!rejoin_reactor_link(link)) {
+    // The reconnect factory produced a non-reactor transport: this thread
+    // simply becomes the link's sender.
+    sender_main(link);
+  }
+}
+
+bool PrinsEngine::rejoin_reactor_link(ReplicaLink* link) {
+  std::lock_guard link_lock(link->mutex);
+  std::unique_lock lock(mutex_);
+  link->healing.store(false, std::memory_order_relaxed);
+  link->phase = ReplicaLink::Phase::kIdle;
+  queue_cv_.notify_all();  // begin_link_exclusive may be parked on the phase
+  if (stopping_.load(std::memory_order_relaxed)) return true;
+  if (link->failed) {
+    // Unhealable: drop queued traffic so producers and drain() move on;
+    // reattach_replica re-arms the handlers when the operator intervenes.
+    schedule_pump_locked(link);
+    return true;
+  }
+  lock.unlock();
+  if (!install_reactor_link(link)) {
+    lock.lock();
+    link->reactor_driven = false;
+    return false;
+  }
+  lock.lock();
+  schedule_pump_locked(link);
+  return true;
+}
+
+void PrinsEngine::begin_link_exclusive(ReplicaLink* link) {
+  bool uninstall = false;
+  {
+    std::unique_lock lock(mutex_);
+    if (!link->reactor_driven) return;
+    queue_cv_.wait(lock, [&] {
+      return stopping_.load(std::memory_order_relaxed) || link->failed ||
+             link->phase == ReplicaLink::Phase::kIdle;
+    });
+    if (stopping_.load(std::memory_order_relaxed) || link->failed ||
+        link->phase != ReplicaLink::Phase::kIdle) {
+      // Failed links had their handlers cleared by fail_round; blocking
+      // recv() already works on them.
+      return;
+    }
+    link->phase = ReplicaLink::Phase::kExclusive;
+    uninstall = true;
+  }
+  if (uninstall) clear_link_handlers(*link);
+}
+
+void PrinsEngine::end_link_exclusive(ReplicaLink* link) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!link->reactor_driven ||
+        link->phase != ReplicaLink::Phase::kExclusive) {
+      return;
+    }
+    link->phase = ReplicaLink::Phase::kIdle;
+    queue_cv_.notify_all();  // another exclusive waiter may be parked
+  }
+  std::lock_guard link_lock(link->mutex);
+  // Reinstalling on a transport the exchange killed is fine: the close
+  // handler fires immediately and routes into fail_round.
+  if (install_reactor_link(link)) {
+    std::lock_guard lock(mutex_);
+    schedule_pump_locked(link);
+  }
+}
+
+class PrinsEngine::LinkExclusive {
+ public:
+  LinkExclusive(PrinsEngine& engine, ReplicaLink* link)
+      : engine_(engine), link_(link) {
+    engine_.begin_link_exclusive(link_);
+  }
+  ~LinkExclusive() { engine_.end_link_exclusive(link_); }
+  LinkExclusive(const LinkExclusive&) = delete;
+  LinkExclusive& operator=(const LinkExclusive&) = delete;
+
+ private:
+  PrinsEngine& engine_;
+  ReplicaLink* link_;
+};
+
 Status PrinsEngine::send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
                                         MessageKind /*expect_ack_of*/) {
   PRINS_RETURN_IF_ERROR(link.transport->send(wire));
@@ -1244,6 +1906,9 @@ Result<std::uint64_t> PrinsEngine::verify_and_repair(Lba start,
 
   std::uint64_t repaired = 0;
   for (auto& link : replicas_) {
+    // Park a reactor-driven sender so this blocking exchange owns the
+    // transport (no-op for threaded links).
+    LinkExclusive exclusive(*this, link.get());
     std::lock_guard link_lock(link->mutex);
     PRINS_RETURN_IF_ERROR(flat_verify_locked(*link, start, count, repaired));
   }
@@ -1262,6 +1927,7 @@ Result<std::uint64_t> PrinsEngine::verify_and_repair_hierarchical(
 
   std::uint64_t repaired = 0;
   for (auto& link : replicas_) {
+    LinkExclusive exclusive(*this, link.get());
     std::lock_guard link_lock(link->mutex);
     std::vector<BlockRange> frontier{BlockRange{start, count}};
     std::vector<BlockRange> leaves;
@@ -1343,6 +2009,7 @@ Status PrinsEngine::fetch_block_from_replica(Lba lba, MutByteSpan out) {
     req.block_size = block_size();
     req.lba = lba;
     req.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    LinkExclusive exclusive(*this, link);
     std::lock_guard link_lock(link->mutex);
     if (Status sent = link->transport->send(req.encode()); !sent.is_ok()) {
       last = sent;
@@ -1518,6 +2185,7 @@ Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
   const Bytes zeros(bs, 0);
   std::uint64_t resynced = 0;
 
+  LinkExclusive exclusive(*this, link);
   std::lock_guard link_lock(link->mutex);
   std::uint64_t newest = since;
   for (Lba lba : trap_log_.blocks_changed_since(since)) {

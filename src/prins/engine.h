@@ -11,7 +11,10 @@
 //   3. fanned out to a per-replica outbox, each drained by its own sender
 //      thread, so a slow or high-latency replica never serializes the
 //      others.  Each sender streams up to `pipeline_depth` messages per
-//      link round-trip before collecting ACKs.
+//      link round-trip before collecting ACKs.  With
+//      `EngineConfig::reactor_senders` the sender threads disappear: each
+//      link becomes a reactor-hosted state machine (pumped by post(),
+//      acked by message-handler callbacks, timed by the wheel).
 //
 // Optionally (`coalesce_writes`) back-to-back deltas to the same LBA that
 // are still waiting in an outbox are XOR-folded into a single message: the
@@ -130,6 +133,22 @@ struct EngineConfig {
   /// per-reply op_timeout rides the same wheel (its recv_for arms a wheel
   /// timer rather than polling).
   std::shared_ptr<Reactor> reactor;
+  /// Thread-free primary: drive each replica link as a reactor-hosted
+  /// outbox state machine instead of a dedicated sender thread.  Requires
+  /// `reactor`; links whose transports are not ReactorTcpTransports (at
+  /// add_replica(), after reattach_replica(), or produced by `reconnect`)
+  /// transparently fall back to a threaded sender.  The steady state
+  /// spends zero engine threads: distribute() posts a pump onto the
+  /// reactor, replica ACKs/NAKs arrive as message-handler callbacks on
+  /// the transport's loop, and the RetryPolicy's op_timeout and retry
+  /// backoff ride the timer wheel.  Semantics differ from the threaded
+  /// path in one place: a lost connection is never reconnected in-round —
+  /// it degrades the link and the self-heal path (keep_trap_log +
+  /// reconnect) reconnects and folds the outage; with either of those
+  /// unset, connection loss is a sticky failure exactly as if `reconnect`
+  /// were null.  A transient thread exists only while a degraded link
+  /// heals.
+  bool reactor_senders = false;
   /// LBA-striped submit locks: writers to blocks in different shards
   /// (shard = lba mod write_shards) proceed concurrently; same-block writes
   /// stay fully serialized, which is what keeps replica XOR chains
@@ -352,6 +371,42 @@ class PrinsEngine final : public BlockDevice {
     std::chrono::steady_clock::time_point next_heal{};
 
     std::thread sender;
+
+    // ---- Reactor-driven sender state (config.reactor_senders) ----------
+    /// Event-machine phase, guarded by mutex_.  kIdle: nothing in flight,
+    /// a pump may open a round.  kAwaitingAcks: a round was transmitted
+    /// and replies are being collected by the message handler.  kBackoff:
+    /// the round came back short (timeout / NAKs) and a wheel timer is
+    /// sleeping out the retry backoff before the retransmit.  kHealing: a
+    /// transient heal thread owns the link (handlers uninstalled, traffic
+    /// held).  kExclusive: a blocking operator exchange (verify / resync /
+    /// fetch) owns the link and reads replies via recv().
+    enum class Phase { kIdle, kAwaitingAcks, kBackoff, kHealing, kExclusive };
+    bool reactor_driven = false;  // guarded by mutex_; set at add_replica,
+                                  // cleared only by a threaded fallback
+    Phase phase = Phase::kIdle;   // guarded by mutex_
+    bool pump_scheduled = false;  // a pump closure is queued (mutex_)
+    /// The in-flight round: entries popped from the outbox awaiting acks.
+    /// Guarded by the link mutex (mutators also hold mutex_ where they
+    /// touch engine-wide state such as in_flight or outstanding_).
+    std::vector<OutMessage> round;
+    std::vector<bool> round_acked;     // per-entry outcome so far
+    std::size_t round_attempt = 0;     // mirrors exchange_batch_locked's
+    std::size_t round_sent = 0;        // frames sent this attempt
+    std::size_t round_covered = 0;     // completions covered this attempt
+    bool round_progress = false;       // an ack landed this attempt
+    /// The link's single wheel timer (op_timeout, retry backoff, or an
+    /// immediate reattach retransmit — exactly one purpose at a time,
+    /// derived from `phase`).  Guarded by mutex_.
+    TimerId timer = 0;
+    bool timer_armed = false;
+    /// Bumped on every arm/cancel; a stale wheel callback compares its
+    /// captured epoch and returns without touching the link.
+    std::atomic<std::uint64_t> timer_epoch{0};
+    /// True while a heal thread owns the link.  Loop-thread callbacks
+    /// check it lock-free so they never block on `mutex` behind a
+    /// multi-second heal exchange.
+    std::atomic<bool> healing{false};
   };
 
   /// Per-sequence completion bookkeeping (guarded by mutex_).
@@ -465,6 +520,73 @@ class PrinsEngine final : public BlockDevice {
   Status flat_verify_locked(ReplicaLink& link, Lba start, std::uint64_t count,
                             std::uint64_t& repaired);
 
+  // ---- Reactor-driven sender path (config.reactor_senders) -------------
+  /// Install message/close handlers on the link's transport.  False when
+  /// the transport is not a ReactorTcpTransport (callers fall back to a
+  /// threaded sender).  Link mutex must be held (or the link not yet
+  /// published).
+  bool install_reactor_link(ReplicaLink* link);
+  /// Uninstall both handlers so an engine-initiated close (or a heal's
+  /// transport swap) fires no callback.  Safe on any transport kind.
+  void clear_link_handlers(ReplicaLink& link);
+  /// Post a pump for this link unless one is queued or the link cannot
+  /// make progress (mutex_ held).
+  void schedule_pump_locked(ReplicaLink* link);
+  /// Pop up to pipeline_depth entries into a round and transmit it; on a
+  /// sticky-dead link, drop queued traffic instead (sender_main's
+  /// already_failed path).  Runs under the sender guard.
+  void pump_link(ReplicaLink* link);
+  /// Message-handler fan-in: ACK / kAckBatch / NAK processing for the
+  /// open round, closing it or scheduling a retransmit.
+  void on_link_reply(ReplicaLink* link, Bytes reply);
+  /// Close-handler fan-in: the connection died under the link.
+  void on_link_closed(ReplicaLink* link, const Status& why);
+  /// Wheel-timer fan-in: op_timeout expiry (kAwaitingAcks) or backoff
+  /// expiry (kBackoff).
+  void on_link_timer(ReplicaLink* link);
+  /// Retransmit the round's un-acked entries (link mutex held, engine
+  /// mutex not held).
+  void resend_round(ReplicaLink* link);
+  /// The round came back short: apply exchange_batch_locked's attempt
+  /// bookkeeping and either arm the backoff timer or fail the round.
+  /// Enters with mutex_ held via `lock` (and the link mutex held);
+  /// releases mutex_.
+  void round_retry_or_fail(ReplicaLink* link,
+                           std::unique_lock<std::mutex>& lock,
+                           const Status& why);
+  /// Settle the round as delivered: release in_flight, advance the
+  /// watermark, restart the pump.  Enters with mutex_ held via `lock`
+  /// (and the link mutex held); releases mutex_.
+  void finish_round(ReplicaLink* link, std::unique_lock<std::mutex>& lock);
+  /// Settle the round after an unrecoverable attempt: complete entries
+  /// with their per-entry outcomes and run sender_main's failure
+  /// classification (degraded self-heal vs. sticky error).  Link mutex
+  /// held, engine mutex NOT held.
+  void fail_round(ReplicaLink* link, const Status& why);
+  void arm_link_timer_locked(ReplicaLink* link,
+                             std::chrono::steady_clock::time_point deadline);
+  void cancel_link_timer_locked(ReplicaLink* link);
+  /// Transient heal thread for a degraded reactor-driven link: waits out
+  /// next_heal on the wheel, runs attempt_heal until the link recovers,
+  /// then rejoins the reactor path (or becomes the threaded sender if the
+  /// reconnect factory produced a non-reactor transport).
+  void heal_main(ReplicaLink* link);
+  /// Reinstall handlers and restart the pump after a heal.  False when
+  /// the link must revert to a threaded sender.
+  bool rejoin_reactor_link(ReplicaLink* link);
+  /// Park the reactor machinery (wait out the open round, uninstall the
+  /// message handler) so a blocking request/reply operator exchange can
+  /// read replies via recv().  No-op for threaded links.
+  void begin_link_exclusive(ReplicaLink* link);
+  void end_link_exclusive(ReplicaLink* link);
+  /// RAII wrapper over begin/end_link_exclusive.
+  class LinkExclusive;
+  /// The backoff delay before retry `attempt` (1-based) — the same
+  /// exponential-plus-jitter schedule retry_backoff() sleeps.  Link mutex
+  /// must be held (jitter state).
+  std::chrono::steady_clock::duration retry_delay(ReplicaLink& link,
+                                                  std::size_t attempt);
+
   /// Resolve config.write_shards (env/auto-size, power of two, clamp) and
   /// build the shard array.  Called once from each constructor.
   void init_shards();
@@ -521,6 +643,20 @@ class PrinsEngine final : public BlockDevice {
     bool cancelled = false;
   };
   std::vector<std::shared_ptr<TimerGate>> gates_;  // guarded by mutex_
+
+  /// Lifetime fence for reactor-sender callbacks.  Message/close
+  /// handlers, wheel timers, and posted pumps capture this guard (never a
+  /// bare `this`) and hold its lock for their whole run; the destructor
+  /// nulls `engine` under the same lock, so teardown waits out any
+  /// in-flight callback and everything that fires later sees null and
+  /// returns.  One guard serializes all reactor-sender callbacks — they
+  /// contend on mutex_ anyway, and sends stay on the (non-blocking)
+  /// loop-thread enqueue path.
+  struct SenderGuard {
+    std::mutex m;
+    PrinsEngine* engine = nullptr;
+  };
+  std::shared_ptr<SenderGuard> sender_guard_;
 
   // Sequences distributed but not yet completed by every link, ordered so
   // the journal watermark is the smallest outstanding sequence minus one.

@@ -1,0 +1,88 @@
+// ReactorReplicaServer: thread-free replica serving on the reactor.
+//
+// serve() (replica.h) parks one demux thread per connection plus a private
+// worker/ack pipeline per session.  This server inverts that: every
+// accepted connection's frame loop runs as a `set_message_handler`
+// callback on its reactor loop thread, demuxing straight into ONE shared
+// set of LBA-striped apply workers.  Node thread count is
+// O(reactor_threads + apply_shards) no matter how many initiators are
+// connected — the property the PRINS pipeline needs to serve many
+// primaries (and the multi-primary cluster of ROADMAP item 2) without a
+// thread explosion.
+//
+//   loop thread    decode_view once; write-kind frames dispatch to the
+//                  shard queue for their LBA stripe (same stripe invariant
+//                  as serve(): same-block XOR deltas stay ordered);
+//                  torn frames NAK inline (send never blocks on-loop)
+//   apply workers  one per apply shard, shared by every connection; each
+//                  apply's completion lands in the session's ack buffer
+//   ack path       whichever worker finds the buffer un-flushed drains it
+//                  (a combining lock): under load completions pile up and
+//                  coalesce into cumulative kAckBatch frames, when idle
+//                  each ack goes out immediately
+//
+// Backpressure is per connection, not per queue: the handler must never
+// block, so instead of a bounded-queue wait the server pauses the
+// connection's reads (set_read_paused) once its in-flight frames hit
+// max_in_flight_per_conn, resuming at half.  Control frames (barrier,
+// verify, hash, hello, read-block) pause reads and wait for the session's
+// in-flight writes to drain before applying — the same quiesce-then-apply
+// contract as serve(), scoped to the session.
+//
+// The blocking serve() path remains for non-reactor transports; the two
+// are wire-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/reactor_tcp.h"
+#include "prins/replica.h"
+
+namespace prins {
+
+struct ReactorReplicaServerOptions {
+  /// Port to bind (0 picks a free port; see port()).
+  std::uint16_t port = 0;
+  /// Per-connection transport options (inbox/outbox limits, test knobs).
+  ReactorTcpOptions transport;
+  /// Write frames a connection may have dispatched-but-unacked before its
+  /// reads pause (resumes at half).  Bounds queued work per initiator.
+  std::size_t max_in_flight_per_conn = 128;
+  /// Max completions folded into one ack frame, as ReplicaConfig's knob.
+  std::size_t ack_coalesce_max = 64;
+};
+
+class ReactorReplicaServer {
+ public:
+  /// Bind a ReactorListener on `pool` and serve `replica` to every
+  /// connection, handler-driven.  Runs replica->apply_shards() shared
+  /// apply workers.
+  static Result<std::unique_ptr<ReactorReplicaServer>> start(
+      std::shared_ptr<ReplicaEngine> replica,
+      std::shared_ptr<ReactorPool> pool,
+      const ReactorReplicaServerOptions& options = {});
+
+  ~ReactorReplicaServer();
+
+  ReactorReplicaServer(const ReactorReplicaServer&) = delete;
+  ReactorReplicaServer& operator=(const ReactorReplicaServer&) = delete;
+
+  /// Close the listener and every live connection, drain the apply
+  /// workers, and join them.  Idempotent; the destructor calls it.
+  void stop();
+
+  /// The bound port (for initiators to connect to).
+  std::uint16_t port() const;
+
+  /// Live connections right now (tests).
+  std::size_t sessions() const;
+
+ private:
+  struct Impl;
+  explicit ReactorReplicaServer(std::shared_ptr<Impl> impl);
+
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace prins

@@ -11,6 +11,7 @@
 #include "common/buffer_pool.h"
 #include "common/crc32c.h"
 #include "common/endian.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "parity/xor.h"
 #include "prins/verify.h"
@@ -21,9 +22,7 @@ namespace {
 std::size_t resolve_apply_shards(std::size_t requested) {
   std::size_t n = requested;
   if (n == 0) {
-    if (const char* env = std::getenv("PRINS_APPLY_SHARDS")) {
-      n = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
-    }
+    n = parse_env_size("PRINS_APPLY_SHARDS", 1, 32).value_or(0);
     if (n == 0) n = std::thread::hardware_concurrency();
     if (n == 0) n = 1;
   }
@@ -719,14 +718,33 @@ std::thread replica_serve_in_background(std::shared_ptr<ReplicaEngine> replica,
                                         std::shared_ptr<Listener> listener) {
   return std::thread([replica = std::move(replica),
                       listener = std::move(listener)] {
+    std::vector<std::thread> sessions;
+    int consecutive_failures = 0;
     for (;;) {
       auto conn = listener->accept();
-      if (!conn.is_ok()) return;
-      Status s = replica->serve(**conn);
-      if (!s.is_ok()) {
-        PRINS_LOG(kWarn) << "replica session error: " << s.to_string();
+      if (!conn.is_ok()) {
+        // A closed listener is the shutdown signal; anything else is a
+        // transient accept failure (ECONNABORTED, an injected listener
+        // fault) — retry, but don't spin forever if accept() only fails.
+        if (conn.status().code() == ErrorCode::kUnavailable) break;
+        PRINS_LOG(kWarn) << "replica accept: " << conn.status().to_string();
+        if (++consecutive_failures >= 64) {
+          PRINS_LOG(kError)
+              << "replica accept failing persistently; stopping the loop";
+          break;
+        }
+        continue;
       }
+      consecutive_failures = 0;
+      sessions.emplace_back(
+          [replica, conn = std::shared_ptr<Transport>(std::move(*conn))] {
+            Status s = replica->serve(*conn);
+            if (!s.is_ok()) {
+              PRINS_LOG(kWarn) << "replica session error: " << s.to_string();
+            }
+          });
     }
+    for (std::thread& session : sessions) session.join();
   });
 }
 

@@ -148,6 +148,10 @@ class ReplicaEngine {
   BlockDevice& device() { return *local_; }
 
  private:
+  // The reactor-hosted server pipelines apply_write_message/metrics the
+  // same way serve() does, without a thread per connection.
+  friend class ReactorReplicaServer;
+
   /// What a write-kind apply tells the ack stage.
   enum class ApplyOutcome : std::uint8_t {
     kApplied = 0,      // ack it (covers deduplicated redeliveries)
@@ -208,8 +212,13 @@ class ReplicaEngine {
 };
 
 /// Run replica.serve(transport) for every connection accepted from
-/// `listener` on a background thread (sequentially).  Join after closing
-/// the listener.
+/// `listener`, each on its own service thread, so concurrent initiators
+/// are served concurrently.  Transient accept() errors (ECONNABORTED, an
+/// injected listener fault) are retried; the loop exits cleanly only when
+/// the listener closes (or accept() fails persistently).  Join the
+/// returned thread after closing the listener; it joins every session
+/// thread first.  For O(1)-thread serving on a reactor listener, use
+/// ReactorReplicaServer (prins/reactor_server.h) instead.
 std::thread replica_serve_in_background(std::shared_ptr<ReplicaEngine> replica,
                                         std::shared_ptr<Listener> listener);
 

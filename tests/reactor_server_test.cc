@@ -1,0 +1,562 @@
+// Tests for the thread-free node: ReactorReplicaServer (many initiators,
+// one shared apply pipeline), ReactorIscsiServer (actor-per-session PDU
+// serving), the reactor-driven engine senders (EngineConfig::
+// reactor_senders), the concurrent replica_serve_in_background accept
+// loop, and the validated PRINS_* env knob parser.  Everything here runs
+// under the `reactor` ctest label, so the CI sanitizer matrix (ASan/TSan)
+// sweeps it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "block/mem_disk.h"
+#include "codec/codec.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "iscsi/initiator.h"
+#include "iscsi/reactor_target.h"
+#include "iscsi/target.h"
+#include "net/faulty.h"
+#include "net/reactor.h"
+#include "net/reactor_tcp.h"
+#include "net/tcp.h"
+#include "prins/engine.h"
+#include "prins/reactor_server.h"
+#include "prins/replica.h"
+
+namespace prins {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool await(const std::function<bool()>& done,
+           std::chrono::milliseconds limit = 10s) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+// Drain replies until `expect` completions are covered, counting a kAck as
+// one completion and a kAckBatch as the sum of its range lengths.
+Status collect_acks(Transport& transport, std::size_t expect) {
+  std::size_t covered = 0;
+  while (covered < expect) {
+    auto wire = transport.recv_for(10s);
+    if (!wire.is_ok()) return wire.status();
+    auto reply = ReplicationMessage::decode(*wire);
+    if (!reply.is_ok()) return reply.status();
+    if (reply->kind == MessageKind::kAckBatch) {
+      auto ranges = unpack_ack_ranges(reply->payload);
+      if (!ranges.is_ok()) return ranges.status();
+      for (const AckRange& range : *ranges) covered += range.count;
+    } else if (reply->kind == MessageKind::kAck) {
+      ++covered;
+    } else {
+      return failed_precondition("unexpected reply kind");
+    }
+  }
+  return Status::ok();
+}
+
+ReplicationMessage sync_block_message(Lba lba, std::uint64_t sequence,
+                                      std::uint32_t bs, ByteSpan block) {
+  ReplicationMessage msg;
+  msg.kind = MessageKind::kSyncBlock;
+  msg.policy = ReplicationPolicy::kPrinsRle;
+  msg.block_size = bs;
+  msg.lba = lba;
+  msg.sequence = sequence;
+  msg.timestamp_us = sequence;
+  msg.payload = encode_frame(codec_for(CodecId::kLz), block);
+  return msg;
+}
+
+// ---- ReactorReplicaServer --------------------------------------------------
+
+TEST(ReactorReplicaServerTest, TwoInitiatorsDisjointRangesConverge) {
+  // Two initiators stream parity deltas into ONE reactor-hosted replica
+  // process: disjoint LBA halves, interleaved in time, one shared set of
+  // LBA-striped apply workers.  Each initiator tracks the XOR-telescoped
+  // contents it expects; sequence ranges are distinct per connection
+  // because the replica's dedup window is global across sessions.
+  constexpr std::uint32_t kBs = 1024;
+  constexpr std::uint64_t kBlocks = 128;
+  ReplicaConfig rconfig;
+  rconfig.apply_shards = 4;
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+  auto pool = ReactorPool::create(2);
+  ASSERT_TRUE(pool.is_ok()) << pool.status().to_string();
+  auto server = ReactorReplicaServer::start(replica, *pool);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  std::vector<Bytes> expect(kBlocks, Bytes(kBs, Byte{0}));
+  auto run_initiator = [&](Lba base, std::uint64_t sequence,
+                           std::uint64_t seed) {
+    auto link = TcpTransport::connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(link.is_ok()) << link.status().to_string();
+    Rng rng(seed);
+    Bytes delta(kBs);
+    std::size_t sent = 0;
+    for (int i = 0; i < 300; ++i) {
+      const Lba lba = base + rng.next_below(kBlocks / 2);
+      rng.fill(delta);
+      // A parity delta XORs onto whatever the block holds (telescoping).
+      for (std::size_t b = 0; b < kBs; ++b) expect[lba][b] ^= delta[b];
+      ReplicationMessage msg;
+      msg.kind = MessageKind::kWrite;
+      msg.policy = ReplicationPolicy::kPrinsRle;
+      msg.block_size = kBs;
+      msg.lba = lba;
+      msg.sequence = sequence + sent;
+      msg.timestamp_us = sequence + sent;
+      msg.payload = encode_frame(codec_for(CodecId::kZeroRle), delta);
+      ASSERT_TRUE((*link)->send(msg.encode()).is_ok());
+      ++sent;
+    }
+    ASSERT_TRUE(collect_acks(**link, sent).is_ok());
+    (*link)->close();
+  };
+
+  std::thread a([&] { run_initiator(0, 10000, 11); });
+  std::thread b([&] { run_initiator(kBlocks / 2, 20000, 22); });
+  a.join();
+  b.join();
+
+  Bytes got(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    ASSERT_TRUE(replica_disk->read(lba, got).is_ok());
+    ASSERT_EQ(expect[lba], got) << "diverged at lba " << lba;
+  }
+  EXPECT_EQ(replica->metrics().parity_applies, 600u);
+  (*server)->stop();
+}
+
+TEST(ReactorReplicaServerTest, OverlappingInitiatorsApplyWholeBlocks) {
+  // Two raw initiators hammer the SAME LBA range with full-block syncs.
+  // The striped apply pipeline may interleave them per block, but every
+  // final block must be exactly one initiator's pattern — never a torn
+  // mix — and every sequence must be acked.
+  constexpr std::uint32_t kBs = 512;
+  constexpr std::uint64_t kBlocks = 32;
+  ReplicaConfig rconfig;
+  rconfig.apply_shards = 4;
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+  auto pool = ReactorPool::create(2);
+  ASSERT_TRUE(pool.is_ok());
+  auto server = ReactorReplicaServer::start(replica, *pool);
+  ASSERT_TRUE(server.is_ok());
+
+  // Sequence ranges must be distinct per connection: the replica's dedup
+  // window is global across sessions, not per connection.
+  auto run_initiator = [&](Byte fill, std::uint64_t first_sequence) {
+    auto link = TcpTransport::connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(link.is_ok());
+    const Bytes block(kBs, fill);
+    std::size_t sent = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (Lba lba = 0; lba < kBlocks; ++lba) {
+        const auto msg =
+            sync_block_message(lba, first_sequence + sent, kBs, block);
+        ASSERT_TRUE((*link)->send(msg.encode()).is_ok());
+        ++sent;
+      }
+    }
+    ASSERT_TRUE(collect_acks(**link, sent).is_ok());
+    (*link)->close();
+  };
+
+  std::thread a([&] { run_initiator(Byte{0xAA}, 1000); });
+  std::thread b([&] { run_initiator(Byte{0xBB}, 2000); });
+  a.join();
+  b.join();
+
+  Bytes got(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    ASSERT_TRUE(replica_disk->read(lba, got).is_ok());
+    const bool all_a = got == Bytes(kBs, Byte{0xAA});
+    const bool all_b = got == Bytes(kBs, Byte{0xBB});
+    ASSERT_TRUE(all_a || all_b) << "torn block at lba " << lba;
+  }
+  EXPECT_EQ(replica->metrics().sync_blocks, 2u * 4u * kBlocks);
+  (*server)->stop();
+}
+
+TEST(ReactorReplicaServerTest, DuplicateAcrossReconnectAppliesOnce) {
+  // A primary that lost the ack replays its un-acked writes on a fresh
+  // connection.  Parity deltas XOR: applying one twice would undo the
+  // write, so the dedup window must span connections.
+  constexpr std::uint32_t kBs = 512;
+  auto replica_disk = std::make_shared<MemDisk>(8, kBs);
+  ReplicaConfig rconfig;
+  rconfig.apply_shards = 2;
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+  auto pool = ReactorPool::create(1);
+  ASSERT_TRUE(pool.is_ok());
+  auto server = ReactorReplicaServer::start(replica, *pool);
+  ASSERT_TRUE(server.is_ok());
+
+  Bytes delta(kBs);
+  Rng(77).fill(delta);
+  ReplicationMessage msg;
+  msg.kind = MessageKind::kWrite;
+  msg.policy = ReplicationPolicy::kPrinsRle;
+  msg.block_size = kBs;
+  msg.lba = 3;
+  msg.sequence = 42;
+  msg.timestamp_us = 1;
+  msg.payload = encode_frame(codec_for(CodecId::kZeroRle), delta);
+  const Bytes wire = msg.encode();
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto link = TcpTransport::connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(link.is_ok());
+    ASSERT_TRUE((*link)->send(wire).is_ok());
+    ASSERT_TRUE(collect_acks(**link, 1).is_ok());  // duplicate is acked too
+    (*link)->close();
+  }
+
+  // Device holds delta ⊕ zeros exactly once: a double apply would be zeros.
+  Bytes got(kBs);
+  ASSERT_TRUE(replica_disk->read(3, got).is_ok());
+  EXPECT_EQ(got, delta);
+  EXPECT_EQ(replica->metrics().duplicates_dropped, 1u);
+  (*server)->stop();
+}
+
+// ---- replica_serve_in_background (threaded path bugfixes) ------------------
+
+TEST(ReplicaServeTest, BackgroundLoopServesConcurrentSessions) {
+  // The historical loop served sessions one at a time, so a second
+  // initiator hung behind the first's open connection.  Hold session A
+  // open mid-exchange while session B does a full round trip.
+  constexpr std::uint32_t kBs = 512;
+  auto replica_disk = std::make_shared<MemDisk>(16, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk);
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = (*listener)->port();
+  auto shared_listener = std::shared_ptr<Listener>(std::move(*listener));
+  std::thread server = replica_serve_in_background(replica, shared_listener);
+
+  // Session A: connected and idle (a slow primary holding its link).
+  auto idle = TcpTransport::connect("127.0.0.1", port);
+  ASSERT_TRUE(idle.is_ok());
+  const Bytes block(kBs, Byte{0x5c});
+  ASSERT_TRUE(
+      (*idle)->send(sync_block_message(0, 1, kBs, block).encode()).is_ok());
+  ASSERT_TRUE(collect_acks(**idle, 1).is_ok());
+
+  // Session B must complete while A stays open.
+  auto busy = TcpTransport::connect("127.0.0.1", port);
+  ASSERT_TRUE(busy.is_ok());
+  ASSERT_TRUE(
+      (*busy)->send(sync_block_message(1, 2, kBs, block).encode()).is_ok());
+  ASSERT_TRUE(collect_acks(**busy, 1).is_ok());
+  (*busy)->close();
+
+  // A is still alive afterwards.
+  ASSERT_TRUE(
+      (*idle)->send(sync_block_message(2, 3, kBs, block).encode()).is_ok());
+  ASSERT_TRUE(collect_acks(**idle, 1).is_ok());
+  (*idle)->close();
+
+  shared_listener->close();
+  server.join();
+  EXPECT_EQ(replica->metrics().sync_blocks, 3u);
+}
+
+TEST(ReplicaServeTest, AcceptLoopRetriesTransientFailures) {
+  // A listener that bounces a few accepts (ECONNABORTED-style) must not
+  // kill the serve loop; only kUnavailable (closed) ends it.
+  class FlakyListener final : public Listener {
+   public:
+    FlakyListener(std::unique_ptr<Listener> inner, int failures)
+        : inner_(std::move(inner)), failures_(failures) {}
+    Result<std::unique_ptr<Transport>> accept() override {
+      if (failures_-- > 0) return io_error("injected accept failure");
+      return inner_->accept();
+    }
+    void close() override { inner_->close(); }
+
+   private:
+    std::unique_ptr<Listener> inner_;
+    std::atomic<int> failures_;
+  };
+
+  constexpr std::uint32_t kBs = 512;
+  auto replica_disk = std::make_shared<MemDisk>(8, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk);
+  auto inner = TcpListener::listen(0);
+  ASSERT_TRUE(inner.is_ok());
+  const std::uint16_t port = (*inner)->port();
+  auto listener = std::make_shared<FlakyListener>(std::move(*inner), 5);
+  std::thread server = replica_serve_in_background(replica, listener);
+
+  auto link = TcpTransport::connect("127.0.0.1", port);
+  ASSERT_TRUE(link.is_ok());
+  const Bytes block(kBs, Byte{0x3d});
+  ASSERT_TRUE(
+      (*link)->send(sync_block_message(4, 9, kBs, block).encode()).is_ok());
+  ASSERT_TRUE(collect_acks(**link, 1).is_ok());
+  (*link)->close();
+
+  listener->close();
+  server.join();
+  EXPECT_EQ(replica->metrics().sync_blocks, 1u);
+}
+
+// ---- ReactorIscsiServer ----------------------------------------------------
+
+TEST(ReactorIscsiServerTest, TwoInitiatorsShareTheWorkerPool) {
+  constexpr std::uint32_t kBs = 512;
+  constexpr std::uint64_t kBlocks = 64;
+  auto disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto target = std::make_shared<iscsi::IscsiTarget>(disk);
+  auto pool = ReactorPool::create(2);
+  ASSERT_TRUE(pool.is_ok());
+  iscsi::ReactorIscsiServerOptions options;
+  options.worker_threads = 2;
+  auto server = iscsi::ReactorIscsiServer::start(target, *pool, options);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  auto run_initiator = [&](Lba base, std::uint64_t seed) {
+    auto link = TcpTransport::connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(link.is_ok());
+    auto initiator = iscsi::IscsiInitiator::login(std::move(*link));
+    ASSERT_TRUE(initiator.is_ok()) << initiator.status().to_string();
+    EXPECT_EQ((*initiator)->block_size(), kBs);
+    Rng rng(seed);
+    Bytes data(kBs), back(kBs);
+    for (int i = 0; i < 40; ++i) {
+      const Lba lba = base + rng.next_below(kBlocks / 2);
+      rng.fill(data);
+      ASSERT_TRUE((*initiator)->write(lba, data).is_ok());
+      ASSERT_TRUE((*initiator)->read(lba, back).is_ok());
+      ASSERT_EQ(data, back);
+    }
+    ASSERT_TRUE((*initiator)->ping().is_ok());
+    ASSERT_TRUE((*initiator)->logout().is_ok());
+  };
+
+  std::thread a([&] { run_initiator(0, 5); });
+  std::thread b([&] { run_initiator(kBlocks / 2, 6); });
+  a.join();
+  b.join();
+
+  EXPECT_TRUE(await([&] { return (*server)->sessions() == 0; }, 5s));
+  (*server)->stop();
+}
+
+// ---- reactor-driven engine senders -----------------------------------------
+
+TEST(ReactorSenderTest, WritesConvergeWithoutSenderThreads) {
+  // Primary and replica both thread-free: ReactorTcpTransport links driven
+  // by outbox state machines into a ReactorReplicaServer.
+  constexpr std::uint32_t kBs = 1024;
+  constexpr std::uint64_t kBlocks = 64;
+  ReplicaConfig rconfig;
+  rconfig.apply_shards = 4;
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+  auto pool = ReactorPool::create(2);
+  ASSERT_TRUE(pool.is_ok());
+  auto server = ReactorReplicaServer::start(replica, *pool);
+  ASSERT_TRUE(server.is_ok());
+
+  auto reactor = Reactor::create();
+  ASSERT_TRUE(reactor.is_ok());
+  EngineConfig config;
+  config.reactor = *reactor;
+  config.reactor_senders = true;
+  config.retry.op_timeout = 2s;
+  auto primary = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto engine = std::make_unique<PrinsEngine>(primary, config);
+  {
+    auto link = ReactorTcpTransport::connect(
+        *reactor, "127.0.0.1", (*server)->port());
+    ASSERT_TRUE(link.is_ok()) << link.status().to_string();
+    engine->add_replica(std::move(*link));
+  }
+
+  Rng rng(41);
+  Bytes block(kBs);
+  for (int i = 0; i < 500; ++i) {
+    rng.fill(block);
+    ASSERT_TRUE(engine->write(rng.next_below(kBlocks), block).is_ok());
+    if (i == 250) ASSERT_TRUE(engine->drain().is_ok());  // mid-stream drain
+  }
+  ASSERT_TRUE(engine->drain().is_ok());
+  EXPECT_GT(engine->metrics().acks, 0u);
+
+  Bytes want(kBs), got(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    ASSERT_TRUE(primary->read(lba, want).is_ok());
+    ASSERT_TRUE(replica_disk->read(lba, got).is_ok());
+    ASSERT_EQ(want, got) << "diverged at lba " << lba;
+  }
+  engine.reset();  // must cancel its wheel timers and pumps cleanly
+  EXPECT_TRUE(await([&] { return (*reactor)->pending_timers() == 0; }, 2s));
+  (*server)->stop();
+}
+
+TEST(ReactorSenderTest, HealsAfterHardConnectionCut) {
+  // The reactor senders never reconnect in-round: a cut degrades the link
+  // and the self-heal path (trap-log fold over a fresh transport from the
+  // reconnect factory) catches the replica up.
+  constexpr std::uint32_t kBs = 1024;
+  constexpr std::uint64_t kBlocks = 64;
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk);
+  auto inner = TcpListener::listen(0);
+  ASSERT_TRUE(inner.is_ok());
+  const std::uint16_t port = (*inner)->port();
+  // The server end of the FIRST link hard-cuts after 60 sends; later
+  // accepted links (the heal's reconnects) inherit higher seeds but the
+  // same schedule, so keep the cut one-shot per link and the write count
+  // past it.
+  FaultConfig cut;
+  cut.disconnect_after = 60;
+  auto listener = std::shared_ptr<Listener>(
+      std::make_unique<FaultyListener>(std::move(*inner), cut));
+  std::thread server = replica_serve_in_background(replica, listener);
+
+  auto reactor = Reactor::create();
+  ASSERT_TRUE(reactor.is_ok());
+  EngineConfig config;
+  config.keep_trap_log = true;
+  config.retry.base_backoff = 1ms;
+  config.retry.max_backoff = 10ms;
+  config.retry.op_timeout = 2s;
+  config.reactor = *reactor;
+  config.reactor_senders = true;
+  config.reconnect = [&](std::size_t) -> Result<std::unique_ptr<Transport>> {
+    auto fresh = ReactorTcpTransport::connect(
+        *reactor, "127.0.0.1", port);
+    if (!fresh.is_ok()) return fresh.status();
+    return std::unique_ptr<Transport>(std::move(*fresh));
+  };
+  auto primary = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto engine = std::make_unique<PrinsEngine>(primary, config);
+  {
+    auto link = ReactorTcpTransport::connect(
+        *reactor, "127.0.0.1", port);
+    ASSERT_TRUE(link.is_ok());
+    engine->add_replica(std::move(*link));
+  }
+
+  Rng rng(43);
+  Bytes block(kBs);
+  for (int i = 0; i < 400; ++i) {
+    rng.fill(block);
+    ASSERT_TRUE(engine->write(rng.next_below(kBlocks), block).is_ok());
+  }
+  ASSERT_TRUE(engine->drain().is_ok());
+  EXPECT_GE(engine->metrics().reconnects, 1u);
+  EXPECT_GE(engine->metrics().auto_resyncs, 1u);
+
+  Bytes want(kBs), got(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    ASSERT_TRUE(primary->read(lba, want).is_ok());
+    ASSERT_TRUE(replica_disk->read(lba, got).is_ok());
+    ASSERT_EQ(want, got) << "diverged at lba " << lba;
+  }
+  engine.reset();
+  listener->close();
+  server.join();
+}
+
+TEST(ReactorSenderTest, VerifyAndRepairParksTheSenderExclusively) {
+  // Operator paths (verify/repair) do blocking send/recv exchanges on the
+  // link: with reactor senders they must park the state machine, own the
+  // transport, and hand it back — after which normal replication resumes.
+  constexpr std::uint32_t kBs = 1024;
+  constexpr std::uint64_t kBlocks = 32;
+  ReplicaConfig rconfig;
+  rconfig.apply_shards = 2;
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+  auto pool = ReactorPool::create(1);
+  ASSERT_TRUE(pool.is_ok());
+  auto server = ReactorReplicaServer::start(replica, *pool);
+  ASSERT_TRUE(server.is_ok());
+
+  auto reactor = Reactor::create();
+  ASSERT_TRUE(reactor.is_ok());
+  EngineConfig config;
+  config.reactor = *reactor;
+  config.reactor_senders = true;
+  config.retry.op_timeout = 2s;
+  auto primary = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto engine = std::make_unique<PrinsEngine>(primary, config);
+  {
+    auto link = ReactorTcpTransport::connect(
+        *reactor, "127.0.0.1", (*server)->port());
+    ASSERT_TRUE(link.is_ok());
+    engine->add_replica(std::move(*link));
+  }
+
+  Rng rng(47);
+  Bytes block(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    rng.fill(block);
+    ASSERT_TRUE(engine->write(lba, block).is_ok());
+  }
+  ASSERT_TRUE(engine->drain().is_ok());
+
+  // Silently corrupt two replica blocks behind the engine's back.
+  const Bytes junk(kBs, Byte{0xEE});
+  ASSERT_TRUE(replica_disk->write(5, junk).is_ok());
+  ASSERT_TRUE(replica_disk->write(17, junk).is_ok());
+  auto repaired = engine->verify_and_repair(0, kBlocks);
+  ASSERT_TRUE(repaired.is_ok()) << repaired.status().to_string();
+  EXPECT_EQ(*repaired, 2u);
+
+  // The sender machine is re-armed: replication still works.
+  for (int i = 0; i < 50; ++i) {
+    rng.fill(block);
+    ASSERT_TRUE(engine->write(rng.next_below(kBlocks), block).is_ok());
+  }
+  ASSERT_TRUE(engine->drain().is_ok());
+  Bytes want(kBs), got(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    ASSERT_TRUE(primary->read(lba, want).is_ok());
+    ASSERT_TRUE(replica_disk->read(lba, got).is_ok());
+    ASSERT_EQ(want, got) << "diverged at lba " << lba;
+  }
+  engine.reset();
+  (*server)->stop();
+}
+
+// ---- PRINS_* env knob validation -------------------------------------------
+
+TEST(EnvParseTest, ParseEnvSizeContract) {
+  constexpr const char* kKnob = "PRINS_TEST_KNOB_XYZZY";  // never a real knob
+  const auto with = [&](const char* value) {
+    ::setenv(kKnob, value, 1);
+    return parse_env_size(kKnob, 1, 64);
+  };
+  ::unsetenv(kKnob);
+  EXPECT_EQ(parse_env_size(kKnob, 1, 64), std::nullopt);  // unset -> default
+  EXPECT_EQ(with("8"), std::optional<std::size_t>(8));
+  EXPECT_EQ(with("1"), std::optional<std::size_t>(1));
+  EXPECT_EQ(with("64"), std::optional<std::size_t>(64));
+  EXPECT_EQ(with("100"), std::optional<std::size_t>(64));  // explicit clamp
+  EXPECT_EQ(with("0"), std::nullopt);      // below min: fall back, warn
+  EXPECT_EQ(with("-4"), std::nullopt);     // must NOT wrap to 2^64-4
+  EXPECT_EQ(with("3x"), std::nullopt);     // trailing garbage
+  EXPECT_EQ(with(""), std::nullopt);
+  EXPECT_EQ(with("nonsense"), std::nullopt);
+  EXPECT_EQ(with("99999999999999999999999999"), std::nullopt);  // overflow
+  ::unsetenv(kKnob);
+}
+
+}  // namespace
+}  // namespace prins

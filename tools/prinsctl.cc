@@ -28,11 +28,13 @@
 #include "block/integrity_disk.h"
 #include "common/logging.h"
 #include "iscsi/initiator.h"
+#include "iscsi/reactor_target.h"
 #include "iscsi/target.h"
 #include "net/reactor.h"
 #include "net/reactor_tcp.h"
 #include "net/tcp.h"
 #include "prins/engine.h"
+#include "prins/reactor_server.h"
 #include "prins/replica.h"
 
 namespace {
@@ -128,22 +130,6 @@ std::shared_ptr<ReactorPool> shared_reactor_pool() {
   return pool;
 }
 
-struct BoundListener {
-  std::shared_ptr<Listener> listener;
-  std::uint16_t port = 0;
-};
-
-Result<BoundListener> open_listener(std::uint16_t port) {
-  if (auto pool = shared_reactor_pool()) {
-    PRINS_ASSIGN_OR_RETURN(auto listener, ReactorListener::listen(pool, port));
-    const std::uint16_t bound = listener->port();
-    return BoundListener{std::move(listener), bound};
-  }
-  PRINS_ASSIGN_OR_RETURN(auto listener, TcpListener::listen(port));
-  const std::uint16_t bound = listener->port();
-  return BoundListener{std::move(listener), bound};
-}
-
 Result<std::unique_ptr<Transport>> connect_tcp(const std::string& host,
                                                std::uint16_t port) {
   if (auto pool = shared_reactor_pool()) {
@@ -194,50 +180,76 @@ int run_replica(const Options& options) {
                   static_cast<unsigned long long>(lba));
     }
   }
-  auto listener = open_listener(
-      static_cast<std::uint16_t>(options.get_u64("port", 3261)));
+  const auto port = static_cast<std::uint16_t>(options.get_u64("port", 3261));
+  const std::uint64_t stats_every = options.get_u64("stats", 0);
+  auto banner = [&](std::uint16_t bound, const char* serving) {
+    std::printf(
+        "replica node on port %u (device %s, TRAP log %s, %zu apply shards, "
+        "old-block cache %zu blocks, %s)\n",
+        bound, options.get("file", "replica.img"),
+        config.keep_trap_log ? "on" : "off", replica->apply_shards(),
+        config.old_block_cache_blocks, serving);
+  };
+  // Periodic pipeline-counter report, one parseable line per interval;
+  // never returns (both server modes run until the process is killed).
+  auto report_stats_forever = [&]() {
+    for (;;) {
+      std::this_thread::sleep_for(
+          std::chrono::seconds(stats_every > 0 ? stats_every : 3600));
+      if (stats_every == 0) continue;
+      const ReplicaMetrics m = replica->metrics();
+      const double hit_rate =
+          m.cache_hits + m.cache_misses > 0
+              ? static_cast<double>(m.cache_hits) /
+                    static_cast<double>(m.cache_hits + m.cache_misses)
+              : 0.0;
+      const double fsyncs_per_apply =
+          m.intent_records > 0 ? static_cast<double>(m.intent_fsyncs) /
+                                     static_cast<double>(m.intent_records)
+                               : 0.0;
+      const double batch_avg =
+          m.ack_batches > 0 ? static_cast<double>(m.acks_batched) /
+                                  static_cast<double>(m.ack_batches)
+                            : 0.0;
+      std::printf("stats: applied=%llu queue_peak=%llu ack_batches=%llu "
+                  "ack_batch_avg=%.1f fsyncs_per_apply=%.3f "
+                  "cache_hit_rate=%.3f naks=%llu dups=%llu\n",
+                  static_cast<unsigned long long>(m.writes_applied),
+                  static_cast<unsigned long long>(m.apply_queue_peak),
+                  static_cast<unsigned long long>(m.ack_batches), batch_avg,
+                  fsyncs_per_apply, hit_rate,
+                  static_cast<unsigned long long>(m.naks_sent),
+                  static_cast<unsigned long long>(m.duplicates_dropped));
+      std::fflush(stdout);
+    }
+  };
+  if (auto pool = shared_reactor_pool()) {
+    // Thread-free serving: every session's frame loop runs as a reactor
+    // handler feeding one shared set of apply workers, so the node costs
+    // O(reactor_threads + apply_shards) threads however many primaries
+    // connect.
+    ReactorReplicaServerOptions server_options;
+    server_options.port = port;
+    server_options.ack_coalesce_max = config.ack_coalesce_max;
+    auto server = ReactorReplicaServer::start(replica, pool, server_options);
+    if (!server.is_ok()) {
+      std::fprintf(stderr, "listen: %s\n",
+                   server.status().to_string().c_str());
+      return 1;
+    }
+    banner((*server)->port(), "thread-free reactor serving");
+    report_stats_forever();
+  }
+  auto listener = TcpListener::listen(port);
   if (!listener.is_ok()) {
     std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
     return 1;
   }
-  std::printf(
-      "replica node on port %u (device %s, TRAP log %s, %zu apply shards, "
-      "old-block cache %zu blocks)\n",
-      listener->port, options.get("file", "replica.img"),
-      config.keep_trap_log ? "on" : "off", replica->apply_shards(),
-      config.old_block_cache_blocks);
-  std::thread server =
-      replica_serve_in_background(replica, std::move(listener->listener));
-  const std::uint64_t stats_every = options.get_u64("stats", 0);
-  while (stats_every > 0) {
-    // Periodic pipeline-counter report, one parseable line per interval.
-    std::this_thread::sleep_for(std::chrono::seconds(stats_every));
-    const ReplicaMetrics m = replica->metrics();
-    const double hit_rate =
-        m.cache_hits + m.cache_misses > 0
-            ? static_cast<double>(m.cache_hits) /
-                  static_cast<double>(m.cache_hits + m.cache_misses)
-            : 0.0;
-    const double fsyncs_per_apply =
-        m.intent_records > 0 ? static_cast<double>(m.intent_fsyncs) /
-                                   static_cast<double>(m.intent_records)
-                             : 0.0;
-    const double batch_avg =
-        m.ack_batches > 0 ? static_cast<double>(m.acks_batched) /
-                                static_cast<double>(m.ack_batches)
-                          : 0.0;
-    std::printf("stats: applied=%llu queue_peak=%llu ack_batches=%llu "
-                "ack_batch_avg=%.1f fsyncs_per_apply=%.3f "
-                "cache_hit_rate=%.3f naks=%llu dups=%llu\n",
-                static_cast<unsigned long long>(m.writes_applied),
-                static_cast<unsigned long long>(m.apply_queue_peak),
-                static_cast<unsigned long long>(m.ack_batches), batch_avg,
-                fsyncs_per_apply, hit_rate,
-                static_cast<unsigned long long>(m.naks_sent),
-                static_cast<unsigned long long>(m.duplicates_dropped));
-    std::fflush(stdout);
-  }
-  server.join();  // serves until the process is killed
+  banner((*listener)->port(), "thread-per-session serving");
+  std::thread server = replica_serve_in_background(
+      replica, std::shared_ptr<Listener>(std::move(*listener)));
+  report_stats_forever();
+  server.join();  // unreachable; keeps the thread joined on any exit path
   return 0;
 }
 
@@ -249,8 +261,10 @@ int run_target(const Options& options) {
   engine_config.policy = parse_policy(options.get("policy", "prins"));
   if (auto pool = shared_reactor_pool()) {
     // Retry/heal backoff rides the reactor's timer wheel instead of a
-    // per-thread timed wait.
+    // per-thread timed wait, and replica links are pumped by reactor
+    // callbacks instead of one sender thread each.
     engine_config.reactor = pool->at(0).shared_from_this();
+    engine_config.reactor_senders = true;
   }
   auto engine = std::make_shared<PrinsEngine>(disk, engine_config);
 
@@ -276,16 +290,34 @@ int run_target(const Options& options) {
   }
 
   auto target = std::make_shared<iscsi::IscsiTarget>(engine);
-  auto listener = open_listener(
-      static_cast<std::uint16_t>(options.get_u64("port", 3260)));
+  const auto port = static_cast<std::uint16_t>(options.get_u64("port", 3260));
+  if (auto pool = shared_reactor_pool()) {
+    // Thread-free serving: each session is an actor on a small worker
+    // pool instead of a parked PDU thread.
+    iscsi::ReactorIscsiServerOptions server_options;
+    server_options.port = port;
+    auto server = iscsi::ReactorIscsiServer::start(target, pool,
+                                                   server_options);
+    if (!server.is_ok()) {
+      std::fprintf(stderr, "listen: %s\n",
+                   server.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("iSCSI target on port %u (device %s, thread-free)\n",
+                (*server)->port(), options.get("file", "primary.img"));
+    for (;;) {  // serves until the process is killed
+      std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+  }
+  auto listener = TcpListener::listen(port);
   if (!listener.is_ok()) {
     std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
     return 1;
   }
-  std::printf("iSCSI target on port %u (device %s)\n", listener->port,
+  std::printf("iSCSI target on port %u (device %s)\n", (*listener)->port(),
               options.get("file", "primary.img"));
-  std::thread server =
-      iscsi::serve_in_background(target, std::move(listener->listener));
+  std::thread server = iscsi::serve_in_background(
+      target, std::shared_ptr<Listener>(std::move(*listener)));
   server.join();
   return 0;
 }
@@ -303,6 +335,7 @@ int run_scrub(const Options& options) {
   engine_config.policy = parse_policy(options.get("policy", "prins"));
   if (auto pool = shared_reactor_pool()) {
     engine_config.reactor = pool->at(0).shared_from_this();
+    engine_config.reactor_senders = true;
   }
   PrinsEngine engine(disk, engine_config);
 
