@@ -116,6 +116,11 @@ std::string FaultyTransport::describe() const {
   return "faulty(" + inner_->describe() + ")";
 }
 
+Transport* FaultyTransport::underlying() {
+  std::lock_guard lock(mutex_);
+  return inner_->underlying();
+}
+
 void FaultyTransport::set_disconnected(bool disconnected) {
   std::lock_guard lock(mutex_);
   if (disconnected && !disconnected_) {

@@ -64,6 +64,7 @@ class FaultyTransport final : public Transport {
   Result<Bytes> recv_for(std::chrono::milliseconds timeout) override;
   void close() override;
   std::string describe() const override;
+  Transport* underlying() override;
 
   /// Force (or clear) the disconnected state.  Entering it closes the inner
   /// transport; leaving it requires a live replacement channel.

@@ -52,6 +52,7 @@ class ShapedTransport final : public Transport {
     return "shaped[" + std::string(config_.line.name) + "](" +
            inner_->describe() + ")";
   }
+  Transport* underlying() override { return inner_->underlying(); }
 
  private:
   // Serialization + per-hop propagation, scaled.

@@ -59,6 +59,14 @@ class Transport {
   virtual void close() = 0;
 
   virtual std::string describe() const = 0;
+
+  /// The innermost transport this one delivers through.  Decorators
+  /// (faulty, latent, shaped) override to return their inner transport's
+  /// underlying(); base transports return themselves.  Lets reactor-aware
+  /// code (ReactorReplicaServer, the engine's reactor senders) find the
+  /// ReactorTcpTransport inside a decorator stack and register loop-thread
+  /// handlers on it, so fault injection composes with the reactor path.
+  virtual Transport* underlying() { return this; }
 };
 
 class Listener {

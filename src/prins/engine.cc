@@ -372,6 +372,7 @@ Status PrinsEngine::replicate_block(WriteShard& shard, Lba lba,
   ReplicationMessage msg;
   msg.kind = MessageKind::kWrite;
   msg.policy = config_.policy;
+  msg.cluster_epoch = config_.cluster_epoch;
   msg.block_size = block_size();
   msg.lba = lba;
 
@@ -847,6 +848,13 @@ Status PrinsEngine::exchange_batch_locked(ReplicaLink& link,
       }
       ++covered;
       if (ack->kind == MessageKind::kNak) {
+        // A kStaleEpoch NAK means a newer primary was promoted while this
+        // engine was partitioned: it is fenced.  Retrying or healing would
+        // splice a dead history into the cluster, so fail sticky.
+        if (!ack->payload.empty() &&
+            ack->payload[0] == static_cast<Byte>(NakReason::kStaleEpoch)) {
+          return fenced_by_replica(link, ack->cluster_epoch);
+        }
         // A plain NAK asks for a resend (torn frame); a kNeedFullBlock NAK
         // says the replica's stored block is damaged and a parity delta
         // can *never* apply — swap the entry for a full-block repair.
@@ -1023,6 +1031,7 @@ Status PrinsEngine::hello_locked(ReplicaLink& link,
                                  std::uint64_t& applied_ts) {
   ReplicationMessage hello;
   hello.kind = MessageKind::kHello;
+  hello.cluster_epoch = config_.cluster_epoch;
   hello.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   const Bytes wire = hello.encode();
   for (std::size_t attempt = 0; attempt <= config_.retry.max_attempts;
@@ -1038,6 +1047,10 @@ Status PrinsEngine::hello_locked(ReplicaLink& link,
     if (ack->kind == MessageKind::kAck && ack->sequence == hello.sequence) {
       applied_ts = ack->timestamp_us;
       return Status::ok();
+    }
+    if (ack->kind == MessageKind::kNak && !ack->payload.empty() &&
+        ack->payload[0] == static_cast<Byte>(NakReason::kStaleEpoch)) {
+      return fenced_by_replica(link, ack->cluster_epoch);
     }
     // NAK or a stale reply from before the outage: ask again.
   }
@@ -1126,6 +1139,7 @@ Status PrinsEngine::build_resync_locked(ReplicaLink& link,
     ReplicationMessage msg;
     msg.kind = MessageKind::kWrite;
     msg.policy = ReplicationPolicy::kPrinsRle;
+    msg.cluster_epoch = config_.cluster_epoch;
     msg.block_size = bs;
     msg.lba = lba;
     msg.timestamp_us = until;
@@ -1190,6 +1204,12 @@ void PrinsEngine::attempt_heal(ReplicaLink* link) {
       if (ack->kind == MessageKind::kAck && ack->sequence == frame.sequence) {
         delivered = true;
       }
+      if (ack->kind == MessageKind::kNak && !ack->payload.empty() &&
+          ack->payload[0] == static_cast<Byte>(NakReason::kStaleEpoch)) {
+        // A promoted successor owns these blocks now; abandon the heal.
+        return heal_failed(link,
+                           fenced_by_replica(*link, ack->cluster_epoch));
+      }
       // NAK or stale ack: resend.
     }
     if (!delivered) {
@@ -1244,7 +1264,10 @@ void PrinsEngine::attempt_heal(ReplicaLink* link) {
 // path uses, with the guard outermost so teardown can fence callbacks.
 
 bool PrinsEngine::install_reactor_link(ReplicaLink* link) {
-  auto* rt = dynamic_cast<ReactorTcpTransport*>(link->transport.get());
+  // underlying() sees through decorators (FaultyTransport et al.), so a
+  // fault-injected reactor link still runs handler-driven.
+  auto* rt =
+      dynamic_cast<ReactorTcpTransport*>(link->transport->underlying());
   if (rt == nullptr) return false;
   auto guard = sender_guard_;
   rt->set_close_handler([guard, link](const Status& why) {
@@ -1265,7 +1288,8 @@ bool PrinsEngine::install_reactor_link(ReplicaLink* link) {
 }
 
 void PrinsEngine::clear_link_handlers(ReplicaLink& link) {
-  if (auto* rt = dynamic_cast<ReactorTcpTransport*>(link.transport.get())) {
+  if (auto* rt = dynamic_cast<ReactorTcpTransport*>(
+          link.transport->underlying())) {
     rt->set_close_handler(nullptr);
     rt->set_message_handler(nullptr);
   }
@@ -1445,6 +1469,13 @@ void PrinsEngine::on_link_reply(ReplicaLink* link, Bytes reply) {
     }
   } else if (ack->kind == MessageKind::kNak) {
     if (counting) ++link->round_covered;
+    if (!ack->payload.empty() &&
+        ack->payload[0] == static_cast<Byte>(NakReason::kStaleEpoch)) {
+      // Fenced by a promoted successor: sticky, unhealable failure.
+      lock.unlock();
+      fail_round(link, fenced_by_replica(*link, ack->cluster_epoch));
+      return;
+    }
     if (!ack->payload.empty() &&
         ack->payload[0] == static_cast<Byte>(NakReason::kNeedFullBlock)) {
       for (std::size_t i = 0; i < link->round.size(); ++i) {
@@ -1802,6 +1833,10 @@ Status PrinsEngine::send_and_ack_locked(ReplicaLink& link, ByteSpan wire,
   PRINS_ASSIGN_OR_RETURN(Bytes reply, link.transport->recv());
   PRINS_ASSIGN_OR_RETURN(ReplicationMessage ack,
                          ReplicationMessage::decode(reply));
+  if (ack.kind == MessageKind::kNak && !ack.payload.empty() &&
+      ack.payload[0] == static_cast<Byte>(NakReason::kStaleEpoch)) {
+    return fenced_by_replica(link, ack.cluster_epoch);
+  }
   if (ack.kind != MessageKind::kAck) {
     return failed_precondition("replica sent non-ACK reply");
   }
@@ -1839,6 +1874,7 @@ Status PrinsEngine::full_sync() {
     ReplicationMessage msg;
     msg.kind = MessageKind::kSyncBlock;
     msg.policy = config_.policy;
+    msg.cluster_epoch = config_.cluster_epoch;
     msg.block_size = bs;
     msg.lba = lba;
     SubmitSlot slot(shard, next_sequence_.load(std::memory_order_seq_cst));
@@ -1870,6 +1906,7 @@ Status PrinsEngine::flat_verify_locked(ReplicaLink& link, Lba start,
     }
     ReplicationMessage req;
     req.kind = MessageKind::kVerifyRequest;
+    req.cluster_epoch = config_.cluster_epoch;
     req.block_size = bs;
     req.payload = pack_checksums(sums);
     PRINS_RETURN_IF_ERROR(link.transport->send(req.encode()));
@@ -1886,6 +1923,7 @@ Status PrinsEngine::flat_verify_locked(ReplicaLink& link, Lba start,
       PRINS_RETURN_IF_ERROR(local_->read(lba, block));
       ReplicationMessage repair;
       repair.kind = MessageKind::kRepairBlock;
+      repair.cluster_epoch = config_.cluster_epoch;
       repair.block_size = bs;
       repair.lba = lba;
       repair.payload = encode_frame(codec_for(CodecId::kLz), block);
@@ -1936,6 +1974,7 @@ Result<std::uint64_t> PrinsEngine::verify_and_repair_hierarchical(
       // Ask the replica to fingerprint the whole frontier in one message.
       ReplicationMessage req;
       req.kind = MessageKind::kHashRequest;
+      req.cluster_epoch = config_.cluster_epoch;
       req.block_size = block_size();
       req.payload = pack_ranges(frontier);
       PRINS_RETURN_IF_ERROR(link->transport->send(req.encode()));
@@ -2006,6 +2045,7 @@ Status PrinsEngine::fetch_block_from_replica(Lba lba, MutByteSpan out) {
     }
     ReplicationMessage req;
     req.kind = MessageKind::kReadBlockRequest;
+    req.cluster_epoch = config_.cluster_epoch;
     req.block_size = block_size();
     req.lba = lba;
     req.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
@@ -2029,6 +2069,11 @@ Status PrinsEngine::fetch_block_from_replica(Lba lba, MutByteSpan out) {
       if (reply->sequence != req.sequence) continue;  // stale ack
       answered = true;
       if (reply->kind == MessageKind::kNak) {
+        if (!reply->payload.empty() &&
+            reply->payload[0] == static_cast<Byte>(NakReason::kStaleEpoch)) {
+          last = fenced_by_replica(*link, reply->cluster_epoch);
+          break;
+        }
         any_nak = true;
         last = corruption_error("replica " + std::to_string(i) +
                                 " cannot serve block " + std::to_string(lba));
@@ -2153,6 +2198,10 @@ Status PrinsEngine::replay_journal() {
              state, (state & ~kClockMask) | max_ts)) {
   }
   for (auto& msg : pending) {
+    // The journaled wire bakes in the epoch of the engine that wrote it;
+    // ship the replay under *this* engine's epoch, or replicas that already
+    // adopted a promoted successor would fence its own recovery traffic.
+    msg.cluster_epoch = config_.cluster_epoch;
     // Straight to the outboxes: the message is already in the journal.
     PooledBuffer payload = msg.payload.empty()
                                ? PooledBuffer()
@@ -2179,14 +2228,21 @@ Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
   }
   PRINS_RETURN_IF_ERROR(drain());  // quiesce the senders
 
-  const std::uint64_t since =
-      link->acked_timestamp.load(std::memory_order_relaxed);
   const std::uint32_t bs = block_size();
   const Bytes zeros(bs, 0);
   std::uint64_t resynced = 0;
 
   LinkExclusive exclusive(*this, link);
   std::lock_guard link_lock(link->mutex);
+  // Ask the replica where it really is before picking the fold base.  A
+  // promoted primary attaches survivors with no ack history
+  // (acked_timestamp == 0), and folding the whole trap log onto a replica
+  // that already applied a prefix would XOR-undo that prefix; the hello's
+  // applied timestamp anchors the fold at the replica's true position.
+  std::uint64_t replica_ts = 0;
+  PRINS_RETURN_IF_ERROR(hello_locked(*link, replica_ts));
+  const std::uint64_t since = std::max(
+      link->acked_timestamp.load(std::memory_order_relaxed), replica_ts);
   std::uint64_t newest = since;
   for (Lba lba : trap_log_.blocks_changed_since(since)) {
     // Fold every delta the replica missed: XOR of entries newer than
@@ -2198,6 +2254,7 @@ Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
     ReplicationMessage msg;
     msg.kind = MessageKind::kWrite;
     msg.policy = ReplicationPolicy::kPrinsRle;
+    msg.cluster_epoch = config_.cluster_epoch;
     msg.block_size = bs;
     msg.lba = lba;
     msg.payload = encode_frame(codec_for(CodecId::kZeroRle), fold);
@@ -2231,6 +2288,57 @@ Result<std::uint64_t> PrinsEngine::resync_replica(std::size_t index) {
   return resynced;
 }
 
+Status PrinsEngine::adopt_recovered_state(std::uint64_t next_sequence,
+                                          std::uint64_t applied_timestamp_us,
+                                          TrapLog& recovered_trap_log) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!replicas_.empty() || last_distributed_seq_ != 0 ||
+        !outstanding_.empty()) {
+      return failed_precondition(
+          "adopt_recovered_state must run on a fresh engine, before "
+          "replicas attach and before the first write");
+    }
+  }
+  // CAS-max both counters: a journal replay that ran first keeps whichever
+  // seed is larger, so replayed and recovered sequences never collide.
+  std::uint64_t seq = next_sequence_.load(std::memory_order_relaxed);
+  while (seq < next_sequence &&
+         !next_sequence_.compare_exchange_weak(seq, next_sequence)) {
+  }
+  std::uint64_t state = clock_state_.load(std::memory_order_seq_cst);
+  while ((state & kClockMask) < applied_timestamp_us &&
+         !clock_state_.compare_exchange_weak(
+             state, (state & ~kClockMask) | applied_timestamp_us)) {
+  }
+  // The replica's CDP history becomes ours: resync_replica() folds it to
+  // catch survivors up to everything the dead primary shipped us.
+  recovered_trap_log.move_into(trap_log_);
+  return Status::ok();
+}
+
+Status PrinsEngine::fenced_by_replica(ReplicaLink& link,
+                                      std::uint64_t replica_epoch) {
+  Status why = failed_precondition(
+      "fenced: replica holds cluster epoch " + std::to_string(replica_epoch) +
+      ", this engine stamps " + std::to_string(config_.cluster_epoch) +
+      " — a newer primary was promoted");
+  std::lock_guard lock(mutex_);
+  metrics_.stale_epoch_naks += 1;
+  // No heal can outrun a promotion: folding our history onto the new
+  // epoch's replicas would corrupt the cluster's surviving timeline.  Keep
+  // the journal frozen so an operator can audit what this primary had in
+  // flight when it lost the crown.
+  link.unhealable = true;
+  journal_frozen_ = true;
+  if (worker_error_.is_ok()) worker_error_ = why;
+  queue_cv_.notify_all();
+  if (idle_locked()) drain_cv_.notify_all();
+  PRINS_LOG(kError) << "replica " << link.index << " fenced this engine: "
+                    << why.to_string();
+  return why;
+}
+
 std::size_t PrinsEngine::tap_backlog() const {
   std::lock_guard lock(tap_mutex_);
   return tap_deltas_.size();
@@ -2241,6 +2349,15 @@ EngineMetrics PrinsEngine::metrics() const {
   {
     std::lock_guard lock(mutex_);
     out = metrics_;
+    out.journal_frozen = journal_frozen_ ? 1 : 0;
+  }
+  out.cluster_epoch = config_.cluster_epoch;
+  if (config_.journal != nullptr) {
+    const JournalStats js = config_.journal->stats();
+    out.journal_watermark = js.acked_sequence;
+    out.journal_pending = js.pending_records;
+    out.journal_pending_bytes = js.pending_bytes;
+    out.journal_spills = js.spills;
   }
   // Merge the per-shard hot-path counters.  Shard locks are taken *after*
   // releasing mutex_: writers hold a shard lock while waiting for mutex_

@@ -164,6 +164,13 @@ struct EngineConfig {
   bool pool_buffers = true;
   /// Freelist bound per pool; releases beyond it free their buffer.
   std::size_t pool_max_free = 128;
+  /// Fencing epoch stamped into every outgoing wire message.  Replicas
+  /// reject frames from an older epoch with NakReason::kStaleEpoch, which
+  /// this engine treats as a sticky, unhealable failure: a newer primary
+  /// was promoted while we were away, and retrying or self-healing would
+  /// corrupt the cluster's new history.  0 is the epoch-unaware legacy
+  /// world; ReplicaEngine::promote() mints epoch+1 for the successor.
+  std::uint64_t cluster_epoch = 0;
 };
 
 struct EngineMetrics {
@@ -190,6 +197,15 @@ struct EngineMetrics {
   std::uint64_t scrub_corruptions = 0;  // corrupt blocks scrub passes found
   std::uint64_t scrub_repaired = 0;
   std::uint64_t scrub_quarantined = 0;  // blocks no repair source could fix
+  // Failover / recovery visibility: a stalled recovery shows up as a
+  // frozen watermark plus growing journal depth instead of staying silent.
+  std::uint64_t cluster_epoch = 0;     // fencing epoch this engine stamps
+  std::uint64_t stale_epoch_naks = 0;  // times a replica fenced this engine
+  std::uint64_t journal_frozen = 0;    // 1 while a drop pins the watermark
+  std::uint64_t journal_watermark = 0; // journal's acked sequence
+  std::uint64_t journal_pending = 0;   // journaled records above watermark
+  std::uint64_t journal_pending_bytes = 0;  // RAM held by the replay cache
+  std::uint64_t journal_spills = 0;    // replay cache evictions to disk
 };
 
 class PrinsEngine final : public BlockDevice {
@@ -273,6 +289,19 @@ class PrinsEngine final : public BlockDevice {
   /// before new writes; also fast-forwards the sequence/timestamp
   /// counters past the journal's high-water mark.
   Status replay_journal();
+
+  /// Seed a freshly constructed engine from a promoted replica's recovered
+  /// state (ReplicaEngine::promote() calls this): fast-forward the
+  /// sequence counter and logical clock past everything the replica
+  /// applied, and move its CDP trap log in so resync_replica() can fold
+  /// the deltas survivors missed.  Must run before replicas attach and
+  /// before the first write; `recovered_trap_log` is left empty.
+  Status adopt_recovered_state(std::uint64_t next_sequence,
+                               std::uint64_t applied_timestamp_us,
+                               TrapLog& recovered_trap_log);
+
+  /// Fencing epoch this engine stamps into every outgoing message.
+  std::uint64_t cluster_epoch() const { return config_.cluster_epoch; }
 
   /// Delta resynchronization (requires config.keep_trap_log): after
   /// reattach_replica(), fold the parity log forward from the replica's
@@ -482,6 +511,11 @@ class PrinsEngine final : public BlockDevice {
   Status hello_locked(ReplicaLink& link, std::uint64_t& applied_ts);
   Status build_resync_locked(ReplicaLink& link, std::uint64_t replica_ts);
   void heal_failed(ReplicaLink* link, const Status& why);
+  /// React to a kStaleEpoch NAK: a promoted successor owns the cluster
+  /// now.  Marks the link unhealable, freezes the journal, sets the sticky
+  /// worker error, and returns the kFailedPrecondition status the caller
+  /// should propagate.  Takes mutex_ (callers hold at most the link mutex).
+  Status fenced_by_replica(ReplicaLink& link, std::uint64_t replica_epoch);
   /// True when a failed link will recover on its own (mutex_ held).
   bool healable_locked(const ReplicaLink& link) const;
   /// Journal-append (if configured) and distribute to every outbox.

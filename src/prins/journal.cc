@@ -30,16 +30,52 @@ Status write_all(int fd, ByteSpan data) {
   return Status::ok();
 }
 
+struct ScanResult {
+  std::uint64_t acked = 0;
+  std::uint64_t max_sequence = 0;
+  // Every message record in file order (pre-watermark entries included;
+  // callers filter against `acked`).
+  std::vector<std::pair<std::uint64_t, Bytes>> records;
+};
+
+// Walk the record stream after the magic; a torn or corrupt tail ends the
+// scan (everything before it is good).
+ScanResult scan_records(ByteSpan contents) {
+  ScanResult out;
+  std::size_t pos = 4;
+  while (pos < contents.size()) {
+    const std::uint8_t type = contents[pos];
+    if (type == kRecordMessage) {
+      if (contents.size() - pos < 5) break;
+      const std::uint32_t len = load_le32(contents.subspan(pos + 1, 4));
+      if (contents.size() - pos - 5 < len) break;
+      const ByteSpan wire = contents.subspan(pos + 5, len);
+      auto message = ReplicationMessage::decode(wire);
+      if (!message.is_ok()) break;
+      out.max_sequence = std::max(out.max_sequence, message->sequence);
+      out.records.emplace_back(message->sequence, to_bytes(wire));
+      pos += 5 + len;
+    } else if (type == kRecordAck) {
+      if (contents.size() - pos < 9) break;
+      out.acked = std::max(out.acked, load_le64(contents.subspan(pos + 1, 8)));
+      pos += 9;
+    } else {
+      break;  // unknown/garbage tail
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ReplicationJournal>> ReplicationJournal::open(
-    const std::string& path) {
+    const std::string& path, std::size_t replay_cache_bytes) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return io_error("open(" + path + "): " + std::strerror(errno));
   }
   std::unique_ptr<ReplicationJournal> journal(
-      new ReplicationJournal(fd, path));
+      new ReplicationJournal(fd, path, replay_cache_bytes));
 
   // Scan existing contents.
   const off_t size = ::lseek(fd, 0, SEEK_END);
@@ -60,29 +96,10 @@ Result<std::unique_ptr<ReplicationJournal>> ReplicationJournal::open(
     return corruption("bad journal magic: " + path);
   }
 
-  std::size_t pos = 4;
-  while (pos < contents.size()) {
-    const std::uint8_t type = contents[pos];
-    if (type == kRecordMessage) {
-      if (contents.size() - pos < 5) break;  // torn tail
-      const std::uint32_t len = load_le32(ByteSpan(contents).subspan(pos + 1, 4));
-      if (contents.size() - pos - 5 < len) break;  // torn tail
-      const ByteSpan wire = ByteSpan(contents).subspan(pos + 5, len);
-      auto message = ReplicationMessage::decode(wire);
-      if (!message.is_ok()) break;  // corrupt tail; everything before is good
-      journal->max_sequence_ =
-          std::max(journal->max_sequence_, message->sequence);
-      journal->pending_.emplace_back(message->sequence, to_bytes(wire));
-      pos += 5 + len;
-    } else if (type == kRecordAck) {
-      if (contents.size() - pos < 9) break;
-      journal->acked_ = std::max(
-          journal->acked_, load_le64(ByteSpan(contents).subspan(pos + 1, 8)));
-      pos += 9;
-    } else {
-      break;  // unknown/garbage tail
-    }
-  }
+  ScanResult scan = scan_records(contents);
+  journal->acked_ = scan.acked;
+  journal->max_sequence_ = scan.max_sequence;
+  journal->pending_ = std::move(scan.records);
 
   // Drop entries at or below the watermark; keep the rest sorted.
   auto& pending = journal->pending_;
@@ -91,11 +108,18 @@ Result<std::unique_ptr<ReplicationJournal>> ReplicationJournal::open(
   });
   std::sort(pending.begin(), pending.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [sequence, wire] : pending) {
+    journal->pending_bytes_ += wire.size();
+  }
+  journal->evict_replay_cache_locked();
   return journal;
 }
 
-ReplicationJournal::ReplicationJournal(int fd, std::string path)
-    : fd_(fd), path_(std::move(path)) {}
+ReplicationJournal::ReplicationJournal(int fd, std::string path,
+                                       std::size_t replay_cache_bytes)
+    : fd_(fd),
+      path_(std::move(path)),
+      replay_cache_bytes_(replay_cache_bytes) {}
 
 ReplicationJournal::~ReplicationJournal() { ::close(fd_); }
 
@@ -169,8 +193,24 @@ Status ReplicationJournal::append(const ReplicationMessage& header,
   }
   if (!flush_error_.is_ok()) return flush_error_;
   max_sequence_ = std::max(max_sequence_, header.sequence);
+  pending_bytes_ += wire.size();
   pending_.emplace_back(header.sequence, std::move(wire));
+  evict_replay_cache_locked();
   return Status::ok();
+}
+
+void ReplicationJournal::evict_replay_cache_locked() {
+  if (pending_bytes_ <= replay_cache_bytes_) return;
+  // Oldest first: a stuck watermark pins the front of the queue, and those
+  // are the wires that will sit cached the longest.
+  for (auto& [sequence, wire] : pending_) {
+    if (pending_bytes_ <= replay_cache_bytes_) break;
+    if (wire.empty()) continue;
+    pending_bytes_ -= wire.size();
+    wire = Bytes();
+    spills_ += 1;
+    spilled_ = true;
+  }
 }
 
 Status ReplicationJournal::mark_acked(std::uint64_t sequence) {
@@ -184,16 +224,53 @@ Status ReplicationJournal::mark_acked(std::uint64_t sequence) {
   if (sequence <= acked_) return Status::ok();
   PRINS_RETURN_IF_ERROR(append_record_locked(kRecordAck, seq));
   acked_ = sequence;
-  std::erase_if(pending_,
-                [&](const auto& entry) { return entry.first <= acked_; });
+  bool holes = false;
+  std::erase_if(pending_, [&](const auto& entry) {
+    if (entry.first <= acked_) {
+      pending_bytes_ -= entry.second.size();
+      return true;
+    }
+    holes |= entry.second.empty();
+    return false;
+  });
+  spilled_ = holes;  // the watermark may have swept past every spilled entry
   return Status::ok();
 }
 
+Result<std::vector<std::pair<std::uint64_t, Bytes>>>
+ReplicationJournal::read_pending_from_file_locked() const {
+  const off_t size = ::lseek(fd_, 0, SEEK_END);  // fd_ already sits at end
+  if (size < 0) return io_error("lseek: " + std::string(std::strerror(errno)));
+  Bytes contents(static_cast<std::size_t>(size));
+  if (::pread(fd_, contents.data(), contents.size(), 0) !=
+      static_cast<ssize_t>(contents.size())) {
+    return io_error("journal re-read failed: " + path_);
+  }
+  ScanResult scan = scan_records(contents);
+  auto& records = scan.records;
+  std::erase_if(records,
+                [&](const auto& entry) { return entry.first <= acked_; });
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return std::move(records);
+}
+
 Result<std::vector<ReplicationMessage>> ReplicationJournal::pending() const {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  std::vector<std::pair<std::uint64_t, Bytes>> from_file;
+  const std::vector<std::pair<std::uint64_t, Bytes>>* source = &pending_;
+  if (spilled_) {
+    // Evicted wires live only in the file; re-read it.  (Replay is a
+    // restart-time path — the extra read is the price of the bounded
+    // steady-state cache.)  Wait out any in-flight group commit so the
+    // re-read never races the leader's write.
+    sync_cv_.wait(lock, [&] { return !flusher_active_ && staging_.empty(); });
+    PRINS_ASSIGN_OR_RETURN(from_file, read_pending_from_file_locked());
+    source = &from_file;
+  }
   std::vector<ReplicationMessage> out;
-  out.reserve(pending_.size());
-  for (const auto& [sequence, wire] : pending_) {
+  out.reserve(source->size());
+  for (const auto& [sequence, wire] : *source) {
     PRINS_ASSIGN_OR_RETURN(ReplicationMessage message,
                            ReplicationMessage::decode(wire));
     out.push_back(std::move(message));
@@ -212,6 +289,16 @@ Status ReplicationJournal::checkpoint() {
   // would hand it a dead descriptor; staged-but-unsynced records would also
   // be missed by the rewrite.  Both drain quickly.
   sync_cv_.wait(lock, [&] { return !flusher_active_ && staging_.empty(); });
+  if (spilled_) {
+    // Spilled entries keep only their sequence in RAM; recover the wires
+    // from the old file before it is replaced.
+    PRINS_ASSIGN_OR_RETURN(pending_, read_pending_from_file_locked());
+    pending_bytes_ = 0;
+    for (const auto& [sequence, wire] : pending_) {
+      pending_bytes_ += wire.size();
+    }
+    spilled_ = false;
+  }
   const std::string tmp = path_ + ".tmp";
   int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -246,6 +333,9 @@ Status ReplicationJournal::checkpoint() {
   ::lseek(new_fd, 0, SEEK_END);
   ::close(fd_);
   fd_ = new_fd;
+  // The rebuild above may have pulled spilled wires back into RAM; re-apply
+  // the cache bound now that the new file is in place.
+  evict_replay_cache_locked();
   return Status::ok();
 }
 
@@ -262,6 +352,16 @@ std::uint64_t ReplicationJournal::max_sequence() const {
 std::size_t ReplicationJournal::pending_count() const {
   std::lock_guard lock(mutex_);
   return pending_.size();
+}
+
+JournalStats ReplicationJournal::stats() const {
+  std::lock_guard lock(mutex_);
+  JournalStats out;
+  out.pending_records = pending_.size();
+  out.pending_bytes = pending_bytes_;
+  out.spills = spills_;
+  out.acked_sequence = acked_;
+  return out;
 }
 
 }  // namespace prins

@@ -28,11 +28,31 @@
 
 namespace prins {
 
+/// Point-in-time accounting for the journal (EngineMetrics, prinsctl).
+struct JournalStats {
+  std::uint64_t pending_records = 0;  // records above the watermark
+  std::uint64_t pending_bytes = 0;    // wire bytes of those held in RAM
+  std::uint64_t spills = 0;           // replay-cache records evicted to disk
+  std::uint64_t acked_sequence = 0;   // the durable watermark
+};
+
 class ReplicationJournal {
  public:
+  /// Default bound on the in-RAM replay cache (see open()).
+  static constexpr std::size_t kDefaultReplayCacheBytes = 64u << 20;
+
   /// Open or create a journal at `path`, scanning existing records.
+  ///
+  /// `replay_cache_bytes` bounds the in-memory copy of pending records.
+  /// The file is always the durable source of truth; the RAM copy only
+  /// makes pending() cheap.  When un-acked records outgrow the bound —
+  /// a frozen watermark during an outage, say — the oldest cached wires
+  /// are evicted (a "spill") and pending()/checkpoint() re-read the file
+  /// instead, so journal memory stays bounded no matter how long a
+  /// replica stays down.
   static Result<std::unique_ptr<ReplicationJournal>> open(
-      const std::string& path);
+      const std::string& path,
+      std::size_t replay_cache_bytes = kDefaultReplayCacheBytes);
   ~ReplicationJournal();
 
   ReplicationJournal(const ReplicationJournal&) = delete;
@@ -65,27 +85,41 @@ class ReplicationJournal {
   std::uint64_t max_sequence() const;
   /// Records currently above the watermark.
   std::size_t pending_count() const;
+  /// Depth/cache accounting in one consistent snapshot.
+  JournalStats stats() const;
 
  private:
-  ReplicationJournal(int fd, std::string path);
+  ReplicationJournal(int fd, std::string path,
+                     std::size_t replay_cache_bytes);
 
   Status append_record_locked(std::uint8_t type, ByteSpan payload);
+  /// Free cached wires oldest-first until the replay cache fits its bound.
+  void evict_replay_cache_locked();
+  /// Re-read every pending record's wire from the file (spilled entries
+  /// have no RAM copy), sorted by sequence.
+  Result<std::vector<std::pair<std::uint64_t, Bytes>>>
+  read_pending_from_file_locked() const;
 
   mutable std::mutex mutex_;
   int fd_;
   std::string path_;
+  const std::size_t replay_cache_bytes_;
   std::uint64_t acked_ = 0;
   std::uint64_t max_sequence_ = 0;
-  // Pending wire messages by sequence (kept in memory for cheap replay;
-  // the file is the durable copy).
+  // Pending wire messages by sequence (a bounded cache for cheap replay;
+  // the file is the durable copy).  A spilled entry keeps its sequence but
+  // an empty wire — pending() then re-reads the file.
   std::vector<std::pair<std::uint64_t, Bytes>> pending_;
+  std::size_t pending_bytes_ = 0;  // wire bytes currently cached
+  std::uint64_t spills_ = 0;       // records evicted since open
+  bool spilled_ = false;           // any pending_ entry lacks its wire
 
   // Group-commit state.  Appenders stage records into `staging_` and take a
   // ticket; a single leader at a time swaps the staging buffer out and
   // flushes it with the lock released.  `flush_error_` is sticky: once a
   // write or sync fails the journal refuses further appends, because a
   // record's durability can no longer be guaranteed.
-  std::condition_variable sync_cv_;
+  mutable std::condition_variable sync_cv_;
   Bytes staging_;
   std::uint64_t staged_ticket_ = 0;
   std::uint64_t synced_ticket_ = 0;

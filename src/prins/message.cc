@@ -74,6 +74,7 @@ ReplicationMessage MessageView::to_message() const {
   ReplicationMessage msg;
   msg.kind = kind;
   msg.policy = policy;
+  msg.cluster_epoch = cluster_epoch;
   msg.block_size = block_size;
   msg.lba = lba;
   msg.sequence = sequence;
@@ -89,6 +90,8 @@ void ReplicationMessage::encode_header(MutByteSpan out,
   pos += 4;
   out[pos++] = static_cast<Byte>(kind);
   out[pos++] = static_cast<Byte>(policy);
+  store_le64(out.subspan(pos, 8), cluster_epoch);
+  pos += 8;
   store_le32(out.subspan(pos, 4), block_size);
   pos += 4;
   store_le64(out.subspan(pos, 8), lba);
@@ -134,6 +137,8 @@ Result<MessageView> ReplicationMessage::decode_view(ByteSpan wire) {
     return corruption("bad policy " + std::to_string(policy_raw));
   }
   msg.policy = static_cast<ReplicationPolicy>(policy_raw);
+  msg.cluster_epoch = load_le64(wire.subspan(pos, 8));
+  pos += 8;
   msg.block_size = load_le32(wire.subspan(pos, 4));
   pos += 4;
   msg.lba = load_le64(wire.subspan(pos, 8));
@@ -160,6 +165,7 @@ MessageView ReplicationMessage::view() const {
   MessageView v;
   v.kind = kind;
   v.policy = policy;
+  v.cluster_epoch = cluster_epoch;
   v.block_size = block_size;
   v.lba = lba;
   v.sequence = sequence;

@@ -1,9 +1,9 @@
 // Replication wire messages between a PRINS engine and its replicas.
 //
 // Layout (little-endian):
-//   magic "PRrp" (4) | kind (1) | policy (1) | block_size (4) | lba (8) |
-//   sequence (8) | timestamp_us (8) | payload length (4) | payload |
-//   crc32c of everything before it (4)
+//   magic "PRrp" (4) | kind (1) | policy (1) | cluster_epoch (8) |
+//   block_size (4) | lba (8) | sequence (8) | timestamp_us (8) |
+//   payload length (4) | payload | crc32c of everything before it (4)
 //
 // The payload of kWrite/kSyncBlock/kRepairBlock is a codec frame
 // (codec.h); kAck and the verify messages use it for raw data.
@@ -48,6 +48,10 @@ enum class NakReason : std::uint8_t {
   kResend = 0,         // frame corrupt in flight: retransmit as-is
   kNeedFullBlock = 1,  // replica's stored A_old is damaged: a parity delta
                        //   cannot apply, send the full block instead
+  kStaleEpoch = 2,     // sender's cluster_epoch is behind the replica's: a
+                       //   newer primary was promoted, the sender is fenced
+                       //   (the NAK header's cluster_epoch carries the
+                       //   replica's current epoch)
 };
 
 /// One contiguous run of applied sequences inside a kAckBatch payload.
@@ -79,6 +83,7 @@ struct ReplicationMessage;
 struct MessageView {
   MessageKind kind = MessageKind::kWrite;
   ReplicationPolicy policy = ReplicationPolicy::kTraditional;
+  std::uint64_t cluster_epoch = 0;  // fencing token; 0 = epoch-unaware peer
   std::uint32_t block_size = 0;
   Lba lba = 0;
   std::uint64_t sequence = 0;
@@ -92,6 +97,7 @@ struct MessageView {
 struct ReplicationMessage {
   MessageKind kind = MessageKind::kWrite;
   ReplicationPolicy policy = ReplicationPolicy::kTraditional;
+  std::uint64_t cluster_epoch = 0;  // fencing token; 0 = epoch-unaware peer
   std::uint32_t block_size = 0;
   Lba lba = 0;
   std::uint64_t sequence = 0;
@@ -100,7 +106,8 @@ struct ReplicationMessage {
 
   /// Bytes of the fixed wire header (magic through payload length); a full
   /// frame is kWireHeaderSize + payload + 4-byte trailing CRC.
-  static constexpr std::size_t kWireHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 8 + 4;
+  static constexpr std::size_t kWireHeaderSize =
+      4 + 1 + 1 + 8 + 4 + 8 + 8 + 8 + 4;
 
   Bytes encode() const;
 

@@ -96,7 +96,13 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
   // ---- accept path (listener loop thread) -----------------------------------
 
   void on_connect(std::unique_ptr<Transport> transport) {
-    auto* rt = dynamic_cast<ReactorTcpTransport*>(transport.get());
+    if (options.wrap_transport) {
+      transport = options.wrap_transport(std::move(transport));
+      if (transport == nullptr) return;  // decorator rejected the connection
+    }
+    // The frame fan-in handlers live on the reactor connection inside any
+    // decorator stack; replies go out through the decorated transport.
+    auto* rt = dynamic_cast<ReactorTcpTransport*>(transport->underlying());
     if (rt == nullptr) {
       PRINS_LOG(kError) << "reactor server: non-reactor transport accepted";
       return;
@@ -156,6 +162,7 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
       }
       ReplicationMessage nak;
       nak.kind = MessageKind::kNak;
+      nak.cluster_epoch = replica->cluster_epoch();
       (void)send_reply_framed(*session->transport, nak, {});
       return;
     }
@@ -365,13 +372,17 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
       // NAKs stay individual so the primary matches each to its entry.
       ReplicationMessage nak;
       nak.kind = MessageKind::kNak;
+      nak.cluster_epoch = replica->cluster_epoch();
       nak.sequence = c.sequence;
       nak.lba = c.lba;
       Byte reason = static_cast<Byte>(NakReason::kNeedFullBlock);
-      const ByteSpan payload =
-          c.outcome == ReplicaEngine::ApplyOutcome::kNakFullBlock
-              ? ByteSpan(&reason, 1)
-              : ByteSpan();
+      ByteSpan payload;
+      if (c.outcome == ReplicaEngine::ApplyOutcome::kNakFullBlock) {
+        payload = ByteSpan(&reason, 1);
+      } else if (c.outcome == ReplicaEngine::ApplyOutcome::kNakStaleEpoch) {
+        reason = static_cast<Byte>(NakReason::kStaleEpoch);
+        payload = ByteSpan(&reason, 1);
+      }
       sent = send_reply_framed(*session.transport, nak, payload);
       if (!sent.is_ok()) break;
     }
@@ -380,6 +391,7 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
       // one-frame-at-a-time resync and heal exchanges.
       ReplicationMessage ack;
       ack.kind = MessageKind::kAck;
+      ack.cluster_epoch = replica->cluster_epoch();
       ack.sequence = acked[0];
       ack.lba = last_lba;
       sent = send_reply_framed(*session.transport, ack, {});
@@ -394,6 +406,7 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
       }
       ReplicationMessage ack;
       ack.kind = MessageKind::kAckBatch;
+      ack.cluster_epoch = replica->cluster_epoch();
       ack.sequence = newest;
       ack.lba = last_lba;
       sent = send_reply_framed(*session.transport, ack, payload);

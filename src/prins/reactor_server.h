@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "net/reactor_tcp.h"
@@ -46,6 +47,13 @@ struct ReactorReplicaServerOptions {
   std::uint16_t port = 0;
   /// Per-connection transport options (inbox/outbox limits, test knobs).
   ReactorTcpOptions transport;
+  /// Optional decorator applied to each accepted connection (e.g. wrap in
+  /// a FaultyTransport to storm-test the reactor path).  The server finds
+  /// the reactor connection inside the decorator stack via
+  /// Transport::underlying(), so replies ride the decorated transport
+  /// while frame fan-in stays handler-driven.
+  std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
+      wrap_transport;
   /// Write frames a connection may have dispatched-but-unacked before its
   /// reads pause (resumes at half).  Bounds queued work per initiator.
   std::size_t max_in_flight_per_conn = 128;

@@ -14,6 +14,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "parity/xor.h"
+#include "prins/engine.h"
 #include "prins/verify.h"
 
 namespace prins {
@@ -56,7 +57,8 @@ bool is_write_kind(MessageKind kind) {
 
 ReplicaEngine::ReplicaEngine(std::shared_ptr<BlockDevice> local,
                              ReplicaConfig config)
-    : local_(std::move(local)), config_(config) {
+    : local_(std::move(local)), config_(config),
+      cluster_epoch_(config.cluster_epoch) {
   config_.apply_shards = resolve_apply_shards(config_.apply_shards);
   if (config_.apply_queue_capacity == 0) config_.apply_queue_capacity = 1;
   if (config_.ack_coalesce_max == 0) config_.ack_coalesce_max = 1;
@@ -189,12 +191,17 @@ Status ReplicaEngine::serve(Transport& transport) {
         // can match each to its entry (and read the reason byte).
         ReplicationMessage nak;
         nak.kind = MessageKind::kNak;
+        nak.cluster_epoch = cluster_epoch();
         nak.sequence = c.sequence;
         nak.lba = c.lba;
         Byte reason = static_cast<Byte>(NakReason::kNeedFullBlock);
-        const ByteSpan payload =
-            c.outcome == ApplyOutcome::kNakFullBlock ? ByteSpan(&reason, 1)
-                                                     : ByteSpan();
+        ByteSpan payload;
+        if (c.outcome == ApplyOutcome::kNakFullBlock) {
+          payload = ByteSpan(&reason, 1);
+        } else if (c.outcome == ApplyOutcome::kNakStaleEpoch) {
+          reason = static_cast<Byte>(NakReason::kStaleEpoch);
+          payload = ByteSpan(&reason, 1);
+        }
         sent = send_reply(nak, payload);
         if (!sent.is_ok()) break;
       }
@@ -203,6 +210,7 @@ Status ReplicaEngine::serve(Transport& transport) {
         // one-frame-at-a-time resync and heal exchanges.
         ReplicationMessage ack;
         ack.kind = MessageKind::kAck;
+        ack.cluster_epoch = cluster_epoch();
         ack.sequence = acked[0];
         ack.lba = last_lba;
         sent = send_reply(ack, {});
@@ -218,6 +226,7 @@ Status ReplicaEngine::serve(Transport& transport) {
         }
         ReplicationMessage ack;
         ack.kind = MessageKind::kAckBatch;
+        ack.cluster_epoch = cluster_epoch();
         ack.sequence = newest;
         ack.lba = last_lba;
         sent = send_reply(ack, bytes);
@@ -273,6 +282,7 @@ Status ReplicaEngine::serve(Transport& transport) {
       }
       ReplicationMessage nak;
       nak.kind = MessageKind::kNak;
+      nak.cluster_epoch = cluster_epoch();
       if (Status s = send_reply(nak, {}); !s.is_ok()) {
         result = s;
         break;
@@ -338,6 +348,19 @@ Result<ReplicationMessage> ReplicaEngine::apply(
 
 Result<ReplicationMessage> ReplicaEngine::apply_view(
     const MessageView& message) {
+  // Fence before anything touches the device: a frame from an epoch older
+  // than ours comes from a primary that missed a promotion, and applying
+  // it would diverge us from the cluster's new history.
+  if (!epoch_current(message.cluster_epoch)) {
+    return stale_epoch_nak(message.sequence, message.lba);
+  }
+  PRINS_ASSIGN_OR_RETURN(ReplicationMessage reply, dispatch_view(message));
+  reply.cluster_epoch = cluster_epoch();
+  return reply;
+}
+
+Result<ReplicationMessage> ReplicaEngine::dispatch_view(
+    const MessageView& message) {
   switch (message.kind) {
     case MessageKind::kVerifyRequest:
       return apply_verify(message);
@@ -369,6 +392,8 @@ Result<ReplicationMessage> ReplicaEngine::apply_view(
         nak.lba = message.lba;
         if (outcome == ApplyOutcome::kNakFullBlock) {
           nak.payload.push_back(static_cast<Byte>(NakReason::kNeedFullBlock));
+        } else if (outcome == ApplyOutcome::kNakStaleEpoch) {
+          nak.payload.push_back(static_cast<Byte>(NakReason::kStaleEpoch));
         }
         return nak;
       }
@@ -459,8 +484,43 @@ void ReplicaEngine::bump_timestamp(std::uint64_t timestamp_us) {
   }
 }
 
+bool ReplicaEngine::epoch_current(std::uint64_t frame_epoch) {
+  std::uint64_t current = cluster_epoch_.load(std::memory_order_acquire);
+  while (frame_epoch > current) {
+    // A newer primary is talking to us: adopt its epoch, which fences the
+    // old one from here on.
+    if (cluster_epoch_.compare_exchange_weak(current, frame_epoch,
+                                             std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return frame_epoch == current;
+}
+
+ReplicationMessage ReplicaEngine::stale_epoch_nak(std::uint64_t sequence,
+                                                  Lba lba) {
+  {
+    std::lock_guard lock(mutex_);
+    metrics_.naks_sent += 1;
+    metrics_.stale_epoch_naks += 1;
+  }
+  ReplicationMessage nak;
+  nak.kind = MessageKind::kNak;
+  nak.cluster_epoch = cluster_epoch();  // tell the zombie where the world is
+  nak.sequence = sequence;
+  nak.lba = lba;
+  nak.payload.push_back(static_cast<Byte>(NakReason::kStaleEpoch));
+  return nak;
+}
+
 Result<ReplicaEngine::ApplyOutcome> ReplicaEngine::apply_write_message(
     const MessageView& message) {
+  if (!epoch_current(message.cluster_epoch)) {
+    std::lock_guard lock(mutex_);
+    metrics_.naks_sent += 1;
+    metrics_.stale_epoch_naks += 1;
+    return ApplyOutcome::kNakStaleEpoch;
+  }
   ApplyShard& shard = shard_for(message.lba);
   bool checkpoint_due = false;
   {
@@ -658,6 +718,42 @@ std::vector<Lba> ReplicaEngine::damaged_blocks() const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+Result<std::unique_ptr<PrinsEngine>> ReplicaEngine::promote(
+    EngineConfig config) {
+  // Finish crash recovery first: the intent log is what separates applied
+  // writes from torn ones after a hard kill (idempotent if already run).
+  PRINS_ASSIGN_OR_RETURN(std::vector<Lba> damaged, recover_intents());
+  if (!damaged.empty()) {
+    return failed_precondition(
+        "cannot promote: " + std::to_string(damaged.size()) +
+        " torn block(s) await full-block repair");
+  }
+  // Highest applied sequence across the striped dedup windows: the new
+  // primary's writes must sequence above anything a survivor may already
+  // have seen, or its dedup window would swallow them.
+  std::uint64_t max_sequence = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (std::uint64_t sequence : shard->applied_fifo) {
+      max_sequence = std::max(max_sequence, sequence);
+    }
+  }
+  // Fence the old primary: everything from here on happens one epoch up,
+  // and this replica keeps NAKing the old epoch if the zombie reappears.
+  std::uint64_t epoch =
+      cluster_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (config.cluster_epoch > epoch) {
+    epoch_current(config.cluster_epoch);  // adopt an operator-forced epoch
+    epoch = config.cluster_epoch;
+  }
+  config.cluster_epoch = epoch;
+  config.keep_trap_log = true;  // survivors catch up with delta resyncs
+  auto engine = std::make_unique<PrinsEngine>(local_, config);
+  PRINS_RETURN_IF_ERROR(engine->adopt_recovered_state(
+      max_sequence + 1, applied_timestamp(), trap_log_));
+  return engine;
 }
 
 Result<ReplicationMessage> ReplicaEngine::apply_verify(

@@ -37,6 +37,8 @@
 namespace prins {
 
 class CachedDisk;
+class PrinsEngine;
+struct EngineConfig;
 
 struct ReplicaConfig {
   /// Record parity deltas of applied writes for point-in-time recovery.
@@ -68,6 +70,11 @@ struct ReplicaConfig {
   /// disables — tests that inject corruption under the replica rely on
   /// every read observing the medium.
   std::size_t old_block_cache_blocks = 0;
+  /// Fencing epoch this replica starts in.  Frames stamped with an older
+  /// cluster_epoch are rejected with NakReason::kStaleEpoch (a zombie
+  /// primary that missed a promotion); frames with a newer one advance the
+  /// replica's epoch.  0 is the epoch-unaware legacy world.
+  std::uint64_t cluster_epoch = 0;
 };
 
 struct ReplicaMetrics {
@@ -90,6 +97,7 @@ struct ReplicaMetrics {
   std::uint64_t cache_misses = 0;
   std::uint64_t intent_records = 0;    // intents recorded (group commit...)
   std::uint64_t intent_fsyncs = 0;     // ...amortizes these across workers
+  std::uint64_t stale_epoch_naks = 0;  // fenced frames from a zombie primary
 };
 
 class ReplicaEngine {
@@ -131,6 +139,25 @@ class ReplicaEngine {
   /// Blocks currently marked damaged (awaiting full-block repair).
   std::vector<Lba> damaged_blocks() const;
 
+  /// Promote this replica to primary: finish crash recovery (intent-log
+  /// replay), bump the cluster epoch, and return a live PrinsEngine over
+  /// this replica's device at the new epoch.  The engine's sequence counter
+  /// and logical clock are fast-forwarded past everything this replica
+  /// applied, and the replica's CDP trap log moves into the engine so
+  /// surviving replicas can be caught up with delta resyncs
+  /// (resync_replica) instead of full-volume syncs.  Fails
+  /// kFailedPrecondition while torn blocks await full-block repair — a
+  /// damaged copy must not become the cluster's source of truth.
+  /// Stop serving replication traffic into this ReplicaEngine first; the
+  /// replica keeps fencing stale-epoch frames afterwards, so a zombie
+  /// primary that reappears is rejected with NakReason::kStaleEpoch.
+  Result<std::unique_ptr<PrinsEngine>> promote(EngineConfig config);
+
+  /// Fencing epoch this replica currently enforces.
+  std::uint64_t cluster_epoch() const {
+    return cluster_epoch_.load(std::memory_order_acquire);
+  }
+
   ReplicaMetrics metrics() const;
 
   /// Newest write timestamp applied to the device (0 before any write).
@@ -154,9 +181,10 @@ class ReplicaEngine {
 
   /// What a write-kind apply tells the ack stage.
   enum class ApplyOutcome : std::uint8_t {
-    kApplied = 0,      // ack it (covers deduplicated redeliveries)
-    kNakResend = 1,    // codec frame corrupt: retransmit as-is
-    kNakFullBlock = 2  // stored A_old damaged: only a full block can land
+    kApplied = 0,       // ack it (covers deduplicated redeliveries)
+    kNakResend = 1,     // codec frame corrupt: retransmit as-is
+    kNakFullBlock = 2,  // stored A_old damaged: only a full block can land
+    kNakStaleEpoch = 3  // sender is fenced: a newer primary was promoted
   };
 
   // Per-LBA-stripe apply state.  A shard's mutex is held for the whole
@@ -177,6 +205,9 @@ class ReplicaEngine {
   /// the ack/NAK disposition; a non-OK status is a fatal session error.
   Result<ApplyOutcome> apply_write_message(const MessageView& message);
 
+  /// apply_view minus fencing and reply epoch-stamping (the kind switch).
+  Result<ReplicationMessage> dispatch_view(const MessageView& message);
+
   Status apply_write_locked(ApplyShard& shard, const MessageView& message,
                             bool* checkpoint_due);
   Result<ReplicationMessage> apply_verify(const MessageView& message);
@@ -186,6 +217,16 @@ class ReplicaEngine {
   void bump_timestamp(std::uint64_t timestamp_us);
   static bool already_applied(const ApplyShard& shard, std::uint64_t sequence);
   static void record_applied(ApplyShard& shard, std::uint64_t sequence);
+
+  /// Fencing check for one inbound frame: a newer epoch is adopted (the
+  /// frame is from a freshly promoted primary), the current epoch passes,
+  /// an older one is stale — the caller must NAK with kStaleEpoch and must
+  /// not touch the device.
+  bool epoch_current(std::uint64_t frame_epoch);
+  /// Build the stale-epoch NAK for a fenced frame; the header's
+  /// cluster_epoch carries our epoch so the zombie learns how far behind
+  /// it is.
+  ReplicationMessage stale_epoch_nak(std::uint64_t sequence, Lba lba);
 
   std::shared_ptr<BlockDevice> local_;
   ReplicaConfig config_;
@@ -205,6 +246,7 @@ class ReplicaEngine {
   // long-lived replica doesn't hold every sequence ever seen; the window is
   // far wider than any in-flight pipeline, so a live duplicate always hits.
   std::vector<std::unique_ptr<ApplyShard>> shards_;
+  std::atomic<std::uint64_t> cluster_epoch_{0};
   std::atomic<std::uint64_t> applied_timestamp_us_{0};
   std::atomic<std::uint64_t> applies_since_checkpoint_{0};
   std::atomic<std::uint64_t> apply_queue_peak_{0};

@@ -328,6 +328,30 @@ Status TrapLog::load_from(const std::string& path) {
   return Status::ok();
 }
 
+void TrapLog::move_into(TrapLog& dest) {
+  if (&dest == this) return;
+  std::scoped_lock lock(mutex_, dest.mutex_);
+  for (auto& [lba, history] : log_) {
+    BlockHistory& target = dest.log_[lba];
+    if (target.entries.empty()) {
+      target = std::move(history);
+      continue;
+    }
+    target.min_recoverable =
+        std::max(target.min_recoverable, history.min_recoverable);
+    for (Entry& entry : history.entries) {
+      target.entries.push_back(std::move(entry));
+    }
+  }
+  dest.stored_bytes_ += stored_bytes_;
+  dest.raw_bytes_ += raw_bytes_;
+  dest.entries_ += entries_;
+  log_.clear();
+  stored_bytes_ = 0;
+  raw_bytes_ = 0;
+  entries_ = 0;
+}
+
 std::uint64_t TrapLog::total_entries() const {
   std::lock_guard lock(mutex_);
   return entries_;

@@ -87,6 +87,13 @@ class TrapLog {
   /// non-decreasing after the merge.
   Status load_from(const std::string& path);
 
+  /// Move this log's entire contents into `dest`, leaving this log empty.
+  /// Used at promotion: the replica's CDP history becomes the new primary's
+  /// resync source, so survivor catch-up can fold the deltas the old
+  /// primary shipped before it died.  Per-block timestamps must still be
+  /// non-decreasing after the merge (trivially true when `dest` is empty).
+  void move_into(TrapLog& dest);
+
   std::uint64_t total_entries() const;
   /// Bytes of encoded delta storage currently held.
   std::uint64_t stored_bytes() const;

@@ -1,0 +1,298 @@
+#include "sim/crash_harness.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "block/faulty_disk.h"
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "net/faulty.h"
+#include "net/inproc.h"
+#include "prins/engine.h"
+#include "prins/intent_log.h"
+#include "prins/journal.h"
+#include "prins/replica.h"
+
+namespace prins {
+namespace {
+
+// Scratch directory for the journal and intent logs; removed on exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char buf[] = "/tmp/prins-crash-XXXXXX";
+    if (::mkdtemp(buf) != nullptr) path = buf;
+  }
+  ~TempDir() {
+    if (path.empty()) return;
+    if (DIR* dir = ::opendir(path.c_str())) {
+      while (dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path.c_str());
+  }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+};
+
+Bytes random_block(Rng& rng, std::size_t size) {
+  Bytes block(size);
+  rng.fill(block);
+  return block;
+}
+
+std::thread serve_in_thread(std::shared_ptr<ReplicaEngine> replica,
+                            std::unique_ptr<Transport> transport) {
+  return std::thread(
+      [replica, t = std::shared_ptr<Transport>(std::move(transport))] {
+        (void)replica->serve(*t);
+      });
+}
+
+// One replica candidate: a volume, a durable intent log, and an engine
+// with trap logging on (either candidate may be promoted, and the winner's
+// trap log seeds the survivor's delta resync).
+struct Candidate {
+  std::shared_ptr<MemDisk> disk;
+  std::shared_ptr<ReplicaEngine> engine;
+  std::thread server;
+};
+
+Result<Candidate> make_candidate(const CrashScenario& sc,
+                                 const std::string& intent_path) {
+  Candidate c;
+  c.disk = std::make_shared<MemDisk>(sc.blocks, sc.block_size);
+  PRINS_ASSIGN_OR_RETURN(auto intents, WriteIntentLog::open(intent_path));
+  ReplicaConfig config;
+  config.keep_trap_log = true;
+  config.intent_log = std::move(intents);
+  c.engine = std::make_shared<ReplicaEngine>(c.disk, config);
+  return c;
+}
+
+}  // namespace
+
+Result<CrashVerdict> run_crash_scenario(const CrashScenario& sc) {
+  if (sc.hot_lbas == 0 || sc.hot_lbas > sc.blocks) {
+    return invalid_argument("hot_lbas must be in [1, blocks]");
+  }
+  if (sc.post_failover_writes == 0) {
+    // The survivor only adopts the promoted epoch from frames it receives;
+    // with no post-failover traffic the fencing check would be vacuous.
+    return invalid_argument("post_failover_writes must be > 0");
+  }
+  TempDir tmp;
+  if (tmp.path.empty()) return io_error("mkdtemp failed");
+  CrashVerdict verdict;
+
+  // --- Topology: primary + two replica candidates --------------------------
+  auto volume_mem = std::make_shared<MemDisk>(sc.blocks, sc.block_size);
+  std::shared_ptr<BlockDevice> volume = volume_mem;
+  std::shared_ptr<FaultyDisk> faulty_volume;
+  if (sc.kill == CrashScenario::Kill::kLocalDiskCrash) {
+    FaultyDisk::Config fc;
+    fc.seed = sc.seed;
+    faulty_volume = std::make_shared<FaultyDisk>(volume_mem, fc);
+    faulty_volume->crash_after(sc.kill_point);
+    volume = faulty_volume;
+  }
+  PRINS_ASSIGN_OR_RETURN(auto journal_owned,
+                         ReplicationJournal::open(tmp.file("journal")));
+  std::shared_ptr<ReplicationJournal> journal = std::move(journal_owned);
+
+  PRINS_ASSIGN_OR_RETURN(Candidate first,
+                         make_candidate(sc, tmp.file("first.intents")));
+  PRINS_ASSIGN_OR_RETURN(Candidate second,
+                         make_candidate(sc, tmp.file("second.intents")));
+
+  EngineConfig primary_config;
+  primary_config.policy = sc.policy;
+  primary_config.keep_trap_log = true;
+  primary_config.journal = journal;  // no reconnect: link failures stick
+  auto primary = std::make_unique<PrinsEngine>(volume, primary_config);
+
+  auto [to_first, from_first] = make_inproc_pair();
+  std::unique_ptr<Transport> first_link = std::move(to_first);
+  if (sc.kill == CrashScenario::Kill::kMidFrame) {
+    FaultConfig fc;
+    fc.disconnect_after = sc.kill_point;
+    fc.seed = sc.seed;
+    first_link = std::make_unique<FaultyTransport>(std::move(first_link), fc);
+  }
+  first.server = serve_in_thread(first.engine, std::move(from_first));
+  auto [to_second, from_second] = make_inproc_pair();
+  second.server = serve_in_thread(second.engine, std::move(from_second));
+  primary->add_replica(std::move(first_link));
+  primary->add_replica(std::move(to_second));
+
+  // --- Seeded write stream until the scheduled kill ------------------------
+  // Version history per LBA (index 0 = the initial zero block) plus the
+  // sequence -> (lba, version) map the durability check walks.  A single
+  // writer means write i takes sequence i+1; the journal re-read below
+  // cross-checks that assumption.
+  std::vector<std::vector<Bytes>> versions(sc.hot_lbas);
+  for (auto& history : versions) history.emplace_back(sc.block_size, 0);
+  struct Ref {
+    Lba lba;
+    std::size_t version;
+  };
+  std::vector<Ref> by_seq;
+  Rng rng(sc.seed);
+  for (std::uint64_t i = 0; i < sc.total_writes; ++i) {
+    if (sc.kill == CrashScenario::Kill::kBetweenWrites &&
+        i == sc.kill_point) {
+      break;
+    }
+    const Lba lba = rng.next_below(sc.hot_lbas);
+    Bytes content = random_block(rng, sc.block_size);
+    if (!primary->write(lba, content).is_ok()) break;  // the crash arrived
+    versions[lba].push_back(std::move(content));
+    by_seq.push_back(Ref{lba, versions[lba].size() - 1});
+  }
+  verdict.writes_submitted = by_seq.size();
+
+  // --- Hard kill: no drain, no flush, no goodbye ---------------------------
+  primary.reset();
+  journal.reset();  // release the fd; the re-open below is the "restart"
+  first.server.join();
+  second.server.join();
+
+  // The durable ack floor, read the way a recovering operator would.
+  PRINS_ASSIGN_OR_RETURN(auto dead_journal,
+                         ReplicationJournal::open(tmp.file("journal")));
+  verdict.acked_watermark = dead_journal->acked_sequence();
+  const std::uint64_t journaled_max = dead_journal->max_sequence();
+  dead_journal.reset();
+  if (journaled_max < verdict.writes_submitted ||
+      journaled_max > verdict.writes_submitted + 1) {
+    // +1: the final write may journal its record and then die in
+    // distribution, which the version map intentionally never sees.
+    return internal_error("sequence map out of step with the journal");
+  }
+
+  // --- Promotion: the most-advanced candidate wins -------------------------
+  // The journal watermark only advances once EVERY replica acked a write,
+  // so whichever candidate applied furthest provably holds every acked
+  // write; promoting the laggard instead could orphan acked data and
+  // diverge the survivor (it would sit ahead of its new primary).
+  const bool first_wins =
+      first.engine->applied_timestamp() >= second.engine->applied_timestamp();
+  Candidate& winner = first_wins ? first : second;
+  Candidate& survivor = first_wins ? second : first;
+
+  EngineConfig promoted_config;
+  promoted_config.policy = sc.policy;
+  PRINS_ASSIGN_OR_RETURN(auto new_primary,
+                         winner.engine->promote(promoted_config));
+  verdict.promoted_epoch = new_primary->cluster_epoch();
+
+  // --- Durability + atomicity at the promoted volume -----------------------
+  std::vector<std::size_t> last_acked(sc.hot_lbas, 0);
+  const std::uint64_t acked_upto =
+      std::min<std::uint64_t>(verdict.acked_watermark, by_seq.size());
+  for (std::uint64_t seq = 1; seq <= acked_upto; ++seq) {
+    const Ref& ref = by_seq[seq - 1];
+    last_acked[ref.lba] = std::max(last_acked[ref.lba], ref.version);
+  }
+  verdict.durable = true;
+  verdict.exact = true;
+  Bytes block(sc.block_size);
+  for (Lba lba = 0; lba < sc.hot_lbas; ++lba) {
+    PRINS_RETURN_IF_ERROR(winner.disk->read(lba, block));
+    std::size_t matched = versions[lba].size();
+    for (std::size_t v = 0; v < versions[lba].size(); ++v) {
+      if (versions[lba][v] == block) {
+        matched = v;
+        break;
+      }
+    }
+    if (matched == versions[lba].size()) {
+      verdict.exact = false;
+      if (verdict.detail.empty()) {
+        verdict.detail = "lba " + std::to_string(lba) +
+                         " matches no written version (torn apply?)";
+      }
+    } else if (matched < last_acked[lba]) {
+      verdict.durable = false;
+      if (verdict.detail.empty()) {
+        verdict.detail = "lba " + std::to_string(lba) + " holds version " +
+                         std::to_string(matched) + " but version " +
+                         std::to_string(last_acked[lba]) + " was acked";
+      }
+    }
+  }
+
+  // --- Survivor catch-up over the winner's trap log ------------------------
+  auto [to_survivor, from_survivor] = make_inproc_pair();
+  survivor.server =
+      serve_in_thread(survivor.engine, std::move(from_survivor));
+  new_primary->add_replica(std::move(to_survivor));
+  PRINS_ASSIGN_OR_RETURN(verdict.survivor_resynced,
+                         new_primary->resync_replica(0));
+
+  // Fresh traffic proves the new epoch is live end to end (and hands the
+  // survivor the promoted epoch to fence with).
+  for (std::uint64_t i = 0; i < sc.post_failover_writes; ++i) {
+    const Lba lba = rng.next_below(sc.hot_lbas);
+    PRINS_RETURN_IF_ERROR(
+        new_primary->write(lba, random_block(rng, sc.block_size)));
+  }
+  PRINS_RETURN_IF_ERROR(new_primary->drain());
+
+  verdict.survivor_consistent = true;
+  Bytes other(sc.block_size);
+  for (Lba lba = 0; lba < sc.blocks; ++lba) {
+    PRINS_RETURN_IF_ERROR(winner.disk->read(lba, block));
+    PRINS_RETURN_IF_ERROR(survivor.disk->read(lba, other));
+    if (block != other) {
+      verdict.survivor_consistent = false;
+      if (verdict.detail.empty()) {
+        verdict.detail =
+            "survivor diverged at lba " + std::to_string(lba);
+      }
+      break;
+    }
+  }
+
+  // --- Zombie: the dead epoch comes back and must bounce off the fence -----
+  {
+    EngineConfig zombie_config;
+    zombie_config.policy = sc.policy;  // cluster_epoch stays 0: the old world
+    auto zombie_disk = std::make_shared<MemDisk>(sc.blocks, sc.block_size);
+    auto zombie = std::make_unique<PrinsEngine>(zombie_disk, zombie_config);
+    auto [to_z, from_z] = make_inproc_pair();
+    std::thread zombie_session(
+        [replica = survivor.engine,
+         t = std::shared_ptr<Transport>(std::move(from_z))] {
+          (void)replica->serve(*t);
+        });
+    zombie->add_replica(std::move(to_z));
+    (void)zombie->write(0, random_block(rng, sc.block_size));
+    const Status drained = zombie->drain();
+    verdict.zombie_naks = zombie->metrics().stale_epoch_naks;
+    verdict.zombie_fenced =
+        drained.code() == ErrorCode::kFailedPrecondition &&
+        verdict.zombie_naks > 0 &&
+        survivor.engine->metrics().stale_epoch_naks > 0;
+    if (!verdict.zombie_fenced && verdict.detail.empty()) {
+      verdict.detail = "zombie was not fenced: " + drained.to_string();
+    }
+    zombie.reset();
+    zombie_session.join();
+  }
+
+  new_primary.reset();
+  survivor.server.join();
+  return verdict;
+}
+
+}  // namespace prins

@@ -15,6 +15,7 @@ ReplicationMessage sample_message() {
   ReplicationMessage msg;
   msg.kind = MessageKind::kWrite;
   msg.policy = ReplicationPolicy::kPrins;
+  msg.cluster_epoch = 7;
   msg.block_size = 8192;
   msg.lba = 0x123456789ull;
   msg.sequence = 42;
@@ -29,6 +30,7 @@ TEST(ReplicationMessageTest, RoundTrip) {
   ASSERT_TRUE(back.is_ok()) << back.status().to_string();
   EXPECT_EQ(back->kind, msg.kind);
   EXPECT_EQ(back->policy, msg.policy);
+  EXPECT_EQ(back->cluster_epoch, msg.cluster_epoch);
   EXPECT_EQ(back->block_size, msg.block_size);
   EXPECT_EQ(back->lba, msg.lba);
   EXPECT_EQ(back->sequence, msg.sequence);

@@ -24,6 +24,7 @@
 #include "net/reactor_tcp.h"
 #include "net/tcp.h"
 #include "prins/engine.h"
+#include "prins/intent_log.h"
 #include "prins/reactor_server.h"
 #include "prins/replica.h"
 
@@ -229,6 +230,185 @@ TEST(ReactorReplicaServerTest, DuplicateAcrossReconnectAppliesOnce) {
   EXPECT_EQ(got, delta);
   EXPECT_EQ(replica->metrics().duplicates_dropped, 1u);
   (*server)->stop();
+}
+
+TEST(ReactorReplicaServerTest, FaultStormThroughWrappedTransportHeals) {
+  // ReactorReplicaServerOptions::wrap_transport composes the fault
+  // injector with the reactor path: the FIRST accepted connection's reply
+  // stream is corrupted and then hard-cut mid-stream, later connections
+  // (the primary's reconnects) are clean.  The primary's heal machinery —
+  // reconnect factory plus trap-log fold — must converge the replica
+  // anyway, proving faults on a decorated reactor transport behave like
+  // faults on a blocking one.
+  constexpr std::uint32_t kBs = 1024;
+  constexpr std::uint64_t kBlocks = 64;
+  ReplicaConfig rconfig;
+  rconfig.apply_shards = 4;
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+  auto pool = ReactorPool::create(2);
+  ASSERT_TRUE(pool.is_ok());
+
+  std::atomic<std::size_t> accepted{0};
+  ReactorReplicaServerOptions options;
+  options.wrap_transport =
+      [&](std::unique_ptr<Transport> conn) -> std::unique_ptr<Transport> {
+    if (accepted.fetch_add(1) != 0) return conn;  // reconnects are clean
+    FaultConfig storm;
+    storm.corrupt_p = 0.02;      // garbled acks: the primary must re-link
+    storm.disconnect_after = 90;  // then the reply path hard-cuts
+    storm.seed = 99;
+    return std::make_unique<FaultyTransport>(std::move(conn), storm);
+  };
+  auto server = ReactorReplicaServer::start(replica, *pool, options);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  const std::uint16_t port = (*server)->port();
+
+  EngineConfig config;
+  config.keep_trap_log = true;
+  config.retry.base_backoff = 1ms;
+  config.retry.max_backoff = 10ms;
+  config.retry.op_timeout = 2s;
+  config.reconnect = [&](std::size_t) -> Result<std::unique_ptr<Transport>> {
+    auto fresh = TcpTransport::connect("127.0.0.1", port);
+    if (!fresh.is_ok()) return fresh.status();
+    return std::unique_ptr<Transport>(std::move(*fresh));
+  };
+  auto primary = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto engine = std::make_unique<PrinsEngine>(primary, config);
+  {
+    auto link = TcpTransport::connect("127.0.0.1", port);
+    ASSERT_TRUE(link.is_ok());
+    engine->add_replica(std::move(*link));
+  }
+
+  Rng rng(53);
+  Bytes block(kBs);
+  for (int i = 0; i < 400; ++i) {
+    rng.fill(block);
+    ASSERT_TRUE(engine->write(rng.next_below(kBlocks), block).is_ok());
+  }
+  ASSERT_TRUE(engine->drain().is_ok());
+  EXPECT_GE(engine->metrics().reconnects, 1u);
+  EXPECT_GE(accepted.load(), 2u);
+
+  Bytes want(kBs), got(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    ASSERT_TRUE(primary->read(lba, want).is_ok());
+    ASSERT_TRUE(replica_disk->read(lba, got).is_ok());
+    ASSERT_EQ(want, got) << "diverged at lba " << lba;
+  }
+  engine.reset();
+  (*server)->stop();
+}
+
+TEST(ReactorReplicaServerTest, RestartUnderLoadAppliesExactlyOnce) {
+  // Kill the reactor-hosted replica mid-stream with writes in flight, then
+  // restart it over the same volume and intent log.  recover_intents()
+  // must rebuild the dedup windows for every apply that completed before
+  // the kill, so when the primary-side initiator replays its whole
+  // un-acked window (it cannot know which applies landed) each XOR delta
+  // lands exactly once — a double apply would undo it.
+  constexpr std::uint32_t kBs = 512;
+  constexpr std::uint64_t kBlocks = 32;
+  const std::string intent_path =
+      ::testing::TempDir() + "/reactor_restart_intents.log";
+  std::remove(intent_path.c_str());
+  auto replica_disk = std::make_shared<MemDisk>(kBlocks, kBs);
+  auto pool = ReactorPool::create(2);
+  ASSERT_TRUE(pool.is_ok());
+
+  std::vector<Bytes> expect(kBlocks, Bytes(kBs, Byte{0}));
+  Rng rng(67);
+  std::uint64_t sequence = 0;
+  // Encode the next delta, folding it into the test-side expected state
+  // exactly once no matter how often the wire copy is (re)sent.
+  auto next_write = [&](Lba* out_lba) {
+    const Lba lba = rng.next_below(kBlocks);
+    Bytes delta(kBs);
+    rng.fill(delta);
+    for (std::size_t b = 0; b < kBs; ++b) expect[lba][b] ^= delta[b];
+    ReplicationMessage msg;
+    msg.kind = MessageKind::kWrite;
+    msg.policy = ReplicationPolicy::kPrinsRle;
+    msg.block_size = kBs;
+    msg.lba = lba;
+    msg.sequence = ++sequence;
+    msg.timestamp_us = sequence;
+    msg.payload = encode_frame(codec_for(CodecId::kZeroRle), delta);
+    if (out_lba != nullptr) *out_lba = lba;
+    return msg.encode();
+  };
+
+  std::vector<Bytes> unacked;  // the window the initiator will replay
+  std::uint64_t applied_before_kill = 0;
+  {
+    auto intents = WriteIntentLog::open(intent_path);
+    ASSERT_TRUE(intents.is_ok());
+    ReplicaConfig rconfig;
+    rconfig.apply_shards = 4;
+    rconfig.intent_log = std::move(*intents);
+    rconfig.intent_checkpoint_every = 0;  // keep every intent for recovery
+    auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+    auto server = ReactorReplicaServer::start(replica, *pool);
+    ASSERT_TRUE(server.is_ok());
+    auto link = TcpTransport::connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(link.is_ok());
+    // A fully acked prefix...
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_TRUE((*link)->send(next_write(nullptr)).is_ok());
+    }
+    ASSERT_TRUE(collect_acks(**link, 120).is_ok());
+    // ...then a burst the kill races: sent, maybe applied, never acked.
+    for (int i = 0; i < 40; ++i) {
+      Bytes wire = next_write(nullptr);
+      if (!(*link)->send(wire).is_ok()) break;  // server may die under us
+      unacked.push_back(std::move(wire));
+    }
+    (*server)->stop();  // hard stop: close sessions, drain apply workers
+    (*link)->close();
+    applied_before_kill = replica->metrics().parity_applies;
+  }  // replica engine + intent log fd die here; disk and file survive
+
+  // Restart: same volume, same intent log.
+  auto intents = WriteIntentLog::open(intent_path);
+  ASSERT_TRUE(intents.is_ok());
+  ReplicaConfig rconfig;
+  rconfig.apply_shards = 4;
+  rconfig.intent_log = std::move(*intents);
+  rconfig.intent_checkpoint_every = 0;
+  auto replica = std::make_shared<ReplicaEngine>(replica_disk, rconfig);
+  auto damaged = replica->recover_intents();
+  ASSERT_TRUE(damaged.is_ok()) << damaged.status().to_string();
+  EXPECT_TRUE(damaged->empty());  // stop() drains workers: no torn applies
+  auto server = ReactorReplicaServer::start(replica, *pool);
+  ASSERT_TRUE(server.is_ok());
+
+  auto link = TcpTransport::connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(link.is_ok());
+  for (const Bytes& wire : unacked) {  // replay the whole un-acked window
+    ASSERT_TRUE((*link)->send(wire).is_ok());
+  }
+  for (int i = 0; i < 20; ++i) {  // and keep fresh load flowing
+    ASSERT_TRUE((*link)->send(next_write(nullptr)).is_ok());
+  }
+  ASSERT_TRUE(collect_acks(**link, unacked.size() + 20).is_ok());
+  (*link)->close();
+
+  Bytes got(kBs);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    ASSERT_TRUE(replica_disk->read(lba, got).is_ok());
+    ASSERT_EQ(expect[lba], got) << "double or missing apply at lba " << lba;
+  }
+  // Exactly-once across the restart: every sequence applied once, and the
+  // replayed writes that had already landed were dropped by the rebuilt
+  // dedup window, not re-XORed.
+  const ReplicaMetrics after = replica->metrics();
+  EXPECT_EQ(applied_before_kill + after.parity_applies, sequence);
+  EXPECT_EQ(after.parity_applies + after.duplicates_dropped,
+            unacked.size() + 20);
+  (*server)->stop();
+  std::remove(intent_path.c_str());
 }
 
 // ---- replica_serve_in_background (threaded path bugfixes) ------------------

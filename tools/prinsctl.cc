@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,6 +27,7 @@
 
 #include "block/file_disk.h"
 #include "block/integrity_disk.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "iscsi/initiator.h"
 #include "iscsi/reactor_target.h"
@@ -34,6 +36,7 @@
 #include "net/reactor_tcp.h"
 #include "net/tcp.h"
 #include "prins/engine.h"
+#include "prins/journal.h"
 #include "prins/reactor_server.h"
 #include "prins/replica.h"
 
@@ -72,14 +75,33 @@ int usage() {
                "  prinsctl replica  --file PATH --blocks N --bs BYTES "
                "--port P [--trap 1] [--sidecar PATH] [--intents PATH]\n"
                "                    [--apply-shards N] [--cache-blocks N] "
-               "[--ack-batch N] [--stats SECS]\n"
+               "[--ack-batch N] [--stats SECS] [--epoch N]\n"
                "  prinsctl target   --file PATH --blocks N --bs BYTES "
                "--port P [--replica HOST:PORT] [--policy "
                "traditional|compressed|prins] [--sidecar PATH]\n"
+               "                    [--journal PATH] [--stats SECS] "
+               "[--epoch N]\n"
+               "  prinsctl promote  --file PATH --blocks N --bs BYTES "
+               "--port P [--intents PATH] [--replica HOST:PORT]\n"
+               "                    [--policy ...] [--journal PATH] "
+               "[--stats SECS] [--epoch N]\n"
                "  prinsctl scrub    --file PATH --blocks N --bs BYTES "
                "--sidecar PATH [--replica HOST:PORT] [--rate BLOCKS/S]\n"
-               "  prinsctl discover --host H --port P\n");
+               "  prinsctl discover --host H --port P\n"
+               "PRINS_EPOCH sets the fencing epoch where --epoch is not "
+               "given (flag wins).\n");
   return 2;
+}
+
+/// Fencing epoch for this process: --epoch beats PRINS_EPOCH beats 0 (the
+/// pre-failover legacy world, which fences nothing).
+std::uint64_t epoch_knob(const Options& options) {
+  if (options.values.count("epoch") != 0) return options.get_u64("epoch", 0);
+  if (auto env = parse_env_size("PRINS_EPOCH", 1,
+                                std::numeric_limits<std::size_t>::max())) {
+    return static_cast<std::uint64_t>(*env);
+  }
+  return 0;
 }
 
 /// Open the backing file, optionally wrapped in an IntegrityDisk when
@@ -150,6 +172,7 @@ int run_replica(const Options& options) {
   if (disk == nullptr) return 1;
   ReplicaConfig config;
   config.keep_trap_log = options.get_u64("trap", 0) != 0;
+  config.cluster_epoch = epoch_knob(options);
   config.apply_shards =
       static_cast<std::size_t>(options.get_u64("apply-shards", 0));
   config.old_block_cache_blocks =
@@ -253,44 +276,86 @@ int run_replica(const Options& options) {
   return 0;
 }
 
-int run_target(const Options& options) {
-  std::shared_ptr<BlockDevice> disk = open_device(options, "primary.img");
-  if (disk == nullptr) return 1;
-
-  EngineConfig engine_config;
-  engine_config.policy = parse_policy(options.get("policy", "prins"));
+/// Build the engine config every primary-side command shares: policy,
+/// fencing epoch (--epoch / PRINS_EPOCH), the reactor transports when
+/// enabled, and the crash-durable replication journal when --journal names
+/// a file.
+Result<EngineConfig> primary_engine_config(const Options& options) {
+  EngineConfig config;
+  config.policy = parse_policy(options.get("policy", "prins"));
+  config.cluster_epoch = epoch_knob(options);
   if (auto pool = shared_reactor_pool()) {
     // Retry/heal backoff rides the reactor's timer wheel instead of a
     // per-thread timed wait, and replica links are pumped by reactor
     // callbacks instead of one sender thread each.
-    engine_config.reactor = pool->at(0).shared_from_this();
-    engine_config.reactor_senders = true;
+    config.reactor = pool->at(0).shared_from_this();
+    config.reactor_senders = true;
   }
-  auto engine = std::make_shared<PrinsEngine>(disk, engine_config);
+  const std::string journal_path = options.get("journal", "");
+  if (!journal_path.empty()) {
+    PRINS_ASSIGN_OR_RETURN(auto journal,
+                           ReplicationJournal::open(journal_path));
+    config.journal = std::shared_ptr<ReplicationJournal>(std::move(journal));
+  }
+  return config;
+}
 
+/// Connect and attach the --replica HOST:PORT link, if one was given
+/// (kInvalidArgument for bad syntax, the connect error otherwise).
+Status attach_replica(PrinsEngine& engine, const Options& options) {
   const std::string replica_spec = options.get("replica", "");
-  if (!replica_spec.empty()) {
-    const auto colon = replica_spec.rfind(':');
-    if (colon == std::string::npos) {
-      std::fprintf(stderr, "--replica expects HOST:PORT\n");
-      return 2;
-    }
-    const std::string host = replica_spec.substr(0, colon);
-    const auto port = static_cast<std::uint16_t>(
-        std::strtoul(replica_spec.c_str() + colon + 1, nullptr, 10));
-    auto link = connect_tcp(host, port);
-    if (!link.is_ok()) {
-      std::fprintf(stderr, "connect to replica %s: %s\n",
-                   replica_spec.c_str(), link.status().to_string().c_str());
-      return 1;
-    }
-    engine->add_replica(std::move(*link));
-    std::printf("replicating to %s with policy %s\n", replica_spec.c_str(),
-                std::string(policy_name(engine_config.policy)).c_str());
+  if (replica_spec.empty()) return Status::ok();
+  const auto colon = replica_spec.rfind(':');
+  if (colon == std::string::npos) {
+    return invalid_argument("--replica expects HOST:PORT");
   }
+  const std::string host = replica_spec.substr(0, colon);
+  const auto port = static_cast<std::uint16_t>(
+      std::strtoul(replica_spec.c_str() + colon + 1, nullptr, 10));
+  PRINS_ASSIGN_OR_RETURN(auto link, connect_tcp(host, port));
+  engine.add_replica(std::move(link));
+  std::printf("replicating to %s with policy %s\n", replica_spec.c_str(),
+              std::string(policy_name(
+                  parse_policy(options.get("policy", "prins")))).c_str());
+  return Status::ok();
+}
 
+/// Periodic engine counters, one parseable line per interval — epoch and
+/// journal depth included so an operator can see a frozen watermark (a
+/// down replica pinning the journal) or a fencing event at a glance.
+/// Never returns.
+[[noreturn]] void report_engine_stats_forever(PrinsEngine& engine,
+                                              std::uint64_t every_secs) {
+  for (;;) {
+    std::this_thread::sleep_for(
+        std::chrono::seconds(every_secs > 0 ? every_secs : 3600));
+    if (every_secs == 0) continue;
+    const EngineMetrics m = engine.metrics();
+    std::printf("stats: epoch=%llu writes=%llu acks=%llu reconnects=%llu "
+                "stale_epoch_naks=%llu journal_frozen=%llu "
+                "journal_watermark=%llu journal_pending=%llu "
+                "journal_pending_bytes=%llu journal_spills=%llu\n",
+                static_cast<unsigned long long>(m.cluster_epoch),
+                static_cast<unsigned long long>(m.writes),
+                static_cast<unsigned long long>(m.acks),
+                static_cast<unsigned long long>(m.reconnects),
+                static_cast<unsigned long long>(m.stale_epoch_naks),
+                static_cast<unsigned long long>(m.journal_frozen),
+                static_cast<unsigned long long>(m.journal_watermark),
+                static_cast<unsigned long long>(m.journal_pending),
+                static_cast<unsigned long long>(m.journal_pending_bytes),
+                static_cast<unsigned long long>(m.journal_spills));
+    std::fflush(stdout);
+  }
+}
+
+/// Serve `engine` as an iSCSI target on --port until killed (shared tail
+/// of `target` and `promote`).
+int serve_target(std::shared_ptr<PrinsEngine> engine, const Options& options,
+                 const char* default_file) {
   auto target = std::make_shared<iscsi::IscsiTarget>(engine);
   const auto port = static_cast<std::uint16_t>(options.get_u64("port", 3260));
+  const std::uint64_t stats_every = options.get_u64("stats", 0);
   if (auto pool = shared_reactor_pool()) {
     // Thread-free serving: each session is an actor on a small worker
     // pool instead of a parked PDU thread.
@@ -303,23 +368,120 @@ int run_target(const Options& options) {
                    server.status().to_string().c_str());
       return 1;
     }
-    std::printf("iSCSI target on port %u (device %s, thread-free)\n",
-                (*server)->port(), options.get("file", "primary.img"));
-    for (;;) {  // serves until the process is killed
-      std::this_thread::sleep_for(std::chrono::hours(1));
-    }
+    std::printf("iSCSI target on port %u (device %s, epoch %llu, "
+                "thread-free)\n",
+                (*server)->port(), options.get("file", default_file),
+                static_cast<unsigned long long>(engine->cluster_epoch()));
+    std::fflush(stdout);  // the serve loop blocks; surface the banner now
+    report_engine_stats_forever(*engine, stats_every);
   }
   auto listener = TcpListener::listen(port);
   if (!listener.is_ok()) {
     std::fprintf(stderr, "listen: %s\n", listener.status().to_string().c_str());
     return 1;
   }
-  std::printf("iSCSI target on port %u (device %s)\n", (*listener)->port(),
-              options.get("file", "primary.img"));
+  std::printf("iSCSI target on port %u (device %s, epoch %llu)\n",
+              (*listener)->port(), options.get("file", default_file),
+              static_cast<unsigned long long>(engine->cluster_epoch()));
+  std::fflush(stdout);
   std::thread server = iscsi::serve_in_background(
       target, std::shared_ptr<Listener>(std::move(*listener)));
-  server.join();
-  return 0;
+  report_engine_stats_forever(*engine, stats_every);
+}
+
+int run_target(const Options& options) {
+  std::shared_ptr<BlockDevice> disk = open_device(options, "primary.img");
+  if (disk == nullptr) return 1;
+  auto engine_config = primary_engine_config(options);
+  if (!engine_config.is_ok()) {
+    std::fprintf(stderr, "engine setup: %s\n",
+                 engine_config.status().to_string().c_str());
+    return 1;
+  }
+  auto engine = std::make_shared<PrinsEngine>(disk, *engine_config);
+  if (Status attached = attach_replica(*engine, options); !attached.is_ok()) {
+    std::fprintf(stderr, "%s\n", attached.to_string().c_str());
+    return attached.code() == ErrorCode::kInvalidArgument ? 2 : 1;
+  }
+  if (engine_config->journal != nullptr) {
+    // Re-ship anything the previous incarnation journaled but never saw
+    // acked by every replica (idempotent: replicas dedup).
+    if (Status replayed = engine->replay_journal(); !replayed.is_ok()) {
+      std::fprintf(stderr, "journal replay: %s\n",
+                   replayed.to_string().c_str());
+      return 1;
+    }
+  }
+  return serve_target(std::move(engine), options, "primary.img");
+}
+
+int run_promote(const Options& options) {
+  // Turn a (recovered) replica image into the live primary: replay the
+  // write-intent log, refuse while any block is torn, mint the next
+  // fencing epoch, delta-resync the surviving replica from the CDP trap
+  // log, and serve iSCSI.  The old primary, should it reappear, is fenced
+  // by every node that saw a new-epoch frame.
+  std::shared_ptr<BlockDevice> disk = open_device(options, "replica.img");
+  if (disk == nullptr) return 1;
+  ReplicaConfig replica_config;
+  replica_config.keep_trap_log = true;  // promote() folds resyncs from it
+  replica_config.cluster_epoch = epoch_knob(options);
+  const std::string intents = options.get("intents", "");
+  if (!intents.empty()) {
+    auto log = WriteIntentLog::open(intents);
+    if (!log.is_ok()) {
+      std::fprintf(stderr, "open intent log: %s\n",
+                   log.status().to_string().c_str());
+      return 1;
+    }
+    replica_config.intent_log =
+        std::shared_ptr<WriteIntentLog>(std::move(*log));
+  }
+  ReplicaEngine replica(disk, replica_config);
+  if (replica_config.intent_log != nullptr) {
+    auto damaged = replica.recover_intents();
+    if (!damaged.is_ok()) {
+      std::fprintf(stderr, "intent replay: %s\n",
+                   damaged.status().to_string().c_str());
+      return 1;
+    }
+    for (Lba lba : *damaged) {
+      std::fprintf(stderr, "torn block %llu needs full-block repair before "
+                           "this copy can lead\n",
+                   static_cast<unsigned long long>(lba));
+    }
+  }
+  auto engine_config = primary_engine_config(options);
+  if (!engine_config.is_ok()) {
+    std::fprintf(stderr, "engine setup: %s\n",
+                 engine_config.status().to_string().c_str());
+    return 1;
+  }
+  auto promoted = replica.promote(*engine_config);
+  if (!promoted.is_ok()) {
+    std::fprintf(stderr, "promote: %s\n",
+                 promoted.status().to_string().c_str());
+    return 1;
+  }
+  std::shared_ptr<PrinsEngine> engine = std::move(*promoted);
+  std::printf("promoted to primary at cluster epoch %llu\n",
+              static_cast<unsigned long long>(engine->cluster_epoch()));
+  std::fflush(stdout);
+  if (Status attached = attach_replica(*engine, options); !attached.is_ok()) {
+    std::fprintf(stderr, "%s\n", attached.to_string().c_str());
+    return attached.code() == ErrorCode::kInvalidArgument ? 2 : 1;
+  }
+  if (!std::string(options.get("replica", "")).empty()) {
+    auto resynced = engine->resync_replica(0);
+    if (!resynced.is_ok()) {
+      std::fprintf(stderr, "survivor resync: %s\n",
+                   resynced.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("survivor caught up with %llu folded deltas\n",
+                static_cast<unsigned long long>(*resynced));
+  }
+  return serve_target(std::move(engine), options, "replica.img");
 }
 
 int run_scrub(const Options& options) {
@@ -413,6 +575,7 @@ int main(int argc, char** argv) {
   const Options options = parse_options(argc, argv, 2);
   if (command == "replica") return run_replica(options);
   if (command == "target") return run_target(options);
+  if (command == "promote") return run_promote(options);
   if (command == "scrub") return run_scrub(options);
   if (command == "discover") return run_discover(options);
   return usage();
