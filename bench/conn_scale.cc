@@ -23,7 +23,6 @@
 //
 // Results land in BENCH_conn_scale.json; --quick shrinks the matrix so the
 // binary doubles as a ctest smoke test.
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -33,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "net/reactor.h"
 #include "net/reactor_tcp.h"
 #include "net/tcp.h"
@@ -40,13 +40,10 @@
 namespace prins {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using bench::Clock;
+using bench::to_us;
 
 constexpr std::size_t kPayloadBytes = 64;
-
-double to_us(Clock::duration d) {
-  return std::chrono::duration<double, std::micro>(d).count();
-}
 
 struct CellResult {
   const char* server;
@@ -56,16 +53,6 @@ struct CellResult {
   double p50_us;
   double p99_us;
 };
-
-double quantile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0.0;
-  const std::size_t k =
-      std::min(v.size() - 1,
-               static_cast<std::size_t>(q * static_cast<double>(v.size())));
-  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
-                   v.end());
-  return v[k];
-}
 
 // Per-connection closed-loop state.  Each connection's handler runs only
 // on its own reactor loop, so the non-atomic fields are single-threaded.
@@ -126,8 +113,7 @@ bool drive_clients(std::shared_ptr<ReactorPool> pool, std::uint16_t port,
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   const bool sustained = done->load(std::memory_order_relaxed) == conns;
-  const double secs =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  const double secs = bench::seconds_since(start);
 
   for (auto& loop : loops) {
     static_cast<ReactorTcpTransport*>(loop->transport.get())
@@ -143,8 +129,9 @@ bool drive_clients(std::shared_ptr<ReactorPool> pool, std::uint16_t port,
   cell->conns = conns;
   cell->sustained = sustained;
   cell->msgs_per_sec = secs > 0 ? static_cast<double>(all.size()) / secs : 0;
-  cell->p50_us = quantile(all, 0.50);
-  cell->p99_us = quantile(all, 0.99);
+  const bench::LatencySummary lat = bench::summarize_latencies(all);
+  cell->p50_us = lat.p50_us;
+  cell->p99_us = lat.p99_us;
   return sustained;
 }
 

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "block/mem_disk.h"
 #include "codec/codec.h"
 #include "net/reactor.h"
@@ -48,7 +49,7 @@
 namespace prins {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using bench::Clock;
 
 constexpr std::uint32_t kBs = 4096;
 constexpr std::uint64_t kBlocks = 1024;
@@ -78,11 +79,12 @@ struct CellResult {
   std::size_t node_threads;  // peak during cell minus pre-server baseline
 };
 
-// Per-connection windowed initiator.  The message handler runs only on
-// this connection's reactor loop, so the non-atomic fields are
-// single-threaded once the opening window is in flight.
+// Per-connection windowed initiator.  Every send — including the opening
+// window, which is post()ed onto the connection's reactor — happens on
+// that one loop thread, so the non-atomic fields are single-threaded.
 struct InitiatorLoop {
   std::shared_ptr<Transport> transport;
+  std::shared_ptr<Reactor> reactor;  // the loop this connection lives on
   Bytes payload;  // pre-encoded ZeroRle delta frame, reused every message
   std::uint64_t seq_base = 0;
   Lba lba_base = 0;
@@ -126,8 +128,9 @@ bool drive_initiators(std::shared_ptr<ReactorPool> pool, std::uint16_t port,
   loops.reserve(conns);
   const std::uint64_t span = std::max<std::uint64_t>(1, kBlocks / conns);
   for (std::size_t i = 0; i < conns; ++i) {
-    auto transport = ReactorTcpTransport::connect(
-        pool->next().shared_from_this(), "127.0.0.1", port);
+    auto reactor = pool->next().shared_from_this();
+    auto transport =
+        ReactorTcpTransport::connect(reactor, "127.0.0.1", port);
     if (!transport.is_ok()) {
       std::fprintf(stderr, "conn %zu: %s\n", i,
                    transport.status().to_string().c_str());
@@ -135,6 +138,7 @@ bool drive_initiators(std::shared_ptr<ReactorPool> pool, std::uint16_t port,
     }
     auto loop = std::make_unique<InitiatorLoop>();
     loop->transport = std::move(*transport);
+    loop->reactor = std::move(reactor);
     loop->payload = payload;
     // The replica's dedup window is global across sessions, so every
     // connection gets a disjoint sequence range.
@@ -171,10 +175,17 @@ bool drive_initiators(std::shared_ptr<ReactorPool> pool, std::uint16_t port,
   }
 
   const auto start = Clock::now();
+  // Prime each window on its own connection's loop thread: acks start
+  // flowing the moment the first delta lands, so sending from here would
+  // race the handler's refill.  A send failure surfaces as an unsustained
+  // cell via the watchdog below.
   for (auto& loop : loops) {
-    for (std::uint64_t k = 0; k < std::min(kWindow, loop->target); ++k) {
-      if (!send_delta(loop.get())) return false;
-    }
+    InitiatorLoop* raw = loop.get();
+    loop->reactor->post([raw] {
+      for (std::uint64_t k = 0; k < std::min(kWindow, raw->target); ++k) {
+        if (!send_delta(raw)) return;
+      }
+    });
   }
   const auto deadline = start + std::chrono::seconds(120);
   std::size_t peak_threads = count_threads();
@@ -184,8 +195,7 @@ bool drive_initiators(std::shared_ptr<ReactorPool> pool, std::uint16_t port,
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   const bool sustained = done->load(std::memory_order_relaxed) == conns;
-  const double secs =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  const double secs = bench::seconds_since(start);
 
   std::uint64_t total_acked = 0;
   for (auto& loop : loops) {

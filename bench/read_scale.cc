@@ -1,0 +1,308 @@
+// Read-offload scaling: how aggregate read throughput grows as the read
+// router fans freshness-checked reads out across replica mirrors.
+//
+// Every cell builds one primary (PrinsEngine over a throttled disk) and R
+// replicas (ReplicaEngine over throttled disks of their own), wired with
+// in-process transports: one replication link per replica carrying parity
+// deltas, plus one read link per replica carrying kClientReadRequest
+// exchanges for the router.  The throttle charges a fixed service time per
+// block I/O under a per-device mutex — the classic single-spindle model —
+// so serving capacity is per NODE and the only way to read faster than one
+// disk is to involve more disks.  That is exactly the router's claim:
+//
+//   offload OFF   every read lands on the primary's disk, whatever R is
+//   offload ON    conflict-free reads spread across R replica disks while
+//                 the primary keeps serving writes and conflicted reads
+//
+// 16 closed-loop workers issue a read/write mix (100%, 95%, and 50% reads)
+// against the router; reported per cell: reads/s, read p50/p99, and the
+// fraction of reads that stayed local (conflict window hits + fallbacks).
+// The headline — and the committed regression gate — is read throughput
+// scaling at the 95%-read mix: >= 1.7x going 1 -> 2 replicas and >= 2.5x
+// going 1 -> 4.
+//
+// Results land in BENCH_read_scale.json; --quick shrinks the matrix so the
+// binary doubles as a ctest smoke test.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "block/mem_disk.h"
+#include "common/rng.h"
+#include "net/inproc.h"
+#include "prins/engine.h"
+#include "prins/read_router.h"
+#include "prins/replica.h"
+
+namespace prins {
+namespace {
+
+using bench::Clock;
+using bench::to_us;
+
+constexpr std::uint32_t kBs = 4096;
+constexpr std::uint64_t kBlocks = 4096;
+constexpr std::size_t kWorkers = 16;
+constexpr std::size_t kApplyShards = 4;
+
+/// Service time one block I/O costs on a throttled device.  Charged by
+/// SLEEPING (not spinning) so N modeled disks genuinely serve in parallel
+/// even on a small or single-core host — the device is busy, the CPU is
+/// not, exactly like a real spindle awaiting a platter.  Large enough to
+/// dominate timer slack and the per-op CPU cost of the replication stack.
+constexpr std::chrono::microseconds kServiceTime{300};
+
+/// A single-queue disk model: one I/O at a time, each costing a fixed
+/// service time.  Wraps MemDisk for the actual bytes.
+class ThrottledDisk final : public BlockDevice {
+ public:
+  ThrottledDisk(std::uint64_t blocks, std::uint32_t block_size)
+      : inner_(std::make_shared<MemDisk>(blocks, block_size)) {}
+
+  std::uint32_t block_size() const override { return inner_->block_size(); }
+  std::uint64_t num_blocks() const override { return inner_->num_blocks(); }
+  Status read(Lba lba, MutByteSpan out) override {
+    std::lock_guard lock(mutex_);
+    std::this_thread::sleep_for(kServiceTime);
+    return inner_->read(lba, out);
+  }
+  Status write(Lba lba, ByteSpan data) override {
+    std::lock_guard lock(mutex_);
+    std::this_thread::sleep_for(kServiceTime);
+    return inner_->write(lba, data);
+  }
+  Status flush() override { return inner_->flush(); }
+  std::string describe() const override {
+    return "throttled(" + inner_->describe() + ")";
+  }
+
+ private:
+  std::shared_ptr<MemDisk> inner_;
+  std::mutex mutex_;
+};
+
+struct CellResult {
+  int read_pct = 0;
+  std::size_t replicas = 0;
+  double reads_per_sec = 0;
+  double writes_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double local_fraction = 0;  // reads NOT served by a mirror
+  std::uint64_t stale_retries = 0;
+};
+
+/// One primary + R replicas, fully wired, plus the serve threads that must
+/// be joined after the transports close.
+struct Cluster {
+  std::shared_ptr<PrinsEngine> engine;
+  std::shared_ptr<ReadRouter> router;
+  std::vector<std::shared_ptr<ReplicaEngine>> replicas;
+  std::vector<std::thread> serve_threads;
+
+  ~Cluster() {
+    router.reset();  // closes the read links
+    engine.reset();  // closes the replication links
+    for (auto& t : serve_threads) t.join();
+  }
+};
+
+std::unique_ptr<Cluster> build_cluster(std::size_t replica_count) {
+  auto cluster = std::make_unique<Cluster>();
+  EngineConfig config;
+  config.policy = ReplicationPolicy::kPrins;
+  config.read_from_replicas = true;
+  cluster->engine = std::make_shared<PrinsEngine>(
+      std::make_shared<ThrottledDisk>(kBlocks, kBs), config);
+  cluster->router = std::make_shared<ReadRouter>(cluster->engine);
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    ReplicaConfig rconfig;
+    rconfig.apply_shards = kApplyShards;
+    auto replica = std::make_shared<ReplicaEngine>(
+        std::make_shared<ThrottledDisk>(kBlocks, kBs), rconfig);
+    // Replication link: primary -> replica parity deltas.
+    auto [deltas_client, deltas_server] = make_inproc_pair();
+    cluster->serve_threads.emplace_back(
+        [replica, t = std::shared_ptr<Transport>(std::move(deltas_server))] {
+          (void)replica->serve(*t);
+        });
+    cluster->engine->add_replica(std::move(deltas_client));
+    // Read link: router -> replica client reads.
+    auto [reads_client, reads_server] = make_inproc_pair();
+    cluster->serve_threads.emplace_back(
+        [replica, t = std::shared_ptr<Transport>(std::move(reads_server))] {
+          (void)replica->serve(*t);
+        });
+    cluster->router->add_read_replica(std::move(reads_client));
+    cluster->replicas.push_back(std::move(replica));
+  }
+  return cluster;
+}
+
+bool run_cell(int read_pct, std::size_t replica_count, std::size_t total_ops,
+              CellResult* cell) {
+  cell->read_pct = read_pct;
+  cell->replicas = replica_count;
+  auto cluster = build_cluster(replica_count);
+
+  // Prefill every block through the engine so replicas hold real data and
+  // drain so the measured phase starts with the read floor fully caught up.
+  Bytes seed_block(kBs);
+  Rng seed_rng(11);
+  for (Lba lba = 0; lba < kBlocks; ++lba) {
+    seed_rng.fill(seed_block);
+    if (!cluster->engine->write(lba, seed_block).is_ok()) return false;
+  }
+  if (!cluster->engine->drain().is_ok()) return false;
+
+  std::atomic<std::size_t> next_op{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<double>> read_lat(kWorkers);
+  std::vector<std::uint64_t> reads(kWorkers, 0), writes(kWorkers, 0);
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      Bytes block(kBs);
+      read_lat[w].reserve(total_ops / kWorkers + 1);
+      while (next_op.fetch_add(1, std::memory_order_relaxed) < total_ops) {
+        const Lba lba = rng.next_below(kBlocks);
+        if (rng.next_below(100) < static_cast<std::uint64_t>(read_pct)) {
+          const auto issued = Clock::now();
+          if (!cluster->router->read(lba, block).is_ok()) {
+            failed.store(true);
+            return;
+          }
+          read_lat[w].push_back(to_us(Clock::now() - issued));
+          ++reads[w];
+        } else {
+          rng.fill(MutByteSpan(block).subspan(0, 64));
+          if (!cluster->router->write(lba, block).is_ok()) {
+            failed.store(true);
+            return;
+          }
+          ++writes[w];
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double secs = bench::seconds_since(start);
+  if (failed.load() || secs <= 0) return false;
+
+  std::uint64_t total_reads = 0, total_writes = 0;
+  std::vector<double> all_lat;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    total_reads += reads[w];
+    total_writes += writes[w];
+    all_lat.insert(all_lat.end(), read_lat[w].begin(), read_lat[w].end());
+  }
+  const EngineMetrics m = cluster->engine->metrics();
+  cell->reads_per_sec = static_cast<double>(total_reads) / secs;
+  cell->writes_per_sec = static_cast<double>(total_writes) / secs;
+  const bench::LatencySummary lat = bench::summarize_latencies(all_lat);
+  cell->p50_us = lat.p50_us;
+  cell->p99_us = lat.p99_us;
+  cell->local_fraction =
+      total_reads > 0
+          ? 1.0 - static_cast<double>(m.replica_reads) /
+                      static_cast<double>(total_reads)
+          : 0.0;
+  cell->stale_retries = m.stale_read_retries;
+  return true;
+}
+
+}  // namespace
+}  // namespace prins
+
+int main(int argc, char** argv) {
+  using namespace prins;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::size_t total_ops = quick ? 3000 : 24000;
+  const std::vector<int> mixes =
+      quick ? std::vector<int>{95} : std::vector<int>{100, 95, 50};
+  const std::vector<std::size_t> replica_counts =
+      quick ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4};
+
+  std::vector<CellResult> cells;
+  std::printf("block=%u blocks=%llu workers=%zu service=%lldus\n", kBs,
+              static_cast<unsigned long long>(kBlocks), kWorkers,
+              static_cast<long long>(kServiceTime.count()));
+  std::printf("%-6s %9s %12s %12s %9s %9s %8s %7s\n", "mix", "replicas",
+              "reads/s", "writes/s", "p50_us", "p99_us", "local", "stale");
+  for (int mix : mixes) {
+    for (std::size_t replicas : replica_counts) {
+      CellResult cell;
+      if (!run_cell(mix, replicas, total_ops, &cell)) {
+        std::fprintf(stderr, "cell %d%%/%zu replicas failed\n", mix, replicas);
+        return 1;
+      }
+      cells.push_back(cell);
+      std::printf("%4d%% %9zu %12.0f %12.0f %9.1f %9.1f %7.1f%% %7llu\n", mix,
+                  replicas, cell.reads_per_sec, cell.writes_per_sec,
+                  cell.p50_us, cell.p99_us, cell.local_fraction * 100.0,
+                  static_cast<unsigned long long>(cell.stale_retries));
+    }
+  }
+
+  // Headline: read-throughput scaling at the 95%-read mix, baselined at 1
+  // replica.
+  double base = 0, at2 = 0, at4 = 0;
+  for (const CellResult& c : cells) {
+    if (c.read_pct != 95) continue;
+    if (c.replicas == 1) base = c.reads_per_sec;
+    if (c.replicas == 2) at2 = c.reads_per_sec;
+    if (c.replicas == 4) at4 = c.reads_per_sec;
+  }
+  const double scale_1_2 = base > 0 ? at2 / base : 0.0;
+  const double scale_1_4 = base > 0 ? at4 / base : 0.0;
+  std::printf("\nread scaling at 95%% mix: 1->2 replicas %.2fx, "
+              "1->4 replicas %.2fx\n",
+              scale_1_2, scale_1_4);
+
+  FILE* json = std::fopen("BENCH_read_scale.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"block_size\": %u,\n", kBs);
+    std::fprintf(json, "  \"blocks\": %llu,\n",
+                 static_cast<unsigned long long>(kBlocks));
+    std::fprintf(json, "  \"workers\": %zu,\n", kWorkers);
+    std::fprintf(json, "  \"service_time_us\": %lld,\n",
+                 static_cast<long long>(kServiceTime.count()));
+    std::fprintf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(json, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"read_scale_1_to_2_at_95\": %.2f,\n", scale_1_2);
+    std::fprintf(json, "  \"read_scale_1_to_4_at_95\": %.2f,\n", scale_1_4);
+    std::fprintf(json, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellResult& c = cells[i];
+      std::fprintf(json,
+                   "    {\"read_pct\": %d, \"replicas\": %zu, "
+                   "\"reads_per_sec\": %.1f, \"writes_per_sec\": %.1f, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                   "\"local_fraction\": %.4f, \"stale_retries\": %llu}%s\n",
+                   c.read_pct, c.replicas, c.reads_per_sec, c.writes_per_sec,
+                   c.p50_us, c.p99_us, c.local_fraction,
+                   static_cast<unsigned long long>(c.stale_retries),
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_read_scale.json\n");
+  }
+  return 0;
+}

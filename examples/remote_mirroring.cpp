@@ -24,6 +24,7 @@
 #include "net/traffic_meter.h"
 #include "prins/engine.h"
 #include "prins/reactor_server.h"
+#include "prins/read_router.h"
 #include "prins/replica.h"
 
 using namespace prins;
@@ -93,6 +94,7 @@ Status run() {
   auto storage_disk = std::make_shared<MemDisk>(kBlocks, kBlockSize);
   EngineConfig engine_config;
   engine_config.policy = ReplicationPolicy::kPrins;
+  engine_config.read_from_replicas = true;  // maintain the conflict window
   if (pool != nullptr) {
     engine_config.reactor = pool->at(0).shared_from_this();
     engine_config.reactor_senders = true;
@@ -103,7 +105,16 @@ Status run() {
   TrafficMeter* wan_traffic = meter.get();
   engine->add_replica(std::move(meter));
 
-  auto target = std::make_shared<iscsi::IscsiTarget>(engine);
+  // Read offload: the iSCSI target serves from a ReadRouter instead of the
+  // bare engine.  Conflict-free reads travel a second link to the replica
+  // node (which proves freshness before answering); anything else stays
+  // local.  Both nodes start from the same zeroed image, so the mirror is
+  // caught up from the first write.
+  auto router = std::make_shared<ReadRouter>(engine);
+  PRINS_ASSIGN_OR_RETURN(auto read_link, connect_loopback(replica_port));
+  router->add_read_replica(std::move(read_link));
+
+  auto target = std::make_shared<iscsi::IscsiTarget>(router);
   std::unique_ptr<iscsi::ReactorIscsiServer> target_server;
   std::shared_ptr<Listener> target_listener;
   std::thread target_thread;
@@ -163,6 +174,15 @@ Status run() {
               "(expected 0)\n",
               static_cast<unsigned long long>(mismatches));
 
+  const EngineMetrics em = engine->metrics();
+  const ReplicaMetrics rm = replica->metrics();
+  std::printf("reads served by replica %llu (replica counted %llu), "
+              "conflicts kept local %llu, stale retries %llu\n",
+              static_cast<unsigned long long>(em.replica_reads),
+              static_cast<unsigned long long>(rm.client_reads_served),
+              static_cast<unsigned long long>(em.read_conflicts_local),
+              static_cast<unsigned long long>(em.stale_read_retries));
+
   // Orderly teardown: app logs out, the target (which co-owns the engine)
   // goes away first so that dropping our engine reference actually
   // destroys it and closes the WAN link, unblocking the replica.
@@ -174,6 +194,7 @@ Status run() {
     target_thread.join();
   }
   target.reset();
+  router.reset();  // closes the read link, releases its engine reference
   engine.reset();  // last owner: closes the WAN link
   if (replica_server != nullptr) {
     replica_server->stop();

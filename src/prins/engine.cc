@@ -95,7 +95,12 @@ void PrinsEngine::init_shards() {
   config_.write_shards = n;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<WriteShard>());
+    auto shard = std::make_unique<WriteShard>();
+    if (config_.read_from_replicas) {
+      shard->recent =
+          std::make_unique<WriteShard::RecentSlot[]>(WriteShard::kRecentRing);
+    }
+    shards_.push_back(std::move(shard));
   }
   shard_mask_ = n - 1;
   if (config_.reactor_senders && config_.reactor == nullptr) {
@@ -412,22 +417,103 @@ Status PrinsEngine::replicate_block(WriteShard& shard, Lba lba,
     drop_pending();
     PRINS_RETURN_IF_ERROR(appended);
   }
-  return enqueue(msg, std::move(payload), std::move(raw));
+  // Publish into the conflict window BEFORE the outboxes see the write:
+  // a reader must never classify this lba conflict-free while the write
+  // is travelling to the replicas.
+  if (config_.read_from_replicas) {
+    record_recent_write_locked(shard, lba, msg.sequence);
+  }
+  return enqueue(msg, std::move(payload), std::move(raw), &shard);
+}
+
+void PrinsEngine::record_recent_write_locked(WriteShard& shard, Lba lba,
+                                             std::uint64_t sequence) {
+  WriteShard::RecentSlot& slot =
+      shard.recent[shard.recent_next++ & (WriteShard::kRecentRing - 1)];
+  // The evicted entry's history must stay visible: if its write was still
+  // above the read floor (possibly un-acked somewhere), fold its sequence
+  // into evicted_max so ring misses stay conservative.
+  const std::uint64_t old_version =
+      slot.version.load(std::memory_order_relaxed);
+  if (old_version != 0) {
+    const std::uint64_t old_seq =
+        slot.sequence.load(std::memory_order_relaxed);
+    if (old_seq > read_floor_.load(std::memory_order_acquire)) {
+      std::uint64_t prev = shard.evicted_max.load(std::memory_order_relaxed);
+      while (old_seq > prev && !shard.evicted_max.compare_exchange_weak(
+                                   prev, old_seq, std::memory_order_acq_rel)) {
+      }
+    }
+  }
+  // Seqlock publish: odd version while the pair is torn, even when stable.
+  slot.version.store(old_version + 1, std::memory_order_release);
+  slot.lba.store(lba, std::memory_order_relaxed);
+  slot.sequence.store(sequence, std::memory_order_relaxed);
+  slot.version.store(old_version + 2, std::memory_order_release);
+}
+
+PrinsEngine::ReadClass PrinsEngine::classify_read(
+    Lba lba, std::uint64_t* min_sequence) const {
+  *min_sequence = 0;
+  if (!config_.read_from_replicas) return ReadClass::kLocal;
+  const WriteShard& shard = shard_for(lba);
+  // Lock-free seqlock scan for the newest ring entry matching `lba`.  A
+  // torn or racing slot read degrades to kLocal — always safe, never stale.
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < WriteShard::kRecentRing; ++i) {
+    const WriteShard::RecentSlot& slot = shard.recent[i];
+    std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 == 0) continue;  // never written
+    bool stable = false;
+    std::uint64_t slot_lba = 0;
+    std::uint64_t slot_seq = 0;
+    for (int attempt = 0; attempt < 4 && !stable; ++attempt) {
+      if (v1 & 1) {  // writer mid-publish; reload
+        v1 = slot.version.load(std::memory_order_acquire);
+        continue;
+      }
+      slot_lba = slot.lba.load(std::memory_order_relaxed);
+      slot_seq = slot.sequence.load(std::memory_order_relaxed);
+      const std::uint64_t v2 = slot.version.load(std::memory_order_acquire);
+      if (v1 == v2) {
+        stable = true;
+      } else {
+        v1 = v2;
+      }
+    }
+    if (!stable) return ReadClass::kLocal;  // hot slot: serve locally
+    if (slot_lba == lba && slot_seq > best) best = slot_seq;
+  }
+  const std::uint64_t floor = read_floor_.load(std::memory_order_acquire);
+  if (best == 0) {
+    // No ring entry for this lba.  Its writes (if any) were either evicted
+    // — bounded by evicted_max — or recycled after sinking below the floor.
+    const std::uint64_t evicted =
+        shard.evicted_max.load(std::memory_order_acquire);
+    if (evicted > floor) return ReadClass::kLocal;
+    *min_sequence = evicted;
+    return ReadClass::kOffloadable;
+  }
+  if (best > floor) return ReadClass::kLocal;  // in-flight conflict
+  *min_sequence = best;
+  return ReadClass::kOffloadable;
 }
 
 Status PrinsEngine::enqueue(const ReplicationMessage& meta,
-                            PooledBuffer payload, PooledBuffer raw) {
+                            PooledBuffer payload, PooledBuffer raw,
+                            WriteShard* submit_shard) {
   if (config_.journal != nullptr) {
     // Durable before queued: a crash between these two steps re-sends the
     // message (at-least-once), never loses it.  The payload travels
     // alongside the header, so no flat message copy is built here either.
     PRINS_RETURN_IF_ERROR(config_.journal->append(meta, payload.span()));
   }
-  return distribute(meta, std::move(payload), std::move(raw));
+  return distribute(meta, std::move(payload), std::move(raw), submit_shard);
 }
 
 Status PrinsEngine::distribute(const ReplicationMessage& meta,
-                               PooledBuffer payload, PooledBuffer raw) {
+                               PooledBuffer payload, PooledBuffer raw,
+                               WriteShard* submit_shard) {
   const bool coalescable = config_.coalesce_writes && bool(raw) &&
                            meta.kind == MessageKind::kWrite;
   // Canonical wire size (header + frame + CRC), for traffic accounting.
@@ -446,6 +532,16 @@ Status PrinsEngine::distribute(const ReplicationMessage& meta,
   if (!worker_error_.is_ok()) return worker_error_;
 
   last_distributed_seq_ = std::max(last_distributed_seq_, meta.sequence);
+  // The message is now visible to the watermark bookkeeping in this
+  // critical section (last_distributed_seq_ above, outstanding_ below), so
+  // the pre-sequence floor slot has done its job.  Clearing it here — while
+  // mutex_ is still held — lets the ack_watermark_locked() calls below
+  // advance the read floor over a write that completes instantly (no
+  // replicas, or a heal-skip on every link); the SubmitSlot destructor's
+  // store(0) stays as an idempotent backstop for early-error returns.
+  if (submit_shard != nullptr) {
+    submit_shard->submitting_seq.store(0, std::memory_order_seq_cst);
+  }
   if (replicas_.empty()) {
     // Nothing to ship: the write is trivially replicated everywhere.
     metrics_.message_bytes += wire_size;
@@ -605,6 +701,13 @@ std::uint64_t PrinsEngine::ack_watermark_locked() const {
     const std::uint64_t slot =
         shard->submitting_seq.load(std::memory_order_seq_cst);
     if (slot != 0) mark = std::min(mark, slot - 1);
+  }
+  // The watermark doubles as the read-offload floor: everything at or
+  // below it is acked by every replica, hence applied there.  CAS-max so
+  // the floor only ever rises (and freezes with the journal on a drop).
+  std::uint64_t floor = read_floor_.load(std::memory_order_relaxed);
+  while (mark > floor && !read_floor_.compare_exchange_weak(
+                             floor, mark, std::memory_order_acq_rel)) {
   }
   return mark;
 }
@@ -1883,8 +1986,9 @@ Status PrinsEngine::full_sync() {
     // Sync is not a logical write: read the clock, do not advance it.
     msg.timestamp_us =
         clock_state_.load(std::memory_order_seq_cst) & kClockMask;
-    PRINS_RETURN_IF_ERROR(enqueue(
-        msg, PooledBuffer::heap(encode_frame(codec, block)), PooledBuffer()));
+    PRINS_RETURN_IF_ERROR(
+        enqueue(msg, PooledBuffer::heap(encode_frame(codec, block)),
+                PooledBuffer(), &shard));
   }
   return drain();
 }
@@ -2352,6 +2456,11 @@ EngineMetrics PrinsEngine::metrics() const {
     out.journal_frozen = journal_frozen_ ? 1 : 0;
   }
   out.cluster_epoch = config_.cluster_epoch;
+  out.replica_reads = replica_reads_.load(std::memory_order_relaxed);
+  out.stale_read_retries =
+      stale_read_retries_.load(std::memory_order_relaxed);
+  out.read_conflicts_local =
+      read_conflicts_local_.load(std::memory_order_relaxed);
   if (config_.journal != nullptr) {
     const JournalStats js = config_.journal->stats();
     out.journal_watermark = js.acked_sequence;

@@ -171,6 +171,13 @@ struct EngineConfig {
   /// corrupt the cluster's new history.  0 is the epoch-unaware legacy
   /// world; ReplicaEngine::promote() mints epoch+1 for the successor.
   std::uint64_t cluster_epoch = 0;
+  /// Read offload: maintain the per-stripe recent-writes conflict window
+  /// and let classify_read() mark conflict-free reads as servable by a
+  /// replica (see ReadRouter).  Off (default), classify_read() answers
+  /// kLocal unconditionally and the write path skips the ring upkeep —
+  /// offload decisions without the window would be unsound (a reader could
+  /// demand nothing and observe a replica mid-catch-up).
+  bool read_from_replicas = false;
 };
 
 struct EngineMetrics {
@@ -206,6 +213,11 @@ struct EngineMetrics {
   std::uint64_t journal_pending = 0;   // journaled records above watermark
   std::uint64_t journal_pending_bytes = 0;  // RAM held by the replay cache
   std::uint64_t journal_spills = 0;    // replay cache evictions to disk
+  // Read offload (config.read_from_replicas + ReadRouter).
+  std::uint64_t replica_reads = 0;         // block reads a replica served
+  std::uint64_t stale_read_retries = 0;    // kStaleRead NAKs -> local retry
+  std::uint64_t read_conflicts_local = 0;  // reads the conflict window
+                                           // pinned to the primary
 };
 
 class PrinsEngine final : public BlockDevice {
@@ -322,6 +334,47 @@ class PrinsEngine final : public BlockDevice {
   EngineMetrics metrics() const;
 
   ReplicationPolicy policy() const { return config_.policy; }
+
+  /// How one block read should be served (see classify_read()).
+  enum class ReadClass : std::uint8_t {
+    kLocal = 0,       // possible in-flight conflict (or offload disabled):
+                      //   the primary must serve this read itself
+    kOffloadable = 1  // conflict-free: any replica whose applied state
+                      //   covers `min_sequence` serves it correctly
+  };
+
+  /// Classify a read of `lba` against the recent-writes conflict window
+  /// (lock-free; safe concurrently with writers).  kOffloadable means
+  /// every write to `lba` this engine has issued is covered by
+  /// `*min_sequence`, and `*min_sequence` <= read_floor() — i.e. applied
+  /// at every replica — so a replica read demanding that sequence returns
+  /// exactly what a local read would.  kLocal means a write to `lba` may
+  /// still be in flight (or config.read_from_replicas is off).
+  ReadClass classify_read(Lba lba, std::uint64_t* min_sequence) const;
+
+  /// Highest sequence every replica has acknowledged (monotone; freezes
+  /// with the journal watermark when a link drops a write).  Writes at or
+  /// below the floor are applied at every replica.
+  std::uint64_t read_floor() const {
+    return read_floor_.load(std::memory_order_acquire);
+  }
+
+  /// Newest sequence assigned to any write (0 before the first write).
+  std::uint64_t last_sequence() const {
+    return next_sequence_.load(std::memory_order_acquire) - 1;
+  }
+
+  /// ReadRouter accounting, merged into metrics() (the router is a
+  /// decorator, so its counters live with the engine's for one-stop stats).
+  void note_replica_read() {
+    replica_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_stale_read_retry() {
+    stale_read_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_read_conflict_local() {
+    read_conflicts_local_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Resolved submit-shard count (config.write_shards after auto-sizing).
   std::size_t write_shard_count() const { return shards_.size(); }
@@ -463,6 +516,26 @@ class PrinsEngine final : public BlockDevice {
     std::uint64_t payload_bytes = 0;
     Histogram payload_sizes;
     Histogram dirty_bytes;
+
+    // ---- Recent-writes conflict window (config.read_from_replicas) -----
+    // A seqlock ring of this stripe's latest (lba, sequence) pairs.  The
+    // writer (replicate_block, under this shard's lock) publishes each
+    // write into the next slot; classify_read() scans lock-free.  Slots
+    // recycle FIFO, so if ANY slot holds `lba` the newest one found IS the
+    // newest write to that lba; a complete miss means every write to that
+    // lba either sank below the read floor before eviction or is covered
+    // by `evicted_max` (the newest sequence ever overwritten while still
+    // above the floor — the conservative bound for evicted history).
+    static constexpr std::size_t kRecentRing = 256;
+    struct RecentSlot {
+      std::atomic<std::uint64_t> version{0};  // seqlock: odd = mid-update
+      std::atomic<std::uint64_t> lba{0};
+      std::atomic<std::uint64_t> sequence{0};
+    };
+    std::unique_ptr<RecentSlot[]> recent;   // kRecentRing slots; allocated
+                                            //   only when offload is on
+    std::uint64_t recent_next = 0;          // writer cursor (shard mutex)
+    std::atomic<std::uint64_t> evicted_max{0};
   };
 
   /// RAII publisher for WriteShard::submitting_seq (see its comment).
@@ -520,11 +593,15 @@ class PrinsEngine final : public BlockDevice {
   bool healable_locked(const ReplicaLink& link) const;
   /// Journal-append (if configured) and distribute to every outbox.
   /// `meta.payload` must be empty; the payload travels in `payload`.
+  /// `submit_shard`, when non-null, is the shard whose submitting_seq slot
+  /// guards this message; distribute() clears it once the message is
+  /// registered so the read floor computed in the same critical section
+  /// already covers a trivially-replicated (or instantly-acked) write.
   Status enqueue(const ReplicationMessage& meta, PooledBuffer payload,
-                 PooledBuffer raw);
+                 PooledBuffer raw, WriteShard* submit_shard = nullptr);
   /// Fan a message out to every replica outbox (no journal append).
   Status distribute(const ReplicationMessage& meta, PooledBuffer payload,
-                    PooledBuffer raw);
+                    PooledBuffer raw, WriteShard* submit_shard = nullptr);
   void append_to_outbox_locked(ReplicaLink& link,
                                const ReplicationMessage& meta,
                                const PooledBuffer& payload,
@@ -544,6 +621,11 @@ class PrinsEngine final : public BlockDevice {
   void advance_journal_watermark(std::uint64_t sequence);
   /// The per-block submit path; shard_for(lba).mutex must be held.
   Status write_block_locked(WriteShard& shard, Lba lba, ByteSpan data);
+  /// Publish (lba, sequence) into the shard's conflict ring (shard mutex
+  /// held); folds the evicted slot into evicted_max when it is still above
+  /// the read floor.
+  void record_recent_write_locked(WriteShard& shard, Lba lba,
+                                  std::uint64_t sequence);
   /// Build and enqueue the kWrite message for one block (shard lock held).
   Status replicate_block(WriteShard& shard, Lba lba, ByteSpan new_block,
                          ByteSpan delta, std::size_t dirty);
@@ -708,6 +790,14 @@ class PrinsEngine final : public BlockDevice {
   std::uint64_t journal_marked_ = 0;  // guarded by journal_mutex_
 
   std::atomic<std::uint64_t> next_sequence_{1};
+
+  /// Highest all-replicas-acked sequence (see read_floor()).  CAS-maxed
+  /// inside ack_watermark_locked() — mutable because that path is const.
+  mutable std::atomic<std::uint64_t> read_floor_{0};
+  // ReadRouter counters (relaxed; merged by metrics()).
+  std::atomic<std::uint64_t> replica_reads_{0};
+  std::atomic<std::uint64_t> stale_read_retries_{0};
+  std::atomic<std::uint64_t> read_conflicts_local_{0};
 
   /// Combined logical-clock / pending-append state, mutated with single
   /// atomic RMWs so heals can snapshot "(no trap appends in flight, clock

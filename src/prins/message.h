@@ -40,6 +40,21 @@ enum class MessageKind : std::uint8_t {
   kAckBatch = 14,          // replica -> primary: payload = packed sequence
                            //   ranges, each applied (cumulative-plus-holes
                            //   ack); `sequence` = newest covered sequence
+  kClientReadRequest = 15, // reader -> replica: serve block `lba` if the
+                           //   replica's applied state is at least as new
+                           //   as the u64 LE `min_sequence` payload;
+                           //   `sequence` = requester-local exchange id,
+                           //   echoed back for reply matching
+  kClientReadReply = 16,   // replica -> reader: payload = raw block bytes
+                           //   (no codec frame — the read path trades wire
+                           //   compression for zero decode cost);
+                           //   `sequence` echoes the request's exchange id
+  kReadLease = 17,         // primary -> replica: `sequence` carries the
+                           //   primary's all-replicas-acked read floor; the
+                           //   replica may serve any read demanding
+                           //   min_sequence <= floor without a per-LBA
+                           //   check (every write at or below the floor is
+                           //   applied everywhere).  Replied with kAck.
 };
 
 /// Optional first payload byte of a kNak, telling the primary how to
@@ -52,6 +67,10 @@ enum class NakReason : std::uint8_t {
                        //   newer primary was promoted, the sender is fenced
                        //   (the NAK header's cluster_epoch carries the
                        //   replica's current epoch)
+  kStaleRead = 3,      // kClientReadRequest demanded a min_sequence newer
+                       //   than the replica has applied for that LBA: the
+                       //   reader should retry at the primary (the NAK's
+                       //   `sequence` echoes the request's exchange id)
 };
 
 /// One contiguous run of applied sequences inside a kAckBatch payload.

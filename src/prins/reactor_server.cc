@@ -44,6 +44,7 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
     Bytes wire;
     MessageView view{};
     bool control = false;
+    bool client_read = false;  // serve + reply directly, skip the ack path
   };
 
   struct ShardQueue {
@@ -166,7 +167,11 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
       (void)send_reply_framed(*session->transport, nak, {});
       return;
     }
-    if (is_write_kind(msg->kind)) {
+    const bool client_read = msg->kind == MessageKind::kClientReadRequest;
+    if (is_write_kind(msg->kind) || client_read) {
+      // Client reads pipeline exactly like writes: no session quiesce, just
+      // FIFO order behind same-stripe applies (the freshness check happens
+      // under the stripe's shard lock).
       {
         std::lock_guard lock(session->m);
         if (session->dead) return;
@@ -177,7 +182,8 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
           session->rt->set_read_paused(true);
         }
       }
-      dispatch(WorkItem{session, std::move(wire), *msg, /*control=*/false});
+      dispatch(WorkItem{session, std::move(wire), *msg, /*control=*/false,
+                        client_read});
       return;
     }
     // Control frame (barrier/verify/hash/hello/read-block): its answer
@@ -249,6 +255,8 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
       }
       if (item.control) {
         run_control(item);
+      } else if (item.client_read) {
+        run_client_read(item);
       } else {
         run_write(item);
       }
@@ -285,6 +293,42 @@ struct ReactorReplicaServer::Impl : std::enable_shared_from_this<Impl> {
       session.transport->close();
     }
     if (flush) flush_acks(item.session);
+    if (release_control) {
+      WorkItem control;
+      {
+        std::lock_guard lock(session.m);
+        control = std::move(session.pending_control);
+        session.pending_control = WorkItem{};
+      }
+      if (control.session != nullptr) dispatch(std::move(control));
+    }
+  }
+
+  void run_client_read(WorkItem& item) {
+    auto& session = *item.session;
+    auto reply = replica->serve_client_read(item.view);
+    if (reply.is_ok()) {
+      Status sent =
+          send_reply_framed(*session.transport, *reply, reply->payload);
+      if (!sent.is_ok() && sent.code() != ErrorCode::kUnavailable) {
+        PRINS_LOG(kWarn) << "replica read reply send failed: "
+                         << sent.to_string();
+      }
+    } else {
+      PRINS_LOG(kWarn) << "replica client read failed: "
+                       << reply.status().to_string();
+      session.transport->close();
+    }
+    bool release_control = false;
+    {
+      std::lock_guard lock(session.m);
+      --session.in_flight;
+      maybe_resume_locked(session);
+      if (session.blocked && session.in_flight == 0 &&
+          session.pending_control.session != nullptr) {
+        release_control = true;
+      }
+    }
     if (release_control) {
       WorkItem control;
       {

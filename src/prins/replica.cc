@@ -83,6 +83,7 @@ Status ReplicaEngine::serve(Transport& transport) {
   struct WorkItem {
     Bytes wire;        // owning buffer; view.payload aliases it
     MessageView view;
+    bool client_read = false;  // serve + reply directly, skip the ack stage
   };
   struct ShardQueue {
     std::mutex m;
@@ -138,16 +139,28 @@ Status ReplicaEngine::serve(Transport& transport) {
         queue.q.pop_front();
       }
       queue.cv.notify_all();  // demux may be blocked on capacity
-      auto outcome = apply_write_message(item.view);
-      if (outcome.is_ok()) {
-        {
-          std::lock_guard lock(acks.m);
-          acks.q.push_back(
-              Completion{item.view.sequence, item.view.lba, *outcome});
+      if (item.client_read) {
+        // Client reads ride the shard queue (FIFO behind same-stripe
+        // applies, shard-lock-atomic device read) but reply directly —
+        // their answer is a block, not an ack, and must not be coalesced.
+        auto reply = serve_client_read(item.view);
+        Status sent = reply.is_ok() ? send_reply(*reply, reply->payload)
+                                    : reply.status();
+        if (!sent.is_ok() && sent.code() != ErrorCode::kUnavailable) {
+          fail_session(sent);
         }
-        acks.cv.notify_one();
       } else {
-        fail_session(outcome.status());
+        auto outcome = apply_write_message(item.view);
+        if (outcome.is_ok()) {
+          {
+            std::lock_guard lock(acks.m);
+            acks.q.push_back(
+                Completion{item.view.sequence, item.view.lba, *outcome});
+          }
+          acks.cv.notify_one();
+        } else {
+          fail_session(outcome.status());
+        }
       }
       if (in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard lock(idle_mutex);
@@ -289,7 +302,8 @@ Status ReplicaEngine::serve(Transport& transport) {
       }
       continue;
     }
-    if (is_write_kind(msg->kind)) {
+    const bool client_read = msg->kind == MessageKind::kClientReadRequest;
+    if (is_write_kind(msg->kind) || client_read) {
       // Moving the owning Bytes relocates the vector header only; the heap
       // bytes the view's payload aliases stay put.
       ShardQueue& queue = queues[msg->lba & (nshards - 1)];
@@ -298,7 +312,7 @@ Status ReplicaEngine::serve(Transport& transport) {
         return queue.q.size() < config_.apply_queue_capacity;
       });
       in_flight.fetch_add(1, std::memory_order_acq_rel);
-      queue.q.push_back(WorkItem{std::move(*wire), *msg});
+      queue.q.push_back(WorkItem{std::move(*wire), *msg, client_read});
       const std::uint64_t depth = queue.q.size();
       lock.unlock();
       queue.cv.notify_all();
@@ -425,8 +439,20 @@ Result<ReplicationMessage> ReplicaEngine::dispatch_view(
       reply.block_size = local_->block_size();
       reply.payload = encode_frame(codec_for(CodecId::kLz), block);
       std::lock_guard lock(mutex_);
-      metrics_.reads_served += 1;
+      metrics_.repair_reads_served += 1;
       return reply;
+    }
+    case MessageKind::kClientReadRequest:
+      return serve_client_read(message);
+    case MessageKind::kReadLease: {
+      // The primary published its all-replicas-acked floor; CAS-max it so
+      // out-of-order renewals can only ever widen the lease.
+      std::uint64_t floor = message.sequence;
+      std::uint64_t prev = read_lease_floor_.load(std::memory_order_relaxed);
+      while (floor > prev && !read_lease_floor_.compare_exchange_weak(
+                                 prev, floor, std::memory_order_acq_rel)) {
+      }
+      break;  // generic kAck below confirms the renewal
     }
     case MessageKind::kBarrier:
       // The pipeline quiesces before a barrier reaches here, making it the
@@ -451,6 +477,7 @@ Result<ReplicationMessage> ReplicaEngine::dispatch_view(
     case MessageKind::kHashReply:
     case MessageKind::kNak:
     case MessageKind::kReadBlockReply:
+    case MessageKind::kClientReadReply:
       return failed_precondition("replica received a reply-kind message");
   }
   ReplicationMessage ack;
@@ -547,6 +574,10 @@ Result<ReplicaEngine::ApplyOutcome> ReplicaEngine::apply_write_message(
     }
     PRINS_RETURN_IF_ERROR(applied);
     record_applied(shard, message.sequence);
+    if (message.sequence != 0) {
+      std::uint64_t& newest = shard.newest_applied[message.lba];
+      if (message.sequence > newest) newest = message.sequence;
+    }
     if (message.kind == MessageKind::kWrite ||
         message.kind == MessageKind::kRepairBlock) {
       bump_timestamp(message.timestamp_us);
@@ -555,6 +586,73 @@ Result<ReplicaEngine::ApplyOutcome> ReplicaEngine::apply_write_message(
   // Checkpoint outside the shard lock: it locks *all* shards to quiesce.
   if (checkpoint_due) PRINS_RETURN_IF_ERROR(checkpoint_intents());
   return ApplyOutcome::kApplied;
+}
+
+Result<ReplicationMessage> ReplicaEngine::serve_client_read(
+    const MessageView& message) {
+  // Fence first: after a promotion this replica answers only the new
+  // epoch's readers — a router still wired to the deposed primary gets
+  // kStaleEpoch and must not trust any data from here.
+  if (!epoch_current(message.cluster_epoch)) {
+    return stale_epoch_nak(message.sequence, message.lba);
+  }
+  const std::uint64_t min_sequence =
+      message.payload.size() >= 8 ? load_le64(message.payload) : 0;
+  ReplicationMessage reply;
+  reply.sequence = message.sequence;  // exchange id, echoed for matching
+  reply.lba = message.lba;
+  reply.cluster_epoch = cluster_epoch();
+  auto plain_nak = [&]() -> ReplicationMessage {
+    std::lock_guard lock(mutex_);
+    metrics_.naks_sent += 1;
+    reply.kind = MessageKind::kNak;
+    return reply;
+  };
+  if (message.lba >= local_->num_blocks()) return plain_nak();
+  Bytes block(local_->block_size());
+  ApplyShard& shard = shard_for(message.lba);
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.damaged.count(message.lba) != 0) return plain_nak();
+    // Fresh iff the demanded sequence is covered by the lease floor (every
+    // write at or below it is applied on every replica) or by this LBA's
+    // own applied high-water mark.  Same-LBA applies are serialized by
+    // this shard, so newest >= min_sequence proves every same-LBA write at
+    // or below min_sequence has landed.
+    bool fresh =
+        min_sequence == 0 ||
+        read_lease_floor_.load(std::memory_order_acquire) >= min_sequence;
+    if (!fresh) {
+      auto it = shard.newest_applied.find(message.lba);
+      fresh = it != shard.newest_applied.end() && it->second >= min_sequence;
+    }
+    if (!fresh) {
+      {
+        std::lock_guard mlock(mutex_);
+        metrics_.naks_sent += 1;
+        metrics_.stale_read_naks += 1;
+      }
+      reply.kind = MessageKind::kNak;
+      reply.payload.push_back(static_cast<Byte>(NakReason::kStaleRead));
+      return reply;
+    }
+    // Read under the shard lock: atomic with respect to in-flight applies
+    // on this stripe, so a reader never observes a half-XORed block.
+    Status read = apply_dev_->read(message.lba, block);
+    if (read.code() == ErrorCode::kDataCorruption) {
+      shard.damaged.insert(message.lba);  // NAK deltas until repair lands
+      return plain_nak();
+    }
+    PRINS_RETURN_IF_ERROR(read);
+  }
+  reply.kind = MessageKind::kClientReadReply;
+  reply.block_size = local_->block_size();
+  // Raw block bytes, no codec frame: the read path trades wire compression
+  // for zero decode cost on the hot path.
+  reply.payload = std::move(block);
+  std::lock_guard lock(mutex_);
+  metrics_.client_reads_served += 1;
+  return reply;
 }
 
 Status ReplicaEngine::apply_write_locked(ApplyShard& shard,

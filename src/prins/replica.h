@@ -24,6 +24,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -86,7 +87,12 @@ struct ReplicaMetrics {
   std::uint64_t bytes_received = 0;   // wire message bytes
   std::uint64_t duplicates_dropped = 0;  // re-delivered sequences not applied
   std::uint64_t naks_sent = 0;           // corrupt frames bounced back
-  std::uint64_t reads_served = 0;        // kReadBlockRequest blocks returned
+  std::uint64_t repair_reads_served = 0;  // kReadBlockRequest blocks returned
+                                          //   (scrubber repair pulls)
+  std::uint64_t client_reads_served = 0;  // kClientReadRequest blocks served
+                                          //   (read offload from the router)
+  std::uint64_t stale_read_naks = 0;      // client reads refused: demanded
+                                          //   min_sequence not yet applied
   std::uint64_t torn_blocks_detected = 0;  // intent replay found a torn apply
   std::uint64_t full_repairs_requested = 0;  // NAKs asking for a full block
   // Pipeline counters (serve()'s demux/worker/ack stages).
@@ -158,6 +164,14 @@ class ReplicaEngine {
     return cluster_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Highest all-replicas-acked sequence the primary has published via
+  /// kReadLease.  Any client read demanding min_sequence <= this floor is
+  /// fresh without a per-LBA lookup (every write at or below it is applied
+  /// everywhere, including here).
+  std::uint64_t read_lease_floor() const {
+    return read_lease_floor_.load(std::memory_order_acquire);
+  }
+
   ReplicaMetrics metrics() const;
 
   /// Newest write timestamp applied to the device (0 before any write).
@@ -195,6 +209,12 @@ class ReplicaEngine {
     std::unordered_set<std::uint64_t> applied_set;
     std::deque<std::uint64_t> applied_fifo;
     std::set<Lba> damaged;  // torn/corrupt blocks; parity cannot apply
+    // Newest applied sequence per LBA, for client-read freshness checks.
+    // Same-LBA applies are serialized by this shard, so an entry >= the
+    // demanded min_sequence proves every same-LBA write at or below it has
+    // landed.  One entry per LBA ever written through this shard — bounded
+    // by the volume size, like a per-block version table.
+    std::unordered_map<Lba, std::uint64_t> newest_applied;
   };
 
   ApplyShard& shard_for(Lba lba) {
@@ -207,6 +227,13 @@ class ReplicaEngine {
 
   /// apply_view minus fencing and reply epoch-stamping (the kind switch).
   Result<ReplicationMessage> dispatch_view(const MessageView& message);
+
+  /// Serve a kClientReadRequest: fence the epoch, refuse damaged blocks,
+  /// check the demanded min_sequence against the per-LBA applied table and
+  /// the lease floor, and read the block under the LBA's shard lock so the
+  /// reply is atomic with respect to in-flight applies on that stripe.
+  /// Stale demands come back as a kNak carrying NakReason::kStaleRead.
+  Result<ReplicationMessage> serve_client_read(const MessageView& message);
 
   Status apply_write_locked(ApplyShard& shard, const MessageView& message,
                             bool* checkpoint_due);
@@ -247,6 +274,7 @@ class ReplicaEngine {
   // far wider than any in-flight pipeline, so a live duplicate always hits.
   std::vector<std::unique_ptr<ApplyShard>> shards_;
   std::atomic<std::uint64_t> cluster_epoch_{0};
+  std::atomic<std::uint64_t> read_lease_floor_{0};
   std::atomic<std::uint64_t> applied_timestamp_us_{0};
   std::atomic<std::uint64_t> applies_since_checkpoint_{0};
   std::atomic<std::uint64_t> apply_queue_peak_{0};

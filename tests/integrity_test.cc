@@ -571,7 +571,7 @@ TEST(EngineIntegration, ScrubPullsGoodBlocksFromReplica) {
   EXPECT_EQ(pass->repaired_by.at("replica"), 3u);
   EXPECT_EQ(pass->quarantined, 0u);
   EXPECT_TRUE(rig.mems_match());
-  EXPECT_GE(rig.replica->metrics().reads_served, 3u);
+  EXPECT_GE(rig.replica->metrics().repair_reads_served, 3u);
 
   const auto metrics = rig.engine->metrics();
   EXPECT_EQ(metrics.scrub_passes, 1u);

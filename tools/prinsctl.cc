@@ -24,6 +24,8 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "block/file_disk.h"
 #include "block/integrity_disk.h"
@@ -38,6 +40,7 @@
 #include "prins/engine.h"
 #include "prins/journal.h"
 #include "prins/reactor_server.h"
+#include "prins/read_router.h"
 #include "prins/replica.h"
 
 namespace {
@@ -89,7 +92,11 @@ int usage() {
                "--sidecar PATH [--replica HOST:PORT] [--rate BLOCKS/S]\n"
                "  prinsctl discover --host H --port P\n"
                "PRINS_EPOCH sets the fencing epoch where --epoch is not "
-               "given (flag wins).\n");
+               "given (flag wins).\n"
+               "PRINS_READ_REPLICAS=H1:P1,H2:P2 offloads conflict-free "
+               "reads to those mirrors;\n"
+               "PRINS_READ_POLICY=rr|least picks the spread (default "
+               "rr).\n");
   return 2;
 }
 
@@ -167,6 +174,46 @@ ReplicationPolicy parse_policy(const std::string& name) {
   return ReplicationPolicy::kPrins;
 }
 
+/// PRINS_READ_REPLICAS: comma-separated HOST:PORT list of replica listeners
+/// to offload conflict-free reads to.  Empty / unset disables offload.
+/// Malformed entries are skipped with a warning rather than aborting the
+/// node — read offload is an optimization, never a requirement.
+std::vector<std::pair<std::string, std::uint16_t>> read_replica_specs() {
+  std::vector<std::pair<std::string, std::uint16_t>> specs;
+  const char* raw = std::getenv("PRINS_READ_REPLICAS");
+  if (raw == nullptr) return specs;
+  std::string list(raw);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string spec = list.substr(start, comma - start);
+    start = comma + 1;
+    if (spec.empty()) continue;
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+      std::fprintf(stderr,
+                   "PRINS_READ_REPLICAS: skipping \"%s\" (want HOST:PORT)\n",
+                   spec.c_str());
+      continue;
+    }
+    specs.emplace_back(spec.substr(0, colon),
+                       static_cast<std::uint16_t>(std::strtoul(
+                           spec.c_str() + colon + 1, nullptr, 10)));
+  }
+  return specs;
+}
+
+/// PRINS_READ_POLICY: "least" picks the link with the fewest reads in
+/// flight; anything else (including unset) is round-robin.
+ReadPolicy read_policy_knob() {
+  const char* raw = std::getenv("PRINS_READ_POLICY");
+  if (raw != nullptr && std::string(raw) == "least") {
+    return ReadPolicy::kLeastOutstanding;
+  }
+  return ReadPolicy::kRoundRobin;
+}
+
 int run_replica(const Options& options) {
   std::shared_ptr<BlockDevice> disk = open_device(options, "replica.img");
   if (disk == nullptr) return 1;
@@ -236,13 +283,17 @@ int run_replica(const Options& options) {
                             : 0.0;
       std::printf("stats: applied=%llu queue_peak=%llu ack_batches=%llu "
                   "ack_batch_avg=%.1f fsyncs_per_apply=%.3f "
-                  "cache_hit_rate=%.3f naks=%llu dups=%llu\n",
+                  "cache_hit_rate=%.3f naks=%llu dups=%llu "
+                  "repair_reads=%llu client_reads=%llu stale_read_naks=%llu\n",
                   static_cast<unsigned long long>(m.writes_applied),
                   static_cast<unsigned long long>(m.apply_queue_peak),
                   static_cast<unsigned long long>(m.ack_batches), batch_avg,
                   fsyncs_per_apply, hit_rate,
                   static_cast<unsigned long long>(m.naks_sent),
-                  static_cast<unsigned long long>(m.duplicates_dropped));
+                  static_cast<unsigned long long>(m.duplicates_dropped),
+                  static_cast<unsigned long long>(m.repair_reads_served),
+                  static_cast<unsigned long long>(m.client_reads_served),
+                  static_cast<unsigned long long>(m.stale_read_naks));
       std::fflush(stdout);
     }
   };
@@ -284,6 +335,10 @@ Result<EngineConfig> primary_engine_config(const Options& options) {
   EngineConfig config;
   config.policy = parse_policy(options.get("policy", "prins"));
   config.cluster_epoch = epoch_knob(options);
+  // Offloading reads requires the engine to maintain its recent-writes
+  // conflict window from the first write, so the knob is resolved here
+  // rather than when the router is built.
+  config.read_from_replicas = !read_replica_specs().empty();
   if (auto pool = shared_reactor_pool()) {
     // Retry/heal backoff rides the reactor's timer wheel instead of a
     // per-thread timed wait, and replica links are pumped by reactor
@@ -334,7 +389,9 @@ Status attach_replica(PrinsEngine& engine, const Options& options) {
     std::printf("stats: epoch=%llu writes=%llu acks=%llu reconnects=%llu "
                 "stale_epoch_naks=%llu journal_frozen=%llu "
                 "journal_watermark=%llu journal_pending=%llu "
-                "journal_pending_bytes=%llu journal_spills=%llu\n",
+                "journal_pending_bytes=%llu journal_spills=%llu "
+                "replica_reads=%llu stale_read_retries=%llu "
+                "read_conflicts_local=%llu\n",
                 static_cast<unsigned long long>(m.cluster_epoch),
                 static_cast<unsigned long long>(m.writes),
                 static_cast<unsigned long long>(m.acks),
@@ -344,7 +401,10 @@ Status attach_replica(PrinsEngine& engine, const Options& options) {
                 static_cast<unsigned long long>(m.journal_watermark),
                 static_cast<unsigned long long>(m.journal_pending),
                 static_cast<unsigned long long>(m.journal_pending_bytes),
-                static_cast<unsigned long long>(m.journal_spills));
+                static_cast<unsigned long long>(m.journal_spills),
+                static_cast<unsigned long long>(m.replica_reads),
+                static_cast<unsigned long long>(m.stale_read_retries),
+                static_cast<unsigned long long>(m.read_conflicts_local));
     std::fflush(stdout);
   }
 }
@@ -353,7 +413,34 @@ Status attach_replica(PrinsEngine& engine, const Options& options) {
 /// of `target` and `promote`).
 int serve_target(std::shared_ptr<PrinsEngine> engine, const Options& options,
                  const char* default_file) {
-  auto target = std::make_shared<iscsi::IscsiTarget>(engine);
+  // PRINS_READ_REPLICAS interposes the read router between iSCSI and the
+  // engine: conflict-free reads fan out across the listed mirrors, writes
+  // and conflicted reads pass through to the engine untouched.
+  std::shared_ptr<BlockDevice> device = engine;
+  const auto read_specs = read_replica_specs();
+  if (!read_specs.empty()) {
+    ReadRouterConfig router_config;
+    router_config.policy = read_policy_knob();
+    auto router = std::make_shared<ReadRouter>(engine, router_config);
+    for (const auto& [host, port] : read_specs) {
+      auto link = connect_tcp(host, port);
+      if (!link.is_ok()) {
+        std::fprintf(stderr, "read replica %s:%u unavailable (%s); reads "
+                             "stay local\n",
+                     host.c_str(), port, link.status().to_string().c_str());
+        continue;
+      }
+      router->add_read_replica(std::move(*link));
+    }
+    std::printf("read offload: %zu mirror link%s, %s policy\n",
+                router->read_replica_count(),
+                router->read_replica_count() == 1 ? "" : "s",
+                router_config.policy == ReadPolicy::kLeastOutstanding
+                    ? "least-outstanding"
+                    : "round-robin");
+    device = std::move(router);
+  }
+  auto target = std::make_shared<iscsi::IscsiTarget>(device);
   const auto port = static_cast<std::uint16_t>(options.get_u64("port", 3260));
   const std::uint64_t stats_every = options.get_u64("stats", 0);
   if (auto pool = shared_reactor_pool()) {
