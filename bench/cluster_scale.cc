@@ -7,6 +7,7 @@
 // the per-write payload, which is where PRINS wins.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "sim/cluster.h"
 
 int main(int argc, char** argv) {
@@ -40,7 +41,9 @@ int main(int argc, char** argv) {
       config.dirty_bytes_per_write = 800;
       config.seed = 42;
       SymmetricCluster cluster(config);
+      const auto start = bench::Clock::now();
       auto report = cluster.run(writes_per_node);
+      const double elapsed = bench::seconds_since(start);
       if (!report.is_ok()) {
         std::fprintf(stderr, "cluster run failed: %s\n",
                      report.status().to_string().c_str());
@@ -48,9 +51,8 @@ int main(int argc, char** argv) {
       }
       ok = ok && report->all_replicas_consistent;
       kb[i++] = static_cast<double>(report->fabric.payload_bytes) / 1024.0;
-      if (policy == ReplicationPolicy::kPrins && report->elapsed_sec > 0) {
-        writes_per_sec = static_cast<double>(report->total_writes) /
-                         report->elapsed_sec;
+      if (policy == ReplicationPolicy::kPrins && elapsed > 0) {
+        writes_per_sec = static_cast<double>(report->total_writes) / elapsed;
       }
     }
     std::printf("%-4u %-10u %16.1f %16.1f %13.1fx %12.0f %8s\n", r,
@@ -82,16 +84,17 @@ int main(int argc, char** argv) {
       config.pipeline_depth = depth;
       config.coalesce_writes = coalesce;
       SymmetricCluster cluster(config);
+      const auto start = bench::Clock::now();
       auto report = cluster.run(writes_per_node);
+      const double elapsed = bench::seconds_since(start);
       if (!report.is_ok()) {
         std::fprintf(stderr, "cluster run failed: %s\n",
                      report.status().to_string().c_str());
         return 1;
       }
       const double wps =
-          report->elapsed_sec > 0
-              ? static_cast<double>(report->total_writes) / report->elapsed_sec
-              : 0.0;
+          elapsed > 0 ? static_cast<double>(report->total_writes) / elapsed
+                      : 0.0;
       std::printf("%-16zu %-10s %12.0f %14llu %8s\n", depth,
                   coalesce ? "on" : "off", wps,
                   static_cast<unsigned long long>(report->fabric.messages),

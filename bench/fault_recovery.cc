@@ -9,7 +9,9 @@
 // recovery.
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.h"
 #include "block/mem_disk.h"
 #include "common/rng.h"
 #include "net/faulty.h"
@@ -35,6 +37,7 @@ bool devices_match(BlockDevice& a, BlockDevice& b) {
 
 struct RunResult {
   double writes_per_sec = 0;
+  bench::LatencySummary lat;
   std::uint64_t retries = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t auto_resyncs = 0;
@@ -90,19 +93,22 @@ RunResult run(std::uint64_t writes, double drop_p, double corrupt_p,
 
   Rng rng(42);
   Bytes block(kBs);
-  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> lat_us;
+  lat_us.reserve(writes);
+  const auto start = bench::Clock::now();
   bool writes_ok = true;
   for (std::uint64_t i = 0; i < writes; ++i) {
     rng.fill(block);
+    const auto begin = bench::Clock::now();
     writes_ok &= engine->write(rng.next_below(kBlocks), block).is_ok();
+    lat_us.push_back(bench::to_us(bench::Clock::now() - begin));
   }
   writes_ok &= engine->drain().is_ok();
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double elapsed = bench::seconds_since(start);
 
   const EngineMetrics metrics = engine->metrics();
   out.writes_per_sec = elapsed > 0 ? static_cast<double>(writes) / elapsed : 0;
+  out.lat = bench::summarize_latencies(lat_us);
   out.retries = metrics.retries;
   out.reconnects = metrics.reconnects;
   out.auto_resyncs = metrics.auto_resyncs;
@@ -127,14 +133,16 @@ int main(int argc, char** argv) {
   std::printf("=== Throughput vs message loss (1 replica, PRINS, %llu "
               "writes, 4 KB blocks, pipeline 8, coalescing on) ===\n\n",
               static_cast<unsigned long long>(writes));
-  std::printf("%-9s %-11s %12s %10s %10s %10s\n", "drop_p", "corrupt_p",
-              "writes/s", "retries", "converged", "ok");
+  std::printf("%-9s %-11s %12s %9s %9s %10s %10s %6s\n", "drop_p",
+              "corrupt_p", "writes/s", "p50 us", "p99 us", "retries",
+              "converged", "ok");
   const double drops[] = {0.0, 0.002, 0.005, 0.01, 0.02};
   for (const double drop : drops) {
     const double corrupt = drop / 2;
     const RunResult r = run(writes, drop, corrupt, /*disconnect_after=*/0);
-    std::printf("%-9.3f %-11.4f %12.0f %10llu %10s %10s\n", drop, corrupt,
-                r.writes_per_sec, static_cast<unsigned long long>(r.retries),
+    std::printf("%-9.3f %-11.4f %12.0f %9.1f %9.1f %10llu %10s %6s\n", drop,
+                corrupt, r.writes_per_sec, r.lat.p50_us, r.lat.p99_us,
+                static_cast<unsigned long long>(r.retries),
                 r.converged ? "yes" : "NO", r.ok ? "yes" : "NO");
   }
   std::printf("\neach dropped message costs one op_timeout plus a "
@@ -143,14 +151,14 @@ int main(int argc, char** argv) {
 
   std::printf("=== Hard disconnect mid-run, healed by the reconnect "
               "factory ===\n\n");
-  std::printf("%-16s %12s %10s %12s %12s %10s %6s\n", "cut after msg",
-              "writes/s", "retries", "reconnects", "auto_resyncs",
+  std::printf("%-16s %12s %9s %10s %12s %12s %10s %6s\n", "cut after msg",
+              "writes/s", "p99 us", "retries", "reconnects", "auto_resyncs",
               "converged", "ok");
   for (const std::uint64_t cut : {writes / 8, writes / 2}) {
     const RunResult r = run(writes, 0.002, 0.001, cut);
-    std::printf("%-16llu %12.0f %10llu %12llu %12llu %10s %6s\n",
+    std::printf("%-16llu %12.0f %9.1f %10llu %12llu %12llu %10s %6s\n",
                 static_cast<unsigned long long>(cut), r.writes_per_sec,
-                static_cast<unsigned long long>(r.retries),
+                r.lat.p99_us, static_cast<unsigned long long>(r.retries),
                 static_cast<unsigned long long>(r.reconnects),
                 static_cast<unsigned long long>(r.auto_resyncs),
                 r.converged ? "yes" : "NO", r.ok ? "yes" : "NO");

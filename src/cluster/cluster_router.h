@@ -1,0 +1,198 @@
+// ClusterRouter: the PG-aware client router.
+//
+// A BlockDevice decorator that presents one volume striped across N
+// primaries by placement group.  Every I/O computes pg = mix64(lba) & mask
+// against the router's current PgMap, splits multi-block spans at PG
+// boundaries (hashed placement makes consecutive LBAs land in different
+// groups, so a span becomes per-PG runs), and routes each run to the
+// group's owning primary through that node's PgBackend.
+//
+// Self-correction: every outbound frame is stamped with the router's map
+// epoch.  A node that no longer (or never did) own the run's PG answers
+// kWrongPg; a fenced or dead node surfaces as kFailedPrecondition /
+// kUnavailable.  Either way the router pulls the newest map from its
+// MapSource, adopts it if the epoch advanced, and retries the run against
+// the new owner — with exponential backoff while the control plane is
+// still mid-promotion, so a node kill under load converges instead of
+// failing the I/O.
+//
+// Backends: WireBackend speaks kClientWriteRequest / kClientReadRequest
+// over a small pool of per-node connections (any Transport — TCP,
+// reactor-hosted TCP, or in-process pairs), picking the least-loaded
+// connection per exchange.  The serving node composes with ReadRouter
+// internally (reads on an offload-enabled node fan out to that PG's
+// mirrors), so the router stacks on top of every prior layer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "block/block_device.h"
+#include "cluster/pg_map.h"
+#include "net/transport.h"
+#include "prins/message.h"
+
+namespace prins::cluster {
+
+/// One node's client-I/O endpoint from the router's perspective.  A span
+/// handed to a backend lies entirely inside one placement group.
+///
+/// Error vocabulary the router retries on (after refreshing its map):
+///   kFailedPrecondition  — kWrongPg / kStaleEpoch: ownership moved
+///   kUnavailable/kTimeout — node or connection dead, or PG mid-migration
+/// Anything else fails the I/O immediately.
+class PgBackend {
+ public:
+  virtual ~PgBackend() = default;
+
+  virtual Status write(std::uint64_t lba, ByteSpan data,
+                       std::uint64_t map_epoch) = 0;
+  virtual Status read(std::uint64_t lba, MutByteSpan out,
+                      std::uint64_t map_epoch) = 0;
+  virtual Status flush() = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// PgBackend over pooled connections to a node's client-frame listener.
+class WireBackend final : public PgBackend {
+ public:
+  /// Builds one connection on demand (the pool fills lazily and replaces
+  /// dead connections on the next exchange).
+  using Connector = std::function<Result<std::unique_ptr<Transport>>()>;
+
+  WireBackend(std::string node_id, Connector connect, std::size_t pool_size,
+              std::chrono::milliseconds op_timeout);
+  ~WireBackend() override;
+
+  Status write(std::uint64_t lba, ByteSpan data,
+               std::uint64_t map_epoch) override;
+  Status read(std::uint64_t lba, MutByteSpan out,
+              std::uint64_t map_epoch) override;
+  Status flush() override { return Status::ok(); }
+  std::string describe() const override;
+
+ private:
+  struct Conn {
+    std::mutex mutex;  // one request/reply exchange on the wire at a time
+    std::unique_ptr<Transport> transport;       // null until first use
+    std::atomic<std::size_t> outstanding{0};    // exchanges queued/in flight
+  };
+
+  /// Least-outstanding connection (ties broken round-robin).
+  Conn& pick();
+  /// Run one request/reply exchange; reconnects a dead slot once.
+  Status exchange(const ReplicationMessage& request, ByteSpan data,
+                  MessageKind expect, ReplicationMessage* reply);
+  Status exchange_once(Conn& conn, const ReplicationMessage& request,
+                       ByteSpan data, MessageKind expect,
+                       ReplicationMessage* reply);
+
+  const std::string node_id_;
+  const Connector connect_;
+  const std::chrono::milliseconds op_timeout_;
+  std::vector<std::unique_ptr<Conn>> pool_;
+  std::atomic<std::uint64_t> rr_cursor_{0};
+  std::atomic<std::uint64_t> next_exchange_{1};
+};
+
+struct ClusterRouterConfig {
+  /// Map-refresh + retry rounds per run before the I/O fails.  Promotion
+  /// and migration windows are covered by the backoff schedule below
+  /// (~1.5 s total at the defaults).
+  std::size_t max_retries = 24;
+  std::chrono::milliseconds retry_backoff{2};   // doubles per round ...
+  std::chrono::milliseconds max_backoff{100};   // ... up to this cap
+};
+
+struct RouterMetrics {
+  std::uint64_t reads = 0;               // block reads routed
+  std::uint64_t writes = 0;              // block writes routed
+  std::uint64_t span_splits = 0;         // multi-block I/Os split at PG
+                                         //   boundaries (extra runs issued)
+  std::uint64_t wrong_pg_retries = 0;    // kWrongPg / fenced-run retries
+  std::uint64_t unavailable_retries = 0; // dead-node / mid-cutover retries
+  std::uint64_t map_refreshes = 0;       // newer map epochs adopted
+  std::uint64_t map_epoch = 0;           // current map epoch
+};
+
+class ClusterRouter final : public BlockDevice {
+ public:
+  /// Pulls the newest map after a routing failure; may return null or the
+  /// same epoch (the router then backs off and retries).
+  using MapSource = std::function<std::shared_ptr<const PgMap>()>;
+
+  ClusterRouter(std::uint32_t block_size, std::uint64_t num_blocks,
+                std::shared_ptr<const PgMap> map, MapSource refresh,
+                ClusterRouterConfig config = {});
+
+  /// Register the backend serving `node_id`.  Add every node before the
+  /// first I/O; a map entry without a backend is treated as unavailable
+  /// (unless a backend source resolves it — see set_backend_source).
+  void add_node(const std::string& node_id, std::shared_ptr<PgBackend> backend);
+
+  /// Lazy backend construction for nodes that join after the router was
+  /// built: when a refreshed map names a node with no registered backend,
+  /// the source is asked once and the result cached.  Returning null
+  /// means "unknown node" (the run stays unavailable and retries).
+  using BackendSource =
+      std::function<std::shared_ptr<PgBackend>(const std::string& node_id)>;
+  void set_backend_source(BackendSource source);
+
+  std::uint32_t block_size() const override { return block_size_; }
+  std::uint64_t num_blocks() const override { return num_blocks_; }
+  Status read(Lba lba, MutByteSpan out) override;
+  Status write(Lba lba, ByteSpan data) override;
+  Status flush() override;
+  std::string describe() const override;
+
+  RouterMetrics metrics() const;
+  /// Block I/Os routed per placement group (index = PgId); the per-PG
+  /// stats surface (prinsctl cluster --stats).
+  std::vector<std::uint64_t> pg_op_counts() const;
+  std::uint64_t map_epoch() const;
+  std::shared_ptr<const PgMap> map() const;
+
+ private:
+  /// Route one single-PG run, refreshing the map and retrying per config.
+  Status route_run(bool is_write, Lba lba, MutByteSpan read_out,
+                   ByteSpan write_data);
+  /// Split [lba, lba + blocks) into per-PG runs and route each.
+  Status run_spans(bool is_write, Lba lba, std::size_t blocks,
+                   MutByteSpan read_out, ByteSpan write_data);
+  std::shared_ptr<const PgMap> current_map() const;
+  /// Adopt a newer map from the source; true if the epoch advanced.
+  bool refresh_map();
+  /// Backend registered (or lazily resolved) for `node_id`; null if none.
+  std::shared_ptr<PgBackend> backend_for(const std::string& node_id);
+
+  const std::uint32_t block_size_;
+  const std::uint64_t num_blocks_;
+  const ClusterRouterConfig config_;
+  const MapSource refresh_;
+
+  mutable std::mutex map_mutex_;
+  std::shared_ptr<const PgMap> map_;
+
+  // Guarded by map_mutex_ (mutable after construction: joins add nodes).
+  std::unordered_map<std::string, std::shared_ptr<PgBackend>> backends_;
+  BackendSource backend_source_;
+
+  // Counters are relaxed atomics: the hot path updates them lock-free.
+  mutable std::atomic<std::uint64_t> reads_{0};
+  mutable std::atomic<std::uint64_t> writes_{0};
+  mutable std::atomic<std::uint64_t> span_splits_{0};
+  mutable std::atomic<std::uint64_t> wrong_pg_retries_{0};
+  mutable std::atomic<std::uint64_t> unavailable_retries_{0};
+  mutable std::atomic<std::uint64_t> map_refreshes_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> pg_ops_;  // pg_count slots
+  std::uint32_t pg_count_ = 0;
+};
+
+}  // namespace prins::cluster

@@ -1,0 +1,290 @@
+#include "cluster/pg_map.h"
+
+#include <algorithm>
+
+#include "common/crc32c.h"
+#include "common/endian.h"
+
+namespace prins::cluster {
+namespace {
+
+constexpr Byte kMagic[4] = {'P', 'G', 'm', '1'};
+
+/// Rendezvous score of `node` for `salt`.  The node hash avalanches
+/// through mix64 against the salt so one node's scores across salts are
+/// uncorrelated (the property that spreads PGs evenly).
+std::uint64_t score(const std::string& node, std::uint64_t salt) {
+  return mix64(fnv1a64(as_bytes(node)) ^ mix64(salt + 0x9e3779b97f4a7c15ull));
+}
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void append_id(Bytes& out, const std::string& id) {
+  append_le16(out, static_cast<std::uint16_t>(id.size()));
+  append(out, as_bytes(id));
+}
+
+/// The per-primary replacement mirror after `dead` fails: every PG of one
+/// primary backfills the same survivor, so the primary's engine re-points
+/// its single dead link instead of needing per-PG link surgery.
+std::string replacement_for(const std::vector<std::string>& survivors,
+                            const std::string& primary) {
+  const auto ranked = PgMap::rank(survivors, fnv1a64(as_bytes(primary)));
+  for (const auto& node : ranked) {
+    if (node != primary) return node;
+  }
+  return {};
+}
+
+}  // namespace
+
+bool PgMap::has_node(const std::string& id) const {
+  return std::find(nodes_.begin(), nodes_.end(), id) != nodes_.end();
+}
+
+std::vector<std::string> PgMap::rank(const std::vector<std::string>& nodes,
+                                     std::uint64_t salt) {
+  std::vector<std::string> out = nodes;
+  std::sort(out.begin(), out.end(),
+            [salt](const std::string& a, const std::string& b) {
+              const std::uint64_t sa = score(a, salt);
+              const std::uint64_t sb = score(b, salt);
+              if (sa != sb) return sa > sb;
+              return a < b;  // total order even on (vanishing) score ties
+            });
+  return out;
+}
+
+PgMap PgMap::build(std::vector<std::string> nodes, PgMapConfig config,
+                   std::uint64_t epoch) {
+  PgMap map;
+  map.epoch_ = epoch;
+  map.pg_count_ = round_up_pow2(std::max<std::uint32_t>(config.pg_count, 1));
+  map.mirror_target_ = config.mirrors;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  map.nodes_ = std::move(nodes);
+  map.pgs_.resize(map.pg_count_);
+  for (PgId pg = 0; pg < map.pg_count_; ++pg) {
+    const auto ranked = rank(map.nodes_, pg);
+    PgAssignment& a = map.pgs_[pg];
+    if (ranked.empty()) continue;
+    a.primary = ranked[0];
+    const std::size_t want = std::min<std::size_t>(
+        map.mirror_target_, ranked.size() > 0 ? ranked.size() - 1 : 0);
+    a.mirrors.assign(ranked.begin() + 1, ranked.begin() + 1 + want);
+  }
+  return map;
+}
+
+PgMap PgMap::with_failed(const std::string& node) const {
+  PgMap next = *this;
+  next.epoch_ = epoch_ + 1;
+  next.nodes_.erase(std::remove(next.nodes_.begin(), next.nodes_.end(), node),
+                    next.nodes_.end());
+  for (PgId pg = 0; pg < next.pg_count_; ++pg) {
+    PgAssignment& a = next.pgs_[pg];
+    const bool mirrored_here =
+        std::find(a.mirrors.begin(), a.mirrors.end(), node) != a.mirrors.end();
+    a.mirrors.erase(std::remove(a.mirrors.begin(), a.mirrors.end(), node),
+                    a.mirrors.end());
+    if (a.primary == node) {
+      // Promote the first surviving mirror — the heir is guaranteed to
+      // hold every acknowledged byte of this PG.  No mirror left means the
+      // data died with its owners.
+      if (a.mirrors.empty()) {
+        a.primary.clear();
+        continue;
+      }
+      a.primary = a.mirrors.front();
+      a.mirrors.erase(a.mirrors.begin());
+      // Fresh rendezvous mirrors for the moved PG; the promoted engine
+      // wires them from scratch and seeds them with the PG's blocks.
+      const auto ranked = rank(next.nodes_, pg);
+      for (const auto& candidate : ranked) {
+        if (a.mirrors.size() >= mirror_target_) break;
+        if (candidate == a.primary) continue;
+        if (std::find(a.mirrors.begin(), a.mirrors.end(), candidate) !=
+            a.mirrors.end()) {
+          continue;
+        }
+        a.mirrors.push_back(candidate);
+      }
+    } else if (mirrored_here && !a.primary.empty()) {
+      // The PG lost a mirror but not its primary: backfill the primary's
+      // per-node replacement (see replacement_for) unless it already
+      // mirrors this PG — then the PG simply runs one mirror short.
+      const std::string repl = replacement_for(next.nodes_, a.primary);
+      if (!repl.empty() && repl != a.primary &&
+          std::find(a.mirrors.begin(), a.mirrors.end(), repl) ==
+              a.mirrors.end()) {
+        a.mirrors.push_back(repl);
+      }
+    }
+  }
+  return next;
+}
+
+PgMap PgMap::with_joined(const std::string& node) const {
+  PgMap next = *this;
+  next.epoch_ = epoch_ + 1;
+  if (!next.has_node(node)) {
+    next.nodes_.insert(
+        std::upper_bound(next.nodes_.begin(), next.nodes_.end(), node), node);
+  }
+  for (PgId pg = 0; pg < next.pg_count_; ++pg) {
+    PgAssignment& a = next.pgs_[pg];
+    const auto ranked = rank(next.nodes_, pg);
+    if (ranked.empty() || ranked[0] != node || a.primary == node) continue;
+    // The joiner tops this PG's ranking: take it over.  The old primary
+    // demotes to first mirror — it already holds every byte, so the only
+    // data movement is the copy to the new owner.
+    if (!a.primary.empty()) {
+      a.mirrors.insert(a.mirrors.begin(), a.primary);
+    }
+    if (a.mirrors.size() > mirror_target_) a.mirrors.resize(mirror_target_);
+    a.primary = node;
+  }
+  return next;
+}
+
+std::vector<PgId> PgMap::moved_primaries(const PgMap& before,
+                                         const PgMap& after) {
+  std::vector<PgId> moved;
+  const PgId n = std::min(before.pg_count(), after.pg_count());
+  for (PgId pg = 0; pg < n; ++pg) {
+    if (before.assignment(pg).primary != after.assignment(pg).primary) {
+      moved.push_back(pg);
+    }
+  }
+  return moved;
+}
+
+Bytes PgMap::serialize() const {
+  Bytes out;
+  append(out, kMagic);
+  append_le64(out, epoch_);
+  append_le32(out, pg_count_);
+  append_le32(out, mirror_target_);
+  append_le32(out, static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& node : nodes_) append_id(out, node);
+  for (const auto& a : pgs_) {
+    append_id(out, a.primary);
+    out.push_back(static_cast<Byte>(a.mirrors.size()));
+    for (const auto& m : a.mirrors) append_id(out, m);
+  }
+  append_le32(out, crc32c(out));
+  return out;
+}
+
+namespace {
+
+struct Cursor {
+  ByteSpan wire;
+  std::size_t pos = 0;
+
+  bool need(std::size_t n) const { return wire.size() - pos >= n; }
+  std::uint64_t u64() {
+    const std::uint64_t v = load_le64(wire.subspan(pos, 8));
+    pos += 8;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t v = load_le32(wire.subspan(pos, 4));
+    pos += 4;
+    return v;
+  }
+  Result<std::string> id() {
+    if (!need(2)) return corruption("truncated PgMap id length");
+    const std::uint16_t len = load_le16(wire.subspan(pos, 2));
+    pos += 2;
+    if (!need(len)) return corruption("truncated PgMap id");
+    std::string out(reinterpret_cast<const char*>(wire.data() + pos), len);
+    pos += len;
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<PgMap> PgMap::parse(ByteSpan wire) {
+  if (wire.size() < 4 + 8 + 4 + 4 + 4 + 4) {
+    return corruption("PgMap wire too short");
+  }
+  if (!std::equal(kMagic, kMagic + 4, wire.begin())) {
+    return corruption("bad PgMap magic");
+  }
+  const std::uint32_t stored_crc = load_le32(wire.subspan(wire.size() - 4, 4));
+  if (crc32c(wire.subspan(0, wire.size() - 4)) != stored_crc) {
+    return corruption("PgMap crc mismatch");
+  }
+  Cursor c{wire.subspan(0, wire.size() - 4), 4};
+  PgMap map;
+  map.epoch_ = c.u64();
+  map.pg_count_ = c.u32();
+  map.mirror_target_ = c.u32();
+  if (map.pg_count_ == 0 || (map.pg_count_ & (map.pg_count_ - 1)) != 0 ||
+      map.pg_count_ > (1u << 20)) {
+    return corruption("bad PgMap pg_count");
+  }
+  const std::uint32_t node_count = c.u32();
+  if (node_count > (1u << 16)) return corruption("bad PgMap node count");
+  map.nodes_.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    PRINS_ASSIGN_OR_RETURN(std::string id, c.id());
+    map.nodes_.push_back(std::move(id));
+  }
+  map.pgs_.resize(map.pg_count_);
+  for (PgId pg = 0; pg < map.pg_count_; ++pg) {
+    PgAssignment& a = map.pgs_[pg];
+    PRINS_ASSIGN_OR_RETURN(a.primary, c.id());
+    if (!c.need(1)) return corruption("truncated PgMap mirror count");
+    const std::uint8_t mirrors = static_cast<std::uint8_t>(c.wire[c.pos++]);
+    a.mirrors.reserve(mirrors);
+    for (std::uint8_t m = 0; m < mirrors; ++m) {
+      PRINS_ASSIGN_OR_RETURN(std::string id, c.id());
+      a.mirrors.push_back(std::move(id));
+    }
+  }
+  if (c.pos != c.wire.size()) return corruption("trailing PgMap bytes");
+  return map;
+}
+
+bool PgMap::operator==(const PgMap& other) const {
+  if (epoch_ != other.epoch_ || pg_count_ != other.pg_count_ ||
+      mirror_target_ != other.mirror_target_ || nodes_ != other.nodes_) {
+    return false;
+  }
+  for (PgId pg = 0; pg < pg_count_; ++pg) {
+    if (pgs_[pg].primary != other.pgs_[pg].primary ||
+        pgs_[pg].mirrors != other.pgs_[pg].mirrors) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> pg_lbas(const PgMap& map, PgId pg,
+                                   std::uint64_t num_blocks) {
+  return pg_lbas(map, std::vector<PgId>{pg}, num_blocks);
+}
+
+std::vector<std::uint64_t> pg_lbas(const PgMap& map,
+                                   const std::vector<PgId>& pgs,
+                                   std::uint64_t num_blocks) {
+  std::vector<bool> wanted(map.pg_count(), false);
+  for (PgId pg : pgs) {
+    if (pg < map.pg_count()) wanted[pg] = true;
+  }
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t lba = 0; lba < num_blocks; ++lba) {
+    if (wanted[map.pg_of(lba)]) out.push_back(lba);
+  }
+  return out;
+}
+
+}  // namespace prins::cluster

@@ -1,0 +1,122 @@
+// PgMap: versioned placement-group → node maps.
+//
+// The cluster stripes the LBA space across primaries by placement group:
+// pg = mix64(lba) & (pg_count - 1).  A PgMap assigns every PG a primary
+// node and an ordered mirror list (mirrors[0] is the promotion heir), and
+// carries a monotonically increasing epoch so a map change is a fenced
+// cutover: every client I/O frame is stamped with the sender's map epoch,
+// and a node that no longer owns the frame's PG answers kWrongPg with its
+// own epoch, forcing the stale client to refresh before retrying.
+//
+// The genesis map is pure rendezvous (HRW) hashing: every party holding
+// the same node list and PgMapConfig computes byte-identical assignments,
+// so a client can bootstrap its map without talking to anyone.  Later
+// epochs evolve by *deltas*, not re-hashes — with_failed() moves only the
+// dead node's PGs (to their first surviving mirror, which holds the data)
+// and with_joined() moves only the PGs the new node wins outright — the
+// same versioned-state-machine treatment real cluster maps get, because a
+// pure re-hash at every event would reassign PGs to nodes that never
+// received their writes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace prins::cluster {
+
+using PgId = std::uint32_t;
+
+/// One placement group's placement.  An empty primary means every copy of
+/// the group's data died with its owners (nothing serves it).
+struct PgAssignment {
+  std::string primary;
+  /// Ordered by rendezvous score: mirrors[0] is promoted when the primary
+  /// fails.  May run short of PgMapConfig::mirrors when the cluster is
+  /// too small or failures exhausted the candidates.
+  std::vector<std::string> mirrors;
+};
+
+struct PgMapConfig {
+  /// Placement groups; rounded up to a power of two (pg_of masks).
+  std::uint32_t pg_count = 64;
+  /// Mirrors per PG (clamped to nodes - 1).
+  std::uint32_t mirrors = 1;
+};
+
+class PgMap {
+ public:
+  PgMap() = default;
+
+  /// Genesis map: rendezvous-hash every PG over `nodes` at `epoch`.
+  /// Deterministic in (nodes, config) — node order does not matter.
+  static PgMap build(std::vector<std::string> nodes, PgMapConfig config,
+                     std::uint64_t epoch = 1);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint32_t pg_count() const { return pg_count_; }
+  std::uint32_t pg_mask() const { return pg_count_ - 1; }
+  std::uint32_t mirror_target() const { return mirror_target_; }
+
+  PgId pg_of(std::uint64_t lba) const {
+    return static_cast<PgId>(mix64(lba) & pg_mask());
+  }
+
+  const PgAssignment& assignment(PgId pg) const { return pgs_[pg]; }
+  /// Alive nodes at this epoch, sorted by id.
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  bool has_node(const std::string& id) const;
+
+  /// Successor map at epoch + 1 after `node` fail-stops.  Its PGs promote
+  /// their first surviving mirror to primary and backfill replacement
+  /// mirrors by rendezvous over the survivors; PGs it merely mirrored get
+  /// one replacement mirror chosen per-primary (every PG of one primary
+  /// backfills the same node, so the primary's engine can re-point the
+  /// single dead link).
+  PgMap with_failed(const std::string& node) const;
+
+  /// Successor map at epoch + 1 after `node` joins.  The node takes over
+  /// exactly the PGs it tops by rendezvous score (~1/n of them); each
+  /// moved PG demotes its old primary to mirrors[0] — the old primary
+  /// already holds every byte, so the new placement needs no reseeding
+  /// beyond copying the data to the new owner.
+  PgMap with_joined(const std::string& node) const;
+
+  /// PGs whose primary differs between `before` and `after`.
+  static std::vector<PgId> moved_primaries(const PgMap& before,
+                                           const PgMap& after);
+
+  /// Rendezvous ranking of `nodes` for `pg`, highest score first.
+  static std::vector<std::string> rank(const std::vector<std::string>& nodes,
+                                       std::uint64_t salt);
+
+  /// Wire form: magic, epoch, config, node list, per-PG assignments,
+  /// trailing crc32c.  parse() round-trips serialize() exactly.
+  Bytes serialize() const;
+  static Result<PgMap> parse(ByteSpan wire);
+
+  bool operator==(const PgMap& other) const;
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint32_t pg_count_ = 0;
+  std::uint32_t mirror_target_ = 0;
+  std::vector<std::string> nodes_;
+  std::vector<PgAssignment> pgs_;
+};
+
+/// Every LBA of `pg` on a device of `num_blocks` blocks (the pg_of
+/// preimage; O(num_blocks)).  The seeding/migration block lists.
+std::vector<std::uint64_t> pg_lbas(const PgMap& map, PgId pg,
+                                   std::uint64_t num_blocks);
+
+/// Union of pg_lbas over `pgs` in one device scan, ascending.
+std::vector<std::uint64_t> pg_lbas(const PgMap& map,
+                                   const std::vector<PgId>& pgs,
+                                   std::uint64_t num_blocks);
+
+}  // namespace prins::cluster

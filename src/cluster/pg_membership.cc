@@ -1,0 +1,783 @@
+#include "cluster/pg_membership.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "codec/codec.h"
+#include "common/endian.h"
+#include "net/inproc.h"
+#include "prins/message.h"
+#include "prins/read_router.h"
+
+namespace prins::cluster {
+namespace {
+
+/// Union of the mirror lists of `pgs` under `map`, excluding `owner`,
+/// sorted for deterministic attach order.  The grant replicates every
+/// write to all of these, which is what keeps any single mirror a valid
+/// promotion heir for every PG of the grant.
+std::vector<std::string> mirror_union(const PgMap& map,
+                                      const std::vector<PgId>& pgs,
+                                      const std::string& owner) {
+  std::set<std::string> nodes;
+  for (PgId pg : pgs) {
+    for (const auto& m : map.assignment(pg).mirrors) {
+      if (m != owner) nodes.insert(m);
+    }
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+void merge_metrics(EngineMetrics& into, const EngineMetrics& from) {
+  into.writes += from.writes;
+  into.raw_bytes += from.raw_bytes;
+  into.payload_bytes += from.payload_bytes;
+  into.message_bytes += from.message_bytes;
+  into.acks += from.acks;
+  into.payload_sizes.merge(from.payload_sizes);
+  into.dirty_bytes.merge(from.dirty_bytes);
+  into.retries += from.retries;
+  into.reconnects += from.reconnects;
+  into.auto_resyncs += from.auto_resyncs;
+  into.nak_full_repairs += from.nak_full_repairs;
+  into.scrub_passes += from.scrub_passes;
+  into.scrub_corruptions += from.scrub_corruptions;
+  into.scrub_repaired += from.scrub_repaired;
+  into.scrub_quarantined += from.scrub_quarantined;
+  into.cluster_epoch = std::max(into.cluster_epoch, from.cluster_epoch);
+  into.stale_epoch_naks += from.stale_epoch_naks;
+  into.journal_frozen = std::max(into.journal_frozen, from.journal_frozen);
+  into.journal_watermark =
+      std::max(into.journal_watermark, from.journal_watermark);
+  into.journal_pending += from.journal_pending;
+  into.journal_pending_bytes += from.journal_pending_bytes;
+  into.journal_spills += from.journal_spills;
+  into.replica_reads += from.replica_reads;
+  into.stale_read_retries += from.stale_read_retries;
+  into.read_conflicts_local += from.read_conflicts_local;
+}
+
+}  // namespace
+
+/// PgBackend that skips the wire but runs the identical ownership checks
+/// (make_router(wire=false)); the single-process bench/test configuration.
+class LocalNodeBackend final : public PgBackend {
+ public:
+  LocalNodeBackend(PgMembership* membership, std::string node_id)
+      : membership_(membership), node_id_(std::move(node_id)) {}
+
+  Status write(std::uint64_t lba, ByteSpan data, std::uint64_t) override {
+    return membership_->client_write(node_id_, lba, data);
+  }
+  Status read(std::uint64_t lba, MutByteSpan out, std::uint64_t) override {
+    return membership_->client_read(node_id_, lba, out);
+  }
+  Status flush() override { return Status::ok(); }
+  std::string describe() const override {
+    return "local-backend(" + node_id_ + ")";
+  }
+
+ private:
+  PgMembership* membership_;
+  const std::string node_id_;
+};
+
+PgMembership::PgMembership(DeviceFactory make_device, MembershipConfig config)
+    : make_device_(std::move(make_device)), config_(std::move(config)) {}
+
+PgMembership::~PgMembership() { stop(); }
+
+Status PgMembership::add_node(const std::string& id) {
+  std::lock_guard admin(admin_mutex_);
+  if (started_) return failed_precondition("cluster already started");
+  if (id.empty()) return invalid_argument("empty node id");
+  std::lock_guard state(state_mutex_);
+  if (nodes_.count(id) != 0) return already_exists("node " + id);
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->device = make_device_(id);
+  if (!node->device) return internal_error("device factory returned null");
+  if (block_size_ == 0) {
+    block_size_ = node->device->block_size();
+    num_blocks_ = node->device->num_blocks();
+  } else if (node->device->block_size() != block_size_ ||
+             node->device->num_blocks() != num_blocks_) {
+    return invalid_argument("node " + id + " device geometry differs");
+  }
+  node->alive = true;
+  nodes_[id] = std::move(node);
+  return Status::ok();
+}
+
+Status PgMembership::attach_mirror(OwnedEngine& grant,
+                                   const std::string& mirror_node,
+                                   std::uint64_t epoch) {
+  const auto it = nodes_.find(mirror_node);
+  if (it == nodes_.end() || !it->second->alive) {
+    return unavailable("mirror node " + mirror_node + " not alive");
+  }
+  MirrorSession session;
+  session.node = mirror_node;
+  ReplicaConfig rc = config_.replica;
+  rc.cluster_epoch = epoch;
+  // Trap-logged mirrors: a later promotion moves the CDP log into the
+  // successor engine, so surviving peers can be caught up with deltas.
+  rc.keep_trap_log = true;
+  session.replica =
+      std::make_shared<ReplicaEngine>(it->second->device, rc);
+  auto [client_end, serve_end] = make_inproc_pair(config_.inproc_capacity);
+  session.serve_end = std::move(serve_end);
+  session.serve_thread =
+      std::thread([replica = session.replica, end = session.serve_end] {
+        (void)replica->serve(*end);
+      });
+  grant.engine->add_replica(std::move(client_end));
+  if (config_.read_offload) {
+    auto [read_client, read_serve] = make_inproc_pair(config_.inproc_capacity);
+    session.read_serve_end = std::move(read_serve);
+    session.read_serve_thread =
+        std::thread([replica = session.replica, end = session.read_serve_end] {
+          (void)replica->serve(*end);
+        });
+    // The grant's ReadRouter is built after every mirror attaches; park
+    // the client end on the session until wire_grant collects it.
+    session.pending_read_link = std::move(read_client);
+  }
+  grant.mirrors.push_back(std::move(session));
+  return Status::ok();
+}
+
+Result<std::unique_ptr<PgMembership::OwnedEngine>> PgMembership::wire_grant(
+    const PgMap& map, const std::string& owner, std::vector<PgId> pgs,
+    std::unique_ptr<PrinsEngine> promoted) {
+  const auto owner_it = nodes_.find(owner);
+  if (owner_it == nodes_.end()) return not_found("owner node " + owner);
+  auto grant = std::make_unique<OwnedEngine>();
+  grant->pgs = std::move(pgs);
+  if (promoted) {
+    grant->engine = std::move(promoted);
+  } else {
+    EngineConfig cfg = config_.engine;
+    cfg.cluster_epoch = map.epoch();
+    cfg.read_from_replicas = config_.read_offload;
+    grant->engine =
+        std::make_shared<PrinsEngine>(owner_it->second->device, cfg);
+  }
+  for (const auto& mirror : mirror_union(map, grant->pgs, owner)) {
+    PRINS_RETURN_IF_ERROR(attach_mirror(*grant, mirror, map.epoch()));
+  }
+  if (config_.read_offload && !grant->mirrors.empty()) {
+    auto router = std::make_shared<ReadRouter>(grant->engine);
+    for (auto& session : grant->mirrors) {
+      if (session.pending_read_link) {
+        router->add_read_replica(std::move(session.pending_read_link));
+      }
+    }
+    grant->read_device = std::move(router);
+  } else {
+    grant->read_device = grant->engine;
+  }
+  return grant;
+}
+
+Status PgMembership::start() {
+  std::lock_guard admin(admin_mutex_);
+  if (started_) return failed_precondition("cluster already started");
+  std::vector<std::string> ids;
+  {
+    std::lock_guard state(state_mutex_);
+    for (const auto& [id, node] : nodes_) ids.push_back(id);
+  }
+  if (ids.empty()) return failed_precondition("no nodes registered");
+  auto map =
+      std::make_shared<const PgMap>(PgMap::build(ids, config_.map, /*epoch=*/1));
+  // One genesis grant per owning node.  Devices start byte-identical, so
+  // every mirror already agrees with its primary — no seeding.
+  for (const auto& id : ids) {
+    std::vector<PgId> owned;
+    for (PgId pg = 0; pg < map->pg_count(); ++pg) {
+      if (map->assignment(pg).primary == id) owned.push_back(pg);
+    }
+    if (owned.empty()) continue;
+    PRINS_ASSIGN_OR_RETURN(std::unique_ptr<OwnedEngine> grant,
+                           wire_grant(*map, id, std::move(owned), nullptr));
+    std::lock_guard state(state_mutex_);
+    nodes_[id]->engines.push_back(std::move(grant));
+  }
+  std::lock_guard state(state_mutex_);
+  map_ = std::move(map);
+  started_ = true;
+  return Status::ok();
+}
+
+void PgMembership::join_grant_threads(OwnedEngine& grant) {
+  for (auto& session : grant.mirrors) {
+    if (session.serve_thread.joinable()) session.serve_thread.join();
+    if (session.read_serve_thread.joinable()) session.read_serve_thread.join();
+  }
+}
+
+void PgMembership::stop_node_locked(Node& node) {
+  node.alive = false;
+  for (auto& session : node.sessions) {
+    if (session.serve_end) session.serve_end->close();
+  }
+  for (auto& session : node.sessions) {
+    if (session.thread.joinable()) session.thread.join();
+  }
+  node.sessions.clear();
+  for (auto& grant : node.engines) {
+    grant->read_device.reset();  // the ReadRouter closes its read links
+    grant->engine.reset();       // the engine closes its replica links
+    join_grant_threads(*grant);
+  }
+  node.engines.clear();
+}
+
+void PgMembership::stop() {
+  std::lock_guard admin(admin_mutex_);
+  for (auto& [id, node] : nodes_) stop_node_locked(*node);
+  std::lock_guard state(state_mutex_);
+  nodes_.clear();
+  migrating_.clear();
+  started_ = false;
+  block_size_ = 0;
+  num_blocks_ = 0;
+}
+
+Status PgMembership::fail_node(const std::string& id) {
+  std::lock_guard admin(admin_mutex_);
+  Node* dead = nullptr;
+  std::shared_ptr<const PgMap> old_map;
+  {
+    std::lock_guard state(state_mutex_);
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) return not_found("node " + id);
+    if (!it->second->alive) return failed_precondition(id + " already dead");
+    it->second->alive = false;  // serving bounces kUnavailable from here on
+    dead = it->second.get();
+    old_map = map_;
+  }
+  // Fail-stop the node: unwind its client sessions and its engines (which
+  // closes its outbound replication links), but KEEP the grants' mirror
+  // sessions — their ReplicaEngines hold the promotion state.
+  for (auto& session : dead->sessions) {
+    if (session.serve_end) session.serve_end->close();
+  }
+  for (auto& session : dead->sessions) {
+    if (session.thread.joinable()) session.thread.join();
+  }
+  dead->sessions.clear();
+  for (auto& grant : dead->engines) {
+    grant->read_device.reset();
+    grant->engine.reset();
+    join_grant_threads(*grant);
+  }
+
+  const PgMap successor = old_map->with_failed(id);
+  auto new_map = std::make_shared<const PgMap>(successor);
+
+  // Promote each moved PG's heir.  Moved PGs group by (dead grant, heir):
+  // the heir's mirror session inside that grant holds every byte the
+  // grant ever replicated, so promoting it yields a valid successor
+  // engine for all of the grant's PGs that the map handed to this heir.
+  const std::vector<PgId> moved = PgMap::moved_primaries(*old_map, *new_map);
+  for (auto& grant : dead->engines) {
+    std::map<std::string, std::vector<PgId>> by_heir;
+    for (PgId pg : moved) {
+      if (std::find(grant->pgs.begin(), grant->pgs.end(), pg) ==
+          grant->pgs.end()) {
+        continue;
+      }
+      const std::string& heir = new_map->assignment(pg).primary;
+      if (heir.empty()) continue;  // every copy died with its owners
+      by_heir[heir].push_back(pg);
+    }
+    for (auto& [heir, pgs] : by_heir) {
+      auto session =
+          std::find_if(grant->mirrors.begin(), grant->mirrors.end(),
+                       [&](const MirrorSession& s) { return s.node == heir; });
+      if (session == grant->mirrors.end()) {
+        return internal_error("heir " + heir + " has no mirror session");
+      }
+      EngineConfig cfg = config_.engine;
+      cfg.cluster_epoch = new_map->epoch();
+      cfg.read_from_replicas = config_.read_offload;
+      PRINS_ASSIGN_OR_RETURN(std::unique_ptr<PrinsEngine> engine,
+                             session->replica->promote(cfg));
+      PRINS_ASSIGN_OR_RETURN(
+          std::unique_ptr<OwnedEngine> new_grant,
+          wire_grant(*new_map, heir, pgs, std::move(engine)));
+      // Seed the fresh mirrors with exactly the grant's blocks — a
+      // device-wide sync would clobber blocks the mirror owns itself.
+      if (!new_grant->mirrors.empty()) {
+        PRINS_RETURN_IF_ERROR(new_grant->engine->sync_blocks(
+            pg_lbas(*new_map, new_grant->pgs, num_blocks_)));
+      }
+      std::lock_guard state(state_mutex_);
+      nodes_[heir]->engines.push_back(std::move(new_grant));
+    }
+  }
+  dead->engines.clear();
+
+  // Re-mirror survivors: every live grant that replicated into the dead
+  // node re-points that one link at the map's replacement node and seeds
+  // it, or — when no replacement exists — rebuilds without the link.
+  for (auto& [node_id, node] : nodes_) {
+    if (!node->alive) continue;
+    for (auto& grant : node->engines) {
+      const auto dead_it =
+          std::find_if(grant->mirrors.begin(), grant->mirrors.end(),
+                       [&](const MirrorSession& s) { return s.node == id; });
+      if (dead_it == grant->mirrors.end()) continue;
+      // Simulate the death on this link and unwind its serve threads.
+      if (dead_it->serve_end) dead_it->serve_end->close();
+      if (dead_it->read_serve_end) dead_it->read_serve_end->close();
+      if (dead_it->serve_thread.joinable()) dead_it->serve_thread.join();
+      if (dead_it->read_serve_thread.joinable()) {
+        dead_it->read_serve_thread.join();
+      }
+      std::vector<std::string> wanted =
+          mirror_union(*new_map, grant->pgs, node_id);
+      std::vector<std::string> fresh;
+      for (const auto& candidate : wanted) {
+        const bool attached = std::any_of(
+            grant->mirrors.begin(), grant->mirrors.end(),
+            [&](const MirrorSession& s) {
+              return s.node == candidate && s.node != id;
+            });
+        if (!attached) fresh.push_back(candidate);
+      }
+      if (!fresh.empty()) {
+        // with_failed backfills one replacement per primary, so `fresh`
+        // is a single node: re-point the dead link's slot at it.
+        const std::string& repl = fresh.front();
+        const auto repl_node = nodes_.find(repl);
+        if (repl_node == nodes_.end() || !repl_node->second->alive) {
+          return internal_error("replacement " + repl + " not alive");
+        }
+        MirrorSession session;
+        session.node = repl;
+        ReplicaConfig rc = config_.replica;
+        rc.cluster_epoch = new_map->epoch();
+        rc.keep_trap_log = true;
+        session.replica =
+            std::make_shared<ReplicaEngine>(repl_node->second->device, rc);
+        auto [client_end, serve_end] =
+            make_inproc_pair(config_.inproc_capacity);
+        session.serve_end = std::move(serve_end);
+        session.serve_thread =
+            std::thread([replica = session.replica, end = session.serve_end] {
+              (void)replica->serve(*end);
+            });
+        const std::size_t index =
+            static_cast<std::size_t>(dead_it - grant->mirrors.begin());
+        PRINS_RETURN_IF_ERROR(
+            grant->engine->reattach_replica(index, std::move(client_end)));
+        *dead_it = std::move(session);
+        // Seed the replacement with the grant's blocks (kSyncBlock full
+        // contents); the other mirrors receive byte-identical state.
+        PRINS_RETURN_IF_ERROR(grant->engine->sync_blocks(
+            pg_lbas(*new_map, grant->pgs, num_blocks_)));
+      } else {
+        // No replacement candidate (the cluster shrank too far): rebuild
+        // the grant without the dead link so the sticky link error does
+        // not wedge writes forever.  Deliver what the live links still
+        // hold first.
+        (void)grant->engine->drain();
+        std::vector<PgId> pgs = grant->pgs;
+        auto rebuilt_or = wire_grant(*new_map, node_id, pgs, nullptr);
+        PRINS_RETURN_IF_ERROR(rebuilt_or.status());
+        std::unique_ptr<OwnedEngine> rebuilt = std::move(rebuilt_or.value());
+        std::unique_ptr<OwnedEngine> retired;
+        {
+          std::lock_guard state(state_mutex_);
+          for (auto& slot : node->engines) {
+            if (slot.get() == grant.get()) {
+              retired = std::move(slot);
+              slot = std::move(rebuilt);
+              break;
+            }
+          }
+        }
+        if (retired) {
+          retired->read_device.reset();
+          retired->engine.reset();
+          join_grant_threads(*retired);
+        }
+        // `grant` now references the rebuilt grant (the slot swap kept
+        // the element alive); the node's remaining grants still scan.
+      }
+    }
+  }
+
+  std::lock_guard state(state_mutex_);
+  map_ = std::move(new_map);
+  return Status::ok();
+}
+
+Status PgMembership::copy_blocks_wire(Node& source, Node& dest,
+                                      const std::vector<Lba>& lbas) {
+  // Stream over the repair-pull wire protocol: a throwaway ReplicaEngine
+  // serves kReadBlockRequest from the source device; each reply's payload
+  // is a codec frame of the block.
+  auto replica = std::make_shared<ReplicaEngine>(source.device);
+  auto [client_end, serve_end] = make_inproc_pair(config_.inproc_capacity);
+  std::shared_ptr<Transport> server(std::move(serve_end));
+  std::thread service([replica, server] { (void)replica->serve(*server); });
+  Status result = Status::ok();
+  Bytes block(block_size_);
+  std::uint64_t exchange = 0;
+  for (Lba lba : lbas) {
+    ReplicationMessage request;
+    request.kind = MessageKind::kReadBlockRequest;
+    request.lba = lba;
+    request.sequence = ++exchange;
+    result = client_end->send(request.encode());
+    if (!result.is_ok()) break;
+    for (;;) {
+      Result<Bytes> wire = client_end->recv();
+      if (!wire.is_ok()) {
+        result = wire.status();
+        break;
+      }
+      Result<ReplicationMessage> msg = ReplicationMessage::decode(*wire);
+      if (!msg.is_ok()) {
+        result = msg.status();
+        break;
+      }
+      if (msg->sequence != request.sequence) continue;
+      if (msg->kind != MessageKind::kReadBlockReply) {
+        result = corruption("migration source NAK'd block " +
+                            std::to_string(lba));
+        break;
+      }
+      Result<Bytes> decoded = decode_frame(msg->payload);
+      if (!decoded.is_ok()) {
+        result = decoded.status();
+        break;
+      }
+      result = dest.device->write(lba, *decoded);
+      break;
+    }
+    if (!result.is_ok()) break;
+  }
+  client_end->close();
+  service.join();
+  return result;
+}
+
+Status PgMembership::join_node(const std::string& id) {
+  std::lock_guard admin(admin_mutex_);
+  if (!started_) return failed_precondition("cluster not started");
+  std::shared_ptr<const PgMap> old_map;
+  {
+    std::lock_guard state(state_mutex_);
+    if (nodes_.count(id) != 0) return already_exists("node " + id);
+    old_map = map_;
+    auto node = std::make_unique<Node>();
+    node->id = id;
+    node->device = make_device_(id);
+    if (!node->device) return internal_error("device factory returned null");
+    if (node->device->block_size() != block_size_ ||
+        node->device->num_blocks() != num_blocks_) {
+      return invalid_argument("node " + id + " device geometry differs");
+    }
+    node->alive = true;
+    nodes_[id] = std::move(node);
+  }
+  auto new_map = std::make_shared<const PgMap>(old_map->with_joined(id));
+  const std::vector<PgId> moved = PgMap::moved_primaries(*old_map, *new_map);
+  if (moved.empty()) {
+    std::lock_guard state(state_mutex_);
+    map_ = std::move(new_map);
+    return Status::ok();
+  }
+  // Gate the moving PGs: writes and reads bounce retryable while the data
+  // streams over; ClusterRouter rides the window out with backoff.
+  {
+    std::lock_guard state(state_mutex_);
+    migrating_.insert(moved.begin(), moved.end());
+  }
+  // Migrate per old-owner grant: drain the grant (every acked write is on
+  // its device), stream the moved PGs' blocks to the joiner over
+  // kReadBlockRequest, then retire the PGs from the grant.  One new grant
+  // per old owner keeps the mirror-union invariant: the joiner's mirrors
+  // (the demoted old primary and its peers) already hold every moved
+  // byte, so no reseeding — the only data movement is the copy itself.
+  Status result = Status::ok();
+  for (auto& [owner_id, owner] : nodes_) {
+    if (owner_id == id || !owner->alive) continue;
+    for (auto& grant : owner->engines) {
+      std::vector<PgId> leaving;
+      for (PgId pg : moved) {
+        if (std::find(grant->pgs.begin(), grant->pgs.end(), pg) !=
+            grant->pgs.end()) {
+          leaving.push_back(pg);
+        }
+      }
+      if (leaving.empty()) continue;
+      result = grant->engine->drain();
+      if (!result.is_ok()) break;
+      result = copy_blocks_wire(*owner, *nodes_[id],
+                                pg_lbas(*new_map, leaving, num_blocks_));
+      if (!result.is_ok()) break;
+      auto joined_or = wire_grant(*new_map, id, leaving, nullptr);
+      result = joined_or.status();
+      if (!result.is_ok()) break;
+      std::lock_guard state(state_mutex_);
+      grant->pgs.erase(std::remove_if(grant->pgs.begin(), grant->pgs.end(),
+                                      [&](PgId pg) {
+                                        return std::find(leaving.begin(),
+                                                         leaving.end(), pg) !=
+                                               leaving.end();
+                                      }),
+                       grant->pgs.end());
+      nodes_[id]->engines.push_back(std::move(joined_or.value()));
+    }
+    if (!result.is_ok()) break;
+  }
+  std::lock_guard state(state_mutex_);
+  for (PgId pg : moved) migrating_.erase(pg);
+  if (result.is_ok()) map_ = std::move(new_map);
+  return result;
+}
+
+std::shared_ptr<const PgMap> PgMembership::map() const {
+  std::lock_guard state(state_mutex_);
+  return map_;
+}
+
+PgMembership::OwnedEngine* PgMembership::grant_for_locked(Node& node,
+                                                          PgId pg) {
+  for (auto& grant : node.engines) {
+    if (std::find(grant->pgs.begin(), grant->pgs.end(), pg) !=
+        grant->pgs.end()) {
+      return grant.get();
+    }
+  }
+  return nullptr;
+}
+
+Status PgMembership::resolve_io(const std::string& node_id, Lba lba,
+                                std::size_t blocks,
+                                std::shared_ptr<PrinsEngine>* engine,
+                                std::shared_ptr<BlockDevice>* read_device) {
+  std::lock_guard state(state_mutex_);
+  if (!map_) return failed_precondition("cluster not started");
+  if (lba + blocks > num_blocks_) return out_of_range("I/O past device end");
+  const auto it = nodes_.find(node_id);
+  if (it == nodes_.end() || !it->second->alive) {
+    return unavailable("node " + node_id + " not alive");
+  }
+  const PgId pg = map_->pg_of(lba);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const PgId block_pg = map_->pg_of(lba + i);
+    if (migrating_.count(block_pg) != 0) {
+      return unavailable("pg " + std::to_string(block_pg) + " migrating");
+    }
+    if (map_->assignment(block_pg).primary != node_id) {
+      return failed_precondition("wrong pg: " + node_id + " does not own pg " +
+                                 std::to_string(block_pg));
+    }
+  }
+  OwnedEngine* grant = grant_for_locked(*it->second, pg);
+  if (grant == nullptr || !grant->engine) {
+    return unavailable("pg " + std::to_string(pg) + " ownership settling");
+  }
+  *engine = grant->engine;
+  *read_device = grant->read_device;
+  return Status::ok();
+}
+
+Status PgMembership::client_write(const std::string& node, Lba lba,
+                                  ByteSpan data) {
+  if (data.empty() || data.size() % block_size_ != 0) {
+    return invalid_argument("client write length not a block multiple");
+  }
+  std::shared_ptr<PrinsEngine> engine;
+  std::shared_ptr<BlockDevice> read_device;
+  PRINS_RETURN_IF_ERROR(
+      resolve_io(node, lba, data.size() / block_size_, &engine, &read_device));
+  PRINS_RETURN_IF_ERROR(engine->write(lba, data));
+  if (config_.sync_writes) return engine->drain();
+  return Status::ok();
+}
+
+Status PgMembership::client_read(const std::string& node, Lba lba,
+                                 MutByteSpan out) {
+  if (out.empty() || out.size() % block_size_ != 0) {
+    return invalid_argument("client read length not a block multiple");
+  }
+  std::shared_ptr<PrinsEngine> engine;
+  std::shared_ptr<BlockDevice> read_device;
+  PRINS_RETURN_IF_ERROR(
+      resolve_io(node, lba, out.size() / block_size_, &engine, &read_device));
+  return read_device->read(lba, out);
+}
+
+Status PgMembership::serve_client(const std::string& node,
+                                  Transport& transport) {
+  for (;;) {
+    Result<Bytes> wire = transport.recv();
+    if (!wire.is_ok()) return Status::ok();  // peer closed: session over
+    Result<ReplicationMessage> msg_or = ReplicationMessage::decode(*wire);
+    ReplicationMessage reply;
+    if (!msg_or.is_ok()) {
+      reply.kind = MessageKind::kNak;
+      reply.payload = {static_cast<Byte>(NakReason::kResend)};
+      if (!transport.send(reply.encode()).is_ok()) return Status::ok();
+      continue;
+    }
+    const ReplicationMessage& msg = *msg_or;
+    reply.sequence = msg.sequence;
+    reply.lba = msg.lba;
+    Status s;
+    switch (msg.kind) {
+      case MessageKind::kClientWriteRequest: {
+        // Payload = u64 LE client map epoch, then the run's raw blocks.
+        if (msg.payload.size() < 8) {
+          s = invalid_argument("short client write payload");
+          break;
+        }
+        s = client_write(node, msg.lba,
+                         ByteSpan(msg.payload).subspan(8));
+        if (s.is_ok()) reply.kind = MessageKind::kClientWriteReply;
+        break;
+      }
+      case MessageKind::kClientReadRequest: {
+        // Payload = u64 min_sequence, u64 map epoch, u32 byte count.  The
+        // owner is trivially fresh, so min_sequence is not re-checked
+        // here (plain replicas enforce it; see serve_client_read).
+        std::size_t want = block_size_;
+        if (msg.payload.size() >= 20) {
+          want = load_le32(ByteSpan(msg.payload).subspan(16, 4));
+        }
+        Bytes block(want);
+        s = client_read(node, msg.lba, block);
+        if (s.is_ok()) {
+          reply.kind = MessageKind::kClientReadReply;
+          reply.block_size = block_size_;
+          reply.payload = std::move(block);
+        }
+        break;
+      }
+      default:
+        s = unimplemented("unexpected client frame kind");
+        break;
+    }
+    if (!s.is_ok()) {
+      reply.kind = MessageKind::kNak;
+      if (s.code() == ErrorCode::kFailedPrecondition) {
+        // Stale-map client: kWrongPg, payload bytes 1..8 = our map epoch.
+        reply.payload.assign(9, 0);
+        reply.payload[0] = static_cast<Byte>(NakReason::kWrongPg);
+        std::uint64_t epoch = 0;
+        {
+          std::lock_guard state(state_mutex_);
+          if (map_) epoch = map_->epoch();
+        }
+        store_le64(MutByteSpan(reply.payload).subspan(1, 8), epoch);
+      } else {
+        reply.payload = {static_cast<Byte>(NakReason::kResend)};
+      }
+    }
+    if (!transport.send(reply.encode()).is_ok()) return Status::ok();
+  }
+}
+
+Result<std::unique_ptr<Transport>> PgMembership::connect_client(
+    const std::string& node) {
+  std::lock_guard state(state_mutex_);
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || !it->second->alive) {
+    return unavailable("node " + node + " not alive");
+  }
+  auto [client_end, serve_end] = make_inproc_pair(config_.inproc_capacity);
+  ClientSession session;
+  session.serve_end = std::move(serve_end);
+  session.thread =
+      std::thread([this, node, end = session.serve_end] {
+        (void)serve_client(node, *end);
+      });
+  it->second->sessions.push_back(std::move(session));
+  return std::move(client_end);
+}
+
+std::unique_ptr<ClusterRouter> PgMembership::make_router(
+    bool wire, ClusterRouterConfig config) {
+  auto router = std::make_unique<ClusterRouter>(
+      block_size_, num_blocks_, map(), [this] { return map(); }, config);
+  for (const auto& id : node_ids()) {
+    if (wire) {
+      router->add_node(
+          id, std::make_shared<WireBackend>(
+                  id, [this, id] { return connect_client(id); },
+                  config_.client_pool, config_.client_op_timeout));
+    } else {
+      router->add_node(id, std::make_shared<LocalNodeBackend>(this, id));
+    }
+  }
+  // Nodes that join after the router was built resolve lazily on the first
+  // refreshed map that names them.  The membership must outlive the router.
+  router->set_backend_source(
+      [this, wire](const std::string& id) -> std::shared_ptr<PgBackend> {
+        {
+          std::lock_guard state(state_mutex_);
+          if (nodes_.find(id) == nodes_.end()) return nullptr;
+        }
+        if (wire) {
+          return std::make_shared<WireBackend>(
+              id, [this, id] { return connect_client(id); },
+              config_.client_pool, config_.client_op_timeout);
+        }
+        return std::make_shared<LocalNodeBackend>(this, id);
+      });
+  return router;
+}
+
+std::vector<std::string> PgMembership::node_ids() const {
+  std::lock_guard state(state_mutex_);
+  std::vector<std::string> ids;
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+std::shared_ptr<BlockDevice> PgMembership::node_device(
+    const std::string& id) const {
+  std::lock_guard state(state_mutex_);
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second->device;
+}
+
+std::vector<NodeStats> PgMembership::stats() const {
+  std::lock_guard state(state_mutex_);
+  std::vector<NodeStats> out;
+  for (const auto& [id, node] : nodes_) {
+    NodeStats ns;
+    ns.id = id;
+    ns.alive = node->alive;
+    ns.engines = node->engines.size();
+    for (const auto& grant : node->engines) {
+      ns.pgs.insert(ns.pgs.end(), grant->pgs.begin(), grant->pgs.end());
+      if (grant->engine) merge_metrics(ns.metrics, grant->engine->metrics());
+    }
+    std::sort(ns.pgs.begin(), ns.pgs.end());
+    out.push_back(std::move(ns));
+  }
+  // Mirror sessions are owned by the replicating grant but hosted at the
+  // mirror node; count them where they live.
+  for (const auto& [id, node] : nodes_) {
+    for (const auto& grant : node->engines) {
+      for (const auto& session : grant->mirrors) {
+        for (auto& ns : out) {
+          if (ns.id == session.node) ns.mirror_sessions += 1;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace prins::cluster

@@ -1,0 +1,250 @@
+// PgMembership: the cluster control plane — node lifecycle driving
+// per-placement-group ownership.
+//
+// Hosts one logical node per joined member: the node's BlockDevice, the
+// PrinsEngine(s) serving the placement groups it owns, and the
+// ReplicaEngine mirror sessions other nodes' engines replicate into.  An
+// engine exists per *ownership grant* (the genesis grant, or one minted by
+// a promotion/migration) and replicates every write to the union of its
+// PGs' mirror nodes — so ANY wired mirror holds every byte of every PG the
+// engine owns, which is exactly what makes the map's promotion heir
+// (mirrors[0]) always a valid successor.
+//
+// Membership events evolve the PgMap by deltas and converge the data plane
+// before the new epoch is published, so a routing client (ClusterRouter)
+// only ever sees maps whose owners are live:
+//
+//   fail_node   — tear the dead node down, promote each moved PG's heir via
+//                 ReplicaEngine::promote (epoch fencing: the successor
+//                 engine stamps map-epoch-new, the dead primary would be
+//                 NAK'd kStaleEpoch if it rose again), wire + seed the
+//                 promoted engines' fresh mirrors with sync_blocks, and
+//                 re-point surviving engines' dead mirror links at the
+//                 map's replacement node.  Then flip the map.
+//   join_node   — live migration of the PGs the joiner wins: mark them
+//                 migrating (writes bounce, the router backs off), drain
+//                 the old owner, stream the blocks over the
+//                 kReadBlockRequest wire protocol, stand up the joiner's
+//                 engine with the old primary demoted to first mirror,
+//                 then flip the map and lift the migration gate.
+//
+// Client I/O enters through serve_client() — the kClientWriteRequest /
+// kClientReadRequest session loop a node exposes to routers (prinsctl's
+// TCP listener calls it; connect_client() serves it over an in-process
+// pair) — or through make_router()'s local backends, which shortcut the
+// wire but keep the identical ownership/fencing checks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "block/block_device.h"
+#include "cluster/cluster_router.h"
+#include "cluster/pg_map.h"
+#include "net/transport.h"
+#include "prins/engine.h"
+#include "prins/replica.h"
+
+namespace prins {
+class ReadRouter;
+}  // namespace prins
+
+namespace prins::cluster {
+
+class LocalNodeBackend;
+
+struct MembershipConfig {
+  PgMapConfig map;
+  /// Template for every engine this membership mints (cluster_epoch and
+  /// read_from_replicas are overwritten per grant).
+  EngineConfig engine;
+  /// Template for every mirror session (cluster_epoch overwritten).
+  ReplicaConfig replica;
+  /// Acknowledge a client write only after the owning engine drained it to
+  /// every mirror.  Off (default) acks after the local apply — the
+  /// engine's pipelined senders replicate in the background.  Turn it on
+  /// when a test equates "acked" with "survives the primary's death".
+  bool sync_writes = false;
+  /// Compose each engine with a ReadRouter over its mirror sessions, so
+  /// conflict-free client reads offload to the PG's mirrors.
+  bool read_offload = false;
+  /// Queue bound of every in-process transport pair this membership wires.
+  std::size_t inproc_capacity = 1024;
+  /// Connection-pool size of the WireBackends make_router() builds.
+  std::size_t client_pool = 4;
+  /// Per-exchange reply deadline on router->node client connections.
+  std::chrono::milliseconds client_op_timeout{2000};
+};
+
+/// Per-node view for stats surfaces (prinsctl cluster --stats).
+struct NodeStats {
+  std::string id;
+  bool alive = false;
+  std::vector<PgId> pgs;       // placement groups this node's engines own
+  std::size_t engines = 0;     // ownership grants currently hosted
+  std::size_t mirror_sessions = 0;  // inbound replication sessions hosted
+  EngineMetrics metrics;       // merged across the node's engines
+};
+
+class PgMembership {
+ public:
+  /// Builds each member's backing device on join (genesis or live).  Every
+  /// device must share one (block_size, num_blocks) geometry.
+  using DeviceFactory =
+      std::function<std::shared_ptr<BlockDevice>(const std::string& node_id)>;
+
+  PgMembership(DeviceFactory make_device, MembershipConfig config = {});
+  ~PgMembership();
+
+  PgMembership(const PgMembership&) = delete;
+  PgMembership& operator=(const PgMembership&) = delete;
+
+  /// Register a genesis member (before start()).
+  Status add_node(const std::string& id);
+
+  /// Build the genesis map over the registered nodes and wire every
+  /// engine + mirror session.  Devices start byte-identical (fresh), so
+  /// genesis needs no seeding.
+  Status start();
+
+  /// Tear down every node (drains nothing; engines close their links and
+  /// serve threads unwind).  Idempotent; the destructor calls it.
+  void stop();
+
+  /// Fail-stop `id` and converge: promote heirs, re-mirror survivors,
+  /// publish the successor map.  Client I/O may run concurrently — the
+  /// convergence window surfaces as retryable kUnavailable /
+  /// kFailedPrecondition, which ClusterRouter rides out.
+  Status fail_node(const std::string& id);
+
+  /// Live-join `id` and migrate the PGs it wins (see file comment).
+  Status join_node(const std::string& id);
+
+  /// The current map; MapSource for routers.
+  std::shared_ptr<const PgMap> map() const;
+
+  /// Open a client connection to `node`'s serving loop over an in-process
+  /// pair (a session thread runs serve_client on the far end).
+  Result<std::unique_ptr<Transport>> connect_client(const std::string& node);
+
+  /// Serve one client-frame session for `node` until the peer closes.
+  /// prinsctl's TCP cluster listener calls this per accepted connection.
+  Status serve_client(const std::string& node, Transport& transport);
+
+  /// A router over every member.  `wire` routes through pooled client
+  /// connections (connect_client); local backends skip the framing but
+  /// keep the ownership checks.  The membership must outlive the router.
+  std::unique_ptr<ClusterRouter> make_router(bool wire,
+                                             ClusterRouterConfig config = {});
+
+  std::vector<NodeStats> stats() const;
+  std::vector<std::string> node_ids() const;
+  std::shared_ptr<BlockDevice> node_device(const std::string& id) const;
+
+  std::uint32_t block_size() const { return block_size_; }
+  std::uint64_t num_blocks() const { return num_blocks_; }
+
+ private:
+  /// One inbound replication session: a ReplicaEngine over THIS mirror
+  /// node's device, fed by a remote engine through an in-process pair.
+  /// Owned by the replicating engine's grant (it holds the promotion
+  /// state), hosted by the mirror node.
+  struct MirrorSession {
+    std::string node;  // mirror node id
+    std::shared_ptr<ReplicaEngine> replica;
+    std::shared_ptr<Transport> serve_end;       // replication traffic
+    std::thread serve_thread;
+    std::shared_ptr<Transport> read_serve_end;  // ReadRouter offload link
+    std::thread read_serve_thread;
+    /// Client end of the read link, parked here between attach_mirror and
+    /// wire_grant handing it to the grant's ReadRouter.
+    std::unique_ptr<Transport> pending_read_link;
+  };
+
+  /// One ownership grant: an engine over the owner's device serving `pgs`,
+  /// replicating to the union of their mirror nodes.
+  struct OwnedEngine {
+    std::shared_ptr<PrinsEngine> engine;
+    /// Client reads go here: the engine itself, or its ReadRouter when
+    /// read offload is composed in.
+    std::shared_ptr<BlockDevice> read_device;
+    std::vector<PgId> pgs;
+    std::vector<MirrorSession> mirrors;
+  };
+
+  struct ClientSession {
+    std::shared_ptr<Transport> serve_end;
+    std::thread thread;
+  };
+
+  struct Node {
+    std::string id;
+    std::shared_ptr<BlockDevice> device;
+    bool alive = false;
+    std::vector<std::unique_ptr<OwnedEngine>> engines;
+    std::vector<ClientSession> sessions;
+  };
+
+  /// Wire one grant: build the engine (epoch = `map`'s), one mirror
+  /// session per node in the union of `pgs`' mirror lists, and the read
+  /// router when offload is on.  Caller seeds afterwards if the mirrors
+  /// are not already caught up.  Admin mutex held.
+  Result<std::unique_ptr<OwnedEngine>> wire_grant(
+      const PgMap& map, const std::string& owner, std::vector<PgId> pgs,
+      std::unique_ptr<PrinsEngine> promoted);
+  /// Attach one mirror session (and its read link) to `grant`'s engine.
+  Status attach_mirror(OwnedEngine& grant, const std::string& mirror_node,
+                       std::uint64_t epoch);
+  /// Stream `lbas` from `source`'s device to `dest`'s via the
+  /// kReadBlockRequest / kReadBlockReply wire protocol (the migration and
+  /// repair-pull path).  Admin mutex held; `source` must be quiesced for
+  /// the copied range.
+  Status copy_blocks_wire(Node& source, Node& dest,
+                          const std::vector<Lba>& lbas);
+  /// Locate the grant serving `pg` at `node` (state mutex held).
+  OwnedEngine* grant_for_locked(Node& node, PgId pg);
+
+  /// The ownership-checked data plane shared by serve_client and the
+  /// local router backends.  kFailedPrecondition = wrong PG under the
+  /// current map (the caller NAKs kWrongPg / the router refreshes);
+  /// kUnavailable = dead node, migrating PG, or mid-promotion gap.
+  Status client_write(const std::string& node, Lba lba, ByteSpan data);
+  Status client_read(const std::string& node, Lba lba, MutByteSpan out);
+  friend class LocalNodeBackend;
+
+  /// Resolve (engine, read_device) for a client I/O and run the ownership
+  /// checks; the I/O itself happens outside the state lock.
+  Status resolve_io(const std::string& node_id, Lba lba, std::size_t blocks,
+                    std::shared_ptr<PrinsEngine>* engine,
+                    std::shared_ptr<BlockDevice>* read_device);
+
+  void stop_node_locked(Node& node);  // admin mutex held
+  void join_grant_threads(OwnedEngine& grant);
+
+  const DeviceFactory make_device_;
+  const MembershipConfig config_;
+  std::uint32_t block_size_ = 0;
+  std::uint64_t num_blocks_ = 0;
+
+  /// Serializes membership mutations (start/fail/join/stop); never held
+  /// while serving client I/O.
+  std::mutex admin_mutex_;
+  /// Guards the lookup state below; serving paths copy shared_ptrs under
+  /// it and do their I/O outside.
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<const PgMap> map_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  /// PGs mid-migration: writes and reads bounce retryable until the flip.
+  std::unordered_set<PgId> migrating_;
+  bool started_ = false;
+};
+
+}  // namespace prins::cluster

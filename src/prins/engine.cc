@@ -1964,31 +1964,48 @@ Status PrinsEngine::flush() {
   return local_->flush();
 }
 
+Status PrinsEngine::enqueue_sync_block(Lba lba, const Codec& codec,
+                                       Bytes& scratch) {
+  WriteShard& shard = shard_for(lba);
+  // Hold the block's stripe so the read and the enqueue see one write
+  // generation, and publish a watermark slot like any submit.
+  std::lock_guard shard_lock(shard.mutex);
+  PRINS_RETURN_IF_ERROR(local_->read(lba, scratch));
+  ReplicationMessage msg;
+  msg.kind = MessageKind::kSyncBlock;
+  msg.policy = config_.policy;
+  msg.cluster_epoch = config_.cluster_epoch;
+  msg.block_size = block_size();
+  msg.lba = lba;
+  SubmitSlot slot(shard, next_sequence_.load(std::memory_order_seq_cst));
+  msg.sequence = next_sequence_.fetch_add(1, std::memory_order_seq_cst);
+  slot.tighten(msg.sequence);
+  // Sync is not a logical write: read the clock, do not advance it.
+  msg.timestamp_us =
+      clock_state_.load(std::memory_order_seq_cst) & kClockMask;
+  return enqueue(msg, PooledBuffer::heap(encode_frame(codec, scratch)),
+                 PooledBuffer(), &shard);
+}
+
 Status PrinsEngine::full_sync() {
-  const std::uint32_t bs = block_size();
-  Bytes block(bs);
+  Bytes block(block_size());
   const Codec& codec = codec_for(CodecId::kLz);
   for (Lba lba = 0; lba < num_blocks(); ++lba) {
-    WriteShard& shard = shard_for(lba);
-    // Hold the block's stripe so the read and the enqueue see one write
-    // generation, and publish a watermark slot like any submit.
-    std::lock_guard shard_lock(shard.mutex);
-    PRINS_RETURN_IF_ERROR(local_->read(lba, block));
-    ReplicationMessage msg;
-    msg.kind = MessageKind::kSyncBlock;
-    msg.policy = config_.policy;
-    msg.cluster_epoch = config_.cluster_epoch;
-    msg.block_size = bs;
-    msg.lba = lba;
-    SubmitSlot slot(shard, next_sequence_.load(std::memory_order_seq_cst));
-    msg.sequence = next_sequence_.fetch_add(1, std::memory_order_seq_cst);
-    slot.tighten(msg.sequence);
-    // Sync is not a logical write: read the clock, do not advance it.
-    msg.timestamp_us =
-        clock_state_.load(std::memory_order_seq_cst) & kClockMask;
-    PRINS_RETURN_IF_ERROR(
-        enqueue(msg, PooledBuffer::heap(encode_frame(codec, block)),
-                PooledBuffer(), &shard));
+    PRINS_RETURN_IF_ERROR(enqueue_sync_block(lba, codec, block));
+  }
+  return drain();
+}
+
+Status PrinsEngine::sync_blocks(const std::vector<Lba>& lbas) {
+  Bytes block(block_size());
+  const Codec& codec = codec_for(CodecId::kLz);
+  for (Lba lba : lbas) {
+    if (lba >= num_blocks()) {
+      return out_of_range("sync_blocks lba " + std::to_string(lba) +
+                          " exceeds device of " +
+                          std::to_string(num_blocks()) + " blocks");
+    }
+    PRINS_RETURN_IF_ERROR(enqueue_sync_block(lba, codec, block));
   }
   return drain();
 }

@@ -59,6 +59,8 @@
 
 namespace prins {
 
+class Codec;
+
 /// Rebuilds the transport to replica `index` after a connection-class
 /// failure (the engine closes the old transport before calling this).
 using TransportFactory =
@@ -264,6 +266,13 @@ class PrinsEngine final : public BlockDevice {
   /// kSyncBlock messages (replicas need A_old before parity replication can
   /// start).  Drains before returning.
   Status full_sync();
+
+  /// full_sync() restricted to a block subset: ship exactly `lbas` as
+  /// compressed kSyncBlock messages and drain.  The cluster layer seeds a
+  /// promoted primary's replacement mirrors with just its placement
+  /// groups' blocks — a device-wide sync would clobber the blocks the
+  /// mirror node owns itself.
+  Status sync_blocks(const std::vector<Lba>& lbas);
 
   /// Checksum-compare a block range against every replica and rewrite
   /// mismatching blocks.  Returns the number of blocks repaired across all
@@ -702,6 +711,10 @@ class PrinsEngine final : public BlockDevice {
   /// must be held (jitter state).
   std::chrono::steady_clock::duration retry_delay(ReplicaLink& link,
                                                   std::size_t attempt);
+
+  /// Read one block under its stripe lock and enqueue it as a kSyncBlock
+  /// (the shared body of full_sync / sync_blocks; does not drain).
+  Status enqueue_sync_block(Lba lba, const Codec& codec, Bytes& scratch);
 
   /// Resolve config.write_shards (env/auto-size, power of two, clamp) and
   /// build the shard array.  Called once from each constructor.

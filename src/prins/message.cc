@@ -13,7 +13,7 @@ constexpr std::size_t kHeaderSize = ReplicationMessage::kWireHeaderSize;
 
 bool valid_kind(std::uint8_t k) {
   return k >= static_cast<std::uint8_t>(MessageKind::kWrite) &&
-         k <= static_cast<std::uint8_t>(MessageKind::kReadLease);
+         k <= static_cast<std::uint8_t>(MessageKind::kClientWriteReply);
 }
 
 bool valid_policy(std::uint8_t p) {

@@ -55,7 +55,27 @@ enum class MessageKind : std::uint8_t {
                            //   min_sequence <= floor without a per-LBA
                            //   check (every write at or below the floor is
                            //   applied everywhere).  Replied with kAck.
+  kClientWriteRequest = 18,// cluster client -> owning node: write the
+                           //   payload's blocks at `lba`.  Payload = u64 LE
+                           //   map epoch (the client's PgMap version), then
+                           //   the raw block bytes.  `sequence` is a
+                           //   requester-local exchange id, echoed back.
+                           //   A node that does not own the LBA's placement
+                           //   group under its current map answers kNak
+                           //   with NakReason::kWrongPg.
+  kClientWriteReply = 19,  // owning node -> client: the write applied (and,
+                           //   in synchronous mode, replicated); `sequence`
+                           //   echoes the request's exchange id
 };
+
+/// Client-frame map-epoch convention: cluster clients append their PgMap
+/// epoch to the payloads of kClientWriteRequest (after the block data
+/// prefix above) and kClientReadRequest (a second u64 LE after
+/// min_sequence, then an optional u32 LE block count).  Plain replicas
+/// parse only the fields they know (serve_client_read reads the first 8
+/// payload bytes), so epoch-stamped frames stay compatible with
+/// epoch-unaware peers; cluster nodes use the epoch to fence stale-map
+/// clients with kWrongPg.
 
 /// Optional first payload byte of a kNak, telling the primary how to
 /// recover.  Absent payload means kResend (the frame itself was damaged).
@@ -71,6 +91,15 @@ enum class NakReason : std::uint8_t {
                        //   than the replica has applied for that LBA: the
                        //   reader should retry at the primary (the NAK's
                        //   `sequence` echoes the request's exchange id)
+  kWrongPg = 4,        // a client I/O (kClientWriteRequest /
+                       //   kClientReadRequest) landed on a node that does
+                       //   not own the LBA's placement group under its
+                       //   current map — the client's PgMap is stale or its
+                       //   routing is wrong.  NAK payload bytes 1..8 carry
+                       //   the node's map epoch (u64 LE) so the client
+                       //   knows how far behind it is; it should refresh
+                       //   its map and retry at the new owner.  The NAK's
+                       //   `sequence` echoes the request's exchange id.
 };
 
 /// One contiguous run of applied sequences inside a kAckBatch payload.

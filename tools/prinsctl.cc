@@ -29,7 +29,12 @@
 
 #include "block/file_disk.h"
 #include "block/integrity_disk.h"
+#include "block/mem_disk.h"
+#include "cluster/cluster_router.h"
+#include "cluster/pg_map.h"
+#include "cluster/pg_membership.h"
 #include "common/env.h"
+#include "common/rng.h"
 #include "common/logging.h"
 #include "iscsi/initiator.h"
 #include "iscsi/reactor_target.h"
@@ -91,6 +96,16 @@ int usage() {
                "  prinsctl scrub    --file PATH --blocks N --bs BYTES "
                "--sidecar PATH [--replica HOST:PORT] [--rate BLOCKS/S]\n"
                "  prinsctl discover --host H --port P\n"
+               "  prinsctl cluster serve --blocks N --bs BYTES [--dir DIR] "
+               "[--mirrors R] [--sync 1] [--stats SECS] [--json 1]\n"
+               "  prinsctl cluster route --blocks N --bs BYTES [--writes N] "
+               "[--stats 1] [--json 1]\n"
+               "PRINS_CLUSTER_NODES=id=HOST:PORT,... names the cluster "
+               "members (serve binds every port locally; route connects "
+               "out).\n"
+               "PRINS_PG_COUNT sets the placement-group count (power of "
+               "two, default 64); both sides derive the same genesis map "
+               "from the node list alone.\n"
                "PRINS_EPOCH sets the fencing epoch where --epoch is not "
                "given (flag wins).\n"
                "PRINS_READ_REPLICAS=H1:P1,H2:P2 offloads conflict-free "
@@ -375,17 +390,59 @@ Status attach_replica(PrinsEngine& engine, const Options& options) {
   return Status::ok();
 }
 
+/// EngineMetrics as one JSON object (no trailing newline) — the machine
+/// half of --stats; benches and CI scrape this instead of the key=value
+/// text.
+std::string engine_metrics_json(const EngineMetrics& m) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"epoch\": %llu, \"writes\": %llu, \"raw_bytes\": %llu, "
+      "\"payload_bytes\": %llu, \"acks\": %llu, \"retries\": %llu, "
+      "\"reconnects\": %llu, \"auto_resyncs\": %llu, "
+      "\"stale_epoch_naks\": %llu, \"journal_frozen\": %llu, "
+      "\"journal_watermark\": %llu, \"journal_pending\": %llu, "
+      "\"journal_pending_bytes\": %llu, \"journal_spills\": %llu, "
+      "\"replica_reads\": %llu, \"stale_read_retries\": %llu, "
+      "\"read_conflicts_local\": %llu}",
+      static_cast<unsigned long long>(m.cluster_epoch),
+      static_cast<unsigned long long>(m.writes),
+      static_cast<unsigned long long>(m.raw_bytes),
+      static_cast<unsigned long long>(m.payload_bytes),
+      static_cast<unsigned long long>(m.acks),
+      static_cast<unsigned long long>(m.retries),
+      static_cast<unsigned long long>(m.reconnects),
+      static_cast<unsigned long long>(m.auto_resyncs),
+      static_cast<unsigned long long>(m.stale_epoch_naks),
+      static_cast<unsigned long long>(m.journal_frozen),
+      static_cast<unsigned long long>(m.journal_watermark),
+      static_cast<unsigned long long>(m.journal_pending),
+      static_cast<unsigned long long>(m.journal_pending_bytes),
+      static_cast<unsigned long long>(m.journal_spills),
+      static_cast<unsigned long long>(m.replica_reads),
+      static_cast<unsigned long long>(m.stale_read_retries),
+      static_cast<unsigned long long>(m.read_conflicts_local));
+  return buf;
+}
+
 /// Periodic engine counters, one parseable line per interval — epoch and
 /// journal depth included so an operator can see a frozen watermark (a
 /// down replica pinning the journal) or a fencing event at a glance.
+/// --json 1 swaps the key=value text for one JSON object per line.
 /// Never returns.
 [[noreturn]] void report_engine_stats_forever(PrinsEngine& engine,
-                                              std::uint64_t every_secs) {
+                                              std::uint64_t every_secs,
+                                              bool json) {
   for (;;) {
     std::this_thread::sleep_for(
         std::chrono::seconds(every_secs > 0 ? every_secs : 3600));
     if (every_secs == 0) continue;
     const EngineMetrics m = engine.metrics();
+    if (json) {
+      std::printf("%s\n", engine_metrics_json(m).c_str());
+      std::fflush(stdout);
+      continue;
+    }
     std::printf("stats: epoch=%llu writes=%llu acks=%llu reconnects=%llu "
                 "stale_epoch_naks=%llu journal_frozen=%llu "
                 "journal_watermark=%llu journal_pending=%llu "
@@ -460,7 +517,7 @@ int serve_target(std::shared_ptr<PrinsEngine> engine, const Options& options,
                 (*server)->port(), options.get("file", default_file),
                 static_cast<unsigned long long>(engine->cluster_epoch()));
     std::fflush(stdout);  // the serve loop blocks; surface the banner now
-    report_engine_stats_forever(*engine, stats_every);
+    report_engine_stats_forever(*engine, stats_every, options.get_u64("json", 0) != 0);
   }
   auto listener = TcpListener::listen(port);
   if (!listener.is_ok()) {
@@ -473,7 +530,7 @@ int serve_target(std::shared_ptr<PrinsEngine> engine, const Options& options,
   std::fflush(stdout);
   std::thread server = iscsi::serve_in_background(
       target, std::shared_ptr<Listener>(std::move(*listener)));
-  report_engine_stats_forever(*engine, stats_every);
+  report_engine_stats_forever(*engine, stats_every, options.get_u64("json", 0) != 0);
 }
 
 int run_target(const Options& options) {
@@ -653,6 +710,284 @@ int run_discover(const Options& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// cluster: PG-sharded multi-primary serving and routing.
+
+struct ClusterNodeSpec {
+  std::string id;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// PRINS_CLUSTER_NODES (or --nodes): "id=HOST:PORT,id=HOST:PORT,...".  The
+/// id list orders nothing — the genesis map is rendezvous-hashed, so every
+/// party parsing the same list computes the same placement.
+std::vector<ClusterNodeSpec> cluster_nodes_knob(const Options& options) {
+  std::vector<ClusterNodeSpec> specs;
+  std::string list = options.get("nodes", "");
+  if (list.empty()) {
+    const char* raw = std::getenv("PRINS_CLUSTER_NODES");
+    if (raw != nullptr) list = raw;
+  }
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    const auto colon = entry.rfind(':');
+    if (eq == std::string::npos || eq == 0 || colon == std::string::npos ||
+        colon < eq + 2 || colon + 1 >= entry.size()) {
+      std::fprintf(stderr,
+                   "PRINS_CLUSTER_NODES: skipping \"%s\" (want "
+                   "id=HOST:PORT)\n",
+                   entry.c_str());
+      continue;
+    }
+    ClusterNodeSpec spec;
+    spec.id = entry.substr(0, eq);
+    spec.host = entry.substr(eq + 1, colon - eq - 1);
+    spec.port = static_cast<std::uint16_t>(
+        std::strtoul(entry.c_str() + colon + 1, nullptr, 10));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// PRINS_PG_COUNT: placement groups in the map (rounded up to a power of
+/// two by PgMap).  Both serve and route must agree on it.
+std::uint32_t pg_count_knob() {
+  if (auto env = parse_env_size("PRINS_PG_COUNT", 1, 1u << 20)) {
+    return static_cast<std::uint32_t>(*env);
+  }
+  return 64;
+}
+
+/// Host every cluster node in this process: one PgMembership over the full
+/// node list, a TCP client-frame listener per node on its configured port.
+/// The single-process testbed shape — routers connect to the listed ports
+/// exactly as they would to separate machines.
+int run_cluster_serve(const Options& options) {
+  const auto specs = cluster_nodes_knob(options);
+  if (specs.empty()) {
+    std::fprintf(stderr, "cluster serve: PRINS_CLUSTER_NODES (or --nodes) "
+                         "must list the members\n");
+    return 2;
+  }
+  const auto blocks = options.get_u64("blocks", 4096);
+  const auto bs = static_cast<std::uint32_t>(options.get_u64("bs", 8192));
+  const std::string dir = options.get("dir", "");
+
+  cluster::MembershipConfig config;
+  config.map.pg_count = pg_count_knob();
+  config.map.mirrors =
+      static_cast<std::uint32_t>(options.get_u64("mirrors", 1));
+  config.sync_writes = options.get_u64("sync", 0) != 0;
+  cluster::PgMembership membership(
+      [&](const std::string& id) -> std::shared_ptr<BlockDevice> {
+        if (dir.empty()) return std::make_shared<MemDisk>(blocks, bs);
+        auto disk = FileDisk::open(dir + "/" + id + ".img", blocks, bs);
+        if (!disk.is_ok()) {
+          std::fprintf(stderr, "open %s/%s.img: %s\n", dir.c_str(),
+                       id.c_str(), disk.status().to_string().c_str());
+          return nullptr;
+        }
+        return std::shared_ptr<BlockDevice>(std::move(*disk));
+      },
+      config);
+  for (const auto& spec : specs) {
+    if (Status added = membership.add_node(spec.id); !added.is_ok()) {
+      std::fprintf(stderr, "add node %s: %s\n", spec.id.c_str(),
+                   added.to_string().c_str());
+      return 1;
+    }
+  }
+  if (Status started = membership.start(); !started.is_ok()) {
+    std::fprintf(stderr, "cluster start: %s\n", started.to_string().c_str());
+    return 1;
+  }
+
+  std::vector<std::thread> accept_threads;
+  for (const auto& spec : specs) {
+    auto listener = TcpListener::listen(spec.port);
+    if (!listener.is_ok()) {
+      std::fprintf(stderr, "listen %s on port %u: %s\n", spec.id.c_str(),
+                   spec.port, listener.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("node %s serving client frames on port %u\n",
+                spec.id.c_str(), (*listener)->port());
+    accept_threads.emplace_back(
+        [&membership, id = spec.id,
+         listener = std::shared_ptr<Listener>(std::move(*listener))] {
+          for (;;) {
+            auto conn = listener->accept();
+            if (!conn.is_ok()) return;
+            std::thread([&membership, id,
+                         transport = std::shared_ptr<Transport>(
+                             std::move(*conn))] {
+              (void)membership.serve_client(id, *transport);
+            }).detach();
+          }
+        });
+  }
+  const auto map = membership.map();
+  std::printf("cluster up: %zu nodes, %u PGs, %u mirror%s per PG, map epoch "
+              "%llu\n",
+              specs.size(), map->pg_count(), map->mirror_target(),
+              map->mirror_target() == 1 ? "" : "s",
+              static_cast<unsigned long long>(map->epoch()));
+  std::fflush(stdout);
+
+  const std::uint64_t stats_every = options.get_u64("stats", 0);
+  const bool json = options.get_u64("json", 0) != 0;
+  for (;;) {
+    std::this_thread::sleep_for(
+        std::chrono::seconds(stats_every > 0 ? stats_every : 3600));
+    if (stats_every == 0) continue;
+    if (json) {
+      std::printf("{\"map_epoch\": %llu, \"nodes\": [",
+                  static_cast<unsigned long long>(membership.map()->epoch()));
+      bool first = true;
+      for (const auto& node : membership.stats()) {
+        std::printf("%s{\"id\": \"%s\", \"alive\": %s, \"pgs\": %zu, "
+                    "\"engines\": %zu, \"mirror_sessions\": %zu, "
+                    "\"metrics\": %s}",
+                    first ? "" : ", ", node.id.c_str(),
+                    node.alive ? "true" : "false", node.pgs.size(),
+                    node.engines, node.mirror_sessions,
+                    engine_metrics_json(node.metrics).c_str());
+        first = false;
+      }
+      std::printf("]}\n");
+    } else {
+      for (const auto& node : membership.stats()) {
+        std::printf("stats: node=%s alive=%d pgs=%zu engines=%zu "
+                    "mirror_sessions=%zu writes=%llu acks=%llu\n",
+                    node.id.c_str(), node.alive ? 1 : 0, node.pgs.size(),
+                    node.engines, node.mirror_sessions,
+                    static_cast<unsigned long long>(node.metrics.writes),
+                    static_cast<unsigned long long>(node.metrics.acks));
+      }
+    }
+    std::fflush(stdout);
+  }
+}
+
+/// Route a write/read-back workload through a PG-aware router over the
+/// listed nodes' client listeners, then report router counters (and per-PG
+/// op counts with --stats 1).  The map is the deterministic genesis map —
+/// no control channel needed to bootstrap.
+int run_cluster_route(const Options& options) {
+  const auto specs = cluster_nodes_knob(options);
+  if (specs.empty()) {
+    std::fprintf(stderr, "cluster route: PRINS_CLUSTER_NODES (or --nodes) "
+                         "must list the members\n");
+    return 2;
+  }
+  const auto blocks = options.get_u64("blocks", 4096);
+  const auto bs = static_cast<std::uint32_t>(options.get_u64("bs", 8192));
+
+  cluster::PgMapConfig map_config;
+  map_config.pg_count = pg_count_knob();
+  map_config.mirrors =
+      static_cast<std::uint32_t>(options.get_u64("mirrors", 1));
+  std::vector<std::string> ids;
+  for (const auto& spec : specs) ids.push_back(spec.id);
+  auto map = std::make_shared<const cluster::PgMap>(
+      cluster::PgMap::build(ids, map_config));
+
+  cluster::ClusterRouter router(bs, blocks, map, [map] { return map; });
+  for (const auto& spec : specs) {
+    router.add_node(spec.id,
+                    std::make_shared<cluster::WireBackend>(
+                        spec.id,
+                        [host = spec.host, port = spec.port] {
+                          return connect_tcp(host, port);
+                        },
+                        /*pool_size=*/4, std::chrono::milliseconds(2000)));
+  }
+
+  const std::uint64_t writes = options.get_u64("writes", 1024);
+  Rng rng(options.get_u64("seed", 7));
+  Bytes block(bs), check(bs);
+  std::map<Lba, std::uint64_t> written;  // last write wins per LBA
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    const Lba lba = rng.next_below(blocks);
+    const std::uint64_t stamp = mix64(lba ^ (i << 20));
+    for (std::size_t off = 0; off < bs; off += sizeof(stamp)) {
+      std::memcpy(block.data() + off, &stamp, sizeof(stamp));
+    }
+    if (Status s = router.write(lba, block); !s.is_ok()) {
+      std::fprintf(stderr, "write lba %llu: %s\n",
+                   static_cast<unsigned long long>(lba),
+                   s.to_string().c_str());
+      return 1;
+    }
+    written[lba] = stamp;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::uint64_t mismatches = 0;
+  for (const auto& [lba, stamp] : written) {
+    if (Status s = router.read(lba, check); !s.is_ok()) {
+      std::fprintf(stderr, "read lba %llu: %s\n",
+                   static_cast<unsigned long long>(lba),
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::uint64_t got = 0;
+    std::memcpy(&got, check.data() + bs - sizeof(got), sizeof(got));
+    if (got != stamp) ++mismatches;
+  }
+
+  const cluster::RouterMetrics m = router.metrics();
+  if (options.get_u64("json", 0) != 0) {
+    std::printf("{\"map_epoch\": %llu, \"writes\": %llu, \"reads\": %llu, "
+                "\"span_splits\": %llu, \"wrong_pg_retries\": %llu, "
+                "\"unavailable_retries\": %llu, \"map_refreshes\": %llu, "
+                "\"writes_per_sec\": %.1f, \"mismatches\": %llu}\n",
+                static_cast<unsigned long long>(m.map_epoch),
+                static_cast<unsigned long long>(m.writes),
+                static_cast<unsigned long long>(m.reads),
+                static_cast<unsigned long long>(m.span_splits),
+                static_cast<unsigned long long>(m.wrong_pg_retries),
+                static_cast<unsigned long long>(m.unavailable_retries),
+                static_cast<unsigned long long>(m.map_refreshes),
+                elapsed > 0 ? static_cast<double>(writes) / elapsed : 0.0,
+                static_cast<unsigned long long>(mismatches));
+  } else {
+    std::printf("routed %llu writes + read-back over %zu nodes / %u PGs: "
+                "%.0f writes/s, %llu mismatches, map epoch %llu\n",
+                static_cast<unsigned long long>(writes), specs.size(),
+                map->pg_count(),
+                elapsed > 0 ? static_cast<double>(writes) / elapsed : 0.0,
+                static_cast<unsigned long long>(mismatches),
+                static_cast<unsigned long long>(m.map_epoch));
+    std::printf("router: span_splits=%llu wrong_pg_retries=%llu "
+                "unavailable_retries=%llu map_refreshes=%llu\n",
+                static_cast<unsigned long long>(m.span_splits),
+                static_cast<unsigned long long>(m.wrong_pg_retries),
+                static_cast<unsigned long long>(m.unavailable_retries),
+                static_cast<unsigned long long>(m.map_refreshes));
+  }
+  if (options.get_u64("stats", 0) != 0) {
+    const auto per_pg = router.pg_op_counts();
+    for (std::size_t pg = 0; pg < per_pg.size(); ++pg) {
+      if (per_pg[pg] == 0) continue;
+      std::printf("pg %4zu -> %-8s ops=%llu\n", pg,
+                  map->assignment(static_cast<cluster::PgId>(pg))
+                      .primary.c_str(),
+                  static_cast<unsigned long long>(per_pg[pg]));
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -665,5 +1000,11 @@ int main(int argc, char** argv) {
   if (command == "promote") return run_promote(options);
   if (command == "scrub") return run_scrub(options);
   if (command == "discover") return run_discover(options);
+  if (command == "cluster" && argc >= 3) {
+    const std::string sub = argv[2];
+    const Options cluster_options = parse_options(argc, argv, 3);
+    if (sub == "serve") return run_cluster_serve(cluster_options);
+    if (sub == "route") return run_cluster_route(cluster_options);
+  }
   return usage();
 }
